@@ -1,0 +1,54 @@
+"""Shared sweep caches for the benchmark suite.
+
+The figure sweeps are deterministic simulations, so each is executed once
+per pytest session and shared between the latency and throughput panels
+of the same figure (they come from the same runs, exactly as in the
+paper).
+"""
+
+import pytest
+
+from repro.bench import (
+    FIG3_PAYLOADS,
+    FIG3_TRANSPORTS,
+    FIG4_PAYLOADS,
+    FigureTable,
+    reptor_echo,
+    run_echo,
+)
+
+#: Messages per data point.  The paper uses 1000; the default here keeps
+#: `pytest benchmarks/` pleasant.  EXPERIMENTS.md documents a bigger run.
+FIG3_MESSAGES = 60
+FIG4_MESSAGES = 100
+
+KB = 1024
+
+
+@pytest.fixture(scope="session")
+def fig3_results():
+    """All Figure-3 echo runs, keyed by (transport, payload_kb)."""
+    return {
+        (transport, kb): run_echo(transport, kb * KB, FIG3_MESSAGES)
+        for transport in FIG3_TRANSPORTS
+        for kb in FIG3_PAYLOADS
+    }
+
+
+@pytest.fixture(scope="session")
+def fig4_results():
+    """All Figure-4 Reptor-stack runs, keyed by (transport, payload_kb)."""
+    return {
+        (transport, kb): reptor_echo(transport, kb * KB, FIG4_MESSAGES)
+        for transport in ("nio", "rubin")
+        for kb in FIG4_PAYLOADS
+    }
+
+
+def table_from(results, title, metric, unit, value_of) -> FigureTable:
+    """Build a FigureTable from cached echo results."""
+    table = FigureTable(title, metric, unit)
+    for (transport, kb), result in results.items():
+        table.add(result.transport if metric else transport, kb * KB,
+                  value_of(result))
+    return table

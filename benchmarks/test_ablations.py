@@ -1,0 +1,218 @@
+"""Ablations of the Section-IV design choices.
+
+Each test switches off exactly one RUBIN optimization (or switches on a
+future-work one) and quantifies its effect at the payload sizes where the
+paper says it matters.
+"""
+
+import pytest
+
+from repro.bench import percent_lower
+from repro.bench.calibration import build_testbed
+from repro.bench.echo import rubin_channel_echo
+from repro.rubin import RubinConfig
+
+KB = 1024
+MESSAGES = 60
+
+
+def run(config, payload_kb, messages=MESSAGES):
+    return rubin_channel_echo(payload_kb * KB, messages, config=config)
+
+
+def test_selective_signaling(benchmark):
+    """Signal every send vs every 8th: the paper claims up to 30 % lower
+    latency for small messages from this plus the other small-message
+    optimizations; in isolation it must be a strictly positive win."""
+
+    def sweep():
+        always = run(RubinConfig(signal_interval=1), 1)
+        selective = run(RubinConfig(signal_interval=8), 1)
+        return always, selective
+
+    always, selective = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gain = percent_lower(selective.mean_latency_us, always.mean_latency_us)
+    print(
+        f"\n1KB latency: signal-always {always.mean_latency_us:.1f}us, "
+        f"signal/8 {selective.mean_latency_us:.1f}us ({gain:.1f}% lower)"
+    )
+    assert selective.mean_latency_us < always.mean_latency_us
+    benchmark.extra_info["gain_percent"] = gain
+
+
+def test_inline_sends(benchmark):
+    """Inline vs DMA-gather for a payload under the 256 B threshold."""
+
+    def sweep():
+        no_inline = rubin_channel_echo(
+            200, MESSAGES, config=RubinConfig(inline_threshold=0)
+        )
+        inline = rubin_channel_echo(
+            200, MESSAGES, config=RubinConfig(inline_threshold=256)
+        )
+        return no_inline, inline
+
+    no_inline, inline = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gain = percent_lower(inline.mean_latency_us, no_inline.mean_latency_us)
+    print(
+        f"\n200B latency: no-inline {no_inline.mean_latency_us:.1f}us, "
+        f"inline {inline.mean_latency_us:.1f}us ({gain:.1f}% lower)"
+    )
+    assert inline.mean_latency_us < no_inline.mean_latency_us
+    benchmark.extra_info["gain_percent"] = gain
+
+
+def test_send_zero_copy(benchmark):
+    """Registered application send buffer vs copying through the pool.
+
+    The win grows with payload (the copy is per byte), which is why the
+    paper registers the app buffer for large messages only."""
+
+    def sweep():
+        out = {}
+        for kb in (4, 100):
+            copied = run(RubinConfig(zero_copy_send=False), kb)
+            zero = run(RubinConfig(zero_copy_send=True), kb)
+            out[kb] = (copied.mean_latency_us, zero.mean_latency_us)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    gains = {}
+    for kb, (copied, zero) in out.items():
+        gains[kb] = percent_lower(zero, copied)
+        print(
+            f"{kb}KB: copy-through-pool {copied:.1f}us, "
+            f"zero-copy {zero:.1f}us ({gains[kb]:.1f}% lower)"
+        )
+        assert zero < copied
+    assert gains[100] > gains[4], "zero-copy win must grow with payload"
+    benchmark.extra_info["gains"] = {str(k): v for k, v in gains.items()}
+
+
+def test_receive_copy_removal(benchmark):
+    """The paper's future work: 'remove any buffer copy from the RDMA
+    communication except for small messages'.  Enabling zero_copy_recv
+    quantifies what that would buy at 100 KB."""
+
+    def sweep():
+        copying = run(RubinConfig(zero_copy_recv=False), 100)
+        zero = run(RubinConfig(zero_copy_recv=True), 100)
+        return copying, zero
+
+    copying, zero = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gain = percent_lower(zero.mean_latency_us, copying.mean_latency_us)
+    print(
+        f"\n100KB latency: recv-copy {copying.mean_latency_us:.1f}us, "
+        f"zero-copy-recv {zero.mean_latency_us:.1f}us ({gain:.1f}% lower)"
+    )
+    assert zero.mean_latency_us < copying.mean_latency_us
+    # The receive copy is the dominant large-message overhead: removing it
+    # must be a double-digit win.
+    assert gain > 10.0
+    benchmark.extra_info["gain_percent"] = gain
+
+
+def test_batched_posting(benchmark):
+    """Re-posting receive WRs one at a time vs in device-max batches."""
+
+    def sweep():
+        unbatched = run(
+            RubinConfig(post_batch=1, num_recv_buffers=64), 1, messages=120
+        )
+        batched = run(
+            RubinConfig(post_batch=16, num_recv_buffers=64), 1, messages=120
+        )
+        return unbatched, batched
+
+    unbatched, batched = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gain = percent_lower(
+        batched.mean_latency_us, unbatched.mean_latency_us
+    )
+    print(
+        f"\n1KB latency: post-1 {unbatched.mean_latency_us:.2f}us, "
+        f"post-16 {batched.mean_latency_us:.2f}us ({gain:.1f}% lower)"
+    )
+    assert batched.mean_latency_us <= unbatched.mean_latency_us
+    benchmark.extra_info["gain_percent"] = gain
+
+
+def test_registration_cost_amortization(benchmark):
+    """Why pools are pre-registered: per-message registration is ruinous.
+
+    Compares the one-time cost of registering a 128 KB buffer against a
+    verbs post+doorbell, using the calibrated device attributes."""
+
+    def measure():
+        bed = build_testbed()
+        device = bed.client.stack("rdma")
+        pd = device.alloc_pd()
+        env = bed.env
+
+        start = env.now
+        done = device.reg_mr_timed(pd, bytearray(128 * KB))
+        env.run(until=done)
+        register_cost = env.now - start
+
+        cpu = bed.client.cpu
+        start = env.now
+        done = cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
+        env.run(until=done)
+        post_cost = env.now - start
+        return register_cost * 1e6, post_cost * 1e6
+
+    register_us, post_us = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        f"\nregister 128KB MR: {register_us:.2f}us vs post+doorbell "
+        f"{post_us:.2f}us ({register_us / post_us:.0f}x)"
+    )
+    assert register_us > 5 * post_us
+    benchmark.extra_info["register_us"] = register_us
+    benchmark.extra_info["post_us"] = post_us
+
+
+def test_cop_pipelines(benchmark):
+    """Consensus-Oriented Parallelization (Section II-C): sharding the
+    agreement stage across pipelines scales with the 4 cores when the
+    per-message handler work is substantial (signature-class costs)."""
+    from repro.bft import BftCluster, BftConfig, CounterMachine
+
+    def run(pipelines, total=40):
+        cluster = BftCluster(
+            transport="rubin",
+            config=BftConfig(
+                view_change_timeout=200e-3,
+                batch_size=1,
+                batch_delay=0.0,
+                pipelines=pipelines,
+                handler_cost=25e-6,  # signature-verification class
+            ),
+            app_factory=CounterMachine,
+        )
+        cluster.start()
+
+        def workload(env):
+            client = cluster.client()
+            start = env.now
+            pending = [client.invoke(CounterMachine.add(1)) for _ in range(total)]
+            yield env.all_of(pending)
+            return total / (env.now - start)
+
+        p = cluster.env.process(workload(cluster.env))
+        rps = cluster.env.run(until=p)
+        cluster.run_for(100e-3)  # let laggards finish executing
+        values = {app.value for app in cluster.apps.values()}
+        assert values == {total}, "total order broken by pipelining"
+        return rps
+
+    def sweep():
+        return {p: run(p) for p in (1, 2, 4)}
+
+    rps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        f"\nCOP scaling (25us/message handlers, 4 cores): "
+        f"1 pipe {rps[1]:.0f}, 2 pipes {rps[2]:.0f}, 4 pipes {rps[4]:.0f} req/s"
+    )
+    assert rps[2] > rps[1] * 1.4
+    assert rps[4] > rps[2] * 1.3
+    benchmark.extra_info["rps_by_pipelines"] = {str(k): v for k, v in rps.items()}

@@ -1,0 +1,91 @@
+"""End-to-end BFT agreement over RUBIN vs NIO.
+
+The paper's future work ("extensively evaluate the fully replicated
+system"): a 4-replica PBFT group ordering client requests over each
+transport.  The claim under test is directional — RDMA's lower message
+latency must shorten the three-phase agreement path.
+"""
+
+from repro.bench import percent_lower
+from repro.bft import BftCluster, BftConfig
+
+REQUESTS = 30
+
+
+def run_cluster(transport, payload=256):
+    cluster = BftCluster(
+        transport=transport,
+        config=BftConfig(view_change_timeout=100e-3, batch_delay=0.0,
+                         batch_size=1),
+    )
+    cluster.start()
+    latencies = []
+
+    def workload(env):
+        client = cluster.client()
+        operation = b"PUT k=" + b"v" * payload
+        for _ in range(REQUESTS):
+            t0 = env.now
+            yield client.invoke(operation)
+            latencies.append((env.now - t0) * 1e6)
+
+    p = cluster.env.process(workload(cluster.env))
+    cluster.env.run(until=p)
+    return sum(latencies) / len(latencies)
+
+
+def test_bft_request_latency(benchmark):
+    def sweep():
+        return run_cluster("nio"), run_cluster("rubin")
+
+    nio_us, rubin_us = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gain = percent_lower(rubin_us, nio_us)
+    print(
+        f"\nPBFT request latency (n=4, f=1): NIO {nio_us:.0f}us, "
+        f"RUBIN {rubin_us:.0f}us ({gain:.1f}% lower)"
+    )
+    assert rubin_us < nio_us, "RDMA must shorten the agreement path"
+    benchmark.extra_info["nio_us"] = nio_us
+    benchmark.extra_info["rubin_us"] = rubin_us
+    benchmark.extra_info["gain_percent"] = gain
+
+
+def test_bft_throughput_with_batching(benchmark):
+    """Batched ordering throughput over both transports.
+
+    Uses 8 KB operations so the workload is network-bound (with tiny
+    operations the protocol handlers dominate and the transports tie —
+    consistent with the paper's focus on message-exchange cost)."""
+
+    def run_throughput(transport):
+        cluster = BftCluster(
+            transport=transport,
+            config=BftConfig(view_change_timeout=100e-3, batch_size=10,
+                             batch_delay=50e-6),
+        )
+        cluster.start()
+        total = 60
+
+        def workload(env):
+            client = cluster.client()
+            start = env.now
+            pending = [
+                client.invoke(b"PUT x=" + b"y" * 8192) for _ in range(total)
+            ]
+            yield env.all_of(pending)
+            return total / (env.now - start)
+
+        p = cluster.env.process(workload(cluster.env))
+        return cluster.env.run(until=p)
+
+    def sweep():
+        return run_throughput("nio"), run_throughput("rubin")
+
+    nio_rps, rubin_rps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(
+        f"\nPBFT batched throughput: NIO {nio_rps:.0f} req/s, "
+        f"RUBIN {rubin_rps:.0f} req/s"
+    )
+    assert rubin_rps > nio_rps
+    benchmark.extra_info["nio_rps"] = nio_rps
+    benchmark.extra_info["rubin_rps"] = rubin_rps

@@ -1,0 +1,47 @@
+"""Figure 4: RUBIN selector vs Java NIO selector through the Reptor stack.
+
+Window 30, batching 10 (the paper's parameters); both panels regenerated
+and checked against the Section-V claims.
+"""
+
+from repro.bench import check_fig4_shape
+from benchmarks.conftest import table_from
+
+
+def test_fig4a_latency(benchmark, fig4_results):
+    def build():
+        return table_from(
+            fig4_results,
+            "Figure 4a (reproduced)",
+            "latency",
+            "us",
+            lambda r: r.mean_latency_us,
+        )
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(table.render())
+    benchmark.extra_info["table"] = table.render()
+
+
+def test_fig4b_throughput(benchmark, fig4_results):
+    def build():
+        return table_from(
+            fig4_results,
+            "Figure 4b (reproduced)",
+            "throughput",
+            "rps",
+            lambda r: r.requests_per_second,
+        )
+
+    throughput = benchmark.pedantic(build, rounds=1, iterations=1)
+    latency = table_from(
+        fig4_results, "Figure 4a", "latency", "us", lambda r: r.mean_latency_us
+    )
+    facts = check_fig4_shape(latency, throughput)
+    print()
+    print(throughput.render(float_format="{:>12.0f}"))
+    for fact in facts:
+        print("  ", fact)
+    benchmark.extra_info["table"] = throughput.render(float_format="{:>12.0f}")
+    benchmark.extra_info["facts"] = facts

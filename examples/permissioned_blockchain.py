@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A permissioned blockchain ordered by BFT consensus over RDMA.
+
+The paper's motivating deployment (Section I): replicas of a permissioned
+blockchain placed inside a data center, using a Byzantine agreement
+protocol — not proof-of-work — to order transactions, with RDMA cutting
+the agreement latency.  Every replica builds an identical hash-linked
+chain, and a sealed block is final (no forks).
+
+Run:  python examples/permissioned_blockchain.py
+"""
+
+from repro.bft import BftCluster, BftConfig
+from repro.chain import Ledger
+
+
+def main() -> None:
+    cluster = BftCluster(
+        transport="rubin",
+        config=BftConfig(view_change_timeout=50e-3, batch_delay=50e-6),
+        app_factory=Ledger,
+        num_clients=2,
+    )
+    cluster.start()
+    env = cluster.env
+    print("permissioned chain: 4 validators, BFT-ordered, RDMA transport\n")
+
+    transfers = [
+        b"alice->bob:30",
+        b"bob->carol:12",
+        b"carol->dave:7",
+        b"dave->alice:3",
+    ]
+    for i, transfer in enumerate(transfers):
+        client = cluster.client(i % 2)  # two submitting clients
+        event = client.invoke(Ledger.tx(transfer))
+        result = env.run(until=event)
+        print(f"  tx {transfer.decode():<18} -> {result.decode()}")
+
+    print("\nsealing block 0...")
+    block_hash = cluster.invoke_and_wait(Ledger.seal())
+    print(f"  block hash: {block_hash.hex()}")
+
+    for transfer in (b"alice->eve:5", b"eve->bob:2"):
+        cluster.invoke_and_wait(Ledger.tx(transfer))
+    print("sealing block 1...")
+    tip = cluster.invoke_and_wait(Ledger.seal())
+    print(f"  block hash: {tip.hex()}")
+
+    cluster.run_for(20e-3)  # let the final commits land on every replica
+    print("\nper-validator chain state:")
+    for replica_id, ledger in sorted(cluster.apps.items()):
+        print(
+            f"  {replica_id}: height={ledger.height} "
+            f"tip={ledger.tip_hash().hex()[:16]} "
+            f"links_ok={ledger.verify_chain()}"
+        )
+    tips = {ledger.tip_hash() for ledger in cluster.apps.values()}
+    assert tips == {tip}, "validators forked!"
+    print(
+        "\nconsensus finality: every validator holds the identical chain ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Everything lives in pyproject.toml; this file exists so fully offline
+environments without the ``wheel`` package can still do an editable
+install via ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of *Towards Low-Latency Byzantine Agreement
+Protocols Using RDMA* (Rüsch, Messadi, Kapitza; DSN-W/BCRB 2018).
+
+The library provides, entirely in simulation (see DESIGN.md for the
+hardware-substitution rationale):
+
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.net` — hosts, CPUs, NICs, links and fabrics with calibrated
+  cost models;
+* :mod:`repro.tcpstack` — a TCP/IP stack (handshake, segmentation, sliding
+  window, retransmission) including its copy/kernel-crossing costs;
+* :mod:`repro.nio` — a Java-NIO-like selector/channel baseline over TCP;
+* :mod:`repro.rdma` — an RDMA verbs layer (PDs, MRs, QPs, CQs, RC
+  transport, one- and two-sided operations, inline sends, selective
+  signaling);
+* :mod:`repro.rubin` — the paper's RUBIN framework: RDMA channels, the
+  RDMA selector, selection keys, the hybrid event queue and event manager;
+* :mod:`repro.reptor` — a Reptor-style framed/authenticated/batched replica
+  communication stack that runs over either NIO or RUBIN;
+* :mod:`repro.bft` — a PBFT protocol core with COP-style parallel ordering;
+* :mod:`repro.chain` — a permissioned blockchain state machine;
+* :mod:`repro.bench` — calibration constants, workloads and the harness
+  that regenerates every figure of the paper's evaluation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

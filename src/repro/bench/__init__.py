@@ -1,0 +1,71 @@
+"""Benchmark harness: calibration, workloads, and figure regeneration.
+
+* :mod:`repro.bench.calibration` — the simulated twin of the paper's
+  testbed, with every model constant documented;
+* :mod:`repro.bench.echo` — the four Figure-3 micro-benchmark workloads;
+* :mod:`repro.bench.selector_echo` — the Figure-4 Reptor-stack workload;
+* :mod:`repro.bench.figures` — per-figure sweeps and the shape checks
+  that encode the paper's Section-V claims;
+* :mod:`repro.bench.results` — result containers and table rendering.
+"""
+
+from repro.bench.calibration import (
+    LINK_BANDWIDTH_BPS,
+    LINK_PROPAGATION,
+    TESTBED_CPU_COSTS,
+    TESTBED_DEVICE_ATTRS,
+    TESTBED_TCP_CONFIG,
+    Testbed,
+    build_testbed,
+)
+from repro.bench.echo import (
+    rdma_read_write_echo,
+    rdma_send_recv_echo,
+    rubin_channel_echo,
+    run_echo,
+    tcp_echo,
+)
+from repro.bench.figures import (
+    FIG3_PAYLOADS,
+    FIG3_TRANSPORTS,
+    FIG4_PAYLOADS,
+    check_fig3_shape,
+    check_fig4_shape,
+    fig3a_latency,
+    fig3b_throughput,
+    fig4a_latency,
+    fig4b_throughput,
+)
+from repro.bench.results import EchoResult, FigureTable, percent_higher, percent_lower
+from repro.bench.selector_echo import FIG4_BATCH, FIG4_WINDOW, reptor_echo
+
+__all__ = [
+    "build_testbed",
+    "Testbed",
+    "TESTBED_CPU_COSTS",
+    "TESTBED_DEVICE_ATTRS",
+    "TESTBED_TCP_CONFIG",
+    "LINK_BANDWIDTH_BPS",
+    "LINK_PROPAGATION",
+    "run_echo",
+    "tcp_echo",
+    "rdma_send_recv_echo",
+    "rdma_read_write_echo",
+    "rubin_channel_echo",
+    "reptor_echo",
+    "FIG4_WINDOW",
+    "FIG4_BATCH",
+    "fig3a_latency",
+    "fig3b_throughput",
+    "fig4a_latency",
+    "fig4b_throughput",
+    "check_fig3_shape",
+    "check_fig4_shape",
+    "FIG3_PAYLOADS",
+    "FIG4_PAYLOADS",
+    "FIG3_TRANSPORTS",
+    "EchoResult",
+    "FigureTable",
+    "percent_lower",
+    "percent_higher",
+]

@@ -1,0 +1,90 @@
+"""Regenerate the paper's full evaluation from the command line.
+
+Usage::
+
+    python -m repro.bench                 # all four panels, default sizes
+    python -m repro.bench --fig 3         # just Figure 3
+    python -m repro.bench --messages 500  # heavier run
+    python -m repro.bench --chart         # add ASCII charts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import (
+    check_fig3_shape,
+    check_fig4_shape,
+    fig3a_latency,
+    fig3b_throughput,
+    fig4a_latency,
+    fig4b_throughput,
+)
+from repro.bench.plotting import ascii_chart
+from repro.errors import ReproError
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument("--fig", choices=("3", "4", "all"), default="all")
+    parser.add_argument(
+        "--messages",
+        type=int,
+        default=None,
+        help="messages per point (defaults: 200 for fig3, 150 for fig4)",
+    )
+    parser.add_argument(
+        "--chart", action="store_true", help="render ASCII charts too"
+    )
+    args = parser.parse_args(argv)
+    failures = 0
+
+    if args.fig in ("3", "all"):
+        messages = args.messages or 200
+        print(f"== Figure 3 (echo micro-benchmark, {messages} msgs/point) ==")
+        latency = fig3a_latency(messages=messages)
+        throughput = fig3b_throughput(messages=messages)
+        print(latency.render())
+        print()
+        print(throughput.render(float_format="{:>12.2f}"))
+        if args.chart:
+            print()
+            print(ascii_chart(latency))
+        print()
+        try:
+            for fact in check_fig3_shape(latency):
+                print("  ", fact)
+            print("  Figure 3 shape checks: PASS")
+        except ReproError as error:
+            failures += 1
+            print(f"  Figure 3 shape checks: FAIL — {error}")
+        print()
+
+    if args.fig in ("4", "all"):
+        messages = args.messages or 150
+        print(f"== Figure 4 (Reptor-stack echo, {messages} msgs/point) ==")
+        latency = fig4a_latency(messages=messages)
+        throughput = fig4b_throughput(messages=messages)
+        print(latency.render())
+        print()
+        print(throughput.render(float_format="{:>12.0f}"))
+        if args.chart:
+            print()
+            print(ascii_chart(throughput))
+        print()
+        try:
+            for fact in check_fig4_shape(latency, throughput):
+                print("  ", fact)
+            print("  Figure 4 shape checks: PASS")
+        except ReproError as error:
+            failures += 1
+            print(f"  Figure 4 shape checks: FAIL — {error}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

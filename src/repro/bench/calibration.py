@@ -1,0 +1,133 @@
+"""The calibrated testbed: every model constant in one place.
+
+The paper's evaluation ran on two 4-core Xeon v2 machines with Mellanox
+ConnectX-3 Pro (MT27520) RoCE NICs on a 10 Gbps full-duplex link under
+OFED 4.0-2 (Section V).  This module builds the simulated twin of that
+testbed and documents where each constant comes from.
+
+Provenance of the constants
+---------------------------
+
+* **Link**: 10 Gbps, full duplex (stated).  Propagation 1.5 µs models a
+  same-rack cable plus one switch hop.
+* **CPU copy 0.45 ns/B** (~2.2 GB/s single-core effective): mid-range for
+  Ivy-Bridge-class memcpy on uncached data; this is the paper's central
+  villain ("more than 50 % of all CPU cycles are spent on intermediate
+  data copying", Section I, citing Frey & Alonso).
+* **Syscall 1.8 µs, context switch 2.5 µs, interrupt+softirq 1.2 µs,
+  per-segment processing 0.9 µs**: classic Linux TCP figures of the
+  2015-2018 era (pre-mitigation syscalls are cheaper, but the paper's
+  Ubuntu 16.04 testbed postdates KPTI-less but includes full softirq
+  accounting; values match Binkert et al.'s system-overhead analysis the
+  paper cites).
+* **Verbs costs** (post 0.25 µs, doorbell 0.1 µs, CQE 0.4 µs, WQE fetch
+  0.3 µs, per-packet RNIC pipeline 0.05 µs): ConnectX-3 class figures
+  from the RDMA tuning literature (Frey & Alonso; DiSNI/jVerbs papers).
+* **MR registration 1.5 µs + 0.08 µs/page**: why RUBIN pre-registers
+  pools instead of registering per message.
+* **MAC**: HMAC-SHA256 at ~1.5 GB/s/core plus 0.4 µs fixed.
+
+None of these claims to reproduce the authors' *absolute* numbers — the
+goal (EXPERIMENTS.md) is that the relative shapes of Figures 3 and 4
+hold: who wins, by roughly what factor, and where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net import Cpu, CpuCosts, Fabric, TEN_GIGABIT
+from repro.rdma import DeviceAttributes, RdmaDevice
+from repro.sim import Environment
+from repro.tcpstack import TcpConfig, TcpStack
+
+__all__ = [
+    "TESTBED_CPU_COSTS",
+    "TESTBED_DEVICE_ATTRS",
+    "TESTBED_TCP_CONFIG",
+    "LINK_BANDWIDTH_BPS",
+    "LINK_PROPAGATION",
+    "Testbed",
+    "build_testbed",
+]
+
+#: The testbed's CPU cost model (see module docstring for provenance).
+TESTBED_CPU_COSTS = CpuCosts(
+    copy_per_byte=0.8e-9,
+    syscall=2.2e-6,
+    context_switch=2.5e-6,
+    interrupt=1.2e-6,
+    per_segment=0.9e-6,
+    post_wr=0.25e-6,
+    doorbell=0.1e-6,
+    cqe_poll=0.4e-6,
+)
+
+#: The MT27520's simulated attributes.
+TESTBED_DEVICE_ATTRS = DeviceAttributes(
+    mtu=4096,
+    max_inline=256,
+    max_qp_wr=4096,
+    max_cq_entries=65536,
+    max_post_batch=64,
+    wqe_fetch=0.3e-6,
+    packet_process=0.05e-6,
+    mr_register_base=1.5e-6,
+    mr_register_per_page=0.08e-6,
+    page_size=4096,
+)
+
+#: Kernel TCP settings of the Ubuntu 16.04 testbed.  Buffer sizes model
+#: Linux autotuning, which grows tcp_rmem/tcp_wmem to several megabytes
+#: under pipelined bulk traffic (the Figure 4 workload keeps a 30-message
+#: window of up to 100 KB messages in flight).
+TESTBED_TCP_CONFIG = TcpConfig(
+    mss=1460,
+    send_buffer=4 * 1024 * 1024,
+    recv_buffer=4 * 1024 * 1024,
+    rto=5e-3,
+    # The 10 Gbps / ~100 us testbed path has a bandwidth-delay product of
+    # ~128 KB; 256 segments (~374 KB) keeps the pipe full without letting
+    # go-back-N recovery degenerate into giant retransmission bursts.
+    max_in_flight_segments=256,
+)
+
+LINK_BANDWIDTH_BPS = TEN_GIGABIT
+LINK_PROPAGATION = 1.5e-6
+
+
+@dataclass
+class Testbed:
+    """The two-machine testbed of the paper's Section V."""
+
+    env: Environment
+    fabric: Fabric
+
+    @property
+    def client(self):
+        """The client machine."""
+        return self.fabric.host("client")
+
+    @property
+    def server(self):
+        """The server machine."""
+        return self.fabric.host("server")
+
+
+def build_testbed(cores: int = 4) -> Testbed:
+    """Two 4-core machines, one 10 Gbps cable, both stacks installed."""
+    env = Environment()
+    fabric = Fabric(env)
+    for name in ("client", "server"):
+        fabric.add_host(name, cores=cores, cpu_costs=TESTBED_CPU_COSTS)
+    fabric.connect(
+        "client",
+        "server",
+        bandwidth_bps=LINK_BANDWIDTH_BPS,
+        propagation_delay=LINK_PROPAGATION,
+    )
+    for name in ("client", "server"):
+        host = fabric.host(name)
+        TcpStack(host, config=TESTBED_TCP_CONFIG)
+        RdmaDevice(host, attrs=TESTBED_DEVICE_ATTRS)
+    return Testbed(env=env, fabric=fabric)

@@ -1,0 +1,224 @@
+"""Per-figure harnesses: regenerate every panel of the paper's evaluation.
+
+Each ``fig*`` function runs the corresponding workload sweep and returns a
+:class:`~repro.bench.results.FigureTable` whose rows/series match what the
+paper plots.  The ``check_fig*_shape`` functions assert the qualitative
+claims of Section V (who wins, by roughly what factor, where the
+crossovers fall) — these are the reproduction's acceptance criteria and
+are exercised by the benchmark suite.
+
+Paper claims encoded here (Section V):
+
+Figure 3 (micro-benchmark, payloads 1–100 KB):
+  * RDMA Read/Write has the lowest latency: ≈46 % below Send/Receive and
+    53–79 % below TCP;
+  * the RDMA channel stays 33–43 % below TCP;
+  * selective signaling makes the channel beat plain Send/Receive for
+    small payloads (paper: up to 30 % below, noticeable under 16 KB) while
+    the receive-side buffer copy degrades it for large payloads;
+  * throughput orders inversely to latency.
+
+Figure 4 (echo through the Reptor stack, window 30 / batching 10):
+  * RUBIN's latency is ≈19 % below the Java NIO selector's at 1 KB and
+    ≈20 % below at 100 KB;
+  * RUBIN's throughput is 25 % (100 KB) to 38 % (20 KB) above TCP's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.bench.echo import run_echo
+from repro.bench.results import FigureTable, percent_higher, percent_lower
+from repro.bench.selector_echo import reptor_echo
+from repro.errors import ReproError
+
+__all__ = [
+    "FIG3_PAYLOADS",
+    "FIG4_PAYLOADS",
+    "FIG3_TRANSPORTS",
+    "fig3a_latency",
+    "fig3b_throughput",
+    "fig4a_latency",
+    "fig4b_throughput",
+    "check_fig3_shape",
+    "check_fig4_shape",
+]
+
+#: Payload sweep for Figure 3 ("message sizes between 1 KB and 100 KB").
+FIG3_PAYLOADS = [1, 2, 5, 10, 16, 20, 50, 100]
+
+#: Payload sweep for Figure 4 (its x-axis runs 20..100 KB; the 1 KB point
+#: backs the paper's quoted 1 KB latency comparison).
+FIG4_PAYLOADS = [1, 20, 40, 60, 80, 100]
+
+#: The four Figure 3 curves.
+FIG3_TRANSPORTS = ["tcp", "rdma_send_recv", "rdma_read_write", "rdma_channel"]
+
+KB = 1024
+
+
+def _fig3_sweep(messages: int, payloads_kb: Iterable[int]):
+    results = {}
+    for transport in FIG3_TRANSPORTS:
+        for kb in payloads_kb:
+            results[(transport, kb)] = run_echo(transport, kb * KB, messages)
+    return results
+
+
+def fig3a_latency(
+    messages: int = 200, payloads_kb: Optional[List[int]] = None
+) -> FigureTable:
+    """Figure 3a: echo latency per transport over the payload sweep."""
+    payloads_kb = payloads_kb if payloads_kb is not None else FIG3_PAYLOADS
+    table = FigureTable("Figure 3a", "latency", "us")
+    for (transport, kb), result in _fig3_sweep(messages, payloads_kb).items():
+        table.add(transport, kb * KB, result.mean_latency_us)
+    return table
+
+
+def fig3b_throughput(
+    messages: int = 200, payloads_kb: Optional[List[int]] = None
+) -> FigureTable:
+    """Figure 3b: echo throughput (krps) per transport."""
+    payloads_kb = payloads_kb if payloads_kb is not None else FIG3_PAYLOADS
+    table = FigureTable("Figure 3b", "throughput", "krps")
+    for (transport, kb), result in _fig3_sweep(messages, payloads_kb).items():
+        table.add(transport, kb * KB, result.requests_per_second / 1000.0)
+    return table
+
+
+def _fig4_sweep(messages: int, payloads_kb: Iterable[int]):
+    results = {}
+    for transport in ("nio", "rubin"):
+        for kb in payloads_kb:
+            results[(transport, kb)] = reptor_echo(transport, kb * KB, messages)
+    return results
+
+
+def fig4a_latency(
+    messages: int = 150, payloads_kb: Optional[List[int]] = None
+) -> FigureTable:
+    """Figure 4a: Reptor-stack echo latency, RUBIN vs Java NIO."""
+    payloads_kb = payloads_kb if payloads_kb is not None else FIG4_PAYLOADS
+    table = FigureTable("Figure 4a", "latency", "us")
+    for (_transport, kb), result in _fig4_sweep(messages, payloads_kb).items():
+        table.add(result.transport, kb * KB, result.mean_latency_us)
+    return table
+
+
+def fig4b_throughput(
+    messages: int = 150, payloads_kb: Optional[List[int]] = None
+) -> FigureTable:
+    """Figure 4b: Reptor-stack echo throughput, RUBIN vs Java NIO."""
+    payloads_kb = payloads_kb if payloads_kb is not None else FIG4_PAYLOADS
+    table = FigureTable("Figure 4b", "throughput", "rps")
+    for (_transport, kb), result in _fig4_sweep(messages, payloads_kb).items():
+        table.add(result.transport, kb * KB, result.requests_per_second)
+    return table
+
+
+def check_fig3_shape(latency: FigureTable) -> List[str]:
+    """Assert Figure 3's qualitative claims; returns human-readable facts.
+
+    Raises :class:`ReproError` on any violated claim.
+    """
+    facts: List[str] = []
+    payloads = latency.payloads
+    small = [p for p in payloads if p <= 4 * KB]
+    for payload in payloads:
+        tcp = latency.value("tcp", payload)
+        sr = latency.value("rdma_send_recv", payload)
+        rw = latency.value("rdma_read_write", payload)
+        ch = latency.value("rdma_channel", payload)
+        kb = payload // KB
+        # Ordering: RW fastest, TCP slowest, at every payload.
+        if not (rw < sr < tcp and rw < ch < tcp):
+            raise ReproError(
+                f"fig3a ordering broken at {kb}KB: "
+                f"tcp={tcp:.1f} sr={sr:.1f} rw={rw:.1f} ch={ch:.1f}"
+            )
+        # Channel 33-43 % below TCP (tolerance band widened by 5 points).
+        ch_vs_tcp = percent_lower(ch, tcp)
+        if not 28.0 <= ch_vs_tcp <= 48.0:
+            raise ReproError(
+                f"fig3a: channel {ch_vs_tcp:.1f}% below TCP at {kb}KB, "
+                "expected ~33-43%"
+            )
+        # Read/Write roughly half of Send/Receive (paper: ~46 %).
+        rw_vs_sr = percent_lower(rw, sr)
+        if not 35.0 <= rw_vs_sr <= 60.0:
+            raise ReproError(
+                f"fig3a: RW {rw_vs_sr:.1f}% below SR at {kb}KB, expected ~46%"
+            )
+        facts.append(
+            f"{kb}KB: CH {ch_vs_tcp:.0f}% < TCP, RW {rw_vs_sr:.0f}% < SR, "
+            f"RW {percent_lower(rw, tcp):.0f}% < TCP"
+        )
+    # Selective signaling: channel beats plain Send/Receive at small
+    # payloads...
+    for payload in small:
+        ch = latency.value("rdma_channel", payload)
+        sr = latency.value("rdma_send_recv", payload)
+        if ch >= sr:
+            raise ReproError(
+                f"fig3a: channel ({ch:.1f}us) not below Send/Receive "
+                f"({sr:.1f}us) at {payload // KB}KB"
+            )
+    # ...and the receive-side copy degrades it at the top of the sweep.
+    top = payloads[-1]
+    if latency.value("rdma_channel", top) <= latency.value(
+        "rdma_send_recv", top
+    ):
+        raise ReproError(
+            "fig3a: receive-copy degradation not visible at "
+            f"{top // KB}KB (channel should fall behind Send/Receive)"
+        )
+    return facts
+
+
+def check_fig4_shape(
+    latency: FigureTable, throughput: FigureTable
+) -> List[str]:
+    """Assert Figure 4's qualitative claims; returns human-readable facts."""
+    facts: List[str] = []
+    for payload in latency.payloads:
+        nio_lat = latency.value("nio_tcp", payload)
+        rubin_lat = latency.value("rubin", payload)
+        kb = payload // KB
+        if rubin_lat >= nio_lat:
+            raise ReproError(
+                f"fig4a: RUBIN latency not below NIO at {kb}KB "
+                f"({rubin_lat:.0f} vs {nio_lat:.0f}us)"
+            )
+        facts.append(
+            f"{kb}KB: RUBIN latency {percent_lower(rubin_lat, nio_lat):.0f}% "
+            "< NIO"
+        )
+    # 1KB latency advantage near the paper's 19 %.
+    one_kb = KB
+    if one_kb in latency.payloads:
+        adv = percent_lower(
+            latency.value("rubin", one_kb), latency.value("nio_tcp", one_kb)
+        )
+        if not 10.0 <= adv <= 40.0:
+            raise ReproError(
+                f"fig4a: 1KB latency advantage {adv:.1f}%, expected ~19%"
+            )
+    # Throughput 25-38 % above TCP over the 20-100 KB axis (tolerance
+    # widened: we accept 15-60 %).
+    for payload in throughput.payloads:
+        if payload < 20 * KB:
+            continue
+        gain = percent_higher(
+            throughput.value("rubin", payload),
+            throughput.value("nio_tcp", payload),
+        )
+        kb = payload // KB
+        if not 15.0 <= gain <= 60.0:
+            raise ReproError(
+                f"fig4b: RUBIN throughput +{gain:.1f}% at {kb}KB, "
+                "expected ~25-38%"
+            )
+        facts.append(f"{kb}KB: RUBIN throughput +{gain:.0f}% vs NIO")
+    return facts

@@ -1,0 +1,92 @@
+"""ASCII rendering of figure tables.
+
+The paper's figures are log-scale line charts; this module renders a
+:class:`~repro.bench.results.FigureTable` as a terminal chart so the
+reproduction's shape can be eyeballed next to the paper without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.bench.results import FigureTable
+from repro.errors import ReproError
+
+__all__ = ["ascii_chart"]
+
+#: Glyph per series, in insertion order.
+_GLYPHS = "ox*#@+%"
+
+
+def ascii_chart(
+    table: FigureTable,
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = True,
+) -> str:
+    """Render ``table`` as an ASCII chart (payload on x, metric on y)."""
+    if not table.payloads or not table.series:
+        raise ReproError("nothing to plot")
+    values = [
+        v
+        for series in table.series.values()
+        for v in series.values()
+        if v is not None
+    ]
+    lo, hi = min(values), max(values)
+    if log_y and lo <= 0:
+        log_y = False
+    if log_y:
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+    else:
+        lo_t, hi_t = lo, hi
+    if hi_t == lo_t:
+        hi_t = lo_t + 1.0
+
+    def y_of(value: float) -> int:
+        t = math.log10(value) if log_y else value
+        frac = (t - lo_t) / (hi_t - lo_t)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    min_p, max_p = table.payloads[0], table.payloads[-1]
+    lp_min, lp_max = math.log10(min_p), math.log10(max(max_p, min_p + 1))
+
+    def x_of(payload: int) -> int:
+        frac = (math.log10(payload) - lp_min) / (lp_max - lp_min or 1.0)
+        return min(width - 1, max(0, round(frac * (width - 1))))
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, series) in enumerate(table.series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for payload in table.payloads:
+            value = series.get(payload)
+            if value is None:
+                continue
+            grid[height - 1 - y_of(value)][x_of(payload)] = glyph
+
+    lines = [f"{table.title} — {table.metric} [{table.unit}]"
+             f"{' (log y)' if log_y else ''}"]
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = top_label
+        elif row_index == height - 1:
+            label = bottom_label
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    left = f"{min_p // 1024}KB" if min_p >= 1024 else f"{min_p}B"
+    right = f"{max_p // 1024}KB" if max_p >= 1024 else f"{max_p}B"
+    lines.append(
+        " " * pad + "  " + left + " " * (width - len(left) - len(right)) + right
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}"
+        for i, name in enumerate(table.series)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""PBFT protocol core (the Reptor algorithm) over the Reptor comm stack.
+
+Agreement (pre-prepare / prepare / commit with batching, checkpoints and
+view changes), execution of a pluggable deterministic state machine, a
+quorum-checking client, Byzantine/crash fault behaviours for testing, and
+a one-call cluster builder.  Runs over either the NIO/TCP or the
+RUBIN/RDMA transport — the comparison at the heart of the paper.
+"""
+
+from repro.bft.byzantine import CorruptingReplica, EquivocatingLeader, SilentReplica
+from repro.bft.client import BftClient
+from repro.bft.cluster import REPLICA_PORT, BftCluster
+from repro.bft.config import BftConfig
+from repro.bft.log import MessageLog, Slot
+from repro.bft.messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+    ViewChange,
+    decode,
+    encode,
+)
+from repro.bft.replica import Replica, batch_digest
+from repro.bft.statemachine import CounterMachine, KeyValueStore, StateMachine
+
+__all__ = [
+    "BftCluster",
+    "BftClient",
+    "BftConfig",
+    "Replica",
+    "batch_digest",
+    "MessageLog",
+    "Slot",
+    "StateMachine",
+    "KeyValueStore",
+    "CounterMachine",
+    "SilentReplica",
+    "EquivocatingLeader",
+    "CorruptingReplica",
+    "Request",
+    "Reply",
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "Checkpoint",
+    "ViewChange",
+    "NewView",
+    "encode",
+    "decode",
+    "REPLICA_PORT",
+]

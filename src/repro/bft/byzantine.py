@@ -1,0 +1,115 @@
+"""Byzantine and crash fault behaviours for tests and demos.
+
+A group of ``3f + 1`` replicas "can tolerate up to f faulty nodes" (paper,
+Section I).  These subclasses implement the standard misbehaviours via the
+honest replica's outbound hook, so everything else (quorums, timers,
+view changes) runs unmodified — exactly how a real faulty node looks to
+the rest of the group.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bft.messages import PrePrepare, encode
+from repro.bft.replica import Replica, batch_digest
+
+__all__ = [
+    "SilentReplica",
+    "EquivocatingLeader",
+    "CorruptingReplica",
+]
+
+
+class SilentReplica(Replica):
+    """Crash-faulty: participates in nothing after ``go_silent()``.
+
+    Before that it behaves honestly, which lets tests crash the leader
+    mid-run and watch the view change recover the service.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.silent = False
+
+    def go_silent(self) -> None:
+        """Stop sending anything from now on (fail-silent crash)."""
+        self.silent = True
+
+    def _outbound_filter(self, message, raw: bytes, peer_id: str):
+        if self.silent:
+            return None
+        return super()._outbound_filter(message, raw, peer_id)
+
+    def _reply_to_client(self, reply) -> None:
+        if not self.silent:
+            super()._reply_to_client(reply)
+
+
+class EquivocatingLeader(Replica):
+    """Byzantine leader that proposes *different* batches to different
+    backups for the same sequence number — the classic safety attack that
+    the prepare quorum intersection defeats."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.equivocate = False
+        self._victims: set[str] = set()
+
+    def start_equivocating(self, victims: Optional[set[str]] = None) -> None:
+        """Send forged pre-prepares to ``victims`` (default: half the
+        backups) from now on."""
+        self.equivocate = True
+        if victims is None:
+            others = [p for p in self.all_ids if p != self.replica_id]
+            victims = set(others[: len(others) // 2])
+        self._victims = victims
+
+    def _outbound_filter(self, message, raw: bytes, peer_id: str):
+        if (
+            self.equivocate
+            and isinstance(message, PrePrepare)
+            and peer_id in self._victims
+        ):
+            forged_batch = tuple(
+                type(request)(
+                    client_id=request.client_id,
+                    timestamp=request.timestamp,
+                    operation=b"FORGED:" + request.operation,
+                )
+                for request in message.batch
+            )
+            forged = PrePrepare(
+                view=message.view,
+                seq=message.seq,
+                digest=batch_digest(forged_batch),
+                batch=forged_batch,
+                replica_id=self.replica_id,
+            )
+            return encode(forged)
+        return super()._outbound_filter(message, raw, peer_id)
+
+
+class CorruptingReplica(Replica):
+    """Byzantine backup that lies in its votes: its prepare/commit digests
+    are corrupted, so honest replicas must never count them toward
+    quorums."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.corrupt = False
+
+    def start_corrupting(self) -> None:
+        """Corrupt every outbound vote from now on."""
+        self.corrupt = True
+
+    def _outbound_filter(self, message, raw: bytes, peer_id: str):
+        if self.corrupt and hasattr(message, "digest"):
+            corrupted = type(message)(
+                **{
+                    **message.__dict__,
+                    "digest": bytes(32),
+                }
+            )
+            return encode(corrupted)
+        return super()._outbound_filter(message, raw, peer_id)

@@ -1,0 +1,147 @@
+"""The BFT client.
+
+Submits operations to the replica group and accepts a result once ``f+1``
+replicas sent matching replies (at least one of them is honest).  Follows
+PBFT's client protocol: send to the suspected leader first; on timeout,
+retransmit to *all* replicas, which forward to the leader and — if the
+leader is faulty — eventually trigger a view change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.bft.messages import Reply, Request, decode, encode
+from repro.errors import BftError
+from repro.reptor import ReptorConnection, ReptorEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Environment, Event
+
+__all__ = ["BftClient"]
+
+
+class BftClient:
+    """A client of the replicated service."""
+
+    def __init__(
+        self,
+        client_id: str,
+        endpoint: ReptorEndpoint,
+        replica_ids: List[str],
+        f: int,
+        retry_timeout: float = 20e-3,
+    ):
+        if f < 0:
+            raise BftError("f must be >= 0")
+        self.client_id = client_id
+        self.endpoint = endpoint
+        self.env: "Environment" = endpoint.env
+        self.replica_ids = sorted(replica_ids)
+        self.f = f
+        self.retry_timeout = retry_timeout
+        self._connections: Dict[str, ReptorConnection] = {}
+        self._next_timestamp = 1
+        self._reply_votes: Dict[int, Dict[bytes, set]] = {}
+        self._accepted: Dict[int, "Event"] = {}
+        self._view_hint = 0
+        self.running = True
+
+        # Metrics.
+        self.invocations = 0
+        self.retransmissions = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def connect_all(self, port: int) -> "Event":
+        """Dial every replica; event triggers when all links are up."""
+
+        def dialing():
+            for replica_id in self.replica_ids:
+                connection = yield self.endpoint.connect(
+                    replica_id, port, peer_name=replica_id
+                )
+                self._connections[replica_id] = connection
+                self.env.process(
+                    self._receive_loop(connection),
+                    name=f"{self.client_id}<-{replica_id}.rx",
+                )
+            return self
+
+        return self.env.process(dialing(), name=f"{self.client_id}.dial")
+
+    def _receive_loop(self, connection: ReptorConnection):
+        while self.running and not connection.closed:
+            try:
+                raw = yield connection.receive()
+            except BftError:
+                return
+            try:
+                message = decode(raw)
+            except BftError:
+                connection.close()
+                return
+            if isinstance(message, Reply):
+                self._on_reply(message)
+
+    # -- invocation ---------------------------------------------------------
+
+    def invoke(self, operation: bytes) -> "Event":
+        """Submit ``operation``; event value is the accepted result."""
+        return self.env.process(
+            self._invoke_proc(operation), name=f"{self.client_id}.invoke"
+        )
+
+    def _invoke_proc(self, operation: bytes):
+        timestamp = self._next_timestamp
+        self._next_timestamp += 1
+        self.invocations += 1
+        request = Request(
+            client_id=self.client_id, timestamp=timestamp, operation=operation
+        )
+        raw = encode(request)
+        accepted = self.env.event()
+        self._accepted[timestamp] = accepted
+        self._reply_votes[timestamp] = {}
+
+        leader = self.replica_ids[self._view_hint % len(self.replica_ids)]
+        connection = self._connections.get(leader)
+        if connection is not None and not connection.closed:
+            yield connection.send(raw)
+
+        while not accepted.triggered:
+            timer = self.env.timeout(self.retry_timeout)
+            yield self.env.any_of([accepted, timer])
+            if accepted.triggered:
+                break
+            # Timeout: broadcast to all replicas (PBFT client fallback).
+            self.retransmissions += 1
+            for connection in self._connections.values():
+                if not connection.closed:
+                    yield connection.send(raw)
+        result = accepted.value
+        del self._accepted[timestamp]
+        del self._reply_votes[timestamp]
+        return result
+
+    def _on_reply(self, reply: Reply) -> None:
+        if reply.client_id != self.client_id:
+            return
+        votes = self._reply_votes.get(reply.timestamp)
+        accepted = self._accepted.get(reply.timestamp)
+        if votes is None or accepted is None or accepted.triggered:
+            return
+        voters = votes.setdefault(reply.result, set())
+        voters.add(reply.replica_id)
+        self._view_hint = max(self._view_hint, reply.view)
+        if len(voters) >= self.f + 1:
+            accepted.succeed(reply.result)
+
+    def close(self) -> None:
+        """Close all replica connections."""
+        self.running = False
+        for connection in self._connections.values():
+            connection.close()
+
+    def __repr__(self) -> str:
+        return f"<BftClient {self.client_id} invocations={self.invocations}>"

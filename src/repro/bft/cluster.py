@@ -1,0 +1,178 @@
+"""One-call construction of a replicated BFT service in simulation.
+
+Builds the fabric (hosts, cables), installs both network stacks, starts
+Reptor endpoints over the chosen transport, wires the replica full mesh,
+and connects clients — the boilerplate every example, test and benchmark
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.bft.client import BftClient
+from repro.bft.config import BftConfig
+from repro.bft.replica import Replica
+from repro.bft.statemachine import KeyValueStore, StateMachine
+from repro.crypto import KeyStore
+from repro.errors import BftError
+from repro.net import Fabric, TEN_GIGABIT
+from repro.rdma import RdmaDevice
+from repro.reptor import ReptorConfig, ReptorEndpoint
+from repro.sim import Environment
+from repro.tcpstack import TcpStack
+
+__all__ = ["BftCluster"]
+
+#: Port replicas listen on for peers and clients.
+REPLICA_PORT = 6000
+
+
+class BftCluster:
+    """A complete simulated BFT deployment."""
+
+    def __init__(
+        self,
+        transport: str = "rubin",
+        config: Optional[BftConfig] = None,
+        reptor_config: Optional[ReptorConfig] = None,
+        app_factory: Callable[[], StateMachine] = KeyValueStore,
+        replica_classes: Optional[Dict[str, Type[Replica]]] = None,
+        num_clients: int = 1,
+        bandwidth_bps: float = TEN_GIGABIT,
+        propagation_delay: float = 1.5e-6,
+        faulty_fabric: bool = False,
+    ):
+        self.env = Environment()
+        if faulty_fabric:
+            from repro.net.faults import FaultyFabric
+
+            self.fabric = FaultyFabric(self.env)
+        else:
+            self.fabric = Fabric(self.env)
+        self.config = config if config is not None else BftConfig()
+        self.transport = transport
+        self.reptor_config = (
+            reptor_config if reptor_config is not None else ReptorConfig()
+        )
+        self.keystore = KeyStore()
+
+        self.replica_ids = [f"r{i}" for i in range(self.config.n)]
+        self.client_ids = [f"c{i}" for i in range(num_clients)]
+        for name in self.replica_ids + self.client_ids:
+            self.fabric.add_host(name)
+        self.fabric.full_mesh(
+            bandwidth_bps=bandwidth_bps, propagation_delay=propagation_delay
+        )
+        for name in self.replica_ids + self.client_ids:
+            host = self.fabric.host(name)
+            TcpStack(host)
+            RdmaDevice(host)
+
+        replica_classes = replica_classes or {}
+        self.replicas: Dict[str, Replica] = {}
+        self.apps: Dict[str, StateMachine] = {}
+        for replica_id in self.replica_ids:
+            endpoint = ReptorEndpoint(
+                self.fabric.host(replica_id),
+                transport,
+                name=replica_id,
+                config=self.reptor_config,
+                keystore=self.keystore,
+            )
+            endpoint.listen(REPLICA_PORT)
+            app = app_factory()
+            self.apps[replica_id] = app
+            cls = replica_classes.get(replica_id, Replica)
+            self.replicas[replica_id] = cls(
+                replica_id,
+                endpoint,
+                list(self.replica_ids),
+                app,
+                config=self.config,
+            )
+
+        self.clients: Dict[str, BftClient] = {}
+        for client_id in self.client_ids:
+            endpoint = ReptorEndpoint(
+                self.fabric.host(client_id),
+                transport,
+                name=client_id,
+                config=self.reptor_config,
+                keystore=self.keystore,
+            )
+            self.clients[client_id] = BftClient(
+                client_id,
+                endpoint,
+                list(self.replica_ids),
+                f=self.config.f,
+            )
+        self._started = False
+
+    # -- startup ---------------------------------------------------------
+
+    def start(self, deadline: float = 0.5) -> None:
+        """Wire the replica mesh and connect all clients (blocking)."""
+        if self._started:
+            raise BftError("cluster already started")
+        self._started = True
+        done = []
+
+        def wire():
+            # Lower-id replicas dial higher-id peers (one link per pair).
+            for i, a in enumerate(self.replica_ids):
+                for b in self.replica_ids[i + 1 :]:
+                    endpoint = self.replicas[a].endpoint
+                    connection = yield endpoint.connect(
+                        b, REPLICA_PORT, peer_name=b
+                    )
+                    self.replicas[a].attach_peer(b, connection)
+            for client in self.clients.values():
+                yield client.connect_all(REPLICA_PORT)
+            done.append(True)
+
+        self.env.process(wire(), name="cluster.wire")
+        limit = self.env.now + deadline
+        while not done:
+            if self.env.peek() > limit:
+                raise BftError("cluster wiring did not finish in time")
+            self.env.step()
+
+    # -- convenience ----------------------------------------------------------
+
+    def client(self, index: int = 0) -> BftClient:
+        """The ``index``-th client."""
+        return self.clients[self.client_ids[index]]
+
+    def replica(self, replica_id: str) -> Replica:
+        """Replica by id (``"r0"``...)."""
+        return self.replicas[replica_id]
+
+    @property
+    def leader(self) -> Replica:
+        """The current leader according to r0's view."""
+        any_replica = self.replicas[self.replica_ids[0]]
+        return self.replicas[any_replica.leader_of(any_replica.view)]
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulation."""
+        self.env.run(until=self.env.now + seconds)
+
+    def invoke_and_wait(self, operation: bytes, client_index: int = 0) -> bytes:
+        """Synchronous helper: submit one op and return its result."""
+        event = self.client(client_index).invoke(operation)
+        return self.env.run(until=event)
+
+    def executed_sequences(self) -> Dict[str, int]:
+        """Executed sequence number per replica (for convergence checks)."""
+        return {rid: r.executed_seq for rid, r in self.replicas.items()}
+
+    def state_digests(self) -> Dict[str, bytes]:
+        """Application state digest per replica."""
+        return {rid: app.digest() for rid, app in self.apps.items()}
+
+    def __repr__(self) -> str:
+        return (
+            f"<BftCluster n={self.config.n} transport={self.transport} "
+            f"clients={len(self.clients)}>"
+        )

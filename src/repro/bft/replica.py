@@ -1,0 +1,716 @@
+"""The PBFT replica.
+
+Implements the three-phase agreement protocol of Castro & Liskov's PBFT —
+the algorithm Reptor runs — on top of the Reptor communication stack:
+
+* **pre-prepare / prepare / commit** with batching and watermarks;
+* **execution** in strict total order with client reply deduplication;
+* **checkpoints** every ``checkpoint_interval`` sequence numbers, with log
+  truncation at 2f+1 matching votes;
+* **view changes** on request timeout, carrying prepared certificates so
+  ordered-but-unexecuted requests survive a leader failure;
+* **COP-style pipelines** (Section II-C): protocol messages are sharded by
+  sequence number onto parallel handler processes that contend for the
+  host's cores, while execution remains totally ordered.
+
+Byzantine behaviours for tests and demos live in
+:mod:`repro.bft.byzantine`, implemented as message-tampering hooks on this
+class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.bft.config import BftConfig
+from repro.bft.log import MessageLog
+from repro.bft.messages import (
+    Checkpoint,
+    Commit,
+    NewView,
+    PrePrepare,
+    Prepare,
+    Reply,
+    Request,
+    ViewChange,
+    decode,
+    encode,
+)
+from repro.bft.statemachine import StateMachine
+from repro.crypto import digest as sha256
+from repro.errors import BftError
+from repro.reptor import ReptorConnection, ReptorEndpoint
+from repro.sim import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Environment
+
+__all__ = ["Replica", "batch_digest"]
+
+
+def batch_digest(batch: Tuple[Request, ...]) -> bytes:
+    """Deterministic digest of an ordered request batch."""
+    blob = bytearray()
+    for request in batch:
+        blob.extend(encode(request))
+    return sha256(bytes(blob))
+
+
+class Replica:
+    """One PBFT replica bound to a Reptor endpoint."""
+
+    def __init__(
+        self,
+        replica_id: str,
+        endpoint: ReptorEndpoint,
+        peer_ids: List[str],
+        app: StateMachine,
+        config: Optional[BftConfig] = None,
+    ):
+        self.config = config if config is not None else BftConfig()
+        if len(peer_ids) != self.config.n:
+            raise BftError(
+                f"peer list has {len(peer_ids)} entries, config.n is "
+                f"{self.config.n}"
+            )
+        if replica_id not in peer_ids:
+            raise BftError(f"{replica_id!r} missing from peer list")
+        self.replica_id = replica_id
+        self.endpoint = endpoint
+        self.env: "Environment" = endpoint.env
+        self.all_ids = sorted(peer_ids)
+        self.app = app
+
+        self.view = 0
+        self.log = MessageLog(self.config.f, window=self.config.log_window)
+        self.executed_seq = 0
+        self.next_seq = 1  # leader's sequence allocator
+
+        self._replica_conns: Dict[str, ReptorConnection] = {}
+        self._client_conns: Dict[str, ReptorConnection] = {}
+        self._pending_requests: Deque[Request] = deque()
+        self._batch_kick = None
+        self._seen_requests: Set[Tuple[str, int]] = set()
+        # Keys currently assigned to a live slot (proposed, unexecuted) and
+        # keys waiting in the leader's batch queue.  Together with the
+        # reply cache these decide whether a retransmission is a duplicate
+        # or a request orphaned by a view change that must be re-proposed.
+        self._proposed_keys: Set[Tuple[str, int]] = set()
+        self._queued_keys: Set[Tuple[str, int]] = set()
+        # Reply cache keyed by (client, timestamp): clients may pipeline
+        # several outstanding requests (Reptor-style), so caching only the
+        # latest reply per client would swallow retransmission answers.
+        self._reply_cache: Dict[Tuple[str, int], Reply] = {}
+        self._request_batches: Dict[int, Tuple[Request, ...]] = {}
+
+        # View-change state.
+        self.in_view_change = False
+        self._voted_view = 0  # highest view this replica has voted for
+        # Consecutive view changes without execution progress double the
+        # timeout (capped), as in PBFT — without this, a view change that
+        # takes longer than one timeout livelocks into endless churn.
+        self._vc_backoff = 0
+        self._view_change_votes: Dict[int, Dict[str, ViewChange]] = {}
+        self._request_deadlines: Dict[Tuple[str, int], float] = {}
+
+        # COP pipelines: per-pipeline inbound queues and handler processes.
+        self._pipelines: List[Store] = [
+            Store(self.env) for _ in range(self.config.pipelines)
+        ]
+        self.running = True
+
+        endpoint.on_connection(self._on_inbound_connection)
+        for index, queue in enumerate(self._pipelines):
+            self.env.process(
+                self._pipeline_loop(queue), name=f"{replica_id}.pipe{index}"
+            )
+        self.env.process(self._batch_loop(), name=f"{replica_id}.batcher")
+        self.env.process(self._timer_loop(), name=f"{replica_id}.timer")
+
+        # Metrics.
+        self.committed_count = 0
+        self.view_changes_completed = 0
+
+    # ------------------------------------------------------------------
+    # identity helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Group size."""
+        return self.config.n
+
+    @property
+    def f(self) -> int:
+        """Faults tolerated."""
+        return self.config.f
+
+    def leader_of(self, view: int) -> str:
+        """The leader (primary) of ``view``."""
+        return self.all_ids[view % self.n]
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this replica leads the current view."""
+        return self.leader_of(self.view) == self.replica_id
+
+    def _current_timeout(self) -> float:
+        """View-change timeout with exponential backoff under churn."""
+        return self.config.view_change_timeout * (2 ** self._vc_backoff)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def attach_peer(self, peer_id: str, connection: ReptorConnection) -> None:
+        """Bind an outbound connection to a peer replica."""
+        self._replica_conns[peer_id] = connection
+        self.env.process(
+            self._receive_loop(connection, peer_id),
+            name=f"{self.replica_id}<-{peer_id}.rx",
+        )
+
+    def _on_inbound_connection(self, connection: ReptorConnection) -> None:
+        peer = connection.peer_name
+        if peer in self.all_ids:
+            self._replica_conns[peer] = connection
+            self.env.process(
+                self._receive_loop(connection, peer),
+                name=f"{self.replica_id}<-{peer}.rx",
+            )
+        else:
+            # Map the client connection immediately: every replica must be
+            # able to send replies even if the client only addresses its
+            # requests to the leader (PBFT replies come from all replicas).
+            self._client_conns[peer] = connection
+            self.env.process(
+                self._client_receive_loop(connection),
+                name=f"{self.replica_id}<-client.rx",
+            )
+
+    def _receive_loop(self, connection: ReptorConnection, peer: str):
+        while self.running and not connection.closed:
+            try:
+                raw = yield connection.receive()
+            except BftError:
+                return
+            try:
+                message = decode(raw)
+            except BftError:
+                # Malformed bytes from a peer: Byzantine; drop the link.
+                connection.close()
+                return
+            self._route(message, peer)
+
+    def _client_receive_loop(self, connection: ReptorConnection):
+        while self.running and not connection.closed:
+            try:
+                raw = yield connection.receive()
+            except BftError:
+                return
+            try:
+                message = decode(raw)
+            except BftError:
+                connection.close()
+                return
+            if isinstance(message, Request):
+                self._client_conns[message.client_id] = connection
+                self._route(message, message.client_id)
+            # Anything else from a client is ignored.
+
+    def _route(self, message, sender: str) -> None:
+        """Shard protocol messages across the COP pipelines."""
+        seq = getattr(message, "seq", None)
+        if seq is None:
+            index = 0
+        else:
+            index = seq % len(self._pipelines)
+        self._pipelines[index].put((message, sender))
+
+    def _pipeline_loop(self, queue: Store):
+        cpu = self.endpoint.host.cpu
+        while self.running:
+            message, sender = yield queue.get()
+            # Handler CPU cost (configurable: MAC-based deployments are
+            # cheap, signature-based ones are where COP's parallel
+            # pipelines earn their keep).
+            yield cpu.execute(self.config.handler_cost)
+            try:
+                self._dispatch(message, sender)
+            except BftError:
+                # A protocol violation from a Byzantine peer is tolerated
+                # by ignoring the offending message.
+                continue
+
+    # ------------------------------------------------------------------
+    # broadcast helpers
+    # ------------------------------------------------------------------
+
+    def _broadcast(self, message) -> None:
+        raw = encode(message)
+        for peer_id in self.all_ids:
+            if peer_id == self.replica_id:
+                continue
+            tampered = self._outbound_filter(message, raw, peer_id)
+            if tampered is None:
+                continue
+            connection = self._replica_conns.get(peer_id)
+            if connection is not None and not connection.closed:
+                connection.send(tampered)
+
+    def _send_to(self, peer_id: str, message) -> None:
+        raw = self._outbound_filter(message, encode(message), peer_id)
+        if raw is None:
+            return
+        connection = self._replica_conns.get(peer_id)
+        if connection is not None and not connection.closed:
+            connection.send(raw)
+
+    def _outbound_filter(self, message, raw: bytes, peer_id: str):
+        """Hook for Byzantine subclasses: return bytes to send, or None
+        to drop.  The honest replica sends faithfully."""
+        return raw
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, message, sender: str) -> None:
+        if isinstance(message, Request):
+            self._on_request(message)
+        elif isinstance(message, PrePrepare):
+            self._on_pre_prepare(message, sender)
+        elif isinstance(message, Prepare):
+            self._on_prepare(message, sender)
+        elif isinstance(message, Commit):
+            self._on_commit(message, sender)
+        elif isinstance(message, Checkpoint):
+            self._on_checkpoint(message, sender)
+        elif isinstance(message, ViewChange):
+            self._on_view_change(message, sender)
+        elif isinstance(message, NewView):
+            self._on_new_view(message, sender)
+        else:  # pragma: no cover - exhaustive
+            raise BftError(f"unknown message {type(message).__name__}")
+
+    # -- requests & batching -------------------------------------------------
+
+    def _on_request(self, request: Request) -> None:
+        key = request.key()
+        cached = self._reply_cache.get(key)
+        if cached is not None:
+            # Duplicate of an executed request: re-send the cached reply.
+            self._reply_to_client(cached)
+            return
+        if key in self._seen_requests:
+            # Retransmission.  If we are the leader and the request is not
+            # assigned to any live slot (it was orphaned by a view change),
+            # it must be (re-)proposed; otherwise it is a plain duplicate.
+            orphaned = (
+                self.is_leader
+                and not self.in_view_change
+                and key not in self._proposed_keys
+                and key not in self._queued_keys
+            )
+            if not orphaned:
+                return
+        else:
+            self._seen_requests.add(key)
+        self._request_deadlines[key] = self.env.now + self._current_timeout()
+        if self.is_leader and not self.in_view_change:
+            self._pending_requests.append(request)
+            self._queued_keys.add(key)
+            self._kick_batcher()
+        else:
+            # Backups forward to the current leader (client may have sent
+            # only to us, or to a stale leader).
+            self._send_to(self.leader_of(self.view), request)
+
+    def _kick_batcher(self) -> None:
+        if self._batch_kick is not None and not self._batch_kick.triggered:
+            self._batch_kick.succeed()
+
+    def _batch_loop(self):
+        while self.running:
+            if not self._pending_requests or not self.is_leader or self.in_view_change:
+                self._batch_kick = self.env.event()
+                yield self._batch_kick
+                continue
+            if (
+                len(self._pending_requests) < self.config.batch_size
+                and self.config.batch_delay > 0
+            ):
+                # Adaptive batching: wait briefly for more requests.
+                yield self.env.timeout(self.config.batch_delay)
+            if not self.is_leader or self.in_view_change:
+                continue
+            batch: List[Request] = []
+            while self._pending_requests and len(batch) < self.config.batch_size:
+                batch.append(self._pending_requests.popleft())
+            if not batch:
+                continue
+            if not self.log.in_window(self.next_seq):
+                # Watermark pressure: wait for a checkpoint to advance.
+                self._pending_requests.extendleft(reversed(batch))
+                yield self.env.timeout(self.config.batch_delay or 100e-6)
+                continue
+            try:
+                self._propose(tuple(batch))
+            except BftError:
+                # A slot conflict (e.g. racing a concurrent view change)
+                # must never kill the batcher; the requests return to the
+                # queue and are re-proposed under the settled view.
+                self._pending_requests.extendleft(reversed(batch))
+                for request in batch:
+                    self._queued_keys.add(request.key())
+                    self._proposed_keys.discard(request.key())
+                yield self.env.timeout(self.config.batch_delay or 100e-6)
+
+    def _propose(self, batch: Tuple[Request, ...]) -> None:
+        # Skip sequence numbers already owned by this view or committed
+        # (left behind by view changes); propose into the first free slot.
+        while self.log.in_window(self.next_seq):
+            existing = self.log.slots.get(self.next_seq)
+            if existing is None or existing.pre_prepare is None:
+                break
+            if existing.committed or existing.pre_prepare.view >= self.view:
+                self.next_seq += 1
+                continue
+            break
+        if not self.log.in_window(self.next_seq):
+            raise BftError("no free slot inside the watermarks")
+        for request in batch:
+            self._proposed_keys.add(request.key())
+            self._queued_keys.discard(request.key())
+        seq = self.next_seq
+        self.next_seq += 1
+        pre_prepare = PrePrepare(
+            view=self.view,
+            seq=seq,
+            digest=batch_digest(batch),
+            batch=batch,
+            replica_id=self.replica_id,
+        )
+        slot = self.log.slot(seq)
+        slot.record_pre_prepare(pre_prepare)
+        self._request_batches[seq] = batch
+        self._broadcast(pre_prepare)
+        # With f = 0 the pre-prepare alone is a prepared certificate.
+        self._check_prepared(seq)
+
+    # -- three-phase agreement ----------------------------------------------
+
+    def _on_pre_prepare(self, message: PrePrepare, sender: str) -> None:
+        if self.in_view_change or message.view != self.view:
+            return
+        if sender != self.leader_of(message.view):
+            return  # only the leader may propose
+        if not self.log.in_window(message.seq):
+            return
+        if batch_digest(message.batch) != message.digest:
+            raise BftError("pre-prepare digest does not match batch")
+        slot = self.log.slot(message.seq)
+        slot.record_pre_prepare(message)  # raises on conflict
+        self._request_batches[message.seq] = message.batch
+        for request in message.batch:
+            key = request.key()
+            self._seen_requests.add(key)
+            self._proposed_keys.add(key)
+            self._request_deadlines.setdefault(
+                key, self.env.now + self._current_timeout()
+            )
+        prepare = Prepare(
+            view=message.view,
+            seq=message.seq,
+            digest=message.digest,
+            replica_id=self.replica_id,
+        )
+        slot.record_prepare(prepare)
+        self._broadcast(prepare)
+        self._check_prepared(message.seq)
+
+    def _on_prepare(self, message: Prepare, sender: str) -> None:
+        if message.replica_id != sender:
+            return  # a replica may only vote as itself
+        if message.view != self.view or not self.log.in_window(message.seq):
+            return
+        self.log.slot(message.seq).record_prepare(message)
+        self._check_prepared(message.seq)
+
+    def _check_prepared(self, seq: int) -> None:
+        slot = self.log.slots.get(seq)
+        if slot is None or slot.prepared or slot.pre_prepare is None:
+            return
+        if slot.pre_prepare.view != self.view:
+            return
+        prepares = slot.matching_prepares(self.view, slot.pre_prepare.digest)
+        # The leader's pre-prepare substitutes for its prepare; backups'
+        # own prepares are recorded when sent.
+        if prepares >= self.log.prepared_quorum():
+            slot.prepared = True
+            commit = Commit(
+                view=self.view,
+                seq=seq,
+                digest=slot.pre_prepare.digest,
+                replica_id=self.replica_id,
+            )
+            slot.record_commit(commit)
+            self._broadcast(commit)
+            self._check_committed(seq)
+
+    def _on_commit(self, message: Commit, sender: str) -> None:
+        if message.replica_id != sender:
+            return
+        if message.view != self.view or not self.log.in_window(message.seq):
+            return
+        self.log.slot(message.seq).record_commit(message)
+        self._check_committed(message.seq)
+
+    def _check_committed(self, seq: int) -> None:
+        slot = self.log.slots.get(seq)
+        if slot is None or slot.committed or not slot.prepared:
+            return
+        if slot.pre_prepare is None:
+            return
+        commits = slot.matching_commits(self.view, slot.pre_prepare.digest)
+        if commits >= self.log.committed_quorum():
+            slot.committed = True
+            self.committed_count += 1
+            self._execute_ready()
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_ready(self) -> None:
+        """Execute committed slots strictly in sequence order."""
+        while True:
+            next_seq = self.executed_seq + 1
+            slot = self.log.slots.get(next_seq)
+            if slot is None or not slot.committed or slot.executed:
+                break
+            batch = self._request_batches.get(next_seq, slot.pre_prepare.batch)
+            self.env.process(
+                self._execute_batch(slot, batch),
+                name=f"{self.replica_id}.exec{next_seq}",
+            )
+            slot.executed = True
+            self.executed_seq = next_seq
+            self._vc_backoff = 0  # execution progress calms the timers
+
+    def _execute_batch(self, slot, batch: Tuple[Request, ...]):
+        cpu = self.endpoint.host.cpu
+        for request in batch:
+            yield cpu.execute(self.config.execution_cost)
+            result = self.app.apply(request.operation)
+            reply = Reply(
+                replica_id=self.replica_id,
+                client_id=request.client_id,
+                timestamp=request.timestamp,
+                view=self.view,
+                result=result,
+            )
+            self._reply_cache[request.key()] = reply
+            self._request_deadlines.pop(request.key(), None)
+            self._proposed_keys.discard(request.key())
+            self._reply_to_client(reply)
+        if slot.seq % self.config.checkpoint_interval == 0:
+            checkpoint = Checkpoint(
+                seq=slot.seq,
+                state_digest=self.app.digest(),
+                replica_id=self.replica_id,
+            )
+            self.log.record_checkpoint_vote(
+                checkpoint.seq, checkpoint.state_digest, self.replica_id
+            )
+            self._broadcast(checkpoint)
+
+    def _reply_to_client(self, reply: Reply) -> None:
+        connection = self._client_conns.get(reply.client_id)
+        if connection is not None and not connection.closed:
+            connection.send(encode(reply))
+
+    def _on_checkpoint(self, message: Checkpoint, sender: str) -> None:
+        if message.replica_id != sender:
+            return
+        self.log.record_checkpoint_vote(
+            message.seq, message.state_digest, sender
+        )
+
+    # -- view changes ----------------------------------------------------------
+
+    def _timer_loop(self):
+        interval = self.config.view_change_timeout / 4
+        while self.running:
+            yield self.env.timeout(interval)
+            now = self.env.now
+            if any(deadline < now for deadline in self._request_deadlines.values()):
+                # Escalate past views already voted for: the next view's
+                # leader may itself be faulty, so repeated timeouts must
+                # keep moving the target view forward or the group wedges.
+                self._start_view_change(max(self.view, self._voted_view) + 1)
+
+    def _start_view_change(self, new_view: int) -> None:
+        if new_view <= self.view or new_view <= self._voted_view:
+            return
+        self._voted_view = new_view
+        self._vc_backoff = min(self._vc_backoff + 1, 5)
+        self.in_view_change = True
+        vote = ViewChange(
+            new_view=new_view,
+            stable_seq=self.log.stable_seq,
+            prepared=self.log.prepared_evidence(),
+            replica_id=self.replica_id,
+        )
+        self._record_view_change_vote(vote)
+        self._broadcast(vote)
+        # Reset deadlines so the timer escalates further only after
+        # another full (backed-off) timeout.
+        now = self.env.now
+        for key in self._request_deadlines:
+            self._request_deadlines[key] = now + self._current_timeout()
+
+    def _on_view_change(self, message: ViewChange, sender: str) -> None:
+        if message.replica_id != sender or message.new_view <= self.view:
+            return
+        self._record_view_change_vote(message)
+
+    def _record_view_change_vote(self, message: ViewChange) -> None:
+        votes = self._view_change_votes.setdefault(message.new_view, {})
+        votes[message.replica_id] = message
+        # Join the view change once f+1 replicas vote (we cannot all be
+        # honest-and-late), even if our own timer has not fired.
+        if (
+            len(votes) > self.f
+            and not self.in_view_change
+            and message.new_view > self.view
+            and message.replica_id != self.replica_id
+        ):
+            self._start_view_change(message.new_view)
+            return
+        if (
+            len(votes) >= 2 * self.f + 1
+            and self.leader_of(message.new_view) == self.replica_id
+        ):
+            self._install_new_view(message.new_view, votes)
+
+    def _install_new_view(self, new_view: int, votes: Dict[str, ViewChange]) -> None:
+        if self.view >= new_view:
+            return
+        # Re-propose every prepared request from the union of the votes,
+        # picking the highest-view certificate per sequence number.
+        best: Dict[int, Tuple[int, bytes, Tuple[Request, ...]]] = {}
+        max_stable = 0
+        for vote in votes.values():
+            max_stable = max(max_stable, vote.stable_seq)
+            for seq, view, digest, batch in vote.prepared:
+                current = best.get(seq)
+                if current is None or view > current[0]:
+                    best[seq] = (view, digest, batch)
+        # Fill holes with null requests (PBFT): every sequence number up to
+        # the highest re-proposed one must be assigned in the new view, or
+        # in-order execution would stall at the gap forever.
+        if best:
+            for seq in range(max_stable + 1, max(best) + 1):
+                if seq not in best:
+                    best[seq] = (0, batch_digest(()), ())
+        pre_prepares = tuple(
+            PrePrepare(
+                view=new_view,
+                seq=seq,
+                digest=batch_digest(batch),
+                batch=batch,
+                replica_id=self.replica_id,
+            )
+            for seq, (_view, _digest, batch) in sorted(best.items())
+            if seq > max_stable
+        )
+        new_view_message = NewView(
+            new_view=new_view,
+            view_change_senders=tuple(sorted(votes)),
+            pre_prepares=pre_prepares,
+            replica_id=self.replica_id,
+        )
+        self._broadcast(new_view_message)
+        self._adopt_new_view(new_view_message)
+
+    def _on_new_view(self, message: NewView, sender: str) -> None:
+        if message.replica_id != sender:
+            return
+        if sender != self.leader_of(message.new_view):
+            return
+        if message.new_view <= self.view:
+            return
+        if len(message.view_change_senders) < 2 * self.f + 1:
+            return
+        self._adopt_new_view(message)
+
+    def _adopt_new_view(self, message: NewView) -> None:
+        self.view = message.new_view
+        self.in_view_change = False
+        self._voted_view = max(self._voted_view, self.view)
+        self.view_changes_completed += 1
+        self._view_change_votes = {
+            v: votes
+            for v, votes in self._view_change_votes.items()
+            if v > self.view
+        }
+        # Only requests re-proposed by the new leader remain assigned to a
+        # live slot; anything else orphaned by the view change must be
+        # proposable again when its retransmission arrives.
+        self._proposed_keys = {
+            request.key()
+            for pre_prepare in message.pre_prepares
+            for request in pre_prepare.batch
+            if request.key() not in self._reply_cache
+        }
+        highest = self.executed_seq
+        for pre_prepare in message.pre_prepares:
+            highest = max(highest, pre_prepare.seq)
+            if pre_prepare.seq <= self.executed_seq:
+                continue
+            if not self.log.in_window(pre_prepare.seq):
+                continue
+            slot = self.log.slot(pre_prepare.seq)
+            # The new view's pre-prepare supersedes the old view's.
+            slot.pre_prepare = pre_prepare
+            slot.prepared = False
+            slot.committed = slot.committed  # committed slots stay committed
+            self._request_batches[pre_prepare.seq] = pre_prepare.batch
+            if self.replica_id != message.replica_id:
+                prepare = Prepare(
+                    view=message.new_view,
+                    seq=pre_prepare.seq,
+                    digest=pre_prepare.digest,
+                    replica_id=self.replica_id,
+                )
+                slot.record_prepare(prepare)
+                self._broadcast(prepare)
+            self._check_prepared(pre_prepare.seq)
+        self.next_seq = max(self.next_seq, highest + 1)
+        # Unexecuted requests we know about go back to the (new) leader.
+        now = self.env.now
+        for key in list(self._request_deadlines):
+            self._request_deadlines[key] = now + self._current_timeout()
+        if self.is_leader:
+            self._kick_batcher()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop all replica processes (crash the replica)."""
+        self.running = False
+        self._kick_batcher()
+        for connection in list(self._replica_conns.values()):
+            connection.close()
+        for connection in list(self._client_conns.values()):
+            connection.close()
+        self.endpoint.close()
+
+    def __repr__(self) -> str:
+        role = "leader" if self.is_leader else "backup"
+        return (
+            f"<Replica {self.replica_id} view={self.view} {role} "
+            f"executed={self.executed_seq}>"
+        )

@@ -1,0 +1,114 @@
+"""Replicated state machines executed by the BFT core.
+
+"In the execution stage, the replicated service uses the ordered requests
+provided by the agreement stage as input, executes the client operations,
+and finally sends a reply to the clients" (paper, Section II-B).
+
+The interface is deliberately tiny: deterministic ``apply`` plus a state
+``digest`` for checkpoints.  Two ready-made machines cover the tests and
+examples; the permissioned blockchain of :mod:`repro.chain` is a third
+implementation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Protocol
+
+from repro.crypto import digest as sha256
+from repro.errors import BftError
+
+__all__ = ["StateMachine", "KeyValueStore", "CounterMachine"]
+
+
+class StateMachine(Protocol):
+    """What the BFT execution stage needs from a service."""
+
+    def apply(self, operation: bytes) -> bytes:
+        """Execute one operation deterministically; returns the result."""
+        ...  # pragma: no cover - protocol
+
+    def digest(self) -> bytes:
+        """Digest of the full current state (for checkpoints)."""
+        ...  # pragma: no cover - protocol
+
+
+class KeyValueStore:
+    """A string key/value store with GET/PUT/DEL operations.
+
+    Operation wire format (all UTF-8):
+
+    * ``PUT <key>=<value>`` -> returns ``b"OK"``
+    * ``GET <key>``         -> returns the value or ``b""``
+    * ``DEL <key>``         -> returns ``b"OK"`` or ``b""`` if absent
+    """
+
+    def __init__(self):
+        self._data: Dict[str, str] = {}
+        self.applied_count = 0
+
+    def apply(self, operation: bytes) -> bytes:
+        try:
+            text = operation.decode()
+            verb, _, rest = text.partition(" ")
+        except UnicodeDecodeError as exc:
+            raise BftError(f"malformed operation: {exc}") from None
+        self.applied_count += 1
+        if verb == "PUT":
+            key, sep, value = rest.partition("=")
+            if not sep:
+                raise BftError(f"malformed PUT {rest!r}")
+            self._data[key] = value
+            return b"OK"
+        if verb == "GET":
+            return self._data.get(rest, "").encode()
+        if verb == "DEL":
+            return b"OK" if self._data.pop(rest, None) is not None else b""
+        raise BftError(f"unknown verb {verb!r}")
+
+    def digest(self) -> bytes:
+        blob = bytearray()
+        for key in sorted(self._data):
+            blob.extend(key.encode())
+            blob.append(0)
+            blob.extend(self._data[key].encode())
+            blob.append(0)
+        return sha256(bytes(blob))
+
+    def get(self, key: str) -> str | None:
+        """Direct (non-replicated) state access for assertions."""
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class CounterMachine:
+    """A single integer register supporting ADD deltas.
+
+    Operation format: 8-byte big-endian signed delta; result is the new
+    value as 8-byte big-endian.  Useful for checking that all replicas
+    executed the same operations in the same order.
+    """
+
+    _I64 = struct.Struct(">q")
+
+    def __init__(self):
+        self.value = 0
+        self.applied_count = 0
+
+    def apply(self, operation: bytes) -> bytes:
+        if len(operation) != 8:
+            raise BftError(f"counter op must be 8 bytes, got {len(operation)}")
+        (delta,) = self._I64.unpack(operation)
+        self.value += delta
+        self.applied_count += 1
+        return self._I64.pack(self.value)
+
+    def digest(self) -> bytes:
+        return sha256(self._I64.pack(self.value))
+
+    @classmethod
+    def add(cls, delta: int) -> bytes:
+        """Build an ADD operation."""
+        return cls._I64.pack(delta)

@@ -1,0 +1,11 @@
+"""Permissioned blockchain on top of the BFT core.
+
+The paper's motivating application: BFT agreement as the consensus layer
+of a permissioned blockchain, giving consensus finality instead of
+probabilistic PoW forks.
+"""
+
+from repro.chain.block import GENESIS_HASH, Block
+from repro.chain.ledger import Ledger
+
+__all__ = ["Block", "Ledger", "GENESIS_HASH"]

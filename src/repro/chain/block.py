@@ -1,0 +1,68 @@
+"""Hash-chained blocks.
+
+"A chain of blocks containing ordered transactions... linked together as
+each block includes the cryptographic hash of the previous one.  This
+prevents manipulation as any changes of the hash would be immediately
+noticed" (paper, Section I).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.crypto import digest as sha256
+from repro.errors import BftError
+
+__all__ = ["Block", "GENESIS_HASH"]
+
+#: The previous-hash of the genesis block.
+GENESIS_HASH = b"\x00" * 32
+
+_U64 = struct.Struct(">Q")
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block: height, parent hash, and ordered transactions."""
+
+    height: int
+    previous_hash: bytes
+    transactions: Tuple[bytes, ...]
+
+    def header_bytes(self) -> bytes:
+        """Canonical serialization covered by the block hash."""
+        out = bytearray()
+        out.extend(_U64.pack(self.height))
+        out.extend(self.previous_hash)
+        out.extend(_U64.pack(len(self.transactions)))
+        for transaction in self.transactions:
+            out.extend(_U64.pack(len(transaction)))
+            out.extend(transaction)
+        return bytes(out)
+
+    def hash(self) -> bytes:
+        """The block's cryptographic hash."""
+        return sha256(self.header_bytes())
+
+    def validate_against(self, parent: "Block | None") -> None:
+        """Check linkage to ``parent`` (None = genesis)."""
+        if parent is None:
+            if self.height != 0:
+                raise BftError(f"genesis block must have height 0, not {self.height}")
+            if self.previous_hash != GENESIS_HASH:
+                raise BftError("genesis block must point at the zero hash")
+            return
+        if self.height != parent.height + 1:
+            raise BftError(
+                f"height {self.height} does not follow parent {parent.height}"
+            )
+        if self.previous_hash != parent.hash():
+            raise BftError(f"block {self.height} does not link to its parent")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Block #{self.height} txs={len(self.transactions)} "
+            f"hash={self.hash().hex()[:12]}>"
+        )

@@ -1,0 +1,122 @@
+"""A permissioned blockchain as a BFT-replicated state machine.
+
+This is the paper's motivating deployment: "for permissioned blockchain
+settings, the BFT replicas responsible for consensus can be placed inside
+a data center" (Section I).  The ledger implements the
+:class:`~repro.bft.statemachine.StateMachine` protocol, so the PBFT core
+totally orders transactions and every replica appends identical blocks —
+**consensus finality**: "a block that has been appended to the chain
+cannot be invalidated due to forks" (Section I).
+
+Operations:
+
+* ``TX:<payload>``   — buffer one transaction.
+* ``SEAL``           — cut a block from the buffered transactions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.chain.block import GENESIS_HASH, Block
+from repro.crypto import digest as sha256
+from repro.errors import BftError
+
+__all__ = ["Ledger"]
+
+_TX_PREFIX = b"TX:"
+_SEAL = b"SEAL"
+
+
+class Ledger:
+    """An append-only, hash-linked blockchain state machine."""
+
+    def __init__(self, max_block_transactions: int = 1024):
+        if max_block_transactions < 1:
+            raise BftError("blocks must allow at least one transaction")
+        self.max_block_transactions = max_block_transactions
+        self.blocks: List[Block] = []
+        self._mempool: List[bytes] = []
+        self.applied_count = 0
+
+    # -- StateMachine protocol ----------------------------------------------
+
+    def apply(self, operation: bytes) -> bytes:
+        """Execute one ordered operation; returns a result for the client."""
+        self.applied_count += 1
+        if operation.startswith(_TX_PREFIX):
+            transaction = operation[len(_TX_PREFIX) :]
+            if len(self._mempool) >= self.max_block_transactions:
+                return b"MEMPOOL_FULL"
+            self._mempool.append(transaction)
+            return b"BUFFERED:%d" % len(self._mempool)
+        if operation == _SEAL:
+            block = self._seal()
+            if block is None:
+                return b"EMPTY"
+            return block.hash()
+        raise BftError(f"unknown ledger operation {operation[:16]!r}")
+
+    def digest(self) -> bytes:
+        """Digest of the chain tip plus the mempool."""
+        tip = self.blocks[-1].hash() if self.blocks else GENESIS_HASH
+        pool = bytearray()
+        for transaction in self._mempool:
+            pool.extend(transaction)
+            pool.append(0)
+        return sha256(tip + bytes(pool))
+
+    # -- chain ------------------------------------------------------------
+
+    def _seal(self) -> Optional[Block]:
+        if not self._mempool:
+            return None
+        block = Block(
+            height=len(self.blocks),
+            previous_hash=self.blocks[-1].hash() if self.blocks else GENESIS_HASH,
+            transactions=tuple(self._mempool),
+        )
+        block.validate_against(self.blocks[-1] if self.blocks else None)
+        self.blocks.append(block)
+        self._mempool = []
+        return block
+
+    @property
+    def height(self) -> int:
+        """Number of sealed blocks."""
+        return len(self.blocks)
+
+    @property
+    def mempool_size(self) -> int:
+        """Transactions buffered but not yet sealed."""
+        return len(self._mempool)
+
+    def verify_chain(self) -> bool:
+        """Re-validate every hash link (tamper check)."""
+        parent: Optional[Block] = None
+        for block in self.blocks:
+            try:
+                block.validate_against(parent)
+            except BftError:
+                return False
+            parent = block
+        return True
+
+    def tip_hash(self) -> bytes:
+        """The hash of the newest block (genesis hash when empty)."""
+        return self.blocks[-1].hash() if self.blocks else GENESIS_HASH
+
+    # -- convenience operation builders ----------------------------------------
+
+    @staticmethod
+    def tx(payload: bytes) -> bytes:
+        """Build a transaction-submission operation."""
+        return _TX_PREFIX + payload
+
+    @staticmethod
+    def seal() -> bytes:
+        """Build a seal-block operation."""
+        return _SEAL
+
+    def __repr__(self) -> str:
+        return f"<Ledger height={self.height} mempool={self.mempool_size}>"

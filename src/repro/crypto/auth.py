@@ -1,0 +1,105 @@
+"""HMAC authenticators and digests with a CPU cost model.
+
+MACs are computed for real (HMAC-SHA256, truncated) so integrity tests
+exercise genuine verification, while the *time* they take on a replica's
+CPU comes from :class:`CryptoCosts` — hashing throughput on the paper's
+Xeon v2 class hardware is roughly 1.5 GB/s per core with a sub-microsecond
+fixed cost per invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import BftError, ConfigurationError
+
+__all__ = ["MAC_BYTES", "CryptoCosts", "HmacAuthenticator", "KeyStore", "digest"]
+
+#: Truncated MAC length carried on the wire (16 B, like PBFT).
+MAC_BYTES = 16
+
+
+def digest(data: bytes) -> bytes:
+    """SHA-256 digest of ``data`` (used for request/batch identifiers)."""
+    return hashlib.sha256(data).digest()
+
+
+@dataclass(frozen=True)
+class CryptoCosts:
+    """CPU cost of MAC/digest operations (seconds / seconds-per-byte)."""
+
+    mac_base: float = 0.4e-6
+    mac_per_byte: float = 0.65e-9
+
+    def __post_init__(self) -> None:
+        if self.mac_base < 0 or self.mac_per_byte < 0:
+            raise ConfigurationError("crypto costs must be >= 0")
+
+    def mac_seconds(self, nbytes: int) -> float:
+        """CPU seconds to MAC (or verify) ``nbytes``."""
+        return self.mac_base + self.mac_per_byte * nbytes
+
+
+class HmacAuthenticator:
+    """Symmetric-key authenticator between two parties."""
+
+    def __init__(self, key: bytes, costs: CryptoCosts | None = None):
+        if not key:
+            raise BftError("authenticator key must be non-empty")
+        self._key = key
+        self.costs = costs if costs is not None else CryptoCosts()
+
+    def sign(self, message: bytes) -> bytes:
+        """Compute the truncated MAC of ``message``."""
+        return _hmac.new(self._key, message, hashlib.sha256).digest()[:MAC_BYTES]
+
+    def verify(self, message: bytes, mac: bytes) -> bool:
+        """Constant-time check of ``mac`` against ``message``."""
+        return _hmac.compare_digest(self.sign(message), mac)
+
+    def cost_seconds(self, nbytes: int) -> float:
+        """CPU time to charge for signing/verifying ``nbytes``."""
+        return self.costs.mac_seconds(nbytes)
+
+
+class KeyStore:
+    """Pairwise session keys for a group of named parties.
+
+    PBFT authenticates every replica pair (and client-replica pair) with a
+    shared secret; an *authenticator vector* on a broadcast message is one
+    MAC per recipient.  The keystore derives deterministic per-pair keys
+    from a group secret — adequate for a simulation (no real key exchange
+    is modeled) while keeping every MAC genuinely verifiable.
+    """
+
+    def __init__(self, group_secret: bytes = b"repro-group-secret"):
+        if not group_secret:
+            raise BftError("group secret must be non-empty")
+        self._secret = group_secret
+        self._cache: Dict[Tuple[str, str], HmacAuthenticator] = {}
+
+    def authenticator(self, a: str, b: str) -> HmacAuthenticator:
+        """The (symmetric) authenticator between parties ``a`` and ``b``."""
+        pair = (a, b) if a <= b else (b, a)
+        auth = self._cache.get(pair)
+        if auth is None:
+            key = _hmac.new(
+                self._secret, f"{pair[0]}|{pair[1]}".encode(), hashlib.sha256
+            ).digest()
+            auth = HmacAuthenticator(key)
+            self._cache[pair] = auth
+        return auth
+
+    def vector(self, sender: str, recipients: list[str], message: bytes) -> dict:
+        """An authenticator vector: one MAC per recipient."""
+        return {
+            recipient: self.authenticator(sender, recipient).sign(message)
+            for recipient in recipients
+        }
+
+    def verify_from(self, sender: str, me: str, message: bytes, mac: bytes) -> bool:
+        """Verify ``sender``'s MAC addressed to ``me``."""
+        return self.authenticator(sender, me).verify(message, mac)

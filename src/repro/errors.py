@@ -1,0 +1,52 @@
+"""Exception hierarchy shared by every subsystem in :mod:`repro`.
+
+Each simulated subsystem (network, TCP stack, RDMA verbs, RUBIN, BFT) defines
+its own error subtypes, but all of them derive from :class:`ReproError` so
+callers can catch "anything this library raises" with a single clause while
+still being able to discriminate precisely.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "NetworkError",
+    "TcpError",
+    "RdmaError",
+    "RubinError",
+    "BftError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (double triggers, bad yields...)."""
+
+
+class NetworkError(ReproError):
+    """Errors in the simulated hardware substrate (links, NICs, hosts)."""
+
+
+class TcpError(NetworkError):
+    """Errors in the simulated TCP/IP stack (resets, closed sockets...)."""
+
+
+class RdmaError(NetworkError):
+    """Errors in the simulated RDMA verbs layer (QP states, MR access...)."""
+
+
+class RubinError(ReproError):
+    """Errors in the RUBIN framework (selector/channel misuse)."""
+
+
+class BftError(ReproError):
+    """Errors in the BFT protocol core (bad messages, broken invariants)."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object was constructed with inconsistent values."""

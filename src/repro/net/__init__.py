@@ -1,0 +1,31 @@
+"""Simulated hardware substrate: CPUs, NICs, links, hosts and fabrics.
+
+This layer replaces the paper's physical testbed (two 4-core Xeon v2
+machines, Mellanox MT27520 RoCE NICs, one 10 Gbps full-duplex link) with
+calibrated cost models — see DESIGN.md §2 for the substitution rationale
+and ``repro.bench.calibration`` for the constants.
+"""
+
+from repro.net.cpu import Cpu, CpuCosts
+from repro.net.fabric import Fabric
+from repro.net.faults import FaultyFabric, LinkFaultController
+from repro.net.frame import ETHERNET_HEADER_BYTES, Frame
+from repro.net.host import Host
+from repro.net.link import GIGABIT, TEN_GIGABIT, DuplexLink, Link
+from repro.net.nic import Nic
+
+__all__ = [
+    "Cpu",
+    "CpuCosts",
+    "Fabric",
+    "FaultyFabric",
+    "LinkFaultController",
+    "Frame",
+    "ETHERNET_HEADER_BYTES",
+    "Host",
+    "Link",
+    "DuplexLink",
+    "GIGABIT",
+    "TEN_GIGABIT",
+    "Nic",
+]

@@ -1,0 +1,145 @@
+"""CPU cost model and scheduling.
+
+The latency differences the paper measures between TCP and RDMA come almost
+entirely from *where work happens*: TCP burns CPU on kernel crossings and
+intermediate copies on both hosts, while RDMA offloads data movement to the
+RNIC's DMA engines and the CPU merely posts work requests.  This module
+makes those costs explicit and chargeable.
+
+:class:`CpuCosts` holds the per-operation constants (see
+``repro.bench.calibration`` for the calibrated defaults and their
+provenance); :class:`Cpu` is the schedulable resource that charges them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.sim import Resource, UtilizationTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Environment, Event
+
+__all__ = ["CpuCosts", "Cpu"]
+
+
+@dataclass(frozen=True)
+class CpuCosts:
+    """Per-operation CPU costs, all in seconds (or seconds per byte).
+
+    Attributes
+    ----------
+    copy_per_byte:
+        Single-core memcpy cost per byte, including cache effects.  This is
+        *the* dominant term for TCP at large payloads (charged twice per
+        direction) and for RUBIN's receive-side copy.
+    syscall:
+        One user/kernel boundary crossing (e.g. ``send``/``recv``/``epoll``).
+    context_switch:
+        Thread wake-up after blocking (scheduler latency).
+    interrupt:
+        Hardware interrupt plus softirq processing for an incoming frame.
+    per_segment:
+        Protocol processing (header build/parse, checksums with offload)
+        per TCP segment.
+    post_wr:
+        Building and posting one RDMA work request (WQE write).
+    doorbell:
+        Ringing the RNIC doorbell (MMIO write); charged once per post batch.
+    cqe_poll:
+        Generating and reaping one completion-queue entry.
+    """
+
+    copy_per_byte: float = 0.25e-9
+    syscall: float = 1.8e-6
+    context_switch: float = 2.5e-6
+    interrupt: float = 1.2e-6
+    per_segment: float = 0.9e-6
+    post_wr: float = 0.25e-6
+    doorbell: float = 0.1e-6
+    cqe_poll: float = 0.4e-6
+
+    def __post_init__(self) -> None:
+        for name in self.__dataclass_fields__:
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"CpuCosts.{name} must be >= 0")
+
+    def copy_seconds(self, nbytes: int) -> float:
+        """Seconds a single core spends copying ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError(f"cannot copy negative bytes ({nbytes})")
+        return self.copy_per_byte * nbytes
+
+
+class Cpu:
+    """A host CPU: ``cores`` schedulable execution slots plus a cost model.
+
+    Stacks charge work with :meth:`execute`, which returns a process event
+    the caller yields.  Utilization is tracked so benchmarks can report CPU
+    efficiency (one of RDMA's headline wins in the paper's Section I: >50 %
+    of TCP's cycles go to intermediate copies).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        cores: int = 4,
+        costs: CpuCosts | None = None,
+        name: str = "cpu",
+    ):
+        if cores < 1:
+            raise ConfigurationError(f"cores must be >= 1, got {cores}")
+        self.env = env
+        self.cores = cores
+        self.costs = costs if costs is not None else CpuCosts()
+        self.name = name
+        self._resource = Resource(env, capacity=cores)
+        self.tracker = UtilizationTracker(env, name)
+
+    def execute(self, duration: float) -> "Event":
+        """Occupy one core for ``duration`` seconds; yield the returned event.
+
+        Zero-duration work completes on the next kernel step without
+        occupying a core — callers can charge optional costs unconditionally.
+        """
+        if duration < 0:
+            raise ConfigurationError(f"negative CPU work ({duration})")
+        if duration == 0.0:
+            done = self.env.event()
+            done.succeed()
+            return done
+
+        def task():
+            req = self._resource.request()
+            yield req
+            self.tracker.begin()
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                self.tracker.end()
+                req.release()
+
+        return self.env.process(task(), name=f"{self.name}.execute")
+
+    def copy(self, nbytes: int) -> "Event":
+        """Charge a single-core memory copy of ``nbytes``."""
+        return self.execute(self.costs.copy_seconds(nbytes))
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently executing charged work."""
+        return self._resource.count
+
+    @property
+    def run_queue_length(self) -> int:
+        """Work items waiting for a free core."""
+        return self._resource.queue_length
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of time at least one core was busy since ``since``."""
+        return self.tracker.utilization(since)
+
+    def __repr__(self) -> str:
+        return f"<Cpu {self.name!r} cores={self.cores} busy={self.busy_cores}>"

@@ -1,0 +1,143 @@
+"""Runtime fault injection for the network fabric.
+
+:class:`FaultyFabric` installs a mutable :class:`LinkFaultController` on
+every cable it creates, so tests can partition hosts, inject seeded random
+loss, or black-hole directions *mid-simulation* — the machinery behind
+the BFT partition/recovery tests.
+
+All injected randomness is seeded, keeping every failure scenario
+bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.net.fabric import Fabric
+from repro.net.frame import Frame
+from repro.net.link import TEN_GIGABIT, DuplexLink
+
+__all__ = ["LinkFaultController", "FaultyFabric"]
+
+
+class LinkFaultController:
+    """A mutable drop policy attached to one cable (both directions)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self.blocked = False
+        self.loss_rate = 0.0
+        self.dropped = 0
+        self.passed = 0
+
+    def __call__(self, frame: Frame) -> bool:
+        """The drop_fn hook: True drops the frame."""
+        if self.blocked:
+            self.dropped += 1
+            return True
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            return True
+        self.passed += 1
+        return False
+
+    def block(self) -> None:
+        """Drop everything (cable cut / partition)."""
+        self.blocked = True
+
+    def heal(self) -> None:
+        """Stop dropping entirely (also clears random loss)."""
+        self.blocked = False
+        self.loss_rate = 0.0
+
+    def set_loss(self, rate: float, seed: Optional[int] = None) -> None:
+        """Inject seeded random loss at ``rate`` (0..1)."""
+        if not 0.0 <= rate <= 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1], got {rate}")
+        if seed is not None:
+            self._rng = random.Random(seed)
+        self.loss_rate = rate
+
+    def __repr__(self) -> str:
+        state = "blocked" if self.blocked else f"loss={self.loss_rate:g}"
+        return f"<LinkFaultController {state} dropped={self.dropped}>"
+
+
+class FaultyFabric(Fabric):
+    """A fabric whose every cable carries a fault controller."""
+
+    def __init__(self, env):
+        super().__init__(env)
+        self._controllers: Dict[Tuple[str, str], LinkFaultController] = {}
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float = TEN_GIGABIT,
+        propagation_delay: float = 1.5e-6,
+        drop_fn=None,
+        seed: int = 0,
+    ) -> DuplexLink:
+        """Cable two hosts with an injectable controller.
+
+        An explicit ``drop_fn`` composes with the controller (either may
+        drop the frame).
+        """
+        key = (min(a, b), max(a, b))
+        controller = LinkFaultController(seed=seed ^ hash(key) & 0xFFFF)
+        self._controllers[key] = controller
+
+        if drop_fn is None:
+            combined = controller
+        else:
+            def combined(frame, _user=drop_fn, _ctrl=controller):
+                return _ctrl(frame) or _user(frame)
+
+        return super().connect(
+            a,
+            b,
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=propagation_delay,
+            drop_fn=combined,
+        )
+
+    def controller(self, a: str, b: str) -> LinkFaultController:
+        """The fault controller of the a<->b cable."""
+        key = (min(a, b), max(a, b))
+        try:
+            return self._controllers[key]
+        except KeyError:
+            raise NetworkError(f"no controlled cable between {a!r} and {b!r}") from None
+
+    # -- scenario helpers ---------------------------------------------------
+
+    def isolate(self, host: str) -> None:
+        """Cut every cable touching ``host``."""
+        touched = False
+        for (a, b), controller in self._controllers.items():
+            if host in (a, b):
+                controller.block()
+                touched = True
+        if not touched:
+            raise NetworkError(f"{host!r} has no controlled cables")
+
+    def partition(self, group_a: Set[str], group_b: Set[str]) -> None:
+        """Cut every cable crossing between the two groups."""
+        overlap = group_a & group_b
+        if overlap:
+            raise NetworkError(f"groups overlap: {sorted(overlap)}")
+        for (a, b), controller in self._controllers.items():
+            if (a in group_a and b in group_b) or (a in group_b and b in group_a):
+                controller.block()
+
+    def heal_all(self) -> None:
+        """Repair every cable."""
+        for controller in self._controllers.values():
+            controller.heal()
+
+    def total_dropped(self) -> int:
+        """Frames dropped across all controllers."""
+        return sum(c.dropped for c in self._controllers.values())

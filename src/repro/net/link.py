@@ -1,0 +1,143 @@
+"""Point-to-point link model.
+
+A :class:`Link` is one *direction* of a wire: frames are serialized FIFO at
+the link's bandwidth, then arrive after the propagation delay.  Serialization
+and propagation pipeline naturally — the next frame starts clocking out as
+soon as the previous one has left the NIC, not when it arrives.
+
+A :class:`DuplexLink` bundles the two directions of a full-duplex cable,
+matching the paper's testbed (10 Gbps full-duplex RoCE link).
+
+Loss injection is deterministic: a ``drop_fn(frame) -> bool`` hook decides
+per frame, so failure-injection tests reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.frame import Frame
+from repro.sim import Counter, Store, UtilizationTracker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Environment
+
+__all__ = ["Link", "DuplexLink", "GIGABIT", "TEN_GIGABIT"]
+
+#: Bits per second in 1 Gb/s.
+GIGABIT = 1_000_000_000
+#: The paper's testbed link rate.
+TEN_GIGABIT = 10 * GIGABIT
+
+DeliverFn = Callable[[Frame], None]
+DropFn = Callable[[Frame], bool]
+
+
+class Link:
+    """One direction of a point-to-point wire.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Serialization rate in bits per second.
+    propagation_delay:
+        Seconds between the last bit leaving and the frame arriving.
+    drop_fn:
+        Optional deterministic loss hook; return True to drop the frame
+        (after it consumed serialization time, like a real corrupted frame).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        bandwidth_bps: float = TEN_GIGABIT,
+        propagation_delay: float = 1.5e-6,
+        drop_fn: Optional[DropFn] = None,
+        name: str = "link",
+    ):
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be > 0 ({bandwidth_bps})")
+        if propagation_delay < 0:
+            raise ConfigurationError(
+                f"propagation delay must be >= 0 ({propagation_delay})"
+            )
+        self.env = env
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay = propagation_delay
+        self.drop_fn = drop_fn
+        self.name = name
+        self._receiver: Optional[DeliverFn] = None
+        self._outbox: Store = Store(env)
+        self.tracker = UtilizationTracker(env, f"{name}.tx")
+        self.frames_sent = Counter(f"{name}.frames_sent")
+        self.frames_dropped = Counter(f"{name}.frames_dropped")
+        self.bytes_sent = Counter(f"{name}.bytes_sent")
+        env.process(self._transmit_loop(), name=f"{name}.tx_loop")
+
+    def attach_receiver(self, deliver: DeliverFn) -> None:
+        """Register the function invoked for every arriving frame."""
+        if self._receiver is not None:
+            raise NetworkError(f"{self.name}: receiver already attached")
+        self._receiver = deliver
+
+    def send(self, frame: Frame) -> None:
+        """Queue ``frame`` for transmission (returns immediately)."""
+        if self._receiver is None:
+            raise NetworkError(f"{self.name}: no receiver attached")
+        self._outbox.put(frame)
+
+    def transmission_time(self, wire_bytes: int) -> float:
+        """Seconds needed to clock ``wire_bytes`` onto the wire."""
+        return wire_bytes * 8 / self.bandwidth_bps
+
+    def _transmit_loop(self):
+        """Serialize queued frames FIFO; schedule each arrival."""
+        while True:
+            frame = yield self._outbox.get()
+            self.tracker.begin()
+            yield self.env.timeout(self.transmission_time(frame.wire_bytes))
+            self.tracker.end()
+            self.frames_sent.increment()
+            self.bytes_sent.increment(frame.wire_bytes)
+            if self.drop_fn is not None and self.drop_fn(frame):
+                self.frames_dropped.increment()
+                continue
+            arrival = self.env.timeout(self.propagation_delay, value=frame)
+            arrival.subscribe(self._deliver)
+
+    def _deliver(self, event) -> None:
+        assert self._receiver is not None
+        self._receiver(event.value)
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of time the transmitter was busy since ``since``."""
+        return self.tracker.utilization(since)
+
+    def __repr__(self) -> str:
+        gbps = self.bandwidth_bps / GIGABIT
+        return f"<Link {self.name!r} {gbps:g}Gbps prop={self.propagation_delay}>"
+
+
+class DuplexLink:
+    """Both directions of a full-duplex cable between two endpoints."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        bandwidth_bps: float = TEN_GIGABIT,
+        propagation_delay: float = 1.5e-6,
+        drop_fn: Optional[DropFn] = None,
+        name: str = "duplex",
+    ):
+        self.env = env
+        self.forward = Link(
+            env, bandwidth_bps, propagation_delay, drop_fn, name=f"{name}.fwd"
+        )
+        self.backward = Link(
+            env, bandwidth_bps, propagation_delay, drop_fn, name=f"{name}.bwd"
+        )
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<DuplexLink {self.name!r}>"

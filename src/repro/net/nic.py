@@ -1,0 +1,126 @@
+"""Network interface cards.
+
+A :class:`Nic` owns the host's link ports and demultiplexes arriving frames
+to protocol handlers ("tcp", "roce", ...).  It also models the NIC's DMA
+engine: a schedulable resource that moves bytes between host memory and the
+wire without occupying CPU cores — the mechanism behind RDMA's zero-copy
+advantage.  The plain NIC's DMA is used by the TCP stack too (the final
+copy to the controller is DMA in real stacks as well); what differs between
+the stacks is how many *CPU* copies happen before the DMA.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.frame import Frame
+from repro.net.link import Link
+from repro.sim import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.host import Host
+    from repro.sim import Environment, Event
+
+__all__ = ["Nic"]
+
+ProtocolHandler = Callable[[Frame], None]
+
+
+class Nic:
+    """A host's network interface: ports, demux, and a DMA engine."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        host: "Host",
+        dma_engines: int = 2,
+        dma_bandwidth_bps: float = 64e9,
+        name: str | None = None,
+    ):
+        if dma_engines < 1:
+            raise ConfigurationError("a NIC needs at least one DMA engine")
+        if dma_bandwidth_bps <= 0:
+            raise ConfigurationError("DMA bandwidth must be positive")
+        self.env = env
+        self.host = host
+        self.name = name or f"{host.name}.nic"
+        self._tx_ports: Dict[str, Link] = {}
+        self._handlers: Dict[str, ProtocolHandler] = {}
+        self._dma = Resource(env, capacity=dma_engines)
+        self.dma_bandwidth_bps = float(dma_bandwidth_bps)
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach_tx(self, peer: str, link: Link) -> None:
+        """Use ``link`` to reach host ``peer``."""
+        if peer in self._tx_ports:
+            raise NetworkError(f"{self.name}: already wired to {peer!r}")
+        self._tx_ports[peer] = link
+
+    def attach_rx(self, link: Link) -> None:
+        """Receive arriving frames from ``link``."""
+        link.attach_receiver(self._on_frame)
+
+    def peers(self) -> list[str]:
+        """Host names directly reachable from this NIC."""
+        return sorted(self._tx_ports)
+
+    # -- protocol demux ---------------------------------------------------
+
+    def register_protocol(self, protocol: str, handler: ProtocolHandler) -> None:
+        """Deliver frames with ``frame.protocol == protocol`` to ``handler``."""
+        if protocol in self._handlers:
+            raise NetworkError(f"{self.name}: protocol {protocol!r} already bound")
+        self._handlers[protocol] = handler
+
+    def _on_frame(self, frame: Frame) -> None:
+        handler = self._handlers.get(frame.protocol)
+        if handler is None:
+            raise NetworkError(
+                f"{self.name}: no handler for protocol {frame.protocol!r}"
+            )
+        handler(frame)
+
+    # -- transmission -----------------------------------------------------
+
+    def transmit(self, frame: Frame) -> None:
+        """Hand ``frame`` to the link serving ``frame.dst``."""
+        link = self._tx_ports.get(frame.dst)
+        if link is None:
+            raise NetworkError(
+                f"{self.name}: no route to {frame.dst!r} "
+                f"(peers: {self.peers()})"
+            )
+        link.send(frame)
+
+    def link_to(self, peer: str) -> Link:
+        """The transmit link toward ``peer`` (for timing queries)."""
+        link = self._tx_ports.get(peer)
+        if link is None:
+            raise NetworkError(f"{self.name}: no route to {peer!r}")
+        return link
+
+    # -- DMA ---------------------------------------------------------------
+
+    def dma_transfer(self, nbytes: int) -> "Event":
+        """Move ``nbytes`` via a DMA engine (no CPU involvement).
+
+        Returns a process event that triggers when the transfer finishes.
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative DMA size ({nbytes})")
+        duration = nbytes * 8 / self.dma_bandwidth_bps
+
+        def transfer():
+            req = self._dma.request()
+            yield req
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                req.release()
+
+        return self.env.process(transfer(), name=f"{self.name}.dma")
+
+    def __repr__(self) -> str:
+        return f"<Nic {self.name!r} peers={self.peers()}>"

@@ -1,0 +1,32 @@
+"""Java-NIO-like non-blocking I/O over the simulated TCP stack.
+
+The TCP baseline of the paper's Figure 4: ``ByteBuffer``,
+``SocketChannel``/``ServerSocketChannel`` and a ``Selector`` with
+``SelectionKey`` interest ops, built on the epoll emulation exactly like
+the JDK's implementation is built on Linux epoll.
+"""
+
+from repro.nio.buffer import BufferOverflow, BufferUnderflow, ByteBuffer
+from repro.nio.channel import ServerSocketChannel, SocketChannel
+from repro.nio.selector import (
+    OP_ACCEPT,
+    OP_CONNECT,
+    OP_READ,
+    OP_WRITE,
+    SelectionKey,
+    Selector,
+)
+
+__all__ = [
+    "ByteBuffer",
+    "BufferOverflow",
+    "BufferUnderflow",
+    "SocketChannel",
+    "ServerSocketChannel",
+    "Selector",
+    "SelectionKey",
+    "OP_READ",
+    "OP_WRITE",
+    "OP_CONNECT",
+    "OP_ACCEPT",
+]

@@ -1,0 +1,269 @@
+"""The Java-NIO-style selector over the epoll emulation.
+
+This is the *baseline* of the paper's Figure 4 comparison: "The Java NIO
+selector internally relies on epoll to check the readiness of the
+channels" — so this selector is a thin translation layer from channels and
+interest ops (OP_READ/OP_WRITE/OP_CONNECT/OP_ACCEPT) to the kernel's
+EPOLLIN/EPOLLOUT, just like the real one.  RUBIN (:mod:`repro.rubin`)
+recreates this exact interface over RDMA completion events instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.errors import TcpError
+from repro.nio.channel import ServerSocketChannel, SocketChannel
+from repro.tcpstack.epoll import EPOLLIN, EPOLLOUT, Epoll
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.host import Host
+    from repro.sim import Event
+
+__all__ = [
+    "Selector",
+    "SelectionKey",
+    "OP_READ",
+    "OP_WRITE",
+    "OP_CONNECT",
+    "OP_ACCEPT",
+]
+
+#: Interest-op bits (same values as ``java.nio.channels.SelectionKey``).
+OP_READ = 1 << 0
+OP_WRITE = 1 << 2
+OP_CONNECT = 1 << 3
+OP_ACCEPT = 1 << 4
+
+Selectable = Union[SocketChannel, ServerSocketChannel]
+
+
+class SelectionKey:
+    """The registration of one channel with one selector."""
+
+    def __init__(self, selector: "Selector", channel: Selectable, interest: int):
+        self.selector = selector
+        self.channel = channel
+        self._interest = interest
+        self.ready_ops = 0
+        self.attachment: Any = None
+        self.valid = True
+
+    @property
+    def interest_ops(self) -> int:
+        """The ops this key watches for."""
+        return self._interest
+
+    @interest_ops.setter
+    def interest_ops(self, ops: int) -> None:
+        if not self.valid:
+            raise TcpError("selection key is cancelled")
+        self._interest = ops
+        self.selector._interest_changed(self)
+
+    def attach(self, attachment: Any) -> None:
+        """Attach arbitrary context (Java's ``attach()``)."""
+        self.attachment = attachment
+
+    # -- readiness predicates (Java API names) ------------------------------
+
+    def is_readable(self) -> bool:
+        """Ready for OP_READ."""
+        return bool(self.ready_ops & OP_READ)
+
+    def is_writable(self) -> bool:
+        """Ready for OP_WRITE."""
+        return bool(self.ready_ops & OP_WRITE)
+
+    def is_connectable(self) -> bool:
+        """Ready for OP_CONNECT."""
+        return bool(self.ready_ops & OP_CONNECT)
+
+    def is_acceptable(self) -> bool:
+        """Ready for OP_ACCEPT."""
+        return bool(self.ready_ops & OP_ACCEPT)
+
+    def cancel(self) -> None:
+        """Deregister the channel from the selector."""
+        if self.valid:
+            self.valid = False
+            self.selector._cancel(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SelectionKey {self.channel!r} interest={self._interest:#x} "
+            f"ready={self.ready_ops:#x}>"
+        )
+
+
+class Selector:
+    """Multiplexes many channels onto one thread (``java.nio.Selector``)."""
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self.env = host.env
+        self._epoll = Epoll(host)
+        self._keys: Dict[Selectable, SelectionKey] = {}
+        self._selected: List[SelectionKey] = []
+        self.closed = False
+
+    @classmethod
+    def open(cls, host: "Host") -> "Selector":
+        """Create a selector on ``host`` (Java's ``Selector.open()``)."""
+        return cls(host)
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, channel: Selectable, interest: int) -> SelectionKey:
+        """Register ``channel`` for ``interest`` ops; returns its key."""
+        self._check_open()
+        if channel in self._keys:
+            raise TcpError(f"{channel!r} already registered with this selector")
+        self._validate_ops(channel, interest)
+        pollable = self._pollable(channel)
+        if pollable is None:
+            raise TcpError(
+                "register the channel after connect()/bind() so it has an "
+                "underlying socket"
+            )
+        key = SelectionKey(self, channel, interest)
+        self._keys[channel] = key
+        self._epoll.register(pollable, self._epoll_mask(channel, interest))
+        return key
+
+    @staticmethod
+    def _validate_ops(channel: Selectable, interest: int) -> None:
+        if isinstance(channel, ServerSocketChannel):
+            if interest & ~OP_ACCEPT:
+                raise TcpError("server channels support only OP_ACCEPT")
+        else:
+            if interest & OP_ACCEPT:
+                raise TcpError("socket channels do not support OP_ACCEPT")
+        if interest == 0:
+            raise TcpError("empty interest set")
+
+    @staticmethod
+    def _pollable(channel: Selectable):
+        if isinstance(channel, ServerSocketChannel):
+            return channel.listener
+        return channel.connection
+
+    @staticmethod
+    def _epoll_mask(channel: Selectable, interest: int) -> int:
+        mask = 0
+        if isinstance(channel, ServerSocketChannel):
+            if interest & OP_ACCEPT:
+                mask |= EPOLLIN
+        else:
+            if interest & OP_READ:
+                mask |= EPOLLIN
+            if interest & (OP_WRITE | OP_CONNECT):
+                mask |= EPOLLOUT
+        return mask or EPOLLIN
+
+    def _interest_changed(self, key: SelectionKey) -> None:
+        pollable = self._pollable(key.channel)
+        if pollable is not None:
+            self._epoll.modify(
+                pollable, self._epoll_mask(key.channel, key.interest_ops)
+            )
+
+    def _cancel(self, key: SelectionKey) -> None:
+        self._keys.pop(key.channel, None)
+        pollable = self._pollable(key.channel)
+        if pollable is not None:
+            try:
+                self._epoll.unregister(pollable)
+            except TcpError:
+                pass
+
+    def keys(self) -> List[SelectionKey]:
+        """All current registrations."""
+        return list(self._keys.values())
+
+    # -- selection ---------------------------------------------------------
+
+    def select(self, timeout: Optional[float] = None) -> "Event":
+        """Block until ≥1 registered channel is ready; value = ready count.
+
+        The ready keys are retrieved with :meth:`selected_keys`, which
+        clears the selected set — mirroring the Java usage pattern of
+        iterating and removing keys.
+        """
+        self._check_open()
+        return self.env.process(self._select_proc(timeout), name="nio.select")
+
+    def select_now(self) -> "Event":
+        """Non-blocking variant of :meth:`select`."""
+        self._check_open()
+        return self.env.process(self._select_proc(0.0), name="nio.selectNow")
+
+    def _select_proc(self, timeout: Optional[float]):
+        self._selected = []
+        ready = self._compute_ready()
+        if ready or timeout == 0.0:
+            self._selected = ready
+            return len(ready)
+        waited = yield self._epoll.wait(timeout=timeout)
+        # Translate kernel-level readiness back into ops at key level; the
+        # epoll result tells us *something* changed, the ops are recomputed
+        # so OP_CONNECT vs OP_WRITE resolve correctly.
+        del waited
+        ready = self._compute_ready()
+        self._selected = ready
+        return len(ready)
+
+    def _compute_ready(self) -> List[SelectionKey]:
+        ready = []
+        for key in self._keys.values():
+            ops = self._ready_ops(key)
+            key.ready_ops = ops
+            if ops:
+                ready.append(key)
+        return ready
+
+    @staticmethod
+    def _ready_ops(key: SelectionKey) -> int:
+        channel = key.channel
+        ops = 0
+        if isinstance(channel, ServerSocketChannel):
+            if key.interest_ops & OP_ACCEPT and channel.acceptable:
+                ops |= OP_ACCEPT
+            return ops
+        if key.interest_ops & OP_CONNECT and channel.connectable:
+            ops |= OP_CONNECT
+        if key.interest_ops & OP_READ and channel.readable:
+            ops |= OP_READ
+        if key.interest_ops & OP_WRITE and channel.writable and channel.is_connected:
+            ops |= OP_WRITE
+        return ops
+
+    def selected_keys(self) -> List[SelectionKey]:
+        """The keys made ready by the last select; clears the set."""
+        selected, self._selected = self._selected, []
+        return selected
+
+    def wakeup(self) -> None:
+        """Make a blocked :meth:`select` return immediately (Java's
+        ``Selector.wakeup()``), used to hand new outbound work to the
+        selector thread."""
+        self._epoll.wakeup()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise TcpError("selector is closed")
+
+    def close(self) -> None:
+        """Cancel all keys and release the epoll instance."""
+        if self.closed:
+            return
+        self.closed = True
+        for key in list(self._keys.values()):
+            key.valid = False
+        self._keys.clear()
+        self._epoll.close()
+
+    def __repr__(self) -> str:
+        return f"<Selector on {self.host.name} keys={len(self._keys)}>"

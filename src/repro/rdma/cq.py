@@ -1,0 +1,135 @@
+"""Completion queues, work completions, and completion channels.
+
+"Upon the completion of an RDMA operation, an event is added to a
+completion queue (CQ) to notify the application" (paper, Section II-A).
+The RUBIN selector's hybrid event queue merges these CQ events with
+connection-manager events; the :class:`CompletionChannel` is the blocking
+notification primitive it builds on (``ibv_comp_channel``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, List, Optional
+
+from repro.errors import RdmaError
+from repro.rdma.verbs import Opcode, WcStatus
+from repro.sim import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Environment, Event
+
+__all__ = ["WorkCompletion", "CompletionQueue", "CompletionChannel"]
+
+_cq_numbers = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class WorkCompletion:
+    """One completion-queue entry (``ibv_wc``)."""
+
+    wr_id: int
+    status: WcStatus
+    opcode: Opcode
+    byte_len: int
+    qp_num: int
+
+    @property
+    def ok(self) -> bool:
+        """True for a successful completion."""
+        return self.status is WcStatus.SUCCESS
+
+
+class CompletionChannel:
+    """Blocking notification channel shared by one or more CQs."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._events: Store = Store(env)
+
+    def get_cq_event(self) -> "Event":
+        """Wait for the next CQ that signalled; value is the CQ."""
+        return self._events.get()
+
+    def try_get_cq_event(self) -> Optional["CompletionQueue"]:
+        """Non-blocking variant of :meth:`get_cq_event`."""
+        return self._events.try_get()
+
+    def _notify(self, cq: "CompletionQueue") -> None:
+        self._events.put(cq)
+
+    def __repr__(self) -> str:
+        return f"<CompletionChannel pending={len(self._events)}>"
+
+
+class CompletionQueue:
+    """A bounded queue of work completions.
+
+    Notification follows the verbs contract: after
+    :meth:`request_notify`, the *next* CQE pushed wakes the channel once;
+    the application then re-arms after draining with :meth:`poll` (the
+    race-free pattern RUBIN's event manager implements).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 4096,
+        channel: Optional[CompletionChannel] = None,
+        name: str = "",
+    ):
+        if capacity < 1:
+            raise RdmaError(f"CQ capacity must be >= 1 ({capacity})")
+        self.env = env
+        self.capacity = capacity
+        self.channel = channel
+        self.number = next(_cq_numbers)
+        self.name = name or f"cq{self.number}"
+        self._entries: Deque[WorkCompletion] = deque()
+        self._armed = False
+        self.overrun = False
+
+    def push(self, wc: WorkCompletion) -> None:
+        """RNIC-side: append a completion (overrun is a hard error)."""
+        if len(self._entries) >= self.capacity:
+            # A real CQ overrun corrupts the CQ and errors attached QPs;
+            # we fail loudly so tests catch undersized completion queues.
+            self.overrun = True
+            raise RdmaError(
+                f"{self.name}: completion queue overrun "
+                f"(capacity {self.capacity})"
+            )
+        self._entries.append(wc)
+        if self._armed and self.channel is not None:
+            self._armed = False
+            self.channel._notify(self)
+
+    def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
+        """Reap up to ``max_entries`` completions (non-blocking)."""
+        if max_entries < 1:
+            raise RdmaError(f"max_entries must be >= 1 ({max_entries})")
+        out: List[WorkCompletion] = []
+        while self._entries and len(out) < max_entries:
+            out.append(self._entries.popleft())
+        return out
+
+    def request_notify(self) -> None:
+        """Arm the channel notification for the next pushed CQE.
+
+        If entries are already pending, notifies immediately — closing the
+        poll/arm race window exactly like ``ibv_req_notify_cq`` users must.
+        """
+        if self.channel is None:
+            raise RdmaError(f"{self.name}: no completion channel attached")
+        if self._entries:
+            self.channel._notify(self)
+        else:
+            self._armed = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<CompletionQueue {self.name} pending={len(self._entries)}>"

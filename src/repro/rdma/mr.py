@@ -1,0 +1,141 @@
+"""Memory regions and protection domains.
+
+An application must register a memory region with the RNIC before any
+networking operation touches it (paper, Section II-A).  Registration pins
+the memory and yields two keys: the *lkey*, quoted in local work requests,
+and the *rkey*, which a remote peer must present to access the region with
+one-sided Read/Write.  The rkey is exactly the "Steering Tag (STag)" of the
+paper's security analysis (Section III-C): anyone who learns it can reach
+the buffer until the region is invalidated.
+
+Protection domains group QPs and MRs; an MR is only usable from QPs of the
+same PD — the containment mechanism the security tests exercise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.errors import RdmaError
+from repro.rdma.verbs import Access
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rdma.device import RdmaDevice
+
+__all__ = ["ProtectionDomain", "MemoryRegion", "RemoteAddress"]
+
+_pd_numbers = itertools.count(1)
+_keys = itertools.count(0x1000)
+
+
+class ProtectionDomain:
+    """A protection domain: the ownership scope for QPs and MRs."""
+
+    def __init__(self, device: "RdmaDevice"):
+        self.device = device
+        self.handle = next(_pd_numbers)
+
+    def __repr__(self) -> str:
+        return f"<ProtectionDomain #{self.handle} on {self.device.name}>"
+
+
+class MemoryRegion:
+    """A registered, pinned buffer the RNIC may DMA to/from.
+
+    The backing store is a ``bytearray`` the application also holds — the
+    zero-copy property of RDMA is literal here: a one-sided WRITE mutates
+    the application's own buffer bytes.
+    """
+
+    def __init__(
+        self,
+        pd: ProtectionDomain,
+        buffer: bytearray,
+        access: Access = Access.LOCAL_WRITE,
+    ):
+        if not isinstance(buffer, bytearray):
+            raise RdmaError("memory regions must wrap a mutable bytearray")
+        self.pd = pd
+        self.buffer = buffer
+        self.access = access
+        self.lkey = next(_keys)
+        self.rkey = next(_keys)
+        self.invalidated = False
+
+    @property
+    def length(self) -> int:
+        """Registered length in bytes."""
+        return len(self.buffer)
+
+    # -- access checks (performed by the RNIC on every operation) ---------
+
+    def check_local_read(self, offset: int, length: int) -> None:
+        """Validate a local gather (send / WRITE source)."""
+        self._check_bounds(offset, length)
+
+    def check_local_write(self, offset: int, length: int) -> None:
+        """Validate a local scatter (recv / READ destination)."""
+        self._check_bounds(offset, length)
+        if not self.access & Access.LOCAL_WRITE:
+            raise RdmaError(f"{self}: LOCAL_WRITE not permitted")
+
+    def check_remote(self, rkey: int, offset: int, length: int, write: bool) -> None:
+        """Validate a one-sided access arriving from the wire."""
+        if self.invalidated:
+            raise RdmaError(f"{self}: region has been invalidated")
+        if rkey != self.rkey:
+            raise RdmaError(f"{self}: rkey mismatch")
+        self._check_bounds(offset, length)
+        needed = Access.REMOTE_WRITE if write else Access.REMOTE_READ
+        if not self.access & needed:
+            raise RdmaError(f"{self}: {needed.name} not permitted")
+
+    def _check_bounds(self, offset: int, length: int) -> None:
+        if self.invalidated:
+            raise RdmaError(f"{self}: region has been invalidated")
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise RdmaError(
+                f"{self}: access [{offset}, {offset + length}) outside "
+                f"registered [0, {self.length})"
+            )
+
+    # -- data movement (called by the device's DMA paths) -------------------
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        """Gather ``length`` bytes at ``offset`` (bounds already checked)."""
+        return bytes(self.buffer[offset : offset + length])
+
+    def write_bytes(self, offset: int, data: bytes) -> None:
+        """Scatter ``data`` at ``offset`` (bounds already checked)."""
+        self.buffer[offset : offset + len(data)] = data
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Revoke the region's keys (deregistration / STag invalidation)."""
+        self.invalidated = True
+
+    def remote_address(self, offset: int = 0) -> "RemoteAddress":
+        """The (rkey, offset) token a peer needs for one-sided access."""
+        return RemoteAddress(self.rkey, offset)
+
+    def __repr__(self) -> str:
+        state = "invalid" if self.invalidated else "valid"
+        return (
+            f"<MemoryRegion lkey={self.lkey:#x} rkey={self.rkey:#x} "
+            f"len={self.length} {state}>"
+        )
+
+
+class RemoteAddress:
+    """An (rkey, offset) pair naming remote memory for one-sided ops."""
+
+    __slots__ = ("rkey", "offset")
+
+    def __init__(self, rkey: int, offset: int):
+        self.rkey = rkey
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"<RemoteAddress rkey={self.rkey:#x}+{self.offset}>"

@@ -1,0 +1,779 @@
+"""Reliable-connection queue pairs.
+
+"When communication is initiated, each side must create a queue pair of
+send and receive queues for holding data transfer requests" (paper,
+Section II-A).  This module implements the RC queue pair: the send-queue
+pipeline (WQE fetch, gather DMA, MTU packetization), the receive path
+(receive-WR matching, scatter DMA, completion generation), the
+reliability machinery (PSNs, cumulative ACKs, go-back-N, RNR and retry
+budgets) and the slot-accounting rules that make *selective signaling*
+both a win and a foot-gun:
+
+* an unsignaled send generates no CQE, but its send-queue slot is only
+  recycled once a **later signaled** WR completes — post unsignaled
+  forever and the queue wedges (the "ill-advised configuration" failure
+  mode the paper warns about);
+* completions are delivered strictly in post order, even when a READ
+  overtakes a later SEND's ACK.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.errors import RdmaError
+from repro.net.frame import Frame
+from repro.rdma.cq import CompletionQueue, WorkCompletion
+from repro.rdma.mr import MemoryRegion
+from repro.rdma.transport import PacketType, RocePacket
+from repro.rdma.verbs import Access, Opcode, QpState, WcStatus
+from repro.rdma.wr import RecvWorkRequest, SendWorkRequest
+from repro.sim import Store
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rdma.device import RdmaDevice
+    from repro.sim import Environment
+
+__all__ = ["QueuePair", "QpCapabilities"]
+
+_qp_numbers = itertools.count(100)
+_read_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class QpCapabilities:
+    """Sizing and retry parameters of a queue pair."""
+
+    max_send_wr: int = 128
+    max_recv_wr: int = 128
+    max_inline: int = 256
+    max_inflight_packets: int = 256
+    #: Transport retry timer.  Generous by default: the simulated fabric
+    #: is lossless unless a test injects drops, and deep responder queues
+    #: under pipelined bulk traffic must not trigger spurious go-back-N.
+    retry_timeout: float = 4e-3
+    retry_count: int = 7
+    rnr_retry: int = 7
+    rnr_timer: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.max_send_wr < 1 or self.max_recv_wr < 1:
+            raise RdmaError("queue sizes must be >= 1")
+        if self.max_inline < 0:
+            raise RdmaError("max_inline must be >= 0")
+        if self.retry_timeout <= 0 or self.rnr_timer <= 0:
+            raise RdmaError("timers must be positive")
+
+
+class _PendingSend:
+    """Send-queue bookkeeping for one posted WR."""
+
+    __slots__ = ("wr", "last_psn", "done", "status", "byte_len", "read_id")
+
+    def __init__(self, wr: SendWorkRequest):
+        self.wr = wr
+        self.last_psn: Optional[int] = None
+        self.done = False
+        self.status = WcStatus.SUCCESS
+        self.byte_len = wr.length
+        self.read_id = 0
+
+
+class _ReadContext:
+    """Requester-side reassembly state for one outstanding RDMA READ."""
+
+    __slots__ = ("entry", "chunks_received", "chunk_count", "cursor")
+
+    def __init__(self, entry: _PendingSend):
+        self.entry = entry
+        self.chunks_received = 0
+        self.chunk_count = 0
+        self.cursor = 0
+
+
+class QueuePair:
+    """One end of a reliable connection."""
+
+    def __init__(
+        self,
+        device: "RdmaDevice",
+        pd,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        caps: Optional[QpCapabilities] = None,
+    ):
+        if send_cq.env is not device.env or recv_cq.env is not device.env:
+            raise RdmaError("CQs must belong to the same environment")
+        if pd.device is not device:
+            raise RdmaError("PD belongs to a different device")
+        self.device = device
+        self.env: "Environment" = device.env
+        self.pd = pd
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.caps = caps if caps is not None else QpCapabilities()
+        self.qp_num = next(_qp_numbers)
+        self.state = QpState.RESET
+        self.remote_host: Optional[str] = None
+        self.remote_qp: Optional[int] = None
+
+        # --- send side ------------------------------------------------------
+        self._pending: Deque[_PendingSend] = deque()
+        self._sq_store: Store = Store(self.env)
+        self._next_psn = 0
+        self._unacked: List[tuple[RocePacket, float]] = []
+        self._space_event = None
+        self._retry_budget = self.caps.retry_count
+        self._rnr_budget = self.caps.rnr_retry
+        self._rnr_blocked_until = 0.0
+        self._reads: Dict[int, _ReadContext] = {}
+
+        # --- receive side -----------------------------------------------------
+        self._recv_queue: Deque[RecvWorkRequest] = deque()
+        self._expected_psn = 0
+        self._cur_recv: Optional[dict] = None
+        self._cur_write: Optional[dict] = None
+        self._last_nak_sent = -1
+
+        self._error_watchers: List = []
+        device._register_qp(self)
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+
+    def connect(self, remote_host: str, remote_qp_num: int) -> None:
+        """Transition RESET -> RTS toward a peer QP.
+
+        Real applications exchange QP numbers out of band (or via the
+        connection manager, which calls this internally).
+        """
+        if self.state is not QpState.RESET:
+            raise RdmaError(f"{self}: connect from state {self.state.value}")
+        if remote_host == self.device.host.name:
+            raise RdmaError(f"{self}: loopback QPs are not supported")
+        self.remote_host = remote_host
+        self.remote_qp = remote_qp_num
+        self.state = QpState.RTS
+        self.env.process(self._sq_loop(), name=f"qp{self.qp_num}.sq")
+        self.env.process(self._retry_loop(), name=f"qp{self.qp_num}.retry")
+
+    def add_error_watcher(self, watcher) -> None:
+        """Invoke ``watcher(qp)`` when the QP transitions to ERROR."""
+        self._error_watchers.append(watcher)
+
+    def _enter_error(self) -> None:
+        if self.state is QpState.ERROR:
+            return
+        self.state = QpState.ERROR
+        self._flush_queues()
+        for watcher in list(self._error_watchers):
+            watcher(self)
+
+    def _flush_queues(self) -> None:
+        """Complete everything outstanding with flush errors."""
+        while self._pending:
+            entry = self._pending.popleft()
+            status = (
+                entry.status
+                if entry.status is not WcStatus.SUCCESS
+                else WcStatus.WR_FLUSH_ERR
+            )
+            self.send_cq.push(
+                WorkCompletion(
+                    wr_id=entry.wr.wr_id,
+                    status=status,
+                    opcode=entry.wr.opcode,
+                    byte_len=0,
+                    qp_num=self.qp_num,
+                )
+            )
+        while self._recv_queue:
+            wr = self._recv_queue.popleft()
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    status=WcStatus.WR_FLUSH_ERR,
+                    opcode=Opcode.RECV,
+                    byte_len=0,
+                    qp_num=self.qp_num,
+                )
+            )
+        self._unacked.clear()
+        self._reads.clear()
+        self._grant_space()
+
+    # ------------------------------------------------------------------
+    # posting
+    # ------------------------------------------------------------------
+
+    @property
+    def send_queue_free(self) -> int:
+        """Free send-queue slots (driver view: freed by CQE generation)."""
+        return self.caps.max_send_wr - len(self._pending)
+
+    @property
+    def recv_queue_depth(self) -> int:
+        """Receive WRs currently posted."""
+        return len(self._recv_queue)
+
+    def post_send(self, wr: SendWorkRequest) -> None:
+        """Post one WR to the send queue (non-blocking)."""
+        self.post_send_batch([wr])
+
+    def post_send_batch(self, wrs: List[SendWorkRequest]) -> None:
+        """Post several WRs with one doorbell (the paper's batching)."""
+        if self.state is not QpState.RTS:
+            raise RdmaError(f"{self}: post_send in state {self.state.value}")
+        if len(wrs) > self.send_queue_free:
+            raise RdmaError(
+                f"{self}: send queue full "
+                f"({len(self._pending)}/{self.caps.max_send_wr} slots used; "
+                "unsignaled slots recycle only when a later signaled WR "
+                "completes)"
+            )
+        for wr in wrs:
+            if wr.inline_data is not None and len(wr.inline_data) > self.caps.max_inline:
+                raise RdmaError(
+                    f"{self}: inline data {len(wr.inline_data)}B exceeds "
+                    f"max_inline {self.caps.max_inline}B"
+                )
+            if wr.sge is not None:
+                # Local protection check at post time (lkey validity).
+                if wr.sge.mr.pd is not self.pd:
+                    raise RdmaError(f"{self}: SGE memory region is in a foreign PD")
+            entry = _PendingSend(wr)
+            self._pending.append(entry)
+            self._sq_store.put(entry)
+
+    def post_recv(self, wr: RecvWorkRequest) -> None:
+        """Post one receive WR (non-blocking)."""
+        self.post_recv_batch([wr])
+
+    def post_recv_batch(self, wrs: List[RecvWorkRequest]) -> None:
+        """Post several receive WRs with one doorbell."""
+        if self.state in (QpState.ERROR,):
+            raise RdmaError(f"{self}: post_recv in state {self.state.value}")
+        if len(self._recv_queue) + len(wrs) > self.caps.max_recv_wr:
+            raise RdmaError(
+                f"{self}: receive queue full ({len(self._recv_queue)}"
+                f"/{self.caps.max_recv_wr})"
+            )
+        for wr in wrs:
+            if wr.sge.mr.pd is not self.pd:
+                raise RdmaError(f"{self}: recv SGE memory region is in a foreign PD")
+            wr.sge.mr.check_local_write(wr.sge.offset, wr.sge.length)
+            self._recv_queue.append(wr)
+
+    # ------------------------------------------------------------------
+    # send-queue pipeline
+    # ------------------------------------------------------------------
+
+    def _sq_loop(self):
+        attrs = self.device.attrs
+        nic = self.device.host.nic
+        while self.state is QpState.RTS:
+            entry = yield self._sq_store.get()
+            if self.state is not QpState.RTS:
+                return
+            yield self.env.timeout(attrs.wqe_fetch)
+            wr = entry.wr
+            try:
+                data = self._gather_payload_check(wr)
+            except RdmaError:
+                entry.status = WcStatus.LOC_PROT_ERR
+                entry.done = True
+                self._enter_error()
+                return
+            if wr.opcode is Opcode.RDMA_READ:
+                yield from self._issue_read(entry)
+                continue
+            if data is None:
+                # Gather DMA from host memory (zero-copy: the RNIC reads
+                # the registered application buffer directly).  The setup
+                # round trip is what inline sends avoid.
+                assert wr.sge is not None
+                yield self.env.timeout(attrs.gather_setup)
+                yield nic.dma_transfer(wr.sge.length)
+                data = wr.sge.mr.read_bytes(wr.sge.offset, wr.sge.length)
+            yield from self._emit_message(entry, data)
+
+    def _gather_payload_check(self, wr: SendWorkRequest) -> Optional[bytes]:
+        """Inline payload, or None after validating the SGE for gather."""
+        if wr.inline_data is not None:
+            return wr.inline_data
+        assert wr.sge is not None
+        wr.sge.mr.check_local_read(wr.sge.offset, wr.sge.length)
+        return None
+
+    def _emit_message(self, entry: _PendingSend, data: bytes):
+        """Packetize one SEND/WRITE message and transmit it."""
+        attrs = self.device.attrs
+        wr = entry.wr
+        mtu = attrs.mtu
+        chunks = [data[i : i + mtu] for i in range(0, len(data), mtu)] or [b""]
+        is_write = wr.opcode is Opcode.RDMA_WRITE
+        # Reserve the whole PSN range up front so a cumulative ACK of a
+        # partial prefix can never mark the message complete early.
+        first_psn = self._next_psn
+        self._next_psn += len(chunks)
+        entry.last_psn = first_psn + len(chunks) - 1
+        for index, chunk in enumerate(chunks):
+            first = index == 0
+            last = index == len(chunks) - 1
+            if first and last:
+                kind = PacketType.WRITE_ONLY if is_write else PacketType.SEND_ONLY
+            elif first:
+                kind = PacketType.WRITE_FIRST if is_write else PacketType.SEND_FIRST
+            elif last:
+                kind = PacketType.WRITE_LAST if is_write else PacketType.SEND_LAST
+            else:
+                kind = (
+                    PacketType.WRITE_MIDDLE if is_write else PacketType.SEND_MIDDLE
+                )
+            packet = RocePacket(
+                kind=kind,
+                src_host=self.device.host.name,
+                src_qp=self.qp_num,
+                dst_host=self.remote_host,  # type: ignore[arg-type]
+                dst_qp=self.remote_qp,  # type: ignore[arg-type]
+                psn=first_psn + index,
+                payload=chunk,
+                total_length=len(data) if first else 0,
+                rkey=wr.remote.rkey if (is_write and first) else None,
+                remote_offset=wr.remote.offset if (is_write and first) else 0,
+            )
+            yield from self._wait_inflight_space()
+            if self.state is not QpState.RTS:
+                return
+            yield self.env.timeout(attrs.packet_process)
+            self._unacked.append((packet, self.env.now))
+            self._transmit(packet)
+
+    def _issue_read(self, entry: _PendingSend):
+        """Send a READ request and set up response reassembly."""
+        wr = entry.wr
+        assert wr.sge is not None and wr.remote is not None
+        read_id = next(_read_ids)
+        entry.read_id = read_id
+        self._reads[read_id] = _ReadContext(entry)
+        packet = RocePacket(
+            kind=PacketType.READ_REQUEST,
+            src_host=self.device.host.name,
+            src_qp=self.qp_num,
+            dst_host=self.remote_host,  # type: ignore[arg-type]
+            dst_qp=self.remote_qp,  # type: ignore[arg-type]
+            psn=self._next_psn,
+            total_length=wr.sge.length,
+            rkey=wr.remote.rkey,
+            remote_offset=wr.remote.offset,
+            read_id=read_id,
+        )
+        self._next_psn += 1
+        entry.last_psn = packet.psn
+        yield from self._wait_inflight_space()
+        if self.state is not QpState.RTS:
+            return
+        yield self.env.timeout(self.device.attrs.packet_process)
+        self._unacked.append((packet, self.env.now))
+        self._transmit(packet)
+
+    def _wait_inflight_space(self):
+        while len(self._unacked) >= self.caps.max_inflight_packets:
+            self._space_event = self.env.event()
+            yield self._space_event
+            self._space_event = None
+
+    def _grant_space(self) -> None:
+        if self._space_event is not None and not self._space_event.triggered:
+            self._space_event.succeed()
+
+    def _transmit(self, packet: RocePacket) -> None:
+        self.device.host.nic.transmit(
+            Frame(
+                src=self.device.host.name,
+                dst=packet.dst_host,
+                protocol=self.device.PROTOCOL,
+                wire_bytes=packet.wire_bytes,
+                payload=packet,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # reliability: ACK/NAK processing and retries
+    # ------------------------------------------------------------------
+
+    def _process_ack(self, psn: int) -> None:
+        """Cumulative ACK: everything with PSN <= psn is delivered."""
+        before = len(self._unacked)
+        self._unacked = [(p, t) for (p, t) in self._unacked if p.psn > psn]
+        if len(self._unacked) != before:
+            self._retry_budget = self.caps.retry_count
+            self._rnr_budget = self.caps.rnr_retry
+            self._grant_space()
+        for entry in self._pending:
+            if (
+                entry.wr.opcode is not Opcode.RDMA_READ
+                and entry.last_psn is not None
+                and entry.last_psn <= psn
+            ):
+                entry.done = True
+        self._advance_completions()
+
+    def _advance_completions(self) -> None:
+        """Retire pending WRs in post order, honouring signaling rules."""
+        while self._pending:
+            # Find the first signaled entry; everything before it can only
+            # be freed when that signaled entry completes (the driver
+            # learns about slots exclusively through CQEs).
+            first_signaled = None
+            for i, entry in enumerate(self._pending):
+                if entry.wr.signaled:
+                    first_signaled = i
+                    break
+            if first_signaled is None:
+                return
+            prefix = list(itertools.islice(self._pending, first_signaled + 1))
+            if not all(e.done for e in prefix):
+                return
+            for e in prefix:
+                self._pending.popleft()
+            signaled_entry = prefix[-1]
+            self.send_cq.push(
+                WorkCompletion(
+                    wr_id=signaled_entry.wr.wr_id,
+                    status=signaled_entry.status,
+                    opcode=signaled_entry.wr.opcode,
+                    byte_len=signaled_entry.byte_len,
+                    qp_num=self.qp_num,
+                )
+            )
+
+    def _retransmit_from(self, psn: int) -> None:
+        for packet, _t in self._unacked:
+            if packet.psn >= psn:
+                self._transmit(packet)
+        self._unacked = [
+            (p, self.env.now if p.psn >= psn else t) for (p, t) in self._unacked
+        ]
+
+    def _retry_loop(self):
+        caps = self.caps
+        backoff = 0
+        last_head_psn = -1
+        while self.state is QpState.RTS:
+            yield self.env.timeout(caps.retry_timeout / 2)
+            if self.state is not QpState.RTS or not self._unacked:
+                backoff = 0
+                last_head_psn = -1
+                continue
+            if self.env.now < self._rnr_blocked_until:
+                continue
+            oldest = self._unacked[0][1]
+            timeout = caps.retry_timeout * (2**backoff)
+            if self.env.now - oldest >= timeout:
+                self._retry_budget -= 1
+                if self._retry_budget < 0:
+                    self._fail_head(WcStatus.RETRY_EXC_ERR)
+                    return
+                # Exponential backoff while the same head keeps timing
+                # out, so transient responder-side queueing cannot spiral
+                # into a self-sustaining retransmission avalanche.
+                head = self._unacked[0][0]
+                if head.psn == last_head_psn:
+                    backoff = min(backoff + 1, 6)
+                else:
+                    backoff = 0
+                    last_head_psn = head.psn
+                # Re-issue any incomplete READ from scratch (idempotent).
+                if head.kind == PacketType.READ_REQUEST:
+                    ctx = self._reads.get(head.read_id)
+                    if ctx is not None:
+                        ctx.chunks_received = 0
+                        ctx.cursor = 0
+                self._retransmit_from(head.psn)
+
+    def _fail_head(self, status: WcStatus) -> None:
+        """The head-of-line WR failed fatally: error the QP."""
+        if self._unacked:
+            head_psn = self._unacked[0][0].psn
+            for entry in self._pending:
+                if entry.last_psn is not None and entry.last_psn >= head_psn:
+                    entry.status = status
+                    break
+        self._enter_error()
+
+    # ------------------------------------------------------------------
+    # inbound packet processing (called from the device's rx loop)
+    # ------------------------------------------------------------------
+
+    def handle_packet(self, packet: RocePacket):
+        """Process one arriving packet; generator (device yields from it)."""
+        kind = packet.kind
+        if kind == PacketType.ACK:
+            self._process_ack(packet.psn)
+            return
+        if kind == PacketType.NAK_SEQUENCE:
+            self._retransmit_from(packet.psn)
+            return
+        if kind == PacketType.NAK_RNR:
+            yield from self._handle_rnr(packet)
+            return
+        if kind == PacketType.NAK_ACCESS:
+            self._fail_head(WcStatus.REM_ACCESS_ERR)
+            return
+        if kind == PacketType.READ_RESPONSE:
+            yield from self._handle_read_response(packet)
+            return
+        if self.state is QpState.ERROR:
+            return
+        # Sequenced request packets.
+        if packet.psn < self._expected_psn:
+            self._send_control(PacketType.ACK, self._expected_psn - 1)
+            return
+        if packet.psn > self._expected_psn:
+            if self._last_nak_sent != self._expected_psn:
+                self._last_nak_sent = self._expected_psn
+                self._send_control(PacketType.NAK_SEQUENCE, self._expected_psn)
+            return
+        self._last_nak_sent = -1
+        if kind in (
+            PacketType.SEND_FIRST,
+            PacketType.SEND_MIDDLE,
+            PacketType.SEND_LAST,
+            PacketType.SEND_ONLY,
+        ):
+            yield from self._handle_send_packet(packet)
+        elif kind in (
+            PacketType.WRITE_FIRST,
+            PacketType.WRITE_MIDDLE,
+            PacketType.WRITE_LAST,
+            PacketType.WRITE_ONLY,
+        ):
+            yield from self._handle_write_packet(packet)
+        elif kind == PacketType.READ_REQUEST:
+            yield from self._handle_read_request(packet)
+        else:  # pragma: no cover - exhaustive
+            raise RdmaError(f"unknown packet kind {kind!r}")
+
+    # -- two-sided receive path ---------------------------------------------
+
+    def _handle_send_packet(self, packet: RocePacket):
+        nic = self.device.host.nic
+        if packet.kind in PacketType.STARTS_MESSAGE:
+            if not self._recv_queue:
+                # Receiver not ready: NAK without advancing the PSN.
+                self._send_control(
+                    PacketType.NAK_RNR,
+                    packet.psn,
+                    rnr_timer=self.caps.rnr_timer,
+                )
+                return
+            wr = self._recv_queue[0]
+            if packet.total_length > (wr.sge.length or 0):
+                self._recv_queue.popleft()
+                self.recv_cq.push(
+                    WorkCompletion(
+                        wr_id=wr.wr_id,
+                        status=WcStatus.LOC_LEN_ERR,
+                        opcode=Opcode.RECV,
+                        byte_len=packet.total_length,
+                        qp_num=self.qp_num,
+                    )
+                )
+                self._send_control(PacketType.NAK_ACCESS, packet.psn)
+                self._enter_error()
+                return
+            self._recv_queue.popleft()
+            self._cur_recv = {"wr": wr, "cursor": wr.sge.offset, "received": 0}
+        ctx = self._cur_recv
+        if ctx is None:
+            # Middle/last without a first: protocol violation.
+            self._send_control(PacketType.NAK_ACCESS, packet.psn)
+            self._enter_error()
+            return
+        if packet.payload:
+            # Scatter DMA into the posted receive buffer.
+            yield nic.dma_transfer(len(packet.payload))
+            wr = ctx["wr"]
+            wr.sge.mr.write_bytes(ctx["cursor"], packet.payload)
+            ctx["cursor"] += len(packet.payload)
+            ctx["received"] += len(packet.payload)
+        self._expected_psn = packet.psn + 1
+        if packet.kind in PacketType.ENDS_MESSAGE:
+            wr = ctx["wr"]
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    status=WcStatus.SUCCESS,
+                    opcode=Opcode.RECV,
+                    byte_len=ctx["received"],
+                    qp_num=self.qp_num,
+                )
+            )
+            self._cur_recv = None
+            self._send_control(PacketType.ACK, packet.psn)
+
+    # -- one-sided write path ----------------------------------------------
+
+    def _handle_write_packet(self, packet: RocePacket):
+        nic = self.device.host.nic
+        if packet.kind in PacketType.STARTS_MESSAGE:
+            mr = self.device.find_mr(packet.rkey)
+            try:
+                if mr is None:
+                    raise RdmaError("unknown rkey")
+                if mr.pd is not self.pd:
+                    raise RdmaError("rkey from a foreign protection domain")
+                mr.check_remote(
+                    packet.rkey,
+                    packet.remote_offset,
+                    packet.total_length,
+                    write=True,
+                )
+            except RdmaError:
+                self._send_control(PacketType.NAK_ACCESS, packet.psn)
+                self._enter_error()
+                return
+            self._cur_write = {"mr": mr, "cursor": packet.remote_offset}
+        ctx = self._cur_write
+        if ctx is None:
+            self._send_control(PacketType.NAK_ACCESS, packet.psn)
+            self._enter_error()
+            return
+        if packet.payload:
+            yield nic.dma_transfer(len(packet.payload))
+            ctx["mr"].write_bytes(ctx["cursor"], packet.payload)
+            ctx["cursor"] += len(packet.payload)
+        self._expected_psn = packet.psn + 1
+        if packet.kind in PacketType.ENDS_MESSAGE:
+            self._cur_write = None
+            self._send_control(PacketType.ACK, packet.psn)
+            # No CQE, no recv WR: the remote CPU stays unaware (paper
+            # Section II-A) — that is both the perf win and the security
+            # concern of one-sided operations.
+
+    # -- one-sided read path --------------------------------------------------
+
+    def _handle_read_request(self, packet: RocePacket):
+        mr = self.device.find_mr(packet.rkey)
+        try:
+            if mr is None:
+                raise RdmaError("unknown rkey")
+            if mr.pd is not self.pd:
+                raise RdmaError("rkey from a foreign protection domain")
+            mr.check_remote(
+                packet.rkey, packet.remote_offset, packet.total_length, write=False
+            )
+        except RdmaError:
+            self._send_control(PacketType.NAK_ACCESS, packet.psn)
+            self._enter_error()
+            return
+        self._expected_psn = packet.psn + 1
+        # Stream the response chunks from a dedicated process so a large
+        # read does not stall the device's receive pipeline.
+        self.env.process(
+            self._stream_read_response(packet, mr),
+            name=f"qp{self.qp_num}.read_resp",
+        )
+        yield from ()
+
+    def _stream_read_response(self, request: RocePacket, mr: MemoryRegion):
+        attrs = self.device.attrs
+        nic = self.device.host.nic
+        mtu = attrs.mtu
+        length = request.total_length
+        chunk_count = max(1, -(-length // mtu))
+        for index in range(chunk_count):
+            offset = index * mtu
+            size = min(mtu, length - offset)
+            yield self.env.timeout(attrs.packet_process)
+            yield nic.dma_transfer(size)
+            # Snapshot at DMA time: a concurrent writer produces torn data,
+            # the read/write race of the paper's Section III-A.
+            data = mr.read_bytes(request.remote_offset + offset, size)
+            self._transmit(
+                RocePacket(
+                    kind=PacketType.READ_RESPONSE,
+                    src_host=self.device.host.name,
+                    src_qp=self.qp_num,
+                    dst_host=request.src_host,
+                    dst_qp=request.src_qp,
+                    payload=data,
+                    read_id=request.read_id,
+                    chunk_index=index,
+                    chunk_count=chunk_count,
+                )
+            )
+
+    def _handle_read_response(self, packet: RocePacket):
+        ctx = self._reads.get(packet.read_id)
+        if ctx is None:
+            return
+        entry = ctx.entry
+        wr = entry.wr
+        assert wr.sge is not None
+        if packet.chunk_index != ctx.chunks_received:
+            # Out-of-order chunk (lost predecessor): drop; the retry timer
+            # will re-issue the whole idempotent READ.
+            return
+        nic = self.device.host.nic
+        if packet.payload:
+            yield nic.dma_transfer(len(packet.payload))
+            wr.sge.mr.write_bytes(wr.sge.offset + ctx.cursor, packet.payload)
+            ctx.cursor += len(packet.payload)
+        ctx.chunks_received += 1
+        ctx.chunk_count = packet.chunk_count
+        if ctx.chunks_received == packet.chunk_count:
+            del self._reads[packet.read_id]
+            entry.done = True
+            # The response train implicitly acknowledges the request PSN.
+            self._unacked = [
+                (p, t) for (p, t) in self._unacked if p.psn != entry.last_psn
+            ]
+            self._retry_budget = self.caps.retry_count
+            self._grant_space()
+            self._advance_completions()
+
+    # -- RNR handling ------------------------------------------------------
+
+    def _handle_rnr(self, packet: RocePacket):
+        self._rnr_budget -= 1
+        if self._rnr_budget < 0:
+            self._fail_head(WcStatus.RNR_RETRY_EXC_ERR)
+            return
+        self._rnr_blocked_until = self.env.now + packet.rnr_timer
+
+        def wait_and_retry():
+            # Back off in a separate process so the device's receive
+            # pipeline is not stalled for the RNR timer.
+            yield self.env.timeout(packet.rnr_timer)
+            if self.state is QpState.RTS:
+                self._retransmit_from(packet.psn)
+
+        self.env.process(wait_and_retry(), name=f"qp{self.qp_num}.rnr_wait")
+        yield from ()
+
+    # -- control packets ----------------------------------------------------
+
+    def _send_control(self, kind: str, psn: int, rnr_timer: float = 0.0) -> None:
+        self._transmit(
+            RocePacket(
+                kind=kind,
+                src_host=self.device.host.name,
+                src_qp=self.qp_num,
+                dst_host=self.remote_host,  # type: ignore[arg-type]
+                dst_qp=self.remote_qp,  # type: ignore[arg-type]
+                psn=psn,
+                rnr_timer=rnr_timer,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueuePair qp{self.qp_num} on {self.device.host.name} "
+            f"{self.state.value}>"
+        )

@@ -1,0 +1,68 @@
+"""Verbs-level constants: opcodes, states, access flags, completion status.
+
+Names follow the InfiniBand verbs API (``ibv_*``) closely so that code
+reading like the paper's DiSNI/jVerbs examples translates directly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Opcode",
+    "WcStatus",
+    "QpState",
+    "Access",
+    "ROCE_HEADER_BYTES",
+    "ACK_WIRE_BYTES",
+    "DEFAULT_MTU",
+]
+
+#: RoCE v2 per-packet overhead: Ethernet(18) + IP(20) + UDP(8) + BTH(12)
+#: + ICRC(4).
+ROCE_HEADER_BYTES = 62
+
+#: Wire size of an ACK/NAK packet (headers + 4-byte AETH).
+ACK_WIRE_BYTES = ROCE_HEADER_BYTES + 4
+
+#: Default RoCE path MTU (the MT27520 of the paper's testbed supports 4096).
+DEFAULT_MTU = 4096
+
+
+class Opcode(enum.Enum):
+    """Work request / completion opcodes."""
+
+    SEND = "SEND"
+    RECV = "RECV"
+    RDMA_WRITE = "RDMA_WRITE"
+    RDMA_READ = "RDMA_READ"
+
+
+class WcStatus(enum.Enum):
+    """Work completion status codes (subset of ``ibv_wc_status``)."""
+
+    SUCCESS = "SUCCESS"
+    LOC_LEN_ERR = "LOC_LEN_ERR"
+    LOC_PROT_ERR = "LOC_PROT_ERR"
+    REM_ACCESS_ERR = "REM_ACCESS_ERR"
+    RNR_RETRY_EXC_ERR = "RNR_RETRY_EXC_ERR"
+    RETRY_EXC_ERR = "RETRY_EXC_ERR"
+    WR_FLUSH_ERR = "WR_FLUSH_ERR"
+
+
+class QpState(enum.Enum):
+    """Queue pair states (subset of the IB state machine)."""
+
+    RESET = "RESET"
+    INIT = "INIT"
+    RTR = "RTR"  # ready to receive
+    RTS = "RTS"  # ready to send
+    ERROR = "ERROR"
+
+
+class Access(enum.IntFlag):
+    """Memory region access permissions."""
+
+    LOCAL_WRITE = 0x1
+    REMOTE_WRITE = 0x2
+    REMOTE_READ = 0x4

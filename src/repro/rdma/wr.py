@@ -1,0 +1,111 @@
+"""Work requests: the descriptors posted to queue pairs.
+
+"These WRs provide information about the data to be sent (send request) or
+received (receive requests)" (paper, Section II-A).  A scatter/gather
+element (:class:`Sge`) names a slice of a registered memory region by its
+lkey; an inline send instead embeds the payload in the WQE itself, which
+is the paper's low-latency optimization for small messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import RdmaError
+from repro.rdma.mr import MemoryRegion, RemoteAddress
+from repro.rdma.verbs import Opcode
+
+__all__ = ["Sge", "SendWorkRequest", "RecvWorkRequest"]
+
+
+@dataclass
+class Sge:
+    """A scatter/gather element: (memory region, offset, length)."""
+
+    mr: MemoryRegion
+    offset: int = 0
+    length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length is None:
+            self.length = self.mr.length - self.offset
+        if self.offset < 0 or self.length < 0:
+            raise RdmaError(f"negative SGE geometry ({self.offset}, {self.length})")
+
+
+@dataclass
+class SendWorkRequest:
+    """A work request for the send queue (SEND / RDMA_WRITE / RDMA_READ).
+
+    Attributes
+    ----------
+    wr_id:
+        Application cookie returned in the matching work completion.
+    opcode:
+        :attr:`Opcode.SEND`, :attr:`Opcode.RDMA_WRITE` or
+        :attr:`Opcode.RDMA_READ`.
+    sge:
+        Local buffer slice — the gather source for SEND/WRITE, the scatter
+        destination for READ.  ``None`` only for inline sends.
+    inline_data:
+        Payload embedded in the WQE (SEND/WRITE only, bounded by the
+        device's ``max_inline``).  The buffer is reusable immediately
+        after posting and the RNIC skips the gather DMA — the latency
+        optimization of the paper's Section IV.
+    remote:
+        (rkey, offset) for one-sided opcodes.
+    signaled:
+        Whether a successful completion generates a CQE.  Unsignaled sends
+        (selective signaling) reduce completion overhead but their SQ slot
+        is only recycled when a *later signaled* WR completes — posting
+        unsignaled forever wedges the queue, the misconfiguration trap the
+        paper warns about ("RDMA performance can easily decrease... with
+        ill-advised configuration").
+    """
+
+    wr_id: int
+    opcode: Opcode
+    sge: Optional[Sge] = None
+    inline_data: Optional[bytes] = None
+    remote: Optional[RemoteAddress] = None
+    signaled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.opcode is Opcode.RECV:
+            raise RdmaError("RECV is not a send-queue opcode")
+        if self.inline_data is not None and self.sge is not None:
+            raise RdmaError("use either inline_data or an SGE, not both")
+        if self.inline_data is None and self.sge is None:
+            raise RdmaError("a send WR needs a payload source")
+        if self.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_READ):
+            if self.remote is None:
+                raise RdmaError(f"{self.opcode.value} needs a remote address")
+        if self.opcode is Opcode.RDMA_READ and self.inline_data is not None:
+            raise RdmaError("RDMA_READ cannot be inline")
+
+    @property
+    def length(self) -> int:
+        """Payload byte count."""
+        if self.inline_data is not None:
+            return len(self.inline_data)
+        assert self.sge is not None and self.sge.length is not None
+        return self.sge.length
+
+
+@dataclass
+class RecvWorkRequest:
+    """A work request for the receive queue.
+
+    The receiver "decides in which buffer to place the data" — each
+    incoming SEND consumes exactly one posted receive WR, which is why the
+    paper stresses allocating enough receive requests (RUBIN posts them in
+    pre-registered batches).
+    """
+
+    wr_id: int
+    sge: Sge = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.sge is None:
+            raise RdmaError("a recv WR needs a destination SGE")

@@ -1,0 +1,20 @@
+"""Reptor-style replica communication stack.
+
+Framed, HMAC-authenticated, batched and windowed messaging over a
+selector-driven single-threaded event loop — the communication layer the
+paper's Figure 4 benchmarks over both the Java NIO selector (TCP) and
+RUBIN (RDMA).  The PBFT core (:mod:`repro.bft`) runs on top of this.
+"""
+
+from repro.reptor.config import ReptorConfig
+from repro.reptor.endpoint import ReptorConnection, ReptorEndpoint
+from repro.reptor.framing import HEADER_BYTES, Framer, frame_overhead
+
+__all__ = [
+    "ReptorConfig",
+    "ReptorEndpoint",
+    "ReptorConnection",
+    "Framer",
+    "HEADER_BYTES",
+    "frame_overhead",
+]

@@ -1,0 +1,51 @@
+"""Reptor communication-stack configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReptorConfig"]
+
+
+@dataclass(frozen=True)
+class ReptorConfig:
+    """Tunables of the replica communication stack.
+
+    ``window`` and ``batch_size`` default to the paper's Figure 4 settings
+    ("the window size and batching was set to 30 and 10 messages").
+
+    Attributes
+    ----------
+    window:
+        Maximum messages a connection holds in its outbound stage
+        (queued or being written); further sends block until the stack
+        drains — the flow-control window.
+    batch_size:
+        Up to this many framed messages are coalesced into a single
+        channel write (one syscall / one doorbell).
+    authenticate:
+        Attach and verify HMACs on every message (Reptor always does;
+        switchable for ablations).
+    max_message:
+        Upper bound on a single message's payload size.
+    read_buffer:
+        Size of the per-connection read staging buffer.
+    """
+
+    window: int = 30
+    batch_size: int = 10
+    authenticate: bool = True
+    max_message: int = 128 * 1024
+    read_buffer: int = 128 * 1024
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.max_message < 1:
+            raise ConfigurationError("max_message must be >= 1")
+        if self.read_buffer < 1024:
+            raise ConfigurationError("read_buffer must be >= 1 KiB")

@@ -1,0 +1,127 @@
+"""Message framing with optional HMAC trailers.
+
+Wire format of one frame::
+
+    +---------+---------+---------------------+----------------+
+    | len: 4B | flag:1B | payload: len bytes  | mac: 16B (opt) |
+    +---------+---------+---------------------+----------------+
+
+``len`` covers only the payload.  The MAC (present when the flag's bit 0
+is set) covers header plus payload, so neither length forgery nor payload
+tampering goes unnoticed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.crypto import MAC_BYTES, HmacAuthenticator
+from repro.errors import BftError
+
+__all__ = ["Framer", "HEADER_BYTES", "frame_overhead"]
+
+HEADER_BYTES = 5
+_HEADER = struct.Struct(">IB")
+FLAG_MAC = 0x1
+
+
+def frame_overhead(authenticated: bool) -> int:
+    """Per-message framing overhead in bytes."""
+    return HEADER_BYTES + (MAC_BYTES if authenticated else 0)
+
+
+class Framer:
+    """Stateful encoder/decoder for one connection's byte stream."""
+
+    def __init__(
+        self,
+        auth: Optional[HmacAuthenticator] = None,
+        max_message: int = 128 * 1024,
+    ):
+        self.auth = auth
+        self.max_message = max_message
+        self._parse_buffer = bytearray()
+        self.decoded_count = 0
+        self.rejected_count = 0
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, payload: bytes) -> bytes:
+        """Frame one message (MAC appended when authentication is on)."""
+        if len(payload) > self.max_message:
+            raise BftError(
+                f"message of {len(payload)}B exceeds max_message "
+                f"{self.max_message}B"
+            )
+        flags = FLAG_MAC if self.auth is not None else 0
+        header = _HEADER.pack(len(payload), flags)
+        if self.auth is not None:
+            mac = self.auth.sign(header + payload)
+            return header + payload + mac
+        return header + payload
+
+    def encoded_size(self, payload_len: int) -> int:
+        """Wire size of a framed message with ``payload_len`` payload."""
+        return payload_len + frame_overhead(self.auth is not None)
+
+    # -- decoding -----------------------------------------------------------
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Append stream bytes; return the complete, *verified* payloads.
+
+        A frame with a bad MAC raises :class:`BftError` — the caller
+        (replica) treats the connection as compromised.
+        """
+        self._parse_buffer.extend(data)
+        out: List[bytes] = []
+        while True:
+            frame = self._try_extract()
+            if frame is None:
+                break
+            out.append(frame)
+        return out
+
+    def _try_extract(self) -> Optional[bytes]:
+        buf = self._parse_buffer
+        if len(buf) < HEADER_BYTES:
+            return None
+        length, flags = _HEADER.unpack_from(buf, 0)
+        if length > self.max_message:
+            raise BftError(
+                f"framed length {length} exceeds max_message "
+                f"{self.max_message} (corrupt or hostile stream)"
+            )
+        has_mac = bool(flags & FLAG_MAC)
+        total = HEADER_BYTES + length + (MAC_BYTES if has_mac else 0)
+        if len(buf) < total:
+            return None
+        payload = bytes(buf[HEADER_BYTES : HEADER_BYTES + length])
+        if has_mac:
+            if self.auth is None:
+                raise BftError("authenticated frame on an unauthenticated link")
+            mac = bytes(buf[HEADER_BYTES + length : total])
+            if not self.auth.verify(bytes(buf[:HEADER_BYTES]) + payload, mac):
+                self.rejected_count += 1
+                raise BftError("HMAC verification failed: message tampered")
+        elif self.auth is not None:
+            raise BftError("unauthenticated frame on an authenticated link")
+        del buf[:total]
+        self.decoded_count += 1
+        return payload
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes awaiting a complete frame."""
+        return len(self._parse_buffer)
+
+    def mac_bytes_for(self, payload_len: int) -> int:
+        """How many bytes a MAC computation covers for cost charging."""
+        return HEADER_BYTES + payload_len
+
+
+def split_batches(payloads: List[bytes], batch_size: int) -> List[List[bytes]]:
+    """Group payloads into write batches of at most ``batch_size``."""
+    return [
+        payloads[i : i + batch_size] for i in range(0, len(payloads), batch_size)
+    ]

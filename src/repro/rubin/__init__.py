@@ -1,0 +1,45 @@
+"""RUBIN: the paper's RDMA communication framework.
+
+An abstraction of the RDMA queue-pair programming model that recreates the
+behaviour of the non-blocking Java NIO selector and socket channel, so
+Java-style BFT frameworks (Reptor, BFT-SMaRt, UpRight) can adopt RDMA
+without rewriting their communication stacks:
+
+* :class:`RubinChannel` / :class:`RubinServerChannel` — NIO-socket-like
+  channels owning all RDMA resources (QPs, WRs, registered buffer pools);
+* :class:`RubinSelector` + :class:`RubinSelectionKey` — single-threaded
+  multiplexing over OP_CONNECT / OP_ACCEPT / OP_RECEIVE / OP_SEND;
+* :class:`HybridEventQueue` + :class:`EventManager` — the epoll
+  replacement merging connection-manager events and completion events;
+* :class:`RubinConfig` — all Section-IV optimizations as switches.
+"""
+
+from repro.rubin.buffer_pool import BufferPool, PooledBuffer
+from repro.rubin.channel import RubinChannel, RubinServerChannel
+from repro.rubin.config import RubinConfig
+from repro.rubin.events import EventManager, HybridEventQueue, RubinEvent
+from repro.rubin.selection_key import (
+    OP_ACCEPT,
+    OP_CONNECT,
+    OP_RECEIVE,
+    OP_SEND,
+    RubinSelectionKey,
+)
+from repro.rubin.selector import RubinSelector
+
+__all__ = [
+    "RubinChannel",
+    "RubinServerChannel",
+    "RubinSelector",
+    "RubinSelectionKey",
+    "RubinConfig",
+    "BufferPool",
+    "PooledBuffer",
+    "HybridEventQueue",
+    "EventManager",
+    "RubinEvent",
+    "OP_CONNECT",
+    "OP_ACCEPT",
+    "OP_RECEIVE",
+    "OP_SEND",
+]

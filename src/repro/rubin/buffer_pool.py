@@ -1,0 +1,122 @@
+"""Pre-registered buffer pools.
+
+"A pool of buffers for send and receive requests are pre-registered and
+can be reused as needed" (paper, Section IV).  Registration is expensive
+(page pinning, RNIC translation-table updates), so RUBIN pays it once at
+channel creation and recycles buffers afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.errors import RubinError
+from repro.rdma.mr import MemoryRegion, ProtectionDomain
+from repro.rdma.verbs import Access
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rdma.device import RdmaDevice
+
+__all__ = ["PooledBuffer", "BufferPool"]
+
+
+class PooledBuffer:
+    """One registered buffer, loaned out and returned to its pool."""
+
+    __slots__ = ("pool", "mr", "index", "in_use")
+
+    def __init__(self, pool: "BufferPool", mr: MemoryRegion, index: int):
+        self.pool = pool
+        self.mr = mr
+        self.index = index
+        self.in_use = False
+
+    @property
+    def data(self) -> bytearray:
+        """The buffer's backing bytes (shared with the MR)."""
+        return self.mr.buffer
+
+    def release(self) -> None:
+        """Return the buffer to its pool (idempotent)."""
+        self.pool.release(self)
+
+    def __repr__(self) -> str:
+        state = "busy" if self.in_use else "free"
+        return f"<PooledBuffer #{self.index} {state} {len(self.data)}B>"
+
+
+class BufferPool:
+    """A fixed set of equal-size registered buffers."""
+
+    def __init__(
+        self,
+        device: "RdmaDevice",
+        pd: ProtectionDomain,
+        count: int,
+        buffer_size: int,
+        name: str = "pool",
+    ):
+        if count < 1:
+            raise RubinError("a buffer pool needs at least one buffer")
+        if buffer_size < 1:
+            raise RubinError("buffers must be at least one byte")
+        self.device = device
+        self.name = name
+        self.buffer_size = buffer_size
+        self._buffers: List[PooledBuffer] = []
+        self._free: List[PooledBuffer] = []
+        for index in range(count):
+            mr = device.reg_mr(pd, bytearray(buffer_size), Access.LOCAL_WRITE)
+            pooled = PooledBuffer(self, mr, index)
+            self._buffers.append(pooled)
+            self._free.append(pooled)
+
+    @property
+    def capacity(self) -> int:
+        """Total buffers in the pool."""
+        return len(self._buffers)
+
+    @property
+    def available(self) -> int:
+        """Buffers currently free."""
+        return len(self._free)
+
+    def registration_pages(self) -> int:
+        """Pages pinned by the whole pool (for setup-cost accounting)."""
+        per_buffer = max(1, -(-self.buffer_size // self.device.attrs.page_size))
+        return per_buffer * len(self._buffers)
+
+    def acquire(self) -> PooledBuffer:
+        """Take a free buffer; raises :class:`RubinError` when exhausted."""
+        if not self._free:
+            raise RubinError(f"{self.name}: buffer pool exhausted")
+        pooled = self._free.pop()
+        pooled.in_use = True
+        return pooled
+
+    def try_acquire(self) -> PooledBuffer | None:
+        """Take a free buffer or return None."""
+        if not self._free:
+            return None
+        return self.acquire()
+
+    def release(self, pooled: PooledBuffer) -> None:
+        """Return a buffer to the pool."""
+        if pooled.pool is not self:
+            raise RubinError(f"{self.name}: buffer belongs to another pool")
+        if not pooled.in_use:
+            return
+        pooled.in_use = False
+        self._free.append(pooled)
+
+    def destroy(self) -> None:
+        """Deregister every buffer (pool becomes unusable)."""
+        for pooled in self._buffers:
+            self.device.dereg_mr(pooled.mr)
+        self._free.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferPool {self.name} {self.available}/{self.capacity} free "
+            f"x {self.buffer_size}B>"
+        )

@@ -1,0 +1,554 @@
+"""RDMA channels: the RUBIN counterpart of NIO socket channels.
+
+"An RDMA channel represents an RDMA connection.  The abstraction behaves
+similar to a non-blocking NIO socket channel, which offers read() and
+write() methods, and includes all necessary RDMA resources such as QPs and
+WRs.  When an RDMA channel is created, the list of buffers that the
+application will use for send and receive operations is also allocated and
+registered" (paper, Section III-B).
+
+The channel implements all four Section-IV optimizations (driven by
+:class:`~repro.rubin.config.RubinConfig`):
+
+* pre-registered, reusable buffer pools;
+* batched re-posting of receive work requests;
+* selective signaling for sends;
+* inline sends below the threshold, zero-copy gather from the (once-)
+  registered application buffer above it — while receives still copy out
+  of the pool buffer, the documented large-message bottleneck.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
+
+from repro.errors import RubinError
+from repro.nio.buffer import ByteBuffer
+from repro.rdma.cm import CmEvent, ConnectionManager, ConnectRequest
+from repro.rdma.cq import CompletionQueue
+from repro.rdma.verbs import Opcode, QpState, WcStatus
+from repro.rdma.wr import RecvWorkRequest, SendWorkRequest, Sge
+from repro.rubin.buffer_pool import BufferPool, PooledBuffer
+from repro.rubin.config import RubinConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.host import Host
+    from repro.rdma.device import RdmaDevice
+    from repro.sim import Environment, Event
+
+__all__ = ["RubinChannel", "RubinServerChannel"]
+
+_channel_ids = itertools.count(1)
+
+
+class _InboundMessage:
+    """A received message parked in its pool buffer until read out."""
+
+    __slots__ = ("pooled", "offset", "remaining")
+
+    def __init__(self, pooled: PooledBuffer, length: int):
+        self.pooled = pooled
+        self.offset = 0
+        self.remaining = length
+
+
+class RubinChannel:
+    """A connected RDMA channel with NIO-style non-blocking read/write."""
+
+    def __init__(
+        self,
+        device: "RdmaDevice",
+        cm: ConnectionManager,
+        config: Optional[RubinConfig] = None,
+    ):
+        self.device = device
+        self.cm = cm
+        self.host: "Host" = device.host
+        self.env: "Environment" = device.env
+        self.config = config if config is not None else RubinConfig()
+        #: The unique connection identifier of the paper.
+        self.channel_id = next(_channel_ids)
+
+        self.pd = device.alloc_pd()
+        self.send_cq: CompletionQueue = device.create_cq(
+            name=f"ch{self.channel_id}.send"
+        )
+        self.recv_cq: CompletionQueue = device.create_cq(
+            name=f"ch{self.channel_id}.recv"
+        )
+        caps_inline = min(self.config.inline_threshold, device.attrs.max_inline)
+        from repro.rdma.qp import QpCapabilities
+
+        self.qp = device.create_qp(
+            self.pd,
+            self.send_cq,
+            self.recv_cq,
+            caps=QpCapabilities(
+                max_send_wr=self.config.num_send_buffers,
+                max_recv_wr=self.config.num_recv_buffers,
+                max_inline=caps_inline,
+            ),
+        )
+        self.qp.add_error_watcher(lambda _qp: self._enter_error())
+
+        # Buffer pools, allocated and registered at creation (paper §III-B);
+        # the pin/map cost is charged asynchronously on this host's CPU.
+        self.recv_pool = BufferPool(
+            device,
+            self.pd,
+            self.config.num_recv_buffers,
+            self.config.buffer_size,
+            name=f"ch{self.channel_id}.recv_pool",
+        )
+        self.send_pool = BufferPool(
+            device,
+            self.pd,
+            self.config.num_send_buffers,
+            self.config.buffer_size,
+            name=f"ch{self.channel_id}.send_pool",
+        )
+        self._charge_registration_cost()
+
+        # Receive-side state.
+        self._recv_wr_map: Dict[int, PooledBuffer] = {}
+        self._ready_messages: Deque[_InboundMessage] = deque()
+        self._repost_backlog: List[PooledBuffer] = []
+        self._next_wr_id = itertools.count(1)
+
+        # Send-side state.
+        self._sends_since_signal = 0
+        self._send_wr_buffers: Deque[tuple[int, Optional[PooledBuffer]]] = deque()
+        self._app_mr_cache: Dict[int, object] = {}
+
+        # Connection state.
+        self.established = False
+        self._establish_pending = False
+        self.closed = False
+        self.errored = False
+        self._watchers: List[Callable[[], None]] = []
+        cm.add_event_watcher(self._on_cm_event)
+
+        # Pre-post every receive buffer (in device-max batches).
+        self._prepost_all_recv_buffers()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def connect(
+        cls,
+        device: "RdmaDevice",
+        cm: ConnectionManager,
+        remote_host: str,
+        port: int,
+        config: Optional[RubinConfig] = None,
+    ) -> "RubinChannel":
+        """Active open toward ``remote_host:port`` (non-blocking)."""
+        channel = cls(device, cm, config)
+        channel._establish_pending = True
+        established = cm.connect(remote_host, port, channel.qp)
+        established.subscribe(channel._on_connect_outcome)
+        return channel
+
+    @classmethod
+    def _accept(
+        cls,
+        device: "RdmaDevice",
+        cm: ConnectionManager,
+        request: ConnectRequest,
+        config: Optional[RubinConfig] = None,
+    ) -> "RubinChannel":
+        """Passive open from a pending connect request."""
+        channel = cls(device, cm, config)
+        channel._establish_pending = True
+        request.accept(channel.qp)
+        return channel
+
+    def _charge_registration_cost(self) -> None:
+        """Charge buffer-pool registration on this host's CPU (async)."""
+        attrs = self.device.attrs
+        pages = self.recv_pool.registration_pages() + self.send_pool.registration_pages()
+        cost = (
+            2 * self.host.cpu.costs.syscall
+            + 2 * attrs.mr_register_base
+            + pages * attrs.mr_register_per_page
+        )
+
+        def charge():
+            yield self.host.cpu.execute(cost)
+
+        self.env.process(charge(), name=f"ch{self.channel_id}.reg_cost")
+
+    def _prepost_all_recv_buffers(self) -> None:
+        batch: List[RecvWorkRequest] = []
+        limit = min(self.config.post_batch, self.device.attrs.max_post_batch)
+        while True:
+            pooled = self.recv_pool.try_acquire()
+            if pooled is None:
+                break
+            wr_id = next(self._next_wr_id)
+            self._recv_wr_map[wr_id] = pooled
+            batch.append(RecvWorkRequest(wr_id=wr_id, sge=Sge(pooled.mr)))
+            if len(batch) >= limit:
+                self.qp.post_recv_batch(batch)
+                batch = []
+        if batch:
+            self.qp.post_recv_batch(batch)
+
+    # ------------------------------------------------------------------
+    # connection state
+    # ------------------------------------------------------------------
+
+    def _on_connect_outcome(self, event) -> None:
+        if not event.ok:
+            self._enter_error()
+            return
+        # ESTABLISHED CmEvent also fires; state set in _on_cm_event.
+
+    def _on_cm_event(self, event: CmEvent) -> None:
+        if event.kind == "ESTABLISHED" and event.qp is self.qp:
+            self.established = True
+            self._notify()
+        elif event.kind == "REJECTED" and self._establish_pending:
+            # Identified by pending state; a rejected channel errors out.
+            if not self.established:
+                self._enter_error()
+
+    def finish_connect(self) -> bool:
+        """Consume the OP_ACCEPT readiness; True once established."""
+        if self.errored:
+            raise RubinError(f"{self}: connection failed")
+        if self.established:
+            self._establish_pending = False
+            return True
+        return False
+
+    @property
+    def accept_pending(self) -> bool:
+        """Established but not yet acknowledged via finish_connect()."""
+        return self.established and self._establish_pending
+
+    def _enter_error(self) -> None:
+        self.errored = True
+        self.closed = True
+        self._notify()
+
+    def add_watcher(self, watcher: Callable[[], None]) -> None:
+        """Invoke ``watcher()`` on readiness-relevant changes."""
+        self._watchers.append(watcher)
+
+    def _notify(self) -> None:
+        for watcher in list(self._watchers):
+            watcher()
+
+    # ------------------------------------------------------------------
+    # readiness
+    # ------------------------------------------------------------------
+
+    @property
+    def receivable(self) -> bool:
+        """A completed message is parked and ready to read."""
+        return bool(self._ready_messages) or len(self.recv_cq) > 0
+
+    @property
+    def sendable(self) -> bool:
+        """A write could make progress right now."""
+        if not self.established or self.closed:
+            return False
+        if self.qp.send_queue_free < 1:
+            return False
+        if not self.config.zero_copy_send and self.send_pool.available == 0:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # completion handling
+    # ------------------------------------------------------------------
+
+    def on_cq_event(self, cq: CompletionQueue):
+        """Drain ``cq`` after a notification; generator (selector yields).
+
+        Charges the per-CQE reap cost and re-arms the notification."""
+        cpu = self.host.cpu
+        while True:
+            completions = cq.poll(max_entries=16)
+            if not completions:
+                break
+            yield cpu.execute(cpu.costs.cqe_poll * len(completions))
+            for wc in completions:
+                self._handle_completion(wc)
+        if cq.channel is not None:
+            cq.request_notify()
+        self._notify()
+
+    def _drain_cq_direct(self, cq: CompletionQueue):
+        """Drain without a selector (used by read/write paths)."""
+        yield from self.on_cq_event(cq)
+
+    def _handle_completion(self, wc) -> None:
+        if not wc.ok:
+            if wc.status is not WcStatus.WR_FLUSH_ERR:
+                self._enter_error()
+            return
+        if wc.opcode is Opcode.RECV:
+            pooled = self._recv_wr_map.pop(wc.wr_id, None)
+            if pooled is None:
+                raise RubinError(f"{self}: completion for unknown recv WR")
+            self._ready_messages.append(_InboundMessage(pooled, wc.byte_len))
+        else:
+            # A send CQE releases the pool buffers of this WR and of every
+            # earlier unsignaled WR (in-order completion).
+            while self._send_wr_buffers:
+                wr_id, pooled = self._send_wr_buffers.popleft()
+                if pooled is not None:
+                    pooled.release()
+                if wr_id == wc.wr_id:
+                    break
+
+    # ------------------------------------------------------------------
+    # read / write
+    # ------------------------------------------------------------------
+
+    def read(self, buffer: ByteBuffer) -> "Event":
+        """Read one (partial) message into ``buffer``; value = byte count.
+
+        Non-blocking: 0 when no message is ready, ``None`` once closed.
+        Charges the CQE reap and — unless ``zero_copy_recv`` — the
+        receive-side copy from the pool buffer into the application
+        buffer, the very copy the paper blames for large-message
+        degradation.
+        """
+        return self.env.process(self._read_proc(buffer), name="rubin.read")
+
+    def _read_proc(self, buffer: ByteBuffer):
+        if self.closed and not self._ready_messages and len(self.recv_cq) == 0:
+            return None
+        yield from self._drain_cq_direct(self.recv_cq)
+        if not self._ready_messages:
+            return None if self.closed else 0
+        message = self._ready_messages[0]
+        take = min(message.remaining, buffer.remaining())
+        if take == 0:
+            return 0
+        if not self.config.zero_copy_recv:
+            yield self.host.cpu.copy(take)
+        buffer.put(bytes(message.pooled.data[message.offset : message.offset + take]))
+        message.offset += take
+        message.remaining -= take
+        if message.remaining == 0:
+            self._ready_messages.popleft()
+            yield from self._recycle_recv_buffer(message.pooled)
+        return take
+
+    def _recycle_recv_buffer(self, pooled: PooledBuffer):
+        """Queue a consumed buffer for batched re-posting."""
+        self._repost_backlog.append(pooled)
+        limit = min(self.config.post_batch, self.device.attrs.max_post_batch)
+        if len(self._repost_backlog) >= limit:
+            cpu = self.host.cpu
+            batch = []
+            for buf in self._repost_backlog:
+                wr_id = next(self._next_wr_id)
+                self._recv_wr_map[wr_id] = buf
+                batch.append(RecvWorkRequest(wr_id=wr_id, sge=Sge(buf.mr)))
+            self._repost_backlog = []
+            # One doorbell for the whole batch (the paper's posting
+            # optimization); WQE build cost per request.
+            yield cpu.execute(
+                cpu.costs.post_wr * len(batch) + cpu.costs.doorbell
+            )
+            self.qp.post_recv_batch(batch)
+        else:
+            yield from ()
+
+    def write(self, buffer: ByteBuffer) -> "Event":
+        """Send ``buffer``'s remaining bytes as one message; value = count.
+
+        Non-blocking: returns 0 when the send queue or pool is full.
+        """
+        return self.env.process(self._write_proc(buffer), name="rubin.write")
+
+    def _write_proc(self, buffer: ByteBuffer):
+        if self.closed:
+            raise RubinError(f"{self}: channel is closed")
+        if not self.established:
+            raise RubinError(f"{self}: channel is not established")
+        length = buffer.remaining()
+        if length == 0:
+            return 0
+        if length > self.config.buffer_size:
+            raise RubinError(
+                f"{self}: message of {length}B exceeds channel buffer size "
+                f"{self.config.buffer_size}B"
+            )
+        # Reap finished sends first so slots/pool buffers recycle.
+        yield from self._drain_cq_direct(self.send_cq)
+        if self.qp.send_queue_free < 1:
+            return 0
+
+        cpu = self.host.cpu
+        self._sends_since_signal += 1
+        signaled = self._sends_since_signal >= self.config.signal_interval
+        if signaled:
+            self._sends_since_signal = 0
+        wr_id = next(self._next_wr_id)
+
+        if length <= self.config.inline_threshold and length <= self.qp.caps.max_inline:
+            # Inline: payload copied into the WQE; cheapest for small
+            # messages, no gather DMA at the RNIC.
+            data = buffer.get(length)
+            yield cpu.execute(
+                cpu.costs.post_wr + cpu.costs.doorbell + cpu.costs.copy_seconds(length)
+            )
+            wr = SendWorkRequest(
+                wr_id=wr_id, opcode=Opcode.SEND, inline_data=data, signaled=signaled
+            )
+            self._send_wr_buffers.append((wr_id, None))
+        elif self.config.zero_copy_send:
+            # Register the application's buffer once, then gather from it
+            # directly (zero-copy send path of Section IV).
+            mr = yield from self._app_buffer_mr(buffer)
+            yield cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
+            wr = SendWorkRequest(
+                wr_id=wr_id,
+                opcode=Opcode.SEND,
+                sge=Sge(mr, buffer.position, length),
+                signaled=signaled,
+            )
+            buffer.position = buffer.position + length
+            self._send_wr_buffers.append((wr_id, None))
+        else:
+            pooled = self.send_pool.try_acquire()
+            if pooled is None:
+                return 0
+            data = buffer.get(length)
+            yield cpu.copy(length)
+            pooled.data[:length] = data
+            yield cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
+            wr = SendWorkRequest(
+                wr_id=wr_id,
+                opcode=Opcode.SEND,
+                sge=Sge(pooled.mr, 0, length),
+                signaled=signaled,
+            )
+            self._send_wr_buffers.append((wr_id, pooled))
+        self.qp.post_send(wr)
+        return length
+
+    def _app_buffer_mr(self, buffer: ByteBuffer):
+        """Register (once) and return the MR for an application buffer."""
+        backing = buffer.array()
+        key = id(backing)
+        mr = self._app_mr_cache.get(key)
+        if mr is not None and mr.buffer is not backing:
+            # id() was recycled for a different bytearray: never serve a
+            # stale registration for foreign memory.
+            mr = None
+        if mr is None:
+            attrs = self.device.attrs
+            pages = max(1, -(-len(backing) // attrs.page_size))
+            yield self.host.cpu.execute(
+                self.host.cpu.costs.syscall
+                + attrs.mr_register_base
+                + pages * attrs.mr_register_per_page
+            )
+            mr = self.device.reg_mr(self.pd, backing)
+            self._app_mr_cache[key] = mr
+        return mr
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the channel and release its resources."""
+        if self.closed:
+            return
+        self.closed = True
+        self._notify()
+
+    def __repr__(self) -> str:
+        state = (
+            "error"
+            if self.errored
+            else "closed"
+            if self.closed
+            else "established"
+            if self.established
+            else "connecting"
+        )
+        return f"<RubinChannel #{self.channel_id} on {self.host.name} {state}>"
+
+
+class RubinServerChannel:
+    """A listening RDMA channel producing :class:`RubinChannel` on accept."""
+
+    def __init__(
+        self,
+        device: "RdmaDevice",
+        cm: ConnectionManager,
+        port: int,
+        config: Optional[RubinConfig] = None,
+    ):
+        self.device = device
+        self.cm = cm
+        self.port = port
+        self.config = config if config is not None else RubinConfig()
+        self.channel_id = next(_channel_ids)
+        self.listener = cm.listen(port)
+        self._pending: Deque[ConnectRequest] = deque()
+        self._watchers: List[Callable[[], None]] = []
+        self.closed = False
+        cm.add_event_watcher(self._on_cm_event)
+
+    def _on_cm_event(self, event: CmEvent) -> None:
+        if (
+            event.kind == "CONNECT_REQUEST"
+            and event.listener_port == self.port
+            and not self.closed
+        ):
+            self._pending.append(event.request)
+            for watcher in list(self._watchers):
+                watcher()
+
+    @property
+    def connect_pending(self) -> bool:
+        """True when an unaccepted connection request is queued."""
+        return bool(self._pending)
+
+    def accept(self, config: Optional[RubinConfig] = None) -> Optional[RubinChannel]:
+        """Accept the next pending request; None when there is none.
+
+        The returned channel is usable immediately (receive buffers are
+        posted); it reports OP_ACCEPT readiness once the peer's RTU lands.
+        """
+        if self.closed:
+            raise RubinError(f"{self}: server channel is closed")
+        if not self._pending:
+            return None
+        request = self._pending.popleft()
+        return RubinChannel._accept(
+            self.device, self.cm, request, config or self.config
+        )
+
+    def add_watcher(self, watcher: Callable[[], None]) -> None:
+        """Invoke ``watcher()`` when a connection request arrives."""
+        self._watchers.append(watcher)
+
+    def close(self) -> None:
+        """Stop listening; pending unaccepted requests are rejected."""
+        if self.closed:
+            return
+        self.closed = True
+        while self._pending:
+            self._pending.popleft().reject("listener closed")
+        self.listener.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<RubinServerChannel #{self.channel_id} "
+            f"{self.device.host.name}:{self.port}>"
+        )

@@ -1,0 +1,88 @@
+"""RUBIN framework configuration.
+
+Every optimization from the paper's Section IV is a switch here so the
+ablation benchmarks can isolate its effect:
+
+* ``signal_interval`` — selective signaling: request a send CQE only every
+  N-th message ("such a notification is only necessary after a certain
+  number of messages, thus reducing the overhead for the RUBIN selector").
+* ``inline_threshold`` — send small payloads inline in the WQE ("sending
+  messages as inline provides better latency... especially beneficial for
+  small messages"); the paper's copy-vs-register cutoff is 256 B.
+* ``zero_copy_send`` — register the application's send buffer directly
+  instead of copying through a pool buffer ("we therefore register the
+  application's send buffer directly for RDMA communication").
+* ``zero_copy_recv`` — the paper's *future work* ("remove any buffer copy
+  from the RDMA communication except for small messages"); the published
+  implementation copies on the receiver ("data is still copied into a
+  separate buffer on the receiver side"), hence the default False.
+* ``post_batch`` — receive WRs are re-posted "in batches of the maximum
+  number of requests supported by the device".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RubinConfig"]
+
+
+@dataclass(frozen=True)
+class RubinConfig:
+    """Tunables of a RUBIN channel.
+
+    Attributes
+    ----------
+    buffer_size:
+        Size of each pre-registered pool buffer; also the largest message
+        a channel can carry in one ``write``.
+    num_recv_buffers / num_send_buffers:
+        Pool depths.  Receive buffers are pre-posted; their count bounds
+        how many messages can be in flight toward this channel.
+    signal_interval:
+        Request a send completion every N-th send (1 = signal always).
+    inline_threshold:
+        Payloads at or below this size are sent inline (and copied, which
+        is cheaper than a gather DMA at this scale).
+    post_batch:
+        How many consumed receive buffers accumulate before being
+        re-posted with a single doorbell.
+    zero_copy_send / zero_copy_recv:
+        Copy-avoidance switches described in the module docstring.
+    select_overhead:
+        CPU seconds charged per ``select()`` invocation — RUBIN's event
+        bookkeeping is user-space Java and the paper concedes it is "less
+        performant than that of the highly optimized Java NIO selector".
+    """
+
+    buffer_size: int = 128 * 1024
+    num_recv_buffers: int = 64
+    num_send_buffers: int = 64
+    signal_interval: int = 8
+    inline_threshold: int = 256
+    post_batch: int = 16
+    zero_copy_send: bool = True
+    zero_copy_recv: bool = False
+    select_overhead: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.buffer_size < 1:
+            raise ConfigurationError("buffer_size must be >= 1")
+        if self.num_recv_buffers < 1 or self.num_send_buffers < 1:
+            raise ConfigurationError("buffer pools must hold >= 1 buffer")
+        if self.signal_interval < 1:
+            raise ConfigurationError(
+                "signal_interval must be >= 1 (never signaling wedges the "
+                "send queue: unsignaled slots are only recycled by a later "
+                "signaled completion)"
+            )
+        if self.inline_threshold < 0:
+            raise ConfigurationError("inline_threshold must be >= 0")
+        if not 1 <= self.post_batch <= self.num_recv_buffers:
+            raise ConfigurationError(
+                "post_batch must be in [1, num_recv_buffers]"
+            )
+        if self.select_overhead < 0:
+            raise ConfigurationError("select_overhead must be >= 0")

@@ -1,0 +1,56 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate for everything else in :mod:`repro`: the
+network fabric, TCP and RDMA stacks, the RUBIN framework and the BFT
+replicas are all processes scheduled on one :class:`Environment`.
+
+Quick tour::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def hello(env):
+        yield env.timeout(1.5)
+        return "done at %.1f" % env.now
+
+    proc = env.process(hello(env))
+    print(env.run(until=proc))   # -> "done at 1.5"
+"""
+
+from repro.sim.core import Environment, Infinity
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.monitor import Counter, SummaryStats, TimeSeries, UtilizationTracker
+from repro.sim.process import Process, ProcessGenerator
+from repro.sim.resources import Resource, ResourceRequest, Store, StoreGet, StorePut
+
+__all__ = [
+    "Environment",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "Condition",
+    "ConditionValue",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "ProcessGenerator",
+    "Store",
+    "StorePut",
+    "StoreGet",
+    "Resource",
+    "ResourceRequest",
+    "Counter",
+    "TimeSeries",
+    "UtilizationTracker",
+    "SummaryStats",
+]

@@ -1,0 +1,172 @@
+"""The discrete-event kernel: agenda, clock, and run loop.
+
+:class:`Environment` owns simulated time.  Everything else in this library —
+links, NICs, TCP stacks, RDMA devices, BFT replicas — is a set of processes
+and events scheduled on one environment.
+
+Determinism
+-----------
+
+The agenda is a binary heap ordered by ``(time, priority, sequence)``.  The
+monotonically increasing sequence number makes event processing order fully
+deterministic for identical inputs, which the benchmark harness relies on:
+every figure in EXPERIMENTS.md reproduces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+__all__ = ["Environment", "Infinity"]
+
+#: Convenience alias used for "run forever" bounds.
+Infinity = float("inf")
+
+
+class Environment:
+    """A simulation environment: clock, agenda, and factory methods.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock.  The library uses seconds
+        as the unit convention throughout (latencies are reported in
+        microseconds by dividing at the edges).
+    """
+
+    #: Priority for ordinary events.
+    NORMAL = 1
+    #: Priority for urgent events (interrupts), processed before normal
+    #: events scheduled for the same time.
+    URGENT = 0
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock & agenda -----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Put ``event`` on the agenda ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``Infinity`` if none."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the single next event on the agenda."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("agenda is empty") from None
+
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failed event nobody waited on: surface it loudly.
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the agenda empties;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            stop_at = Infinity
+            stop_event: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop_at = Infinity
+            stop_event = until
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+        else:
+            stop_at = float(until)
+            if stop_at <= self._now:
+                raise SimulationError(
+                    f"until={stop_at} is not in the future (now={self._now})"
+                )
+            stop_event = None
+
+        while self._queue:
+            if self.peek() > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                stop_event._defused = True
+                raise stop_event.value
+
+        if stop_event is not None:
+            raise SimulationError(
+                "simulation ran out of events before the awaited event "
+                f"{stop_event!r} triggered"
+            )
+        if stop_at is not Infinity:
+            self._now = stop_at
+        return None
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: Optional[str] = None
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Environment now={self._now!r} pending={len(self._queue)} "
+            f"at {id(self):#x}>"
+        )

@@ -1,0 +1,341 @@
+"""Event primitives for the discrete-event kernel.
+
+The kernel follows the classic generator-coroutine design: simulation
+processes are Python generators that ``yield`` :class:`Event` objects and are
+resumed when those events are *processed* (their callbacks run).  The design
+is deliberately close to SimPy's, because that model has proven itself for
+exactly this kind of protocol simulation, but it is implemented from scratch
+here and trimmed to what the RUBIN reproduction needs.
+
+Key vocabulary
+--------------
+
+triggered
+    The event has a value (or an exception) and has been scheduled; its
+    callbacks *will* run at its scheduled time.
+processed
+    The event's callbacks have already run.  Yielding an already-processed
+    event is allowed and resumes the process on the next kernel step.
+ok
+    Whether the event succeeded (``succeed``) or failed (``fail``).  A failed
+    event re-raises its exception inside every process that waits on it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.core import Environment
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "Interrupt",
+]
+
+
+class _Pending:
+    """Sentinel for "this event has no value yet"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+#: Sentinel stored in :attr:`Event._value` until the event is triggered.
+PENDING = _Pending()
+
+
+class Interrupt(Exception):
+    """Raised *inside* a process when :meth:`Process.interrupt` is called.
+
+    The interrupt cause is available as :attr:`cause`.  Interrupts are not
+    :class:`repro.errors.ReproError` subclasses on purpose: they are control
+    flow, not failures, and processes are expected to catch them.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """Whatever was passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class Event:
+    """A happening in simulated time that processes can wait for.
+
+    Events start *pending*.  Calling :meth:`succeed` or :meth:`fail` assigns
+    the value and schedules the event on the environment's agenda; when the
+    kernel reaches it, all registered callbacks run exactly once and the
+    event becomes *processed*.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment"):
+        #: The environment this event lives in.
+        self.env = env
+        #: Callbacks run when the event is processed; ``None`` afterwards.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the agenda."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Every process waiting on this event will have ``exception`` raised
+        at its ``yield``.  If *nobody* ever waits on a failed event the
+        kernel re-raises the exception at the end of the step in which it
+        was processed so that failures never pass silently (an event can opt
+        out with :meth:`defused`).
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(
+                f"fail() needs an exception instance, got {exception!r}"
+            )
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (chaining helper)."""
+        if event._value is PENDING:
+            raise SimulationError(f"cannot chain from untriggered {event!r}")
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled out-of-band.
+
+        Suppresses the "unhandled failed event" error the kernel would
+        otherwise raise when a failed event is processed with no waiters.
+        """
+        self._defused = True
+        return self
+
+    # -- waiting ------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when this event is processed.
+
+        If the event was already processed, the callback is scheduled to run
+        on the immediate next kernel step (same simulated time), preserving
+        the invariant that callbacks never run synchronously inside the
+        subscriber's own stack frame.
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+        else:
+            # Already processed: deliver asynchronously via a proxy event so
+            # re-yielding old events behaves deterministically.
+            proxy = Event(self.env)
+            proxy.callbacks.append(lambda _e: callback(self))
+            proxy._ok = True
+            proxy._value = None
+            self.env.schedule(proxy)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed"
+            if self.processed
+            else "triggered"
+            if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` units of simulated time from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
+
+
+class ConditionValue:
+    """Ordered mapping of the events a :class:`Condition` collected.
+
+    Behaves like a read-only dict keyed by the original event objects, in
+    the order they were passed to the condition.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def keys(self):
+        return iter(self.events)
+
+    def values(self):
+        return (event.value for event in self.events)
+
+    def items(self):
+        return ((event, event.value) for event in self.events)
+
+    def todict(self) -> dict[Event, Any]:
+        return {event: event.value for event in self.events}
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Waits for a boolean combination of other events.
+
+    ``evaluate`` receives the list of composed events and the count of
+    triggered ones and returns True once the condition is satisfied.  The
+    value of a processed condition is a :class:`ConditionValue` of all
+    composed events that had triggered *successfully* by then.  If any
+    composed event fails, the condition fails with the same exception.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._events: list[Event] = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            event.subscribe(self._on_event)
+
+    def _collect_values(self) -> ConditionValue:
+        return ConditionValue([e for e in self._events if e.processed and e._ok])
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """Evaluator: every composed event has triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        """Evaluator: at least one composed event has triggered."""
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* of ``events`` have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* of ``events`` has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.any_events, events)

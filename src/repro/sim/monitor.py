@@ -1,0 +1,151 @@
+"""Lightweight measurement probes for simulations.
+
+The benchmark harness needs three kinds of observations:
+
+* :class:`Counter` — monotonically increasing event counts (messages sent,
+  completions polled, retransmissions...).
+* :class:`TimeSeries` — (time, value) samples, e.g. per-message latencies.
+* :class:`UtilizationTracker` — busy-time integration for CPUs/links.
+
+All probes are cheap and purely observational: attaching them never changes
+simulation behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+__all__ = ["Counter", "TimeSeries", "UtilizationTracker", "SummaryStats"]
+
+
+class SummaryStats:
+    """Simple descriptive statistics over a list of samples."""
+
+    __slots__ = ("count", "mean", "minimum", "maximum", "stdev", "p50", "p99")
+
+    def __init__(self, samples: list[float]):
+        self.count = len(samples)
+        if not samples:
+            self.mean = self.minimum = self.maximum = self.stdev = 0.0
+            self.p50 = self.p99 = 0.0
+            return
+        ordered = sorted(samples)
+        self.count = len(ordered)
+        self.mean = sum(ordered) / self.count
+        self.minimum = ordered[0]
+        self.maximum = ordered[-1]
+        variance = sum((s - self.mean) ** 2 for s in ordered) / self.count
+        self.stdev = math.sqrt(variance)
+        self.p50 = _percentile(ordered, 0.50)
+        self.p99 = _percentile(ordered, 0.99)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SummaryStats n={self.count} mean={self.mean:.6g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g}>"
+        )
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile on an already sorted list."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class TimeSeries:
+    """Records (time, value) samples against an environment's clock."""
+
+    __slots__ = ("env", "name", "times", "values")
+
+    def __init__(self, env: "Environment", name: str):
+        self.env = env
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float, time: Optional[float] = None) -> None:
+        """Append a sample (defaults to the current simulated time)."""
+        self.times.append(self.env.now if time is None else time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def stats(self) -> SummaryStats:
+        """Descriptive statistics of the recorded values."""
+        return SummaryStats(self.values)
+
+    def rate(self) -> float:
+        """Samples per time unit over the recorded span (0 if degenerate)."""
+        if len(self.times) < 2:
+            return 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return 0.0
+        return (len(self.times) - 1) / span
+
+
+class UtilizationTracker:
+    """Integrates the busy time of an on/off resource."""
+
+    __slots__ = ("env", "name", "_busy_since", "_busy_total", "_depth")
+
+    def __init__(self, env: "Environment", name: str):
+        self.env = env
+        self.name = name
+        self._busy_since: Optional[float] = None
+        self._busy_total = 0.0
+        self._depth = 0
+
+    def begin(self) -> None:
+        """Mark the resource busy (nestable)."""
+        if self._depth == 0:
+            self._busy_since = self.env.now
+        self._depth += 1
+
+    def end(self) -> None:
+        """Mark one nested busy section finished."""
+        if self._depth == 0:
+            raise ValueError(f"{self.name}: end() without begin()")
+        self._depth -= 1
+        if self._depth == 0 and self._busy_since is not None:
+            self._busy_total += self.env.now - self._busy_since
+            self._busy_since = None
+
+    def busy_time(self) -> float:
+        """Total busy time accumulated so far."""
+        extra = 0.0
+        if self._depth > 0 and self._busy_since is not None:
+            extra = self.env.now - self._busy_since
+        return self._busy_total + extra
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Fraction of wall-clock (simulated) time spent busy since ``since``."""
+        span = self.env.now - since
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_time() / span)

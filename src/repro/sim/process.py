@@ -1,0 +1,150 @@
+"""Simulation processes: generators driven by the event kernel.
+
+A process wraps a generator that yields :class:`~repro.sim.events.Event`
+objects.  Whenever a yielded event is processed, the kernel resumes the
+generator, sending in the event's value (or throwing its exception).  A
+process is itself an event that triggers when the generator finishes, so
+processes can wait for each other, be composed with ``AllOf``/``AnyOf`` and
+be interrupted.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+__all__ = ["Process", "ProcessGenerator"]
+
+#: Type alias for the generators that implement process bodies.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process (and the event of its termination)."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "throw") or not hasattr(generator, "send"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on (None if running
+        #: right now or finished).
+        self._target: Optional[Event] = None
+        #: Human-readable name used in reprs and error messages.
+        self.name = name or getattr(generator, "__name__", "process")
+
+        # Kick the generator off on the next kernel step at the current
+        # time.  URGENT priority guarantees the bootstrap runs before any
+        # interrupt scheduled later in the same instant, so the generator
+        # has started before an Interrupt can be thrown into it.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env.schedule(bootstrap, priority=env.URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently suspended on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The process stops waiting on its current target (the target stays
+        subscribed but resuming is suppressed) and is resumed with the
+        interrupt on the next kernel step.  Interrupting a finished process
+        is an error; interrupting a process twice before it runs delivers
+        both interrupts in order.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=self.env.URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self.triggered:
+            # The process already finished (e.g. an interrupt raced with the
+            # target event).  Nothing to deliver.
+            return
+        if isinstance(event._value, Interrupt):
+            # Detach from the current target so its later processing does
+            # not resume us a second time.
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        elif event is not self._target and self._target is not None:
+            # Stale callback from an event we stopped waiting on.
+            return
+
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded {next_target!r}, "
+                "which is not an Event"
+            )
+            try:
+                self._generator.throw(error)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+            except BaseException as exc:
+                self.fail(exc)
+            return
+
+        if next_target.env is not self.env:
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded an event from a "
+                    "different environment"
+                )
+            )
+            return
+
+        self._target = next_target
+        next_target.subscribe(self._resume)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state} at {id(self):#x}>"

@@ -1,0 +1,236 @@
+"""Shared-resource primitives built on the event kernel.
+
+Two primitives cover everything the network and protocol layers need:
+
+:class:`Store`
+    An unbounded-or-bounded FIFO queue of Python objects with blocking
+    ``put``/``get`` — the backbone of NIC queues, completion queues and
+    mailbox-style inter-process communication.
+
+:class:`Resource`
+    A counted semaphore with FIFO fairness — used for CPU cores and DMA
+    engines, where "holding" the resource for a simulated duration models
+    the cost of an operation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Environment
+
+__all__ = ["Store", "Resource", "StorePut", "StoreGet", "ResourceRequest"]
+
+
+class StorePut(Event):
+    """Event for a pending :meth:`Store.put`; triggers when accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: "Environment", item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event for a pending :meth:`Store.get`; value is the item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(
+        self, env: "Environment", filter: Optional[Callable[[Any], bool]] = None
+    ):
+        super().__init__(env)
+        self.filter = filter
+
+
+class Store:
+    """A FIFO queue of items with blocking put/get semantics.
+
+    ``capacity`` bounds how many items the store holds; puts beyond the
+    bound stay pending until a get frees space.  ``get`` optionally takes a
+    filter predicate; the first *matching* item is removed (items before it
+    stay queued), which the RDMA completion-queue model uses to poll for
+    specific completion kinds in tests.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def pending_getters(self) -> int:
+        """Number of get() calls currently blocked."""
+        return len(self._getters)
+
+    @property
+    def pending_putters(self) -> int:
+        """Number of put() calls currently blocked."""
+        return len(self._putters)
+
+    def put(self, item: Any) -> StorePut:
+        """Queue ``item``; the returned event triggers once it is stored."""
+        event = StorePut(self.env, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Take the first (matching) item; event value is the item."""
+        event = StoreGet(self.env, filter)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get: pop the head item or return None."""
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._dispatch()
+        return item
+
+    def _dispatch(self) -> None:
+        """Match pending puts to capacity and pending gets to items."""
+        progress = True
+        while progress:
+            progress = False
+            # Admit puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve getters in FIFO order; a getter whose filter matches
+            # nothing stays at the front (strict FIFO, like simpy's
+            # FilterStore would *not* do — here blocked filters do not let
+            # later getters overtake, keeping completion polling fair).
+            while self._getters and self.items:
+                get = self._getters[0]
+                if get.filter is None:
+                    item = self.items.popleft()
+                else:
+                    for index, candidate in enumerate(self.items):
+                        if get.filter(candidate):
+                            del self.items[index]
+                            item = candidate
+                            break
+                    else:
+                        break
+                self._getters.popleft()
+                get.succeed(item)
+                progress = True
+
+
+class ResourceRequest(Event):
+    """Event for a pending :meth:`Resource.request`."""
+
+    __slots__ = ("resource", "released")
+
+    def __init__(self, env: "Environment", resource: "Resource"):
+        super().__init__(env)
+        self.resource = resource
+        self.released = False
+
+    def release(self) -> None:
+        """Give the slot back (idempotent)."""
+        self.resource.release(self)
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted, FIFO-fair semaphore over simulated time.
+
+    Typical usage inside a process::
+
+        req = cpu.request()
+        yield req
+        yield env.timeout(cost_seconds)
+        req.release()
+
+    or with the context-manager form ``with cpu.request() as req: yield req``.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self._users: list[ResourceRequest] = []
+        self._waiters: Deque[ResourceRequest] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> ResourceRequest:
+        """Ask for a slot; the returned event triggers when granted."""
+        event = ResourceRequest(self.env, self)
+        if len(self._users) < self.capacity:
+            self._users.append(event)
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, request: ResourceRequest) -> None:
+        """Return a previously granted slot (idempotent)."""
+        if request.released:
+            return
+        request.released = True
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            # Never granted: cancel the waiting request.
+            try:
+                self._waiters.remove(request)
+            except ValueError:
+                raise SimulationError(
+                    "release() of a request unknown to this resource"
+                ) from None
+            return
+        while self._waiters and len(self._users) < self.capacity:
+            waiter = self._waiters.popleft()
+            self._users.append(waiter)
+            waiter.succeed()
+
+    def run_task(self, duration: float) -> "Event":
+        """Convenience process: hold one slot for ``duration`` and finish.
+
+        Returns the :class:`~repro.sim.process.Process` so callers can yield
+        it.  This is the standard way the network stacks charge CPU time.
+        """
+
+        def task() -> Generator[Event, Any, None]:
+            req = self.request()
+            yield req
+            try:
+                yield self.env.timeout(duration)
+            finally:
+                req.release()
+
+        return self.env.process(task(), name=f"run_task({duration:.3g})")

@@ -1,0 +1,30 @@
+"""Simulated TCP/IP stack.
+
+The TCP baseline of the paper's evaluation, with its cost structure modeled
+explicitly: kernel crossings, the two intermediate copies per direction,
+per-segment protocol processing and interrupt handling.  See
+:mod:`repro.tcpstack.connection` for the protocol subset implemented.
+"""
+
+from repro.tcpstack.config import TCP_HEADER_BYTES, TcpConfig
+from repro.tcpstack.connection import TcpConnection
+from repro.tcpstack.epoll import EPOLLIN, EPOLLOUT, Epoll
+from repro.tcpstack.listener import TcpListener
+from repro.tcpstack.segment import ACK, FIN, RST, SYN, Segment
+from repro.tcpstack.stack import TcpStack
+
+__all__ = [
+    "TcpConfig",
+    "TCP_HEADER_BYTES",
+    "TcpConnection",
+    "TcpListener",
+    "TcpStack",
+    "Segment",
+    "SYN",
+    "ACK",
+    "FIN",
+    "RST",
+    "Epoll",
+    "EPOLLIN",
+    "EPOLLOUT",
+]

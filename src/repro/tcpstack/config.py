@@ -1,0 +1,60 @@
+"""TCP stack configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TcpConfig", "TCP_HEADER_BYTES"]
+
+#: Ethernet (18) + IP (20) + TCP (20, no options) header bytes per segment.
+TCP_HEADER_BYTES = 58
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Tunables of the simulated TCP stack.
+
+    The stack models what matters for the paper's comparison — handshake,
+    MSS segmentation, sliding-window flow control, cumulative ACKs,
+    go-back-N retransmission and, crucially, the *CPU cost* of the two
+    intermediate copies and the kernel crossings.  Congestion control is
+    deliberately omitted: the testbed is a dedicated point-to-point link
+    where slow-start/AIMD never engages meaningfully.
+
+    Attributes
+    ----------
+    mss:
+        Maximum segment payload in bytes (1460 = Ethernet MTU minus
+        IP/TCP headers).
+    send_buffer:
+        Kernel send-buffer capacity in bytes.
+    recv_buffer:
+        Kernel receive-buffer capacity in bytes; its free space is the
+        advertised window.
+    rto:
+        Fixed retransmission timeout in seconds (no RTT estimation; the
+        simulated link has constant delay).
+    max_in_flight_segments:
+        Cap on unacknowledged segments independent of the peer's window
+        (models a fixed send window).
+    """
+
+    mss: int = 1460
+    send_buffer: int = 262_144
+    recv_buffer: int = 262_144
+    rto: float = 5e-3
+    max_in_flight_segments: int = 256
+
+    def __post_init__(self) -> None:
+        if self.mss < 1:
+            raise ConfigurationError(f"mss must be >= 1 ({self.mss})")
+        if self.send_buffer < self.mss:
+            raise ConfigurationError("send_buffer must hold at least one segment")
+        if self.recv_buffer < self.mss:
+            raise ConfigurationError("recv_buffer must hold at least one segment")
+        if self.rto <= 0:
+            raise ConfigurationError(f"rto must be > 0 ({self.rto})")
+        if self.max_in_flight_segments < 1:
+            raise ConfigurationError("max_in_flight_segments must be >= 1")

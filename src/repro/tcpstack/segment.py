@@ -1,0 +1,68 @@
+"""TCP segments (the payload objects carried inside link frames)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tcpstack.config import TCP_HEADER_BYTES
+
+__all__ = ["Segment", "SYN", "ACK", "FIN", "RST"]
+
+#: Flag bits.
+SYN = 0x1
+ACK = 0x2
+FIN = 0x4
+RST = 0x8
+
+_FLAG_NAMES = [(SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (RST, "RST")]
+
+
+@dataclass
+class Segment:
+    """One TCP segment.
+
+    ``seq`` numbers count bytes; SYN and FIN each consume one sequence
+    number, as in real TCP.  ``window`` is the receiver's advertised free
+    buffer space, carried on every ACK.
+    """
+
+    src_host: str
+    src_port: int
+    dst_host: str
+    dst_port: int
+    flags: int = 0
+    seq: int = 0
+    ack: int = 0
+    window: int = 0
+    data: bytes = field(default=b"", repr=False)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes this segment occupies on the wire, headers included."""
+        return TCP_HEADER_BYTES + len(self.data)
+
+    @property
+    def seq_length(self) -> int:
+        """Sequence-number space consumed: data bytes plus SYN/FIN."""
+        length = len(self.data)
+        if self.flags & SYN:
+            length += 1
+        if self.flags & FIN:
+            length += 1
+        return length
+
+    def has(self, flag: int) -> bool:
+        """Whether ``flag`` is set."""
+        return bool(self.flags & flag)
+
+    def flag_names(self) -> str:
+        """Human-readable flag list for tracing."""
+        names = [name for bit, name in _FLAG_NAMES if self.flags & bit]
+        return "|".join(names) if names else "-"
+
+    def __repr__(self) -> str:
+        return (
+            f"<Segment {self.src_host}:{self.src_port}->"
+            f"{self.dst_host}:{self.dst_port} {self.flag_names()} "
+            f"seq={self.seq} ack={self.ack} len={len(self.data)}>"
+        )

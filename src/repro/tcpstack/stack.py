@@ -1,0 +1,171 @@
+"""Per-host TCP stack: port space, demultiplexing, connection factory."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.errors import TcpError
+from repro.net.frame import Frame
+from repro.tcpstack.config import TcpConfig
+from repro.tcpstack.connection import TcpConnection
+from repro.tcpstack.listener import TcpListener
+from repro.tcpstack.segment import ACK, RST, SYN, Segment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.host import Host
+
+__all__ = ["TcpStack"]
+
+#: First ephemeral port handed out by :meth:`TcpStack.connect`.
+EPHEMERAL_BASE = 49152
+
+ConnKey = Tuple[int, str, int]  # (local_port, remote_host, remote_port)
+
+
+class TcpStack:
+    """The TCP endpoint living on one host.
+
+    Install with ``TcpStack(host)`` — it registers itself as the host's
+    ``"tcp"`` stack and binds the NIC's ``"tcp"`` protocol handler.
+    """
+
+    PROTOCOL = "tcp"
+
+    def __init__(self, host: "Host", config: Optional[TcpConfig] = None):
+        self.host = host
+        self.env = host.env
+        self.config = config if config is not None else TcpConfig()
+        self._connections: Dict[ConnKey, TcpConnection] = {}
+        self._listeners: Dict[int, TcpListener] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        host.install("tcp", self)
+        host.nic.register_protocol(self.PROTOCOL, self._on_frame)
+
+    # -- socket factory ---------------------------------------------------
+
+    def listen(self, port: int, backlog: int = 128) -> TcpListener:
+        """Open a listening socket on ``port``."""
+        self._check_port(port)
+        if port in self._listeners:
+            raise TcpError(f"{self.host.name}: port {port} already listening")
+        listener = TcpListener(self, port, backlog=backlog)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(
+        self,
+        remote_host: str,
+        remote_port: int,
+        local_port: Optional[int] = None,
+        config: Optional[TcpConfig] = None,
+    ) -> TcpConnection:
+        """Start an active open; yield ``connection.established`` to wait."""
+        self._check_port(remote_port)
+        if local_port is None:
+            local_port = self._allocate_ephemeral()
+        else:
+            self._check_port(local_port)
+        key = (local_port, remote_host, remote_port)
+        if key in self._connections:
+            raise TcpError(f"{self.host.name}: {key} already in use")
+        connection = TcpConnection(
+            self,
+            local_port,
+            remote_host,
+            remote_port,
+            config or self.config,
+            passive=False,
+        )
+        self._connections[key] = connection
+        connection.open_active()
+        return connection
+
+    def _allocate_ephemeral(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        return port
+
+    @staticmethod
+    def _check_port(port: int) -> None:
+        if not 0 < port < 65536:
+            raise TcpError(f"invalid port {port}")
+
+    # -- demultiplexing ------------------------------------------------------
+
+    def _on_frame(self, frame: Frame) -> None:
+        segment: Segment = frame.payload
+        key = (segment.dst_port, segment.src_host, segment.src_port)
+        connection = self._connections.get(key)
+        if connection is not None:
+            connection.enqueue_segment(segment)
+            return
+        if segment.has(SYN) and not segment.has(ACK):
+            listener = self._listeners.get(segment.dst_port)
+            if listener is not None and not listener.closed:
+                server_conn = TcpConnection(
+                    self,
+                    segment.dst_port,
+                    segment.src_host,
+                    segment.src_port,
+                    self.config,
+                    passive=True,
+                )
+                server_conn._listener = listener  # noqa: SLF001 - own module
+                self._connections[key] = server_conn
+                server_conn.open_passive(segment)
+                return
+        if not segment.has(RST):
+            # Nothing matches: refuse (connection refused / stray segment).
+            self._send_rst(segment)
+
+    def _send_rst(self, offending: Segment) -> None:
+        rst = Segment(
+            src_host=self.host.name,
+            src_port=offending.dst_port,
+            dst_host=offending.src_host,
+            dst_port=offending.src_port,
+            flags=RST | ACK,
+            seq=offending.ack,
+            ack=offending.seq + offending.seq_length,
+        )
+        self.host.nic.transmit(
+            Frame(
+                src=self.host.name,
+                dst=offending.src_host,
+                protocol=self.PROTOCOL,
+                wire_bytes=rst.wire_bytes,
+                payload=rst,
+            )
+        )
+
+    # -- callbacks from connections/listeners -------------------------------
+
+    def _connection_established(self, connection: TcpConnection) -> None:
+        """Passive handshake finished: queue on the owning listener."""
+        listener = getattr(connection, "_listener", None)
+        if listener is not None and not listener.closed:
+            listener.enqueue_established(connection)
+
+    def _connection_closed(self, connection: TcpConnection) -> None:
+        key = (
+            connection.local_port,
+            connection.remote_host,
+            connection.remote_port,
+        )
+        self._connections.pop(key, None)
+
+    def _listener_closed(self, listener: TcpListener) -> None:
+        self._listeners.pop(listener.port, None)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def connection_count(self) -> int:
+        """Number of live (non-CLOSED) connections."""
+        return len(self._connections)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpStack {self.host.name} conns={len(self._connections)} "
+            f"listeners={sorted(self._listeners)}>"
+        )

@@ -1,0 +1,77 @@
+"""ASCII chart rendering and the CLI module."""
+
+import pytest
+
+from repro.bench.plotting import ascii_chart
+from repro.bench.results import FigureTable
+from repro.errors import ReproError
+
+
+def sample_table():
+    table = FigureTable("Test figure", "latency", "us")
+    for payload, tcp, rdma in ((1024, 25.0, 12.0), (10240, 80.0, 40.0),
+                               (102400, 614.0, 107.0)):
+        table.add("tcp", payload, tcp)
+        table.add("rdma", payload, rdma)
+    return table
+
+
+def test_chart_contains_title_and_legend():
+    chart = ascii_chart(sample_table())
+    assert "Test figure" in chart
+    assert "o=tcp" in chart
+    assert "x=rdma" in chart
+
+
+def test_chart_axis_labels():
+    chart = ascii_chart(sample_table())
+    assert "614" in chart  # max value label
+    assert "12" in chart  # min value label
+    assert "1KB" in chart
+    assert "100KB" in chart
+
+
+def test_chart_has_requested_geometry():
+    chart = ascii_chart(sample_table(), width=40, height=10)
+    rows = [line for line in chart.splitlines() if "|" in line]
+    assert len(rows) == 10
+    assert all(len(line.split("|", 1)[1]) <= 40 for line in rows)
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ReproError, match="nothing to plot"):
+        ascii_chart(FigureTable("Empty", "m", "u"))
+
+
+def test_linear_scale_fallback_for_nonpositive_values():
+    table = FigureTable("Zeroes", "m", "u")
+    table.add("a", 1024, 0.0)
+    table.add("a", 2048, 5.0)
+    chart = ascii_chart(table)
+    assert "(log y)" not in chart
+
+
+def test_single_point_chart():
+    table = FigureTable("One", "m", "u")
+    table.add("a", 1024, 42.0)
+    chart = ascii_chart(table)
+    assert "One" in chart
+
+
+def test_cli_help_exits_cleanly():
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+
+
+def test_cli_runs_a_tiny_fig3(capsys):
+    from repro.bench.__main__ import main
+
+    # A very small run keeps this a smoke test, not a benchmark.
+    code = main(["--fig", "3", "--messages", "5"])
+    out = capsys.readouterr().out
+    assert "Figure 3a" in out
+    assert "shape checks" in out
+    assert code in (0, 1)  # tiny runs may sit outside the strict bands

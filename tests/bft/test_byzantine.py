@@ -1,0 +1,117 @@
+"""Byzantine replica behaviours: the group must tolerate f = 1 traitor."""
+
+import pytest
+
+from repro.bft import (
+    BftCluster,
+    BftConfig,
+    CorruptingReplica,
+    CounterMachine,
+    EquivocatingLeader,
+    SilentReplica,
+)
+
+
+def make_cluster(**kwargs):
+    defaults = dict(
+        transport="nio",
+        config=BftConfig(view_change_timeout=30e-3, batch_delay=50e-6),
+    )
+    defaults.update(kwargs)
+    cluster = BftCluster(**defaults)
+    cluster.start()
+    return cluster
+
+
+class TestCorruptingBackup:
+    def test_corrupt_votes_do_not_block_progress(self):
+        cluster = make_cluster(replica_classes={"r2": CorruptingReplica})
+        cluster.replica("r2").start_corrupting()
+        for i in range(5):
+            assert cluster.invoke_and_wait(f"PUT k{i}=v".encode()) == b"OK"
+
+    def test_corrupt_votes_never_count_toward_quorums(self):
+        cluster = make_cluster(replica_classes={"r2": CorruptingReplica})
+        cluster.replica("r2").start_corrupting()
+        cluster.invoke_and_wait(b"PUT a=1")
+        cluster.run_for(10e-3)
+        # Honest replicas committed with honest votes only: none of their
+        # slots may count r2's corrupted digests.
+        for rid in ("r0", "r1", "r3"):
+            replica = cluster.replica(rid)
+            for slot in replica.log.slots.values():
+                if slot.pre_prepare is None:
+                    continue
+                vote = slot.prepares.get("r2")
+                if vote is not None:
+                    assert vote.digest != slot.pre_prepare.digest
+
+    def test_honest_state_unaffected(self):
+        cluster = make_cluster(
+            replica_classes={"r1": CorruptingReplica},
+            app_factory=CounterMachine,
+        )
+        cluster.replica("r1").start_corrupting()
+        for _ in range(4):
+            cluster.invoke_and_wait(CounterMachine.add(5))
+        cluster.run_for(10e-3)
+        honest = [cluster.apps[r].value for r in ("r0", "r2", "r3")]
+        assert honest == [20, 20, 20]
+
+
+class TestEquivocation:
+    def test_equivocating_values_never_commit_on_honest_replicas(self):
+        cluster = make_cluster(replica_classes={"r0": EquivocatingLeader})
+        cluster.replica("r0").start_equivocating()
+        result = cluster.invoke_and_wait(b"PUT target=true")
+        assert result == b"OK"
+        cluster.run_for(20e-3)
+        for rid in ("r1", "r2", "r3"):
+            value = cluster.apps[rid].get("target")
+            assert value in (None, "true")
+            assert not (value or "").startswith("FORGED")
+
+    def test_forged_batches_rejected_by_digest_check(self):
+        """Victims of the equivocation see digest-mismatching batches and
+        must drop them rather than vote."""
+        cluster = make_cluster(replica_classes={"r0": EquivocatingLeader})
+        leader = cluster.replica("r0")
+        leader.start_equivocating(victims={"r1"})
+        cluster.invoke_and_wait(b"PUT check=digest")
+        cluster.run_for(20e-3)
+        # r1 received a forged batch whose digest matches its contents
+        # (the attacker recomputed it), so r1 votes for the forged digest
+        # while r2/r3 vote for the real one: quorum only forms on the
+        # real digest.
+        digests = cluster.state_digests()
+        assert digests["r2"] == digests["r3"]
+
+
+class TestCrashRecoveryMatrix:
+    @pytest.mark.parametrize("victim", ["r1", "r2", "r3"])
+    def test_any_single_backup_crash_tolerated(self, victim):
+        cluster = make_cluster(
+            replica_classes={victim: SilentReplica},
+        )
+        cluster.replica(victim).go_silent()
+        assert cluster.invoke_and_wait(b"PUT who=cares") == b"OK"
+
+    def test_two_crashes_exceed_f_and_block(self):
+        """f = 1: two silent replicas must stall the service (safety
+        over liveness) — no spurious results may be produced."""
+        cluster = make_cluster(
+            replica_classes={"r2": SilentReplica, "r3": SilentReplica},
+        )
+        cluster.replica("r2").go_silent()
+        cluster.replica("r3").go_silent()
+        event = cluster.client().invoke(b"PUT never=committed")
+        cluster.run_for(200e-3)
+        assert not event.triggered
+
+    def test_view_change_cascade_until_honest_leader(self):
+        """With r0 silent from the start, view 1 (led by r1) takes over."""
+        cluster = make_cluster(replica_classes={"r0": SilentReplica})
+        cluster.replica("r0").go_silent()
+        assert cluster.invoke_and_wait(b"PUT first=requests") == b"OK"
+        views = {r.view for r in cluster.replicas.values() if r.replica_id != "r0"}
+        assert views == {1}

@@ -1,0 +1,139 @@
+"""Message log: slots, certificates, watermarks, checkpoints."""
+
+import pytest
+
+from repro.bft.log import MessageLog, Slot
+from repro.bft.messages import Commit, PrePrepare, Prepare, Request
+from repro.errors import BftError
+
+
+def pp(seq=1, view=0, digest=b"d"):
+    batch = (Request("c0", 1, b"op"),)
+    return PrePrepare(view=view, seq=seq, digest=digest, batch=batch, replica_id="r0")
+
+
+def prepare(replica, seq=1, view=0, digest=b"d"):
+    return Prepare(view=view, seq=seq, digest=digest, replica_id=replica)
+
+
+def commit(replica, seq=1, view=0, digest=b"d"):
+    return Commit(view=view, seq=seq, digest=digest, replica_id=replica)
+
+
+def test_prepared_needs_2f_matching_prepares():
+    log = MessageLog(f=1)
+    slot = log.slot(1)
+    slot.record_pre_prepare(pp())
+    assert not log.check_prepared(1, 0)
+    slot.record_prepare(prepare("r1"))
+    assert not log.check_prepared(1, 0)
+    slot.record_prepare(prepare("r2"))
+    assert log.check_prepared(1, 0)
+
+
+def test_committed_needs_2f_plus_1_commits():
+    log = MessageLog(f=1)
+    slot = log.slot(1)
+    slot.record_pre_prepare(pp())
+    for r in ("r0", "r1"):
+        slot.record_commit(commit(r))
+    assert not log.check_committed(1, 0)
+    slot.record_commit(commit("r2"))
+    assert log.check_committed(1, 0)
+
+
+def test_mismatched_digest_votes_do_not_count():
+    log = MessageLog(f=1)
+    slot = log.slot(1)
+    slot.record_pre_prepare(pp(digest=b"good"))
+    slot.record_prepare(prepare("r1", digest=b"good"))
+    slot.record_prepare(prepare("r2", digest=b"evil"))
+    slot.record_prepare(prepare("r3", digest=b"evil"))
+    assert not log.check_prepared(1, 0)
+
+
+def test_wrong_view_votes_do_not_count():
+    log = MessageLog(f=1)
+    slot = log.slot(1)
+    slot.record_pre_prepare(pp(view=0))
+    slot.record_prepare(prepare("r1", view=1))
+    slot.record_prepare(prepare("r2", view=1))
+    assert not log.check_prepared(1, 0)
+
+
+def test_duplicate_votes_counted_once():
+    log = MessageLog(f=1)
+    slot = log.slot(1)
+    slot.record_pre_prepare(pp())
+    slot.record_prepare(prepare("r1"))
+    slot.record_prepare(prepare("r1"))
+    assert slot.matching_prepares(0, b"d") == 1
+
+
+def test_conflicting_pre_prepare_rejected():
+    log = MessageLog(f=1)
+    slot = log.slot(1)
+    slot.record_pre_prepare(pp(digest=b"a"))
+    with pytest.raises(BftError, match="conflicting"):
+        slot.record_pre_prepare(pp(digest=b"b"))
+
+
+def test_watermarks_reject_out_of_window():
+    log = MessageLog(f=1, window=10)
+    with pytest.raises(BftError, match="watermarks"):
+        log.slot(11)
+    with pytest.raises(BftError, match="watermarks"):
+        log.slot(0)
+
+
+def test_checkpoint_advances_watermarks():
+    log = MessageLog(f=1, window=10)
+    log.slot(5)
+    stable = log.record_checkpoint_vote(5, b"state", "r0")
+    assert not stable
+    log.record_checkpoint_vote(5, b"state", "r1")
+    stable = log.record_checkpoint_vote(5, b"state", "r2")
+    assert stable
+    assert log.stable_seq == 5
+    assert log.in_window(15)
+    assert not log.in_window(5)
+    assert 5 not in log.slots  # truncated
+
+
+def test_checkpoint_with_mixed_digests_not_stable():
+    log = MessageLog(f=1)
+    log.record_checkpoint_vote(5, b"stateA", "r0")
+    log.record_checkpoint_vote(5, b"stateB", "r1")
+    log.record_checkpoint_vote(5, b"stateA", "r1")  # r1 corrects itself
+    assert not log.record_checkpoint_vote(5, b"stateB", "r2")
+    assert log.stable_seq == 0
+
+
+def test_prepared_evidence_collects_certificates():
+    log = MessageLog(f=1)
+    for seq in (1, 2):
+        slot = log.slot(seq)
+        slot.record_pre_prepare(pp(seq=seq))
+        slot.record_prepare(prepare("r1", seq=seq))
+        slot.record_prepare(prepare("r2", seq=seq))
+    # Slot 3 has only the pre-prepare: not prepared.
+    log.slot(3).record_pre_prepare(pp(seq=3))
+    evidence = log.prepared_evidence()
+    assert [e[0] for e in evidence] == [1, 2]
+    for _seq, view, digest, batch in evidence:
+        assert view == 0
+        assert digest == b"d"
+        assert len(batch) == 1
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(BftError):
+        MessageLog(f=1, window=0)
+
+
+def test_slot_repr_flags():
+    slot = Slot(3)
+    assert "[-]" in repr(slot)
+    slot.prepared = True
+    slot.committed = True
+    assert "[PC]" in repr(slot)

@@ -1,0 +1,136 @@
+"""Blockchain substrate: hash linkage, ledger semantics, BFT integration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chain import GENESIS_HASH, Block, Ledger
+from repro.errors import BftError
+
+
+class TestBlock:
+    def test_genesis_validates(self):
+        genesis = Block(height=0, previous_hash=GENESIS_HASH, transactions=(b"t",))
+        genesis.validate_against(None)
+
+    def test_linked_block_validates(self):
+        genesis = Block(0, GENESIS_HASH, (b"a",))
+        child = Block(1, genesis.hash(), (b"b",))
+        child.validate_against(genesis)
+
+    def test_wrong_parent_hash_rejected(self):
+        genesis = Block(0, GENESIS_HASH, (b"a",))
+        impostor = Block(1, b"\x11" * 32, (b"b",))
+        with pytest.raises(BftError, match="does not link"):
+            impostor.validate_against(genesis)
+
+    def test_wrong_height_rejected(self):
+        genesis = Block(0, GENESIS_HASH, (b"a",))
+        skipper = Block(2, genesis.hash(), (b"b",))
+        with pytest.raises(BftError, match="does not follow"):
+            skipper.validate_against(genesis)
+
+    def test_genesis_must_be_height_zero(self):
+        with pytest.raises(BftError, match="height 0"):
+            Block(1, GENESIS_HASH, ()).validate_against(None)
+
+    def test_hash_changes_with_any_transaction_bit(self):
+        a = Block(0, GENESIS_HASH, (b"pay alice 5",))
+        b = Block(0, GENESIS_HASH, (b"pay alice 6",))
+        assert a.hash() != b.hash()
+
+    @given(txs=st.lists(st.binary(max_size=100), max_size=10))
+    def test_hash_deterministic(self, txs):
+        a = Block(3, b"\x22" * 32, tuple(txs))
+        b = Block(3, b"\x22" * 32, tuple(txs))
+        assert a.hash() == b.hash()
+
+
+class TestLedger:
+    def test_tx_then_seal(self):
+        ledger = Ledger()
+        assert ledger.apply(Ledger.tx(b"t1")).startswith(b"BUFFERED")
+        result = ledger.apply(Ledger.seal())
+        assert ledger.height == 1
+        assert result == ledger.blocks[0].hash()
+        assert ledger.mempool_size == 0
+
+    def test_seal_empty_mempool(self):
+        ledger = Ledger()
+        assert ledger.apply(Ledger.seal()) == b"EMPTY"
+        assert ledger.height == 0
+
+    def test_blocks_chain_correctly(self):
+        ledger = Ledger()
+        for i in range(5):
+            ledger.apply(Ledger.tx(f"tx-{i}".encode()))
+            ledger.apply(Ledger.seal())
+        assert ledger.height == 5
+        assert ledger.verify_chain()
+
+    def test_tampering_detected(self):
+        ledger = Ledger()
+        ledger.apply(Ledger.tx(b"honest"))
+        ledger.apply(Ledger.seal())
+        ledger.apply(Ledger.tx(b"second"))
+        ledger.apply(Ledger.seal())
+        ledger.blocks[0] = Block(0, GENESIS_HASH, (b"tampered",))
+        assert not ledger.verify_chain()
+
+    def test_mempool_cap(self):
+        ledger = Ledger(max_block_transactions=2)
+        ledger.apply(Ledger.tx(b"a"))
+        ledger.apply(Ledger.tx(b"b"))
+        assert ledger.apply(Ledger.tx(b"c")) == b"MEMPOOL_FULL"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(BftError, match="unknown ledger"):
+            Ledger().apply(b"MINE")
+
+    def test_digest_tracks_mempool_and_tip(self):
+        a, b = Ledger(), Ledger()
+        assert a.digest() == b.digest()
+        a.apply(Ledger.tx(b"t"))
+        assert a.digest() != b.digest()
+        b.apply(Ledger.tx(b"t"))
+        assert a.digest() == b.digest()
+
+    @given(
+        payloads=st.lists(st.binary(min_size=1, max_size=50), min_size=1, max_size=20),
+        seal_every=st.integers(min_value=1, max_value=5),
+    )
+    def test_identical_operation_streams_produce_identical_chains(
+        self, payloads, seal_every
+    ):
+        def run():
+            ledger = Ledger()
+            for i, payload in enumerate(payloads):
+                ledger.apply(Ledger.tx(payload))
+                if (i + 1) % seal_every == 0:
+                    ledger.apply(Ledger.seal())
+            return ledger
+
+        one, two = run(), run()
+        assert one.tip_hash() == two.tip_hash()
+        assert one.digest() == two.digest()
+        assert one.verify_chain()
+
+
+class TestReplicatedLedger:
+    def test_bft_ordered_blockchain_converges(self):
+        from repro.bft import BftCluster, BftConfig
+
+        cluster = BftCluster(
+            transport="rubin",
+            config=BftConfig(view_change_timeout=30e-3, batch_delay=50e-6),
+            app_factory=Ledger,
+        )
+        cluster.start()
+        for i in range(4):
+            cluster.invoke_and_wait(Ledger.tx(f"transfer {i}".encode()))
+        tip = cluster.invoke_and_wait(Ledger.seal())
+        cluster.run_for(10e-3)
+        ledgers = list(cluster.apps.values())
+        assert all(ledger.height == 1 for ledger in ledgers)
+        assert {ledger.tip_hash() for ledger in ledgers} == {tip}
+        assert all(ledger.verify_chain() for ledger in ledgers)

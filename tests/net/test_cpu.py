@@ -1,0 +1,126 @@
+"""Unit tests for the CPU cost model and core scheduling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import Cpu, CpuCosts
+from repro.sim import Environment
+
+
+def test_costs_defaults_are_positive():
+    costs = CpuCosts()
+    assert costs.copy_per_byte > 0
+    assert costs.syscall > 0
+    assert costs.post_wr < costs.syscall  # kernel bypass must be cheaper
+
+
+def test_costs_reject_negative_values():
+    with pytest.raises(ConfigurationError):
+        CpuCosts(syscall=-1.0)
+
+
+def test_copy_seconds_scales_linearly():
+    costs = CpuCosts(copy_per_byte=1e-9)
+    assert costs.copy_seconds(1000) == pytest.approx(1e-6)
+    assert costs.copy_seconds(0) == 0.0
+
+
+def test_copy_negative_bytes_raises():
+    with pytest.raises(ConfigurationError):
+        CpuCosts().copy_seconds(-1)
+
+
+def test_execute_charges_duration():
+    env = Environment()
+    cpu = Cpu(env, cores=1)
+
+    def work(env):
+        yield cpu.execute(5e-6)
+        return env.now
+
+    p = env.process(work(env))
+    assert env.run(until=p) == pytest.approx(5e-6)
+
+
+def test_zero_duration_execute_completes_immediately():
+    env = Environment()
+    cpu = Cpu(env, cores=1)
+
+    def work(env):
+        yield cpu.execute(0.0)
+        return env.now
+
+    p = env.process(work(env))
+    assert env.run(until=p) == 0.0
+
+
+def test_single_core_serializes_work():
+    env = Environment()
+    cpu = Cpu(env, cores=1)
+    finish = []
+
+    def work(env, tag):
+        yield cpu.execute(1e-6)
+        finish.append((tag, env.now))
+
+    env.process(work(env, "a"))
+    env.process(work(env, "b"))
+    env.run()
+    assert finish[0] == ("a", pytest.approx(1e-6))
+    assert finish[1] == ("b", pytest.approx(2e-6))
+
+
+def test_multi_core_overlaps_work():
+    env = Environment()
+    cpu = Cpu(env, cores=2)
+    finish = []
+
+    def work(env, tag):
+        yield cpu.execute(1e-6)
+        finish.append((tag, env.now))
+
+    env.process(work(env, "a"))
+    env.process(work(env, "b"))
+    env.run()
+    assert finish[0][1] == pytest.approx(1e-6)
+    assert finish[1][1] == pytest.approx(1e-6)
+
+
+def test_negative_duration_raises():
+    env = Environment()
+    cpu = Cpu(env)
+    with pytest.raises(ConfigurationError):
+        cpu.execute(-1.0)
+
+
+def test_invalid_core_count_raises():
+    env = Environment()
+    with pytest.raises(ConfigurationError):
+        Cpu(env, cores=0)
+
+
+def test_utilization_tracks_busy_fraction():
+    env = Environment()
+    cpu = Cpu(env, cores=1)
+
+    def work(env):
+        yield cpu.execute(1.0)
+        yield env.timeout(1.0)  # idle
+        yield cpu.execute(1.0)
+
+    env.process(work(env))
+    env.run()
+    assert env.now == pytest.approx(3.0)
+    assert cpu.utilization() == pytest.approx(2.0 / 3.0)
+
+
+def test_copy_uses_cost_model():
+    env = Environment()
+    cpu = Cpu(env, cores=1, costs=CpuCosts(copy_per_byte=1e-9))
+
+    def work(env):
+        yield cpu.copy(10_000)
+        return env.now
+
+    p = env.process(work(env))
+    assert env.run(until=p) == pytest.approx(1e-5)

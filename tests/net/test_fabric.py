@@ -1,0 +1,156 @@
+"""Unit tests for hosts, NICs and fabric wiring."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Fabric, Frame
+from repro.sim import Environment
+
+
+def two_host_fabric(env, **connect_kwargs):
+    fabric = Fabric(env)
+    fabric.add_host("alpha")
+    fabric.add_host("beta")
+    fabric.connect("alpha", "beta", **connect_kwargs)
+    return fabric
+
+
+def test_frame_travels_between_hosts():
+    env = Environment()
+    fabric = two_host_fabric(env, bandwidth_bps=8e9, propagation_delay=0.0)
+    alpha, beta = fabric.host("alpha"), fabric.host("beta")
+    got = []
+    beta.nic.register_protocol("test", lambda f: got.append((env.now, f.payload)))
+    alpha.nic.transmit(
+        Frame(src="alpha", dst="beta", protocol="test", wire_bytes=1000, payload="hi")
+    )
+    env.run()
+    assert got == [(pytest.approx(1e-6), "hi")]
+
+
+def test_bidirectional_traffic():
+    env = Environment()
+    fabric = two_host_fabric(env, bandwidth_bps=8e9, propagation_delay=0.0)
+    alpha, beta = fabric.host("alpha"), fabric.host("beta")
+    log = []
+    alpha.nic.register_protocol("test", lambda f: log.append(("alpha", f.payload)))
+    beta.nic.register_protocol("test", lambda f: log.append(("beta", f.payload)))
+    alpha.nic.transmit(
+        Frame(src="alpha", dst="beta", protocol="test", wire_bytes=100, payload="ping")
+    )
+    beta.nic.transmit(
+        Frame(src="beta", dst="alpha", protocol="test", wire_bytes=100, payload="pong")
+    )
+    env.run()
+    assert ("beta", "ping") in log
+    assert ("alpha", "pong") in log
+
+
+def test_duplicate_host_raises():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_host("x")
+    with pytest.raises(NetworkError):
+        fabric.add_host("x")
+
+
+def test_unknown_host_lookup_raises():
+    env = Environment()
+    fabric = Fabric(env)
+    with pytest.raises(NetworkError, match="unknown host"):
+        fabric.host("ghost")
+
+
+def test_self_cable_raises():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_host("x")
+    with pytest.raises(NetworkError):
+        fabric.connect("x", "x")
+
+
+def test_double_cable_raises():
+    env = Environment()
+    fabric = two_host_fabric(env)
+    with pytest.raises(NetworkError):
+        fabric.connect("beta", "alpha")
+
+
+def test_transmit_to_unreachable_host_raises():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_host("lonely")
+    with pytest.raises(NetworkError, match="no route"):
+        fabric.host("lonely").nic.transmit(
+            Frame(src="lonely", dst="mars", protocol="t", wire_bytes=1, payload=None)
+        )
+
+
+def test_unhandled_protocol_raises():
+    env = Environment()
+    fabric = two_host_fabric(env)
+    fabric.host("alpha").nic.transmit(
+        Frame(src="alpha", dst="beta", protocol="mystery", wire_bytes=10, payload=None)
+    )
+    with pytest.raises(NetworkError, match="no handler"):
+        env.run()
+
+
+def test_full_mesh_wires_every_pair():
+    env = Environment()
+    fabric = Fabric(env)
+    for name in ("r0", "r1", "r2", "r3"):
+        fabric.add_host(name)
+    fabric.full_mesh()
+    for a in ("r0", "r1", "r2", "r3"):
+        peers = fabric.host(a).nic.peers()
+        assert len(peers) == 3
+        assert a not in peers
+
+
+def test_full_mesh_skips_existing_cables():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_host("a")
+    fabric.add_host("b")
+    fabric.add_host("c")
+    fabric.connect("a", "b")
+    fabric.full_mesh()  # must not raise on the existing a-b cable
+    assert fabric.cable("a", "c") is not None
+
+
+def test_stack_registry():
+    env = Environment()
+    fabric = Fabric(env)
+    host = fabric.add_host("h")
+    sentinel = object()
+    host.install("tcp", sentinel)
+    assert host.stack("tcp") is sentinel
+    assert host.has_stack("tcp")
+    assert not host.has_stack("rdma")
+    with pytest.raises(NetworkError):
+        host.install("tcp", object())
+    with pytest.raises(NetworkError):
+        host.stack("rdma")
+
+
+def test_dma_transfer_takes_bandwidth_time():
+    env = Environment()
+    fabric = Fabric(env)
+    host = fabric.add_host("h")
+    host.nic.dma_bandwidth_bps = 8e9
+
+    def work(env):
+        yield host.nic.dma_transfer(1000)
+        return env.now
+
+    p = env.process(work(env))
+    assert env.run(until=p) == pytest.approx(1e-6)
+
+
+def test_hosts_sorted_for_determinism():
+    env = Environment()
+    fabric = Fabric(env)
+    for name in ("zeta", "alpha", "mid"):
+        fabric.add_host(name)
+    assert [h.name for h in fabric.hosts()] == ["alpha", "mid", "zeta"]

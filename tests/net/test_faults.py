@@ -1,0 +1,147 @@
+"""Fault injection: controllers, partitions, healing."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import FaultyFabric, Frame, LinkFaultController
+from repro.sim import Environment
+
+
+def make_fabric(names=("a", "b")):
+    env = Environment()
+    fabric = FaultyFabric(env)
+    for name in names:
+        fabric.add_host(name)
+    fabric.full_mesh(propagation_delay=0.0)
+    return env, fabric
+
+
+def send_probe(env, fabric, src, dst, collector):
+    fabric.host(dst).nic.register_protocol(
+        f"probe-{src}-{dst}", lambda f: collector.append(f.payload)
+    )
+    fabric.host(src).nic.transmit(
+        Frame(
+            src=src,
+            dst=dst,
+            protocol=f"probe-{src}-{dst}",
+            wire_bytes=100,
+            payload=f"{src}->{dst}",
+        )
+    )
+
+
+class TestController:
+    def test_passes_by_default(self):
+        controller = LinkFaultController()
+        frame = Frame(src="a", dst="b", protocol="t", wire_bytes=1, payload=None)
+        assert controller(frame) is False
+        assert controller.passed == 1
+
+    def test_block_drops_everything(self):
+        controller = LinkFaultController()
+        controller.block()
+        frame = Frame(src="a", dst="b", protocol="t", wire_bytes=1, payload=None)
+        assert controller(frame) is True
+        assert controller.dropped == 1
+
+    def test_heal_restores(self):
+        controller = LinkFaultController()
+        controller.block()
+        controller.heal()
+        frame = Frame(src="a", dst="b", protocol="t", wire_bytes=1, payload=None)
+        assert controller(frame) is False
+
+    def test_seeded_loss_is_reproducible(self):
+        def run(seed):
+            controller = LinkFaultController()
+            controller.set_loss(0.5, seed=seed)
+            frame = Frame(src="a", dst="b", protocol="t", wire_bytes=1, payload=None)
+            return [controller(frame) for _ in range(50)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(NetworkError):
+            LinkFaultController().set_loss(1.5)
+
+
+class TestFaultyFabric:
+    def test_traffic_flows_when_healthy(self):
+        env, fabric = make_fabric()
+        got = []
+        send_probe(env, fabric, "a", "b", got)
+        env.run()
+        assert got == ["a->b"]
+
+    def test_blocked_cable_drops(self):
+        env, fabric = make_fabric()
+        fabric.controller("a", "b").block()
+        got = []
+        send_probe(env, fabric, "a", "b", got)
+        env.run()
+        assert got == []
+        assert fabric.total_dropped() == 1
+
+    def test_isolate_cuts_all_cables_of_host(self):
+        env, fabric = make_fabric(("a", "b", "c"))
+        fabric.isolate("b")
+        got_ab, got_ac = [], []
+        send_probe(env, fabric, "a", "b", got_ab)
+        send_probe(env, fabric, "a", "c", got_ac)
+        env.run()
+        assert got_ab == []
+        assert got_ac == ["a->c"]
+
+    def test_partition_cuts_cross_group_only(self):
+        env, fabric = make_fabric(("a", "b", "c", "d"))
+        fabric.partition({"a", "b"}, {"c", "d"})
+        got_ab, got_ac = [], []
+        send_probe(env, fabric, "a", "b", got_ab)
+        send_probe(env, fabric, "a", "c", got_ac)
+        env.run()
+        assert got_ab == ["a->b"]  # same side: alive
+        assert got_ac == []  # across the cut: dropped
+
+    def test_overlapping_partition_rejected(self):
+        env, fabric = make_fabric(("a", "b", "c"))
+        with pytest.raises(NetworkError, match="overlap"):
+            fabric.partition({"a", "b"}, {"b", "c"})
+
+    def test_heal_all_restores_traffic(self):
+        env, fabric = make_fabric()
+        fabric.controller("a", "b").block()
+        fabric.heal_all()
+        got = []
+        send_probe(env, fabric, "a", "b", got)
+        env.run()
+        assert got == ["a->b"]
+
+    def test_unknown_cable_raises(self):
+        env, fabric = make_fabric()
+        with pytest.raises(NetworkError, match="no controlled cable"):
+            fabric.controller("a", "ghost")
+
+    def test_isolating_unknown_host_raises(self):
+        env, fabric = make_fabric()
+        with pytest.raises(NetworkError):
+            fabric.isolate("mars")
+
+    def test_user_drop_fn_composes(self):
+        env = Environment()
+        fabric = FaultyFabric(env)
+        fabric.add_host("a")
+        fabric.add_host("b")
+        dropped_ids = []
+
+        def user_drop(frame):
+            dropped_ids.append(frame.frame_id)
+            return False  # observes but never drops
+
+        fabric.connect("a", "b", propagation_delay=0.0, drop_fn=user_drop)
+        got = []
+        send_probe(env, fabric, "a", "b", got)
+        env.run()
+        assert got == ["a->b"]
+        assert len(dropped_ids) == 1

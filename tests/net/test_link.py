@@ -1,0 +1,154 @@
+"""Unit tests for the link model: serialization, propagation, loss."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net import Frame, Link, TEN_GIGABIT
+from repro.net.link import DuplexLink
+from repro.sim import Environment
+
+
+def make_frame(size=1000, dst="b"):
+    return Frame(src="a", dst=dst, protocol="test", wire_bytes=size, payload=None)
+
+
+def test_transmission_time_matches_bandwidth():
+    env = Environment()
+    link = Link(env, bandwidth_bps=TEN_GIGABIT)
+    # 10 Gbps -> 1250 bytes per microsecond
+    assert link.transmission_time(1250) == pytest.approx(1e-6)
+
+
+def test_frame_arrives_after_serialization_plus_propagation():
+    env = Environment()
+    link = Link(env, bandwidth_bps=8e9, propagation_delay=2e-6)
+    arrivals = []
+    link.attach_receiver(lambda f: arrivals.append((env.now, f)))
+    frame = make_frame(size=1000)  # 1000B at 8Gbps = 1 us serialize
+    link.send(frame)
+    env.run()
+    assert len(arrivals) == 1
+    assert arrivals[0][0] == pytest.approx(3e-6)
+    assert arrivals[0][1] is frame
+
+
+def test_frames_serialize_fifo():
+    env = Environment()
+    link = Link(env, bandwidth_bps=8e9, propagation_delay=0.0)
+    arrivals = []
+    link.attach_receiver(lambda f: arrivals.append((env.now, f.frame_id)))
+    f1, f2 = make_frame(1000), make_frame(1000)
+    link.send(f1)
+    link.send(f2)
+    env.run()
+    assert arrivals == [
+        (pytest.approx(1e-6), f1.frame_id),
+        (pytest.approx(2e-6), f2.frame_id),
+    ]
+
+
+def test_serialization_and_propagation_pipeline():
+    """Second frame starts clocking out while the first is propagating."""
+    env = Environment()
+    link = Link(env, bandwidth_bps=8e9, propagation_delay=10e-6)
+    arrivals = []
+    link.attach_receiver(lambda f: arrivals.append(env.now))
+    link.send(make_frame(1000))
+    link.send(make_frame(1000))
+    env.run()
+    # Arrivals at 11us and 12us — NOT 11us and 22us.
+    assert arrivals[0] == pytest.approx(11e-6)
+    assert arrivals[1] == pytest.approx(12e-6)
+
+
+def test_send_without_receiver_raises():
+    env = Environment()
+    link = Link(env)
+    with pytest.raises(NetworkError):
+        link.send(make_frame())
+
+
+def test_double_receiver_attach_raises():
+    env = Environment()
+    link = Link(env)
+    link.attach_receiver(lambda f: None)
+    with pytest.raises(NetworkError):
+        link.attach_receiver(lambda f: None)
+
+
+def test_deterministic_drop_hook():
+    env = Environment()
+    dropped_ids = set()
+
+    def drop_every_other(frame):
+        return frame.frame_id % 2 == 0
+
+    link = Link(env, bandwidth_bps=8e9, drop_fn=drop_every_other)
+    arrivals = []
+    link.attach_receiver(lambda f: arrivals.append(f.frame_id))
+    frames = [make_frame() for _ in range(6)]
+    for f in frames:
+        link.send(f)
+        if f.frame_id % 2 == 0:
+            dropped_ids.add(f.frame_id)
+    env.run()
+    assert set(arrivals).isdisjoint(dropped_ids)
+    assert len(arrivals) + link.frames_dropped.value == 6
+
+
+def test_counters_track_traffic():
+    env = Environment()
+    link = Link(env, bandwidth_bps=8e9)
+    link.attach_receiver(lambda f: None)
+    link.send(make_frame(500))
+    link.send(make_frame(700))
+    env.run()
+    assert link.frames_sent.value == 2
+    assert link.bytes_sent.value == 1200
+
+
+def test_invalid_bandwidth_raises():
+    env = Environment()
+    with pytest.raises(ConfigurationError):
+        Link(env, bandwidth_bps=0)
+
+
+def test_negative_propagation_raises():
+    env = Environment()
+    with pytest.raises(ConfigurationError):
+        Link(env, propagation_delay=-1e-6)
+
+
+def test_utilization_reflects_tx_busy_time():
+    env = Environment()
+    link = Link(env, bandwidth_bps=8e9, propagation_delay=0.0)
+    link.attach_receiver(lambda f: None)
+    link.send(make_frame(1000))  # 1 us busy
+    env.run()
+    env.timeout(1e-6)
+    env.run()  # 1 us idle
+    assert link.utilization() == pytest.approx(0.5)
+
+
+def test_duplex_link_directions_are_independent():
+    env = Environment()
+    duplex = DuplexLink(env, bandwidth_bps=8e9, propagation_delay=0.0)
+    fwd_got, bwd_got = [], []
+    duplex.forward.attach_receiver(lambda f: fwd_got.append(env.now))
+    duplex.backward.attach_receiver(lambda f: bwd_got.append(env.now))
+    duplex.forward.send(make_frame(1000))
+    duplex.backward.send(make_frame(1000))
+    env.run()
+    # Full duplex: both complete at 1us, no serialization between directions.
+    assert fwd_got == [pytest.approx(1e-6)]
+    assert bwd_got == [pytest.approx(1e-6)]
+
+
+def test_frame_requires_positive_wire_bytes():
+    with pytest.raises(NetworkError):
+        Frame(src="a", dst="b", protocol="t", wire_bytes=0, payload=None)
+
+
+def test_frame_ids_are_unique_and_increasing():
+    a, b = make_frame(), make_frame()
+    assert b.frame_id > a.frame_id

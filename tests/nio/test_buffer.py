@@ -1,0 +1,149 @@
+"""Unit tests for the Java-NIO-style ByteBuffer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RubinError
+from repro.nio import BufferOverflow, BufferUnderflow, ByteBuffer
+
+
+def test_allocate_starts_in_fill_mode():
+    buf = ByteBuffer.allocate(16)
+    assert buf.capacity == 16
+    assert buf.position == 0
+    assert buf.limit == 16
+    assert buf.remaining() == 16
+
+
+def test_wrap_starts_in_drain_mode():
+    buf = ByteBuffer.wrap(b"hello")
+    assert buf.capacity == 5
+    assert buf.position == 0
+    assert buf.limit == 5
+    assert buf.get() == b"hello"
+
+
+def test_put_advances_position():
+    buf = ByteBuffer.allocate(10)
+    buf.put(b"abc")
+    assert buf.position == 3
+    assert buf.remaining() == 7
+
+
+def test_put_past_limit_overflows():
+    buf = ByteBuffer.allocate(4)
+    with pytest.raises(BufferOverflow):
+        buf.put(b"too long")
+
+
+def test_flip_switches_to_drain():
+    buf = ByteBuffer.allocate(10)
+    buf.put(b"abc")
+    buf.flip()
+    assert buf.position == 0
+    assert buf.limit == 3
+    assert buf.get() == b"abc"
+
+
+def test_get_past_limit_underflows():
+    buf = ByteBuffer.wrap(b"ab")
+    with pytest.raises(BufferUnderflow):
+        buf.get(3)
+
+
+def test_partial_get():
+    buf = ByteBuffer.wrap(b"abcdef")
+    assert buf.get(2) == b"ab"
+    assert buf.get(2) == b"cd"
+    assert buf.remaining() == 2
+
+
+def test_peek_does_not_advance():
+    buf = ByteBuffer.wrap(b"abc")
+    assert buf.peek(2) == b"ab"
+    assert buf.position == 0
+    assert buf.get() == b"abc"
+
+
+def test_clear_resets_for_filling():
+    buf = ByteBuffer.allocate(8)
+    buf.put(b"xy")
+    buf.flip()
+    buf.clear()
+    assert buf.position == 0
+    assert buf.limit == 8
+
+
+def test_rewind_rereads():
+    buf = ByteBuffer.wrap(b"abc")
+    buf.get()
+    buf.rewind()
+    assert buf.get() == b"abc"
+
+
+def test_compact_preserves_unread():
+    buf = ByteBuffer.allocate(10)
+    buf.put(b"abcdef")
+    buf.flip()
+    buf.get(2)  # consume "ab"
+    buf.compact()
+    assert buf.position == 4  # "cdef" moved to front
+    buf.put(b"gh")
+    buf.flip()
+    assert buf.get() == b"cdefgh"
+
+
+def test_limit_setter_clamps_position():
+    buf = ByteBuffer.wrap(b"abcdef")
+    buf.position = 5
+    buf.limit = 3
+    assert buf.position == 3
+
+
+def test_invalid_position_raises():
+    buf = ByteBuffer.allocate(4)
+    with pytest.raises(RubinError):
+        buf.position = 5
+    with pytest.raises(RubinError):
+        buf.position = -1
+
+
+def test_invalid_limit_raises():
+    buf = ByteBuffer.allocate(4)
+    with pytest.raises(RubinError):
+        buf.limit = 5
+
+
+def test_negative_capacity_raises():
+    with pytest.raises(RubinError):
+        ByteBuffer.allocate(-1)
+
+
+def test_has_remaining():
+    buf = ByteBuffer.wrap(b"a")
+    assert buf.has_remaining()
+    buf.get()
+    assert not buf.has_remaining()
+
+
+@given(chunks=st.lists(st.binary(min_size=0, max_size=50), max_size=10))
+def test_fill_flip_drain_roundtrip(chunks):
+    total = b"".join(chunks)
+    buf = ByteBuffer.allocate(len(total))
+    for chunk in chunks:
+        buf.put(chunk)
+    buf.flip()
+    assert buf.get() == total
+
+
+@given(data=st.binary(min_size=1, max_size=100), cut=st.integers(0, 100))
+def test_compact_then_continue(data, cut):
+    cut = min(cut, len(data))
+    buf = ByteBuffer.allocate(len(data) * 2)
+    buf.put(data)
+    buf.flip()
+    consumed = buf.get(cut)
+    buf.compact()
+    buf.flip()
+    assert consumed + buf.get() == data

@@ -1,0 +1,189 @@
+"""SocketChannel / ServerSocketChannel behaviour over simulated TCP."""
+
+import pytest
+
+from repro.errors import TcpError
+from repro.nio import ByteBuffer, ServerSocketChannel, SocketChannel
+
+from tests.tcpstack.conftest import TcpPair
+
+
+@pytest.fixture
+def pair():
+    return TcpPair()
+
+
+def connect_pair(pair, port=9000):
+    """Return (client_channel, server_channel) fully connected."""
+    server = ServerSocketChannel.open(pair.server_host).bind(port)
+    client = SocketChannel.open(pair.client_host)
+    client.connect("server", port)
+    pair.env.run(until=client.connection.established)
+    pair.env.run(until=pair.env.now + 1e-3)
+    assert client.finish_connect()
+    accepted = server.accept()
+    assert accepted is not None
+    return client, accepted, server
+
+
+def test_connect_and_accept(pair):
+    client, accepted, _server = connect_pair(pair)
+    assert client.is_connected
+    assert accepted.is_connected
+
+
+def test_finish_connect_false_while_pending(pair):
+    ServerSocketChannel.open(pair.server_host).bind(9000)
+    client = SocketChannel.open(pair.client_host)
+    client.connect("server", 9000)
+    assert client.finish_connect() is False
+    assert client.connect_pending
+
+
+def test_finish_connect_raises_on_refused(pair):
+    client = SocketChannel.open(pair.client_host)
+    client.connect("server", 9999)  # nobody listening
+    pair.env.run(until=pair.env.now + 10e-3)
+    with pytest.raises(TcpError, match="reset"):
+        client.finish_connect()
+
+
+def test_accept_returns_none_when_no_pending(pair):
+    server = ServerSocketChannel.open(pair.server_host).bind(9000)
+    assert server.accept() is None
+
+
+def test_write_then_read_roundtrip(pair):
+    client, accepted, _ = connect_pair(pair)
+    out = ByteBuffer.wrap(b"nio payload")
+    inbuf = ByteBuffer.allocate(64)
+
+    def writer(env):
+        while out.has_remaining():
+            yield client.write(out)
+
+    def reader(env):
+        total = 0
+        while total < 11:
+            n = yield accepted.read(inbuf)
+            assert n >= 0
+            total += n
+        return total
+
+    pair.env.process(writer(pair.env))
+    p = pair.env.process(reader(pair.env))
+    pair.env.run(until=p)
+    inbuf.flip()
+    assert inbuf.get() == b"nio payload"
+
+
+def test_read_returns_zero_without_data(pair):
+    _client, accepted, _ = connect_pair(pair)
+    buf = ByteBuffer.allocate(16)
+
+    def reader(env):
+        n = yield accepted.read(buf)
+        return n
+
+    p = pair.env.process(reader(pair.env))
+    assert pair.env.run(until=p) == 0
+
+
+def test_read_returns_minus_one_at_eof(pair):
+    client, accepted, _ = connect_pair(pair)
+    client.close()
+    pair.env.run(until=pair.env.now + 20e-3)
+    buf = ByteBuffer.allocate(16)
+
+    def reader(env):
+        n = yield accepted.read(buf)
+        return n
+
+    p = pair.env.process(reader(pair.env))
+    assert pair.env.run(until=p) == -1
+
+
+def test_read_into_full_buffer_returns_zero(pair):
+    client, accepted, _ = connect_pair(pair)
+    buf = ByteBuffer.allocate(0)
+
+    def reader(env):
+        n = yield accepted.read(buf)
+        return n
+
+    p = pair.env.process(reader(pair.env))
+    assert pair.env.run(until=p) == 0
+
+
+def test_io_on_unconnected_channel_raises(pair):
+    channel = SocketChannel.open(pair.client_host)
+    with pytest.raises(TcpError, match="not connected"):
+        channel.read(ByteBuffer.allocate(8))
+
+
+def test_io_on_closed_channel_raises(pair):
+    client, _accepted, _ = connect_pair(pair)
+    client.close()
+    with pytest.raises(TcpError, match="closed"):
+        client.write(ByteBuffer.wrap(b"x"))
+
+
+def test_double_connect_raises(pair):
+    ServerSocketChannel.open(pair.server_host).bind(9000)
+    client = SocketChannel.open(pair.client_host)
+    client.connect("server", 9000)
+    with pytest.raises(TcpError, match="already"):
+        client.connect("server", 9000)
+
+
+def test_double_bind_raises(pair):
+    server = ServerSocketChannel.open(pair.server_host).bind(9000)
+    with pytest.raises(TcpError, match="already bound"):
+        server.bind(9001)
+
+
+def test_accept_before_bind_raises(pair):
+    server = ServerSocketChannel.open(pair.server_host)
+    with pytest.raises(TcpError, match="not bound"):
+        server.accept()
+
+
+def test_partial_write_with_tiny_buffers():
+    from repro.tcpstack import TcpConfig
+
+    pair = TcpPair(config=TcpConfig(send_buffer=2048, recv_buffer=2048))
+    server = ServerSocketChannel.open(pair.server_host).bind(9000)
+    client = SocketChannel.open(pair.client_host)
+    client.connect("server", 9000)
+    pair.env.run(until=client.connection.established)
+    pair.env.run(until=pair.env.now + 1e-3)
+    client.finish_connect()
+    accepted = server.accept()
+
+    payload = b"p" * 10_000
+    out = ByteBuffer.wrap(payload)
+    received = bytearray()
+
+    def writer(env):
+        while out.has_remaining():
+            n = yield client.write(out)
+            if n == 0:
+                yield env.timeout(100e-6)
+
+    def reader(env):
+        buf = ByteBuffer.allocate(4096)
+        while len(received) < len(payload):
+            n = yield accepted.read(buf)
+            if n > 0:
+                buf.flip()
+                received.extend(buf.get())
+                buf.clear()
+            elif n == 0:
+                yield env.timeout(50e-6)
+            else:
+                break
+
+    pair.env.process(writer(pair.env))
+    p = pair.env.process(reader(pair.env))
+    pair.env.run(until=p)
+    assert bytes(received) == payload

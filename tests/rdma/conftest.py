@@ -1,0 +1,97 @@
+"""Shared RDMA test rig: two hosts with RNICs and a connected QP pair."""
+
+import pytest
+
+from repro.net import Fabric
+from repro.rdma import (
+    Access,
+    QpCapabilities,
+    RdmaDevice,
+    RecvWorkRequest,
+    SendWorkRequest,
+    Sge,
+)
+from repro.rdma.verbs import Opcode
+from repro.sim import Environment
+
+
+class RdmaPair:
+    """Two cabled hosts with RDMA devices and one connected QP pair."""
+
+    def __init__(self, caps=None, drop_fn=None, attrs=None):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        self.fabric.add_host("left")
+        self.fabric.add_host("right")
+        self.fabric.connect("left", "right", drop_fn=drop_fn)
+        self.left = RdmaDevice(self.fabric.host("left"), attrs=attrs)
+        self.right = RdmaDevice(self.fabric.host("right"), attrs=attrs)
+
+        self.left_pd = self.left.alloc_pd()
+        self.right_pd = self.right.alloc_pd()
+        self.left_send_cq = self.left.create_cq(name="left.send")
+        self.left_recv_cq = self.left.create_cq(name="left.recv")
+        self.right_send_cq = self.right.create_cq(name="right.send")
+        self.right_recv_cq = self.right.create_cq(name="right.recv")
+        self.left_qp = self.left.create_qp(
+            self.left_pd, self.left_send_cq, self.left_recv_cq, caps=caps
+        )
+        self.right_qp = self.right.create_qp(
+            self.right_pd, self.right_send_cq, self.right_recv_cq, caps=caps
+        )
+        self.left_qp.connect("right", self.right_qp.qp_num)
+        self.right_qp.connect("left", self.left_qp.qp_num)
+
+    def register(self, side, size, access=Access.LOCAL_WRITE, fill=b""):
+        """Register a buffer of ``size`` on "left" or "right"."""
+        buffer = bytearray(size)
+        if fill:
+            buffer[: len(fill)] = fill
+        device = self.left if side == "left" else self.right
+        pd = self.left_pd if side == "left" else self.right_pd
+        return device.reg_mr(pd, buffer, access)
+
+    def run_for(self, seconds):
+        """Advance the simulation by ``seconds``."""
+        self.env.run(until=self.env.now + seconds)
+
+    def poll_until(self, cq, count=1, deadline=0.5):
+        """Run until ``cq`` yields ``count`` completions; returns them."""
+        out = []
+        end = self.env.now + deadline
+        while len(out) < count and self.env.now < end:
+            out.extend(cq.poll(max_entries=count - len(out)))
+            if len(out) < count:
+                if self.env.peek() > end:
+                    break
+                self.env.step()
+        return out
+
+
+def send_wr(wr_id, mr, length=None, offset=0, signaled=True, inline=None):
+    """Convenience SEND work-request builder."""
+    if inline is not None:
+        return SendWorkRequest(
+            wr_id=wr_id, opcode=Opcode.SEND, inline_data=inline, signaled=signaled
+        )
+    return SendWorkRequest(
+        wr_id=wr_id,
+        opcode=Opcode.SEND,
+        sge=Sge(mr, offset, length),
+        signaled=signaled,
+    )
+
+
+def recv_wr(wr_id, mr, length=None, offset=0):
+    """Convenience RECV work-request builder."""
+    return RecvWorkRequest(wr_id=wr_id, sge=Sge(mr, offset, length))
+
+
+@pytest.fixture
+def rig():
+    return RdmaPair()
+
+
+@pytest.fixture
+def small_qp_rig():
+    return RdmaPair(caps=QpCapabilities(max_send_wr=4, max_recv_wr=4))

@@ -1,0 +1,179 @@
+"""The DiSNI-style blocking endpoint interface."""
+
+import pytest
+
+from repro.errors import RdmaError
+from repro.net import Fabric
+from repro.rdma import EndpointGroup, RdmaDevice
+from repro.sim import Environment
+
+
+class EndpointRig:
+    def __init__(self, **group_kwargs):
+        self.env = Environment()
+        fabric = Fabric(self.env)
+        fabric.add_host("left")
+        fabric.add_host("right")
+        fabric.connect("left", "right")
+        self.left = EndpointGroup(RdmaDevice(fabric.host("left")), **group_kwargs)
+        self.right = EndpointGroup(RdmaDevice(fabric.host("right")), **group_kwargs)
+
+    def connect(self, port=18515):
+        server = self.right.listen(port)
+        accepted_box = []
+
+        def acceptor(env):
+            endpoint = yield server.accept()
+            accepted_box.append(endpoint)
+
+        self.env.process(acceptor(self.env))
+        client = self.left.create_endpoint()
+        done = client.connect("right", port)
+        self.env.run(until=done)
+        while not accepted_box:
+            self.env.step()
+        return client, accepted_box[0]
+
+
+@pytest.fixture
+def rig():
+    return EndpointRig()
+
+
+def test_connect_and_accept(rig):
+    client, server = rig.connect()
+    assert client.connected
+    assert server.connected
+
+
+def test_blocking_send_recv(rig):
+    client, server = rig.connect()
+
+    def scenario(env):
+        yield client.send(b"endpoint message")
+        message = yield server.recv()
+        return message
+
+    p = rig.env.process(scenario(rig.env))
+    assert rig.env.run(until=p) == b"endpoint message"
+
+
+def test_bidirectional_messages(rig):
+    client, server = rig.connect()
+
+    def client_side(env):
+        yield client.send(b"ping")
+        return (yield client.recv())
+
+    def server_side(env):
+        message = yield server.recv()
+        yield server.send(message + b"-pong")
+
+    rig.env.process(server_side(rig.env))
+    p = rig.env.process(client_side(rig.env))
+    assert rig.env.run(until=p) == b"ping-pong"
+
+
+def test_messages_preserve_order(rig):
+    client, server = rig.connect()
+    messages = [f"m{i}".encode() for i in range(20)]
+
+    def sender(env):
+        for message in messages:
+            yield client.send(message)
+
+    def receiver(env):
+        got = []
+        for _ in messages:
+            got.append((yield server.recv()))
+        return got
+
+    rig.env.process(sender(rig.env))
+    p = rig.env.process(receiver(rig.env))
+    assert rig.env.run(until=p) == messages
+
+
+def test_send_beyond_buffer_size_rejected():
+    rig = EndpointRig(buffer_size=1024)
+    client, _server = rig.connect()
+    with pytest.raises(RdmaError, match="exceeds endpoint buffer"):
+        client.send(b"z" * 2048)
+
+
+def test_send_on_unconnected_endpoint_raises(rig):
+    endpoint = rig.left.create_endpoint()
+
+    def scenario(env):
+        yield endpoint.send(b"nope")
+
+    p = rig.env.process(scenario(rig.env))
+    with pytest.raises(RdmaError, match="not connected"):
+        rig.env.run(until=p)
+
+
+def test_try_recv_nonblocking(rig):
+    client, server = rig.connect()
+    assert server.try_recv() is None
+
+    def scenario(env):
+        yield client.send(b"later")
+        yield env.timeout(1e-3)
+
+    p = rig.env.process(scenario(rig.env))
+    rig.env.run(until=p)
+    assert server.try_recv() == b"later"
+
+
+def test_many_messages_recycle_buffers():
+    rig = EndpointRig(buffer_count=4)
+    client, server = rig.connect()
+    total = 20  # 5x the buffer count: recycling must work
+
+    def sender(env):
+        for i in range(total):
+            yield client.send(f"msg-{i:02d}".encode())
+
+    def receiver(env):
+        got = []
+        for _ in range(total):
+            got.append((yield server.recv()))
+        return got
+
+    rig.env.process(sender(rig.env))
+    p = rig.env.process(receiver(rig.env))
+    got = rig.env.run(until=p)
+    assert got == [f"msg-{i:02d}".encode() for i in range(total)]
+
+
+def test_connect_to_unbound_port_fails(rig):
+    endpoint = rig.left.create_endpoint()
+    done = endpoint.connect("right", 9999)
+    with pytest.raises(RdmaError, match="no listener"):
+        rig.env.run(until=done)
+
+
+def test_two_connections_same_listener(rig):
+    server = rig.right.listen(18600)
+    accepted = []
+
+    def acceptor(env):
+        for _ in range(2):
+            endpoint = yield server.accept()
+            accepted.append(endpoint)
+
+    rig.env.process(acceptor(rig.env))
+    c1 = rig.left.create_endpoint()
+    c2 = rig.left.create_endpoint()
+    rig.env.run(until=c1.connect("right", 18600))
+    rig.env.run(until=c2.connect("right", 18600))
+    assert len(accepted) == 2
+
+    def scenario(env):
+        yield c1.send(b"one")
+        yield c2.send(b"two")
+        a = yield accepted[0].recv()
+        b = yield accepted[1].recv()
+        return a, b
+
+    p = rig.env.process(scenario(rig.env))
+    assert rig.env.run(until=p) == (b"one", b"two")

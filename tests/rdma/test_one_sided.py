@@ -1,0 +1,241 @@
+"""One-sided RDMA READ/WRITE: semantics, protection, and the security
+hazards the paper's Section III uses to justify two-sided RUBIN."""
+
+import pytest
+
+from repro.errors import RdmaError
+from repro.rdma import (
+    Access,
+    Opcode,
+    QpState,
+    SendWorkRequest,
+    Sge,
+    WcStatus,
+)
+
+from tests.rdma.conftest import RdmaPair
+
+
+def write_wr(wr_id, mr, remote, length=None, offset=0, signaled=True):
+    return SendWorkRequest(
+        wr_id=wr_id,
+        opcode=Opcode.RDMA_WRITE,
+        sge=Sge(mr, offset, length),
+        remote=remote,
+        signaled=signaled,
+    )
+
+
+def read_wr(wr_id, mr, remote, length=None, offset=0, signaled=True):
+    return SendWorkRequest(
+        wr_id=wr_id,
+        opcode=Opcode.RDMA_READ,
+        sge=Sge(mr, offset, length),
+        remote=remote,
+        signaled=signaled,
+    )
+
+
+class TestWrite:
+    def test_write_places_data_without_remote_cpu(self, rig):
+        src = rig.register("left", 256, fill=b"one-sided write")
+        dst = rig.register(
+            "right", 256, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address(), length=15))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].ok
+        assert bytes(dst.buffer[:15]) == b"one-sided write"
+        # The remote side got no completion and consumed no recv WR.
+        assert rig.right_recv_cq.poll() == []
+        assert rig.right_qp.recv_queue_depth == 0
+
+    def test_write_at_offset(self, rig):
+        src = rig.register("left", 64, fill=b"XY")
+        dst = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address(10), length=2))
+        rig.poll_until(rig.left_send_cq)
+        assert bytes(dst.buffer[10:12]) == b"XY"
+        assert bytes(dst.buffer[:10]) == b"\x00" * 10
+
+    def test_multi_packet_write(self, rig):
+        size = 20_000
+        payload = bytes((7 * i) % 256 for i in range(size))
+        src = rig.register("left", size, fill=payload)
+        dst = rig.register(
+            "right", size, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address()))
+        rig.poll_until(rig.left_send_cq)
+        assert bytes(dst.buffer) == payload
+
+    def test_write_without_permission_errors_both_qps(self, rig):
+        src = rig.register("left", 64)
+        dst = rig.register("right", 64, access=Access.LOCAL_WRITE)  # no REMOTE_WRITE
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address(), length=8))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+        rig.run_for(1e-3)
+        assert rig.left_qp.state is QpState.ERROR
+        assert rig.right_qp.state is QpState.ERROR
+
+    def test_write_out_of_bounds_rejected(self, rig):
+        src = rig.register("left", 128, fill=b"b" * 128)
+        dst = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address(), length=128))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+    def test_write_with_bogus_rkey_rejected(self, rig):
+        from repro.rdma import RemoteAddress
+
+        src = rig.register("left", 64)
+        rig.left_qp.post_send(
+            write_wr(1, src, RemoteAddress(rkey=0xDEAD, offset=0), length=8)
+        )
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+
+class TestRead:
+    def test_read_fetches_remote_data(self, rig):
+        remote = rig.register(
+            "right", 256, access=Access.LOCAL_WRITE | Access.REMOTE_READ,
+            fill=b"remote secret",
+        )
+        local = rig.register("left", 256)
+        rig.left_qp.post_send(read_wr(1, local, remote.remote_address(), length=13))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].ok
+        assert wcs[0].opcode is Opcode.RDMA_READ
+        assert bytes(local.buffer[:13]) == b"remote secret"
+
+    def test_multi_chunk_read(self, rig):
+        size = 30_000
+        payload = bytes((3 * i + 1) % 256 for i in range(size))
+        remote = rig.register(
+            "right", size, access=Access.LOCAL_WRITE | Access.REMOTE_READ,
+            fill=payload,
+        )
+        local = rig.register("left", size)
+        rig.left_qp.post_send(read_wr(1, local, remote.remote_address()))
+        rig.poll_until(rig.left_send_cq)
+        assert bytes(local.buffer) == payload
+
+    def test_read_without_permission_rejected(self, rig):
+        remote = rig.register("right", 64, access=Access.LOCAL_WRITE)
+        local = rig.register("left", 64)
+        rig.left_qp.post_send(read_wr(1, local, remote.remote_address(), length=8))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+    def test_completions_stay_in_post_order_read_then_send(self, rig):
+        """A SEND posted after a big READ must not complete first."""
+        size = 40_000
+        remote = rig.register(
+            "right", size, access=Access.LOCAL_WRITE | Access.REMOTE_READ,
+            fill=b"r" * size,
+        )
+        local = rig.register("left", size)
+        small_src = rig.register("left", 16, fill=b"tiny")
+        dst = rig.register("right", 16)
+        rig.right_qp.post_recv(
+            __import__("tests.rdma.conftest", fromlist=["recv_wr"]).recv_wr(1, dst)
+        )
+        rig.left_qp.post_send(read_wr(1, local, remote.remote_address()))
+        rig.left_qp.post_send(
+            SendWorkRequest(
+                wr_id=2, opcode=Opcode.SEND, sge=Sge(small_src, 0, 4), signaled=True
+            )
+        )
+        wcs = rig.poll_until(rig.left_send_cq, count=2)
+        assert [w.wr_id for w in wcs] == [1, 2]
+
+
+class TestSecurityHazards:
+    """The paper's Section III-C scenarios, demonstrated executably."""
+
+    def test_stolen_rkey_allows_tampering(self, rig):
+        """An adversary who learns the STag/rkey can corrupt the buffer."""
+        victim_buffer = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE,
+            fill=b"ballot: candidate A",
+        )
+        # The attacker (left) somehow obtained the rkey...
+        stolen = victim_buffer.remote_address()
+        payload = rig.register("left", 64, fill=b"ballot: candidate B")
+        rig.left_qp.post_send(write_wr(66, payload, stolen, length=19))
+        rig.poll_until(rig.left_send_cq)
+        # ...and silently rewrote the victim's memory: no CQE, no recv WR.
+        assert bytes(victim_buffer.buffer[:19]) == b"ballot: candidate B"
+        assert rig.right_recv_cq.poll() == []
+
+    def test_invalidation_revokes_stolen_rkey(self, rig):
+        """STag invalidation is the defense: the stolen key goes dead."""
+        victim_buffer = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        stolen = victim_buffer.remote_address()
+        rig.right.dereg_mr(victim_buffer)
+        payload = rig.register("left", 64, fill=b"too late")
+        rig.left_qp.post_send(write_wr(67, payload, stolen, length=8))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+    def test_read_write_race_returns_torn_data(self):
+        """Concurrent READ during a WRITE can observe a torn buffer —
+        the corruption hazard of Read/Write designs (Section III-A)."""
+        rig = RdmaPair()
+        size = 64_000  # many MTUs so the write takes a while
+        shared = rig.register(
+            "right",
+            size,
+            access=Access.LOCAL_WRITE | Access.REMOTE_READ | Access.REMOTE_WRITE,
+            fill=b"A" * size,
+        )
+        writer_src = rig.register("left", size, fill=b"B" * size)
+        reader_dst = rig.register("left", size)
+        # Start the big write, then immediately read the same region.
+        rig.left_qp.post_send(write_wr(1, writer_src, shared.remote_address()))
+        rig.left_qp.post_send(read_wr(2, reader_dst, shared.remote_address()))
+        rig.poll_until(rig.left_send_cq, count=2)
+        snapshot = bytes(reader_dst.buffer)
+        # The read observed the region mid-write: a mix of old and new.
+        assert b"B" in snapshot  # some new data arrived...
+        assert snapshot != b"B" * size or bytes(shared.buffer) == b"B" * size
+
+    def test_two_sided_containment(self, rig):
+        """With Send/Receive the receiver chooses buffer placement, so a
+        malicious sender cannot touch memory that was never posted."""
+        dst = rig.register("right", 64)
+        secret = rig.register("right", 64, fill=b"do not touch")
+        rig.right_qp.post_recv(
+            __import__("tests.rdma.conftest", fromlist=["recv_wr"]).recv_wr(1, dst)
+        )
+        evil = rig.register("left", 64, fill=b"overwrite!")
+        rig.left_qp.post_send(
+            SendWorkRequest(wr_id=1, opcode=Opcode.SEND, sge=Sge(evil, 0, 10))
+        )
+        rig.poll_until(rig.right_recv_cq)
+        assert bytes(secret.buffer[:12]) == b"do not touch"
+        assert bytes(dst.buffer[:10]) == b"overwrite!"
+
+
+def test_wr_validation_rules():
+    from repro.rdma import RemoteAddress
+
+    with pytest.raises(RdmaError, match="remote address"):
+        SendWorkRequest(wr_id=1, opcode=Opcode.RDMA_WRITE, inline_data=b"x")
+    with pytest.raises(RdmaError, match="payload source"):
+        SendWorkRequest(wr_id=1, opcode=Opcode.SEND)
+    with pytest.raises(RdmaError, match="cannot be inline"):
+        SendWorkRequest(
+            wr_id=1,
+            opcode=Opcode.RDMA_READ,
+            inline_data=b"x",
+            remote=RemoteAddress(1, 0),
+        )

@@ -1,0 +1,109 @@
+"""Property-based tests for verbs-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdma import Access
+
+from tests.rdma.conftest import RdmaPair, recv_wr, send_wr
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=12_000), min_size=1, max_size=8)
+)
+def test_messages_arrive_intact_and_in_order(sizes):
+    rig = RdmaPair()
+    payloads = [bytes((i + j) % 256 for j in range(size)) for i, size in enumerate(sizes)]
+    src = rig.register("left", max(sizes))
+    dsts = [rig.register("right", size) for size in sizes]
+    rig.right_qp.post_recv_batch([recv_wr(i, dst) for i, dst in enumerate(dsts)])
+    for i, payload in enumerate(payloads):
+        src.buffer[: len(payload)] = payload
+        rig.left_qp.post_send(send_wr(100 + i, src, length=len(payload)))
+        # Wait for this message's recv completion before reusing src.
+        wcs = rig.poll_until(rig.right_recv_cq)
+        assert wcs[0].wr_id == i
+        assert wcs[0].byte_len == len(payload)
+        assert bytes(dsts[i].buffer[: len(payload)]) == payload
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    signal_mask=st.lists(st.booleans(), min_size=1, max_size=12),
+)
+def test_cqe_count_equals_signaled_count(signal_mask):
+    # Make the last WR signaled so all slots eventually retire.
+    signal_mask = signal_mask + [True]
+    rig = RdmaPair()
+    src = rig.register("left", 16, fill=b"s" * 16)
+    dst = rig.register("right", 16)
+    rig.right_qp.post_recv_batch(
+        [recv_wr(i, dst) for i in range(len(signal_mask))]
+    )
+    for i, signaled in enumerate(signal_mask):
+        rig.left_qp.post_send(send_wr(i, src, length=4, signaled=signaled))
+    rig.run_for(10e-3)
+    wcs = rig.left_send_cq.poll(max_entries=64)
+    assert len(wcs) == sum(signal_mask)
+    assert [w.wr_id for w in wcs] == [i for i, s in enumerate(signal_mask) if s]
+    assert rig.left_qp.send_queue_free == rig.left_qp.caps.max_send_wr
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    size=st.integers(min_value=1, max_value=30_000),
+    seed=st.integers(min_value=0, max_value=2**31),
+    loss_rate=st.floats(min_value=0.0, max_value=0.08),
+)
+def test_send_reliability_under_random_loss(size, seed, loss_rate):
+    import random
+
+    rng = random.Random(seed)
+    from repro.rdma import QpCapabilities
+
+    rig = RdmaPair(
+        caps=QpCapabilities(retry_timeout=150e-6),
+        drop_fn=lambda frame: rng.random() < loss_rate,
+    )
+    payload = bytes(i % 251 for i in range(size))
+    src = rig.register("left", size, fill=payload)
+    dst = rig.register("right", size)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    rig.left_qp.post_send(send_wr(1, src))
+    wcs = rig.poll_until(rig.right_recv_cq, deadline=3.0)
+    assert wcs and wcs[0].ok
+    assert bytes(dst.buffer) == payload
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    offset=st.integers(min_value=0, max_value=64),
+    length=st.integers(min_value=0, max_value=128),
+)
+def test_one_sided_write_respects_bounds(offset, length):
+    from repro.rdma import Opcode, SendWorkRequest, Sge, WcStatus
+
+    rig = RdmaPair()
+    region_size = 96
+    src = rig.register("left", 128, fill=b"w" * 128)
+    dst = rig.register(
+        "right", region_size, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+    )
+    rig.left_qp.post_send(
+        SendWorkRequest(
+            wr_id=1,
+            opcode=Opcode.RDMA_WRITE,
+            sge=Sge(src, 0, length),
+            remote=dst.remote_address(offset),
+        )
+    )
+    wcs = rig.poll_until(rig.left_send_cq)
+    in_bounds = offset + length <= region_size
+    if in_bounds:
+        assert wcs[0].status is WcStatus.SUCCESS
+        assert bytes(dst.buffer[offset : offset + length]) == b"w" * length
+    else:
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+        # Not a single byte may have landed.
+        assert bytes(dst.buffer) == b"\x00" * region_size

@@ -1,0 +1,215 @@
+"""Two-sided SEND/RECV semantics: matching, completions, RNR, signaling."""
+
+import pytest
+
+from repro.errors import RdmaError
+from repro.rdma import Opcode, QpCapabilities, QpState, WcStatus
+
+from tests.rdma.conftest import RdmaPair, recv_wr, send_wr
+
+
+def test_send_delivers_into_posted_recv_buffer(rig):
+    src = rig.register("left", 1024, fill=b"rdma says hi")
+    dst = rig.register("right", 1024)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    rig.left_qp.post_send(send_wr(10, src, length=12))
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert len(wcs) == 1
+    assert wcs[0].ok
+    assert wcs[0].opcode is Opcode.RECV
+    assert wcs[0].byte_len == 12
+    assert bytes(dst.buffer[:12]) == b"rdma says hi"
+
+
+def test_sender_gets_signaled_completion(rig):
+    src = rig.register("left", 64, fill=b"x" * 64)
+    dst = rig.register("right", 64)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    rig.left_qp.post_send(send_wr(7, src))
+    wcs = rig.poll_until(rig.left_send_cq)
+    assert len(wcs) == 1
+    assert wcs[0].wr_id == 7
+    assert wcs[0].status is WcStatus.SUCCESS
+    assert wcs[0].opcode is Opcode.SEND
+
+
+def test_multi_packet_message_reassembles(rig):
+    size = 20_000  # > 4 MTUs
+    payload = bytes(i % 256 for i in range(size))
+    src = rig.register("left", size, fill=payload)
+    dst = rig.register("right", size)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    rig.left_qp.post_send(send_wr(11, src))
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert wcs[0].byte_len == size
+    assert bytes(dst.buffer) == payload
+
+
+def test_sends_match_recvs_in_order(rig):
+    src = rig.register("left", 64)
+    dst_a = rig.register("right", 64)
+    dst_b = rig.register("right", 64)
+    rig.right_qp.post_recv_batch([recv_wr(1, dst_a), recv_wr(2, dst_b)])
+    src.buffer[:1] = b"A"
+    rig.left_qp.post_send(send_wr(10, src, length=1))
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert wcs[0].wr_id == 1
+    assert bytes(dst_a.buffer[:1]) == b"A"
+    src.buffer[:1] = b"B"
+    rig.left_qp.post_send(send_wr(11, src, length=1))
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert wcs[0].wr_id == 2
+    assert bytes(dst_b.buffer[:1]) == b"B"
+
+
+def test_inline_send_does_not_touch_source_after_post(rig):
+    dst = rig.register("right", 64)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    payload = bytearray(b"inline-data!")
+    rig.left_qp.post_send(send_wr(5, None, inline=bytes(payload)))
+    payload[:] = b"????????????"  # mutate after posting: must not matter
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert bytes(dst.buffer[:12]) == b"inline-data!"
+    assert wcs[0].byte_len == 12
+
+
+def test_inline_beyond_max_inline_rejected(rig):
+    with pytest.raises(RdmaError, match="max_inline"):
+        rig.left_qp.post_send(send_wr(5, None, inline=b"z" * 10_000))
+
+
+def test_rnr_when_no_recv_posted_then_recovers(rig):
+    src = rig.register("left", 64, fill=b"patience")
+    dst = rig.register("right", 64)
+    rig.left_qp.post_send(send_wr(3, src, length=8))
+    rig.run_for(50e-6)  # no recv posted yet: sender is in RNR backoff
+    assert rig.right_recv_cq.poll() == []
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert wcs[0].ok
+    assert bytes(dst.buffer[:8]) == b"patience"
+
+
+def test_rnr_retries_exhausted_errors_qp():
+    rig = RdmaPair(
+        caps=QpCapabilities(rnr_retry=2, rnr_timer=20e-6, retry_timeout=10e-3)
+    )
+    src = rig.register("left", 64)
+    rig.left_qp.post_send(send_wr(3, src, length=8))
+    rig.run_for(20e-3)  # never post a recv
+    assert rig.left_qp.state is QpState.ERROR
+    wcs = rig.left_send_cq.poll()
+    assert len(wcs) == 1
+    assert wcs[0].status is WcStatus.RNR_RETRY_EXC_ERR
+
+
+def test_message_longer_than_recv_buffer_is_an_error(rig):
+    src = rig.register("left", 8192, fill=b"m" * 8192)
+    dst = rig.register("right", 128)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    rig.left_qp.post_send(send_wr(9, src))
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert wcs[0].status is WcStatus.LOC_LEN_ERR
+    rig.run_for(1e-3)
+    assert rig.right_qp.state is QpState.ERROR
+    assert rig.left_qp.state is QpState.ERROR
+
+
+def test_send_queue_overflow_rejected():
+    rig = RdmaPair(caps=QpCapabilities(max_send_wr=2))
+    src = rig.register("left", 64)
+    # Unsignaled WRs never free their slots without a signaled completion.
+    rig.left_qp.post_send(send_wr(1, src, length=8, signaled=False))
+    rig.left_qp.post_send(send_wr(2, src, length=8, signaled=False))
+    with pytest.raises(RdmaError, match="send queue full"):
+        rig.left_qp.post_send(send_wr(3, src, length=8, signaled=False))
+
+
+def test_recv_queue_overflow_rejected():
+    rig = RdmaPair(caps=QpCapabilities(max_recv_wr=2))
+    dst = rig.register("right", 64)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    rig.right_qp.post_recv(recv_wr(2, dst))
+    with pytest.raises(RdmaError, match="receive queue full"):
+        rig.right_qp.post_recv(recv_wr(3, dst))
+
+
+def test_selective_signaling_frees_slots_on_signaled_completion():
+    rig = RdmaPair(caps=QpCapabilities(max_send_wr=4))
+    src = rig.register("left", 64, fill=b"s" * 64)
+    dst = rig.register("right", 64)
+    for i in range(4):
+        rig.right_qp.post_recv(recv_wr(i, dst))
+    # Three unsignaled, one signaled: the signaled completion releases all.
+    rig.left_qp.post_send(send_wr(1, src, length=4, signaled=False))
+    rig.left_qp.post_send(send_wr(2, src, length=4, signaled=False))
+    rig.left_qp.post_send(send_wr(3, src, length=4, signaled=False))
+    rig.left_qp.post_send(send_wr(4, src, length=4, signaled=True))
+    wcs = rig.poll_until(rig.left_send_cq)
+    assert [w.wr_id for w in wcs] == [4]  # exactly one CQE
+    assert rig.left_qp.send_queue_free == 4  # all four slots recycled
+
+
+def test_unsignaled_only_never_frees_slots():
+    rig = RdmaPair(caps=QpCapabilities(max_send_wr=2))
+    src = rig.register("left", 64)
+    dst = rig.register("right", 64)
+    rig.right_qp.post_recv_batch([recv_wr(1, dst), recv_wr(2, dst)])
+    rig.left_qp.post_send(send_wr(1, src, length=4, signaled=False))
+    rig.left_qp.post_send(send_wr(2, src, length=4, signaled=False))
+    rig.run_for(5e-3)  # both delivered and ACKed...
+    assert rig.left_qp.send_queue_free == 0  # ...but slots still occupied
+
+
+def test_post_send_before_connect_raises():
+    rig = RdmaPair.__new__(RdmaPair)  # build a partial rig manually
+    from repro.net import Fabric
+    from repro.rdma import RdmaDevice
+    from repro.sim import Environment
+
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_host("solo")
+    device = RdmaDevice(fabric.host("solo"))
+    pd = device.alloc_pd()
+    cq = device.create_cq()
+    qp = device.create_qp(pd, cq, cq)
+    buffer = bytearray(64)
+    mr = device.reg_mr(pd, buffer)
+    with pytest.raises(RdmaError, match="post_send in state RESET"):
+        qp.post_send(send_wr(1, mr))
+
+
+def test_batch_post_recv_counts_against_capacity():
+    rig = RdmaPair(caps=QpCapabilities(max_recv_wr=8))
+    dst = rig.register("right", 64)
+    rig.right_qp.post_recv_batch([recv_wr(i, dst) for i in range(8)])
+    assert rig.right_qp.recv_queue_depth == 8
+    with pytest.raises(RdmaError, match="receive queue full"):
+        rig.right_qp.post_recv(recv_wr(99, dst))
+
+
+def test_send_to_foreign_pd_mr_rejected(rig):
+    foreign_pd = rig.left.alloc_pd()
+    buffer = bytearray(64)
+    mr = rig.left.reg_mr(foreign_pd, buffer)
+    with pytest.raises(RdmaError, match="foreign PD"):
+        rig.left_qp.post_send(send_wr(1, mr))
+
+
+def test_zero_length_send(rig):
+    src = rig.register("left", 16)
+    dst = rig.register("right", 16)
+    rig.right_qp.post_recv(recv_wr(1, dst))
+    rig.left_qp.post_send(send_wr(2, src, length=0))
+    wcs = rig.poll_until(rig.right_recv_cq)
+    assert wcs[0].ok
+    assert wcs[0].byte_len == 0
+
+
+def test_loopback_qp_rejected(rig):
+    pd = rig.left.alloc_pd()
+    cq = rig.left.create_cq()
+    qp = rig.left.create_qp(pd, cq, cq)
+    with pytest.raises(RdmaError, match="loopback"):
+        qp.connect("left", 999)

@@ -1,0 +1,116 @@
+"""The hybrid event queue and event manager in isolation."""
+
+import pytest
+
+from repro.rdma.cq import CompletionQueue, WorkCompletion
+from repro.rdma.verbs import Opcode, WcStatus
+from repro.rubin.events import (
+    EVENT_COMPLETION,
+    EventManager,
+    HybridEventQueue,
+    RubinEvent,
+)
+from repro.sim import Environment
+
+
+def wc(wr_id=1):
+    return WorkCompletion(wr_id, WcStatus.SUCCESS, Opcode.RECV, 0, 1)
+
+
+class TestHybridEventQueue:
+    def test_push_then_drain(self):
+        env = Environment()
+        queue = HybridEventQueue(env)
+        queue.push(RubinEvent(kind="x", event_id=1))
+        queue.push(RubinEvent(kind="y", event_id=2))
+        drained = queue.drain()
+        assert [e.kind for e in drained] == ["x", "y"]
+        assert queue.drain() == []
+
+    def test_len(self):
+        env = Environment()
+        queue = HybridEventQueue(env)
+        assert len(queue) == 0
+        queue.push(RubinEvent(kind="x", event_id=1))
+        assert len(queue) == 1
+
+    def test_wait_returns_immediately_when_nonempty(self):
+        env = Environment()
+        queue = HybridEventQueue(env)
+        queue.push(RubinEvent(kind="x", event_id=1))
+
+        def waiter(env):
+            yield queue.wait()
+            return env.now
+
+        p = env.process(waiter(env))
+        assert env.run(until=p) == 0.0
+
+    def test_wait_blocks_until_push(self):
+        env = Environment()
+        queue = HybridEventQueue(env)
+
+        def waiter(env):
+            yield queue.wait()
+            return env.now
+
+        def pusher(env):
+            yield env.timeout(3.0)
+            queue.push(RubinEvent(kind="late", event_id=1))
+
+        p = env.process(waiter(env))
+        env.process(pusher(env))
+        assert env.run(until=p) == 3.0
+
+
+class TestEventManager:
+    def test_cq_completion_surfaces_on_queue(self):
+        env = Environment()
+        queue = HybridEventQueue(env)
+        manager = EventManager(env, queue)
+        cq = CompletionQueue(env, name="test")
+        manager.watch_cq(cq, owner_id=42)
+        cq.push(wc())
+        env.run(until=env.now + 1e-6) if env.peek() != float("inf") else env.run()
+        events = queue.drain()
+        assert len(events) == 1
+        assert events[0].kind == EVENT_COMPLETION
+        assert events[0].event_id == 42
+        assert events[0].cq is cq
+
+    def test_owner_lookup(self):
+        env = Environment()
+        queue = HybridEventQueue(env)
+        manager = EventManager(env, queue)
+        cq = CompletionQueue(env, name="test")
+        manager.watch_cq(cq, owner_id="channel-7")
+        assert manager.owner_of(cq) == "channel-7"
+        manager.unwatch_cq(cq)
+        assert manager.owner_of(cq) is None
+
+    def test_unwatched_cq_events_are_discarded(self):
+        env = Environment()
+        queue = HybridEventQueue(env)
+        manager = EventManager(env, queue)
+        cq = CompletionQueue(env, name="test")
+        manager.watch_cq(cq, owner_id=1)
+        manager.unwatch_cq(cq)
+        cq.push(wc())
+        env.run()
+        assert queue.drain() == []
+
+    def test_not_rearmed_by_manager(self):
+        """The manager must not re-arm after notifying (the channel does,
+        after draining) — re-arming with pending entries would spin."""
+        env = Environment()
+        queue = HybridEventQueue(env)
+        manager = EventManager(env, queue)
+        cq = CompletionQueue(env, name="test")
+        manager.watch_cq(cq, owner_id=1)
+        cq.push(wc(1))
+        env.run()
+        assert len(queue.drain()) == 1
+        # A second CQE without re-arm: no new notification.
+        cq.push(wc(2))
+        env.run()
+        assert queue.drain() == []

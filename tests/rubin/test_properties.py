@@ -1,0 +1,133 @@
+"""Property-based tests: RUBIN channels must deliver messages intact,
+in order, whatever the sizes and read-buffer chunking."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nio import ByteBuffer
+from repro.rubin import RubinConfig
+
+from tests.rubin.conftest import RubinRig
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=20_000), min_size=1, max_size=6
+    )
+)
+def test_message_sequence_roundtrips(sizes):
+    rig = RubinRig()
+    client, server = rig.establish()
+    payloads = [
+        bytes(((7 * i + j) % 251) for j in range(size))
+        for i, size in enumerate(sizes)
+    ]
+
+    def writer(env):
+        for payload in payloads:
+            buf = ByteBuffer.wrap(payload)
+            while buf.has_remaining():
+                n = yield client.write(buf)
+                if n == 0:
+                    yield env.timeout(20e-6)
+
+    def reader(env):
+        got = []
+        for payload in payloads:
+            out = bytearray()
+            buf = ByteBuffer.allocate(len(payload))
+            while len(out) < len(payload):
+                n = yield server.read(buf)
+                if n and n > 0:
+                    buf.flip()
+                    out.extend(buf.get())
+                    buf.clear()
+                else:
+                    yield env.timeout(10e-6)
+            got.append(bytes(out))
+        return got
+
+    rig.env.process(writer(rig.env))
+    p = rig.env.process(reader(rig.env))
+    assert rig.env.run(until=p) == payloads
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    payload_size=st.integers(min_value=1, max_value=30_000),
+    read_chunk=st.integers(min_value=1, max_value=4096),
+)
+def test_arbitrary_read_chunking(payload_size, read_chunk):
+    """Partial reads with any app-buffer size reassemble the message."""
+    rig = RubinRig()
+    client, server = rig.establish()
+    payload = bytes(i % 256 for i in range(payload_size))
+
+    def writer(env):
+        buf = ByteBuffer.wrap(payload)
+        while buf.has_remaining():
+            n = yield client.write(buf)
+            if n == 0:
+                yield env.timeout(20e-6)
+
+    def reader(env):
+        out = bytearray()
+        while len(out) < payload_size:
+            buf = ByteBuffer.allocate(read_chunk)
+            n = yield server.read(buf)
+            if n and n > 0:
+                buf.flip()
+                out.extend(buf.get())
+            else:
+                yield env.timeout(10e-6)
+        return bytes(out)
+
+    rig.env.process(writer(rig.env))
+    p = rig.env.process(reader(rig.env))
+    assert rig.env.run(until=p) == payload
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    signal_interval=st.integers(min_value=1, max_value=16),
+    inline_threshold=st.integers(min_value=0, max_value=256),
+    count=st.integers(min_value=1, max_value=20),
+)
+def test_any_optimization_combination_delivers(signal_interval, inline_threshold, count):
+    """Every optimization combination preserves correctness."""
+    rig = RubinRig(
+        config=RubinConfig(
+            signal_interval=signal_interval,
+            inline_threshold=inline_threshold,
+            num_send_buffers=32,
+            num_recv_buffers=32,
+        )
+    )
+    client, server = rig.establish()
+    messages = [f"opt-{i:03d}".encode() for i in range(count)]
+
+    def writer(env):
+        for message in messages:
+            buf = ByteBuffer.wrap(message)
+            while buf.has_remaining():
+                n = yield client.write(buf)
+                if n == 0:
+                    yield env.timeout(20e-6)
+
+    def reader(env):
+        got = []
+        buf = ByteBuffer.allocate(16)
+        while len(got) < count:
+            buf.clear()
+            n = yield server.read(buf)
+            if n and n > 0:
+                buf.flip()
+                got.append(buf.get())
+            else:
+                yield env.timeout(10e-6)
+        return got
+
+    rig.env.process(writer(rig.env))
+    p = rig.env.process(reader(rig.env))
+    assert rig.env.run(until=p) == messages

@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event kernel's clock, agenda and run loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Infinity
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_honours_initial_time():
+    env = Environment(initial_time=42.5)
+    assert env.now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.0)
+    env.run()
+    assert env.now == 3.0
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    env.timeout(10.0)
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_run_until_time_processes_events_at_boundary():
+    env = Environment()
+    fired = []
+    t = env.timeout(4.0)
+    t.subscribe(lambda e: fired.append(env.now))
+    env.run(until=4.0)
+    assert fired == [4.0]
+
+
+def test_run_until_past_time_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "payload"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "payload"
+    assert env.now == 2.0
+
+
+def test_run_until_event_raises_failure():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    p = env.process(proc(env))
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=p)
+
+
+def test_run_until_event_starvation_detected():
+    env = Environment()
+    never = env.event()
+    with pytest.raises(SimulationError, match="ran out of events"):
+        env.run(until=never)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+
+
+def test_peek_on_empty_agenda_is_infinity():
+    env = Environment()
+    assert env.peek() == Infinity
+
+
+def test_step_on_empty_agenda_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_schedule_into_past_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.schedule(env.event(), delay=-1.0)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+    for delay in (5.0, 1.0, 3.0):
+        t = env.timeout(delay, value=delay)
+        t.subscribe(lambda e: order.append(e.value))
+    env.run()
+    assert order == [1.0, 3.0, 5.0]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+    for tag in ("a", "b", "c"):
+        t = env.timeout(1.0, value=tag)
+        t.subscribe(lambda e: order.append(e.value))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_urgent_priority_preempts_normal_at_same_time():
+    env = Environment()
+    order = []
+    normal = env.event()
+    normal.callbacks.append(lambda e: order.append("normal"))
+    normal._ok, normal._value = True, None
+    env.schedule(normal, delay=1.0)
+    urgent = env.event()
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    urgent._ok, urgent._value = True, None
+    env.schedule(urgent, delay=1.0, priority=Environment.URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_failed_event_without_waiters_surfaces():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        env.run()
+
+
+def test_defused_failed_event_is_silent():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("handled elsewhere")).defused()
+    env.run()  # must not raise
+
+
+def test_run_returns_none_when_agenda_empties():
+    env = Environment()
+    env.timeout(1.0)
+    assert env.run() is None
+
+
+def test_run_until_time_with_no_events_advances_clock():
+    env = Environment()
+    env.timeout(1.0)
+    env.run(until=9.0)
+    assert env.now == 9.0
+
+
+def test_repr_mentions_time():
+    env = Environment(initial_time=3.0)
+    assert "3.0" in repr(env)

@@ -1,0 +1,179 @@
+"""Unit tests for events, conditions and their composition rules."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, ConditionValue, Environment
+
+
+def test_event_starts_pending():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+
+
+def test_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_succeed_carries_value():
+    env = Environment()
+    ev = env.event().succeed("hello")
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == "hello"
+    env.run()
+    assert ev.processed
+
+
+def test_double_succeed_raises():
+    env = Environment()
+    ev = env.event().succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_then_succeed_raises():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("x")).defused()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_trigger_chains_outcome():
+    env = Environment()
+    src = env.event().succeed(123)
+    dst = env.event()
+    dst.trigger(src)
+    assert dst.value == 123
+    env.run()
+
+
+def test_trigger_from_pending_event_raises():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    with pytest.raises(SimulationError):
+        dst.trigger(src)
+
+
+def test_subscribe_after_processed_still_fires():
+    env = Environment()
+    ev = env.event().succeed("late")
+    env.run()
+    assert ev.processed
+    got = []
+    ev.subscribe(lambda e: got.append(e.value))
+    assert got == []  # asynchronous, not synchronous
+    env.run()
+    assert got == ["late"]
+
+
+def test_negative_timeout_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-0.5)
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="tick")
+        return got
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "tick"
+
+
+class TestAllOf:
+    def test_waits_for_every_event(self):
+        env = Environment()
+        a, b = env.timeout(1.0, "a"), env.timeout(3.0, "b")
+        cond = AllOf(env, [a, b])
+        env.run(until=cond)
+        assert env.now == 3.0
+
+    def test_value_maps_events_to_values(self):
+        env = Environment()
+        a, b = env.timeout(1.0, "a"), env.timeout(2.0, "b")
+        cond = env.all_of([a, b])
+        result = env.run(until=cond)
+        assert isinstance(result, ConditionValue)
+        assert result[a] == "a"
+        assert result[b] == "b"
+        assert list(result.values()) == ["a", "b"]
+
+    def test_empty_all_of_triggers_immediately(self):
+        env = Environment()
+        cond = env.all_of([])
+        result = env.run(until=cond)
+        assert len(result) == 0
+
+    def test_failure_propagates(self):
+        env = Environment()
+        ok = env.timeout(5.0)
+        bad = env.event()
+        cond = env.all_of([ok, bad])
+
+        def failer(env):
+            yield env.timeout(1.0)
+            bad.fail(RuntimeError("dead"))
+
+        env.process(failer(env))
+        with pytest.raises(RuntimeError, match="dead"):
+            env.run(until=cond)
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        env = Environment()
+        a, b = env.timeout(1.0, "fast"), env.timeout(9.0, "slow")
+        cond = env.any_of([a, b])
+        result = env.run(until=cond)
+        assert env.now == 1.0
+        assert a in result
+        assert b not in result
+
+    def test_empty_any_of_triggers_immediately(self):
+        env = Environment()
+        cond = env.any_of([])
+        env.run(until=cond)
+        assert env.now == 0.0
+
+    def test_mixing_environments_raises(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AnyOf(env1, [env1.event(), env2.event()])
+
+
+def test_condition_value_equality_with_dict():
+    env = Environment()
+    a = env.timeout(1.0, "x")
+    cond = env.all_of([a])
+    result = env.run(until=cond)
+    assert result == {a: "x"}
+
+
+def test_condition_value_keyerror_for_foreign_event():
+    env = Environment()
+    a = env.timeout(1.0, "x")
+    other = env.timeout(1.0, "y")
+    cond = env.all_of([a])
+    result = env.run(until=cond)
+    with pytest.raises(KeyError):
+        _ = result[other]

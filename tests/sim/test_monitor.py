@@ -1,0 +1,124 @@
+"""Measurement probes: counters, time series, utilization."""
+
+import pytest
+
+from repro.sim import Counter, Environment, SummaryStats, TimeSeries, UtilizationTracker
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.increment()
+        c.increment(5)
+        assert c.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").increment(-1)
+
+
+class TestTimeSeries:
+    def test_records_at_current_time(self):
+        env = Environment()
+        ts = TimeSeries(env, "lat")
+        env.timeout(2.0)
+        env.run()
+        ts.record(42.0)
+        assert ts.times == [2.0]
+        assert ts.values == [42.0]
+
+    def test_explicit_time(self):
+        env = Environment()
+        ts = TimeSeries(env, "lat")
+        ts.record(1.0, time=5.0)
+        assert ts.times == [5.0]
+
+    def test_rate(self):
+        env = Environment()
+        ts = TimeSeries(env, "ops")
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+            ts.record(1.0, time=t)
+        assert ts.rate() == pytest.approx(1.0)
+
+    def test_rate_degenerate(self):
+        env = Environment()
+        ts = TimeSeries(env, "ops")
+        assert ts.rate() == 0.0
+        ts.record(1.0, time=1.0)
+        assert ts.rate() == 0.0
+
+    def test_stats(self):
+        env = Environment()
+        ts = TimeSeries(env, "lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            ts.record(v)
+        stats = ts.stats()
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.count == 4
+
+
+class TestSummaryStats:
+    def test_empty(self):
+        s = SummaryStats([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_percentiles(self):
+        s = SummaryStats([float(i) for i in range(1, 101)])
+        assert s.p50 == 50.0
+        assert s.p99 == 99.0
+
+    def test_stdev(self):
+        s = SummaryStats([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.stdev == pytest.approx(2.0)
+
+
+class TestUtilization:
+    def test_basic_busy_fraction(self):
+        env = Environment()
+        tracker = UtilizationTracker(env, "cpu")
+
+        def work(env):
+            tracker.begin()
+            yield env.timeout(1.0)
+            tracker.end()
+            yield env.timeout(3.0)
+
+        env.process(work(env))
+        env.run()
+        assert tracker.utilization() == pytest.approx(0.25)
+
+    def test_nested_sections(self):
+        env = Environment()
+        tracker = UtilizationTracker(env, "cpu")
+
+        def work(env):
+            tracker.begin()
+            tracker.begin()
+            yield env.timeout(1.0)
+            tracker.end()
+            yield env.timeout(1.0)
+            tracker.end()
+
+        env.process(work(env))
+        env.run()
+        assert tracker.busy_time() == pytest.approx(2.0)
+
+    def test_end_without_begin_raises(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            UtilizationTracker(env, "cpu").end()
+
+    def test_open_section_counts(self):
+        env = Environment()
+        tracker = UtilizationTracker(env, "cpu")
+
+        def work(env):
+            tracker.begin()
+            yield env.timeout(2.0)
+
+        env.process(work(env))
+        env.run()
+        assert tracker.busy_time() == pytest.approx(2.0)

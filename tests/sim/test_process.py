@@ -1,0 +1,251 @@
+"""Unit tests for process lifecycle, interaction and interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+def test_process_runs_to_completion():
+    env = Environment()
+    steps = []
+
+    def proc(env):
+        steps.append(env.now)
+        yield env.timeout(1.0)
+        steps.append(env.now)
+        yield env.timeout(2.0)
+        steps.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert steps == [0.0, 1.0, 3.0]
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 99
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.processed
+    assert p.value == 99
+
+
+def test_process_is_alive_until_finished():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_processes_can_wait_for_each_other():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == "child-result"
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise KeyError("broken-child")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            return "caught"
+        return "missed"
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == "caught"
+
+
+def test_yielding_non_event_raises_inside_process():
+    env = Environment()
+
+    def proc(env):
+        try:
+            yield 42  # type: ignore[misc]
+        except SimulationError:
+            return "rejected"
+        return "accepted"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "rejected"
+
+
+def test_passing_non_generator_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yielding_event_from_other_environment_fails_process():
+    env1, env2 = Environment(), Environment()
+
+    def proc(env):
+        yield env2.timeout(1.0)
+
+    p = env1.process(proc(env1))
+    with pytest.raises(SimulationError, match="different environment"):
+        env1.run(until=p)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, env.now)
+
+        p = env.process(victim(env))
+
+        def attacker(env):
+            yield env.timeout(1.0)
+            p.interrupt("why-not")
+
+        env.process(attacker(env))
+        assert env.run(until=p) == ("interrupted", "why-not", 1.0)
+
+    def test_interrupt_detaches_from_target(self):
+        env = Environment()
+        resumes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(5.0)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+            # Keep living past the original timeout to catch double resume.
+            yield env.timeout(10.0)
+            resumes.append("second")
+
+        p = env.process(victim(env))
+
+        def attacker(env):
+            yield env.timeout(1.0)
+            p.interrupt()
+
+        env.process(attacker(env))
+        env.run()
+        assert resumes == ["interrupt", "second"]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.5)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Environment()
+
+        def victim(env):
+            yield env.timeout(100.0)
+
+        p = env.process(victim(env))
+
+        def attacker(env):
+            yield env.timeout(1.0)
+            p.interrupt("fatal")
+
+        env.process(attacker(env))
+        with pytest.raises(Interrupt):
+            env.run(until=p)
+
+    def test_interrupt_before_first_resume(self):
+        env = Environment()
+
+        def victim(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                return "early"
+            return "late"
+
+        p = env.process(victim(env))
+        p.interrupt()  # before the bootstrap step ran
+        # The bootstrap proceeds; the interrupt arrives at the first yield.
+        assert env.run(until=p) == "early"
+
+
+def test_active_process_visible_during_execution():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+        seen.append(env.active_process)
+
+    p = env.process(proc(env))
+    env.run()
+    assert seen == [p, p]
+    assert env.active_process is None
+
+
+def test_process_name_defaults_to_generator_name():
+    env = Environment()
+
+    def my_proto_loop(env):
+        yield env.timeout(1.0)
+
+    p = env.process(my_proto_loop(env))
+    assert "my_proto_loop" in repr(p)
+    env.run()
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    trace = []
+
+    def ping(env):
+        for _ in range(3):
+            trace.append(("ping", env.now))
+            yield env.timeout(2.0)
+
+    def pong(env):
+        yield env.timeout(1.0)
+        for _ in range(3):
+            trace.append(("pong", env.now))
+            yield env.timeout(2.0)
+
+    env.process(ping(env))
+    env.process(pong(env))
+    env.run()
+    assert trace == [
+        ("ping", 0.0),
+        ("pong", 1.0),
+        ("ping", 2.0),
+        ("pong", 3.0),
+        ("ping", 4.0),
+        ("pong", 5.0),
+    ]

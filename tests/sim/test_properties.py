@@ -1,0 +1,143 @@
+"""Property-based tests for the kernel's core ordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        t = env.timeout(delay)
+        t.subscribe(lambda e: fired.append(env.now))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+    )
+)
+def test_identical_schedules_are_deterministic(delays):
+    def run_once():
+        env = Environment()
+        trace = []
+        for i, delay in enumerate(delays):
+            t = env.timeout(delay, value=i)
+            t.subscribe(lambda e: trace.append((env.now, e.value)))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=100))
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=50),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+def test_bounded_store_never_exceeds_capacity(items, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    max_seen = 0
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def watcher_consumer(env):
+        nonlocal max_seen
+        for _ in items:
+            max_seen = max(max_seen, len(store))
+            yield store.get()
+            yield env.timeout(1.0)
+
+    env.process(producer(env))
+    env.process(watcher_consumer(env))
+    env.run()
+    assert max_seen <= capacity
+
+
+@settings(deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=20
+    ),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+def test_resource_concurrency_never_exceeds_capacity(durations, capacity):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    active = 0
+    peak = 0
+
+    def worker(env, duration):
+        nonlocal active, peak
+        req = res.request()
+        yield req
+        active += 1
+        peak = max(peak, active)
+        yield env.timeout(duration)
+        active -= 1
+        req.release()
+
+    for duration in durations:
+        env.process(worker(env, duration))
+    env.run()
+    assert peak <= capacity
+    assert active == 0
+    assert res.count == 0
+
+
+@given(
+    payloads=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3), st.integers()),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_filtered_gets_return_only_matching_items(payloads):
+    env = Environment()
+    store = Store(env)
+    wanted_tag = 0
+    expected = [value for tag, value in payloads if tag == wanted_tag]
+    got = []
+
+    def producer(env):
+        for tag, value in payloads:
+            yield store.put((tag, value))
+
+    def consumer(env):
+        for _ in expected:
+            tag, value = yield store.get(filter=lambda it: it[0] == wanted_tag)
+            got.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == expected

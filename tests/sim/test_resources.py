@@ -1,0 +1,262 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            yield store.put("item-1")
+
+        def consumer(env):
+            item = yield store.get()
+            return item
+
+        env.process(producer(env))
+        c = env.process(consumer(env))
+        assert env.run(until=c) == "item-1"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        times = []
+
+        def consumer(env):
+            item = yield store.get()
+            times.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(3.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [(3.0, "late")]
+
+    def test_fifo_ordering(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_capacity_blocks_puts(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        done = []
+
+        def producer(env):
+            for i in range(3):
+                yield store.put(i)
+                done.append((env.now, i))
+
+        def consumer(env):
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        # Third put only admitted once the consumer freed a slot at t=5.
+        assert done == [(0.0, 0), (0.0, 1), (5.0, 2)]
+
+    def test_invalid_capacity_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_filtered_get_skips_non_matching(self):
+        env = Environment()
+        store = Store(env)
+        store.put("apple")
+        store.put("banana")
+        store.put("avocado")
+
+        def consumer(env):
+            item = yield store.get(filter=lambda s: s.startswith("b"))
+            return item
+
+        c = env.process(consumer(env))
+        assert env.run(until=c) == "banana"
+        assert list(store.items) == ["apple", "avocado"]
+
+    def test_filtered_get_blocks_until_match(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get(filter=lambda x: x == "wanted")
+            got.append((env.now, item))
+
+        def producer(env):
+            yield store.put("other")
+            yield env.timeout(2.0)
+            yield store.put("wanted")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(2.0, "wanted")]
+
+    def test_try_get_nonblocking(self):
+        env = Environment()
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("x")
+        env.run()
+        assert store.try_get() == "x"
+        assert store.try_get() is None
+
+    def test_len_and_pending_counters(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        store.put("a")
+        store.put("b")
+        store.get()
+        store.get()
+        store.get()
+        # After dispatch: "a" consumed by first getter, "b" admitted and
+        # consumed by the second, one getter still blocked.
+        assert store.pending_getters == 1
+        assert store.pending_putters == 0
+        assert len(store) == 0
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+        trace = []
+
+        def worker(env, tag, duration):
+            req = cpu.request()
+            yield req
+            trace.append((tag, "start", env.now))
+            yield env.timeout(duration)
+            req.release()
+            trace.append((tag, "end", env.now))
+
+        env.process(worker(env, "A", 2.0))
+        env.process(worker(env, "B", 1.0))
+        env.run()
+        assert trace == [
+            ("A", "start", 0.0),
+            ("A", "end", 2.0),
+            ("B", "start", 2.0),
+            ("B", "end", 3.0),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        cpu = Resource(env, capacity=2)
+        starts = []
+
+        def worker(env, tag):
+            req = cpu.request()
+            yield req
+            starts.append((tag, env.now))
+            yield env.timeout(1.0)
+            req.release()
+
+        for tag in ("A", "B", "C"):
+            env.process(worker(env, tag))
+        env.run()
+        assert starts == [("A", 0.0), ("B", 0.0), ("C", 1.0)]
+
+    def test_release_is_idempotent(self):
+        env = Environment()
+        res = Resource(env)
+        req = res.request()
+        env.run()
+        req.release()
+        req.release()  # must not raise or double-free
+        assert res.count == 0
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        res = Resource(env)
+
+        def worker(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+            return res.count
+
+        p = env.process(worker(env))
+        assert env.run(until=p) == 0
+
+    def test_cancel_waiting_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        holder = res.request()
+        waiter = res.request()
+        assert res.queue_length == 1
+        waiter.release()  # cancel before grant
+        assert res.queue_length == 0
+        holder.release()
+        assert res.count == 0
+
+    def test_release_foreign_request_raises(self):
+        env = Environment()
+        res1 = Resource(env)
+        res2 = Resource(env)
+        req = res1.request()
+        with pytest.raises(SimulationError):
+            res2.release(req)
+
+    def test_run_task_charges_duration(self):
+        env = Environment()
+        cpu = Resource(env, capacity=1)
+
+        def worker(env):
+            yield cpu.run_task(2.5)
+            return env.now
+
+        p = env.process(worker(env))
+        assert env.run(until=p) == 2.5
+
+    def test_invalid_capacity_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_fifo_fairness(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        grant_order = []
+
+        def worker(env, tag):
+            req = res.request()
+            yield req
+            grant_order.append(tag)
+            yield env.timeout(1.0)
+            req.release()
+
+        def spawner(env):
+            for tag in ("first", "second", "third"):
+                env.process(worker(env, tag))
+                yield env.timeout(0.1)
+
+        env.process(spawner(env))
+        env.run()
+        assert grant_order == ["first", "second", "third"]

@@ -1,0 +1,49 @@
+"""Shared fixtures: a two-host fabric with TCP stacks installed."""
+
+import pytest
+
+from repro.net import Fabric
+from repro.sim import Environment
+from repro.tcpstack import TcpConfig, TcpStack
+
+
+class TcpPair:
+    """Two cabled hosts with TCP stacks, for connection-level tests."""
+
+    def __init__(self, config=None, drop_fn=None, bandwidth_bps=10e9):
+        self.env = Environment()
+        self.fabric = Fabric(self.env)
+        self.client_host = self.fabric.add_host("client")
+        self.server_host = self.fabric.add_host("server")
+        self.fabric.connect(
+            "client", "server", bandwidth_bps=bandwidth_bps, drop_fn=drop_fn
+        )
+        self.client = TcpStack(self.client_host, config=config)
+        self.server = TcpStack(self.server_host, config=config)
+
+    def establish(self, port=5000):
+        """Run a handshake; returns (client_conn, server_conn)."""
+        listener = self.server.listen(port)
+        client_conn = self.client.connect("server", port)
+        server_conn_box = []
+
+        def acceptor(env):
+            conn = yield listener.accept()
+            server_conn_box.append(conn)
+
+        self.env.process(acceptor(self.env))
+        self.env.run(until=client_conn.established)
+        # Let the acceptor collect the connection.
+        while not server_conn_box:
+            self.env.step()
+        return client_conn, server_conn_box[0]
+
+
+@pytest.fixture
+def pair():
+    return TcpPair()
+
+
+@pytest.fixture
+def small_buffer_pair():
+    return TcpPair(config=TcpConfig(send_buffer=4096, recv_buffer=4096))

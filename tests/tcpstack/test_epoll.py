@@ -1,0 +1,182 @@
+"""Readiness semantics of the epoll emulation."""
+
+import pytest
+
+from repro.errors import TcpError
+from repro.tcpstack import EPOLLIN, EPOLLOUT, Epoll
+
+
+def test_wait_returns_readable_connection(pair):
+    client_conn, server_conn = pair.establish()
+    epoll = Epoll(pair.server_host)
+    epoll.register(server_conn, EPOLLIN)
+
+    def waiter(env):
+        ready = yield epoll.wait()
+        return ready
+
+    def sender(env):
+        yield env.timeout(1e-3)
+        yield client_conn.send(b"wake up")
+
+    p = pair.env.process(waiter(pair.env))
+    pair.env.process(sender(pair.env))
+    ready = pair.env.run(until=p)
+    assert len(ready) == 1
+    assert ready[0][0] is server_conn
+    assert ready[0][1] & EPOLLIN
+
+
+def test_established_connection_is_immediately_writable(pair):
+    client_conn, _ = pair.establish()
+    epoll = Epoll(pair.client_host)
+    epoll.register(client_conn, EPOLLOUT)
+
+    def waiter(env):
+        ready = yield epoll.wait()
+        return ready
+
+    p = pair.env.process(waiter(pair.env))
+    ready = pair.env.run(until=p)
+    assert ready[0][1] & EPOLLOUT
+
+
+def test_listener_becomes_readable_on_pending_accept(pair):
+    listener = pair.server.listen(6000)
+    epoll = Epoll(pair.server_host)
+    epoll.register(listener, EPOLLIN)
+
+    def waiter(env):
+        ready = yield epoll.wait()
+        return ready
+
+    p = pair.env.process(waiter(pair.env))
+    pair.client.connect("server", 6000)
+    ready = pair.env.run(until=p)
+    assert ready[0][0] is listener
+
+
+def test_wait_timeout_returns_empty(pair):
+    client_conn, server_conn = pair.establish()
+    epoll = Epoll(pair.server_host)
+    epoll.register(server_conn, EPOLLIN)
+
+    def waiter(env):
+        started = env.now
+        ready = yield epoll.wait(timeout=2e-3)
+        return ready, env.now - started
+
+    p = pair.env.process(waiter(pair.env))
+    ready, elapsed = pair.env.run(until=p)
+    assert ready == []
+    assert elapsed == pytest.approx(2e-3, rel=0.1)
+
+
+def test_poll_is_nonblocking_snapshot(pair):
+    client_conn, server_conn = pair.establish()
+    epoll = Epoll(pair.server_host)
+    epoll.register(server_conn, EPOLLIN | EPOLLOUT)
+    ready = epoll.poll()
+    # Writable immediately, not yet readable.
+    assert ready == [(server_conn, EPOLLOUT)]
+
+
+def test_modify_changes_interest(pair):
+    client_conn, server_conn = pair.establish()
+    epoll = Epoll(pair.server_host)
+    epoll.register(server_conn, EPOLLIN)
+    assert epoll.poll() == []
+    epoll.modify(server_conn, EPOLLOUT)
+    assert epoll.poll() == [(server_conn, EPOLLOUT)]
+
+
+def test_unregister_removes_interest(pair):
+    client_conn, server_conn = pair.establish()
+    epoll = Epoll(pair.server_host)
+    epoll.register(server_conn, EPOLLOUT)
+    epoll.unregister(server_conn)
+    assert epoll.poll() == []
+
+
+def test_double_register_raises(pair):
+    client_conn, _ = pair.establish()
+    epoll = Epoll(pair.client_host)
+    epoll.register(client_conn, EPOLLIN)
+    with pytest.raises(TcpError, match="already registered"):
+        epoll.register(client_conn, EPOLLOUT)
+
+
+def test_modify_unregistered_raises(pair):
+    client_conn, _ = pair.establish()
+    epoll = Epoll(pair.client_host)
+    with pytest.raises(TcpError, match="not registered"):
+        epoll.modify(client_conn, EPOLLIN)
+
+
+def test_empty_interest_mask_raises(pair):
+    client_conn, _ = pair.establish()
+    epoll = Epoll(pair.client_host)
+    with pytest.raises(TcpError, match="empty interest"):
+        epoll.register(client_conn, 0)
+
+
+def test_closed_epoll_rejects_operations(pair):
+    client_conn, _ = pair.establish()
+    epoll = Epoll(pair.client_host)
+    epoll.register(client_conn, EPOLLIN)
+    epoll.close()
+    with pytest.raises(TcpError, match="closed"):
+        epoll.poll()
+    # Watchers were detached: no dangling notification errors on traffic.
+    client_conn.close()
+    pair.env.run(until=pair.env.now + 20e-3)
+
+
+def test_eof_makes_connection_readable(pair):
+    client_conn, server_conn = pair.establish()
+    epoll = Epoll(pair.server_host)
+    epoll.register(server_conn, EPOLLIN)
+
+    def waiter(env):
+        ready = yield epoll.wait()
+        return ready
+
+    p = pair.env.process(waiter(pair.env))
+    client_conn.close()
+    ready = pair.env.run(until=p)
+    assert ready[0][0] is server_conn
+    assert server_conn.eof_received
+
+
+def test_one_epoll_multiplexes_many_connections(pair):
+    listener = pair.server.listen(7000)
+    conns = [pair.client.connect("server", 7000) for _ in range(5)]
+    server_conns = []
+
+    def acceptor(env):
+        for _ in range(5):
+            conn = yield listener.accept()
+            server_conns.append(conn)
+
+    pair.env.process(acceptor(pair.env))
+    for conn in conns:
+        pair.env.run(until=conn.established)
+    pair.env.run(until=pair.env.now + 1e-3)
+    assert len(server_conns) == 5
+
+    epoll = Epoll(pair.server_host)
+    for conn in server_conns:
+        epoll.register(conn, EPOLLIN)
+
+    def sender(env):
+        yield conns[2].send(b"only this one")
+
+    def waiter(env):
+        ready = yield epoll.wait()
+        return ready
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(waiter(pair.env))
+    ready = pair.env.run(until=p)
+    assert len(ready) == 1
+    assert ready[0][0] is server_conns[2]

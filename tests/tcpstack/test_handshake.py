@@ -1,0 +1,155 @@
+"""Connection establishment, refusal and teardown."""
+
+import pytest
+
+from repro.errors import TcpError
+from repro.tcpstack import TcpStack
+
+from tests.tcpstack.conftest import TcpPair
+
+
+def test_handshake_establishes_both_sides(pair):
+    client_conn, server_conn = pair.establish()
+    assert client_conn.is_established
+    assert server_conn.is_established
+
+
+def test_handshake_takes_about_one_rtt(pair):
+    client_conn, _ = pair.establish()
+    # SYN + SYN-ACK is one RTT (~2 * 1.5us propagation) plus CPU costs;
+    # it must be well under a millisecond and over the bare 2x propagation.
+    assert 3e-6 < pair.env.now < 1e-3
+
+
+def test_connect_to_closed_port_is_refused(pair):
+    conn = pair.client.connect("server", 4242)  # nobody listens
+    with pytest.raises(TcpError, match="reset"):
+        pair.env.run(until=conn.established)
+
+
+def test_accept_queue_delivers_connections_in_order(pair):
+    listener = pair.server.listen(5000)
+    first = pair.client.connect("server", 5000)
+    second = pair.client.connect("server", 5000)
+    accepted = []
+
+    def acceptor(env):
+        for _ in range(2):
+            conn = yield listener.accept()
+            accepted.append(conn)
+
+    pair.env.process(acceptor(pair.env))
+    pair.env.run(until=second.established)
+    pair.env.run(until=pair.env.now + 1e-3)
+    assert len(accepted) == 2
+    assert accepted[0].remote_port == first.local_port
+    assert accepted[1].remote_port == second.local_port
+
+
+def test_listen_twice_on_same_port_raises(pair):
+    pair.server.listen(5000)
+    with pytest.raises(TcpError, match="already listening"):
+        pair.server.listen(5000)
+
+
+def test_invalid_port_rejected(pair):
+    with pytest.raises(TcpError, match="invalid port"):
+        pair.client.connect("server", 0)
+    with pytest.raises(TcpError, match="invalid port"):
+        pair.server.listen(70000)
+
+
+def test_ephemeral_ports_are_unique(pair):
+    pair.server.listen(5000)
+    a = pair.client.connect("server", 5000)
+    b = pair.client.connect("server", 5000)
+    assert a.local_port != b.local_port
+
+
+def test_orderly_close_reaches_closed_on_both_sides(pair):
+    client_conn, server_conn = pair.establish()
+    client_conn.close()
+    server_conn.close()
+    pair.env.run(until=pair.env.now + 50e-3)
+    assert client_conn.state == "CLOSED"
+    assert server_conn.state == "CLOSED"
+    assert pair.client.connection_count == 0
+    assert pair.server.connection_count == 0
+
+
+def test_close_is_idempotent(pair):
+    client_conn, server_conn = pair.establish()
+    client_conn.close()
+    client_conn.close()
+    server_conn.close()
+    pair.env.run(until=pair.env.now + 50e-3)
+    assert client_conn.state == "CLOSED"
+
+
+def test_eof_visible_to_receiver_after_peer_close(pair):
+    client_conn, server_conn = pair.establish()
+    client_conn.close()
+    pair.env.run(until=pair.env.now + 50e-3)
+    assert server_conn.eof_received
+
+    def reader(env):
+        data = yield server_conn.receive()
+        return data
+
+    p = pair.env.process(reader(pair.env))
+    assert pair.env.run(until=p) == b""
+
+
+def test_send_after_close_raises(pair):
+    client_conn, _ = pair.establish()
+    client_conn.close()
+
+    def sender(env):
+        yield client_conn.send(b"too late")
+
+    p = pair.env.process(sender(pair.env))
+    with pytest.raises(TcpError, match="close"):
+        pair.env.run(until=p)
+
+
+def test_abort_resets_peer(pair):
+    client_conn, server_conn = pair.establish()
+
+    def reader(env):
+        yield server_conn.receive()
+
+    p = pair.env.process(reader(pair.env))
+    client_conn.abort()
+    with pytest.raises(TcpError, match="reset"):
+        pair.env.run(until=p)
+    assert client_conn.state == "CLOSED"
+    assert server_conn.state == "CLOSED"
+
+
+def test_closed_listener_refuses_new_connections(pair):
+    listener = pair.server.listen(5000)
+    listener.close()
+    conn = pair.client.connect("server", 5000)
+    with pytest.raises(TcpError, match="reset"):
+        pair.env.run(until=conn.established)
+
+
+def test_simultaneous_close_from_both_ends():
+    pair = TcpPair()
+    client_conn, server_conn = pair.establish()
+    client_conn.close()
+    server_conn.close()
+    pair.env.run(until=pair.env.now + 100e-3)
+    assert client_conn.state == "CLOSED"
+    assert server_conn.state == "CLOSED"
+
+
+def test_stack_installs_on_host(pair):
+    assert pair.client_host.stack("tcp") is pair.client
+    assert pair.client_host.has_stack("tcp")
+
+
+def test_two_stacks_on_one_host_raise():
+    pair = TcpPair()
+    with pytest.raises(Exception):
+        TcpStack(pair.client_host)

@@ -1,0 +1,183 @@
+"""Regression tests for stack behaviours found during calibration:
+delayed ACKs, window accounting, zero-window recovery, duplicate SYNs."""
+
+import pytest
+
+from repro.tcpstack import ACK, SYN, TcpConfig
+
+from tests.tcpstack.conftest import TcpPair
+
+
+def test_delayed_acks_halve_pure_ack_traffic():
+    """Bulk transfer must generate roughly one ACK per two segments."""
+    pair = TcpPair()
+    client_conn, server_conn = pair.establish()
+    payload = b"d" * 100_000  # ~69 segments
+    acks_seen = []
+
+    original = client_conn._process_ack
+
+    def counting(segment):
+        if not segment.data:
+            acks_seen.append(segment)
+        return original(segment)
+
+    client_conn._process_ack = counting
+    received = bytearray()
+
+    def sender(env):
+        yield client_conn.send(payload)
+
+    def receiver(env):
+        while len(received) < len(payload):
+            data = yield server_conn.receive()
+            received.extend(data)
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(receiver(pair.env))
+    pair.env.run(until=p)
+    assert bytes(received) == payload
+    segments = -(-len(payload) // 1460)
+    # Delayed ACKs: distinctly fewer ACKs than data segments.
+    assert len(acks_seen) < segments * 0.8
+
+
+def test_window_accounts_for_queued_segments():
+    """Advertised window must cover bytes still in the NIC ring, so an
+    overcommitting sender can never force receiver-side drops."""
+    pair = TcpPair(config=TcpConfig(send_buffer=1 << 20, recv_buffer=16384))
+    client_conn, server_conn = pair.establish()
+    payload = b"w" * 200_000
+    received = bytearray()
+    drops = []
+
+    original = server_conn._process_data
+
+    def watching(segment):
+        if (
+            segment.data
+            and segment.seq == server_conn._rcv_nxt
+            and len(segment.data) > server_conn._recv_free_space()
+        ):
+            drops.append(segment)
+        return original(segment)
+
+    server_conn._process_data = watching
+
+    def sender(env):
+        yield client_conn.send(payload)
+
+    def slow_receiver(env):
+        while len(received) < len(payload):
+            data = yield server_conn.receive(max_bytes=2048)
+            received.extend(data)
+            yield env.timeout(30e-6)
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(slow_receiver(pair.env))
+    pair.env.run(until=p)
+    assert bytes(received) == payload
+    # Zero-window probes may be dropped (1 byte); real data never.
+    assert all(len(d.data) <= 1 for d in drops)
+
+
+def test_zero_window_reopen_is_prompt():
+    """After a zero-window episode, transfer must resume without waiting
+    out a backed-off RTO (regression: the dropped probe wedged the
+    stream for tens of ms)."""
+    pair = TcpPair(config=TcpConfig(send_buffer=1 << 20, recv_buffer=8192))
+    client_conn, server_conn = pair.establish()
+    payload = b"z" * 65536
+    received = bytearray()
+
+    def sender(env):
+        yield client_conn.send(payload)
+
+    def stall_then_drain(env):
+        yield env.timeout(20e-3)  # guarantee a zero-window episode
+        while len(received) < len(payload):
+            data = yield server_conn.receive()
+            received.extend(data)
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(stall_then_drain(pair.env))
+    start_drain = 20e-3
+    pair.env.run(until=p)
+    assert bytes(received) == payload
+    # Once draining began, completion must take single-digit ms, not
+    # multiple backed-off RTO cycles (rto=5ms; backoff would be 20ms+).
+    assert pair.env.now - start_drain < 15e-3
+
+
+def test_duplicate_syn_ack_is_reacked():
+    """A retransmitted SYN-ACK (lost handshake ACK) must be re-ACKed by
+    an established client, or the server never leaves SYN_RCVD
+    (regression: this deadlocked lossy handshakes forever)."""
+    pair = TcpPair()
+    client_conn, server_conn = pair.establish()
+    from repro.tcpstack import Segment
+
+    acks_before = server_conn._snd_una
+    dup = Segment(
+        src_host="server",
+        src_port=server_conn.local_port,
+        dst_host="client",
+        dst_port=client_conn.local_port,
+        flags=SYN | ACK,
+        seq=0,
+        ack=1,
+        window=65536,
+    )
+    got_ack = []
+    original = server_conn._process_ack
+
+    def watching(segment):
+        got_ack.append(segment)
+        return original(segment)
+
+    server_conn._process_ack = watching
+    client_conn.enqueue_segment(dup)
+    pair.env.run(until=pair.env.now + 5e-3)
+    assert got_ack, "client did not re-ACK the duplicate SYN-ACK"
+
+
+def test_handshake_survives_each_lost_packet():
+    """Drop exactly the Nth frame of the handshake for N = 1, 2, 3."""
+    for nth in (1, 2, 3):
+        counter = {"n": 0}
+
+        def drop_nth(frame, nth=nth):
+            counter["n"] += 1
+            return counter["n"] == nth
+
+        pair = TcpPair(config=TcpConfig(rto=1e-3), drop_fn=drop_nth)
+        client_conn, server_conn = pair.establish()
+        assert client_conn.is_established, f"failed with frame {nth} lost"
+        assert server_conn.is_established, f"failed with frame {nth} lost"
+
+
+def test_interrupt_coalescing_charges_less_cpu_for_bursts():
+    """A burst of segments must cost less CPU than isolated arrivals."""
+    def run(spaced):
+        pair = TcpPair()
+        client_conn, server_conn = pair.establish()
+        busy_before = pair.server_host.cpu.tracker.busy_time()
+
+        def sender(env):
+            for _ in range(20):
+                yield client_conn.send(b"x" * 1460)
+                if spaced:
+                    yield env.timeout(1e-3)  # isolated arrivals
+
+        def receiver(env):
+            total = 0
+            while total < 20 * 1460:
+                data = yield server_conn.receive()
+                total += len(data)
+
+        pair.env.process(sender(pair.env))
+        p = pair.env.process(receiver(pair.env))
+        pair.env.run(until=p)
+        return pair.server_host.cpu.tracker.busy_time() - busy_before
+
+    assert run(spaced=False) < run(spaced=True)

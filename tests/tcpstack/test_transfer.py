@@ -1,0 +1,272 @@
+"""Data transfer: byte-stream integrity, segmentation, flow control, loss."""
+
+import pytest
+
+from repro.tcpstack import TcpConfig
+
+from tests.tcpstack.conftest import TcpPair
+
+
+def transfer(pair, client_conn, server_conn, payload, chunk=None):
+    """Send ``payload`` client->server; return the received bytes."""
+    received = bytearray()
+
+    def sender(env):
+        yield client_conn.send(payload)
+
+    def receiver(env):
+        while len(received) < len(payload):
+            data = yield server_conn.receive(
+                max_bytes=None if chunk is None else chunk
+            )
+            if not data:
+                break
+            received.extend(data)
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(receiver(pair.env))
+    pair.env.run(until=p)
+    return bytes(received)
+
+
+def test_small_message_arrives_intact(pair):
+    client_conn, server_conn = pair.establish()
+    payload = b"hello tcp world"
+    assert transfer(pair, client_conn, server_conn, payload) == payload
+
+
+def test_multi_segment_message_arrives_intact(pair):
+    client_conn, server_conn = pair.establish()
+    payload = bytes(range(256)) * 40  # 10240 B -> 8 segments at MSS 1460
+    assert transfer(pair, client_conn, server_conn, payload) == payload
+
+
+def test_100kb_message_arrives_intact(pair):
+    client_conn, server_conn = pair.establish()
+    payload = b"\xab" * 100_000
+    assert transfer(pair, client_conn, server_conn, payload) == payload
+
+
+def test_many_small_messages_preserve_order(pair):
+    client_conn, server_conn = pair.establish()
+    messages = [f"msg-{i:04d};".encode() for i in range(100)]
+    blob = b"".join(messages)
+    got = transfer(pair, client_conn, server_conn, blob)
+    assert got == blob
+
+
+def test_bidirectional_transfer(pair):
+    client_conn, server_conn = pair.establish()
+    c2s = b"x" * 5000
+    s2c = b"y" * 7000
+    got_at_server = bytearray()
+    got_at_client = bytearray()
+
+    def client_side(env):
+        yield client_conn.send(c2s)
+        while len(got_at_client) < len(s2c):
+            data = yield client_conn.receive()
+            got_at_client.extend(data)
+
+    def server_side(env):
+        yield server_conn.send(s2c)
+        while len(got_at_server) < len(c2s):
+            data = yield server_conn.receive()
+            got_at_server.extend(data)
+
+    p1 = pair.env.process(client_side(pair.env))
+    p2 = pair.env.process(server_side(pair.env))
+    pair.env.run(until=pair.env.all_of([p1, p2]))
+    assert bytes(got_at_server) == c2s
+    assert bytes(got_at_client) == s2c
+
+
+def test_receive_min_bytes_blocks_until_enough(pair):
+    client_conn, server_conn = pair.establish()
+    arrived = []
+
+    def receiver(env):
+        data = yield server_conn.receive(min_bytes=10)
+        arrived.append(data)
+
+    def sender(env):
+        yield client_conn.send(b"12345")
+        yield env.timeout(1e-3)
+        yield client_conn.send(b"67890")
+
+    p = pair.env.process(receiver(pair.env))
+    pair.env.process(sender(pair.env))
+    pair.env.run(until=p)
+    assert arrived == [b"1234567890"]
+
+
+def test_flow_control_with_tiny_receive_buffer():
+    pair = TcpPair(config=TcpConfig(send_buffer=8192, recv_buffer=2048))
+    client_conn, server_conn = pair.establish()
+    payload = b"z" * 20_000
+    received = bytearray()
+
+    def sender(env):
+        yield client_conn.send(payload)
+
+    def slow_receiver(env):
+        while len(received) < len(payload):
+            data = yield server_conn.receive(max_bytes=512)
+            received.extend(data)
+            yield env.timeout(50e-6)
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(slow_receiver(pair.env))
+    pair.env.run(until=p)
+    assert bytes(received) == payload
+
+
+def test_send_blocks_on_full_send_buffer(small_buffer_pair):
+    pair = small_buffer_pair
+    client_conn, server_conn = pair.establish()
+    payload = b"q" * 50_000  # far beyond the 4 KB buffers
+    sent_at = []
+
+    def sender(env):
+        yield client_conn.send(payload)
+        sent_at.append(env.now)
+
+    def receiver(env):
+        total = 0
+        while total < len(payload):
+            data = yield server_conn.receive()
+            total += len(data)
+        return total
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(receiver(pair.env))
+    assert pair.env.run(until=p) == len(payload)
+    assert sent_at, "sender never finished"
+
+
+def test_zero_window_then_reopen():
+    pair = TcpPair(config=TcpConfig(send_buffer=8192, recv_buffer=2048))
+    client_conn, server_conn = pair.establish()
+    payload = b"w" * 4096
+    received = bytearray()
+
+    def sender(env):
+        yield client_conn.send(payload)
+
+    def stalled_receiver(env):
+        # Do not read at all until the window is certainly zero.
+        yield env.timeout(5e-3)
+        while len(received) < len(payload):
+            data = yield server_conn.receive()
+            received.extend(data)
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(stalled_receiver(pair.env))
+    pair.env.run(until=p)
+    assert bytes(received) == payload
+
+
+def test_write_some_respects_buffer_space(small_buffer_pair):
+    pair = small_buffer_pair
+    client_conn, _server_conn = pair.establish()
+
+    def writer(env):
+        admitted = yield client_conn.write_some(b"a" * 100_000)
+        return admitted
+
+    p = pair.env.process(writer(pair.env))
+    admitted = pair.env.run(until=p)
+    assert 0 < admitted <= 4096
+
+
+def test_read_some_returns_empty_when_no_data(pair):
+    client_conn, server_conn = pair.establish()
+
+    def reader(env):
+        data = yield server_conn.read_some(1024)
+        return data
+
+    p = pair.env.process(reader(pair.env))
+    assert pair.env.run(until=p) == b""
+
+
+def test_read_some_returns_none_at_eof(pair):
+    client_conn, server_conn = pair.establish()
+    client_conn.close()
+    pair.env.run(until=pair.env.now + 20e-3)
+
+    def reader(env):
+        data = yield server_conn.read_some(1024)
+        return data
+
+    p = pair.env.process(reader(pair.env))
+    assert pair.env.run(until=p) is None
+
+
+def test_data_before_close_still_delivered(pair):
+    client_conn, server_conn = pair.establish()
+    payload = b"last words" * 100
+
+    def sender(env):
+        yield client_conn.send(payload)
+        client_conn.close()
+
+    received = bytearray()
+
+    def receiver(env):
+        while True:
+            data = yield server_conn.receive()
+            if not data:
+                break
+            received.extend(data)
+
+    pair.env.process(sender(pair.env))
+    p = pair.env.process(receiver(pair.env))
+    pair.env.run(until=p)
+    assert bytes(received) == payload
+
+
+class TestLossRecovery:
+    def _lossy_pair(self, drop_ids):
+        dropped = set()
+
+        def drop_fn(frame):
+            if frame.frame_id in drop_ids and frame.frame_id not in dropped:
+                dropped.add(frame.frame_id)
+                return True
+            return False
+
+        return TcpPair(config=TcpConfig(rto=2e-3), drop_fn=drop_fn)
+
+    def _run_transfer_with_loss(self, loss_pattern):
+        """Drop frames by sequence-in-link order according to pattern."""
+        counter = {"n": 0}
+
+        def drop_fn(frame):
+            counter["n"] += 1
+            return counter["n"] in loss_pattern
+
+        pair = TcpPair(config=TcpConfig(rto=2e-3), drop_fn=drop_fn)
+        client_conn, server_conn = pair.establish()
+        payload = bytes(i % 251 for i in range(30_000))
+        got = transfer(pair, client_conn, server_conn, payload)
+        return payload, got
+
+    def test_single_data_segment_loss_recovers(self):
+        payload, got = self._run_transfer_with_loss({8})
+        assert got == payload
+
+    def test_burst_loss_recovers(self):
+        payload, got = self._run_transfer_with_loss({9, 10, 11, 12})
+        assert got == payload
+
+    def test_ack_loss_recovers(self):
+        # Drop a later frame which is likely a pure ACK going back;
+        # go-back-N with cumulative ACKs must still converge.
+        payload, got = self._run_transfer_with_loss({7, 15, 23})
+        assert got == payload
+
+    def test_periodic_loss_recovers(self):
+        pattern = set(range(5, 120, 10))
+        payload, got = self._run_transfer_with_loss(pattern)
+        assert got == payload
