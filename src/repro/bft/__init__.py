@@ -20,6 +20,8 @@ from repro.bft.messages import (
     Prepare,
     Reply,
     Request,
+    StateTransferReply,
+    StateTransferRequest,
     ViewChange,
     decode,
     encode,
@@ -49,6 +51,8 @@ __all__ = [
     "Checkpoint",
     "ViewChange",
     "NewView",
+    "StateTransferRequest",
+    "StateTransferReply",
     "encode",
     "decode",
     "REPLICA_PORT",

@@ -15,10 +15,11 @@ from repro.bft.config import BftConfig
 from repro.bft.replica import Replica
 from repro.bft.statemachine import KeyValueStore, StateMachine
 from repro.crypto import KeyStore
-from repro.errors import BftError
+from repro.errors import BftError, ReproError
 from repro.net import Fabric, TEN_GIGABIT
 from repro.rdma import RdmaDevice
 from repro.reptor import ReptorConfig, ReptorEndpoint
+from repro.rubin import RubinConfig
 from repro.sim import Environment
 from repro.tcpstack import TcpStack
 
@@ -36,6 +37,7 @@ class BftCluster:
         transport: str = "rubin",
         config: Optional[BftConfig] = None,
         reptor_config: Optional[ReptorConfig] = None,
+        rubin_config: Optional[RubinConfig] = None,
         app_factory: Callable[[], StateMachine] = KeyValueStore,
         replica_classes: Optional[Dict[str, Type[Replica]]] = None,
         num_clients: int = 1,
@@ -55,7 +57,9 @@ class BftCluster:
         self.reptor_config = (
             reptor_config if reptor_config is not None else ReptorConfig()
         )
+        self.rubin_config = rubin_config
         self.keystore = KeyStore()
+        self.app_factory = app_factory
 
         self.replica_ids = [f"r{i}" for i in range(self.config.n)]
         self.client_ids = [f"c{i}" for i in range(num_clients)]
@@ -72,6 +76,7 @@ class BftCluster:
         replica_classes = replica_classes or {}
         self.replicas: Dict[str, Replica] = {}
         self.apps: Dict[str, StateMachine] = {}
+        self._crashed: set = set()
         for replica_id in self.replica_ids:
             endpoint = ReptorEndpoint(
                 self.fabric.host(replica_id),
@@ -79,6 +84,7 @@ class BftCluster:
                 name=replica_id,
                 config=self.reptor_config,
                 keystore=self.keystore,
+                rubin_config=self.rubin_config,
             )
             endpoint.listen(REPLICA_PORT)
             app = app_factory()
@@ -100,6 +106,7 @@ class BftCluster:
                 name=client_id,
                 config=self.reptor_config,
                 keystore=self.keystore,
+                rubin_config=self.rubin_config,
             )
             self.clients[client_id] = BftClient(
                 client_id,
@@ -137,6 +144,89 @@ class BftCluster:
             if self.env.peek() > limit:
                 raise BftError("cluster wiring did not finish in time")
             self.env.step()
+
+    # -- crash / restart -------------------------------------------------------
+
+    def _host_faults(self, name: str):
+        host_controller = getattr(self.fabric, "host_controller", None)
+        if host_controller is None:
+            return None
+        return host_controller(name)
+
+    def crash_replica(self, replica_id: str) -> None:
+        """Crash a replica: power its NIC off, then kill its processes.
+
+        The NIC dies first so peers observe silence (retry-exhausted
+        queue pairs), not clean connection shutdowns — the fault a real
+        host crash presents.  Requires ``faulty_fabric=True`` for the
+        power fault; without it only the processes stop.
+        """
+        if replica_id in self._crashed:
+            raise BftError(f"{replica_id} is already crashed")
+        replica = self.replicas[replica_id]
+        controller = self._host_faults(replica_id)
+        if controller is not None and not controller.crashed:
+            controller.crash()
+        replica.stop()
+        self._crashed.add(replica_id)
+
+    def restart_replica(
+        self, replica_id: str, recover: bool = True
+    ) -> Replica:
+        """Restart a crashed replica with a blank state machine.
+
+        Powers the NIC back on, builds a fresh endpoint + replica on the
+        same host, and re-dials the peers this replica originally opened
+        connections to (lower-id peers and clients re-reach it through
+        their channel supervisors).  With ``recover=True`` the new
+        replica immediately requests state transfer to catch up.
+        """
+        if replica_id not in self._crashed:
+            raise BftError(f"{replica_id} is not crashed")
+        controller = self._host_faults(replica_id)
+        if controller is not None and controller.crashed:
+            controller.restart()
+        self._crashed.discard(replica_id)
+        endpoint = ReptorEndpoint(
+            self.fabric.host(replica_id),
+            self.transport,
+            name=replica_id,
+            config=self.reptor_config,
+            keystore=self.keystore,
+            rubin_config=self.rubin_config,
+        )
+        endpoint.listen(REPLICA_PORT)
+        app = self.app_factory()
+        self.apps[replica_id] = app
+        replica = Replica(
+            replica_id,
+            endpoint,
+            list(self.replica_ids),
+            app,
+            config=self.config,
+            recover=recover,
+        )
+        self.replicas[replica_id] = replica
+
+        def redial(peer: str):
+            # Retry: right after a restart links may still be healing.
+            for _ in range(50):
+                try:
+                    connection = yield endpoint.connect(
+                        peer, REPLICA_PORT, peer_name=peer
+                    )
+                except ReproError:
+                    yield self.env.timeout(2e-3)
+                    continue
+                replica.attach_peer(peer, connection)
+                return
+
+        for peer in self.replica_ids:
+            if peer > replica_id:
+                self.env.process(
+                    redial(peer), name=f"cluster.redial.{replica_id}-{peer}"
+                )
+        return replica
 
     # -- convenience ----------------------------------------------------------
 

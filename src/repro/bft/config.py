@@ -37,6 +37,10 @@ class BftConfig:
         while execution stays in total order (Section II-C).
     execution_cost:
         CPU seconds charged per executed request (the service work).
+    state_transfer_timeout:
+        How often a recovering replica re-broadcasts its
+        STATE-TRANSFER-REQUEST while waiting for f+1 matching replies
+        (covers requests lost to crashed peers or mid-reconnect links).
     """
 
     n: int = 4
@@ -52,6 +56,7 @@ class BftConfig:
     #: signature-based deployments are 1-2 orders of magnitude higher —
     #: exactly the regime where COP's parallel pipelines pay off.
     handler_cost: float = 0.3e-6
+    state_transfer_timeout: float = 5e-3
 
     def __post_init__(self) -> None:
         if self.n < 1 or (self.n - 1) % 3 != 0:
@@ -77,6 +82,8 @@ class BftConfig:
             raise ConfigurationError("execution_cost must be >= 0")
         if self.handler_cost < 0:
             raise ConfigurationError("handler_cost must be >= 0")
+        if self.state_transfer_timeout <= 0:
+            raise ConfigurationError("state_transfer_timeout must be > 0")
 
     @property
     def f(self) -> int:

@@ -207,6 +207,22 @@ class MessageLog:
             s: votes for s, votes in self.checkpoint_votes.items() if s > stable_seq
         }
 
+    def install_stable(self, seq: int) -> None:
+        """Adopt ``seq`` as the stable checkpoint (state transfer).
+
+        Used when a restarted or lagging replica installs a verified
+        checkpoint fetched from peers rather than one it voted for; the
+        watermarks jump forward and everything at or below ``seq`` is
+        garbage-collected.
+        """
+        if seq < self.stable_seq:
+            raise BftError(
+                f"cannot move stable checkpoint backwards "
+                f"({self.stable_seq} -> {seq})"
+            )
+        if seq > self.stable_seq:
+            self._truncate(seq)
+
     def __repr__(self) -> str:
         return (
             f"<MessageLog stable={self.stable_seq} slots={len(self.slots)} "

@@ -24,6 +24,8 @@ __all__ = [
     "Checkpoint",
     "ViewChange",
     "NewView",
+    "StateTransferRequest",
+    "StateTransferReply",
     "encode",
     "decode",
 ]
@@ -171,6 +173,39 @@ class NewView:
     replica_id: str
 
 
+@dataclass(frozen=True)
+class StateTransferRequest:
+    """A lagging/restarted replica asking peers for catch-up state.
+
+    ``low_seq`` is the sender's current executed sequence number; peers
+    answer with their stable checkpoint (if newer) plus the executed log
+    suffix above it.
+    """
+
+    low_seq: int
+    replica_id: str
+
+
+@dataclass(frozen=True)
+class StateTransferReply:
+    """One peer's catch-up answer: stable checkpoint + executed suffix.
+
+    ``snapshot`` is an opaque state-machine snapshot at ``checkpoint_seq``
+    whose digest is ``state_digest``; ``suffix`` carries the batches this
+    peer executed after the checkpoint, as (seq, batch) pairs.  The
+    requester installs a checkpoint only once f+1 replies agree on
+    (checkpoint_seq, state_digest) — at least one of them is honest —
+    and verifies the snapshot by restoring it and re-digesting.
+    """
+
+    checkpoint_seq: int
+    state_digest: bytes
+    snapshot: bytes
+    suffix: Tuple[Tuple[int, Tuple[Request, ...]], ...]
+    view: int
+    replica_id: str
+
+
 _TYPE_IDS = {
     Request: 1,
     Reply: 2,
@@ -180,6 +215,8 @@ _TYPE_IDS = {
     Checkpoint: 6,
     ViewChange: 7,
     NewView: 8,
+    StateTransferRequest: 9,
+    StateTransferReply: 10,
 }
 _TYPES = {v: k for k, v in _TYPE_IDS.items()}
 
@@ -252,6 +289,21 @@ def encode(message) -> bytes:
             for request in batch:
                 _encode_request_body(out, request)
         _pack_str(out, message.replica_id)
+    elif isinstance(message, StateTransferRequest):
+        out.extend(_U64.pack(message.low_seq))
+        _pack_str(out, message.replica_id)
+    elif isinstance(message, StateTransferReply):
+        out.extend(_U64.pack(message.checkpoint_seq))
+        _pack_bytes(out, message.state_digest)
+        _pack_bytes(out, message.snapshot)
+        out.extend(_U32.pack(len(message.suffix)))
+        for seq, batch in message.suffix:
+            out.extend(_U64.pack(seq))
+            out.extend(_U32.pack(len(batch)))
+            for request in batch:
+                _encode_request_body(out, request)
+        out.extend(_U64.pack(message.view))
+        _pack_str(out, message.replica_id)
     elif isinstance(message, NewView):
         out.extend(_U64.pack(message.new_view))
         out.extend(_U32.pack(len(message.view_change_senders)))
@@ -305,6 +357,31 @@ def decode(data: bytes):
             batch = tuple(_decode_request_body(reader) for _ in range(batch_len))
             prepared.append((seq, view, digest, batch))
         message = ViewChange(new_view, stable_seq, tuple(prepared), reader.str_())
+    elif cls is StateTransferRequest:
+        message = StateTransferRequest(reader.u64(), reader.str_())
+    elif cls is StateTransferReply:
+        checkpoint_seq = reader.u64()
+        state_digest = reader.bytes_()
+        snapshot = reader.bytes_()
+        count = reader.u32()
+        if count > 100_000:
+            raise BftError(f"absurd suffix size {count}")
+        suffix = []
+        for _ in range(count):
+            seq = reader.u64()
+            batch_len = reader.u32()
+            if batch_len > 100_000:
+                raise BftError(f"absurd batch size {batch_len}")
+            batch = tuple(_decode_request_body(reader) for _ in range(batch_len))
+            suffix.append((seq, batch))
+        message = StateTransferReply(
+            checkpoint_seq,
+            state_digest,
+            snapshot,
+            tuple(suffix),
+            reader.u64(),
+            reader.str_(),
+        )
     elif cls is NewView:
         new_view = reader.u64()
         sender_count = reader.u32()

@@ -33,6 +33,8 @@ from repro.bft.messages import (
     Prepare,
     Reply,
     Request,
+    StateTransferReply,
+    StateTransferRequest,
     ViewChange,
     decode,
     encode,
@@ -42,6 +44,7 @@ from repro.crypto import digest as sha256
 from repro.errors import BftError
 from repro.reptor import ReptorConnection, ReptorEndpoint
 from repro.sim import Store
+from repro.sim.monitor import Counter, TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Environment
@@ -67,6 +70,7 @@ class Replica:
         peer_ids: List[str],
         app: StateMachine,
         config: Optional[BftConfig] = None,
+        recover: bool = False,
     ):
         self.config = config if config is not None else BftConfig()
         if len(peer_ids) != self.config.n:
@@ -114,6 +118,19 @@ class Replica:
         self._view_change_votes: Dict[int, Dict[str, ViewChange]] = {}
         self._request_deadlines: Dict[Tuple[str, int], float] = {}
 
+        # State-transfer state (crash recovery / lag catch-up).  The
+        # snapshot table holds (state digest, snapshot blob) captured the
+        # moment each checkpoint was taken; seq 0 holds the initial state
+        # so a request can always be answered.  Machines without
+        # snapshot support simply never serve (or install) checkpoints.
+        self._st_active = False
+        self._st_started = 0.0
+        self._st_replies: Dict[str, StateTransferReply] = {}
+        self._checkpoint_snapshots: Dict[int, Tuple[bytes, bytes]] = {}
+        snapshot_fn = getattr(app, "snapshot", None)
+        if snapshot_fn is not None:
+            self._checkpoint_snapshots[0] = (app.digest(), snapshot_fn())
+
         # COP pipelines: per-pipeline inbound queues and handler processes.
         self._pipelines: List[Store] = [
             Store(self.env) for _ in range(self.config.pipelines)
@@ -131,6 +148,16 @@ class Replica:
         # Metrics.
         self.committed_count = 0
         self.view_changes_completed = 0
+        self.state_transfers_completed = 0
+        self.state_transfers_served = Counter(f"{replica_id}.st_served")
+        self.state_transfer_bytes = Counter(f"{replica_id}.st_bytes")
+        self.rejoin_latency = TimeSeries(self.env, f"{replica_id}.rejoin")
+
+        if recover:
+            # A restarted replica starts from a blank state machine:
+            # fetch the group's stable checkpoint before doing anything
+            # else (the request loop retries until peers are reachable).
+            self.begin_state_transfer()
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -291,6 +318,10 @@ class Replica:
             self._on_view_change(message, sender)
         elif isinstance(message, NewView):
             self._on_new_view(message, sender)
+        elif isinstance(message, StateTransferRequest):
+            self._on_state_transfer_request(message, sender)
+        elif isinstance(message, StateTransferReply):
+            self._on_state_transfer_reply(message, sender)
         else:  # pragma: no cover - exhaustive
             raise BftError(f"unknown message {type(message).__name__}")
 
@@ -514,15 +545,28 @@ class Replica:
             self._proposed_keys.discard(request.key())
             self._reply_to_client(reply)
         if slot.seq % self.config.checkpoint_interval == 0:
-            checkpoint = Checkpoint(
-                seq=slot.seq,
-                state_digest=self.app.digest(),
-                replica_id=self.replica_id,
-            )
-            self.log.record_checkpoint_vote(
-                checkpoint.seq, checkpoint.state_digest, self.replica_id
-            )
-            self._broadcast(checkpoint)
+            self._take_checkpoint(slot.seq)
+
+    def _take_checkpoint(self, seq: int) -> None:
+        """Snapshot the state machine, vote, and broadcast the checkpoint.
+
+        Runs at the exact point in execution order where ``seq`` has just
+        been applied, so the snapshot is consistent with the digest the
+        vote advertises.  Only the two newest snapshots are retained —
+        enough to serve the current stable checkpoint plus the one being
+        voted on.
+        """
+        state_digest = self.app.digest()
+        snapshot_fn = getattr(self.app, "snapshot", None)
+        if snapshot_fn is not None:
+            self._checkpoint_snapshots[seq] = (state_digest, snapshot_fn())
+            for old in sorted(self._checkpoint_snapshots)[:-2]:
+                del self._checkpoint_snapshots[old]
+        checkpoint = Checkpoint(
+            seq=seq, state_digest=state_digest, replica_id=self.replica_id
+        )
+        self.log.record_checkpoint_vote(seq, state_digest, self.replica_id)
+        self._broadcast(checkpoint)
 
     def _reply_to_client(self, reply: Reply) -> None:
         connection = self._client_conns.get(reply.client_id)
@@ -535,6 +579,224 @@ class Replica:
         self.log.record_checkpoint_vote(
             message.seq, message.state_digest, sender
         )
+        # A checkpoint that became stable past our execution point means
+        # the group truncated slots we never executed — they are gone
+        # from every log and can never be replayed.  Fetch the checkpoint
+        # state itself instead of waiting forever.
+        if self.log.stable_seq > self.executed_seq:
+            self.begin_state_transfer()
+
+    # -- state transfer --------------------------------------------------------
+
+    def begin_state_transfer(self) -> None:
+        """Fetch the latest stable checkpoint + log suffix from peers.
+
+        Idempotent: a transfer already in flight keeps running.  The
+        request is re-broadcast every ``state_transfer_timeout`` until
+        f+1 peers agree on a checkpoint that verifies and installs —
+        one of f+1 matching replies must come from an honest replica.
+        """
+        if self._st_active:
+            return
+        self._st_active = True
+        self._st_started = self.env.now
+        self._st_replies = {}
+        self.env.process(
+            self._state_transfer_loop(), name=f"{self.replica_id}.statex"
+        )
+
+    def _state_transfer_loop(self):
+        while self.running and self._st_active:
+            self._broadcast(
+                StateTransferRequest(
+                    low_seq=self.executed_seq, replica_id=self.replica_id
+                )
+            )
+            yield self.env.timeout(self.config.state_transfer_timeout)
+
+    def _on_state_transfer_request(
+        self, message: StateTransferRequest, sender: str
+    ) -> None:
+        if message.replica_id != sender or sender not in self.all_ids:
+            return
+        seq = self.log.stable_seq
+        entry = self._checkpoint_snapshots.get(seq)
+        if entry is None:
+            # Snapshots unsupported, or the stable checkpoint was itself
+            # installed while we lagged: nothing trustworthy to serve.
+            return
+        state_digest, snapshot = entry
+        suffix: List[Tuple[int, Tuple[Request, ...]]] = []
+        for s in range(seq + 1, self.executed_seq + 1):
+            batch = self._request_batches.get(s)
+            if batch is None:
+                break  # the suffix must stay contiguous
+            suffix.append((s, batch))
+        reply = StateTransferReply(
+            checkpoint_seq=seq,
+            state_digest=state_digest,
+            snapshot=snapshot,
+            suffix=tuple(suffix),
+            view=self.view,
+            replica_id=self.replica_id,
+        )
+        raw = self._outbound_filter(reply, encode(reply), sender)
+        if raw is None:
+            return
+        connection = self._replica_conns.get(sender)
+        if connection is not None and not connection.closed:
+            self.state_transfers_served.increment()
+            self.state_transfer_bytes.increment(len(raw))
+            connection.send(raw)
+
+    def _on_state_transfer_reply(
+        self, message: StateTransferReply, sender: str
+    ) -> None:
+        if message.replica_id != sender or sender not in self.all_ids:
+            return
+        if not self._st_active:
+            return
+        self._st_replies[sender] = message
+        self._try_install_state()
+
+    def _try_install_state(self) -> None:
+        """Install a checkpoint once f+1 replies agree on its digest."""
+        groups: Dict[
+            Tuple[int, bytes], List[StateTransferReply]
+        ] = {}
+        for reply in self._st_replies.values():
+            groups.setdefault(
+                (reply.checkpoint_seq, reply.state_digest), []
+            ).append(reply)
+        candidates = [
+            (seq, digest, replies)
+            for (seq, digest), replies in groups.items()
+            if len(replies) >= self.f + 1 and seq >= self.log.stable_seq
+        ]
+        if not candidates:
+            return
+        seq, state_digest, replies = max(candidates, key=lambda c: c[0])
+        if seq > self.executed_seq:
+            if not self._install_checkpoint(seq, state_digest, replies):
+                return
+        self._apply_suffix(replies)
+        if self.executed_seq < seq:
+            return  # nothing verified; the retry loop keeps asking
+        self._adopt_reported_view(replies)
+        # Requests executed before the checkpoint were answered by the
+        # replicas that stayed up; stale deadlines for them would only
+        # feed spurious view changes.  Live requests re-arm through
+        # client retransmission (and the other replicas' timers).
+        self._request_deadlines.clear()
+        self._st_active = False
+        self._st_replies = {}
+        self.state_transfers_completed += 1
+        self.rejoin_latency.record(self.env.now - self._st_started)
+        self._execute_ready()
+        if self.is_leader:
+            self._kick_batcher()
+
+    def _install_checkpoint(
+        self,
+        seq: int,
+        state_digest: bytes,
+        replies: List[StateTransferReply],
+    ) -> bool:
+        """Verify one of the agreed snapshots and adopt it as our state."""
+        restore = getattr(self.app, "restore", None)
+        snapshot_fn = getattr(self.app, "snapshot", None)
+        if restore is None or snapshot_fn is None:
+            return False
+        backup = snapshot_fn()
+        for reply in replies:
+            try:
+                restore(reply.snapshot)
+            except (BftError, ValueError):
+                continue  # corrupt blob from one (Byzantine) sender
+            if self.app.digest() == state_digest:
+                break
+        else:
+            restore(backup)
+            return False
+        self.log.install_stable(seq)
+        self.executed_seq = seq
+        self.next_seq = max(self.next_seq, seq + 1)
+        # The verified snapshot becomes servable: this replica can now
+        # answer state-transfer requests for the checkpoint it installed.
+        self._checkpoint_snapshots[seq] = (state_digest, self.app.snapshot())
+        for old in sorted(self._checkpoint_snapshots)[:-2]:
+            del self._checkpoint_snapshots[old]
+        return True
+
+    def _apply_suffix(self, replies: List[StateTransferReply]) -> None:
+        """Apply post-checkpoint batches, each f+1-agreed per slot.
+
+        The checkpoint digest quorum does not vouch for the suffixes, so
+        every slot needs its own f+1 agreement on the batch digest;
+        application stops at the first slot without one (anything beyond
+        re-commits through the ordinary protocol).
+        """
+        while True:
+            seq = self.executed_seq + 1
+            counts: Dict[bytes, int] = {}
+            batches: Dict[bytes, Tuple[Request, ...]] = {}
+            for reply in replies:
+                for entry_seq, batch in reply.suffix:
+                    if entry_seq == seq:
+                        d = batch_digest(batch)
+                        counts[d] = counts.get(d, 0) + 1
+                        batches[d] = batch
+            chosen = None
+            for d, count in counts.items():
+                if count >= self.f + 1:
+                    chosen = batches[d]
+                    break
+            if chosen is None:
+                return
+            self._apply_transferred_batch(seq, chosen)
+
+    def _apply_transferred_batch(
+        self, seq: int, batch: Tuple[Request, ...]
+    ) -> None:
+        for request in batch:
+            result = self.app.apply(request.operation)
+            key = request.key()
+            self._seen_requests.add(key)
+            self._proposed_keys.discard(key)
+            self._queued_keys.discard(key)
+            self._request_deadlines.pop(key, None)
+            # Cache but do not send the reply: the client already has
+            # f+1 answers from the replicas that executed on time; the
+            # cache only serves future retransmissions.
+            self._reply_cache[key] = Reply(
+                replica_id=self.replica_id,
+                client_id=request.client_id,
+                timestamp=request.timestamp,
+                view=self.view,
+                result=result,
+            )
+        self._request_batches[seq] = batch
+        if self.log.in_window(seq):
+            slot = self.log.slot(seq)
+            slot.committed = True
+            slot.executed = True
+        self.executed_seq = seq
+        self.next_seq = max(self.next_seq, seq + 1)
+        if seq % self.config.checkpoint_interval == 0:
+            self._take_checkpoint(seq)
+
+    def _adopt_reported_view(
+        self, replies: List[StateTransferReply]
+    ) -> None:
+        """Adopt the f+1-th highest reported view (one reporter of at
+        least that view is honest), so the rejoined replica times out
+        against the right leader."""
+        views = sorted((reply.view for reply in replies), reverse=True)
+        candidate = views[min(self.f, len(views) - 1)]
+        if candidate > self.view:
+            self.view = candidate
+            self._voted_view = max(self._voted_view, candidate)
+            self.in_view_change = False
 
     # -- view changes ----------------------------------------------------------
 

@@ -32,6 +32,14 @@ class StateMachine(Protocol):
         """Digest of the full current state (for checkpoints)."""
         ...  # pragma: no cover - protocol
 
+    def snapshot(self) -> bytes:
+        """Opaque serialization of the full state (for state transfer)."""
+        ...  # pragma: no cover - protocol
+
+    def restore(self, blob: bytes) -> None:
+        """Replace the full state with a :meth:`snapshot` blob."""
+        ...  # pragma: no cover - protocol
+
 
 class KeyValueStore:
     """A string key/value store with GET/PUT/DEL operations.
@@ -75,6 +83,39 @@ class KeyValueStore:
             blob.append(0)
         return sha256(bytes(blob))
 
+    def snapshot(self) -> bytes:
+        """Length-prefixed key/value pairs in sorted order."""
+        out = bytearray()
+        out.extend(struct.pack(">I", len(self._data)))
+        for key in sorted(self._data):
+            for text in (key, self._data[key]):
+                encoded = text.encode()
+                out.extend(struct.pack(">I", len(encoded)))
+                out.extend(encoded)
+        return bytes(out)
+
+    def restore(self, blob: bytes) -> None:
+        pos = 0
+
+        def take(n: int) -> bytes:
+            nonlocal pos
+            if pos + n > len(blob):
+                raise BftError("truncated snapshot")
+            out = blob[pos : pos + n]
+            pos += n
+            return out
+
+        (count,) = struct.unpack(">I", take(4))
+        data: Dict[str, str] = {}
+        for _ in range(count):
+            (key_len,) = struct.unpack(">I", take(4))
+            key = take(key_len).decode()
+            (value_len,) = struct.unpack(">I", take(4))
+            data[key] = take(value_len).decode()
+        if pos != len(blob):
+            raise BftError("trailing bytes in snapshot")
+        self._data = data
+
     def get(self, key: str) -> str | None:
         """Direct (non-replicated) state access for assertions."""
         return self._data.get(key)
@@ -107,6 +148,14 @@ class CounterMachine:
 
     def digest(self) -> bytes:
         return sha256(self._I64.pack(self.value))
+
+    def snapshot(self) -> bytes:
+        return self._I64.pack(self.value)
+
+    def restore(self, blob: bytes) -> None:
+        if len(blob) != 8:
+            raise BftError(f"counter snapshot must be 8 bytes, got {len(blob)}")
+        (self.value,) = self._I64.unpack(blob)
 
     @classmethod
     def add(cls, delta: int) -> bytes:

@@ -8,7 +8,12 @@ and ``repro.bench.calibration`` for the constants.
 
 from repro.net.cpu import Cpu, CpuCosts
 from repro.net.fabric import Fabric
-from repro.net.faults import FaultyFabric, LinkFaultController
+from repro.net.faults import (
+    FaultyFabric,
+    HostFaultController,
+    LinkFaultController,
+    link_seed,
+)
 from repro.net.frame import ETHERNET_HEADER_BYTES, Frame
 from repro.net.host import Host
 from repro.net.link import GIGABIT, TEN_GIGABIT, DuplexLink, Link
@@ -19,7 +24,9 @@ __all__ = [
     "CpuCosts",
     "Fabric",
     "FaultyFabric",
+    "HostFaultController",
     "LinkFaultController",
+    "link_seed",
     "Frame",
     "ETHERNET_HEADER_BYTES",
     "Host",

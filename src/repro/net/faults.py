@@ -12,20 +12,40 @@ bit-for-bit reproducible.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Set, Tuple
+import zlib
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.net.fabric import Fabric
 from repro.net.frame import Frame
 from repro.net.link import TEN_GIGABIT, DuplexLink
 
-__all__ = ["LinkFaultController", "FaultyFabric"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.host import Host
+
+__all__ = [
+    "LinkFaultController",
+    "HostFaultController",
+    "FaultyFabric",
+    "link_seed",
+]
+
+
+def link_seed(base: int, key: Tuple[str, str]) -> int:
+    """Derive a per-cable seed from the fabric seed and the host pair.
+
+    Uses CRC-32 rather than :func:`hash` so the value is independent of
+    ``PYTHONHASHSEED`` — the module promises bit-for-bit reproducible
+    failure scenarios.
+    """
+    return base ^ zlib.crc32("|".join(key).encode())
 
 
 class LinkFaultController:
     """A mutable drop policy attached to one cable (both directions)."""
 
     def __init__(self, seed: int = 0):
+        self.seed = seed
         self._rng = random.Random(seed)
         self.blocked = False
         self.loss_rate = 0.0
@@ -47,8 +67,16 @@ class LinkFaultController:
         """Drop everything (cable cut / partition)."""
         self.blocked = True
 
+    def unblock(self) -> None:
+        """Undo :meth:`block` only; any configured random loss persists.
+
+        Use this to end a clean partition while keeping a lossy link
+        lossy.  :meth:`heal` is the full reset.
+        """
+        self.blocked = False
+
     def heal(self) -> None:
-        """Stop dropping entirely (also clears random loss)."""
+        """Fully repair the cable: un-block *and* clear random loss."""
         self.blocked = False
         self.loss_rate = 0.0
 
@@ -65,12 +93,52 @@ class LinkFaultController:
         return f"<LinkFaultController {state} dropped={self.dropped}>"
 
 
+class HostFaultController:
+    """Process-level crash/restart fault for one host.
+
+    Complements the link-level :class:`LinkFaultController`: instead of
+    cutting a cable, it powers the host's NIC off so *all* of the host's
+    traffic (both directions, every peer) black-holes, exactly as if the
+    process died.  :meth:`restart` powers the NIC back on; upper layers
+    (channel supervisors, BFT state transfer) are responsible for
+    re-establishing connections and state.
+    """
+
+    def __init__(self, host: "Host"):
+        self.host = host
+        self.crashes = 0
+        self.restarts = 0
+
+    @property
+    def crashed(self) -> bool:
+        return not self.host.nic.powered
+
+    def crash(self) -> None:
+        """Kill the host: NIC off, traffic silently dropped."""
+        if self.crashed:
+            raise NetworkError(f"{self.host.name!r} is already crashed")
+        self.host.nic.power_off()
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Bring the host back: NIC on; state recovery is the caller's job."""
+        if not self.crashed:
+            raise NetworkError(f"{self.host.name!r} is not crashed")
+        self.host.nic.power_on()
+        self.restarts += 1
+
+    def __repr__(self) -> str:
+        state = "crashed" if self.crashed else "up"
+        return f"<HostFaultController {self.host.name!r} {state}>"
+
+
 class FaultyFabric(Fabric):
     """A fabric whose every cable carries a fault controller."""
 
     def __init__(self, env):
         super().__init__(env)
         self._controllers: Dict[Tuple[str, str], LinkFaultController] = {}
+        self._host_controllers: Dict[str, HostFaultController] = {}
 
     def connect(
         self,
@@ -87,7 +155,7 @@ class FaultyFabric(Fabric):
         drop the frame).
         """
         key = (min(a, b), max(a, b))
-        controller = LinkFaultController(seed=seed ^ hash(key) & 0xFFFF)
+        controller = LinkFaultController(seed=link_seed(seed, key))
         self._controllers[key] = controller
 
         if drop_fn is None:
@@ -111,6 +179,14 @@ class FaultyFabric(Fabric):
             return self._controllers[key]
         except KeyError:
             raise NetworkError(f"no controlled cable between {a!r} and {b!r}") from None
+
+    def host_controller(self, name: str) -> HostFaultController:
+        """The (lazily created) crash/restart controller for host ``name``."""
+        controller = self._host_controllers.get(name)
+        if controller is None:
+            controller = HostFaultController(self.host(name))
+            self._host_controllers[name] = controller
+        return controller
 
     # -- scenario helpers ---------------------------------------------------
 

@@ -49,6 +49,22 @@ class Nic:
         self._handlers: Dict[str, ProtocolHandler] = {}
         self._dma = Resource(env, capacity=dma_engines)
         self.dma_bandwidth_bps = float(dma_bandwidth_bps)
+        #: Powered-off NICs (crashed host) silently drop traffic in both
+        #: directions instead of raising — from the fabric's point of view
+        #: a dead host is indistinguishable from a black hole.
+        self.powered = True
+        #: Frames dropped while powered off (rx + tx).
+        self.power_dropped = 0
+
+    # -- power ------------------------------------------------------------
+
+    def power_off(self) -> None:
+        """Crash the NIC: all traffic is dropped until :meth:`power_on`."""
+        self.powered = False
+
+    def power_on(self) -> None:
+        """Restore the NIC after a crash."""
+        self.powered = True
 
     # -- wiring ---------------------------------------------------------
 
@@ -75,6 +91,9 @@ class Nic:
         self._handlers[protocol] = handler
 
     def _on_frame(self, frame: Frame) -> None:
+        if not self.powered:
+            self.power_dropped += 1
+            return
         handler = self._handlers.get(frame.protocol)
         if handler is None:
             raise NetworkError(
@@ -86,6 +105,9 @@ class Nic:
 
     def transmit(self, frame: Frame) -> None:
         """Hand ``frame`` to the link serving ``frame.dst``."""
+        if not self.powered:
+            self.power_dropped += 1
+            return
         link = self._tx_ports.get(frame.dst)
         if link is None:
             raise NetworkError(

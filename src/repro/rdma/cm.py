@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 from repro.errors import RdmaError
 from repro.net.frame import Frame
 from repro.rdma.qp import QueuePair
+from repro.rdma.verbs import QpState
 from repro.sim import Store
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -171,6 +172,18 @@ class ConnectionManager:
         ``qp`` must be freshly created (RESET); the CM transitions it once
         the peer replies.
         """
+        _conn_id, established = self.begin_connect(remote_host, port, qp)
+        return established
+
+    def begin_connect(
+        self, remote_host: str, port: int, qp: QueuePair
+    ) -> tuple[int, "Event"]:
+        """Like :meth:`connect` but also returns the connection id.
+
+        The id lets callers correlate later ``REJECTED`` events with this
+        attempt, and cancel it via :meth:`abort_connect` — both needed by
+        reconnect supervisors that time out stalled handshakes.
+        """
         conn_id = next(_cm_ids)
         established = self.env.event()
         self._pending_connects[conn_id] = (qp, established)
@@ -184,7 +197,15 @@ class ConnectionManager:
                 client_qp=qp.qp_num,
             ),
         )
-        return established
+        return conn_id, established
+
+    def abort_connect(self, conn_id: int) -> bool:
+        """Abandon a pending active open (handshake timed out).
+
+        A REP/REJ that arrives later for this id is dropped as stale.
+        Returns True if the attempt was still pending.
+        """
+        return self._pending_connects.pop(conn_id, None) is not None
 
     def add_event_watcher(self, watcher: Callable[[CmEvent], None]) -> None:
         """Invoke ``watcher(event)`` for every CM event (RUBIN's hook)."""
@@ -244,6 +265,14 @@ class ConnectionManager:
             if pending is None:
                 return
             qp, established = pending
+            if qp.state is not QpState.RESET:
+                # The QP died (or was destroyed) while the handshake was
+                # in flight; the active side must retry with a fresh QP.
+                self._emit(CmEvent(kind="REJECTED", conn_id=message.conn_id))
+                established.fail(
+                    RdmaError("local QP no longer in RESET at REP time")
+                ).defused()
+                return
             qp.connect(message.src_host, message.server_qp)
             self._send(
                 message.src_host,

@@ -177,6 +177,20 @@ class RdmaDevice:
     def _register_qp(self, qp: QueuePair) -> None:
         self._qps[qp.qp_num] = qp
 
+    def _unregister_qp(self, qp: QueuePair) -> None:
+        self._qps.pop(qp.qp_num, None)
+
+    def destroy_qp(self, qp: QueuePair) -> None:
+        """Destroy a queue pair: flush it and remove it from the QP table.
+
+        Packets still in flight toward the old QP number are dropped by
+        :meth:`_rx_loop`, so a replacement QP on the same logical
+        connection never sees stale traffic.
+        """
+        if qp.device is not self:
+            raise RdmaError(f"{self.name}: QP belongs to another device")
+        qp.destroy()
+
     def qp(self, qp_num: int) -> QueuePair:
         """Look up a queue pair by number."""
         try:

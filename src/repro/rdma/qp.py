@@ -165,6 +165,22 @@ class QueuePair:
         """Invoke ``watcher(qp)`` when the QP transitions to ERROR."""
         self._error_watchers.append(watcher)
 
+    def destroy(self) -> None:
+        """Tear the QP down: flush outstanding work, unregister from the
+        device.
+
+        Error watchers are detached first — destruction is a deliberate
+        act by the owner, not a fault to react to.  After this the QP
+        number is dead: stray packets for it are dropped by the device's
+        rx loop, and a fresh QP (new number) must be provisioned to talk
+        to the peer again.
+        """
+        self._error_watchers.clear()
+        if self.state is not QpState.ERROR:
+            self.state = QpState.ERROR
+            self._flush_queues()
+        self.device._unregister_qp(self)
+
     def _enter_error(self) -> None:
         if self.state is QpState.ERROR:
             return

@@ -32,6 +32,12 @@ class ReptorConfig:
         Upper bound on a single message's payload size.
     read_buffer:
         Size of the per-connection read staging buffer.
+    supervise:
+        Re-establish dialed channels after transport errors (RUBIN
+        transport only): errored queue pairs are torn down and re-dialed
+        with backoff by a :class:`repro.rubin.ChannelSupervisor`, and
+        frames that were in flight when the channel died are requeued.
+        Disable to get the historical fail-stop behaviour.
     """
 
     window: int = 30
@@ -39,6 +45,7 @@ class ReptorConfig:
     authenticate: bool = True
     max_message: int = 128 * 1024
     read_buffer: int = 128 * 1024
+    supervise: bool = True
 
     def __post_init__(self) -> None:
         if self.window < 1:

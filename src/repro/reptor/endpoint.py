@@ -35,10 +35,12 @@ from repro.rubin import (
     OP_CONNECT as RUBIN_OP_CONNECT,
     OP_RECEIVE as RUBIN_OP_RECEIVE,
     OP_SEND as RUBIN_OP_SEND,
+    ChannelSupervisor,
     RubinChannel,
     RubinConfig,
     RubinSelector,
     RubinServerChannel,
+    SupervisorPolicy,
 )
 from repro.sim import Store
 
@@ -104,6 +106,12 @@ class ReptorConnection:
         self.inbox: Store = Store(self.env)
         self._outbox: Deque[bytes] = deque()  # framed messages
         self._partial: Optional[ByteBuffer] = None  # mid-write batch (nio)
+        #: Batches written to the channel but not yet send-completed, as
+        #: (wr_id, batch bytes); requeued to the outbox front if the
+        #: channel dies before the RNIC acknowledged them.
+        self._inflight: Deque[tuple[int, bytes]] = deque()
+        #: Dialed RUBIN connections watched by the endpoint's supervisor.
+        self._supervised = False
         self._credit_waiters: List["Event"] = []
         self.closed = False
         self.error: Optional[BftError] = None
@@ -193,6 +201,7 @@ class ReptorEndpoint:
         config: Optional[ReptorConfig] = None,
         keystore: Optional[KeyStore] = None,
         rubin_config: Optional[RubinConfig] = None,
+        supervisor_policy: Optional[SupervisorPolicy] = None,
     ):
         if transport not in ("nio", "rubin"):
             raise ConfigurationError(
@@ -214,9 +223,20 @@ class ReptorEndpoint:
 
         if transport == "nio":
             self.selector = Selector.open(host)
+            self.supervisor = None
         else:
             self._cm = self._get_or_make_cm()
             self.selector = RubinSelector.open(host)
+            if self.config.supervise:
+                self.supervisor = ChannelSupervisor(
+                    self.env,
+                    policy=supervisor_policy,
+                    selector=self.selector,
+                    name=f"{self.name}.supervisor",
+                )
+                self.supervisor.on_recovered.append(self._on_channel_recovered)
+            else:
+                self.supervisor = None
 
     def _get_or_make_cm(self):
         from repro.rdma.cm import ConnectionManager
@@ -365,9 +385,62 @@ class ReptorEndpoint:
             connection = ReptorConnection(self, channel, peer_name, self.config)
             key.attach(("conn", connection))
             key.interest_ops = RUBIN_OP_RECEIVE
+            if self.supervisor is not None:
+                self._supervise(connection)
         self.connections.append(connection)
         if not done.triggered:
             done.succeed(connection)
+
+    def _supervise(self, connection: ReptorConnection) -> None:
+        """Track in-flight batches and auto-reconnect this dialed channel."""
+        connection._supervised = True
+        channel = connection.channel
+
+        def on_send_complete(wr_id: int, conn=connection) -> None:
+            # In-order completion: wr_id retires every batch up to it.
+            while conn._inflight and conn._inflight[0][0] <= wr_id:
+                conn._inflight.popleft()
+
+        channel.add_send_watcher(on_send_complete)
+        self.supervisor.supervise(channel)
+
+    def _on_channel_recovered(self, channel) -> None:
+        """Supervisor re-established a channel: replay the connect flow.
+
+        The reconnect is surfaced to the event loop as ``OP_ACCEPT``
+        readiness on the connection's existing selection key — the same
+        readiness the original active open produced — so the application
+        observes it exactly as NIO would.
+        """
+        for connection in self.connections:
+            if connection.channel is channel and not connection.closed:
+                key = self._key_of(connection)
+                if key is not None and key.valid:
+                    key.interest_ops = RUBIN_OP_ACCEPT | RUBIN_OP_RECEIVE
+                    self.selector.wakeup()
+                return
+
+    def _finish_reconnect(self, key, connection: ReptorConnection) -> None:
+        """Consume a reconnect's OP_ACCEPT readiness; requeue in-flight."""
+        try:
+            finished = connection.channel.finish_connect()
+        except Exception:
+            # Errored again before the loop ran; the supervisor retries.
+            # Drop the OP_ACCEPT interest until the next recovery.
+            key.interest_ops = RUBIN_OP_RECEIVE
+            return
+        if not finished:
+            return
+        # Frames the dead QP never acknowledged go back to the front of
+        # the outbox, ahead of anything queued since — the peer may see
+        # a duplicate (it got the frame but the CQE was lost with the
+        # QP), never a gap; deduplication is the protocol layer's job.
+        while connection._inflight:
+            _wr_id, batch = connection._inflight.pop()
+            connection._outbox.appendleft(batch)
+        key.interest_ops = RUBIN_OP_RECEIVE | (
+            RUBIN_OP_SEND if connection.has_output else 0
+        )
 
     # -- per-connection I/O ------------------------------------------------
 
@@ -383,12 +456,16 @@ class ReptorEndpoint:
             if not connection.has_output and key.valid:
                 key.interest_ops = NIO_OP_READ
         else:
+            if key.is_acceptable():
+                self._finish_reconnect(key, connection)
             if key.is_receivable():
                 yield from self._read_rubin(connection)
             if key.is_sendable() and connection.has_output:
                 yield from self._write_rubin(connection)
             if not connection.has_output and key.valid:
-                key.interest_ops = RUBIN_OP_RECEIVE
+                key.interest_ops = (
+                    key.interest_ops & RUBIN_OP_ACCEPT
+                ) | RUBIN_OP_RECEIVE
 
     def _deliver(self, connection: ReptorConnection, data: bytes):
         """Feed stream bytes; verify and deliver complete messages."""
@@ -431,10 +508,17 @@ class ReptorEndpoint:
         try:
             n = yield connection.channel.read(buffer)
         except Exception as exc:
+            if connection._supervised and not connection.closed:
+                return  # transient: the supervisor re-establishes it
             connection._fail(BftError(f"read failed: {exc}"))
             self._drop(connection)
             return
         if n is None:
+            if connection._supervised and not connection.closed:
+                # The channel died mid-stream; keep the connection (and
+                # its key) alive — the supervisor re-dials and the loop
+                # resumes reading on the fresh QP.
+                return
             connection.close()
             self._drop(connection)
             return
@@ -515,6 +599,11 @@ class ReptorEndpoint:
             try:
                 n = yield connection.channel.write(staging)
             except Exception as exc:
+                if connection._supervised and not connection.closed:
+                    # Channel died between readiness and write: hold the
+                    # batch; it is resent after the supervisor reconnects.
+                    connection._outbox.appendleft(batch)
+                    return
                 connection._fail(BftError(f"write failed: {exc}"))
                 self._drop(connection)
                 return
@@ -522,13 +611,22 @@ class ReptorEndpoint:
                 # Send queue full: put the batch back (messages intact).
                 connection._outbox.appendleft(batch)
                 break
+            if connection._supervised:
+                connection._inflight.append(
+                    (connection.channel.last_write_wr_id, batch)
+                )
             connection._grant_credits()
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Stop the loop and close every connection."""
+        """Stop the loop, the supervisor, the listener and all connections."""
         self._running = False
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
         for connection in list(self.connections):
             connection.close()
         self.selector.wakeup()

@@ -26,11 +26,14 @@ from repro.rubin.selection_key import (
     RubinSelectionKey,
 )
 from repro.rubin.selector import RubinSelector
+from repro.rubin.supervisor import ChannelSupervisor, SupervisorPolicy
 
 __all__ = [
     "RubinChannel",
     "RubinServerChannel",
     "RubinSelector",
+    "ChannelSupervisor",
+    "SupervisorPolicy",
     "RubinSelectionKey",
     "RubinConfig",
     "BufferPool",

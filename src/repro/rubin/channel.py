@@ -78,20 +78,7 @@ class RubinChannel:
         self.recv_cq: CompletionQueue = device.create_cq(
             name=f"ch{self.channel_id}.recv"
         )
-        caps_inline = min(self.config.inline_threshold, device.attrs.max_inline)
-        from repro.rdma.qp import QpCapabilities
-
-        self.qp = device.create_qp(
-            self.pd,
-            self.send_cq,
-            self.recv_cq,
-            caps=QpCapabilities(
-                max_send_wr=self.config.num_send_buffers,
-                max_recv_wr=self.config.num_recv_buffers,
-                max_inline=caps_inline,
-            ),
-        )
-        self.qp.add_error_watcher(lambda _qp: self._enter_error())
+        self.qp = self._make_qp()
 
         # Buffer pools, allocated and registered at creation (paper §III-B);
         # the pin/map cost is charged asynchronously on this host's CPU.
@@ -121,17 +108,50 @@ class RubinChannel:
         self._sends_since_signal = 0
         self._send_wr_buffers: Deque[tuple[int, Optional[PooledBuffer]]] = deque()
         self._app_mr_cache: Dict[int, object] = {}
+        #: wr_id of the most recently posted send (monotonic across
+        #: reconnects; lets callers correlate send completions with the
+        #: frames they queued).
+        self.last_write_wr_id = 0
+        self._send_watchers: List[Callable[[int], None]] = []
 
         # Connection state.
         self.established = False
         self._establish_pending = False
         self.closed = False
         self.errored = False
+        #: Remote (host, port) of an active open; None for accepted
+        #: channels.  Only actively opened channels can re-dial.
+        self.remote_addr: Optional[tuple[str, int]] = None
+        self._pending_conn_id: Optional[int] = None
+        #: Successful re-establishments of this channel.
+        self.reconnects = 0
         self._watchers: List[Callable[[], None]] = []
         cm.add_event_watcher(self._on_cm_event)
 
         # Pre-post every receive buffer (in device-max batches).
         self._prepost_all_recv_buffers()
+
+    def _make_qp(self):
+        """Provision a queue pair sized from the channel config."""
+        from repro.rdma.qp import QpCapabilities
+
+        caps_inline = min(
+            self.config.inline_threshold, self.device.attrs.max_inline
+        )
+        qp = self.device.create_qp(
+            self.pd,
+            self.send_cq,
+            self.recv_cq,
+            caps=QpCapabilities(
+                max_send_wr=self.config.num_send_buffers,
+                max_recv_wr=self.config.num_recv_buffers,
+                max_inline=caps_inline,
+                retry_timeout=self.config.retry_timeout,
+                retry_count=self.config.retry_count,
+            ),
+        )
+        qp.add_error_watcher(lambda _qp: self._enter_error())
+        return qp
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -148,9 +168,8 @@ class RubinChannel:
     ) -> "RubinChannel":
         """Active open toward ``remote_host:port`` (non-blocking)."""
         channel = cls(device, cm, config)
-        channel._establish_pending = True
-        established = cm.connect(remote_host, port, channel.qp)
-        established.subscribe(channel._on_connect_outcome)
+        channel.remote_addr = (remote_host, port)
+        channel._begin_connect()
         return channel
 
     @classmethod
@@ -202,6 +221,16 @@ class RubinChannel:
     # connection state
     # ------------------------------------------------------------------
 
+    def _begin_connect(self) -> int:
+        """Start the CM handshake toward :attr:`remote_addr`."""
+        assert self.remote_addr is not None
+        remote_host, port = self.remote_addr
+        self._establish_pending = True
+        conn_id, established = self.cm.begin_connect(remote_host, port, self.qp)
+        self._pending_conn_id = conn_id
+        established.subscribe(self._on_connect_outcome)
+        return conn_id
+
     def _on_connect_outcome(self, event) -> None:
         if not event.ok:
             self._enter_error()
@@ -211,9 +240,15 @@ class RubinChannel:
     def _on_cm_event(self, event: CmEvent) -> None:
         if event.kind == "ESTABLISHED" and event.qp is self.qp:
             self.established = True
+            self._pending_conn_id = None
             self._notify()
-        elif event.kind == "REJECTED" and self._establish_pending:
-            # Identified by pending state; a rejected channel errors out.
+        elif (
+            event.kind == "REJECTED"
+            and self._pending_conn_id is not None
+            and event.conn_id == self._pending_conn_id
+        ):
+            # Matched by connection id so a rejection of some *other*
+            # channel's handshake on the shared CM cannot error this one.
             if not self.established:
                 self._enter_error()
 
@@ -236,9 +271,82 @@ class RubinChannel:
         self.closed = True
         self._notify()
 
+    def reconnect(self) -> int:
+        """Re-establish an errored channel on a fresh queue pair.
+
+        Tears the dead QP down, re-provisions one on the same CQs/pools
+        and re-runs the CM handshake toward :attr:`remote_addr`.  The
+        channel then reports ``accept_pending`` readiness once the
+        handshake completes, exactly like the original active open, so
+        the application-level connect flow replays unchanged.
+
+        Returns the CM connection id of the new attempt (for
+        ``abort_connect`` on timeout).  Only actively opened channels
+        carry a remote address; accepted channels recover via a fresh
+        inbound accept instead.
+        """
+        if self.remote_addr is None:
+            raise RubinError(f"{self}: accepted channels cannot re-dial")
+        self._reprovision()
+        return self._begin_connect()
+
+    def _reprovision(self) -> None:
+        """Replace the QP and reset transport state, keeping buffers.
+
+        Received-but-unread messages survive in ``_ready_messages``; every
+        buffer still attached to the dead QP (posted receives, in-flight
+        sends, the re-post backlog) is returned to its pool — flush-error
+        completions do not release pool buffers, so this is the one place
+        that reclaims them.
+        """
+        stale_conn = self._pending_conn_id
+        if stale_conn is not None:
+            self.cm.abort_connect(stale_conn)
+            self._pending_conn_id = None
+        self.device.destroy_qp(self.qp)
+        # Drain both CQs: keep successful receives, retire successful
+        # sends, discard flush errors (their buffers are released below).
+        for cq in (self.recv_cq, self.send_cq):
+            while True:
+                completions = cq.poll(max_entries=64)
+                if not completions:
+                    break
+                for wc in completions:
+                    if wc.ok:
+                        self._handle_completion(wc)
+        for pooled in self._recv_wr_map.values():
+            pooled.release()
+        self._recv_wr_map.clear()
+        for _wr_id, pooled in self._send_wr_buffers:
+            if pooled is not None:
+                pooled.release()
+        self._send_wr_buffers.clear()
+        for pooled in self._repost_backlog:
+            pooled.release()
+        self._repost_backlog = []
+        self._sends_since_signal = 0
+
+        self.qp = self._make_qp()
+        self.established = False
+        self.errored = False
+        self.closed = False
+        self._prepost_all_recv_buffers()
+        # Re-arm CQ notifications that may have fired while errored.
+        for cq in (self.recv_cq, self.send_cq):
+            if cq.channel is not None:
+                cq.request_notify()
+
     def add_watcher(self, watcher: Callable[[], None]) -> None:
         """Invoke ``watcher()`` on readiness-relevant changes."""
         self._watchers.append(watcher)
+
+    def add_send_watcher(self, watcher: Callable[[int], None]) -> None:
+        """Invoke ``watcher(wr_id)`` when a send completes successfully.
+
+        Completions are in post order, so a callback with ``wr_id`` also
+        acknowledges every earlier (unsignaled) send.
+        """
+        self._send_watchers.append(watcher)
 
     def _notify(self) -> None:
         for watcher in list(self._watchers):
@@ -307,6 +415,8 @@ class RubinChannel:
                     pooled.release()
                 if wr_id == wc.wr_id:
                     break
+            for watcher in list(self._send_watchers):
+                watcher(wc.wr_id)
 
     # ------------------------------------------------------------------
     # read / write
@@ -435,6 +545,7 @@ class RubinChannel:
                 signaled=signaled,
             )
             self._send_wr_buffers.append((wr_id, pooled))
+        self.last_write_wr_id = wr_id
         self.qp.post_send(wr)
         return length
 
@@ -468,6 +579,10 @@ class RubinChannel:
         if self.closed:
             return
         self.closed = True
+        if self._pending_conn_id is not None:
+            self.cm.abort_connect(self._pending_conn_id)
+            self._pending_conn_id = None
+        self.device.destroy_qp(self.qp)
         self._notify()
 
     def __repr__(self) -> str:

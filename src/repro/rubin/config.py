@@ -55,6 +55,12 @@ class RubinConfig:
         CPU seconds charged per ``select()`` invocation — RUBIN's event
         bookkeeping is user-space Java and the paper concedes it is "less
         performant than that of the highly optimized Java NIO selector".
+    retry_timeout / retry_count:
+        Transport retry parameters of the underlying queue pair; together
+        they bound how long a silent peer goes undetected (the QP errors
+        after ``retry_count`` exhausted, exponentially backed-off
+        timeouts).  Recovery tests shrink these so a crashed host is
+        noticed — and the channel supervisor engaged — quickly.
     """
 
     buffer_size: int = 128 * 1024
@@ -66,6 +72,8 @@ class RubinConfig:
     zero_copy_send: bool = True
     zero_copy_recv: bool = False
     select_overhead: float = 1.0e-6
+    retry_timeout: float = 4e-3
+    retry_count: int = 7
 
     def __post_init__(self) -> None:
         if self.buffer_size < 1:
@@ -86,3 +94,7 @@ class RubinConfig:
             )
         if self.select_overhead < 0:
             raise ConfigurationError("select_overhead must be >= 0")
+        if self.retry_timeout <= 0:
+            raise ConfigurationError("retry_timeout must be > 0")
+        if self.retry_count < 0:
+            raise ConfigurationError("retry_count must be >= 0")

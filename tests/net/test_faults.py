@@ -1,9 +1,15 @@
-"""Fault injection: controllers, partitions, healing."""
+"""Fault injection: controllers, partitions, healing, host crashes."""
 
 import pytest
 
 from repro.errors import NetworkError
-from repro.net import FaultyFabric, Frame, LinkFaultController
+from repro.net import (
+    FaultyFabric,
+    Frame,
+    HostFaultController,
+    LinkFaultController,
+    link_seed,
+)
 from repro.sim import Environment
 
 
@@ -65,6 +71,111 @@ class TestController:
     def test_invalid_loss_rate(self):
         with pytest.raises(NetworkError):
             LinkFaultController().set_loss(1.5)
+
+    def test_unblock_keeps_configured_loss(self):
+        controller = LinkFaultController()
+        controller.set_loss(1.0, seed=3)
+        controller.block()
+        controller.unblock()
+        frame = Frame(src="a", dst="b", protocol="t", wire_bytes=1, payload=None)
+        assert controller.blocked is False
+        assert controller(frame) is True  # loss rate survived the unblock
+        assert controller.loss_rate == 1.0
+
+    def test_heal_clears_loss_as_well(self):
+        controller = LinkFaultController()
+        controller.set_loss(1.0, seed=3)
+        controller.block()
+        controller.heal()
+        frame = Frame(src="a", dst="b", protocol="t", wire_bytes=1, payload=None)
+        assert controller(frame) is False
+        assert controller.loss_rate == 0.0
+
+
+class TestSeedDerivation:
+    def test_link_seed_is_a_fixed_constant(self):
+        # Regression: the per-cable seed once came from hash(key), which
+        # is salted by PYTHONHASHSEED — the same scenario produced
+        # different loss patterns run to run.  CRC-32 is process- and
+        # platform-independent, so these literals must never change.
+        assert link_seed(0, ("a", "b")) == 2523025035
+        assert link_seed(0, ("r0", "r2")) == 1026451411
+        assert link_seed(7, ("a", "b")) == 2523025035 ^ 7
+
+    def test_fabric_installs_derived_seed(self):
+        _env, fabric = make_fabric()
+        controller = fabric.controller("a", "b")
+        assert controller.seed == link_seed(0, ("a", "b"))
+
+    def test_loss_pattern_reproducible_across_fabrics(self):
+        def pattern():
+            _env, fabric = make_fabric(("a", "b", "c"))
+            drops = []
+            for pair in (("a", "b"), ("a", "c"), ("b", "c")):
+                controller = fabric.controller(*pair)
+                controller.set_loss(0.5)
+                frame = Frame(
+                    src=pair[0], dst=pair[1], protocol="t",
+                    wire_bytes=1, payload=None,
+                )
+                drops.append([controller(frame) for _ in range(30)])
+            return drops
+
+        assert pattern() == pattern()
+
+
+class TestHostFaults:
+    def test_crash_blackholes_all_traffic(self):
+        env, fabric = make_fabric(("a", "b", "c"))
+        fabric.host_controller("b").crash()
+        got_ab, got_ac = [], []
+        send_probe(env, fabric, "a", "b", got_ab)
+        send_probe(env, fabric, "a", "c", got_ac)
+        env.run()
+        assert got_ab == []
+        assert got_ac == ["a->c"]
+        assert fabric.host("b").nic.power_dropped >= 1
+
+    def test_crashed_host_cannot_transmit(self):
+        env, fabric = make_fabric()
+        fabric.host_controller("a").crash()
+        got = []
+        send_probe(env, fabric, "a", "b", got)
+        env.run()
+        assert got == []
+
+    def test_restart_restores_traffic(self):
+        env, fabric = make_fabric()
+        controller = fabric.host_controller("a")
+        controller.crash()
+        controller.restart()
+        got = []
+        send_probe(env, fabric, "a", "b", got)
+        env.run()
+        assert got == ["a->b"]
+        assert controller.crashes == 1
+        assert controller.restarts == 1
+
+    def test_controller_is_cached_per_host(self):
+        _env, fabric = make_fabric()
+        assert fabric.host_controller("a") is fabric.host_controller("a")
+
+    def test_double_crash_raises(self):
+        _env, fabric = make_fabric()
+        controller = fabric.host_controller("a")
+        controller.crash()
+        with pytest.raises(NetworkError, match="already crashed"):
+            controller.crash()
+
+    def test_restart_of_live_host_raises(self):
+        _env, fabric = make_fabric()
+        with pytest.raises(NetworkError, match="not crashed"):
+            fabric.host_controller("a").restart()
+
+    def test_unknown_host_raises(self):
+        _env, fabric = make_fabric()
+        with pytest.raises(NetworkError):
+            fabric.host_controller("mars")
 
 
 class TestFaultyFabric:
