@@ -6,6 +6,8 @@ of the same figure (they come from the same runs, exactly as in the
 paper).
 """
 
+import os
+
 import pytest
 
 from repro.bench import (
@@ -15,6 +17,7 @@ from repro.bench import (
     FigureTable,
     reptor_echo,
     run_echo,
+    write_baseline,
 )
 
 #: Messages per data point.  The paper uses 1000; the default here keeps
@@ -25,24 +28,35 @@ FIG4_MESSAGES = 100
 KB = 1024
 
 
+def _baseline_path(filename: str) -> str:
+    """Destination for BENCH_*.json (override via ``REPRO_BENCH_DIR``)."""
+    directory = os.environ.get("REPRO_BENCH_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    return os.path.join(directory, filename)
+
+
 @pytest.fixture(scope="session")
 def fig3_results():
     """All Figure-3 echo runs, keyed by (transport, payload_kb)."""
-    return {
+    results = {
         (transport, kb): run_echo(transport, kb * KB, FIG3_MESSAGES)
         for transport in FIG3_TRANSPORTS
         for kb in FIG3_PAYLOADS
     }
+    write_baseline("fig3", results, _baseline_path("BENCH_fig3.json"))
+    return results
 
 
 @pytest.fixture(scope="session")
 def fig4_results():
     """All Figure-4 Reptor-stack runs, keyed by (transport, payload_kb)."""
-    return {
+    results = {
         (transport, kb): reptor_echo(transport, kb * KB, FIG4_MESSAGES)
         for transport in ("nio", "rubin")
         for kb in FIG4_PAYLOADS
     }
+    write_baseline("fig4", results, _baseline_path("BENCH_fig4.json"))
+    return results
 
 
 def table_from(results, title, metric, unit, value_of) -> FigureTable:

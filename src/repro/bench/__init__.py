@@ -25,14 +25,17 @@ from repro.bench.echo import (
     run_echo,
     tcp_echo,
 )
+from repro.bench.baseline import baseline_document, echo_record, write_baseline
 from repro.bench.figures import (
     FIG3_PAYLOADS,
     FIG3_TRANSPORTS,
     FIG4_PAYLOADS,
     check_fig3_shape,
     check_fig4_shape,
+    fig3_sweep,
     fig3a_latency,
     fig3b_throughput,
+    fig4_sweep,
     fig4a_latency,
     fig4b_throughput,
 )
@@ -55,10 +58,15 @@ __all__ = [
     "reptor_echo",
     "FIG4_WINDOW",
     "FIG4_BATCH",
+    "fig3_sweep",
+    "fig4_sweep",
     "fig3a_latency",
     "fig3b_throughput",
     "fig4a_latency",
     "fig4b_throughput",
+    "echo_record",
+    "baseline_document",
+    "write_baseline",
     "check_fig3_shape",
     "check_fig4_shape",
     "FIG3_PAYLOADS",

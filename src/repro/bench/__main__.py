@@ -11,13 +11,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.bench.baseline import write_baseline
 from repro.bench.figures import (
+    FIG3_PAYLOADS,
+    FIG4_PAYLOADS,
     check_fig3_shape,
     check_fig4_shape,
+    fig3_sweep,
     fig3a_latency,
     fig3b_throughput,
+    fig4_sweep,
     fig4a_latency,
     fig4b_throughput,
 )
@@ -39,14 +45,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--chart", action="store_true", help="render ASCII charts too"
     )
+    parser.add_argument(
+        "--json-dir",
+        default=None,
+        metavar="DIR",
+        help="also write BENCH_fig3.json / BENCH_fig4.json into DIR",
+    )
     args = parser.parse_args(argv)
+    if args.json_dir is not None:
+        os.makedirs(args.json_dir, exist_ok=True)
     failures = 0
 
     if args.fig in ("3", "all"):
         messages = args.messages or 200
         print(f"== Figure 3 (echo micro-benchmark, {messages} msgs/point) ==")
-        latency = fig3a_latency(messages=messages)
-        throughput = fig3b_throughput(messages=messages)
+        results = fig3_sweep(messages, FIG3_PAYLOADS)
+        latency = fig3a_latency(results=results)
+        throughput = fig3b_throughput(results=results)
+        if args.json_dir is not None:
+            path = os.path.join(args.json_dir, "BENCH_fig3.json")
+            write_baseline("fig3", results, path)
+            print(f"  wrote {path}")
         print(latency.render())
         print()
         print(throughput.render(float_format="{:>12.2f}"))
@@ -66,8 +85,13 @@ def main(argv=None) -> int:
     if args.fig in ("4", "all"):
         messages = args.messages or 150
         print(f"== Figure 4 (Reptor-stack echo, {messages} msgs/point) ==")
-        latency = fig4a_latency(messages=messages)
-        throughput = fig4b_throughput(messages=messages)
+        results = fig4_sweep(messages, FIG4_PAYLOADS)
+        latency = fig4a_latency(results=results)
+        throughput = fig4b_throughput(results=results)
+        if args.json_dir is not None:
+            path = os.path.join(args.json_dir, "BENCH_fig4.json")
+            write_baseline("fig4", results, path)
+            print(f"  wrote {path}")
         print(latency.render())
         print()
         print(throughput.render(float_format="{:>12.0f}"))

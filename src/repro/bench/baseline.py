@@ -1,0 +1,52 @@
+"""Machine-readable benchmark baselines (``BENCH_fig*.json``).
+
+Serializes a figure sweep into a stable JSON document so CI can archive
+the numbers behind each figure and later runs can diff against them.
+One record per (transport, payload) point, carrying the full latency
+distribution (p50/p95/p99/p999 from :class:`~repro.sim.SummaryStats`)
+and the achieved throughput.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Mapping, Tuple
+
+from repro.bench.results import EchoResult
+
+__all__ = ["echo_record", "baseline_document", "write_baseline"]
+
+
+def echo_record(result: EchoResult) -> Dict[str, object]:
+    """One sweep point as a JSON-ready dict."""
+    return {
+        "transport": result.transport,
+        "payload_bytes": result.payload_bytes,
+        "messages": result.messages,
+        "latency_us": result.stats().to_dict(),
+        "throughput_rps": result.requests_per_second,
+        "duration_s": result.duration_s,
+    }
+
+
+def baseline_document(
+    figure: str, results: Mapping[Tuple[str, int], EchoResult]
+) -> Dict[str, object]:
+    """The full baseline for one figure, points sorted for stable diffs."""
+    return {
+        "figure": figure,
+        "points": [echo_record(results[key]) for key in sorted(results)],
+    }
+
+
+def write_baseline(
+    figure: str,
+    results: Mapping[Tuple[str, int], EchoResult],
+    path: str,
+) -> Dict[str, object]:
+    """Write ``BENCH_<figure>.json``-style output; returns the document."""
+    document = baseline_document(figure, results)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return document

@@ -37,6 +37,8 @@ __all__ = [
     "FIG3_PAYLOADS",
     "FIG4_PAYLOADS",
     "FIG3_TRANSPORTS",
+    "fig3_sweep",
+    "fig4_sweep",
     "fig3a_latency",
     "fig3b_throughput",
     "fig4a_latency",
@@ -58,7 +60,8 @@ FIG3_TRANSPORTS = ["tcp", "rdma_send_recv", "rdma_read_write", "rdma_channel"]
 KB = 1024
 
 
-def _fig3_sweep(messages: int, payloads_kb: Iterable[int]):
+def fig3_sweep(messages: int, payloads_kb: Iterable[int]):
+    """All Figure-3 echo runs, keyed by (transport, payload_kb)."""
     results = {}
     for transport in FIG3_TRANSPORTS:
         for kb in payloads_kb:
@@ -67,28 +70,41 @@ def _fig3_sweep(messages: int, payloads_kb: Iterable[int]):
 
 
 def fig3a_latency(
-    messages: int = 200, payloads_kb: Optional[List[int]] = None
+    messages: int = 200,
+    payloads_kb: Optional[List[int]] = None,
+    results=None,
 ) -> FigureTable:
-    """Figure 3a: echo latency per transport over the payload sweep."""
+    """Figure 3a: echo latency per transport over the payload sweep.
+
+    Pass ``results`` (a :func:`fig3_sweep` mapping) to reuse one sweep
+    across both panels instead of re-simulating it.
+    """
     payloads_kb = payloads_kb if payloads_kb is not None else FIG3_PAYLOADS
+    if results is None:
+        results = fig3_sweep(messages, payloads_kb)
     table = FigureTable("Figure 3a", "latency", "us")
-    for (transport, kb), result in _fig3_sweep(messages, payloads_kb).items():
+    for (transport, kb), result in results.items():
         table.add(transport, kb * KB, result.mean_latency_us)
     return table
 
 
 def fig3b_throughput(
-    messages: int = 200, payloads_kb: Optional[List[int]] = None
+    messages: int = 200,
+    payloads_kb: Optional[List[int]] = None,
+    results=None,
 ) -> FigureTable:
     """Figure 3b: echo throughput (krps) per transport."""
     payloads_kb = payloads_kb if payloads_kb is not None else FIG3_PAYLOADS
+    if results is None:
+        results = fig3_sweep(messages, payloads_kb)
     table = FigureTable("Figure 3b", "throughput", "krps")
-    for (transport, kb), result in _fig3_sweep(messages, payloads_kb).items():
+    for (transport, kb), result in results.items():
         table.add(transport, kb * KB, result.requests_per_second / 1000.0)
     return table
 
 
-def _fig4_sweep(messages: int, payloads_kb: Iterable[int]):
+def fig4_sweep(messages: int, payloads_kb: Iterable[int]):
+    """All Figure-4 Reptor-stack runs, keyed by (transport, payload_kb)."""
     results = {}
     for transport in ("nio", "rubin"):
         for kb in payloads_kb:
@@ -97,23 +113,31 @@ def _fig4_sweep(messages: int, payloads_kb: Iterable[int]):
 
 
 def fig4a_latency(
-    messages: int = 150, payloads_kb: Optional[List[int]] = None
+    messages: int = 150,
+    payloads_kb: Optional[List[int]] = None,
+    results=None,
 ) -> FigureTable:
     """Figure 4a: Reptor-stack echo latency, RUBIN vs Java NIO."""
     payloads_kb = payloads_kb if payloads_kb is not None else FIG4_PAYLOADS
+    if results is None:
+        results = fig4_sweep(messages, payloads_kb)
     table = FigureTable("Figure 4a", "latency", "us")
-    for (_transport, kb), result in _fig4_sweep(messages, payloads_kb).items():
+    for (_transport, kb), result in results.items():
         table.add(result.transport, kb * KB, result.mean_latency_us)
     return table
 
 
 def fig4b_throughput(
-    messages: int = 150, payloads_kb: Optional[List[int]] = None
+    messages: int = 150,
+    payloads_kb: Optional[List[int]] = None,
+    results=None,
 ) -> FigureTable:
     """Figure 4b: Reptor-stack echo throughput, RUBIN vs Java NIO."""
     payloads_kb = payloads_kb if payloads_kb is not None else FIG4_PAYLOADS
+    if results is None:
+        results = fig4_sweep(messages, payloads_kb)
     table = FigureTable("Figure 4b", "throughput", "rps")
-    for (_transport, kb), result in _fig4_sweep(messages, payloads_kb).items():
+    for (_transport, kb), result in results.items():
         table.add(result.transport, kb * KB, result.requests_per_second)
     return table
 

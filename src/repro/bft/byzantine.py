@@ -41,9 +41,9 @@ class SilentReplica(Replica):
             return None
         return super()._outbound_filter(message, raw, peer_id)
 
-    def _reply_to_client(self, reply) -> None:
+    def _reply_to_client(self, reply, trace_ctx=None) -> None:
         if not self.silent:
-            super()._reply_to_client(reply)
+            super()._reply_to_client(reply, trace_ctx=trace_ctx)
 
 
 class EquivocatingLeader(Replica):

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from repro.bft.messages import Reply, Request, decode, encode
 from repro.errors import BftError
 from repro.reptor import ReptorConnection, ReptorEndpoint
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Environment, Event
@@ -104,10 +105,28 @@ class BftClient:
         self._accepted[timestamp] = accepted
         self._reply_votes[timestamp] = {}
 
+        # Root span of the request's causal trace.  The binding lets the
+        # replicas re-associate the decoded Request (framing loses object
+        # identity) with this trace.
+        tracer = get_tracer(self.env)
+        root = None
+        ctx = None
+        if tracer.enabled:
+            root = tracer.start_trace(
+                "bft.request",
+                layer="client",
+                track=self.client_id,
+                client_id=self.client_id,
+                timestamp=timestamp,
+                nbytes=len(operation),
+            )
+            ctx = root.context
+            tracer.bind(("bft.request", self.client_id, timestamp), ctx)
+
         leader = self.replica_ids[self._view_hint % len(self.replica_ids)]
         connection = self._connections.get(leader)
         if connection is not None and not connection.closed:
-            yield connection.send(raw)
+            yield connection.send(raw, trace_ctx=ctx)
 
         while not accepted.triggered:
             timer = self.env.timeout(self.retry_timeout)
@@ -118,10 +137,13 @@ class BftClient:
             self.retransmissions += 1
             for connection in self._connections.values():
                 if not connection.closed:
-                    yield connection.send(raw)
+                    yield connection.send(raw, trace_ctx=ctx)
         result = accepted.value
         del self._accepted[timestamp]
         del self._reply_votes[timestamp]
+        if root is not None:
+            root.end(result_bytes=len(result) if result is not None else 0)
+            tracer.unbind(("bft.request", self.client_id, timestamp))
         return result
 
     def _on_reply(self, reply: Reply) -> None:

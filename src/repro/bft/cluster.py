@@ -22,6 +22,7 @@ from repro.reptor import ReptorConfig, ReptorEndpoint
 from repro.rubin import RubinConfig
 from repro.sim import Environment
 from repro.tcpstack import TcpStack
+from repro.trace import MetricsRegistry, Tracer, install_tracer
 
 __all__ = ["BftCluster"]
 
@@ -44,8 +45,13 @@ class BftCluster:
         bandwidth_bps: float = TEN_GIGABIT,
         propagation_delay: float = 1.5e-6,
         faulty_fabric: bool = False,
+        tracer: Optional[Tracer] = None,
     ):
         self.env = Environment()
+        if tracer is not None:
+            # Installed before any stack is built so every layer's
+            # get_tracer() observes it from the first event on.
+            install_tracer(self.env, tracer)
         if faulty_fabric:
             from repro.net.faults import FaultyFabric
 
@@ -252,6 +258,66 @@ class BftCluster:
         """Synchronous helper: submit one op and return its result."""
         event = self.client(client_index).invoke(operation)
         return self.env.run(until=event)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Unified snapshot of every layer's counters and gauges.
+
+        Assembles a fresh :class:`MetricsRegistry` over the cluster's
+        current components (call again after crash/restart to pick up
+        replacement endpoints) under hierarchical names:
+        ``replica.<id>.*``, ``client.<id>.*``, ``endpoint.<id>.*``,
+        ``host.<name>.cpu`` and ``link.<name>.*``.
+        """
+        registry = MetricsRegistry(name="cluster")
+        for replica_id in self.replica_ids:
+            replica = self.replicas[replica_id]
+            registry.register_many(
+                f"replica.{replica_id}",
+                {
+                    "committed": lambda r=replica: r.committed_count,
+                    "view_changes": lambda r=replica: r.view_changes_completed,
+                    "state_transfers": (
+                        lambda r=replica: r.state_transfers_completed
+                    ),
+                    "st_served": replica.state_transfers_served,
+                    "st_bytes": replica.state_transfer_bytes,
+                    "rejoin_latency": replica.rejoin_latency,
+                },
+            )
+            supervisor = replica.endpoint.supervisor
+            if supervisor is not None:
+                registry.register_many(
+                    f"endpoint.{replica_id}.supervisor",
+                    {
+                        "reconnect_attempts": supervisor.reconnect_attempts,
+                        "reconnects": supervisor.reconnects,
+                        "abandons": supervisor.abandons,
+                        "recovery_latency": supervisor.recovery_latency,
+                    },
+                )
+        for client_id, client in sorted(self.clients.items()):
+            registry.register_many(
+                f"client.{client_id}",
+                {
+                    "invocations": lambda c=client: c.invocations,
+                    "retransmissions": lambda c=client: c.retransmissions,
+                },
+            )
+        for host in self.fabric.hosts():
+            registry.register(f"host.{host.name}.cpu", host.cpu.tracker)
+        for pair in sorted(self.fabric._cables):
+            cable = self.fabric._cables[pair]
+            for link in (cable.forward, cable.backward):
+                registry.register_many(
+                    f"link.{link.name}",
+                    {
+                        "utilization": link.tracker,
+                        "frames_sent": link.frames_sent,
+                        "frames_dropped": link.frames_dropped,
+                        "bytes_sent": link.bytes_sent,
+                    },
+                )
+        return registry
 
     def executed_sequences(self) -> Dict[str, int]:
         """Executed sequence number per replica (for convergence checks)."""

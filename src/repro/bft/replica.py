@@ -45,6 +45,7 @@ from repro.errors import BftError
 from repro.reptor import ReptorConnection, ReptorEndpoint
 from repro.sim import Store
 from repro.sim.monitor import Counter, TimeSeries
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Environment
@@ -130,6 +131,14 @@ class Replica:
         snapshot_fn = getattr(app, "snapshot", None)
         if snapshot_fn is not None:
             self._checkpoint_snapshots[0] = (app.digest(), snapshot_fn())
+
+        # Tracing state: per-slot trace contexts (adopted from the first
+        # traced request of the batch) and the open protocol-phase spans
+        # keyed by sequence number, plus the leader's queue-to-propose
+        # batching spans keyed by request key.
+        self._slot_trace_ctx: Dict[int, object] = {}
+        self._slot_spans: Dict[int, Dict[str, object]] = {}
+        self._batch_spans: Dict[Tuple[str, int], object] = {}
 
         # COP pipelines: per-pipeline inbound queues and handler processes.
         self._pipelines: List[Store] = [
@@ -259,6 +268,18 @@ class Replica:
         cpu = self.endpoint.host.cpu
         while self.running:
             message, sender = yield queue.get()
+            span = None
+            tracer = get_tracer(self.env)
+            if tracer.enabled:
+                ctx = self._message_trace_ctx(message)
+                if ctx is not None:
+                    span = tracer.start_span(
+                        "bft.handle",
+                        layer="bft",
+                        parent=ctx,
+                        track=self.replica_id,
+                        message=type(message).__name__,
+                    )
             # Handler CPU cost (configurable: MAC-based deployments are
             # cheap, signature-based ones are where COP's parallel
             # pipelines earn their keep).
@@ -269,12 +290,15 @@ class Replica:
                 # A protocol violation from a Byzantine peer is tolerated
                 # by ignoring the offending message.
                 continue
+            finally:
+                if span is not None:
+                    span.end()
 
     # ------------------------------------------------------------------
     # broadcast helpers
     # ------------------------------------------------------------------
 
-    def _broadcast(self, message) -> None:
+    def _broadcast(self, message, trace_ctx=None) -> None:
         raw = encode(message)
         for peer_id in self.all_ids:
             if peer_id == self.replica_id:
@@ -284,20 +308,93 @@ class Replica:
                 continue
             connection = self._replica_conns.get(peer_id)
             if connection is not None and not connection.closed:
-                connection.send(tampered)
+                connection.send(tampered, trace_ctx=trace_ctx)
 
-    def _send_to(self, peer_id: str, message) -> None:
+    def _send_to(self, peer_id: str, message, trace_ctx=None) -> None:
         raw = self._outbound_filter(message, encode(message), peer_id)
         if raw is None:
             return
         connection = self._replica_conns.get(peer_id)
         if connection is not None and not connection.closed:
-            connection.send(raw)
+            connection.send(raw, trace_ctx=trace_ctx)
 
     def _outbound_filter(self, message, raw: bytes, peer_id: str):
         """Hook for Byzantine subclasses: return bytes to send, or None
         to drop.  The honest replica sends faithfully."""
         return raw
+
+    # ------------------------------------------------------------------
+    # tracing helpers
+    # ------------------------------------------------------------------
+
+    def _message_trace_ctx(self, message):
+        """Trace context of the request causally behind ``message``.
+
+        Requests resolve through the client's correlation binding;
+        seq-carrying protocol messages through the slot's adopted
+        context (falling back to the batch for a pre-prepare whose slot
+        has not adopted one yet)."""
+        tracer = get_tracer(self.env)
+        if not tracer.enabled:
+            return None
+        if isinstance(message, Request):
+            return tracer.lookup(
+                ("bft.request", message.client_id, message.timestamp)
+            )
+        seq = getattr(message, "seq", None)
+        if seq is not None:
+            ctx = self._slot_trace_ctx.get(seq)
+            if ctx is not None:
+                return ctx
+        return self._batch_trace_ctx(getattr(message, "batch", ()))
+
+    def _batch_trace_ctx(self, batch):
+        """Context of the first traced request in ``batch`` (or None)."""
+        tracer = get_tracer(self.env)
+        if not tracer.enabled:
+            return None
+        for request in batch:
+            ctx = tracer.lookup(
+                ("bft.request", request.client_id, request.timestamp)
+            )
+            if ctx is not None:
+                return ctx
+        return None
+
+    def _begin_phase(self, seq: int, phase: str, ctx) -> None:
+        """Open a protocol-phase span for ``seq`` (no-op untraced)."""
+        tracer = get_tracer(self.env)
+        if not tracer.enabled or ctx is None:
+            return
+        spans = self._slot_spans.setdefault(seq, {})
+        stale = spans.get(phase)
+        if stale is not None:
+            # A view change re-ran the phase for this slot; the old
+            # window ended the moment it was superseded.
+            stale.end(superseded=True)
+        spans[phase] = tracer.start_span(
+            f"bft.{phase}",
+            layer="bft",
+            parent=ctx,
+            track=self.replica_id,
+            seq=seq,
+        )
+
+    def _end_phase(self, seq: int, phase: str, **attrs) -> None:
+        spans = self._slot_spans.get(seq)
+        if spans is None:
+            return
+        span = spans.pop(phase, None)
+        if span is not None:
+            span.end(**attrs)
+        if not spans:
+            self._slot_spans.pop(seq, None)
+
+    def _finish_slot_trace(self, seq: int) -> None:
+        """Close any phase spans still open for an executed slot."""
+        for span in self._slot_spans.pop(seq, {}).values():
+            span.end(aborted=True)
+        self._slot_trace_ctx.pop(seq, None)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -349,14 +446,25 @@ class Replica:
         else:
             self._seen_requests.add(key)
         self._request_deadlines[key] = self.env.now + self._current_timeout()
+        ctx = self._message_trace_ctx(request)
         if self.is_leader and not self.in_view_change:
             self._pending_requests.append(request)
             self._queued_keys.add(key)
+            tracer = get_tracer(self.env)
+            if ctx is not None and key not in self._batch_spans:
+                # Queue-to-propose window: time the request spends
+                # waiting for the leader's adaptive batcher.
+                self._batch_spans[key] = tracer.start_span(
+                    "bft.batching",
+                    layer="bft",
+                    parent=ctx,
+                    track=self.replica_id,
+                )
             self._kick_batcher()
         else:
             # Backups forward to the current leader (client may have sent
             # only to us, or to a stale leader).
-            self._send_to(self.leader_of(self.view), request)
+            self._send_to(self.leader_of(self.view), request, trace_ctx=ctx)
 
     def _kick_batcher(self) -> None:
         if self._batch_kick is not None and not self._batch_kick.triggered:
@@ -414,6 +522,9 @@ class Replica:
         for request in batch:
             self._proposed_keys.add(request.key())
             self._queued_keys.discard(request.key())
+            span = self._batch_spans.pop(request.key(), None)
+            if span is not None:
+                span.end(batch_size=len(batch))
         seq = self.next_seq
         self.next_seq += 1
         pre_prepare = PrePrepare(
@@ -426,7 +537,18 @@ class Replica:
         slot = self.log.slot(seq)
         slot.record_pre_prepare(pre_prepare)
         self._request_batches[seq] = batch
-        self._broadcast(pre_prepare)
+        ctx = self._batch_trace_ctx(batch)
+        if ctx is not None:
+            self._slot_trace_ctx[seq] = ctx
+            get_tracer(self.env).instant(
+                "bft.pre_prepare",
+                layer="bft",
+                parent=ctx,
+                track=self.replica_id,
+                seq=seq,
+            )
+            self._begin_phase(seq, "prepare", ctx)
+        self._broadcast(pre_prepare, trace_ctx=ctx)
         # With f = 0 the pre-prepare alone is a prepared certificate.
         self._check_prepared(seq)
 
@@ -451,6 +573,10 @@ class Replica:
             self._request_deadlines.setdefault(
                 key, self.env.now + self._current_timeout()
             )
+        ctx = self._batch_trace_ctx(message.batch)
+        if ctx is not None:
+            self._slot_trace_ctx[message.seq] = ctx
+            self._begin_phase(message.seq, "prepare", ctx)
         prepare = Prepare(
             view=message.view,
             seq=message.seq,
@@ -458,7 +584,7 @@ class Replica:
             replica_id=self.replica_id,
         )
         slot.record_prepare(prepare)
-        self._broadcast(prepare)
+        self._broadcast(prepare, trace_ctx=ctx)
         self._check_prepared(message.seq)
 
     def _on_prepare(self, message: Prepare, sender: str) -> None:
@@ -480,6 +606,9 @@ class Replica:
         # own prepares are recorded when sent.
         if prepares >= self.log.prepared_quorum():
             slot.prepared = True
+            ctx = self._slot_trace_ctx.get(seq)
+            self._end_phase(seq, "prepare")
+            self._begin_phase(seq, "commit", ctx)
             commit = Commit(
                 view=self.view,
                 seq=seq,
@@ -487,7 +616,7 @@ class Replica:
                 replica_id=self.replica_id,
             )
             slot.record_commit(commit)
-            self._broadcast(commit)
+            self._broadcast(commit, trace_ctx=ctx)
             self._check_committed(seq)
 
     def _on_commit(self, message: Commit, sender: str) -> None:
@@ -508,6 +637,7 @@ class Replica:
         if commits >= self.log.committed_quorum():
             slot.committed = True
             self.committed_count += 1
+            self._end_phase(seq, "commit")
             self._execute_ready()
 
     # -- execution ---------------------------------------------------------
@@ -530,20 +660,39 @@ class Replica:
 
     def _execute_batch(self, slot, batch: Tuple[Request, ...]):
         cpu = self.endpoint.host.cpu
-        for request in batch:
-            yield cpu.execute(self.config.execution_cost)
-            result = self.app.apply(request.operation)
-            reply = Reply(
-                replica_id=self.replica_id,
-                client_id=request.client_id,
-                timestamp=request.timestamp,
-                view=self.view,
-                result=result,
+        tracer = get_tracer(self.env)
+        span = None
+        ctx = self._slot_trace_ctx.get(slot.seq)
+        if tracer.enabled and ctx is not None:
+            span = tracer.start_span(
+                "bft.execute",
+                layer="bft",
+                parent=ctx,
+                track=self.replica_id,
+                seq=slot.seq,
+                batch_size=len(batch),
             )
-            self._reply_cache[request.key()] = reply
-            self._request_deadlines.pop(request.key(), None)
-            self._proposed_keys.discard(request.key())
-            self._reply_to_client(reply)
+        try:
+            for request in batch:
+                yield cpu.execute(self.config.execution_cost)
+                result = self.app.apply(request.operation)
+                reply = Reply(
+                    replica_id=self.replica_id,
+                    client_id=request.client_id,
+                    timestamp=request.timestamp,
+                    view=self.view,
+                    result=result,
+                )
+                self._reply_cache[request.key()] = reply
+                self._request_deadlines.pop(request.key(), None)
+                self._proposed_keys.discard(request.key())
+                self._reply_to_client(
+                    reply, trace_ctx=self._message_trace_ctx(request)
+                )
+        finally:
+            if span is not None:
+                span.end()
+            self._finish_slot_trace(slot.seq)
         if slot.seq % self.config.checkpoint_interval == 0:
             self._take_checkpoint(slot.seq)
 
@@ -568,10 +717,10 @@ class Replica:
         self.log.record_checkpoint_vote(seq, state_digest, self.replica_id)
         self._broadcast(checkpoint)
 
-    def _reply_to_client(self, reply: Reply) -> None:
+    def _reply_to_client(self, reply: Reply, trace_ctx=None) -> None:
         connection = self._client_conns.get(reply.client_id)
         if connection is not None and not connection.closed:
-            connection.send(encode(reply))
+            connection.send(encode(reply), trace_ctx=trace_ctx)
 
     def _on_checkpoint(self, message: Checkpoint, sender: str) -> None:
         if message.replica_id != sender:

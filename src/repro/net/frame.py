@@ -40,6 +40,10 @@ class Frame:
         Opaque protocol object delivered to the handler.
     frame_id:
         Monotonic id for deterministic tracing and loss injection.
+    trace_ctx:
+        Optional :class:`~repro.trace.SpanContext` riding out-of-band
+        with the frame.  Never serialized: it does not contribute to
+        ``wire_bytes`` and has no effect on link behaviour.
     """
 
     src: str
@@ -47,6 +51,7 @@ class Frame:
     protocol: str
     wire_bytes: int
     payload: Any
+    trace_ctx: Any = field(default=None, repr=False, compare=False)
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     def __post_init__(self) -> None:

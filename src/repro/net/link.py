@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from repro.errors import ConfigurationError, NetworkError
 from repro.net.frame import Frame
 from repro.sim import Counter, Store, UtilizationTracker
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Environment
@@ -95,15 +96,45 @@ class Link:
         """Serialize queued frames FIFO; schedule each arrival."""
         while True:
             frame = yield self._outbox.get()
+            tracer = get_tracer(self.env)
+            span = None
+            if tracer.enabled and frame.trace_ctx is not None:
+                span = tracer.start_span(
+                    "link.serialize",
+                    layer="link",
+                    parent=frame.trace_ctx,
+                    track=self.name,
+                    frame_id=frame.frame_id,
+                    wire_bytes=frame.wire_bytes,
+                )
             self.tracker.begin()
             yield self.env.timeout(self.transmission_time(frame.wire_bytes))
             self.tracker.end()
+            if span is not None:
+                span.end()
             self.frames_sent.increment()
             self.bytes_sent.increment(frame.wire_bytes)
             if self.drop_fn is not None and self.drop_fn(frame):
                 self.frames_dropped.increment()
+                if tracer.enabled and frame.trace_ctx is not None:
+                    tracer.instant(
+                        "link.drop",
+                        layer="link",
+                        parent=frame.trace_ctx,
+                        track=self.name,
+                        frame_id=frame.frame_id,
+                    )
                 continue
             arrival = self.env.timeout(self.propagation_delay, value=frame)
+            if tracer.enabled and frame.trace_ctx is not None:
+                prop_span = tracer.start_span(
+                    "link.propagate",
+                    layer="link",
+                    parent=frame.trace_ctx,
+                    track=self.name,
+                    frame_id=frame.frame_id,
+                )
+                arrival.subscribe(lambda event, s=prop_span: s.end())
             arrival.subscribe(self._deliver)
 
     def _deliver(self, event) -> None:

@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError, NetworkError
 from repro.net.frame import Frame
 from repro.net.link import Link
 from repro.sim import Resource
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -125,14 +126,26 @@ class Nic:
 
     # -- DMA ---------------------------------------------------------------
 
-    def dma_transfer(self, nbytes: int) -> "Event":
+    def dma_transfer(self, nbytes: int, trace_ctx=None) -> "Event":
         """Move ``nbytes`` via a DMA engine (no CPU involvement).
 
         Returns a process event that triggers when the transfer finishes.
+        ``trace_ctx`` optionally attributes the engine wait + transfer
+        time to a trace (purely observational).
         """
         if nbytes < 0:
             raise NetworkError(f"negative DMA size ({nbytes})")
         duration = nbytes * 8 / self.dma_bandwidth_bps
+        tracer = get_tracer(self.env)
+        span = None
+        if tracer.enabled and trace_ctx is not None:
+            span = tracer.start_span(
+                "nic.dma",
+                layer="nic",
+                parent=trace_ctx,
+                track=self.host.name,
+                nbytes=nbytes,
+            )
 
         def transfer():
             req = self._dma.request()
@@ -141,6 +154,8 @@ class Nic:
                 yield self.env.timeout(duration)
             finally:
                 req.release()
+                if span is not None:
+                    span.end()
 
         return self.env.process(transfer(), name=f"{self.name}.dma")
 

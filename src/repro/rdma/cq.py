@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.errors import RdmaError
 from repro.rdma.verbs import Opcode, WcStatus
 from repro.sim import Store
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Environment, Event
@@ -35,6 +36,8 @@ class WorkCompletion:
     opcode: Opcode
     byte_len: int
     qp_num: int
+    #: Out-of-band trace context of the operation this CQE completes.
+    trace_ctx: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -88,6 +91,9 @@ class CompletionQueue:
         self.number = next(_cq_numbers)
         self.name = name or f"cq{self.number}"
         self._entries: Deque[WorkCompletion] = deque()
+        # Open "cq.wait" spans, kept index-aligned with ``_entries``
+        # (None for untraced completions) so poll() can close them.
+        self._wait_spans: Deque[Optional[object]] = deque()
         self._armed = False
         self.overrun = False
 
@@ -101,7 +107,20 @@ class CompletionQueue:
                 f"{self.name}: completion queue overrun "
                 f"(capacity {self.capacity})"
             )
+        span = None
+        if wc.trace_ctx is not None:
+            tracer = get_tracer(self.env)
+            if tracer.enabled:
+                span = tracer.start_span(
+                    "cq.wait",
+                    layer="cq",
+                    parent=wc.trace_ctx,
+                    track=self.name,
+                    wr_id=wc.wr_id,
+                    opcode=wc.opcode.value,
+                )
         self._entries.append(wc)
+        self._wait_spans.append(span)
         if self._armed and self.channel is not None:
             self._armed = False
             self.channel._notify(self)
@@ -113,7 +132,14 @@ class CompletionQueue:
         out: List[WorkCompletion] = []
         while self._entries and len(out) < max_entries:
             out.append(self._entries.popleft())
+            span = self._wait_spans.popleft()
+            if span is not None:
+                span.end()
         return out
+
+    def head_trace_ctx(self) -> Optional[object]:
+        """Trace context of the oldest pending completion (if any)."""
+        return self._entries[0].trace_ctx if self._entries else None
 
     def request_notify(self) -> None:
         """Arm the channel notification for the next pushed CQE.

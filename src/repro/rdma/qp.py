@@ -32,6 +32,7 @@ from repro.rdma.transport import PacketType, RocePacket
 from repro.rdma.verbs import Access, Opcode, QpState, WcStatus
 from repro.rdma.wr import RecvWorkRequest, SendWorkRequest
 from repro.sim import Store
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rdma.device import RdmaDevice
@@ -191,6 +192,12 @@ class QueuePair:
 
     def _flush_queues(self) -> None:
         """Complete everything outstanding with flush errors."""
+        if self._cur_recv is not None:
+            # A message was mid-reassembly: close its trace span so the
+            # failed delivery does not leak an open span.
+            span = self._cur_recv.pop("span", None)
+            if span is not None:
+                span.end(aborted=True)
         while self._pending:
             entry = self._pending.popleft()
             status = (
@@ -205,6 +212,7 @@ class QueuePair:
                     opcode=entry.wr.opcode,
                     byte_len=0,
                     qp_num=self.qp_num,
+                    trace_ctx=entry.wr.trace_ctx,
                 )
             )
         while self._recv_queue:
@@ -295,17 +303,33 @@ class QueuePair:
             entry = yield self._sq_store.get()
             if self.state is not QpState.RTS:
                 return
-            yield self.env.timeout(attrs.wqe_fetch)
             wr = entry.wr
+            tracer = get_tracer(self.env)
+            span = None
+            if tracer.enabled and wr.trace_ctx is not None:
+                span = tracer.start_span(
+                    "qp.send",
+                    layer="qp",
+                    parent=wr.trace_ctx,
+                    track=self.device.host.name,
+                    wr_id=wr.wr_id,
+                    opcode=wr.opcode.value,
+                    nbytes=wr.length,
+                )
+            yield self.env.timeout(attrs.wqe_fetch)
             try:
                 data = self._gather_payload_check(wr)
             except RdmaError:
                 entry.status = WcStatus.LOC_PROT_ERR
                 entry.done = True
+                if span is not None:
+                    span.end(error=WcStatus.LOC_PROT_ERR.value)
                 self._enter_error()
                 return
             if wr.opcode is Opcode.RDMA_READ:
                 yield from self._issue_read(entry)
+                if span is not None:
+                    span.end()
                 continue
             if data is None:
                 # Gather DMA from host memory (zero-copy: the RNIC reads
@@ -313,9 +337,11 @@ class QueuePair:
                 # round trip is what inline sends avoid.
                 assert wr.sge is not None
                 yield self.env.timeout(attrs.gather_setup)
-                yield nic.dma_transfer(wr.sge.length)
+                yield nic.dma_transfer(wr.sge.length, trace_ctx=wr.trace_ctx)
                 data = wr.sge.mr.read_bytes(wr.sge.offset, wr.sge.length)
             yield from self._emit_message(entry, data)
+            if span is not None:
+                span.end()
 
     def _gather_payload_check(self, wr: SendWorkRequest) -> Optional[bytes]:
         """Inline payload, or None after validating the SGE for gather."""
@@ -361,6 +387,7 @@ class QueuePair:
                 total_length=len(data) if first else 0,
                 rkey=wr.remote.rkey if (is_write and first) else None,
                 remote_offset=wr.remote.offset if (is_write and first) else 0,
+                trace_ctx=wr.trace_ctx,
             )
             yield from self._wait_inflight_space()
             if self.state is not QpState.RTS:
@@ -387,6 +414,7 @@ class QueuePair:
             rkey=wr.remote.rkey,
             remote_offset=wr.remote.offset,
             read_id=read_id,
+            trace_ctx=wr.trace_ctx,
         )
         self._next_psn += 1
         entry.last_psn = packet.psn
@@ -415,6 +443,7 @@ class QueuePair:
                 protocol=self.device.PROTOCOL,
                 wire_bytes=packet.wire_bytes,
                 payload=packet,
+                trace_ctx=packet.trace_ctx,
             )
         )
 
@@ -465,6 +494,7 @@ class QueuePair:
                     opcode=signaled_entry.wr.opcode,
                     byte_len=signaled_entry.byte_len,
                     qp_num=self.qp_num,
+                    trace_ctx=signaled_entry.wr.trace_ctx,
                 )
             )
 
@@ -605,6 +635,17 @@ class QueuePair:
                 return
             self._recv_queue.popleft()
             self._cur_recv = {"wr": wr, "cursor": wr.sge.offset, "received": 0}
+            if packet.trace_ctx is not None:
+                tracer = get_tracer(self.env)
+                if tracer.enabled:
+                    self._cur_recv["span"] = tracer.start_span(
+                        "qp.recv",
+                        layer="qp",
+                        parent=packet.trace_ctx,
+                        track=self.device.host.name,
+                        wr_id=wr.wr_id,
+                        nbytes=packet.total_length,
+                    )
         ctx = self._cur_recv
         if ctx is None:
             # Middle/last without a first: protocol violation.
@@ -613,7 +654,9 @@ class QueuePair:
             return
         if packet.payload:
             # Scatter DMA into the posted receive buffer.
-            yield nic.dma_transfer(len(packet.payload))
+            yield nic.dma_transfer(
+                len(packet.payload), trace_ctx=packet.trace_ctx
+            )
             wr = ctx["wr"]
             wr.sge.mr.write_bytes(ctx["cursor"], packet.payload)
             ctx["cursor"] += len(packet.payload)
@@ -621,6 +664,9 @@ class QueuePair:
         self._expected_psn = packet.psn + 1
         if packet.kind in PacketType.ENDS_MESSAGE:
             wr = ctx["wr"]
+            span = ctx.pop("span", None)
+            if span is not None:
+                span.end()
             self.recv_cq.push(
                 WorkCompletion(
                     wr_id=wr.wr_id,
@@ -628,10 +674,13 @@ class QueuePair:
                     opcode=Opcode.RECV,
                     byte_len=ctx["received"],
                     qp_num=self.qp_num,
+                    trace_ctx=packet.trace_ctx,
                 )
             )
             self._cur_recv = None
-            self._send_control(PacketType.ACK, packet.psn)
+            self._send_control(
+                PacketType.ACK, packet.psn, trace_ctx=packet.trace_ctx
+            )
 
     # -- one-sided write path ----------------------------------------------
 
@@ -661,7 +710,9 @@ class QueuePair:
             self._enter_error()
             return
         if packet.payload:
-            yield nic.dma_transfer(len(packet.payload))
+            yield nic.dma_transfer(
+                len(packet.payload), trace_ctx=packet.trace_ctx
+            )
             ctx["mr"].write_bytes(ctx["cursor"], packet.payload)
             ctx["cursor"] += len(packet.payload)
         self._expected_psn = packet.psn + 1
@@ -722,6 +773,7 @@ class QueuePair:
                     read_id=request.read_id,
                     chunk_index=index,
                     chunk_count=chunk_count,
+                    trace_ctx=request.trace_ctx,
                 )
             )
 
@@ -738,7 +790,9 @@ class QueuePair:
             return
         nic = self.device.host.nic
         if packet.payload:
-            yield nic.dma_transfer(len(packet.payload))
+            yield nic.dma_transfer(
+                len(packet.payload), trace_ctx=packet.trace_ctx
+            )
             wr.sge.mr.write_bytes(wr.sge.offset + ctx.cursor, packet.payload)
             ctx.cursor += len(packet.payload)
         ctx.chunks_received += 1
@@ -775,7 +829,13 @@ class QueuePair:
 
     # -- control packets ----------------------------------------------------
 
-    def _send_control(self, kind: str, psn: int, rnr_timer: float = 0.0) -> None:
+    def _send_control(
+        self,
+        kind: str,
+        psn: int,
+        rnr_timer: float = 0.0,
+        trace_ctx=None,
+    ) -> None:
         self._transmit(
             RocePacket(
                 kind=kind,
@@ -785,6 +845,7 @@ class QueuePair:
                 dst_qp=self.remote_qp,  # type: ignore[arg-type]
                 psn=psn,
                 rnr_timer=rnr_timer,
+                trace_ctx=trace_ctx,
             )
         )
 

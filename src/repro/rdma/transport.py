@@ -93,6 +93,8 @@ class RocePacket:
     chunk_index: int = 0
     chunk_count: int = 0
     rnr_timer: float = 0.0
+    #: Out-of-band trace context (never serialized, no wire bytes).
+    trace_ctx: Optional[object] = field(default=None, repr=False)
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     @property

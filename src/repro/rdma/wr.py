@@ -70,6 +70,9 @@ class SendWorkRequest:
     inline_data: Optional[bytes] = None
     remote: Optional[RemoteAddress] = None
     signaled: bool = True
+    #: Out-of-band trace context: copied onto every packet this WR emits
+    #: and into its work completion.  Purely observational.
+    trace_ctx: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.opcode is Opcode.RECV:

@@ -43,6 +43,7 @@ from repro.rubin import (
     SupervisorPolicy,
 )
 from repro.sim import Store
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -104,12 +105,14 @@ class ReptorConnection:
         )
         self.framer = Framer(auth, max_message=config.max_message)
         self.inbox: Store = Store(self.env)
-        self._outbox: Deque[bytes] = deque()  # framed messages
+        #: Framed messages with their (optional) trace contexts, as
+        #: (framed bytes, trace_ctx) pairs.
+        self._outbox: Deque[tuple[bytes, Optional[object]]] = deque()
         self._partial: Optional[ByteBuffer] = None  # mid-write batch (nio)
         #: Batches written to the channel but not yet send-completed, as
-        #: (wr_id, batch bytes); requeued to the outbox front if the
-        #: channel dies before the RNIC acknowledged them.
-        self._inflight: Deque[tuple[int, bytes]] = deque()
+        #: (wr_id, batch bytes, trace_ctx); requeued to the outbox front
+        #: if the channel dies before the RNIC acknowledged them.
+        self._inflight: Deque[tuple[int, bytes, Optional[object]]] = deque()
         #: Dialed RUBIN connections watched by the endpoint's supervisor.
         self._supervised = False
         self._credit_waiters: List["Event"] = []
@@ -120,29 +123,50 @@ class ReptorConnection:
 
     # -- application API ---------------------------------------------------
 
-    def send(self, payload: bytes) -> "Event":
-        """Queue one message; completes once admitted to the window."""
-        return self.env.process(self._send_proc(payload), name="reptor.send")
+    def send(self, payload: bytes, trace_ctx=None) -> "Event":
+        """Queue one message; completes once admitted to the window.
 
-    def _send_proc(self, payload: bytes):
+        ``trace_ctx`` optionally attributes the window wait, signing and
+        the whole downstream transport path to a trace.
+        """
+        return self.env.process(
+            self._send_proc(payload, trace_ctx), name="reptor.send"
+        )
+
+    def _send_proc(self, payload: bytes, trace_ctx=None):
         if self.closed:
             raise BftError(f"{self}: connection is closed")
-        while self.outstanding >= self.config.window:
-            waiter = self.env.event()
-            self._credit_waiters.append(waiter)
-            yield waiter
-            if self.closed:
-                raise BftError(f"{self}: connection closed while blocked")
-        if self.framer.auth is not None:
-            # Signing happens on the sender's CPU before the stack copies.
-            cost = self.framer.auth.cost_seconds(
-                self.framer.mac_bytes_for(len(payload))
+        tracer = get_tracer(self.env)
+        span = None
+        if tracer.enabled and trace_ctx is not None:
+            span = tracer.start_span(
+                "reptor.send",
+                layer="reptor",
+                parent=trace_ctx,
+                track=self.endpoint.host.name,
+                peer=self.peer_name,
+                nbytes=len(payload),
             )
-            yield self.endpoint.host.cpu.execute(cost)
-        self._outbox.append(self.framer.encode(payload))
-        self.messages_sent += 1
-        self.endpoint._output_pending(self)
-        return len(payload)
+        try:
+            while self.outstanding >= self.config.window:
+                waiter = self.env.event()
+                self._credit_waiters.append(waiter)
+                yield waiter
+                if self.closed:
+                    raise BftError(f"{self}: connection closed while blocked")
+            if self.framer.auth is not None:
+                # Signing happens on the sender's CPU before the stack copies.
+                cost = self.framer.auth.cost_seconds(
+                    self.framer.mac_bytes_for(len(payload))
+                )
+                yield self.endpoint.host.cpu.execute(cost)
+            self._outbox.append((self.framer.encode(payload), trace_ctx))
+            self.messages_sent += 1
+            self.endpoint._output_pending(self)
+            return len(payload)
+        finally:
+            if span is not None:
+                span.end()
 
     def receive(self) -> "Event":
         """Next verified inbound message (blocking; value is the payload)."""
@@ -436,8 +460,8 @@ class ReptorEndpoint:
         # a duplicate (it got the frame but the CQE was lost with the
         # QP), never a gap; deduplication is the protocol layer's job.
         while connection._inflight:
-            _wr_id, batch = connection._inflight.pop()
-            connection._outbox.appendleft(batch)
+            _wr_id, batch, trace_ctx = connection._inflight.pop()
+            connection._outbox.appendleft((batch, trace_ctx))
         key.interest_ops = RUBIN_OP_RECEIVE | (
             RUBIN_OP_SEND if connection.has_output else 0
         )
@@ -467,7 +491,7 @@ class ReptorEndpoint:
                     key.interest_ops & RUBIN_OP_ACCEPT
                 ) | RUBIN_OP_RECEIVE
 
-    def _deliver(self, connection: ReptorConnection, data: bytes):
+    def _deliver(self, connection: ReptorConnection, data: bytes, trace_ctx=None):
         """Feed stream bytes; verify and deliver complete messages."""
         try:
             payloads = connection.framer.feed(data)
@@ -475,6 +499,17 @@ class ReptorEndpoint:
             connection._fail(error)
             self._drop(connection)
             return
+        tracer = get_tracer(self.env)
+        span = None
+        if tracer.enabled and trace_ctx is not None and payloads:
+            span = tracer.start_span(
+                "reptor.deliver",
+                layer="reptor",
+                parent=trace_ctx,
+                track=self.host.name,
+                peer=connection.peer_name,
+                messages=len(payloads),
+            )
         if payloads and connection.framer.auth is not None:
             cost = sum(
                 connection.framer.auth.cost_seconds(
@@ -486,6 +521,8 @@ class ReptorEndpoint:
         for payload in payloads:
             connection.messages_received += 1
             connection.inbox.put(payload)
+        if span is not None:
+            span.end()
 
     def _read_nio(self, connection: ReptorConnection):
         buffer = ByteBuffer.allocate(self.config.read_buffer)
@@ -524,7 +561,11 @@ class ReptorEndpoint:
             return
         if n and n > 0:
             buffer.flip()
-            yield from self._deliver(connection, buffer.get())
+            yield from self._deliver(
+                connection,
+                buffer.get(),
+                trace_ctx=connection.channel.last_read_trace_ctx,
+            )
 
     def _drop(self, connection: ReptorConnection) -> None:
         """Deregister a dead connection so the loop stops polling it."""
@@ -532,9 +573,16 @@ class ReptorEndpoint:
         if key is not None:
             key.cancel()
 
-    def _next_batch(self, connection: ReptorConnection) -> bytes:
-        """Coalesce up to batch_size framed messages into one write."""
+    def _next_batch(
+        self, connection: ReptorConnection
+    ) -> tuple[bytes, Optional[object]]:
+        """Coalesce up to batch_size framed messages into one write.
+
+        Returns the batch bytes and the trace context of the first traced
+        message in it (the one whose latency the write gates).
+        """
         parts: List[bytes] = []
+        trace_ctx: Optional[object] = None
         limit = self.config.batch_size
         if self.transport == "rubin":
             # One RDMA message per write: respect the channel buffer size.
@@ -543,12 +591,15 @@ class ReptorEndpoint:
             budget = 1 << 30
         size = 0
         while connection._outbox and len(parts) < limit:
-            head = connection._outbox[0]
+            head, head_ctx = connection._outbox[0]
             if parts and size + len(head) > budget:
                 break
-            parts.append(connection._outbox.popleft())
+            connection._outbox.popleft()
+            parts.append(head)
+            if trace_ctx is None:
+                trace_ctx = head_ctx
             size += len(head)
-        return b"".join(parts)
+        return b"".join(parts), trace_ctx
 
     #: Write batches flushed per select round before returning to the
     #: selector, so a large outbox cannot starve reads on the same loop.
@@ -559,7 +610,7 @@ class ReptorEndpoint:
             if not connection.has_output:
                 break
             if connection._partial is None:
-                batch = self._next_batch(connection)
+                batch, _trace_ctx = self._next_batch(connection)
                 if not batch:
                     break
                 connection._partial = ByteBuffer.wrap(batch)
@@ -590,30 +641,30 @@ class ReptorEndpoint:
         for _round in range(self._WRITE_ROUNDS):
             if not connection._outbox:
                 break
-            batch = self._next_batch(connection)
+            batch, trace_ctx = self._next_batch(connection)
             if not batch:
                 break
             staging = ring.take(len(batch))
             staging.put(batch)
             staging.flip()
             try:
-                n = yield connection.channel.write(staging)
+                n = yield connection.channel.write(staging, trace_ctx=trace_ctx)
             except Exception as exc:
                 if connection._supervised and not connection.closed:
                     # Channel died between readiness and write: hold the
                     # batch; it is resent after the supervisor reconnects.
-                    connection._outbox.appendleft(batch)
+                    connection._outbox.appendleft((batch, trace_ctx))
                     return
                 connection._fail(BftError(f"write failed: {exc}"))
                 self._drop(connection)
                 return
             if n == 0:
                 # Send queue full: put the batch back (messages intact).
-                connection._outbox.appendleft(batch)
+                connection._outbox.appendleft((batch, trace_ctx))
                 break
             if connection._supervised:
                 connection._inflight.append(
-                    (connection.channel.last_write_wr_id, batch)
+                    (connection.channel.last_write_wr_id, batch, trace_ctx)
                 )
             connection._grant_credits()
 

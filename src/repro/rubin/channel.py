@@ -32,6 +32,7 @@ from repro.rdma.verbs import Opcode, QpState, WcStatus
 from repro.rdma.wr import RecvWorkRequest, SendWorkRequest, Sge
 from repro.rubin.buffer_pool import BufferPool, PooledBuffer
 from repro.rubin.config import RubinConfig
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -46,12 +47,13 @@ _channel_ids = itertools.count(1)
 class _InboundMessage:
     """A received message parked in its pool buffer until read out."""
 
-    __slots__ = ("pooled", "offset", "remaining")
+    __slots__ = ("pooled", "offset", "remaining", "trace_ctx")
 
-    def __init__(self, pooled: PooledBuffer, length: int):
+    def __init__(self, pooled: PooledBuffer, length: int, trace_ctx=None):
         self.pooled = pooled
         self.offset = 0
         self.remaining = length
+        self.trace_ctx = trace_ctx
 
 
 class RubinChannel:
@@ -112,6 +114,9 @@ class RubinChannel:
         #: reconnects; lets callers correlate send completions with the
         #: frames they queued).
         self.last_write_wr_id = 0
+        #: Trace context of the most recently read inbound message (set by
+        #: ``read()`` so the caller can continue the causal chain).
+        self.last_read_trace_ctx = None
         self._send_watchers: List[Callable[[int], None]] = []
 
         # Connection state.
@@ -405,7 +410,9 @@ class RubinChannel:
             pooled = self._recv_wr_map.pop(wc.wr_id, None)
             if pooled is None:
                 raise RubinError(f"{self}: completion for unknown recv WR")
-            self._ready_messages.append(_InboundMessage(pooled, wc.byte_len))
+            self._ready_messages.append(
+                _InboundMessage(pooled, wc.byte_len, wc.trace_ctx)
+            )
         else:
             # A send CQE releases the pool buffers of this WR and of every
             # earlier unsignaled WR (in-order completion).
@@ -443,6 +450,17 @@ class RubinChannel:
         take = min(message.remaining, buffer.remaining())
         if take == 0:
             return 0
+        self.last_read_trace_ctx = message.trace_ctx
+        tracer = get_tracer(self.env)
+        span = None
+        if tracer.enabled and message.trace_ctx is not None:
+            span = tracer.start_span(
+                "channel.read",
+                layer="rubin",
+                parent=message.trace_ctx,
+                track=self.host.name,
+                nbytes=take,
+            )
         if not self.config.zero_copy_recv:
             yield self.host.cpu.copy(take)
         buffer.put(bytes(message.pooled.data[message.offset : message.offset + take]))
@@ -451,6 +469,8 @@ class RubinChannel:
         if message.remaining == 0:
             self._ready_messages.popleft()
             yield from self._recycle_recv_buffer(message.pooled)
+        if span is not None:
+            span.end()
         return take
 
     def _recycle_recv_buffer(self, pooled: PooledBuffer):
@@ -474,14 +494,18 @@ class RubinChannel:
         else:
             yield from ()
 
-    def write(self, buffer: ByteBuffer) -> "Event":
+    def write(self, buffer: ByteBuffer, trace_ctx=None) -> "Event":
         """Send ``buffer``'s remaining bytes as one message; value = count.
 
         Non-blocking: returns 0 when the send queue or pool is full.
+        ``trace_ctx`` optionally attributes the post path to a trace and
+        rides on the work request through the transport.
         """
-        return self.env.process(self._write_proc(buffer), name="rubin.write")
+        return self.env.process(
+            self._write_proc(buffer, trace_ctx), name="rubin.write"
+        )
 
-    def _write_proc(self, buffer: ByteBuffer):
+    def _write_proc(self, buffer: ByteBuffer, trace_ctx=None):
         if self.closed:
             raise RubinError(f"{self}: channel is closed")
         if not self.established:
@@ -494,60 +518,80 @@ class RubinChannel:
                 f"{self}: message of {length}B exceeds channel buffer size "
                 f"{self.config.buffer_size}B"
             )
-        # Reap finished sends first so slots/pool buffers recycle.
-        yield from self._drain_cq_direct(self.send_cq)
-        if self.qp.send_queue_free < 1:
-            return 0
-
-        cpu = self.host.cpu
-        self._sends_since_signal += 1
-        signaled = self._sends_since_signal >= self.config.signal_interval
-        if signaled:
-            self._sends_since_signal = 0
-        wr_id = next(self._next_wr_id)
-
-        if length <= self.config.inline_threshold and length <= self.qp.caps.max_inline:
-            # Inline: payload copied into the WQE; cheapest for small
-            # messages, no gather DMA at the RNIC.
-            data = buffer.get(length)
-            yield cpu.execute(
-                cpu.costs.post_wr + cpu.costs.doorbell + cpu.costs.copy_seconds(length)
+        tracer = get_tracer(self.env)
+        span = None
+        if tracer.enabled and trace_ctx is not None:
+            span = tracer.start_span(
+                "channel.write",
+                layer="rubin",
+                parent=trace_ctx,
+                track=self.host.name,
+                nbytes=length,
             )
-            wr = SendWorkRequest(
-                wr_id=wr_id, opcode=Opcode.SEND, inline_data=data, signaled=signaled
-            )
-            self._send_wr_buffers.append((wr_id, None))
-        elif self.config.zero_copy_send:
-            # Register the application's buffer once, then gather from it
-            # directly (zero-copy send path of Section IV).
-            mr = yield from self._app_buffer_mr(buffer)
-            yield cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
-            wr = SendWorkRequest(
-                wr_id=wr_id,
-                opcode=Opcode.SEND,
-                sge=Sge(mr, buffer.position, length),
-                signaled=signaled,
-            )
-            buffer.position = buffer.position + length
-            self._send_wr_buffers.append((wr_id, None))
-        else:
-            pooled = self.send_pool.try_acquire()
-            if pooled is None:
+        try:
+            # Reap finished sends first so slots/pool buffers recycle.
+            yield from self._drain_cq_direct(self.send_cq)
+            if self.qp.send_queue_free < 1:
                 return 0
-            data = buffer.get(length)
-            yield cpu.copy(length)
-            pooled.data[:length] = data
-            yield cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
-            wr = SendWorkRequest(
-                wr_id=wr_id,
-                opcode=Opcode.SEND,
-                sge=Sge(pooled.mr, 0, length),
-                signaled=signaled,
-            )
-            self._send_wr_buffers.append((wr_id, pooled))
-        self.last_write_wr_id = wr_id
-        self.qp.post_send(wr)
-        return length
+
+            cpu = self.host.cpu
+            self._sends_since_signal += 1
+            signaled = self._sends_since_signal >= self.config.signal_interval
+            if signaled:
+                self._sends_since_signal = 0
+            wr_id = next(self._next_wr_id)
+
+            if length <= self.config.inline_threshold and length <= self.qp.caps.max_inline:
+                # Inline: payload copied into the WQE; cheapest for small
+                # messages, no gather DMA at the RNIC.
+                data = buffer.get(length)
+                yield cpu.execute(
+                    cpu.costs.post_wr + cpu.costs.doorbell + cpu.costs.copy_seconds(length)
+                )
+                wr = SendWorkRequest(
+                    wr_id=wr_id,
+                    opcode=Opcode.SEND,
+                    inline_data=data,
+                    signaled=signaled,
+                    trace_ctx=trace_ctx,
+                )
+                self._send_wr_buffers.append((wr_id, None))
+            elif self.config.zero_copy_send:
+                # Register the application's buffer once, then gather from it
+                # directly (zero-copy send path of Section IV).
+                mr = yield from self._app_buffer_mr(buffer)
+                yield cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
+                wr = SendWorkRequest(
+                    wr_id=wr_id,
+                    opcode=Opcode.SEND,
+                    sge=Sge(mr, buffer.position, length),
+                    signaled=signaled,
+                    trace_ctx=trace_ctx,
+                )
+                buffer.position = buffer.position + length
+                self._send_wr_buffers.append((wr_id, None))
+            else:
+                pooled = self.send_pool.try_acquire()
+                if pooled is None:
+                    return 0
+                data = buffer.get(length)
+                yield cpu.copy(length)
+                pooled.data[:length] = data
+                yield cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
+                wr = SendWorkRequest(
+                    wr_id=wr_id,
+                    opcode=Opcode.SEND,
+                    sge=Sge(pooled.mr, 0, length),
+                    signaled=signaled,
+                    trace_ctx=trace_ctx,
+                )
+                self._send_wr_buffers.append((wr_id, pooled))
+            self.last_write_wr_id = wr_id
+            self.qp.post_send(wr)
+            return length
+        finally:
+            if span is not None:
+                span.end()
 
     def _app_buffer_mr(self, buffer: ByteBuffer):
         """Register (once) and return the MR for an application buffer."""

@@ -36,6 +36,7 @@ from repro.rubin.selection_key import (
     OP_SEND,
     RubinSelectionKey,
 )
+from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -168,9 +169,25 @@ class RubinSelector:
                 key = self._keys.get(event.event_id)
                 if key is None or not isinstance(key.channel, RubinChannel):
                     continue
+                tracer = get_tracer(self.env)
+                span = None
+                if tracer.enabled:
+                    # Attribute the dispatch to the oldest completion's
+                    # trace (the one whose latency this dispatch gates).
+                    ctx = event.cq.head_trace_ctx()
+                    if ctx is not None:
+                        span = tracer.start_span(
+                            "selector.dispatch",
+                            layer="selector",
+                            parent=ctx,
+                            track=self.host.name,
+                            cq=event.cq.name,
+                        )
                 # Drain the CQ through the owning channel (charges the
                 # CQE-reap cost and re-arms the notification).
                 yield from key.channel.on_cq_event(event.cq)
+                if span is not None:
+                    span.end()
             elif event.kind == EVENT_CONNECTION:
                 # Connection events update channel state via the channels'
                 # own CM watchers; nothing to do beyond waking up.

@@ -50,6 +50,10 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Observational tracing hook: ``repro.trace.install_tracer`` sets
+        # this; ``repro.trace.get_tracer`` falls back to a no-op tracer
+        # while it is None.  The kernel itself never reads it.
+        self.tracer = None
 
     # -- clock & agenda -----------------------------------------------------
 

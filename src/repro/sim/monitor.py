@@ -23,15 +23,29 @@ __all__ = ["Counter", "TimeSeries", "UtilizationTracker", "SummaryStats"]
 
 
 class SummaryStats:
-    """Simple descriptive statistics over a list of samples."""
+    """Simple descriptive statistics over a list of samples.
 
-    __slots__ = ("count", "mean", "minimum", "maximum", "stdev", "p50", "p99")
+    All percentiles use nearest-rank semantics (see :func:`_percentile`):
+    they always return an actual sample, never an interpolated value.
+    """
+
+    __slots__ = (
+        "count",
+        "mean",
+        "minimum",
+        "maximum",
+        "stdev",
+        "p50",
+        "p95",
+        "p99",
+        "p999",
+    )
 
     def __init__(self, samples: list[float]):
         self.count = len(samples)
         if not samples:
             self.mean = self.minimum = self.maximum = self.stdev = 0.0
-            self.p50 = self.p99 = 0.0
+            self.p50 = self.p95 = self.p99 = self.p999 = 0.0
             return
         ordered = sorted(samples)
         self.count = len(ordered)
@@ -41,7 +55,28 @@ class SummaryStats:
         variance = sum((s - self.mean) ** 2 for s in ordered) / self.count
         self.stdev = math.sqrt(variance)
         self.p50 = _percentile(ordered, 0.50)
+        self.p95 = _percentile(ordered, 0.95)
         self.p99 = _percentile(ordered, 0.99)
+        self.p999 = _percentile(ordered, 0.999)
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "SummaryStats":
+        """Explicit constructor alias (reads better at call sites)."""
+        return cls(samples)
+
+    def to_dict(self) -> dict[str, float]:
+        """JSON-ready mapping of every statistic."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "stdev": self.stdev,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p999": self.p999,
+        }
 
     def __repr__(self) -> str:
         return (

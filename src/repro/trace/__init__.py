@@ -1,0 +1,63 @@
+"""repro.trace — end-to-end tracing and telemetry for the simulation.
+
+Three pieces:
+
+* :mod:`repro.trace.core` — :class:`Tracer`/:class:`Span`/
+  :class:`SpanContext` driven by the simulation clock, with a
+  zero-overhead :data:`NULL_TRACER` default;
+* :mod:`repro.trace.export` / :mod:`repro.trace.breakdown` — Chrome
+  trace-event JSON export and the per-layer latency-breakdown report;
+* :mod:`repro.trace.metrics` — :class:`MetricsRegistry`, hierarchical
+  names and one-call snapshots over the existing monitor probes.
+
+Enable tracing by installing a tracer on the environment before building
+the stacks (``BftCluster(tracer=...)`` does this for you)::
+
+    from repro.trace import Tracer, install_tracer, latency_breakdown
+
+    tracer = install_tracer(env, Tracer(env))
+    ...run a workload...
+    print(latency_breakdown(tracer).render())
+"""
+
+from repro.trace.breakdown import (
+    BreakdownReport,
+    TraceBreakdown,
+    latency_breakdown,
+)
+from repro.trace.core import (
+    NULL_TRACER,
+    NULL_SPAN,
+    NullTracer,
+    Span,
+    SpanContext,
+    TraceError,
+    Tracer,
+    get_tracer,
+    install_tracer,
+)
+from repro.trace.export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.trace.metrics import MetricsRegistry
+
+__all__ = [
+    "TraceError",
+    "SpanContext",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "get_tracer",
+    "install_tracer",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "TraceBreakdown",
+    "BreakdownReport",
+    "latency_breakdown",
+    "MetricsRegistry",
+]

@@ -1,0 +1,230 @@
+"""Per-layer latency breakdown of recorded traces.
+
+Answers the paper's central question — *where does a request's latency
+go?* — by attributing each traced request's end-to-end time to layers
+(``nic``, ``link``, ``qp``, ``cq``, ``selector``, ``rubin``, ``reptor``,
+``bft``...).
+
+Attribution is by **interval union**: a layer's time is the merged union
+of its span intervals clipped to the root span's window, so overlapping
+spans (a broadcast touching three links at once) count wall-clock time
+once, not three times.  The same union across *all* non-root spans gives
+the coverage fraction — how much of the end-to-end latency the
+instrumentation actually explains.  Because layers overlap each other
+(a ``qp`` span contains ``nic`` DMA time), per-layer shares legitimately
+sum to more than the coverage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.monitor import SummaryStats
+from repro.trace.core import NullTracer, Span, TraceError, Tracer
+
+__all__ = ["TraceBreakdown", "BreakdownReport", "latency_breakdown"]
+
+
+def _merged_length(intervals: List[Tuple[float, float]]) -> float:
+    """Total length of the union of ``intervals``."""
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    current_start, current_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    return total + (current_end - current_start)
+
+
+def _clip(
+    span: Span, lo: float, hi: float
+) -> Optional[Tuple[float, float]]:
+    start = max(span.start, lo)
+    end = min(span.end_time, hi)  # type: ignore[type-var]
+    if end <= start:
+        return None
+    return (start, end)
+
+
+class TraceBreakdown:
+    """Latency attribution for one trace (one traced request)."""
+
+    __slots__ = (
+        "trace_id",
+        "root_name",
+        "start",
+        "end_to_end",
+        "layer_seconds",
+        "coverage",
+        "span_count",
+        "open_spans",
+    )
+
+    def __init__(self, root: Span, spans: Sequence[Span]):
+        if root.is_open:
+            raise TraceError(
+                f"root span of trace {root.context.trace_id} never ended"
+            )
+        self.trace_id = root.context.trace_id
+        self.root_name = root.name
+        self.start = root.start
+        self.end_to_end = root.duration
+        self.span_count = len(spans)
+        self.open_spans = sum(1 for s in spans if s.is_open)
+
+        lo, hi = root.start, root.end_time
+        per_layer: Dict[str, List[Tuple[float, float]]] = {}
+        covered: List[Tuple[float, float]] = []
+        for span in spans:
+            if span is root or span.is_open:
+                continue
+            clipped = _clip(span, lo, hi)
+            if clipped is None:
+                continue
+            per_layer.setdefault(span.layer, []).append(clipped)
+            covered.append(clipped)
+        self.layer_seconds: Dict[str, float] = {
+            layer: _merged_length(intervals)
+            for layer, intervals in sorted(per_layer.items())
+        }
+        self.coverage = (
+            _merged_length(covered) / self.end_to_end
+            if self.end_to_end > 0
+            else 0.0
+        )
+
+    def layer_share(self, layer: str) -> float:
+        """Fraction of end-to-end latency attributed to ``layer``."""
+        if self.end_to_end <= 0:
+            return 0.0
+        return self.layer_seconds.get(layer, 0.0) / self.end_to_end
+
+    @property
+    def layers(self) -> List[str]:
+        return list(self.layer_seconds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "root": self.root_name,
+            "end_to_end_us": self.end_to_end * 1e6,
+            "coverage": self.coverage,
+            "span_count": self.span_count,
+            "open_spans": self.open_spans,
+            "layers": {
+                layer: {
+                    "seconds": seconds,
+                    "share": self.layer_share(layer),
+                }
+                for layer, seconds in self.layer_seconds.items()
+            },
+        }
+
+
+class BreakdownReport:
+    """Per-layer latency shares across one or more traces."""
+
+    def __init__(self, traces: List[TraceBreakdown]):
+        self.traces = traces
+
+    @property
+    def layers(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for trace in self.traces:
+            for layer in trace.layer_seconds:
+                seen.setdefault(layer, None)
+        return sorted(seen)
+
+    def layer_stats(self, layer: str) -> SummaryStats:
+        """Summary of ``layer``'s share of end-to-end across traces."""
+        return SummaryStats.from_samples(
+            [t.layer_share(layer) for t in self.traces]
+        )
+
+    def end_to_end_stats(self) -> SummaryStats:
+        return SummaryStats.from_samples(
+            [t.end_to_end for t in self.traces]
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        e2e = self.end_to_end_stats()
+        return {
+            "traces": [t.to_dict() for t in self.traces],
+            "end_to_end_us": {
+                "p50": e2e.p50 * 1e6,
+                "p99": e2e.p99 * 1e6,
+                "mean": e2e.mean * 1e6,
+            },
+            "layer_share": {
+                layer: {
+                    "p50": self.layer_stats(layer).p50,
+                    "p99": self.layer_stats(layer).p99,
+                }
+                for layer in self.layers
+            },
+        }
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    def render(self) -> str:
+        """Human-readable per-layer breakdown table."""
+        if not self.traces:
+            return "no completed traces recorded"
+        e2e = self.end_to_end_stats()
+        lines = [
+            f"traces: {len(self.traces)}   "
+            f"end-to-end p50 {e2e.p50 * 1e6:.2f}us  "
+            f"p99 {e2e.p99 * 1e6:.2f}us",
+            f"{'layer':<10} {'p50 us':>10} {'p50 share':>10} {'p99 share':>10}",
+            "-" * 44,
+        ]
+        for layer in self.layers:
+            shares = self.layer_stats(layer)
+            seconds = SummaryStats.from_samples(
+                [t.layer_seconds.get(layer, 0.0) for t in self.traces]
+            )
+            lines.append(
+                f"{layer:<10} {seconds.p50 * 1e6:>10.2f} "
+                f"{shares.p50 * 100:>9.1f}% {shares.p99 * 100:>9.1f}%"
+            )
+        coverage = SummaryStats.from_samples(
+            [t.coverage for t in self.traces]
+        )
+        lines.append("-" * 44)
+        lines.append(f"{'coverage':<10} {'':>10} {coverage.p50 * 100:>9.1f}%")
+        return "\n".join(lines)
+
+
+def latency_breakdown(
+    tracer: Union[Tracer, NullTracer],
+    trace_id: Optional[int] = None,
+) -> BreakdownReport:
+    """Build a :class:`BreakdownReport` from ``tracer``'s closed traces.
+
+    Traces whose root span never closed (an in-flight request at the end
+    of a run) are skipped rather than misattributed.
+    """
+    by_trace: Dict[int, List[Span]] = {}
+    for span in tracer.spans:
+        if trace_id is not None and span.context.trace_id != trace_id:
+            continue
+        by_trace.setdefault(span.context.trace_id, []).append(span)
+
+    breakdowns: List[TraceBreakdown] = []
+    for tid, spans in sorted(by_trace.items()):
+        roots = [s for s in spans if s.parent_id is None]
+        if not roots:
+            continue
+        root = min(roots, key=lambda s: s.start)
+        if root.is_open:
+            continue
+        breakdowns.append(TraceBreakdown(root, spans))
+    return BreakdownReport(breakdowns)

@@ -1,0 +1,370 @@
+"""Span-based tracing driven by the simulation clock.
+
+A :class:`Tracer` records :class:`Span` intervals — named, layered slices
+of simulated time — and stitches them into causal traces via
+:class:`SpanContext` references that the stacks piggyback on simulator
+objects (work requests, packets, frames, completions).  Nothing here ever
+schedules events or charges simulated time: recording a span is pure
+bookkeeping, so a traced run and an untraced run make byte-identical
+scheduling decisions.
+
+The default is :data:`NULL_TRACER`, a :class:`NullTracer` whose methods
+are no-ops and whose ``enabled`` flag lets hot paths skip even argument
+construction::
+
+    tracer = get_tracer(env)
+    if tracer.enabled and ctx is not None:
+        span = tracer.start_span("qp.send", layer="qp", parent=ctx)
+
+Clock source: every timestamp is ``env.now`` (simulated seconds).  There
+is exactly one tracer per :class:`~repro.sim.Environment`; because the
+simulation is single-threaded and deterministic, cross-host correlation
+needs no clock synchronisation at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TraceError",
+    "SpanContext",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "install_tracer",
+]
+
+
+class TraceError(ReproError):
+    """Misuse of the tracing subsystem (bad parents, unknown traces...)."""
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: ``(trace_id, span_id)``.
+
+    Contexts are small, immutable and hashable, so they can ride on
+    dataclass fields and be used as dictionary keys.  A context is what
+    crosses layer boundaries; the :class:`Span` object itself stays with
+    the tracer.
+    """
+
+    trace_id: int
+    span_id: int
+
+
+class Span:
+    """A named interval of simulated time within one trace.
+
+    Spans are created open (``end_time is None``) and closed exactly once
+    with :meth:`end`.  Closing twice does not raise — failure paths in the
+    stacks may race — but it is counted on the owning tracer so tests can
+    assert it never happens.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "layer",
+        "track",
+        "context",
+        "parent_id",
+        "start",
+        "end_time",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        layer: str,
+        track: str,
+        context: SpanContext,
+        parent_id: Optional[int],
+        start: float,
+        attrs: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.layer = layer
+        self.track = track
+        self.context = context
+        self.parent_id = parent_id
+        self.start = start
+        self.end_time: Optional[float] = None
+        self.attrs = attrs
+
+    # -- lifecycle -------------------------------------------------------
+
+    def end(self, **attrs: Any) -> None:
+        """Close the span at the current simulated time."""
+        if self.end_time is not None:
+            self._tracer.double_ends += 1
+            return
+        self.end_time = self._tracer.now()
+        if attrs:
+            self.attrs.update(attrs)
+
+    @property
+    def is_open(self) -> bool:
+        return self.end_time is None
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0.0 while still open)."""
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start
+
+    def __repr__(self) -> str:
+        state = "open" if self.is_open else f"{self.duration * 1e6:.3f}us"
+        return (
+            f"<Span {self.name!r} layer={self.layer} "
+            f"trace={self.context.trace_id} id={self.context.span_id} {state}>"
+        )
+
+
+#: Accepted ``parent`` arguments: a span, its context, or nothing.
+ParentLike = Union[Span, SpanContext, None]
+
+
+class Tracer:
+    """Records spans against the simulation clock of ``env``.
+
+    Besides span bookkeeping the tracer offers a *correlation table*
+    (:meth:`bind` / :meth:`lookup`): encoded protocol messages lose
+    object identity when they cross the framing layer, so protocol code
+    re-associates them with their trace by a stable key (e.g. the
+    ``(client_id, timestamp)`` of a request).  This is legitimate in
+    simulation because a single tracer observes every host.
+    """
+
+    #: Hot paths check this before building span arguments.
+    enabled = True
+
+    def __init__(self, env: Any = None, name: str = "trace"):
+        #: Clock source; ``None`` until :func:`install_tracer` binds one
+        #: (lets callers hand a fresh tracer to e.g. ``BftCluster`` which
+        #: builds its own environment).
+        self.env = env
+        self.name = name
+        self.spans: List[Span] = []
+        #: Number of times ``Span.end`` was called on an already-closed
+        #: span.  Instrumentation bugs show up here; tests pin it to 0.
+        self.double_ends = 0
+        self._bindings: Dict[Hashable, SpanContext] = {}
+        self._next_trace_id = 1
+        self._next_span_id = 1
+
+    # -- clock -----------------------------------------------------------
+
+    def now(self) -> float:
+        if self.env is None:
+            raise TraceError(f"{self.name}: not installed on an environment")
+        return self.env.now
+
+    # -- span creation ---------------------------------------------------
+
+    @staticmethod
+    def _parent_context(parent: ParentLike) -> Optional[SpanContext]:
+        if parent is None:
+            return None
+        if isinstance(parent, Span):
+            return parent.context
+        if isinstance(parent, SpanContext):
+            return parent
+        raise TraceError(f"not a span or span context: {parent!r}")
+
+    def start_span(
+        self,
+        name: str,
+        layer: str,
+        parent: ParentLike = None,
+        track: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span.  With ``parent=None`` it roots a new trace."""
+        parent_ctx = self._parent_context(parent)
+        if parent_ctx is None:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        else:
+            trace_id = parent_ctx.trace_id
+            parent_id = parent_ctx.span_id
+        context = SpanContext(trace_id=trace_id, span_id=self._next_span_id)
+        self._next_span_id += 1
+        span = Span(
+            tracer=self,
+            name=name,
+            layer=layer,
+            track=track if track is not None else layer,
+            context=context,
+            parent_id=parent_id,
+            start=self.now(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        return span
+
+    def start_trace(
+        self,
+        name: str,
+        layer: str,
+        track: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a root span (a new trace)."""
+        return self.start_span(name, layer, parent=None, track=track, **attrs)
+
+    def instant(
+        self,
+        name: str,
+        layer: str,
+        parent: ParentLike = None,
+        track: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a zero-duration marker span."""
+        span = self.start_span(name, layer, parent=parent, track=track, **attrs)
+        span.end_time = span.start
+        return span
+
+    # -- correlation table -----------------------------------------------
+
+    def bind(self, key: Hashable, context: SpanContext) -> None:
+        """Associate ``key`` (e.g. a request identity) with a context."""
+        self._bindings[key] = context
+
+    def lookup(self, key: Hashable) -> Optional[SpanContext]:
+        """Context previously bound to ``key``, or ``None``."""
+        return self._bindings.get(key)
+
+    def unbind(self, key: Hashable) -> None:
+        self._bindings.pop(key, None)
+
+    # -- inspection ------------------------------------------------------
+
+    def open_spans(self) -> List[Span]:
+        """Spans not yet closed (useful for leak assertions)."""
+        return [s for s in self.spans if s.is_open]
+
+    def closed_spans(self) -> List[Span]:
+        return [s for s in self.spans if not s.is_open]
+
+    def trace_ids(self) -> List[int]:
+        """Distinct trace ids in creation order."""
+        seen: Dict[int, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.context.trace_id, None)
+        return list(seen)
+
+    def spans_of(self, trace_id: int) -> Iterator[Span]:
+        return (s for s in self.spans if s.context.trace_id == trace_id)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer {self.name!r} spans={len(self.spans)} "
+            f"open={len(self.open_spans())}>"
+        )
+
+
+class NullTracer:
+    """The zero-overhead default: every method is a no-op.
+
+    ``enabled`` is ``False`` so instrumented hot paths skip span-argument
+    construction entirely; code that calls methods anyway gets inert
+    results (``None`` contexts, empty lists).
+    """
+
+    enabled = False
+    double_ends = 0
+
+    #: Shared empty tuple so ``spans`` reads cheaply.
+    spans: Tuple[()] = ()
+
+    def now(self) -> float:  # pragma: no cover - never useful
+        return 0.0
+
+    def start_span(self, *args: Any, **kwargs: Any) -> "_NullSpan":
+        return NULL_SPAN
+
+    def start_trace(self, *args: Any, **kwargs: Any) -> "_NullSpan":
+        return NULL_SPAN
+
+    def instant(self, *args: Any, **kwargs: Any) -> "_NullSpan":
+        return NULL_SPAN
+
+    def bind(self, key: Hashable, context: Any) -> None:
+        return None
+
+    def lookup(self, key: Hashable) -> None:
+        return None
+
+    def unbind(self, key: Hashable) -> None:
+        return None
+
+    def open_spans(self) -> List[Span]:
+        return []
+
+    def closed_spans(self) -> List[Span]:
+        return []
+
+    def trace_ids(self) -> List[int]:
+        return []
+
+    def spans_of(self, trace_id: int) -> Iterator[Span]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+class _NullSpan:
+    """Inert span returned by :class:`NullTracer` methods."""
+
+    __slots__ = ()
+
+    #: ``None`` so storing ``span.context`` on a message propagates nothing.
+    context = None
+    parent_id = None
+    name = "null"
+    layer = "null"
+    track = "null"
+    start = 0.0
+    end_time = 0.0
+    attrs: Dict[str, Any] = {}
+    is_open = False
+    duration = 0.0
+
+    def end(self, **attrs: Any) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "<NullSpan>"
+
+
+#: Module-level singletons — identity comparisons are safe.
+NULL_SPAN = _NullSpan()
+NULL_TRACER = NullTracer()
+
+
+def get_tracer(env: Any) -> Union[Tracer, NullTracer]:
+    """The tracer installed on ``env``, or :data:`NULL_TRACER`."""
+    tracer = getattr(env, "tracer", None)
+    return tracer if tracer is not None else NULL_TRACER
+
+
+def install_tracer(env: Any, tracer: Tracer) -> Tracer:
+    """Attach ``tracer`` to ``env`` so :func:`get_tracer` finds it."""
+    if getattr(tracer, "env", None) is None:
+        tracer.env = env
+    env.tracer = tracer
+    return tracer

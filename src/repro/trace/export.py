@@ -1,0 +1,155 @@
+"""Chrome trace-event export.
+
+Serialises a :class:`~repro.trace.Tracer`'s spans into the Chrome
+trace-event JSON format (the ``traceEvents`` array flavour) so a capture
+can be dropped straight into Perfetto or ``chrome://tracing``.
+
+Mapping:
+
+* each distinct span ``track`` (usually a host or link name) becomes a
+  thread, announced with a ``thread_name`` metadata event;
+* closed spans with a duration become ``"X"`` (complete) events with
+  ``ts``/``dur`` in microseconds of simulated time;
+* zero-duration marker spans become ``"i"`` (instant) events;
+* the trace id rides in ``args`` so a single causal trace can be
+  filtered out of a multi-request capture.
+
+:func:`validate_chrome_trace` re-checks the invariants the format
+requires (and that our tests pin): known phases, non-negative
+timestamps/durations, and monotonically sorted event timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.trace.core import NullTracer, TraceError, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Synthetic process id — the whole simulation is one "process".
+_PID = 1
+
+#: Seconds of simulated time per Chrome-trace microsecond tick.
+_US = 1e6
+
+
+def chrome_trace_events(
+    tracer: Union[Tracer, NullTracer],
+    include_open: bool = False,
+) -> List[Dict[str, Any]]:
+    """Render ``tracer``'s spans as a list of Chrome trace events.
+
+    Open spans are skipped unless ``include_open`` is set, in which case
+    they are emitted as instant events marked ``"open": True``.
+    """
+    tracks = sorted({span.track for span in tracer.spans})
+    tid_of = {track: tid for tid, track in enumerate(tracks, start=1)}
+
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid_of[track],
+                "args": {"name": track},
+            }
+        )
+
+    spans = sorted(tracer.spans, key=lambda s: (s.start, s.context.span_id))
+    for span in spans:
+        args: Dict[str, Any] = {
+            "trace_id": span.context.trace_id,
+            "span_id": span.context.span_id,
+            "layer": span.layer,
+        }
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.attrs)
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.layer,
+            "pid": _PID,
+            "tid": tid_of[span.track],
+            "ts": span.start * _US,
+            "args": args,
+        }
+        if span.is_open:
+            if not include_open:
+                continue
+            event["ph"] = "i"
+            event["s"] = "t"
+            args["open"] = True
+        elif span.duration == 0.0:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.duration * _US
+        events.append(event)
+    return events
+
+
+def write_chrome_trace(
+    tracer: Union[Tracer, NullTracer],
+    path: str,
+    include_open: bool = False,
+) -> List[Dict[str, Any]]:
+    """Write ``{"traceEvents": [...]}`` JSON to ``path``; returns events."""
+    events = chrome_trace_events(tracer, include_open=include_open)
+    document = {"traceEvents": events, "displayTimeUnit": "ns"}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+    return events
+
+
+def validate_chrome_trace(events: Sequence[Dict[str, Any]]) -> None:
+    """Raise :class:`TraceError` unless ``events`` is schema-valid.
+
+    Checks: required keys per phase, phases limited to the ones we emit
+    (``M``/``X``/``i`` — complete events, so no unmatched ``B``/``E``
+    pairs can exist), non-negative ``ts``/``dur``, and non-metadata
+    events sorted by ``ts``.
+    """
+    last_ts = None
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise TraceError(f"event {index} missing {key!r}: {event!r}")
+        phase = event["ph"]
+        if phase in ("B", "E"):
+            raise TraceError(
+                f"event {index}: unmatched duration event {phase!r}; "
+                "exporter only emits complete ('X') events"
+            )
+        if phase == "M":
+            continue
+        if phase not in ("X", "i"):
+            raise TraceError(f"event {index}: unknown phase {phase!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TraceError(f"event {index}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceError(f"event {index}: bad dur {dur!r}")
+        if last_ts is not None and ts < last_ts:
+            raise TraceError(
+                f"event {index}: timestamps not sorted ({ts} < {last_ts})"
+            )
+        last_ts = ts

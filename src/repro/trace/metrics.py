@@ -1,0 +1,142 @@
+"""A hierarchical registry over the simulation's measurement probes.
+
+Every subsystem already measures itself — :class:`~repro.sim.Counter`,
+:class:`~repro.sim.TimeSeries` and :class:`~repro.sim.UtilizationTracker`
+instances hang off links, CPUs, supervisors and replicas — but until now
+each had to be harvested by hand.  :class:`MetricsRegistry` gives them
+hierarchical dotted names (``bft.r0.reconnects``,
+``net.r0->r1.frames_delivered``) and one ``snapshot()`` call that renders
+everything to plain JSON-ready data:
+
+* a ``Counter`` snapshots to its integer value;
+* a ``TimeSeries`` snapshots to its :class:`SummaryStats` dict plus rate;
+* a ``UtilizationTracker`` snapshots to busy time and utilisation;
+* a zero-argument callable snapshots to whatever it returns.
+
+Registration is purely observational — the registry never mutates or
+wraps the probes, so registering has no effect on simulation behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Mapping, Union
+
+from repro.errors import ReproError
+from repro.sim.monitor import Counter, TimeSeries, UtilizationTracker
+
+__all__ = ["MetricsRegistry"]
+
+Probe = Union[Counter, TimeSeries, UtilizationTracker, Callable[[], Any]]
+
+
+class MetricsRegistry:
+    """Named registry of heterogeneous measurement probes."""
+
+    def __init__(self, name: str = "metrics"):
+        self.name = name
+        self._probes: Dict[str, Probe] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, name: str, probe: Probe) -> Probe:
+        """Register ``probe`` under dotted ``name``; returns the probe."""
+        if not name:
+            raise ReproError("metric name must be non-empty")
+        if name in self._probes:
+            raise ReproError(f"metric {name!r} already registered")
+        if not isinstance(
+            probe, (Counter, TimeSeries, UtilizationTracker)
+        ) and not callable(probe):
+            raise ReproError(
+                f"metric {name!r}: unsupported probe {type(probe).__name__}"
+            )
+        self._probes[name] = probe
+        return probe
+
+    def register_many(
+        self, prefix: str, probes: Mapping[str, Probe]
+    ) -> None:
+        """Register every ``{suffix: probe}`` under ``prefix.suffix``."""
+        for suffix, probe in probes.items():
+            self.register(f"{prefix}.{suffix}" if prefix else suffix, probe)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probes
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def names(self) -> list[str]:
+        return sorted(self._probes)
+
+    # -- snapshot --------------------------------------------------------
+
+    @staticmethod
+    def _snapshot_probe(probe: Probe) -> Any:
+        if isinstance(probe, Counter):
+            return probe.value
+        if isinstance(probe, TimeSeries):
+            rendered = probe.stats().to_dict()
+            rendered["rate"] = probe.rate()
+            return rendered
+        if isinstance(probe, UtilizationTracker):
+            return {
+                "busy_time": probe.busy_time(),
+                "utilization": probe.utilization(),
+            }
+        return probe()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat ``{dotted_name: value}`` view of every probe, sorted."""
+        return {
+            name: self._snapshot_probe(probe)
+            for name, probe in sorted(self._probes.items())
+        }
+
+    def snapshot_tree(self) -> Dict[str, Any]:
+        """Snapshot nested by the dots of each name."""
+        tree: Dict[str, Any] = {}
+        for name, value in self.snapshot().items():
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                existing = node.get(part)
+                if not isinstance(existing, dict):
+                    # A leaf and a subtree share a prefix: keep the leaf
+                    # reachable under its own name.
+                    existing = {} if existing is None else {"": existing}
+                    node[part] = existing
+                node = existing
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf][""] = value
+            else:
+                node[leaf] = value
+        return tree
+
+    def to_json(self, path: str) -> Dict[str, Any]:
+        """Write the flat snapshot to ``path``; returns it."""
+        snapshot = self.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        return snapshot
+
+    def render(self) -> str:
+        """Plain-text one-metric-per-line rendering of the snapshot."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                inner = ", ".join(
+                    f"{key}={value[key]:.6g}"
+                    if isinstance(value[key], float)
+                    else f"{key}={value[key]}"
+                    for key in sorted(value)
+                )
+                lines.append(f"{name}: {inner}")
+            else:
+                lines.append(f"{name}: {value}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry {self.name!r} probes={len(self._probes)}>"

@@ -70,6 +70,36 @@ class TestSummaryStats:
         assert s.p50 == 50.0
         assert s.p99 == 99.0
 
+    def test_nearest_rank_high_percentiles(self):
+        # Nearest-rank semantics pinned: rank = ceil(q*n), 1-indexed.
+        s = SummaryStats([float(i) for i in range(1, 101)])
+        assert s.p95 == 95.0
+        assert s.p999 == 100.0
+
+    def test_percentiles_single_sample(self):
+        s = SummaryStats([7.0])
+        assert (s.p50, s.p95, s.p99, s.p999) == (7.0, 7.0, 7.0, 7.0)
+
+    def test_from_samples(self):
+        s = SummaryStats.from_samples([3.0, 1.0, 2.0])
+        assert s.count == 3
+        assert s.minimum == 1.0
+
+    def test_to_dict(self):
+        s = SummaryStats([float(i) for i in range(1, 101)])
+        d = s.to_dict()
+        assert d["count"] == 100
+        assert d["min"] == 1.0
+        assert d["max"] == 100.0
+        assert d["p50"] == 50.0
+        assert d["p95"] == 95.0
+        assert d["p99"] == 99.0
+        assert d["p999"] == 100.0
+        assert set(d) == {
+            "count", "mean", "min", "max", "stdev",
+            "p50", "p95", "p99", "p999",
+        }
+
     def test_stdev(self):
         s = SummaryStats([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
         assert s.stdev == pytest.approx(2.0)

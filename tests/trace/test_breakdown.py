@@ -1,0 +1,146 @@
+"""Latency-breakdown math: interval unions, clipping, coverage."""
+
+import pytest
+
+from repro.trace import TraceError, Tracer, latency_breakdown
+from repro.trace.breakdown import TraceBreakdown, _merged_length
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+def span_at(tracer, env, name, layer, start, end, parent=None):
+    env.now = start
+    span = tracer.start_span(name, layer=layer, parent=parent)
+    env.now = end
+    span.end()
+    return span
+
+
+class TestMergedLength:
+    def test_empty(self):
+        assert _merged_length([]) == 0.0
+
+    def test_disjoint(self):
+        assert _merged_length([(0.0, 1.0), (2.0, 3.0)]) == pytest.approx(2.0)
+
+    def test_overlap_counted_once(self):
+        assert _merged_length([(0.0, 2.0), (1.0, 3.0)]) == pytest.approx(3.0)
+
+    def test_containment(self):
+        assert _merged_length([(0.0, 4.0), (1.0, 2.0)]) == pytest.approx(4.0)
+
+
+class TestTraceBreakdown:
+    def test_layer_attribution_and_coverage(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        env.now = 0.0
+        root = tracer.start_trace("req", layer="client")
+        # Two overlapping link spans: union is 3us of a 10us request.
+        span_at(tracer, env, "l1", "link", 1e-6, 3e-6, parent=root)
+        span_at(tracer, env, "l2", "link", 2e-6, 4e-6, parent=root)
+        span_at(tracer, env, "q", "qp", 6e-6, 8e-6, parent=root)
+        env.now = 10e-6
+        root.end()
+
+        breakdown = TraceBreakdown(root, tracer.spans)
+        assert breakdown.end_to_end == pytest.approx(10e-6)
+        assert breakdown.layer_seconds["link"] == pytest.approx(3e-6)
+        assert breakdown.layer_seconds["qp"] == pytest.approx(2e-6)
+        assert breakdown.layer_share("link") == pytest.approx(0.3)
+        assert breakdown.layer_share("missing") == 0.0
+        # Coverage = union of all child spans: 3us + 2us of 10us.
+        assert breakdown.coverage == pytest.approx(0.5)
+
+    def test_spans_clipped_to_root_window(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        env.now = 1e-6
+        root = tracer.start_trace("req", layer="client")
+        # Extends past the root's end: only the inside part counts.
+        span_at(tracer, env, "q", "qp", 2e-6, 9e-6, parent=root)
+        env.now = 5e-6
+        root.end()
+        breakdown = TraceBreakdown(root, tracer.spans)
+        assert breakdown.layer_seconds["qp"] == pytest.approx(3e-6)
+
+    def test_open_child_spans_excluded_but_counted(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        env.now = 1e-6
+        tracer.start_span("dangling", layer="qp", parent=root)
+        env.now = 2e-6
+        root.end()
+        breakdown = TraceBreakdown(root, tracer.spans)
+        assert breakdown.open_spans == 1
+        assert "qp" not in breakdown.layer_seconds
+
+    def test_open_root_rejected(self):
+        tracer = Tracer(FakeEnv())
+        root = tracer.start_trace("req", layer="client")
+        with pytest.raises(TraceError):
+            TraceBreakdown(root, tracer.spans)
+
+    def test_to_dict(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        span_at(tracer, env, "q", "qp", 0.0, 1e-6, parent=root)
+        env.now = 2e-6
+        root.end()
+        d = TraceBreakdown(root, tracer.spans).to_dict()
+        assert d["root"] == "req"
+        assert d["end_to_end_us"] == pytest.approx(2.0)
+        assert d["layers"]["qp"]["share"] == pytest.approx(0.5)
+
+
+class TestLatencyBreakdown:
+    def build(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        for e2e in (10e-6, 20e-6):
+            start = env.now
+            root = tracer.start_trace("req", layer="client")
+            span_at(
+                tracer, env, "q", "qp",
+                start + 1e-6, start + 1e-6 + e2e / 2, parent=root,
+            )
+            env.now = start + e2e
+            root.end()
+        return tracer
+
+    def test_groups_by_trace(self):
+        report = latency_breakdown(self.build())
+        assert len(report.traces) == 2
+        assert report.layers == ["qp"]
+        assert report.layer_stats("qp").p50 == pytest.approx(0.5)
+
+    def test_open_roots_skipped(self):
+        tracer = self.build()
+        tracer.start_trace("in-flight", layer="client")
+        assert len(latency_breakdown(tracer).traces) == 2
+
+    def test_filter_by_trace_id(self):
+        tracer = self.build()
+        tid = tracer.trace_ids()[0]
+        report = latency_breakdown(tracer, trace_id=tid)
+        assert len(report.traces) == 1
+        assert report.traces[0].trace_id == tid
+
+    def test_render_and_json(self, tmp_path):
+        report = latency_breakdown(self.build())
+        text = report.render()
+        assert "qp" in text
+        assert "coverage" in text
+        path = tmp_path / "breakdown.json"
+        report.to_json(str(path))
+        assert path.exists()
+
+    def test_empty_report_renders(self):
+        report = latency_breakdown(Tracer(FakeEnv()))
+        assert report.traces == []
+        assert "no completed traces" in report.render()

@@ -1,0 +1,170 @@
+"""Tracer, spans, contexts, and the null tracer's no-op contract."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    SpanContext,
+    TraceError,
+    Tracer,
+    get_tracer,
+    install_tracer,
+)
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestSpans:
+    def test_root_span_starts_new_trace(self):
+        tracer = Tracer(FakeEnv())
+        a = tracer.start_trace("a", layer="client")
+        b = tracer.start_trace("b", layer="client")
+        assert a.parent_id is None
+        assert b.parent_id is None
+        assert a.context.trace_id != b.context.trace_id
+
+    def test_child_inherits_trace_id(self):
+        tracer = Tracer(FakeEnv())
+        root = tracer.start_trace("root", layer="client")
+        child = tracer.start_span("child", layer="qp", parent=root)
+        grandchild = tracer.start_span(
+            "grand", layer="nic", parent=child.context
+        )
+        assert child.context.trace_id == root.context.trace_id
+        assert child.parent_id == root.context.span_id
+        assert grandchild.context.trace_id == root.context.trace_id
+        assert grandchild.parent_id == child.context.span_id
+
+    def test_invalid_parent_rejected(self):
+        tracer = Tracer(FakeEnv())
+        with pytest.raises(TraceError):
+            tracer.start_span("x", layer="qp", parent="not-a-span")
+
+    def test_span_records_clock(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        env.now = 1.5
+        span = tracer.start_span("x", layer="qp")
+        assert span.start == 1.5
+        assert span.is_open
+        env.now = 2.0
+        span.end()
+        assert not span.is_open
+        assert span.duration == pytest.approx(0.5)
+
+    def test_end_is_idempotent_but_counted(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        span = tracer.start_span("x", layer="qp")
+        env.now = 1.0
+        span.end()
+        env.now = 2.0
+        span.end()
+        assert span.end_time == 1.0  # first close wins
+        assert tracer.double_ends == 1
+
+    def test_end_merges_attrs(self):
+        tracer = Tracer(FakeEnv())
+        span = tracer.start_span("x", layer="qp", wr_id=7)
+        span.end(status="ok")
+        assert span.attrs == {"wr_id": 7, "status": "ok"}
+
+    def test_instant_is_closed_and_zero_duration(self):
+        env = FakeEnv()
+        env.now = 3.0
+        tracer = Tracer(env)
+        marker = tracer.instant("mark", layer="bft")
+        assert not marker.is_open
+        assert marker.duration == 0.0
+        assert marker.start == 3.0
+
+    def test_track_defaults_to_layer(self):
+        tracer = Tracer(FakeEnv())
+        assert tracer.start_span("x", layer="qp").track == "qp"
+        assert tracer.start_span("x", layer="qp", track="h1").track == "h1"
+
+    def test_inspection_helpers(self):
+        tracer = Tracer(FakeEnv())
+        root = tracer.start_trace("root", layer="client")
+        child = tracer.start_span("child", layer="qp", parent=root)
+        child.end()
+        assert tracer.open_spans() == [root]
+        assert tracer.closed_spans() == [child]
+        assert tracer.trace_ids() == [root.context.trace_id]
+        assert list(tracer.spans_of(root.context.trace_id)) == [root, child]
+
+
+class TestCorrelationTable:
+    def test_bind_lookup_unbind(self):
+        tracer = Tracer(FakeEnv())
+        ctx = SpanContext(trace_id=1, span_id=2)
+        tracer.bind(("req", "c0", 1), ctx)
+        assert tracer.lookup(("req", "c0", 1)) is ctx
+        tracer.unbind(("req", "c0", 1))
+        assert tracer.lookup(("req", "c0", 1)) is None
+
+    def test_unbind_missing_is_noop(self):
+        Tracer(FakeEnv()).unbind("never-bound")
+
+
+class TestInstallation:
+    def test_environment_defaults_to_null(self):
+        env = Environment()
+        assert env.tracer is None
+        assert get_tracer(env) is NULL_TRACER
+
+    def test_install_binds_clock(self):
+        env = Environment()
+        tracer = Tracer()
+        assert install_tracer(env, tracer) is tracer
+        assert get_tracer(env) is tracer
+        assert tracer.env is env
+
+    def test_install_keeps_existing_clock(self):
+        fake = FakeEnv()
+        tracer = Tracer(fake)
+        install_tracer(Environment(), tracer)
+        assert tracer.env is fake
+
+    def test_unbound_tracer_raises_on_use(self):
+        with pytest.raises(TraceError):
+            Tracer().start_span("x", layer="qp")
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NullTracer.enabled is False
+        assert Tracer.enabled is True
+
+    def test_all_span_factories_return_null_span(self):
+        null = NullTracer()
+        assert null.start_span("x", layer="qp") is NULL_SPAN
+        assert null.start_trace("x", layer="qp") is NULL_SPAN
+        assert null.instant("x", layer="qp") is NULL_SPAN
+
+    def test_null_span_propagates_nothing(self):
+        # Storing NULL_SPAN.context on a message must carry no trace.
+        assert NULL_SPAN.context is None
+        NULL_SPAN.end(anything="goes")
+        assert not NULL_SPAN.is_open
+
+    def test_bindings_are_noops(self):
+        null = NullTracer()
+        null.bind("k", SpanContext(trace_id=1, span_id=1))
+        assert null.lookup("k") is None
+        null.unbind("k")
+
+    def test_records_nothing(self):
+        null = NullTracer()
+        null.start_span("x", layer="qp").end()
+        assert list(null.spans) == []
+        assert null.open_spans() == []
+        assert null.closed_spans() == []
+        assert null.trace_ids() == []
+        assert null.double_ends == 0

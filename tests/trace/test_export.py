@@ -1,0 +1,143 @@
+"""Chrome trace-event export: schema validity and mapping details."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    TraceError,
+    Tracer,
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+def small_tracer():
+    env = FakeEnv()
+    tracer = Tracer(env)
+    root = tracer.start_trace("request", layer="client", track="c0")
+    env.now = 1e-6
+    child = tracer.start_span("qp.send", layer="qp", parent=root, track="r0")
+    env.now = 3e-6
+    child.end()
+    tracer.instant("mark", layer="bft", parent=root, track="r0")
+    env.now = 5e-6
+    root.end()
+    return tracer
+
+
+class TestExport:
+    def test_validates_against_schema(self):
+        events = chrome_trace_events(small_tracer())
+        validate_chrome_trace(events)
+
+    def test_metadata_announces_process_and_threads(self):
+        events = chrome_trace_events(small_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["name"] == "process_name"
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names == {"c0", "r0"}
+
+    def test_complete_event_microsecond_units(self):
+        events = chrome_trace_events(small_tracer())
+        qp = next(e for e in events if e["name"] == "qp.send")
+        assert qp["ph"] == "X"
+        assert qp["ts"] == pytest.approx(1.0)  # 1e-6 s -> 1 us
+        assert qp["dur"] == pytest.approx(2.0)
+
+    def test_zero_duration_becomes_instant(self):
+        events = chrome_trace_events(small_tracer())
+        mark = next(e for e in events if e["name"] == "mark")
+        assert mark["ph"] == "i"
+        assert mark["s"] == "t"
+
+    def test_trace_and_span_ids_ride_in_args(self):
+        events = chrome_trace_events(small_tracer())
+        qp = next(e for e in events if e["name"] == "qp.send")
+        root = next(e for e in events if e["name"] == "request")
+        assert qp["args"]["trace_id"] == root["args"]["trace_id"]
+        assert qp["args"]["parent_id"] == root["args"]["span_id"]
+        assert qp["args"]["layer"] == "qp"
+
+    def test_timestamps_sorted(self):
+        events = chrome_trace_events(small_tracer())
+        ts = [e["ts"] for e in events if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_open_spans_skipped_by_default(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        tracer.start_span("dangling", layer="qp")
+        assert chrome_trace_events(tracer) == [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "repro simulation"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": "qp"},
+            },
+        ]
+
+    def test_include_open_marks_them(self):
+        tracer = Tracer(FakeEnv())
+        tracer.start_span("dangling", layer="qp")
+        events = chrome_trace_events(tracer, include_open=True)
+        dangling = next(e for e in events if e["name"] == "dangling")
+        assert dangling["ph"] == "i"
+        assert dangling["args"]["open"] is True
+
+    def test_write_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        events = write_chrome_trace(small_tracer(), str(path))
+        document = json.loads(path.read_text())
+        assert document["traceEvents"] == events
+        validate_chrome_trace(document["traceEvents"])
+
+
+class TestValidator:
+    def test_rejects_missing_keys(self):
+        with pytest.raises(TraceError, match="missing"):
+            validate_chrome_trace([{"name": "x", "ph": "X", "pid": 1}])
+
+    def test_rejects_unmatched_duration_events(self):
+        event = {"name": "x", "ph": "B", "pid": 1, "tid": 1, "ts": 0}
+        with pytest.raises(TraceError, match="unmatched"):
+            validate_chrome_trace([event])
+
+    def test_rejects_unknown_phase(self):
+        event = {"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0}
+        with pytest.raises(TraceError, match="unknown phase"):
+            validate_chrome_trace([event])
+
+    def test_rejects_negative_timestamps(self):
+        event = {"name": "x", "ph": "i", "pid": 1, "tid": 1, "ts": -1.0}
+        with pytest.raises(TraceError, match="bad ts"):
+            validate_chrome_trace([event])
+
+    def test_rejects_missing_duration(self):
+        event = {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0}
+        with pytest.raises(TraceError, match="bad dur"):
+            validate_chrome_trace([event])
+
+    def test_rejects_unsorted_timestamps(self):
+        events = [
+            {"name": "a", "ph": "i", "pid": 1, "tid": 1, "ts": 2.0},
+            {"name": "b", "ph": "i", "pid": 1, "tid": 1, "ts": 1.0},
+        ]
+        with pytest.raises(TraceError, match="not sorted"):
+            validate_chrome_trace(events)

@@ -1,0 +1,110 @@
+"""MetricsRegistry: registration rules and snapshot rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sim import Counter, Environment, TimeSeries, UtilizationTracker
+from repro.trace import MetricsRegistry
+
+
+class TestRegistration:
+    def test_register_and_contains(self):
+        registry = MetricsRegistry()
+        counter = Counter("x")
+        assert registry.register("a.b", counter) is counter
+        assert "a.b" in registry
+        assert len(registry) == 1
+        assert registry.names() == ["a.b"]
+
+    def test_register_many_prefixes(self):
+        registry = MetricsRegistry()
+        registry.register_many("net.r0", {"tx": Counter("tx"), "rx": Counter("rx")})
+        assert sorted(registry.names()) == ["net.r0.rx", "net.r0.tx"]
+
+    def test_duplicate_rejected(self):
+        registry = MetricsRegistry()
+        registry.register("a", Counter("x"))
+        with pytest.raises(ReproError):
+            registry.register("a", Counter("y"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().register("", Counter("x"))
+
+    def test_unsupported_probe_rejected(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().register("a", object())
+
+
+class TestSnapshot:
+    def build(self):
+        env = Environment()
+        registry = MetricsRegistry("test")
+        counter = Counter("ops")
+        counter.increment(3)
+        series = TimeSeries(env, "lat")
+        for t, v in ((0.0, 1.0), (1.0, 2.0)):
+            series.record(v, time=t)
+        tracker = UtilizationTracker(env, "cpu")
+        registry.register("bft.r0.ops", counter)
+        registry.register("bft.r0.latency", series)
+        registry.register("host.r0.cpu", tracker)
+        registry.register("custom.value", lambda: 42)
+        return registry
+
+    def test_flat_snapshot(self):
+        snap = self.build().snapshot()
+        assert snap["bft.r0.ops"] == 3
+        assert snap["bft.r0.latency"]["count"] == 2
+        assert snap["bft.r0.latency"]["p50"] == 1.0
+        assert "rate" in snap["bft.r0.latency"]
+        assert snap["host.r0.cpu"] == {"busy_time": 0.0, "utilization": 0.0}
+        assert snap["custom.value"] == 42
+        assert list(snap) == sorted(snap)
+
+    def test_tree_snapshot(self):
+        tree = self.build().snapshot_tree()
+        assert tree["bft"]["r0"]["ops"] == 3
+        assert tree["custom"]["value"] == 42
+
+    def test_tree_leaf_subtree_collision(self):
+        registry = MetricsRegistry()
+        registry.register("a", lambda: 1)
+        registry.register("a.b", lambda: 2)
+        tree = registry.snapshot_tree()
+        assert tree["a"][""] == 1
+        assert tree["a"]["b"] == 2
+
+    def test_to_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        snap = self.build().to_json(str(path))
+        assert json.loads(path.read_text()) == snap
+
+    def test_render(self):
+        text = self.build().render()
+        assert "bft.r0.ops: 3" in text
+        assert "custom.value: 42" in text
+
+
+class TestClusterAssembly:
+    def test_bft_cluster_registry(self):
+        # The cluster helper wires every layer's probes in one call.
+        from repro.bft.cluster import BftCluster
+
+        cluster = BftCluster()
+        cluster.start()
+        cluster.invoke_and_wait(b"PUT k=v")
+        registry = cluster.metrics_registry()
+        snap = registry.snapshot()
+        assert snap["replica.r0.committed"] >= 1
+        assert snap["client.c0.invocations"] == 1
+        assert "endpoint.r0.supervisor.reconnects" in snap
+        assert any(name.startswith("host.") for name in snap)
+        assert any(name.startswith("link.") for name in snap)
+        # Frames actually flowed somewhere.
+        assert sum(
+            value for name, value in snap.items()
+            if name.startswith("link.") and name.endswith(".frames_sent")
+        ) > 0

@@ -1,0 +1,96 @@
+"""End-to-end acceptance: one request, one causal trace, full coverage.
+
+Pins the PR's acceptance criteria: a single traced BFT request yields a
+single causal trace whose spans explain >= 95% of the measured
+end-to-end latency, attributed to >= 6 distinct layers, exported as
+valid Chrome trace-event JSON — and tracing changes nothing about what
+the protocol does.
+"""
+
+import pytest
+
+from repro.bft.cluster import BftCluster
+from repro.trace import (
+    Tracer,
+    chrome_trace_events,
+    latency_breakdown,
+    validate_chrome_trace,
+)
+
+
+def run_request(tracer=None, operations=(b"PUT k=v",)):
+    cluster = BftCluster(tracer=tracer)
+    cluster.start()
+    results = [cluster.invoke_and_wait(op) for op in operations]
+    cluster.run_for(0.005)
+    frames = sum(
+        link.frames_sent.value
+        for cable in cluster.fabric._cables.values()
+        for link in (cable.forward, cable.backward)
+    )
+    return cluster, results, frames
+
+
+@pytest.fixture(scope="module")
+def traced():
+    tracer = Tracer()
+    cluster, results, frames = run_request(tracer=tracer)
+    return tracer, cluster, results, frames
+
+
+class TestSingleCausalTrace:
+    def test_request_succeeds(self, traced):
+        _, _, results, _ = traced
+        assert results == [b"OK"]
+
+    def test_one_trace_rooted_at_the_client(self, traced):
+        tracer, _, _, _ = traced
+        assert len(tracer.trace_ids()) == 1
+        report = latency_breakdown(tracer)
+        assert len(report.traces) == 1
+        assert report.traces[0].root_name == "bft.request"
+
+    def test_spans_cover_95_percent_of_latency(self, traced):
+        tracer, _, _, _ = traced
+        trace = latency_breakdown(tracer).traces[0]
+        assert trace.end_to_end > 0
+        assert trace.coverage >= 0.95
+
+    def test_at_least_six_layers_attributed(self, traced):
+        tracer, _, _, _ = traced
+        trace = latency_breakdown(tracer).traces[0]
+        contributing = {
+            layer
+            for layer in trace.layers
+            if trace.layer_seconds[layer] > 0
+        }
+        assert {"nic", "link", "qp", "cq", "selector", "bft"} <= contributing
+        assert len(contributing) >= 6
+
+    def test_no_leaked_or_double_closed_spans(self, traced):
+        tracer, _, _, _ = traced
+        assert tracer.open_spans() == []
+        assert tracer.double_ends == 0
+
+    def test_chrome_export_is_valid(self, traced):
+        tracer, _, _, _ = traced
+        events = chrome_trace_events(tracer)
+        validate_chrome_trace(events)
+        span_events = [e for e in events if e["ph"] != "M"]
+        assert len(span_events) == len(tracer.spans)
+        assert len({e["args"]["trace_id"] for e in span_events}) == 1
+
+
+class TestZeroInterference:
+    def test_untraced_run_is_identical(self, traced):
+        _, traced_cluster, traced_results, traced_frames = traced
+        cluster, results, frames = run_request()
+        assert cluster.env.tracer is None
+        # Same protocol outcome, same message counts, same timing.
+        assert results == traced_results
+        assert frames == traced_frames
+        assert cluster.executed_sequences() == (
+            traced_cluster.executed_sequences()
+        )
+        assert cluster.state_digests() == traced_cluster.state_digests()
+        assert cluster.env.now == traced_cluster.env.now

@@ -1,0 +1,91 @@
+"""Span hygiene across crashes and supervised reconnects.
+
+When a replica crashes mid-workload and its peers' ChannelSupervisors
+re-dial, in-flight operations are flushed, requeued and retransmitted.
+Every span opened for them must be closed exactly once: flushed receives
+end ``aborted``, drained CQ entries close their wait spans, requeued
+batches keep their context.  ``Tracer.double_ends`` pins "exactly once".
+"""
+
+from repro.bft import BftCluster, BftConfig
+from repro.rubin import RubinConfig
+from repro.trace import Tracer
+
+#: Fast dead-peer detection so the crash scenario stays short.
+FAST_RUBIN = RubinConfig(retry_timeout=1e-3, retry_count=3)
+
+
+def make_cluster(tracer):
+    cluster = BftCluster(
+        config=BftConfig(
+            view_change_timeout=80e-3,
+            batch_delay=0.0,
+            batch_size=1,
+            checkpoint_interval=4,
+            log_window=16,
+        ),
+        rubin_config=FAST_RUBIN,
+        faulty_fabric=True,
+        tracer=tracer,
+    )
+    cluster.start()
+    return cluster
+
+
+def total_reconnects(cluster):
+    endpoints = [r.endpoint for r in cluster.replicas.values()]
+    endpoints += [c.endpoint for c in cluster.clients.values()]
+    return sum(
+        e.supervisor.reconnects.value
+        for e in endpoints
+        if e.supervisor is not None
+    )
+
+
+def test_no_span_leaks_across_crash_and_rejoin():
+    tracer = Tracer()
+    cluster = make_cluster(tracer)
+    for i in range(6):
+        assert cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode()) == b"OK"
+
+    cluster.crash_replica("r2")
+    cluster.run_for(30e-3)
+    for i in range(6, 16):
+        assert cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode()) == b"OK"
+
+    cluster.restart_replica("r2")
+    cluster.run_for(400e-3)
+    assert cluster.invoke_and_wait(b"PUT after=rejoin") == b"OK"
+    cluster.run_for(100e-3)
+
+    # The scenario actually exercised supervised re-dialing.
+    assert total_reconnects(cluster) > 0
+    assert len(tracer.spans) > 0
+    # No span left open (leak), none closed twice (double-close).
+    assert tracer.open_spans() == []
+    assert tracer.double_ends == 0
+
+
+def test_requests_stay_traceable_after_reconnect():
+    tracer = Tracer()
+    cluster = make_cluster(tracer)
+    for i in range(6):
+        cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode())
+    cluster.crash_replica("r2")
+    cluster.run_for(30e-3)
+    cluster.restart_replica("r2")
+    cluster.run_for(400e-3)
+
+    before = len(tracer.trace_ids())
+    assert cluster.invoke_and_wait(b"PUT after=rejoin") == b"OK"
+    cluster.run_for(50e-3)
+
+    # The post-rejoin request produced its own complete causal trace.
+    from repro.trace import latency_breakdown
+
+    assert len(tracer.trace_ids()) == before + 1
+    new_id = tracer.trace_ids()[-1]
+    report = latency_breakdown(tracer, trace_id=new_id)
+    assert len(report.traces) == 1
+    assert report.traces[0].coverage >= 0.9
+    assert tracer.double_ends == 0
