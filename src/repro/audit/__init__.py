@@ -1,0 +1,74 @@
+"""repro.audit — online protocol auditing, flight recording, watchdogs.
+
+The simulation already *measures* itself (:mod:`repro.sim.monitor`) and
+*explains* itself (:mod:`repro.trace`); this package makes it *watch*
+itself.  Three pieces:
+
+* :mod:`repro.audit.invariants` — online auditors that subscribe to
+  hooks in the PBFT core and the RDMA/RUBIN stack and check safety and
+  resource invariants while the simulation runs (no two correct
+  replicas diverge, buffer pools balance, receive WRs never vanish,
+  queue pairs follow the verbs state machine...);
+* :mod:`repro.audit.recorder` — a bounded flight recorder of structured
+  events per layer, dumped as a self-contained JSON post-mortem the
+  moment an auditor fires or the watchdog detects stalled consensus;
+* :mod:`repro.audit.watchdog` — the consensus-progress watchdog.
+
+Everything is purely observational: the auditors never schedule events
+or charge simulated time, so an audited run makes byte-identical
+scheduling decisions to an unaudited one (pinned by test).  The default
+is :data:`NULL_AUDIT`, a :class:`NullAudit` whose hooks are no-ops and
+whose ``enabled`` flag lets hot paths skip argument construction — the
+same zero-overhead contract as :class:`~repro.trace.NullTracer`.
+
+Enable auditing through the cluster facade (on by default)::
+
+    cluster = BftCluster(audit=True)   # or an AuditConfig / AuditManager
+    ...run a workload...
+    assert cluster.audit.violations == []
+"""
+
+from repro.audit.core import (
+    NULL_AUDIT,
+    AuditConfig,
+    AuditError,
+    AuditManager,
+    NullAudit,
+    Violation,
+    active_audits,
+    drain_active_audits,
+    get_audit,
+    install_audit,
+    unexpected_violations,
+)
+from repro.audit.invariants import BftSafetyAuditor, ResourceAuditor
+from repro.audit.recorder import (
+    FlightEvent,
+    FlightRecorder,
+    POSTMORTEM_SCHEMA,
+    validate_postmortem,
+    write_postmortem,
+)
+from repro.audit.watchdog import ConsensusWatchdog
+
+__all__ = [
+    "AuditError",
+    "AuditConfig",
+    "AuditManager",
+    "NullAudit",
+    "NULL_AUDIT",
+    "Violation",
+    "get_audit",
+    "install_audit",
+    "active_audits",
+    "drain_active_audits",
+    "unexpected_violations",
+    "BftSafetyAuditor",
+    "ResourceAuditor",
+    "FlightEvent",
+    "FlightRecorder",
+    "POSTMORTEM_SCHEMA",
+    "validate_postmortem",
+    "write_postmortem",
+    "ConsensusWatchdog",
+]

@@ -1,0 +1,382 @@
+"""The audit manager: hook fan-in, violation handling, and installation.
+
+One :class:`AuditManager` per :class:`~repro.sim.Environment` (mirroring
+the one-tracer-per-environment rule of :mod:`repro.trace`).  Audited
+subsystems fetch it with :func:`get_audit` and guard every hook call on
+``audit.enabled``, so the disabled default — :data:`NULL_AUDIT` — costs
+one attribute read per hook site and nothing else::
+
+    audit = get_audit(self.env)
+    if audit.enabled:
+        audit.on_buffer_release(self.name, pooled.index, ...)
+
+Everything the manager does is pure observation: hooks update auditor
+tables, append to the flight recorder, and (on a violation) snapshot a
+post-mortem — none of which schedules events or charges simulated time,
+so an audited run makes byte-identical scheduling decisions for every
+non-audit process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.audit.invariants import BftSafetyAuditor, ResourceAuditor
+from repro.audit.recorder import (
+    AuditError,
+    FlightRecorder,
+    postmortem_document,
+    write_postmortem,
+)
+
+__all__ = [
+    "AuditError",
+    "AuditConfig",
+    "Violation",
+    "AuditManager",
+    "NullAudit",
+    "NULL_AUDIT",
+    "get_audit",
+    "install_audit",
+    "active_audits",
+    "drain_active_audits",
+    "unexpected_violations",
+]
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Tunables for one audit manager."""
+
+    #: Flight-recorder ring capacity (events).
+    ring_size: int = 4096
+    #: Consecutive no-progress select passes before a ready selection
+    #: key is declared starved.
+    starvation_ticks: int = 512
+    #: Outstanding requests with no execution progress for this many
+    #: simulated seconds raises ``bft.consensus-stall``.
+    stall_timeout: float = 1.0
+    #: Watchdog polling period (simulated seconds).
+    watchdog_interval: float = 25e-3
+    #: Cross-replica tables keep at most this many sequence numbers.
+    max_tracked_seqs: int = 4096
+    #: Directory post-mortems are written to (None keeps them in memory
+    #: only, on ``AuditManager.postmortems``).
+    dump_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 1:
+            raise AuditError("ring_size must be >= 1")
+        if self.starvation_ticks < 2:
+            raise AuditError("starvation_ticks must be >= 2")
+        if self.stall_timeout <= 0 or self.watchdog_interval <= 0:
+            raise AuditError("watchdog timings must be positive")
+        if self.max_tracked_seqs < 1:
+            raise AuditError("max_tracked_seqs must be >= 1")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant failure, self-describing and JSON-ready."""
+
+    rule: str
+    layer: str
+    subject: str
+    time: float
+    detail: Tuple[Tuple[str, Any], ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.audit.recorder import _jsonable
+
+        return {
+            "rule": self.rule,
+            "layer": self.layer,
+            "subject": self.subject,
+            "time": self.time,
+            "detail": {key: _jsonable(value) for key, value in self.detail},
+        }
+
+    def __str__(self) -> str:
+        detail = ", ".join(f"{k}={v!r}" for k, v in self.detail)
+        return (
+            f"[{self.rule}] {self.subject} at t={self.time:.6f}"
+            + (f" ({detail})" if detail else "")
+        )
+
+
+class AuditManager:
+    """Fan-in point for every audit hook on one environment."""
+
+    #: Hot paths check this before building hook arguments.
+    enabled = True
+
+    def __init__(
+        self,
+        env: Any = None,
+        config: Optional[AuditConfig] = None,
+        name: str = "audit",
+        expect_violations: bool = False,
+    ):
+        self.env = env
+        self.config = config if config is not None else AuditConfig()
+        self.name = name
+        #: Tests covering deliberately Byzantine/broken components set
+        #: this so the conformance fixture skips the zero-violation
+        #: assertion for this manager.
+        self.expect_violations = expect_violations
+        self.recorder = FlightRecorder(self.config.ring_size)
+        self.violations: List[Violation] = []
+        self.postmortems: List[Dict[str, Any]] = []
+        self.postmortem_paths: List[str] = []
+        self.bft = BftSafetyAuditor(self)
+        self.resources = ResourceAuditor(self)
+        #: Simulated time of the last execution progress (watchdog input).
+        self.last_progress = 0.0
+
+    # -- clock -----------------------------------------------------------
+
+    def now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    # -- recording and violations ---------------------------------------
+
+    def record(
+        self,
+        layer: str,
+        event: str,
+        subject: Optional[str] = None,
+        **fields: Any,
+    ) -> None:
+        """Append one flight-recorder event."""
+        self.recorder.record(self.now(), layer, event, subject, **fields)
+
+    def violation(
+        self, rule: str, layer: str, subject: str, **detail: Any
+    ) -> Violation:
+        """Report an invariant failure: record it and dump a post-mortem."""
+        entry = Violation(
+            rule=rule,
+            layer=layer,
+            subject=str(subject),
+            time=self.now(),
+            detail=tuple(sorted(detail.items())),
+        )
+        self.violations.append(entry)
+        self.record(layer, "violation", entry.subject, rule=rule, **detail)
+        self.dump_postmortem(f"violation:{rule}", violation=entry)
+        return entry
+
+    def dump_postmortem(
+        self, reason: str, violation: Optional[Violation] = None
+    ) -> Dict[str, Any]:
+        """Snapshot the flight recorder into a post-mortem document."""
+        document = postmortem_document(
+            self.recorder,
+            reason=reason,
+            time=self.now(),
+            audit_name=self.name,
+            violation=violation.to_dict() if violation is not None else None,
+            violations=[v.to_dict() for v in self.violations],
+        )
+        self.postmortems.append(document)
+        if self.config.dump_dir is not None:
+            path = (
+                f"{self.config.dump_dir}/{self.name}-postmortem-"
+                f"{len(self.postmortems):03d}.json"
+            )
+            self.postmortem_paths.append(write_postmortem(document, path))
+        return document
+
+    # -- BFT hooks -------------------------------------------------------
+
+    def on_pre_prepare(
+        self, replica: str, view: int, seq: int, digest: bytes, leader: str
+    ) -> None:
+        self.record(
+            "bft", "pre-prepare", replica, view=view, seq=seq,
+            digest=digest, leader=leader,
+        )
+        self.bft.on_pre_prepare(replica, view, seq, digest)
+
+    def on_commit_quorum(
+        self,
+        replica: str,
+        view: int,
+        seq: int,
+        digest: bytes,
+        signers: Iterable[str],
+    ) -> None:
+        signers = sorted(signers)
+        self.record(
+            "bft", "commit-quorum", replica, view=view, seq=seq,
+            digest=digest, signers=signers,
+        )
+        self.bft.on_commit_quorum(replica, view, seq, signers)
+
+    def on_execute(self, replica: str, seq: int, digest: bytes) -> None:
+        self.last_progress = self.now()
+        self.record("bft", "execute", replica, seq=seq, digest=digest)
+        self.bft.on_execute(replica, seq, digest)
+
+    def on_view_adopted(self, replica: str, view: int) -> None:
+        self.record("bft", "view-adopted", replica, view=view)
+        self.bft.on_view_adopted(replica, view)
+
+    def on_view_change_started(self, replica: str, new_view: int) -> None:
+        self.record("bft", "view-change-started", replica, new_view=new_view)
+
+    def on_stable_checkpoint(
+        self, replica: str, seq: int, digest: bytes
+    ) -> None:
+        self.last_progress = self.now()
+        self.record("bft", "stable-checkpoint", replica, seq=seq, digest=digest)
+        self.bft.on_stable_checkpoint(replica, seq, digest)
+
+    def on_state_transfer(
+        self, replica: str, event: str, **fields: Any
+    ) -> None:
+        self.record("bft", f"state-transfer-{event}", replica, **fields)
+
+    def on_replica_crash(self, replica: str) -> None:
+        self.record("bft", "replica-crash", replica)
+
+    def on_replica_restart(self, replica: str) -> None:
+        self.record("bft", "replica-restart", replica)
+        self.bft.on_replica_restart(replica)
+
+    # -- RDMA hooks ------------------------------------------------------
+
+    def on_qp_transition(
+        self, host: str, qp_num: int, old: str, new: str
+    ) -> None:
+        self.record("rdma", "qp-transition", host, qp_num=qp_num,
+                    transition=f"{old}->{new}")
+        self.resources.on_qp_transition(host, qp_num, old, new)
+
+    def on_post_recv(self, qp_num: int, wr_id: int) -> None:
+        # Not flight-recorded: posting happens per message and would
+        # flood the ring; the auditor's accounting table is enough.
+        self.resources.on_post_recv(qp_num, wr_id)
+
+    def on_recv_complete(self, qp_num: int, wr_id: int) -> None:
+        self.resources.on_recv_complete(qp_num, wr_id)
+
+    def on_qp_destroy(self, host: str, qp_num: int) -> None:
+        self.record("rdma", "qp-destroy", host, qp_num=qp_num)
+        self.resources.on_qp_destroy(host, qp_num)
+
+    def on_cq_push(self, cq_name: str, depth: int, capacity: int) -> None:
+        self.resources.on_cq_push(cq_name, depth, capacity)
+
+    # -- RUBIN hooks -----------------------------------------------------
+
+    def on_buffer_acquire(
+        self, pool: str, available: int, capacity: int
+    ) -> None:
+        self.resources.on_buffer_acquire(pool, available, capacity)
+
+    def on_buffer_release(
+        self,
+        pool: str,
+        index: int,
+        was_free: bool,
+        available: int,
+        capacity: int,
+    ) -> None:
+        self.resources.on_buffer_release(
+            pool, index, was_free, available, capacity
+        )
+
+    def on_pool_exhausted(self, pool: str) -> None:
+        self.record("rubin", "pool-exhausted", pool)
+
+    def on_select_pass(
+        self, host: str, ready: Tuple[Tuple[int, int], ...]
+    ) -> None:
+        self.resources.on_select_pass(host, ready)
+
+    def on_reconnect(self, supervisor: str, event: str, **fields: Any) -> None:
+        self.record("rubin", f"reconnect-{event}", supervisor, **fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"<AuditManager {self.name!r} violations={len(self.violations)} "
+            f"events={self.recorder.total}>"
+        )
+
+
+class NullAudit:
+    """The zero-overhead default: ``enabled`` is False, hooks are no-ops.
+
+    Instrumented hot paths never call a method on it (they check
+    ``enabled`` first); code that does anyway gets inert results.
+    """
+
+    enabled = False
+    expect_violations = False
+    violations: Tuple[()] = ()
+    postmortems: Tuple[()] = ()
+    last_progress = 0.0
+
+    def __getattr__(self, name: str):
+        if name.startswith("on_") or name in (
+            "record",
+            "violation",
+            "dump_postmortem",
+        ):
+            return self._noop
+        raise AttributeError(name)
+
+    @staticmethod
+    def _noop(*args: Any, **kwargs: Any) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "<NullAudit>"
+
+
+#: Module-level singleton — identity comparisons are safe.
+NULL_AUDIT = NullAudit()
+
+#: Managers installed since the last drain; the test suite's conformance
+#: fixture drains this after every test and asserts zero unexpected
+#: violations, turning every audited test into an invariant check.
+_ACTIVE: List[AuditManager] = []
+
+
+def get_audit(env: Any) -> Union[AuditManager, NullAudit]:
+    """The audit manager installed on ``env``, or :data:`NULL_AUDIT`."""
+    audit = getattr(env, "audit", None)
+    return audit if audit is not None else NULL_AUDIT
+
+
+def install_audit(env: Any, manager: AuditManager) -> AuditManager:
+    """Attach ``manager`` to ``env`` so :func:`get_audit` finds it."""
+    if getattr(manager, "env", None) is None:
+        manager.env = env
+    env.audit = manager
+    _ACTIVE.append(manager)
+    return manager
+
+
+def active_audits() -> List[AuditManager]:
+    """Managers installed since the last drain (undrained view)."""
+    return list(_ACTIVE)
+
+
+def drain_active_audits() -> List[AuditManager]:
+    """Return and forget the managers installed since the last drain."""
+    drained, _ACTIVE[:] = list(_ACTIVE), []
+    return drained
+
+
+def unexpected_violations(manager: AuditManager) -> List[Violation]:
+    """Violations that should fail a conformance run (none if the
+    manager was marked ``expect_violations``)."""
+    if manager.expect_violations:
+        return []
+    return list(manager.violations)

@@ -1,0 +1,332 @@
+"""Online invariant auditors for the BFT protocol and the RDMA stack.
+
+Both auditors are pure observers fed by hook calls from the audited
+subsystems (routed through :class:`~repro.audit.core.AuditManager`).
+They keep tiny cross-replica tables and report violations back to the
+manager, which records them and dumps a flight-recorder post-mortem.
+
+Invariant catalogue
+-------------------
+
+PBFT safety (:class:`BftSafetyAuditor`):
+
+* ``bft.pre-prepare-equivocation`` — two replicas accepted different
+  request digests for the same ``(view, seq)`` assignment;
+* ``bft.execution-divergence`` — two replicas executed different batch
+  digests at the same sequence number (the core safety property);
+* ``bft.commit-quorum`` — a commit certificate held fewer than
+  ``2f + 1`` distinct signers;
+* ``bft.view-regression`` — a replica's view number moved backwards
+  within one incarnation;
+* ``bft.checkpoint-divergence`` — two replicas stabilised the same
+  checkpoint sequence with different state digests (stability must
+  imply log-prefix agreement);
+* ``bft.consensus-stall`` — raised by the watchdog: requests
+  outstanding but no execution progress for longer than the configured
+  stall timeout.
+
+RDMA / RUBIN resources (:class:`ResourceAuditor`):
+
+* ``rdma.qp-state`` — a queue pair left the verbs state machine
+  (INIT→RTR→RTS→ERROR, with the simulator's collapsed RESET→RTS
+  connect accepted as the CM shortcut);
+* ``rdma.recv-wr-dropped`` — a QP was destroyed while posted receive
+  WRs had produced no completion (every posted WR must complete,
+  successfully or flushed);
+* ``rdma.recv-not-posted`` — a receive completion surfaced for a WR
+  the auditor never saw posted;
+* ``rdma.cq-overrun`` — a completion push would exceed CQ capacity;
+* ``rubin.pool-double-return`` — a pooled buffer was returned while
+  already free (checkout/return must balance);
+* ``rubin.pool-overflow`` — a pool's free list exceeded its capacity;
+* ``rubin.selector-starvation`` — a selection key stayed ready for
+  more consecutive select passes than the configured tick budget
+  without ever going unready (its events are never being consumed).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.core import AuditManager
+
+__all__ = ["BftSafetyAuditor", "ResourceAuditor"]
+
+
+class BftSafetyAuditor:
+    """Cross-replica safety checks over the PBFT hook stream."""
+
+    def __init__(self, manager: "AuditManager"):
+        self.manager = manager
+        self.f: Optional[int] = None
+        #: (view, seq) -> (digest, first reporter)
+        self._proposals: Dict[Tuple[int, int], Tuple[bytes, str]] = {}
+        #: seq -> (digest, first executor)
+        self._executions: Dict[int, Tuple[bytes, str]] = {}
+        #: seq -> (state digest, first stabiliser)
+        self._checkpoints: Dict[int, Tuple[bytes, str]] = {}
+        #: replica -> highest view adopted this incarnation
+        self._views: Dict[str, int] = {}
+
+    def configure(self, f: int) -> None:
+        """Learn the fault threshold (enables the quorum-size check)."""
+        self.f = f
+
+    # -- hooks ----------------------------------------------------------
+
+    def on_pre_prepare(
+        self, replica: str, view: int, seq: int, digest: bytes
+    ) -> None:
+        key = (view, seq)
+        known = self._proposals.get(key)
+        if known is None:
+            self._proposals[key] = (digest, replica)
+            self._prune(self._proposals, by_seq=lambda k: k[1])
+            return
+        if known[0] != digest:
+            self.manager.violation(
+                "bft.pre-prepare-equivocation",
+                layer="bft",
+                subject=replica,
+                view=view,
+                seq=seq,
+                digest=digest.hex()[:16],
+                conflicting_digest=known[0].hex()[:16],
+                first_reporter=known[1],
+            )
+
+    def on_commit_quorum(
+        self, replica: str, view: int, seq: int, signers: Iterable[str]
+    ) -> None:
+        distinct = set(signers)
+        if self.f is not None and len(distinct) < 2 * self.f + 1:
+            self.manager.violation(
+                "bft.commit-quorum",
+                layer="bft",
+                subject=replica,
+                view=view,
+                seq=seq,
+                signers=sorted(distinct),
+                required=2 * self.f + 1,
+            )
+
+    def on_execute(self, replica: str, seq: int, digest: bytes) -> None:
+        known = self._executions.get(seq)
+        if known is None:
+            self._executions[seq] = (digest, replica)
+            self._prune(self._executions, by_seq=lambda k: k)
+            return
+        if known[0] != digest:
+            self.manager.violation(
+                "bft.execution-divergence",
+                layer="bft",
+                subject=replica,
+                seq=seq,
+                digest=digest.hex()[:16],
+                conflicting_digest=known[0].hex()[:16],
+                first_executor=known[1],
+            )
+
+    def on_view_adopted(self, replica: str, view: int) -> None:
+        last = self._views.get(replica)
+        if last is not None and view < last:
+            self.manager.violation(
+                "bft.view-regression",
+                layer="bft",
+                subject=replica,
+                view=view,
+                previous_view=last,
+            )
+            return
+        self._views[replica] = view
+
+    def on_stable_checkpoint(
+        self, replica: str, seq: int, digest: bytes
+    ) -> None:
+        known = self._checkpoints.get(seq)
+        if known is None:
+            self._checkpoints[seq] = (digest, replica)
+            self._prune(self._checkpoints, by_seq=lambda k: k)
+            return
+        if known[0] != digest:
+            self.manager.violation(
+                "bft.checkpoint-divergence",
+                layer="bft",
+                subject=replica,
+                seq=seq,
+                digest=digest.hex()[:16],
+                conflicting_digest=known[0].hex()[:16],
+                first_stabiliser=known[1],
+            )
+
+    def on_replica_restart(self, replica: str) -> None:
+        # A fresh incarnation legitimately restarts at view 0 and works
+        # its way back up; monotonicity holds per incarnation only.
+        self._views.pop(replica, None)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _prune(self, table: Dict, by_seq) -> None:
+        """Keep the tables bounded: drop the oldest sequence numbers."""
+        limit = self.manager.config.max_tracked_seqs
+        while len(table) > limit:
+            oldest = min(table, key=by_seq)
+            del table[oldest]
+
+
+class ResourceAuditor:
+    """RDMA/RUBIN accounting checks over the resource hook stream."""
+
+    #: Legal queue-pair transitions.  INIT→RTR→RTS is the verbs ladder;
+    #: RESET→RTS is the simulator's collapsed CM connect; anything may
+    #: fall to ERROR.
+    LEGAL_QP_TRANSITIONS = {
+        ("RESET", "INIT"),
+        ("RESET", "RTS"),
+        ("INIT", "RTR"),
+        ("RTR", "RTS"),
+    }
+
+    def __init__(self, manager: "AuditManager"):
+        self.manager = manager
+        #: qp_num -> wr_ids posted but not yet completed
+        self._posted_recvs: Dict[int, Set[int]] = {}
+        #: (host, channel_id) -> (consecutive no-progress ready passes,
+        #: last observed progress marker)
+        self._ready_streaks: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        self.max_cq_depth = 0
+
+    # -- queue pairs ----------------------------------------------------
+
+    def on_qp_transition(
+        self, host: str, qp_num: int, old: str, new: str
+    ) -> None:
+        if new != "ERROR" and (old, new) not in self.LEGAL_QP_TRANSITIONS:
+            self.manager.violation(
+                "rdma.qp-state",
+                layer="rdma",
+                subject=host,
+                qp_num=qp_num,
+                transition=f"{old}->{new}",
+            )
+
+    def on_post_recv(self, qp_num: int, wr_id: int) -> None:
+        self._posted_recvs.setdefault(qp_num, set()).add(wr_id)
+
+    def on_recv_complete(self, qp_num: int, wr_id: int) -> None:
+        outstanding = self._posted_recvs.get(qp_num)
+        if outstanding is None or wr_id not in outstanding:
+            self.manager.violation(
+                "rdma.recv-not-posted",
+                layer="rdma",
+                subject=f"qp{qp_num}",
+                wr_id=wr_id,
+            )
+            return
+        outstanding.discard(wr_id)
+        if not outstanding:
+            del self._posted_recvs[qp_num]
+
+    def on_qp_destroy(self, host: str, qp_num: int) -> None:
+        dropped = self._posted_recvs.pop(qp_num, None)
+        if dropped:
+            self.manager.violation(
+                "rdma.recv-wr-dropped",
+                layer="rdma",
+                subject=host,
+                qp_num=qp_num,
+                dropped_wr_ids=sorted(dropped),
+            )
+
+    # -- completion queues ----------------------------------------------
+
+    def on_cq_push(self, cq_name: str, depth: int, capacity: int) -> None:
+        if depth > self.max_cq_depth:
+            self.max_cq_depth = depth
+        if depth > capacity:
+            self.manager.violation(
+                "rdma.cq-overrun",
+                layer="rdma",
+                subject=cq_name,
+                depth=depth,
+                capacity=capacity,
+            )
+
+    # -- buffer pools ----------------------------------------------------
+
+    def on_buffer_acquire(
+        self, pool: str, available: int, capacity: int
+    ) -> None:
+        if available < 0 or available > capacity:
+            self.manager.violation(
+                "rubin.pool-overflow",
+                layer="rubin",
+                subject=pool,
+                available=available,
+                capacity=capacity,
+            )
+
+    def on_buffer_release(
+        self,
+        pool: str,
+        index: int,
+        was_free: bool,
+        available: int,
+        capacity: int,
+    ) -> None:
+        if was_free:
+            self.manager.violation(
+                "rubin.pool-double-return",
+                layer="rubin",
+                subject=pool,
+                buffer_index=index,
+            )
+            return
+        if available + 1 > capacity:
+            self.manager.violation(
+                "rubin.pool-overflow",
+                layer="rubin",
+                subject=pool,
+                available=available + 1,
+                capacity=capacity,
+            )
+
+    # -- selector ---------------------------------------------------------
+
+    def on_select_pass(
+        self, host: str, ready: Tuple[Tuple[int, int], ...]
+    ) -> None:
+        """One completed select pass on ``host``.
+
+        ``ready`` carries ``(channel_id, progress_marker)`` per ready
+        key, where the marker is a per-channel counter of application
+        I/O calls (read/write/accept/finish_connect).  A key is only
+        *starving* if it stays ready across many passes while its
+        marker never moves — a busy channel that the application keeps
+        draining resets its streak on every serviced pass.
+        """
+        threshold = self.manager.config.starvation_ticks
+        ready_ids = {channel_id for channel_id, _marker in ready}
+        stale = [
+            key
+            for key in self._ready_streaks
+            if key[0] == host and key[1] not in ready_ids
+        ]
+        for key in stale:
+            del self._ready_streaks[key]
+        for channel_id, marker in ready:
+            key = (host, channel_id)
+            streak, last_marker = self._ready_streaks.get(key, (0, marker))
+            if marker != last_marker:
+                streak = 0  # the application serviced this key
+            streak += 1
+            self._ready_streaks[key] = (streak, marker)
+            if streak == threshold:
+                self.manager.violation(
+                    "rubin.selector-starvation",
+                    layer="rubin",
+                    subject=host,
+                    channel_id=channel_id,
+                    consecutive_ready_passes=streak,
+                )

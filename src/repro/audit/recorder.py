@@ -1,0 +1,221 @@
+"""The flight recorder: a bounded ring of structured events per layer.
+
+Every audited subsystem appends small structured events (simulated time,
+layer, event name, subject, key fields) to one :class:`FlightRecorder`.
+The ring is bounded, so an arbitrarily long run costs constant memory;
+when an auditor fires — or the consensus watchdog detects a stall — the
+recent history is dumped as a self-contained JSON *post-mortem* that can
+be read without the simulation, and replayed against the seed.
+
+The post-mortem document format is versioned
+(:data:`POSTMORTEM_SCHEMA`) and checkable with
+:func:`validate_postmortem`, so tests pin the schema and tooling can
+rely on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "AuditError",
+    "FlightEvent",
+    "FlightRecorder",
+    "POSTMORTEM_SCHEMA",
+    "postmortem_document",
+    "validate_postmortem",
+    "write_postmortem",
+]
+
+#: Version tag carried by every post-mortem dump.
+POSTMORTEM_SCHEMA = "repro.audit/postmortem/v1"
+
+
+class AuditError(ReproError):
+    """Misuse of the audit subsystem (bad configs, malformed dumps...)."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Render one event field JSON-ready (bytes become short hex)."""
+    if isinstance(value, bytes):
+        return value.hex()[:32]
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class FlightEvent:
+    """One recorded observation: who did what, where, and when."""
+
+    __slots__ = ("index", "time", "layer", "event", "subject", "fields")
+
+    def __init__(
+        self,
+        index: int,
+        time: float,
+        layer: str,
+        event: str,
+        subject: Optional[str],
+        fields: Dict[str, Any],
+    ):
+        self.index = index
+        self.time = time
+        self.layer = layer
+        self.event = event
+        self.subject = subject
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "time": self.time,
+            "layer": self.layer,
+            "event": self.event,
+            "subject": self.subject,
+            "fields": {k: _jsonable(v) for k, v in self.fields.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlightEvent #{self.index} t={self.time:.6f} "
+            f"{self.layer}.{self.event} {self.subject or ''}>"
+        )
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`FlightEvent`.
+
+    Purely observational and allocation-light: recording never touches
+    the simulation.  ``total`` counts every event ever recorded, so
+    ``dropped`` exposes how much history the ring has already shed.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise AuditError(f"ring capacity must be >= 1 ({capacity})")
+        self.capacity = capacity
+        self._ring: Deque[FlightEvent] = deque(maxlen=capacity)
+        self.total = 0
+
+    def record(
+        self,
+        time: float,
+        layer: str,
+        event: str,
+        subject: Optional[str] = None,
+        **fields: Any,
+    ) -> FlightEvent:
+        entry = FlightEvent(self.total, time, layer, event, subject, fields)
+        self.total += 1
+        self._ring.append(entry)
+        return entry
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring bound so far."""
+        return self.total - len(self._ring)
+
+    def events(self, layer: Optional[str] = None) -> List[FlightEvent]:
+        """Retained events, oldest first (optionally one layer)."""
+        if layer is None:
+            return list(self._ring)
+        return [e for e in self._ring if e.layer == layer]
+
+    def layer_counts(self) -> Dict[str, int]:
+        """Retained events per layer."""
+        counts: Dict[str, int] = {}
+        for entry in self._ring:
+            counts[entry.layer] = counts.get(entry.layer, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FlightRecorder {len(self._ring)}/{self.capacity} "
+            f"total={self.total}>"
+        )
+
+
+def postmortem_document(
+    recorder: FlightRecorder,
+    reason: str,
+    time: float,
+    audit_name: str,
+    violation: Optional[Dict[str, Any]] = None,
+    violations: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Build the self-contained JSON dump for one trigger."""
+    return {
+        "schema": POSTMORTEM_SCHEMA,
+        "audit": audit_name,
+        "reason": reason,
+        "time": time,
+        "violation": violation,
+        "violations": list(violations or []),
+        "events": [entry.to_dict() for entry in recorder.events()],
+        "events_dropped": recorder.dropped,
+        "layer_counts": recorder.layer_counts(),
+    }
+
+
+def validate_postmortem(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Check ``document`` against the v1 schema; returns it."""
+    if not isinstance(document, dict):
+        raise AuditError("post-mortem must be a JSON object")
+    if document.get("schema") != POSTMORTEM_SCHEMA:
+        raise AuditError(
+            f"unknown post-mortem schema {document.get('schema')!r}"
+        )
+    for field, kind in (
+        ("audit", str),
+        ("reason", str),
+        ("time", (int, float)),
+        ("violations", list),
+        ("events", list),
+        ("events_dropped", int),
+        ("layer_counts", dict),
+    ):
+        if not isinstance(document.get(field), kind):
+            raise AuditError(f"post-mortem field {field!r} missing or wrong type")
+    if document["violation"] is not None and not isinstance(
+        document["violation"], dict
+    ):
+        raise AuditError("post-mortem 'violation' must be null or an object")
+    for entry in document["events"]:
+        if not isinstance(entry, dict):
+            raise AuditError("post-mortem events must be objects")
+        for field, kind in (
+            ("index", int),
+            ("time", (int, float)),
+            ("layer", str),
+            ("event", str),
+            ("fields", dict),
+        ):
+            if not isinstance(entry.get(field), kind):
+                raise AuditError(
+                    f"post-mortem event field {field!r} missing or wrong type"
+                )
+    return document
+
+
+def write_postmortem(document: Dict[str, Any], path: str) -> str:
+    """Write one validated dump to ``path``; returns the path."""
+    validate_postmortem(document)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

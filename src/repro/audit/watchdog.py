@@ -1,0 +1,86 @@
+"""The consensus-progress watchdog.
+
+Safety violations are caught by the invariant auditors the moment they
+happen; a *liveness* failure looks like nothing happening at all.  The
+watchdog is a pure-observer simulation process that periodically asks
+the cluster how many client requests are outstanding and compares the
+current time against the audit manager's last recorded execution
+progress.  Requests outstanding with no progress for longer than
+``stall_timeout`` raises ``bft.consensus-stall`` (which dumps a flight
+recorder post-mortem like any other violation) once per stall episode —
+the alarm re-arms when execution resumes.
+
+The watchdog only reads state: it never wakes, delays or reorders any
+other process, so an audited run keeps the same schedule as an
+unaudited one for every non-watchdog event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.audit.core import AuditManager
+
+__all__ = ["ConsensusWatchdog"]
+
+
+class ConsensusWatchdog:
+    """Periodic stall detector over an outstanding-request probe."""
+
+    def __init__(
+        self,
+        manager: "AuditManager",
+        env: Any,
+        outstanding: Callable[[], int],
+        name: str = "audit.watchdog",
+    ):
+        self.manager = manager
+        self.env = env
+        self.outstanding = outstanding
+        self.name = name
+        self.running = False
+        self.stalls_detected = 0
+        self._alarmed = False
+
+    def start(self) -> None:
+        """Launch the watchdog process (idempotent)."""
+        if self.running:
+            return
+        self.running = True
+        self.env.process(self._loop(), name=self.name)
+
+    def stop(self) -> None:
+        """Stop at the next tick."""
+        self.running = False
+
+    def _loop(self):
+        config = self.manager.config
+        while self.running:
+            yield self.env.timeout(config.watchdog_interval)
+            if not self.running:
+                return
+            pending = self.outstanding()
+            if pending <= 0:
+                self._alarmed = False
+                continue
+            idle = self.env.now - self.manager.last_progress
+            if idle < config.stall_timeout:
+                self._alarmed = False  # progress resumed: re-arm
+                continue
+            if self._alarmed:
+                continue  # one alarm per stall episode
+            self._alarmed = True
+            self.stalls_detected += 1
+            self.manager.violation(
+                "bft.consensus-stall",
+                layer="bft",
+                subject="watchdog",
+                outstanding_requests=pending,
+                idle_seconds=idle,
+                stall_timeout=config.stall_timeout,
+            )
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"<ConsensusWatchdog {state} stalls={self.stalls_detected}>"

@@ -39,6 +39,16 @@ from repro.bench.figures import (
     fig4a_latency,
     fig4b_throughput,
 )
+from repro.bench.regression import (
+    DEFAULT_TOLERANCES,
+    CheckReport,
+    MetricCheck,
+    PointReport,
+    check_figure,
+    load_baseline,
+    rerun_point,
+    run_check,
+)
 from repro.bench.results import EchoResult, FigureTable, percent_higher, percent_lower
 from repro.bench.selector_echo import FIG4_BATCH, FIG4_WINDOW, reptor_echo
 
@@ -69,6 +79,14 @@ __all__ = [
     "write_baseline",
     "check_fig3_shape",
     "check_fig4_shape",
+    "DEFAULT_TOLERANCES",
+    "MetricCheck",
+    "PointReport",
+    "CheckReport",
+    "load_baseline",
+    "rerun_point",
+    "check_figure",
+    "run_check",
     "FIG3_PAYLOADS",
     "FIG4_PAYLOADS",
     "FIG3_TRANSPORTS",

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench --fig 3         # just Figure 3
     python -m repro.bench --messages 500  # heavier run
     python -m repro.bench --chart         # add ASCII charts
+    python -m repro.bench --check         # regression gate vs baselines
 """
 
 from __future__ import annotations
@@ -51,7 +52,37 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="also write BENCH_fig3.json / BENCH_fig4.json into DIR",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: re-run the committed baselines and fail "
+        "on any metric outside its tolerance band",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        metavar="DIR",
+        help="directory holding BENCH_fig*.json (for --check)",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="history JSONL appended by --check "
+        "(default: <baseline-dir>/BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.0,
+        metavar="SCALE",
+        help="scale every tolerance band by this factor (for --check)",
+    )
     args = parser.parse_args(argv)
+
+    if args.check:
+        return run_gate(args)
+
     if args.json_dir is not None:
         os.makedirs(args.json_dir, exist_ok=True)
     failures = 0
@@ -108,6 +139,44 @@ def main(argv=None) -> int:
             print(f"  Figure 4 shape checks: FAIL — {error}")
 
     return 1 if failures else 0
+
+
+def run_gate(args) -> int:
+    """Run the performance-regression gate and report per metric."""
+    from repro.bench.regression import run_check
+
+    figures = {"3": ("fig3",), "4": ("fig4",), "all": ("fig3", "fig4")}
+    history = args.history or os.path.join(
+        args.baseline_dir, "BENCH_history.jsonl"
+    )
+    try:
+        ok, reports = run_check(
+            args.baseline_dir,
+            figures=figures[args.fig],
+            history_path=history,
+            tolerance_scale=args.tolerance,
+        )
+    except ReproError as error:
+        print(f"regression gate error: {error}")
+        return 2
+    for report in reports:
+        print(f"== {report.figure} regression check ==")
+        for point in report.points:
+            for check in point.checks:
+                marker = "FAIL" if check.regressed else "ok"
+                print(
+                    f"  [{marker:>4}] {point.transport} "
+                    f"{point.payload_bytes}B {check.metric}: "
+                    f"baseline={check.baseline:.3f} "
+                    f"fresh={check.fresh:.3f} "
+                    f"(±{check.tolerance * 100:.0f}%)"
+                )
+        print(
+            f"  {report.figure}: "
+            + ("PASS" if report.ok else f"FAIL ({len(report.regressions)} regressions)")
+        )
+    print(f"history appended to {history}")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,247 @@
+"""The performance-regression gate (``python -m repro.bench --check``).
+
+Re-runs every point recorded in a committed ``BENCH_fig*.json`` baseline
+— same transport, payload and message count — and compares the fresh
+numbers against the stored ones under per-metric tolerance bands.  The
+simulation is deterministic, so an unchanged tree reproduces the
+baseline exactly; the bands only absorb intentional model changes small
+enough not to count as regressions.
+
+Latency percentiles regress *upward* (fresh may not exceed baseline by
+more than the band); throughput regresses *downward*.  Every check run
+appends one JSON line to ``BENCH_history.jsonl`` so the performance
+trajectory of the tree is queryable from CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.bench.baseline import echo_record
+from repro.bench.echo import run_echo
+from repro.bench.results import EchoResult
+from repro.bench.selector_echo import reptor_echo
+from repro.errors import ReproError
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "MetricCheck",
+    "PointReport",
+    "CheckReport",
+    "load_baseline",
+    "rerun_point",
+    "check_figure",
+    "run_check",
+    "append_history",
+]
+
+#: Relative tolerance per metric.  Positive direction = the metric
+#: regresses when it grows (latency); negative = when it shrinks
+#: (throughput).  Tail percentiles get wider bands: they move more under
+#: legitimate model adjustments.
+DEFAULT_TOLERANCES: Dict[str, Tuple[float, int]] = {
+    "latency_us.p50": (0.25, +1),
+    "latency_us.p95": (0.30, +1),
+    "latency_us.p99": (0.40, +1),
+    "throughput_rps": (0.25, -1),
+}
+
+#: ``reptor_echo`` takes the protocol name; baselines store the label
+#: the workload reports.
+_FIG4_TRANSPORTS = {"nio_tcp": "nio", "rubin": "rubin"}
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One metric of one point compared against its baseline."""
+
+    metric: str
+    baseline: float
+    fresh: float
+    tolerance: float
+    direction: int
+    regressed: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "fresh": self.fresh,
+            "tolerance": self.tolerance,
+            "regressed": self.regressed,
+        }
+
+
+@dataclass
+class PointReport:
+    """All metric checks for one (transport, payload) sweep point."""
+
+    transport: str
+    payload_bytes: int
+    checks: List[MetricCheck] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        return [c for c in self.checks if c.regressed]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "transport": self.transport,
+            "payload_bytes": self.payload_bytes,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+
+@dataclass
+class CheckReport:
+    """The gate's verdict for one figure baseline."""
+
+    figure: str
+    points: List[PointReport] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        return [c for p in self.points for c in p.regressions]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "figure": self.figure,
+            "ok": self.ok,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+
+def load_baseline(path: str) -> Dict[str, Any]:
+    """Read and structurally validate one ``BENCH_fig*.json``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    figure = document.get("figure")
+    points = document.get("points")
+    if not isinstance(figure, str) or not isinstance(points, list):
+        raise ReproError(f"{path}: not a baseline document")
+    for point in points:
+        for key in ("transport", "payload_bytes", "messages", "latency_us"):
+            if key not in point:
+                raise ReproError(f"{path}: point missing {key!r}")
+    return document
+
+
+def rerun_point(figure: str, point: Mapping[str, Any]) -> EchoResult:
+    """Repeat one baseline point with its recorded parameters."""
+    transport = point["transport"]
+    payload = int(point["payload_bytes"])
+    messages = int(point["messages"])
+    if figure == "fig3":
+        return run_echo(transport, payload, messages)
+    if figure == "fig4":
+        protocol = _FIG4_TRANSPORTS.get(transport)
+        if protocol is None:
+            raise ReproError(
+                f"unknown fig4 transport {transport!r} "
+                f"(have {sorted(_FIG4_TRANSPORTS)})"
+            )
+        return reptor_echo(protocol, payload, messages)
+    raise ReproError(f"unknown figure {figure!r} (have fig3, fig4)")
+
+
+def _metric(record: Mapping[str, Any], path: str) -> float:
+    node: Any = record
+    for part in path.split("."):
+        node = node[part]
+    return float(node)
+
+
+def check_figure(
+    document: Mapping[str, Any],
+    tolerances: Optional[Mapping[str, Tuple[float, int]]] = None,
+    tolerance_scale: float = 1.0,
+) -> CheckReport:
+    """Re-run every point of ``document`` and band-check each metric."""
+    if tolerance_scale <= 0:
+        raise ReproError("tolerance scale must be positive")
+    tolerances = tolerances if tolerances is not None else DEFAULT_TOLERANCES
+    figure = document["figure"]
+    report = CheckReport(figure=figure)
+    for point in document["points"]:
+        fresh = echo_record(rerun_point(figure, point))
+        point_report = PointReport(
+            transport=point["transport"],
+            payload_bytes=int(point["payload_bytes"]),
+        )
+        for metric, (tolerance, direction) in sorted(tolerances.items()):
+            baseline_value = _metric(point, metric)
+            fresh_value = _metric(fresh, metric)
+            band = abs(baseline_value) * tolerance * tolerance_scale
+            if direction > 0:
+                regressed = fresh_value > baseline_value + band
+            else:
+                regressed = fresh_value < baseline_value - band
+            point_report.checks.append(
+                MetricCheck(
+                    metric=metric,
+                    baseline=baseline_value,
+                    fresh=fresh_value,
+                    tolerance=tolerance * tolerance_scale,
+                    direction=direction,
+                    regressed=regressed,
+                )
+            )
+        report.points.append(point_report)
+    return report
+
+
+def append_history(
+    history_path: str, reports: List[CheckReport]
+) -> Dict[str, Any]:
+    """Append one JSON line describing this check run; returns the entry."""
+    entry = {
+        "checked_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "ok": all(r.ok for r in reports),
+        "figures": {
+            r.figure: {
+                "ok": r.ok,
+                "points": len(r.points),
+                "regressions": [c.to_dict() for c in r.regressions],
+            }
+            for r in reports
+        },
+    }
+    directory = os.path.dirname(history_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def run_check(
+    baseline_dir: str,
+    figures: Tuple[str, ...] = ("fig3", "fig4"),
+    history_path: Optional[str] = None,
+    tolerance_scale: float = 1.0,
+) -> Tuple[bool, List[CheckReport]]:
+    """Gate entry point: check every committed figure baseline.
+
+    Missing baseline files are an error — the gate exists to stop the
+    trajectory from silently going dark.
+    """
+    reports: List[CheckReport] = []
+    for figure in figures:
+        path = os.path.join(baseline_dir, f"BENCH_{figure}.json")
+        if not os.path.exists(path):
+            raise ReproError(f"baseline {path} not found")
+        document = load_baseline(path)
+        reports.append(
+            check_figure(document, tolerance_scale=tolerance_scale)
+        )
+    if history_path is not None:
+        append_history(history_path, reports)
+    return all(r.ok for r in reports), reports

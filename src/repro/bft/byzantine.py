@@ -51,6 +51,8 @@ class EquivocatingLeader(Replica):
     backups for the same sequence number — the classic safety attack that
     the prepare quorum intersection defeats."""
 
+    BYZANTINE = True
+
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.equivocate = False
@@ -94,6 +96,8 @@ class CorruptingReplica(Replica):
     """Byzantine backup that lies in its votes: its prepare/commit digests
     are corrupted, so honest replicas must never count them toward
     quorums."""
+
+    BYZANTINE = True
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)

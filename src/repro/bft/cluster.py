@@ -8,8 +8,15 @@ needs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Type, Union
 
+from repro.audit import (
+    NULL_AUDIT,
+    AuditConfig,
+    AuditManager,
+    ConsensusWatchdog,
+    install_audit,
+)
 from repro.bft.client import BftClient
 from repro.bft.config import BftConfig
 from repro.bft.replica import Replica
@@ -46,12 +53,32 @@ class BftCluster:
         propagation_delay: float = 1.5e-6,
         faulty_fabric: bool = False,
         tracer: Optional[Tracer] = None,
+        audit: Union[bool, AuditConfig, AuditManager, None] = True,
     ):
         self.env = Environment()
         if tracer is not None:
             # Installed before any stack is built so every layer's
             # get_tracer() observes it from the first event on.
             install_tracer(self.env, tracer)
+        # The audit manager likewise goes in before any stack exists so
+        # the very first QP transition is already observed.  Pass False
+        # to run the cluster entirely unaudited (NULL_AUDIT: hook sites
+        # cost one attribute read and do nothing).
+        self.watchdog: Optional[ConsensusWatchdog] = None
+        if audit is False or audit is None:
+            self.audit: Union[AuditManager, type(NULL_AUDIT)] = NULL_AUDIT
+        else:
+            if isinstance(audit, AuditManager):
+                manager = audit
+            elif isinstance(audit, AuditConfig):
+                manager = AuditManager(config=audit)
+            else:
+                manager = AuditManager()
+            install_audit(self.env, manager)
+            self.audit = manager
+            self.watchdog = ConsensusWatchdog(
+                manager, self.env, self._outstanding_requests
+            )
         if faulty_fabric:
             from repro.net.faults import FaultyFabric
 
@@ -80,6 +107,15 @@ class BftCluster:
             RdmaDevice(host)
 
         replica_classes = replica_classes or {}
+        if self.audit.enabled:
+            self.audit.bft.configure(self.config.f)
+            if any(
+                getattr(cls, "BYZANTINE", False)
+                for cls in replica_classes.values()
+            ):
+                # Deliberately faulty members are *supposed* to trip the
+                # auditors; the conformance fixture must not fail the test.
+                self.audit.expect_violations = True
         self.replicas: Dict[str, Replica] = {}
         self.apps: Dict[str, StateMachine] = {}
         self._crashed: set = set()
@@ -150,6 +186,17 @@ class BftCluster:
             if self.env.peek() > limit:
                 raise BftError("cluster wiring did not finish in time")
             self.env.step()
+        if self.watchdog is not None:
+            self.watchdog.start()
+
+    def _outstanding_requests(self) -> int:
+        """Requests with armed deadlines on live replicas (watchdog input)."""
+        total = 0
+        for replica_id, replica in self.replicas.items():
+            if replica_id in self._crashed or not replica.running:
+                continue
+            total += len(replica._request_deadlines)
+        return total
 
     # -- crash / restart -------------------------------------------------------
 
@@ -175,6 +222,8 @@ class BftCluster:
             controller.crash()
         replica.stop()
         self._crashed.add(replica_id)
+        if self.audit.enabled:
+            self.audit.on_replica_crash(replica_id)
 
     def restart_replica(
         self, replica_id: str, recover: bool = True
@@ -213,6 +262,9 @@ class BftCluster:
             recover=recover,
         )
         self.replicas[replica_id] = replica
+        if self.audit.enabled:
+            # Resets the per-incarnation view-monotonicity tracking.
+            self.audit.on_replica_restart(replica_id)
 
         def redial(peer: str):
             # Retry: right after a restart links may still be healing.
@@ -269,6 +321,23 @@ class BftCluster:
         ``host.<name>.cpu`` and ``link.<name>.*``.
         """
         registry = MetricsRegistry(name="cluster")
+        if self.audit.enabled:
+            registry.register_many(
+                "audit",
+                {
+                    "violations": lambda a=self.audit: len(a.violations),
+                    "events_recorded": lambda a=self.audit: a.recorder.total,
+                    "events_dropped": lambda a=self.audit: a.recorder.dropped,
+                    "max_cq_depth": (
+                        lambda a=self.audit: a.resources.max_cq_depth
+                    ),
+                    "stalls_detected": (
+                        lambda w=self.watchdog: (
+                            w.stalls_detected if w is not None else 0
+                        )
+                    ),
+                },
+            )
         for replica_id in self.replica_ids:
             replica = self.replicas[replica_id]
             registry.register_many(
@@ -316,6 +385,7 @@ class BftCluster:
                         "frames_dropped": link.frames_dropped,
                         "bytes_sent": link.bytes_sent,
                     },
+                    if_exists="suffix",
                 )
         return registry
 

@@ -43,6 +43,7 @@ from repro.bft.statemachine import StateMachine
 from repro.crypto import digest as sha256
 from repro.errors import BftError
 from repro.reptor import ReptorConnection, ReptorEndpoint
+from repro.audit import get_audit
 from repro.sim import Store
 from repro.sim.monitor import Counter, TimeSeries
 from repro.trace import get_tracer
@@ -63,6 +64,11 @@ def batch_digest(batch: Tuple[Request, ...]) -> bytes:
 
 class Replica:
     """One PBFT replica bound to a Reptor endpoint."""
+
+    #: Subclasses that deliberately violate the protocol set this; the
+    #: cluster marks its audit manager ``expect_violations`` when any
+    #: member replica is Byzantine.
+    BYZANTINE = False
 
     def __init__(
         self,
@@ -536,6 +542,12 @@ class Replica:
         )
         slot = self.log.slot(seq)
         slot.record_pre_prepare(pre_prepare)
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_pre_prepare(
+                self.replica_id, self.view, seq, pre_prepare.digest,
+                self.replica_id,
+            )
         self._request_batches[seq] = batch
         ctx = self._batch_trace_ctx(batch)
         if ctx is not None:
@@ -565,6 +577,15 @@ class Replica:
             raise BftError("pre-prepare digest does not match batch")
         slot = self.log.slot(message.seq)
         slot.record_pre_prepare(message)  # raises on conflict
+        audit = get_audit(self.env)
+        if audit.enabled:
+            # Report the digest *this* replica accepted: equivocation
+            # surfaces when two correct replicas report different
+            # digests for the same (view, seq) assignment.
+            audit.on_pre_prepare(
+                self.replica_id, message.view, message.seq, message.digest,
+                sender,
+            )
         self._request_batches[message.seq] = message.batch
         for request in message.batch:
             key = request.key()
@@ -636,6 +657,20 @@ class Replica:
         commits = slot.matching_commits(self.view, slot.pre_prepare.digest)
         if commits >= self.log.committed_quorum():
             slot.committed = True
+            audit = get_audit(self.env)
+            if audit.enabled:
+                digest = slot.pre_prepare.digest
+                audit.on_commit_quorum(
+                    self.replica_id,
+                    self.view,
+                    seq,
+                    digest,
+                    [
+                        c.replica_id
+                        for c in slot.commits.values()
+                        if c.view == self.view and c.digest == digest
+                    ],
+                )
             self.committed_count += 1
             self._end_phase(seq, "commit")
             self._execute_ready()
@@ -650,6 +685,11 @@ class Replica:
             if slot is None or not slot.committed or slot.executed:
                 break
             batch = self._request_batches.get(next_seq, slot.pre_prepare.batch)
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.on_execute(
+                    self.replica_id, next_seq, batch_digest(batch)
+                )
             self.env.process(
                 self._execute_batch(slot, batch),
                 name=f"{self.replica_id}.exec{next_seq}",
@@ -714,7 +754,13 @@ class Replica:
         checkpoint = Checkpoint(
             seq=seq, state_digest=state_digest, replica_id=self.replica_id
         )
-        self.log.record_checkpoint_vote(seq, state_digest, self.replica_id)
+        stable = self.log.record_checkpoint_vote(
+            seq, state_digest, self.replica_id
+        )
+        if stable:
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.on_stable_checkpoint(self.replica_id, seq, state_digest)
         self._broadcast(checkpoint)
 
     def _reply_to_client(self, reply: Reply, trace_ctx=None) -> None:
@@ -725,9 +771,15 @@ class Replica:
     def _on_checkpoint(self, message: Checkpoint, sender: str) -> None:
         if message.replica_id != sender:
             return
-        self.log.record_checkpoint_vote(
+        stable = self.log.record_checkpoint_vote(
             message.seq, message.state_digest, sender
         )
+        if stable:
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.on_stable_checkpoint(
+                    self.replica_id, message.seq, message.state_digest
+                )
         # A checkpoint that became stable past our execution point means
         # the group truncated slots we never executed — they are gone
         # from every log and can never be replayed.  Fetch the checkpoint
@@ -749,6 +801,11 @@ class Replica:
             return
         self._st_active = True
         self._st_started = self.env.now
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_state_transfer(
+                self.replica_id, "started", low_seq=self.executed_seq
+            )
         self._st_replies = {}
         self.env.process(
             self._state_transfer_loop(), name=f"{self.replica_id}.statex"
@@ -841,6 +898,13 @@ class Replica:
         self._st_replies = {}
         self.state_transfers_completed += 1
         self.rejoin_latency.record(self.env.now - self._st_started)
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_state_transfer(
+                self.replica_id, "completed",
+                checkpoint_seq=seq,
+                executed_seq=self.executed_seq,
+            )
         self._execute_ready()
         if self.is_leader:
             self._kick_batcher()
@@ -868,6 +932,11 @@ class Replica:
             restore(backup)
             return False
         self.log.install_stable(seq)
+        audit = get_audit(self.env)
+        if audit.enabled:
+            # An installed checkpoint joins the stability table too: it
+            # must agree with what the voting replicas stabilised.
+            audit.on_stable_checkpoint(self.replica_id, seq, state_digest)
         self.executed_seq = seq
         self.next_seq = max(self.next_seq, seq + 1)
         # The verified snapshot becomes servable: this replica can now
@@ -907,6 +976,9 @@ class Replica:
     def _apply_transferred_batch(
         self, seq: int, batch: Tuple[Request, ...]
     ) -> None:
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_execute(self.replica_id, seq, batch_digest(batch))
         for request in batch:
             result = self.app.apply(request.operation)
             key = request.key()
@@ -946,6 +1018,9 @@ class Replica:
             self.view = candidate
             self._voted_view = max(self._voted_view, candidate)
             self.in_view_change = False
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.on_view_adopted(self.replica_id, candidate)
 
     # -- view changes ----------------------------------------------------------
 
@@ -966,6 +1041,9 @@ class Replica:
         self._voted_view = new_view
         self._vc_backoff = min(self._vc_backoff + 1, 5)
         self.in_view_change = True
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_view_change_started(self.replica_id, new_view)
         vote = ViewChange(
             new_view=new_view,
             stable_seq=self.log.stable_seq,
@@ -1060,6 +1138,9 @@ class Replica:
         self.in_view_change = False
         self._voted_view = max(self._voted_view, self.view)
         self.view_changes_completed += 1
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_view_adopted(self.replica_id, message.new_view)
         self._view_change_votes = {
             v: votes
             for v, votes in self._view_change_votes.items()

@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Deque, List, Optional
 
+from repro.audit import get_audit
 from repro.errors import RdmaError
 from repro.rdma.verbs import Opcode, WcStatus
 from repro.sim import Store
@@ -99,6 +100,15 @@ class CompletionQueue:
 
     def push(self, wc: WorkCompletion) -> None:
         """RNIC-side: append a completion (overrun is a hard error)."""
+        audit = get_audit(self.env)
+        if audit.enabled:
+            # Depth *after* this push: > capacity flags the overrun the
+            # exception below turns into a hard error.
+            audit.on_cq_push(self.name, len(self._entries) + 1, self.capacity)
+            if wc.opcode is Opcode.RECV:
+                # Uniform accounting for every receive-WR outcome:
+                # success, length error, or flush.
+                audit.on_recv_complete(wc.qp_num, wc.wr_id)
         if len(self._entries) >= self.capacity:
             # A real CQ overrun corrupts the CQ and errors attached QPs;
             # we fail loudly so tests catch undersized completion queues.

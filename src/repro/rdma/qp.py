@@ -24,6 +24,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Dict, List, Optional
 
+from repro.audit import get_audit
 from repro.errors import RdmaError
 from repro.net.frame import Frame
 from repro.rdma.cq import CompletionQueue, WorkCompletion
@@ -146,6 +147,15 @@ class QueuePair:
     # state transitions
     # ------------------------------------------------------------------
 
+    def _set_state(self, new: QpState) -> None:
+        """Transition the verbs state machine (audited)."""
+        old, self.state = self.state, new
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_qp_transition(
+                self.device.host.name, self.qp_num, old.value, new.value
+            )
+
     def connect(self, remote_host: str, remote_qp_num: int) -> None:
         """Transition RESET -> RTS toward a peer QP.
 
@@ -158,7 +168,9 @@ class QueuePair:
             raise RdmaError(f"{self}: loopback QPs are not supported")
         self.remote_host = remote_host
         self.remote_qp = remote_qp_num
-        self.state = QpState.RTS
+        # The CM handshake drives INIT/RTR internally; the simulator
+        # collapses RESET->INIT->RTR->RTS into one audited transition.
+        self._set_state(QpState.RTS)
         self.env.process(self._sq_loop(), name=f"qp{self.qp_num}.sq")
         self.env.process(self._retry_loop(), name=f"qp{self.qp_num}.retry")
 
@@ -178,14 +190,19 @@ class QueuePair:
         """
         self._error_watchers.clear()
         if self.state is not QpState.ERROR:
-            self.state = QpState.ERROR
+            self._set_state(QpState.ERROR)
             self._flush_queues()
+        audit = get_audit(self.env)
+        if audit.enabled:
+            # Every posted receive WR must have completed (successfully
+            # or flushed) by now; survivors were silently dropped.
+            audit.on_qp_destroy(self.device.host.name, self.qp_num)
         self.device._unregister_qp(self)
 
     def _enter_error(self) -> None:
         if self.state is QpState.ERROR:
             return
-        self.state = QpState.ERROR
+        self._set_state(QpState.ERROR)
         self._flush_queues()
         for watcher in list(self._error_watchers):
             watcher(self)
@@ -198,6 +215,20 @@ class QueuePair:
             span = self._cur_recv.pop("span", None)
             if span is not None:
                 span.end(aborted=True)
+            # The WR was consumed from the receive queue but its flush
+            # produces no CQE (the partial message is simply dropped);
+            # settle the audit accounting without touching the CQ so an
+            # audited run schedules identically to an unaudited one.
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.record(
+                    "rdma", "recv-aborted-midstream",
+                    self.device.host.name,
+                    qp_num=self.qp_num,
+                    wr_id=self._cur_recv["wr"].wr_id,
+                )
+                audit.on_recv_complete(self.qp_num, self._cur_recv["wr"].wr_id)
+            self._cur_recv = None
         while self._pending:
             entry = self._pending.popleft()
             status = (
@@ -286,11 +317,14 @@ class QueuePair:
                 f"{self}: receive queue full ({len(self._recv_queue)}"
                 f"/{self.caps.max_recv_wr})"
             )
+        audit = get_audit(self.env)
         for wr in wrs:
             if wr.sge.mr.pd is not self.pd:
                 raise RdmaError(f"{self}: recv SGE memory region is in a foreign PD")
             wr.sge.mr.check_local_write(wr.sge.offset, wr.sge.length)
             self._recv_queue.append(wr)
+            if audit.enabled:
+                audit.on_post_recv(self.qp_num, wr.wr_id)
 
     # ------------------------------------------------------------------
     # send-queue pipeline

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
+from repro.audit import get_audit
 from repro.errors import RubinError
 from repro.rdma.mr import MemoryRegion, ProtectionDomain
 from repro.rdma.verbs import Access
@@ -88,10 +89,15 @@ class BufferPool:
 
     def acquire(self) -> PooledBuffer:
         """Take a free buffer; raises :class:`RubinError` when exhausted."""
+        audit = get_audit(self.device.env)
         if not self._free:
+            if audit.enabled:
+                audit.on_pool_exhausted(self.name)
             raise RubinError(f"{self.name}: buffer pool exhausted")
         pooled = self._free.pop()
         pooled.in_use = True
+        if audit.enabled:
+            audit.on_buffer_acquire(self.name, len(self._free), self.capacity)
         return pooled
 
     def try_acquire(self) -> PooledBuffer | None:
@@ -104,6 +110,18 @@ class BufferPool:
         """Return a buffer to the pool."""
         if pooled.pool is not self:
             raise RubinError(f"{self.name}: buffer belongs to another pool")
+        audit = get_audit(self.device.env)
+        if audit.enabled:
+            # Report before the idempotence guard below swallows the
+            # double return — that guard is exactly what the auditor's
+            # checkout/return balance check exists to surface.
+            audit.on_buffer_release(
+                self.name,
+                pooled.index,
+                not pooled.in_use,
+                len(self._free),
+                self.capacity,
+            )
         if not pooled.in_use:
             return
         pooled.in_use = False

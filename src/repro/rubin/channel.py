@@ -117,6 +117,10 @@ class RubinChannel:
         #: Trace context of the most recently read inbound message (set by
         #: ``read()`` so the caller can continue the causal chain).
         self.last_read_trace_ctx = None
+        #: Counts application I/O calls (read/write/finish_connect); the
+        #: selector-starvation auditor treats a ready key whose marker
+        #: never moves as unserviced.
+        self.progress_marker = 0
         self._send_watchers: List[Callable[[int], None]] = []
 
         # Connection state.
@@ -259,6 +263,7 @@ class RubinChannel:
 
     def finish_connect(self) -> bool:
         """Consume the OP_ACCEPT readiness; True once established."""
+        self.progress_marker += 1
         if self.errored:
             raise RubinError(f"{self}: connection failed")
         if self.established:
@@ -438,6 +443,7 @@ class RubinChannel:
         buffer, the very copy the paper blames for large-message
         degradation.
         """
+        self.progress_marker += 1
         return self.env.process(self._read_proc(buffer), name="rubin.read")
 
     def _read_proc(self, buffer: ByteBuffer):
@@ -501,6 +507,7 @@ class RubinChannel:
         ``trace_ctx`` optionally attributes the post path to a trace and
         rides on the work request through the transport.
         """
+        self.progress_marker += 1
         return self.env.process(
             self._write_proc(buffer, trace_ctx), name="rubin.write"
         )
@@ -660,6 +667,7 @@ class RubinServerChannel:
         self.listener = cm.listen(port)
         self._pending: Deque[ConnectRequest] = deque()
         self._watchers: List[Callable[[], None]] = []
+        self.progress_marker = 0
         self.closed = False
         cm.add_event_watcher(self._on_cm_event)
 
@@ -686,6 +694,7 @@ class RubinServerChannel:
         """
         if self.closed:
             raise RubinError(f"{self}: server channel is closed")
+        self.progress_marker += 1
         if not self._pending:
             return None
         request = self._pending.popleft()

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
+from repro.audit import get_audit
 from repro.errors import RubinError
 from repro.rdma.cm import ConnectionManager
 from repro.rubin.channel import RubinChannel, RubinServerChannel
@@ -202,6 +203,15 @@ class RubinSelector:
             key.ready_ops = ops
             if ops:
                 ready.append(key)
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_select_pass(
+                self.host.name,
+                tuple(
+                    (key.channel.channel_id, key.channel.progress_marker)
+                    for key in ready
+                ),
+            )
         return ready
 
     @staticmethod

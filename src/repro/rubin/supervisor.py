@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
+from repro.audit import get_audit
 from repro.errors import RubinError
 from repro.rubin.channel import RubinChannel
 from repro.sim.monitor import Counter, TimeSeries
@@ -149,6 +150,11 @@ class ChannelSupervisor:
                 if self._stopped:
                     return
                 self.reconnect_attempts.increment()
+                audit = get_audit(self.env)
+                if audit.enabled:
+                    audit.on_reconnect(
+                        self.name, "attempt", channel_id=cid, attempt=attempt
+                    )
                 conn_id = channel.reconnect()
                 deadline = self.env.now + self.policy.connect_timeout
                 while True:
@@ -171,6 +177,14 @@ class ChannelSupervisor:
                     channel.reconnects += 1
                     self.reconnects.increment()
                     self.recovery_latency.record(self.env.now - started)
+                    if audit.enabled:
+                        audit.on_reconnect(
+                            self.name,
+                            "success",
+                            channel_id=cid,
+                            attempts=attempt + 1,
+                            latency=self.env.now - started,
+                        )
                     if self.selector is not None:
                         self.selector.wakeup()
                     for callback in list(self.on_recovered):
@@ -181,6 +195,14 @@ class ChannelSupervisor:
                     channel.cm.abort_connect(conn_id)
             self._abandoned.add(cid)
             self.abandons.increment()
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.on_reconnect(
+                    self.name,
+                    "abandoned",
+                    channel_id=cid,
+                    attempts=self.policy.max_attempts,
+                )
             for callback in list(self.on_abandoned):
                 callback(channel)
         finally:

@@ -28,7 +28,13 @@ from repro.sim.events import (
     Interrupt,
     Timeout,
 )
-from repro.sim.monitor import Counter, SummaryStats, TimeSeries, UtilizationTracker
+from repro.sim.monitor import (
+    Counter,
+    Gauge,
+    SummaryStats,
+    TimeSeries,
+    UtilizationTracker,
+)
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.resources import Resource, ResourceRequest, Store, StoreGet, StorePut
 
@@ -50,6 +56,7 @@ __all__ = [
     "Resource",
     "ResourceRequest",
     "Counter",
+    "Gauge",
     "TimeSeries",
     "UtilizationTracker",
     "SummaryStats",

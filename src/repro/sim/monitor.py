@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.core import Environment
 
-__all__ = ["Counter", "TimeSeries", "UtilizationTracker", "SummaryStats"]
+__all__ = ["Counter", "Gauge", "TimeSeries", "UtilizationTracker", "SummaryStats"]
 
 
 class SummaryStats:
@@ -109,6 +109,31 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A named value that moves both ways, remembering its extremes."""
+
+    __slots__ = ("name", "value", "minimum", "maximum")
+
+    def __init__(self, name: str, value: float = 0.0):
+        self.name = name
+        self.value = value
+        self.minimum = value
+        self.maximum = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def adjust(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
 
 
 class TimeSeries:

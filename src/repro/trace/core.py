@@ -24,6 +24,7 @@ needs no clock synchronisation at all.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
@@ -149,7 +150,9 @@ class Tracer:
     #: Hot paths check this before building span arguments.
     enabled = True
 
-    def __init__(self, env: Any = None, name: str = "trace"):
+    def __init__(
+        self, env: Any = None, name: str = "trace", max_bindings: int = 4096
+    ):
         #: Clock source; ``None`` until :func:`install_tracer` binds one
         #: (lets callers hand a fresh tracer to e.g. ``BftCluster`` which
         #: builds its own environment).
@@ -159,7 +162,16 @@ class Tracer:
         #: Number of times ``Span.end`` was called on an already-closed
         #: span.  Instrumentation bugs show up here; tests pin it to 0.
         self.double_ends = 0
-        self._bindings: Dict[Hashable, SpanContext] = {}
+        if max_bindings < 1:
+            raise TraceError(f"{name}: max_bindings must be >= 1")
+        #: Correlation-table capacity; least-recently-used entries are
+        #: evicted beyond it so keys that never see ``unbind`` (dropped
+        #: requests, dead clients) cannot grow the table without bound.
+        self.max_bindings = max_bindings
+        #: Entries evicted by the LRU cap (lost correlations show up
+        #: here instead of as unbounded memory).
+        self.bindings_evicted = 0
+        self._bindings: "OrderedDict[Hashable, SpanContext]" = OrderedDict()
         self._next_trace_id = 1
         self._next_span_id = 1
 
@@ -240,12 +252,24 @@ class Tracer:
     # -- correlation table -----------------------------------------------
 
     def bind(self, key: Hashable, context: SpanContext) -> None:
-        """Associate ``key`` (e.g. a request identity) with a context."""
+        """Associate ``key`` (e.g. a request identity) with a context.
+
+        The table is an LRU bounded by :attr:`max_bindings`: binding or
+        looking a key up marks it recently used; the oldest key is
+        evicted when the table is full.
+        """
         self._bindings[key] = context
+        self._bindings.move_to_end(key)
+        while len(self._bindings) > self.max_bindings:
+            self._bindings.popitem(last=False)
+            self.bindings_evicted += 1
 
     def lookup(self, key: Hashable) -> Optional[SpanContext]:
         """Context previously bound to ``key``, or ``None``."""
-        return self._bindings.get(key)
+        context = self._bindings.get(key)
+        if context is not None:
+            self._bindings.move_to_end(key)
+        return context
 
     def unbind(self, key: Hashable) -> None:
         self._bindings.pop(key, None)

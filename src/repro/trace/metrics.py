@@ -23,11 +23,13 @@ import json
 from typing import Any, Callable, Dict, Mapping, Union
 
 from repro.errors import ReproError
-from repro.sim.monitor import Counter, TimeSeries, UtilizationTracker
+from repro.sim.monitor import Counter, Gauge, TimeSeries, UtilizationTracker
 
 __all__ = ["MetricsRegistry"]
 
-Probe = Union[Counter, TimeSeries, UtilizationTracker, Callable[[], Any]]
+Probe = Union[
+    Counter, Gauge, TimeSeries, UtilizationTracker, Callable[[], Any]
+]
 
 
 class MetricsRegistry:
@@ -39,14 +41,34 @@ class MetricsRegistry:
 
     # -- registration ----------------------------------------------------
 
-    def register(self, name: str, probe: Probe) -> Probe:
-        """Register ``probe`` under dotted ``name``; returns the probe."""
+    def register(
+        self, name: str, probe: Probe, if_exists: str = "error"
+    ) -> Probe:
+        """Register ``probe`` under dotted ``name``; returns the probe.
+
+        ``if_exists`` picks the duplicate-name policy:
+
+        * ``"error"`` (default) — raise :class:`ReproError`;
+        * ``"suffix"`` — register under ``name#2``, ``name#3``, ... —
+          what a restarted component should use, so its fresh probes
+          never silently shadow (or collide with) the dead
+          incarnation's;
+        * ``"replace"`` — overwrite the existing probe.
+        """
         if not name:
             raise ReproError("metric name must be non-empty")
+        if if_exists not in ("error", "suffix", "replace"):
+            raise ReproError(f"unknown if_exists policy {if_exists!r}")
         if name in self._probes:
-            raise ReproError(f"metric {name!r} already registered")
+            if if_exists == "error":
+                raise ReproError(f"metric {name!r} already registered")
+            if if_exists == "suffix":
+                generation = 2
+                while f"{name}#{generation}" in self._probes:
+                    generation += 1
+                name = f"{name}#{generation}"
         if not isinstance(
-            probe, (Counter, TimeSeries, UtilizationTracker)
+            probe, (Counter, Gauge, TimeSeries, UtilizationTracker)
         ) and not callable(probe):
             raise ReproError(
                 f"metric {name!r}: unsupported probe {type(probe).__name__}"
@@ -55,11 +77,15 @@ class MetricsRegistry:
         return probe
 
     def register_many(
-        self, prefix: str, probes: Mapping[str, Probe]
+        self, prefix: str, probes: Mapping[str, Probe], if_exists: str = "error"
     ) -> None:
         """Register every ``{suffix: probe}`` under ``prefix.suffix``."""
         for suffix, probe in probes.items():
-            self.register(f"{prefix}.{suffix}" if prefix else suffix, probe)
+            self.register(
+                f"{prefix}.{suffix}" if prefix else suffix,
+                probe,
+                if_exists=if_exists,
+            )
 
     def __contains__(self, name: str) -> bool:
         return name in self._probes
@@ -76,6 +102,12 @@ class MetricsRegistry:
     def _snapshot_probe(probe: Probe) -> Any:
         if isinstance(probe, Counter):
             return probe.value
+        if isinstance(probe, Gauge):
+            return {
+                "value": probe.value,
+                "min": probe.minimum,
+                "max": probe.maximum,
+            }
         if isinstance(probe, TimeSeries):
             rendered = probe.stats().to_dict()
             rendered["rate"] = probe.rate()

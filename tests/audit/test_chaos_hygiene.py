@@ -1,0 +1,83 @@
+"""Auditor hygiene under chaos: crashes must not cause false positives.
+
+A host crash is the harshest input the auditors see — queue pairs die
+mid-receive, channels error, supervisors re-dial with backoff, and a
+restarted replica re-adopts low view numbers.  All of that is *legal*
+behaviour, so a crash/recover workload must end with zero violations
+while the flight recorder shows the recovery actually happened.
+"""
+
+from repro.bft import BftCluster, BftConfig
+from repro.rubin import RubinConfig
+
+FAST_RUBIN = RubinConfig(retry_timeout=1e-3, retry_count=3)
+
+
+def make_cluster():
+    cluster = BftCluster(
+        transport="rubin",
+        config=BftConfig(
+            view_change_timeout=80e-3,
+            batch_delay=0.0,
+            batch_size=1,
+            checkpoint_interval=4,
+            log_window=16,
+        ),
+        rubin_config=FAST_RUBIN,
+        faulty_fabric=True,
+    )
+    cluster.start()
+    return cluster
+
+
+def test_crash_recover_workload_is_violation_free():
+    cluster = make_cluster()
+    audit = cluster.audit
+    for i in range(6):
+        assert cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode()) == b"OK"
+
+    cluster.crash_replica("r2")
+    cluster.run_for(30e-3)
+    for i in range(6, 16):
+        assert cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode()) == b"OK"
+    cluster.restart_replica("r2")
+    cluster.run_for(400e-3)
+    cluster.invoke_and_wait(b"PUT after=rejoin")
+    cluster.run_for(100e-3)
+
+    # The group converged...
+    assert len(set(cluster.state_digests().values())) == 1
+    # ...and the auditors watched flushed QPs, reconnect storms, view
+    # catch-up and state transfer without a single false positive.
+    assert audit.violations == []
+    assert cluster.watchdog.stalls_detected == 0
+
+    # The recorder holds the whole recovery story: the crash marker, the
+    # supervisors' reconnect attempts and their eventual success.
+    events = {e.event for e in audit.recorder.events()}
+    assert "replica-crash" in events
+    assert "replica-restart" in events
+    assert "reconnect-attempt" in events
+    assert "reconnect-success" in events
+    assert any(
+        e.event == "state-transfer-completed"
+        for e in audit.recorder.events(layer="bft")
+    )
+
+
+def test_view_change_after_leader_crash_is_violation_free():
+    cluster = make_cluster()
+    audit = cluster.audit
+    for i in range(4):
+        assert cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode()) == b"OK"
+
+    cluster.crash_replica("r0")  # the view-0 leader
+    cluster.run_for(30e-3)
+    # Survivors must elect a new leader and keep committing.
+    for i in range(4, 8):
+        assert cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode()) == b"OK"
+
+    assert audit.violations == []
+    events = {e.event for e in audit.recorder.events(layer="bft")}
+    assert "view-change-started" in events
+    assert "view-adopted" in events

@@ -1,0 +1,175 @@
+"""Unit tests for the invariant auditors, driven by direct hook calls."""
+
+import pytest
+
+from repro.audit import AuditConfig, AuditManager
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_manager(**config):
+    manager = AuditManager(
+        env=FakeClock(),
+        config=AuditConfig(**config) if config else None,
+        expect_violations=True,  # unit tests trip auditors on purpose
+    )
+    return manager
+
+
+def rules(manager):
+    return [v.rule for v in manager.violations]
+
+
+class TestBftSafetyAuditor:
+    def test_matching_pre_prepares_are_clean(self):
+        m = make_manager()
+        m.on_pre_prepare("r0", 0, 1, b"d1", "r0")
+        m.on_pre_prepare("r1", 0, 1, b"d1", "r0")
+        assert m.violations == []
+
+    def test_equivocation_detected(self):
+        m = make_manager()
+        m.on_pre_prepare("r1", 0, 1, b"d1", "r0")
+        m.on_pre_prepare("r2", 0, 1, b"d2", "r0")
+        assert rules(m) == ["bft.pre-prepare-equivocation"]
+        # Same (view, seq) with a different digest is the attack; a new
+        # view reproposing is legitimate.
+        m2 = make_manager()
+        m2.on_pre_prepare("r1", 0, 1, b"d1", "r0")
+        m2.on_pre_prepare("r1", 1, 1, b"d2", "r1")
+        assert m2.violations == []
+
+    def test_execution_divergence_detected(self):
+        m = make_manager()
+        m.on_execute("r0", 5, b"same")
+        m.on_execute("r1", 5, b"same")
+        m.on_execute("r2", 5, b"diff")
+        assert rules(m) == ["bft.execution-divergence"]
+
+    def test_commit_quorum_size(self):
+        m = make_manager()
+        m.bft.configure(f=1)  # quorum = 3
+        m.on_commit_quorum("r0", 0, 1, b"d", ["r0", "r1", "r2"])
+        assert m.violations == []
+        # Distinct signers is what counts, not vote multiplicity.
+        m.on_commit_quorum("r0", 0, 2, b"d", ["r0", "r1", "r1"])
+        assert rules(m) == ["bft.commit-quorum"]
+
+    def test_view_monotonicity_per_incarnation(self):
+        m = make_manager()
+        m.on_view_adopted("r0", 1)
+        m.on_view_adopted("r0", 3)
+        assert m.violations == []
+        m.on_view_adopted("r0", 2)
+        assert rules(m) == ["bft.view-regression"]
+
+    def test_restart_resets_view_tracking(self):
+        m = make_manager()
+        m.on_view_adopted("r0", 4)
+        m.on_replica_restart("r0")
+        m.on_view_adopted("r0", 0)  # fresh incarnation restarts low
+        assert m.violations == []
+
+    def test_checkpoint_divergence_detected(self):
+        m = make_manager()
+        m.on_stable_checkpoint("r0", 10, b"s1")
+        m.on_stable_checkpoint("r1", 10, b"s1")
+        assert m.violations == []
+        m.on_stable_checkpoint("r2", 10, b"s2")
+        assert rules(m) == ["bft.checkpoint-divergence"]
+
+    def test_tables_stay_bounded(self):
+        m = make_manager(max_tracked_seqs=8)
+        for seq in range(100):
+            m.on_execute("r0", seq, b"d")
+            m.on_pre_prepare("r0", 0, seq, b"d", "r0")
+        assert len(m.bft._executions) <= 8
+        assert len(m.bft._proposals) <= 8
+        assert m.violations == []
+
+
+class TestResourceAuditor:
+    def test_legal_qp_ladder(self):
+        m = make_manager()
+        m.on_qp_transition("h0", 7, "RESET", "INIT")
+        m.on_qp_transition("h0", 7, "INIT", "RTR")
+        m.on_qp_transition("h0", 7, "RTR", "RTS")
+        m.on_qp_transition("h0", 7, "RTS", "ERROR")
+        m.on_qp_transition("h0", 8, "RESET", "RTS")  # collapsed CM connect
+        assert m.violations == []
+
+    def test_illegal_qp_transition(self):
+        m = make_manager()
+        m.on_qp_transition("h0", 7, "ERROR", "RTS")
+        assert rules(m) == ["rdma.qp-state"]
+
+    def test_recv_accounting_balances(self):
+        m = make_manager()
+        m.on_post_recv(7, 1)
+        m.on_post_recv(7, 2)
+        m.on_recv_complete(7, 1)
+        m.on_recv_complete(7, 2)
+        m.on_qp_destroy("h0", 7)
+        assert m.violations == []
+
+    def test_dropped_recv_wr_detected_on_destroy(self):
+        m = make_manager()
+        m.on_post_recv(7, 1)
+        m.on_post_recv(7, 2)
+        m.on_recv_complete(7, 1)
+        m.on_qp_destroy("h0", 7)
+        assert rules(m) == ["rdma.recv-wr-dropped"]
+        assert dict(m.violations[0].detail)["dropped_wr_ids"] == [2]
+
+    def test_unposted_recv_completion_detected(self):
+        m = make_manager()
+        m.on_recv_complete(7, 99)
+        assert rules(m) == ["rdma.recv-not-posted"]
+
+    def test_cq_overrun_detected_and_depth_tracked(self):
+        m = make_manager()
+        m.on_cq_push("cq1", 4, 4)
+        assert m.violations == []
+        m.on_cq_push("cq1", 5, 4)
+        assert rules(m) == ["rdma.cq-overrun"]
+        assert m.resources.max_cq_depth == 5
+
+    def test_pool_double_return_detected(self):
+        m = make_manager()
+        m.on_buffer_release("pool", 3, False, 1, 4)
+        assert m.violations == []
+        m.on_buffer_release("pool", 3, True, 2, 4)
+        assert rules(m) == ["rubin.pool-double-return"]
+
+    def test_pool_overflow_detected(self):
+        m = make_manager()
+        m.on_buffer_release("pool", 0, False, 4, 4)
+        assert rules(m) == ["rubin.pool-overflow"]
+
+
+class TestSelectorStarvation:
+    def test_starvation_fires_once_at_threshold(self):
+        m = make_manager(starvation_ticks=5)
+        for _ in range(20):
+            m.on_select_pass("h0", ((1, 0),))  # ready, marker frozen
+        assert rules(m) == ["rubin.selector-starvation"]
+
+    def test_progress_marker_resets_streak(self):
+        m = make_manager(starvation_ticks=5)
+        for marker in range(50):
+            # Ready on every pass, but the application serviced the
+            # channel each time (pipelined load) — never starving.
+            m.on_select_pass("h0", ((1, marker),))
+        assert m.violations == []
+
+    def test_going_unready_resets_streak(self):
+        m = make_manager(starvation_ticks=5)
+        for _ in range(4):
+            m.on_select_pass("h0", ((1, 0),))
+        m.on_select_pass("h0", ())  # key went unready
+        for _ in range(4):
+            m.on_select_pass("h0", ((1, 0),))
+        assert m.violations == []

@@ -1,0 +1,86 @@
+"""Flight recorder: bounded ring, post-mortem documents, schema checks."""
+
+import json
+
+import pytest
+
+from repro.audit import (
+    AuditError,
+    FlightEvent,
+    FlightRecorder,
+    POSTMORTEM_SCHEMA,
+    validate_postmortem,
+    write_postmortem,
+)
+from repro.audit.recorder import postmortem_document
+
+
+class TestFlightRecorder:
+    def test_records_in_order(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record(0.1, "bft", "execute", "r0", seq=1)
+        recorder.record(0.2, "rdma", "qp-transition", "r1")
+        events = recorder.events()
+        assert [e.event for e in events] == ["execute", "qp-transition"]
+        assert events[0].fields == {"seq": 1}
+        assert events[0].index == 0 and events[1].index == 1
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record(float(i), "bft", "execute", "r0", seq=i)
+        events = recorder.events()
+        assert len(events) == 4
+        assert [e.fields["seq"] for e in events] == [6, 7, 8, 9]
+        assert recorder.total == 10
+        assert recorder.dropped == 6
+
+    def test_layer_filter_and_counts(self):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record(0.0, "bft", "execute", "r0")
+        recorder.record(0.0, "rdma", "qp-transition", "r0")
+        recorder.record(0.0, "bft", "view-adopted", "r1")
+        assert len(recorder.events(layer="bft")) == 2
+        assert recorder.layer_counts() == {"bft": 2, "rdma": 1}
+
+    def test_event_to_dict_jsonable(self):
+        event = FlightEvent(0, 0.5, "bft", "execute", "r0", {"digest": b"\x01" * 40})
+        rendered = event.to_dict()
+        json.dumps(rendered)  # must not raise
+        assert rendered["fields"]["digest"] == ("01" * 16)
+
+
+class TestPostmortem:
+    def make_document(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record(1.0, "bft", "execute", "r0", seq=3)
+        return postmortem_document(
+            recorder, reason="test", time=2.0, audit_name="audit"
+        )
+
+    def test_document_shape_validates(self):
+        document = self.make_document()
+        assert document["schema"] == POSTMORTEM_SCHEMA
+        validate_postmortem(document)  # must not raise
+        json.dumps(document)
+
+    def test_validation_rejects_bad_documents(self):
+        document = self.make_document()
+        document["events"] = "nope"
+        with pytest.raises(AuditError):
+            validate_postmortem(document)
+
+    def test_validation_rejects_missing_field(self):
+        document = self.make_document()
+        del document["reason"]
+        with pytest.raises(AuditError):
+            validate_postmortem(document)
+
+    def test_write_postmortem_round_trips(self, tmp_path):
+        document = self.make_document()
+        path = str(tmp_path / "dumps" / "pm.json")
+        written = write_postmortem(document, path)
+        with open(written, "r", encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        assert loaded == json.loads(json.dumps(document))
+        validate_postmortem(loaded)

@@ -1,0 +1,54 @@
+"""Consensus watchdog: stall detection, re-arm, and pure observation."""
+
+from repro.audit import AuditConfig, AuditManager, ConsensusWatchdog, install_audit
+from repro.sim import Environment
+
+
+def make_watchdog(outstanding, stall_timeout=0.1, interval=0.01):
+    env = Environment()
+    manager = AuditManager(
+        config=AuditConfig(
+            stall_timeout=stall_timeout, watchdog_interval=interval
+        ),
+        expect_violations=True,
+    )
+    install_audit(env, manager)
+    watchdog = ConsensusWatchdog(manager, env, outstanding)
+    watchdog.start()
+    return env, manager, watchdog
+
+
+class TestConsensusWatchdog:
+    def test_no_alarm_when_nothing_outstanding(self):
+        env, manager, watchdog = make_watchdog(lambda: 0)
+        env.run(until=1.0)
+        assert watchdog.stalls_detected == 0
+        assert manager.violations == []
+
+    def test_stall_fires_once_per_episode(self):
+        env, manager, watchdog = make_watchdog(lambda: 3)
+        env.run(until=1.0)  # 10x the stall timeout with zero progress
+        assert watchdog.stalls_detected == 1
+        assert [v.rule for v in manager.violations] == ["bft.consensus-stall"]
+        detail = dict(manager.violations[0].detail)
+        assert detail["outstanding_requests"] == 3
+        assert manager.postmortems  # the stall dumped a post-mortem
+
+    def test_progress_rearms_the_alarm(self):
+        env, manager, watchdog = make_watchdog(lambda: 1)
+
+        def make_progress():
+            yield env.timeout(0.3)
+            manager.on_execute("r0", 1, b"d")  # resets last_progress
+
+        env.process(make_progress(), name="progress")
+        env.run(until=1.0)
+        # Episode one before the progress, episode two after it went
+        # stale again: the alarm re-armed in between.
+        assert watchdog.stalls_detected == 2
+
+    def test_stop_halts_the_loop(self):
+        env, manager, watchdog = make_watchdog(lambda: 1, stall_timeout=10.0)
+        watchdog.stop()
+        env.run(until=1.0)
+        assert watchdog.stalls_detected == 0

@@ -1,0 +1,24 @@
+"""Suite-wide audit conformance.
+
+Any test that installs an audit manager (every ``BftCluster`` with the
+default ``audit=True`` does) is also an invariant check: after the test
+body passes, the fixture below drains the managers it installed and
+fails the test if any reported a violation it did not declare via
+``expect_violations``.
+"""
+
+import pytest
+
+from repro.audit import drain_active_audits, unexpected_violations
+
+
+@pytest.fixture(autouse=True)
+def _audit_conformance():
+    drain_active_audits()  # isolate from any leftovers
+    yield
+    for manager in drain_active_audits():
+        violations = unexpected_violations(manager)
+        assert not violations, (
+            "audit violations in a test not marked expect_violations:\n"
+            + "\n".join(f"  {v}" for v in violations)
+        )

@@ -168,3 +168,60 @@ class TestNullTracer:
         assert null.closed_spans() == []
         assert null.trace_ids() == []
         assert null.double_ends == 0
+
+
+class TestCorrelationTableBounds:
+    """The binding table is an LRU: unbounded key churn cannot leak."""
+
+    def test_bind_lookup_unbind_still_work(self):
+        tracer = Tracer(FakeEnv())
+        context = SpanContext(trace_id=1, span_id=1)
+        tracer.bind("k", context)
+        assert tracer.lookup("k") is context
+        tracer.unbind("k")
+        assert tracer.lookup("k") is None
+
+    def test_eviction_beyond_capacity(self):
+        tracer = Tracer(FakeEnv(), max_bindings=4)
+        contexts = {
+            i: SpanContext(trace_id=1, span_id=i) for i in range(6)
+        }
+        for i in range(6):
+            tracer.bind(i, contexts[i])
+        # Keys 0 and 1 were the least recently used and fell out.
+        assert tracer.lookup(0) is None
+        assert tracer.lookup(1) is None
+        assert tracer.lookup(5) is contexts[5]
+        assert tracer.bindings_evicted == 2
+
+    def test_lookup_refreshes_recency(self):
+        tracer = Tracer(FakeEnv(), max_bindings=2)
+        a = SpanContext(trace_id=1, span_id=1)
+        b = SpanContext(trace_id=1, span_id=2)
+        c = SpanContext(trace_id=1, span_id=3)
+        tracer.bind("a", a)
+        tracer.bind("b", b)
+        assert tracer.lookup("a") is a  # refresh "a"; "b" is now oldest
+        tracer.bind("c", c)
+        assert tracer.lookup("b") is None
+        assert tracer.lookup("a") is a
+
+    def test_rebinding_same_key_does_not_evict(self):
+        tracer = Tracer(FakeEnv(), max_bindings=2)
+        for i in range(10):
+            tracer.bind("hot", SpanContext(trace_id=1, span_id=i))
+        assert tracer.bindings_evicted == 0
+        assert tracer.lookup("hot").span_id == 9
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(TraceError):
+            Tracer(FakeEnv(), max_bindings=0)
+
+    def test_unbounded_churn_stays_within_cap(self):
+        tracer = Tracer(FakeEnv(), max_bindings=64)
+        for i in range(10_000):
+            # Keys that never see unbind (dropped requests): the
+            # pre-LRU table grew by one entry per request forever.
+            tracer.bind(("client", i), SpanContext(trace_id=1, span_id=i))
+        assert len(tracer._bindings) == 64
+        assert tracer.bindings_evicted == 10_000 - 64

@@ -108,3 +108,95 @@ class TestClusterAssembly:
             value for name, value in snap.items()
             if name.startswith("link.") and name.endswith(".frames_sent")
         ) > 0
+
+
+class TestDuplicatePolicies:
+    """The ``if_exists`` policies guard restarted components' probes."""
+
+    def test_suffix_policy_generates_generations(self):
+        registry = MetricsRegistry()
+        first = Counter("a")
+        second = Counter("b")
+        third = Counter("c")
+        registry.register("replica.r2.committed", first)
+        registry.register("replica.r2.committed", second, if_exists="suffix")
+        registry.register("replica.r2.committed", third, if_exists="suffix")
+        assert registry.names() == [
+            "replica.r2.committed",
+            "replica.r2.committed#2",
+            "replica.r2.committed#3",
+        ]
+        snapshot = registry.snapshot()
+        assert snapshot["replica.r2.committed"] == 0
+
+    def test_replace_policy_overwrites(self):
+        registry = MetricsRegistry()
+        registry.register("a", Counter("x"))
+        replacement = Counter("y")
+        replacement.increment(7)
+        registry.register("a", replacement, if_exists="replace")
+        assert registry.snapshot() == {"a": 7}
+
+    def test_unknown_policy_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError):
+            registry.register("a", Counter("x"), if_exists="maybe")
+
+    def test_register_many_passes_policy(self):
+        registry = MetricsRegistry()
+        registry.register_many("p", {"x": Counter("x")})
+        registry.register_many("p", {"x": Counter("x")}, if_exists="suffix")
+        assert registry.names() == ["p.x", "p.x#2"]
+
+    def test_restarted_replica_probes_do_not_collide(self):
+        """A long-lived registry across a crash/restart keeps both
+        incarnations' probes addressable instead of raising."""
+        from repro.bft import BftCluster, BftConfig
+        from repro.rubin import RubinConfig
+
+        cluster = BftCluster(
+            transport="rubin",
+            config=BftConfig(view_change_timeout=80e-3, batch_delay=0.0,
+                             batch_size=1),
+            rubin_config=RubinConfig(retry_timeout=1e-3, retry_count=3),
+            faulty_fabric=True,
+        )
+        cluster.start()
+        registry = MetricsRegistry(name="long-lived")
+
+        def register_incarnation(replica_id):
+            replica = cluster.replicas[replica_id]
+            registry.register_many(
+                f"replica.{replica_id}",
+                {"committed": lambda r=replica: r.committed_count},
+                if_exists="suffix",
+            )
+
+        register_incarnation("r2")
+        cluster.invoke_and_wait(b"PUT a=1")
+        cluster.crash_replica("r2")
+        cluster.run_for(30e-3)
+        cluster.restart_replica("r2")
+        cluster.run_for(100e-3)
+        register_incarnation("r2")  # would raise under the old contract
+
+        names = registry.names()
+        assert names == ["replica.r2.committed", "replica.r2.committed#2"]
+        registry.snapshot()  # both incarnations remain probeable
+
+
+class TestGaugeProbe:
+    def test_gauge_snapshot_tracks_extremes(self):
+        from repro.sim import Gauge
+
+        registry = MetricsRegistry()
+        gauge = Gauge("depth")
+        registry.register("cq.depth", gauge)
+        gauge.set(5)
+        gauge.set(2)
+        gauge.adjust(-4)
+        assert registry.snapshot()["cq.depth"] == {
+            "value": -2,
+            "min": -2,
+            "max": 5,
+        }
