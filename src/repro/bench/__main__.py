@@ -7,11 +7,14 @@ Usage::
     python -m repro.bench --messages 500  # heavier run
     python -m repro.bench --chart         # add ASCII charts
     python -m repro.bench --check         # regression gate vs baselines
+    python -m repro.bench --wallclock     # simulator throughput report
+    python -m repro.bench --wallclock --check   # wall-clock gate
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -78,7 +81,23 @@ def main(argv=None) -> int:
         metavar="SCALE",
         help="scale every tolerance band by this factor (for --check)",
     )
+    parser.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="measure simulator wall-clock throughput (events/sec, host "
+        "seconds per sweep, bytes copied per delivered frame); with "
+        "--check, gate against BENCH_wallclock.json",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --wallclock: write the run as the new committed "
+        "BENCH_wallclock.json baseline",
+    )
     args = parser.parse_args(argv)
+
+    if args.wallclock:
+        return run_wallclock_cli(args)
 
     if args.check:
         return run_gate(args)
@@ -139,6 +158,64 @@ def main(argv=None) -> int:
             print(f"  Figure 4 shape checks: FAIL — {error}")
 
     return 1 if failures else 0
+
+
+def run_wallclock_cli(args) -> int:
+    """Run the wall-clock harness; with ``--check``, gate it."""
+    from repro.bench.wallclock import (
+        append_wallclock_history,
+        check_wallclock,
+        load_wallclock_baseline,
+        run_wallclock,
+        write_wallclock_baseline,
+    )
+
+    baseline_path = os.path.join(args.baseline_dir, "BENCH_wallclock.json")
+    history = args.history or os.path.join(
+        args.baseline_dir, "BENCH_history.jsonl"
+    )
+    print("== Simulator wall-clock throughput ==")
+    document = run_wallclock(verbose=True)
+
+    if args.update_baseline:
+        write_wallclock_baseline(document, baseline_path)
+        print(f"  wrote baseline {baseline_path}")
+        return 0
+
+    if not args.check:
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    try:
+        baseline = load_wallclock_baseline(baseline_path)
+        ok, checks = check_wallclock(
+            document, baseline, tolerance_scale=args.tolerance
+        )
+    except (OSError, ReproError) as error:
+        print(f"wallclock gate error: {error}")
+        return 2
+    same_host = baseline["host"]["fingerprint"] == document["host"]["fingerprint"]
+    if not same_host:
+        print(
+            "  note: baseline recorded on different hardware "
+            f"({baseline['host'].get('machine')}, "
+            f"py{baseline['host'].get('python')}) — "
+            "host-dependent metrics warn instead of failing"
+        )
+    for check in checks:
+        marker = "FAIL" if check["regressed"] else (
+            "warn" if check["warned"] else "ok"
+        )
+        print(
+            f"  [{marker:>4}] {check['metric']}: "
+            f"baseline={check['baseline']:,.1f} "
+            f"fresh={check['fresh']:,.1f} "
+            f"(±{check['tolerance'] * 100:.0f}%)"
+        )
+    append_wallclock_history(history, document, checks)
+    print(f"history appended to {history}")
+    print("  wallclock gate: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
 
 
 def run_gate(args) -> int:

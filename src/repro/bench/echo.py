@@ -118,6 +118,7 @@ def tcp_echo(payload_bytes: int, messages: int) -> EchoResult:
     done = env.process(client(env), name="echo.client")
     env.run(until=done)
     result.messages = len(result.latencies_us)
+    result.sim_events = env._eid
     return result
 
 
@@ -263,6 +264,7 @@ def rdma_send_recv_echo(payload_bytes: int, messages: int) -> EchoResult:
     done = env.process(client(env), name="sr.client")
     env.run(until=done)
     result.messages = len(result.latencies_us)
+    result.sim_events = env._eid
     return result
 
 
@@ -310,6 +312,7 @@ def rdma_read_write_echo(payload_bytes: int, messages: int) -> EchoResult:
     done = env.process(client(env), name="rw.client")
     env.run(until=done)
     result.messages = len(result.latencies_us)
+    result.sim_events = env._eid
     return result
 
 
@@ -409,4 +412,5 @@ def rubin_channel_echo(
     done = env.process(client(env), name="rubin.client")
     env.run(until=done)
     result.messages = len(result.latencies_us)
+    result.sim_events = env._eid
     return result

@@ -19,6 +19,9 @@ class EchoResult:
     messages: int
     latencies_us: List[float] = field(default_factory=list)
     duration_s: float = 0.0
+    #: Total kernel events scheduled by the run's Environment (its final
+    #: ``_eid``) — the numerator of the wall-clock events/sec metric.
+    sim_events: int = 0
 
     @property
     def mean_latency_us(self) -> float:

@@ -111,4 +111,5 @@ def reptor_echo(
     done = env.process(client_proc(env), name="fig4.client")
     env.run(until=done)
     result.messages = len(result.latencies_us)
+    result.sim_events = env._eid
     return result

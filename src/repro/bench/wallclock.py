@@ -1,0 +1,279 @@
+"""Wall-clock throughput harness (``python -m repro.bench --wallclock``).
+
+Everything else in :mod:`repro.bench` measures *modeled* time; this module
+measures the *simulator itself*: how many kernel events per host second it
+retires, how many host seconds one Figure-3/Figure-4 sweep costs, and how
+many bytes the host CPU copies per delivered link frame (via the
+:mod:`repro.sim.copystats` probe).  The point is to keep the reproduction
+usable as it grows — the ROADMAP's large sweeps are gated by simulator
+wall-clock, not by modeled latency — and to stop future PRs from quietly
+re-introducing copies or per-event allocation.
+
+Two passes per run:
+
+1. **Timed pass** (probe *off*): run the Fig-3 and Fig-4 sweeps under
+   ``time.perf_counter`` and report host seconds and events/sec (total
+   kernel events scheduled, from each run's final event id).
+2. **Copy pass** (probe *on*, untimed): run one representative workload
+   per data path and report bytes-copied-per-delivered-frame.
+
+The copy metrics are exactly reproducible (the schedule is deterministic
+and the probe never feeds back into it), so the gate holds them to a tight
+band.  The timing metrics depend on the machine: the baseline records a
+host fingerprint, and when the current host differs the gate *warns*
+instead of failing.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.bench.echo import run_echo
+from repro.bench.figures import FIG3_PAYLOADS, FIG4_PAYLOADS, fig3_sweep, fig4_sweep
+from repro.bench.selector_echo import reptor_echo
+from repro.errors import ReproError
+from repro.sim.copystats import COPYSTATS
+
+__all__ = [
+    "SCHEMA",
+    "WALLCLOCK_TOLERANCES",
+    "host_fingerprint",
+    "run_wallclock",
+    "check_wallclock",
+    "write_wallclock_baseline",
+    "load_wallclock_baseline",
+    "append_wallclock_history",
+]
+
+SCHEMA = "wallclock-v1"
+
+#: Messages per sweep point.  Small enough for a CI gate step, large
+#: enough that per-run setup cost does not dominate the rate metrics.
+FIG3_MESSAGES = 10
+FIG4_MESSAGES = 30
+
+#: Copy-accounting workloads: one representative point per data path.
+#: (key, callable) — each returns an EchoResult; the probe snapshot taken
+#: around the call is the metric source.
+def _copy_workloads():
+    return (
+        ("fig3_rdma", lambda: run_echo("rdma_channel", 10 * 1024, 20)),
+        ("fig3_tcp", lambda: run_echo("tcp", 10 * 1024, 20)),
+        ("fig4_rubin", lambda: reptor_echo("rubin", 20 * 1024, 30)),
+        ("fig4_nio", lambda: reptor_echo("nio", 20 * 1024, 30)),
+    )
+
+
+#: metric -> (relative tolerance, direction, host_dependent).  Positive
+#: direction = regresses when it grows; negative = when it shrinks.
+#: Host-dependent metrics are only *warned* about when the baseline was
+#: recorded on different hardware (fingerprint mismatch).
+WALLCLOCK_TOLERANCES: Dict[str, Tuple[float, int, bool]] = {
+    "fig3.events_per_sec": (0.50, -1, True),
+    "fig3.host_seconds": (1.00, +1, True),
+    "fig4.events_per_sec": (0.50, -1, True),
+    "fig4.host_seconds": (1.00, +1, True),
+    "copies.fig3_rdma.copied_per_frame": (0.05, +1, False),
+    "copies.fig3_tcp.copied_per_frame": (0.05, +1, False),
+    "copies.fig4_rubin.copied_per_frame": (0.05, +1, False),
+    "copies.fig4_nio.copied_per_frame": (0.05, +1, False),
+}
+
+
+def host_fingerprint() -> str:
+    """A short stable id for "the same class of machine".
+
+    Deliberately coarse (architecture, python version, core count): the
+    gate should fail on a regression introduced by code, not on a
+    developer running the gate on a laptop instead of the CI runner.
+    """
+    raw = "|".join(
+        (
+            platform.machine(),
+            platform.system(),
+            platform.python_version(),
+            str(os.cpu_count() or 0),
+        )
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+def _timed_sweep(label: str, sweep) -> Dict[str, float]:
+    """Run one sweep callable; return host seconds and event totals."""
+    gc.collect()
+    start = time.perf_counter()
+    results = sweep()
+    elapsed = time.perf_counter() - start
+    events = sum(r.sim_events for r in results.values())
+    return {
+        "host_seconds": elapsed,
+        "sim_events": float(events),
+        "events_per_sec": events / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_wallclock(verbose: bool = False) -> Dict[str, Any]:
+    """Run both passes; return the wallclock document (baseline schema)."""
+    if COPYSTATS.enabled:
+        raise ReproError("copy probe must be disabled before the timed pass")
+
+    say = print if verbose else (lambda *_args, **_kw: None)
+
+    say(f"  timed pass: fig3 sweep ({FIG3_MESSAGES} msgs/point)...")
+    fig3 = _timed_sweep(
+        "fig3", lambda: fig3_sweep(FIG3_MESSAGES, FIG3_PAYLOADS)
+    )
+    say(
+        f"    {fig3['host_seconds']:.2f}s host, "
+        f"{fig3['events_per_sec']:,.0f} events/sec"
+    )
+    say(f"  timed pass: fig4 sweep ({FIG4_MESSAGES} msgs/point)...")
+    fig4 = _timed_sweep(
+        "fig4", lambda: fig4_sweep(FIG4_MESSAGES, FIG4_PAYLOADS)
+    )
+    say(
+        f"    {fig4['host_seconds']:.2f}s host, "
+        f"{fig4['events_per_sec']:,.0f} events/sec"
+    )
+
+    copies: Dict[str, Dict[str, float]] = {}
+    try:
+        COPYSTATS.enabled = True
+        for key, workload in _copy_workloads():
+            COPYSTATS.reset()
+            workload()
+            snap = COPYSTATS.snapshot()
+            copies[key] = snap
+            say(
+                f"  copy pass: {key}: "
+                f"{snap['copied_per_frame']:,.0f} B copied/frame "
+                f"({snap['copies']} copies, {snap['frames_delivered']} frames)"
+            )
+    finally:
+        COPYSTATS.enabled = False
+        COPYSTATS.reset()
+
+    return {
+        "schema": SCHEMA,
+        "host": {
+            "fingerprint": host_fingerprint(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count() or 0,
+        },
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "fig3_messages": FIG3_MESSAGES,
+        "fig4_messages": FIG4_MESSAGES,
+        "fig3": fig3,
+        "fig4": fig4,
+        "copies": copies,
+    }
+
+
+def _metric(document: Mapping[str, Any], path: str) -> float:
+    node: Any = document
+    for part in path.split("."):
+        node = node[part]
+    return float(node)
+
+
+def check_wallclock(
+    fresh: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance_scale: float = 1.0,
+) -> Tuple[bool, List[Dict[str, Any]]]:
+    """Band-check ``fresh`` against ``baseline``.
+
+    Returns ``(ok, checks)`` where each check dict carries metric,
+    baseline/fresh values, the band, and whether it ``regressed`` or was
+    merely ``warned`` (host-dependent metric on foreign hardware).
+    """
+    if tolerance_scale <= 0:
+        raise ReproError("tolerance scale must be positive")
+    same_host = (
+        baseline.get("host", {}).get("fingerprint") == host_fingerprint()
+    )
+    checks: List[Dict[str, Any]] = []
+    ok = True
+    for metric, (tolerance, direction, host_dependent) in sorted(
+        WALLCLOCK_TOLERANCES.items()
+    ):
+        try:
+            baseline_value = _metric(baseline, metric)
+        except (KeyError, TypeError):
+            raise ReproError(f"wallclock baseline missing metric {metric!r}")
+        fresh_value = _metric(fresh, metric)
+        band = abs(baseline_value) * tolerance * tolerance_scale
+        if direction > 0:
+            out_of_band = fresh_value > baseline_value + band
+        else:
+            out_of_band = fresh_value < baseline_value - band
+        enforced = not (host_dependent and not same_host)
+        regressed = out_of_band and enforced
+        if regressed:
+            ok = False
+        checks.append(
+            {
+                "metric": metric,
+                "baseline": baseline_value,
+                "fresh": fresh_value,
+                "tolerance": tolerance * tolerance_scale,
+                "direction": direction,
+                "enforced": enforced,
+                "regressed": regressed,
+                "warned": out_of_band and not enforced,
+            }
+        )
+    return ok, checks
+
+
+def write_wallclock_baseline(document: Dict[str, Any], path: str) -> None:
+    """Write the baseline JSON (pretty-printed, stable key order)."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_wallclock_baseline(path: str) -> Dict[str, Any]:
+    """Read and structurally validate a wallclock baseline."""
+    with open(path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    if document.get("schema") != SCHEMA:
+        raise ReproError(f"{path}: not a {SCHEMA} baseline document")
+    for key in ("host", "fig3", "fig4", "copies"):
+        if key not in document:
+            raise ReproError(f"{path}: baseline missing {key!r}")
+    return document
+
+
+def append_wallclock_history(
+    history_path: str, document: Dict[str, Any], checks: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Append one JSON line for this wallclock run; returns the entry."""
+    entry = {
+        "checked_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "kind": "wallclock",
+        "ok": not any(c["regressed"] for c in checks),
+        "host": document["host"]["fingerprint"],
+        "metrics": {
+            c["metric"]: c["fresh"] for c in checks
+        },
+        "regressions": [c for c in checks if c["regressed"]],
+        "warnings": [c for c in checks if c["warned"]],
+    }
+    directory = os.path.dirname(history_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry

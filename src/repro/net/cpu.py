@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.sim import Resource, UtilizationTracker
+from repro.sim.resources import TimedHold
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Environment, Event
@@ -110,18 +111,7 @@ class Cpu:
             done = self.env.event()
             done.succeed()
             return done
-
-        def task():
-            req = self._resource.request()
-            yield req
-            self.tracker.begin()
-            try:
-                yield self.env.timeout(duration)
-            finally:
-                self.tracker.end()
-                req.release()
-
-        return self.env.process(task(), name=f"{self.name}.execute")
+        return TimedHold(self._resource, duration, tracker=self.tracker)
 
     def copy(self, nbytes: int) -> "Event":
         """Charge a single-core memory copy of ``nbytes``."""

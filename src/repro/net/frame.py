@@ -24,7 +24,7 @@ ETHERNET_HEADER_BYTES = 38
 _frame_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One link-level transmission.
 

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
+from heapq import heappush as _heappush
+
 from repro.errors import ConfigurationError, NetworkError
 from repro.net.frame import Frame
-from repro.sim import Counter, Store, UtilizationTracker
-from repro.trace import get_tracer
+from repro.sim import Counter, Event, Store, Timeout, UtilizationTracker
+from repro.sim.copystats import COPYSTATS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Environment
@@ -74,7 +76,21 @@ class Link:
         self.frames_sent = Counter(f"{name}.frames_sent")
         self.frames_dropped = Counter(f"{name}.frames_dropped")
         self.bytes_sent = Counter(f"{name}.bytes_sent")
-        env.process(self._transmit_loop(), name=f"{name}.tx_loop")
+        self._seconds_per_byte = 8 / self.bandwidth_bps
+        # In-flight transmit state for the callback-driven transmit loop.
+        self._tx_frame: Optional[Frame] = None
+        self._tx_span = None
+        self._tx_traced = False
+        # Kick the transmit loop off on the next kernel step at URGENT
+        # priority — the exact bootstrap the generator process this replaces
+        # used, so agenda order (and therefore every modeled timestamp) is
+        # unchanged.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._tx_next)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._eid += 1
+        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
 
     def attach_receiver(self, deliver: DeliverFn) -> None:
         """Register the function invoked for every arriving frame."""
@@ -92,53 +108,92 @@ class Link:
         """Seconds needed to clock ``wire_bytes`` onto the wire."""
         return wire_bytes * 8 / self.bandwidth_bps
 
-    def _transmit_loop(self):
-        """Serialize queued frames FIFO; schedule each arrival."""
-        while True:
-            frame = yield self._outbox.get()
-            tracer = get_tracer(self.env)
-            span = None
-            if tracer.enabled and frame.trace_ctx is not None:
-                span = tracer.start_span(
-                    "link.serialize",
+    # The transmit loop is a three-state callback machine rather than a
+    # generator process: wait-for-frame -> serialize -> schedule arrival.
+    # It creates exactly the same events in exactly the same order the
+    # generator version did (StoreGet, serialization Timeout, arrival
+    # Timeout, next StoreGet), so schedules stay bit-identical, but each
+    # frame costs three bound-method calls instead of three generator
+    # ``send`` dispatches through Process._resume.
+
+    def _tx_next(self, _event: Optional[Event]) -> None:
+        """Wait for the next queued frame."""
+        self._outbox.get().callbacks.append(self._tx_serialize)
+
+    def _tx_serialize(self, event: Event) -> None:
+        """Start clocking the received frame onto the wire."""
+        frame = event._value
+        env = self.env
+        # Direct env.tracer read (get_tracer() costs a call per frame).
+        tracer = env.tracer
+        traced = (
+            tracer is not None
+            and tracer.enabled
+            and frame.trace_ctx is not None
+        )
+        span = None
+        if traced:
+            span = tracer.start_span(
+                "link.serialize",
+                layer="link",
+                parent=frame.trace_ctx,
+                track=self.name,
+                frame_id=frame.frame_id,
+                wire_bytes=frame.wire_bytes,
+            )
+        self._tx_frame = frame
+        self._tx_span = span
+        self._tx_traced = traced
+        self.tracker.begin()
+        # Timeout() called directly: env.timeout() is a wrapper frame on
+        # the per-frame hot path.
+        timeout = Timeout(env, frame.wire_bytes * self._seconds_per_byte)
+        timeout.callbacks.append(self._tx_finish)
+
+    def _tx_finish(self, _event: Event) -> None:
+        """Serialization done: account, drop-check, schedule the arrival."""
+        frame = self._tx_frame
+        env = self.env
+        traced = self._tx_traced
+        self.tracker.end()
+        span = self._tx_span
+        if span is not None:
+            span.end()
+            self._tx_span = None
+        self._tx_frame = None
+        wire_bytes = frame.wire_bytes
+        self.frames_sent.value += 1
+        self.bytes_sent.value += wire_bytes
+        drop_fn = self.drop_fn
+        if drop_fn is not None and drop_fn(frame):
+            self.frames_dropped.increment()
+            if traced:
+                env.tracer.instant(
+                    "link.drop",
                     layer="link",
                     parent=frame.trace_ctx,
                     track=self.name,
                     frame_id=frame.frame_id,
-                    wire_bytes=frame.wire_bytes,
                 )
-            self.tracker.begin()
-            yield self.env.timeout(self.transmission_time(frame.wire_bytes))
-            self.tracker.end()
-            if span is not None:
-                span.end()
-            self.frames_sent.increment()
-            self.bytes_sent.increment(frame.wire_bytes)
-            if self.drop_fn is not None and self.drop_fn(frame):
-                self.frames_dropped.increment()
-                if tracer.enabled and frame.trace_ctx is not None:
-                    tracer.instant(
-                        "link.drop",
-                        layer="link",
-                        parent=frame.trace_ctx,
-                        track=self.name,
-                        frame_id=frame.frame_id,
-                    )
-                continue
-            arrival = self.env.timeout(self.propagation_delay, value=frame)
-            if tracer.enabled and frame.trace_ctx is not None:
-                prop_span = tracer.start_span(
-                    "link.propagate",
-                    layer="link",
-                    parent=frame.trace_ctx,
-                    track=self.name,
-                    frame_id=frame.frame_id,
-                )
-                arrival.subscribe(lambda event, s=prop_span: s.end())
-            arrival.subscribe(self._deliver)
+            self._tx_next(None)
+            return
+        arrival = Timeout(env, self.propagation_delay, value=frame)
+        if traced:
+            prop_span = env.tracer.start_span(
+                "link.propagate",
+                layer="link",
+                parent=frame.trace_ctx,
+                track=self.name,
+                frame_id=frame.frame_id,
+            )
+            arrival.subscribe(lambda event, s=prop_span: s.end())
+        arrival.callbacks.append(self._deliver)
+        self._tx_next(None)
 
     def _deliver(self, event) -> None:
         assert self._receiver is not None
+        if COPYSTATS.enabled:
+            COPYSTATS.frame(event.value.wire_bytes)
         self._receiver(event.value)
 
     def utilization(self, since: float = 0.0) -> float:

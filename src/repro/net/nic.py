@@ -17,7 +17,8 @@ from repro.errors import ConfigurationError, NetworkError
 from repro.net.frame import Frame
 from repro.net.link import Link
 from repro.sim import Resource
-from repro.trace import get_tracer
+from repro.sim.copystats import COPYSTATS
+from repro.sim.resources import TimedHold
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -135,10 +136,12 @@ class Nic:
         """
         if nbytes < 0:
             raise NetworkError(f"negative DMA size ({nbytes})")
+        if COPYSTATS.enabled:
+            COPYSTATS.dma(nbytes)
         duration = nbytes * 8 / self.dma_bandwidth_bps
-        tracer = get_tracer(self.env)
         span = None
-        if tracer.enabled and trace_ctx is not None:
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled and trace_ctx is not None:
             span = tracer.start_span(
                 "nic.dma",
                 layer="nic",
@@ -146,18 +149,7 @@ class Nic:
                 track=self.host.name,
                 nbytes=nbytes,
             )
-
-        def transfer():
-            req = self._dma.request()
-            yield req
-            try:
-                yield self.env.timeout(duration)
-            finally:
-                req.release()
-                if span is not None:
-                    span.end()
-
-        return self.env.process(transfer(), name=f"{self.name}.dma")
+        return TimedHold(self._dma, duration, span=span)
 
     def __repr__(self) -> str:
         return f"<Nic {self.name!r} peers={self.peers()}>"

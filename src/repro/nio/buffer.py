@@ -14,6 +14,7 @@ not be touched).  ``flip()`` switches from filling to draining,
 from __future__ import annotations
 
 from repro.errors import RubinError
+from repro.sim.copystats import COPYSTATS
 
 __all__ = ["ByteBuffer", "BufferOverflow", "BufferUnderflow"]
 
@@ -36,6 +37,12 @@ class ByteBuffer:
         self._capacity = capacity
         self._position = 0
         self._limit = capacity
+        #: Owner's promise that the bytes between position and limit stay
+        #: unchanged until the transport signals completion for any write
+        #: that gathered them (staging rings set this; see
+        #: ``MemoryRegion.stable``).  Channels use it to decide between a
+        #: zero-copy gather view and an owned snapshot.
+        self.stable_until_completion = False
 
     # -- factories ----------------------------------------------------------
 
@@ -48,6 +55,8 @@ class ByteBuffer:
     def wrap(cls, data: bytes) -> "ByteBuffer":
         """A buffer containing ``data``, ready for draining."""
         buf = cls(len(data))
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(len(data))
         buf._data[:] = data
         buf._position = 0
         buf._limit = len(data)
@@ -128,6 +137,8 @@ class ByteBuffer:
             raise BufferOverflow(
                 f"put of {len(data)} bytes exceeds remaining {self.remaining()}"
             )
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(len(data))
         self._data[self._position : self._position + len(data)] = data
         self._position += len(data)
         return self
@@ -140,7 +151,10 @@ class ByteBuffer:
             raise BufferUnderflow(
                 f"get of {nbytes} bytes exceeds remaining {self.remaining()}"
             )
-        out = bytes(self._data[self._position : self._position + nbytes])
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(nbytes)
+        # Single copy: slicing a memoryview is free; bytes() owns the copy.
+        out = bytes(memoryview(self._data)[self._position : self._position + nbytes])
         self._position += nbytes
         return out
 
@@ -152,7 +166,24 @@ class ByteBuffer:
             raise BufferUnderflow(
                 f"peek of {nbytes} bytes exceeds remaining {self.remaining()}"
             )
-        return bytes(self._data[self._position : self._position + nbytes])
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(nbytes)
+        return bytes(memoryview(self._data)[self._position : self._position + nbytes])
+
+    def peek_view(self, nbytes: int | None = None) -> memoryview:
+        """Zero-copy window over the next ``nbytes`` (position unchanged).
+
+        The view aliases the backing array: it is only valid until the
+        buffer is next mutated, and the caller must release it (or let it
+        go) before the buffer is compacted or resized.
+        """
+        if nbytes is None:
+            nbytes = self.remaining()
+        if nbytes > self.remaining():
+            raise BufferUnderflow(
+                f"peek_view of {nbytes} bytes exceeds remaining {self.remaining()}"
+            )
+        return memoryview(self._data)[self._position : self._position + nbytes]
 
     def array(self) -> bytearray:
         """The backing array (shared, like Java's ``array()``)."""

@@ -131,12 +131,19 @@ class SocketChannel:
     def _write_proc(self, buffer: ByteBuffer):
         conn = self.connection
         assert conn is not None
-        pending = buffer.peek()
+        # Hand the stack a window over the buffer instead of a copy; the
+        # stack snapshots what it accepts into its send queue, and the
+        # buffer is not mutated while the write is in flight.
+        pending = buffer.peek_view()
         if not pending:
+            pending.release()
             return 0
-        written = yield conn.write_some(pending)
+        try:
+            written = yield conn.write_some(pending)
+        finally:
+            pending.release()
         if written:
-            buffer.get(written)  # advance past what the kernel accepted
+            buffer.position = buffer.position + written
         return written
 
     def _check_io_ready(self) -> None:

@@ -21,7 +21,8 @@ from repro.rdma.mr import MemoryRegion, ProtectionDomain
 from repro.rdma.qp import QpCapabilities, QueuePair
 from repro.rdma.transport import RocePacket
 from repro.rdma.verbs import DEFAULT_MTU, Access
-from repro.sim import Store
+from repro.sim import Store, Timeout
+from repro.sim.process import Drive
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -76,7 +77,9 @@ class RdmaDevice:
         self._rx_queue: Store = Store(self.env)
         host.install("rdma", self)
         host.nic.register_protocol(self.PROTOCOL, self._on_frame)
-        self.env.process(self._rx_loop(), name=f"{self.name}.rx")
+        # Drive (not Process): the rx pipeline is never interrupted and
+        # retires one resume per packet — the hot path of every RDMA op.
+        Drive(self.env, self._rx_loop())
 
     # -- verbs object factories ---------------------------------------------
 
@@ -207,7 +210,7 @@ class RdmaDevice:
         """Serialize inbound packet processing (the RNIC's rx pipeline)."""
         while True:
             packet: RocePacket = yield self._rx_queue.get()
-            yield self.env.timeout(self.attrs.packet_process)
+            yield Timeout(self.env, self.attrs.packet_process)
             qp = self._qps.get(packet.dst_qp)
             if qp is None:
                 # Stray packet for a destroyed QP: drop silently (the

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import RdmaError
 from repro.rdma.verbs import Access
+from repro.sim.copystats import COPYSTATS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.rdma.device import RdmaDevice
@@ -27,6 +28,7 @@ __all__ = ["ProtectionDomain", "MemoryRegion", "RemoteAddress"]
 
 _pd_numbers = itertools.count(1)
 _keys = itertools.count(0x1000)
+_mr_tokens = itertools.count(1)
 
 
 class ProtectionDomain:
@@ -62,6 +64,15 @@ class MemoryRegion:
         self.lkey = next(_keys)
         self.rkey = next(_keys)
         self.invalidated = False
+        #: Monotonic registration token, never recycled for the lifetime of
+        #: the process (unlike ``id(buffer)``) — safe as a cache key for
+        #: registration caches.
+        self.token = next(_mr_tokens)
+        #: True when the owner guarantees the registered bytes stay
+        #: unchanged until the work completion for any WR referencing them
+        #: (e.g. pool/staging buffers that are recycled only on CQE).  The
+        #: send path may then gather a zero-copy view instead of snapshotting.
+        self.stable = False
 
     @property
     def length(self) -> int:
@@ -103,8 +114,20 @@ class MemoryRegion:
     # -- data movement (called by the device's DMA paths) -------------------
 
     def read_bytes(self, offset: int, length: int) -> bytes:
-        """Gather ``length`` bytes at ``offset`` (bounds already checked)."""
-        return bytes(self.buffer[offset : offset + length])
+        """Gather ``length`` bytes at ``offset`` as an owned snapshot.
+
+        This is the *copying* gather: the real RNIC would DMA straight out
+        of the registered buffer, but an owned snapshot is required when
+        the application may mutate the buffer while packets carrying it
+        are still in flight (see :attr:`stable` and :meth:`read_view`).
+        """
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(length)
+        return bytes(memoryview(self.buffer)[offset : offset + length])
+
+    def read_view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy gather view (only valid while :attr:`stable` holds)."""
+        return memoryview(self.buffer)[offset : offset + length]
 
     def write_bytes(self, offset: int, data: bytes) -> None:
         """Scatter ``data`` at ``offset`` (bounds already checked)."""

@@ -32,7 +32,9 @@ from repro.rdma.mr import MemoryRegion
 from repro.rdma.transport import PacketType, RocePacket
 from repro.rdma.verbs import Access, Opcode, QpState, WcStatus
 from repro.rdma.wr import RecvWorkRequest, SendWorkRequest
-from repro.sim import Store
+from repro.sim import Store, Timeout
+from repro.sim.process import Drive
+from repro.sim.copystats import COPYSTATS
 from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -171,7 +173,8 @@ class QueuePair:
         # The CM handshake drives INIT/RTR internally; the simulator
         # collapses RESET->INIT->RTR->RTS into one audited transition.
         self._set_state(QpState.RTS)
-        self.env.process(self._sq_loop(), name=f"qp{self.qp_num}.sq")
+        # Drive (not Process): one resume per WQE stage on the send path.
+        Drive(self.env, self._sq_loop())
         self.env.process(self._retry_loop(), name=f"qp{self.qp_num}.retry")
 
     def add_error_watcher(self, watcher) -> None:
@@ -298,8 +301,24 @@ class QueuePair:
                 )
             if wr.sge is not None:
                 # Local protection check at post time (lkey validity).
-                if wr.sge.mr.pd is not self.pd:
+                sge = wr.sge
+                mr = sge.mr
+                if mr.pd is not self.pd:
                     raise RdmaError(f"{self}: SGE memory region is in a foreign PD")
+                if (
+                    wr.opcode is not Opcode.RDMA_READ
+                    and not mr.stable
+                    and wr.snapshot is None
+                    and not mr.invalidated
+                    and 0 <= sge.offset
+                    and sge.offset + sge.length <= mr.length
+                ):
+                    # The application owns this memory and may mutate it
+                    # the moment we return; pin the gather source now (the
+                    # send side's single owned copy).  Out-of-bounds SGEs
+                    # are left alone so they still surface as a
+                    # LOC_PROT_ERR completion at WQE fetch, not here.
+                    wr.snapshot = mr.read_bytes(sge.offset, sge.length)
             entry = _PendingSend(wr)
             self._pending.append(entry)
             self._sq_store.put(entry)
@@ -350,7 +369,7 @@ class QueuePair:
                     opcode=wr.opcode.value,
                     nbytes=wr.length,
                 )
-            yield self.env.timeout(attrs.wqe_fetch)
+            yield Timeout(self.env, attrs.wqe_fetch)
             try:
                 data = self._gather_payload_check(wr)
             except RdmaError:
@@ -370,9 +389,25 @@ class QueuePair:
                 # the registered application buffer directly).  The setup
                 # round trip is what inline sends avoid.
                 assert wr.sge is not None
-                yield self.env.timeout(attrs.gather_setup)
+                yield Timeout(self.env, attrs.gather_setup)
                 yield nic.dma_transfer(wr.sge.length, trace_ctx=wr.trace_ctx)
-                data = wr.sge.mr.read_bytes(wr.sge.offset, wr.sge.length)
+                mr = wr.sge.mr
+                if wr.snapshot is not None:
+                    # Non-stable application memory: the owned copy was
+                    # pinned at post time, before the app could touch the
+                    # buffer again, so in-flight and retransmitted packets
+                    # stay correct.
+                    data = wr.snapshot
+                elif mr.stable:
+                    # The owner keeps these bytes unchanged until the WR's
+                    # completion (pool/staging memory recycled on CQE), so
+                    # packets may carry views of the registered buffer —
+                    # the literal zero-copy send of the paper.
+                    data = mr.read_view(wr.sge.offset, wr.sge.length)
+                else:
+                    # Defensive fallback (post-time snapshot is skipped only
+                    # for SGEs that fail the protection check above).
+                    data = mr.read_bytes(wr.sge.offset, wr.sge.length)
             yield from self._emit_message(entry, data)
             if span is not None:
                 span.end()
@@ -390,7 +425,15 @@ class QueuePair:
         attrs = self.device.attrs
         wr = entry.wr
         mtu = attrs.mtu
-        chunks = [data[i : i + mtu] for i in range(0, len(data), mtu)] or [b""]
+        size = len(data)
+        if size <= mtu:
+            chunks = [data] if size else [b""]
+        else:
+            # Chunk through a memoryview: slicing a view never copies, so
+            # packetization is copy-free for both owned snapshots and
+            # stable-buffer views.
+            view = data if isinstance(data, memoryview) else memoryview(data)
+            chunks = [view[i : i + mtu] for i in range(0, size, mtu)]
         is_write = wr.opcode is Opcode.RDMA_WRITE
         # Reserve the whole PSN range up front so a cumulative ACK of a
         # partial prefix can never mark the message complete early.
@@ -426,7 +469,7 @@ class QueuePair:
             yield from self._wait_inflight_space()
             if self.state is not QpState.RTS:
                 return
-            yield self.env.timeout(attrs.packet_process)
+            yield Timeout(self.env, attrs.packet_process)
             self._unacked.append((packet, self.env.now))
             self._transmit(packet)
 
@@ -455,7 +498,7 @@ class QueuePair:
         yield from self._wait_inflight_space()
         if self.state is not QpState.RTS:
             return
-        yield self.env.timeout(self.device.attrs.packet_process)
+        yield Timeout(self.env, self.device.attrs.packet_process)
         self._unacked.append((packet, self.env.now))
         self._transmit(packet)
 
@@ -791,7 +834,7 @@ class QueuePair:
         for index in range(chunk_count):
             offset = index * mtu
             size = min(mtu, length - offset)
-            yield self.env.timeout(attrs.packet_process)
+            yield Timeout(self.env, attrs.packet_process)
             yield nic.dma_transfer(size)
             # Snapshot at DMA time: a concurrent writer produces torn data,
             # the read/write race of the paper's Section III-A.

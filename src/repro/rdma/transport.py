@@ -68,7 +68,7 @@ class PacketType:
     ENDS_MESSAGE = frozenset({SEND_LAST, SEND_ONLY, WRITE_LAST, WRITE_ONLY})
 
 
-@dataclass
+@dataclass(slots=True)
 class RocePacket:
     """One RoCE packet.
 

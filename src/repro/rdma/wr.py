@@ -19,7 +19,7 @@ from repro.rdma.verbs import Opcode
 __all__ = ["Sge", "SendWorkRequest", "RecvWorkRequest"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Sge:
     """A scatter/gather element: (memory region, offset, length)."""
 
@@ -34,7 +34,7 @@ class Sge:
             raise RdmaError(f"negative SGE geometry ({self.offset}, {self.length})")
 
 
-@dataclass
+@dataclass(slots=True)
 class SendWorkRequest:
     """A work request for the send queue (SEND / RDMA_WRITE / RDMA_READ).
 
@@ -73,6 +73,13 @@ class SendWorkRequest:
     #: Out-of-band trace context: copied onto every packet this WR emits
     #: and into its work completion.  Purely observational.
     trace_ctx: Optional[object] = None
+    #: Owned copy of the gather source taken at post time for non-stable
+    #: memory regions.  Application buffers may be mutated the moment
+    #: post_send returns; the snapshot pins the bytes the wire carries so
+    #: in-flight and retransmitted packets can never observe the mutation.
+    #: Stable regions (pool/staging memory recycled only on completion)
+    #: skip it and gather zero-copy views instead.
+    snapshot: Optional[bytes] = None
 
     def __post_init__(self) -> None:
         if self.opcode is Opcode.RECV:
@@ -96,7 +103,7 @@ class SendWorkRequest:
         return self.sge.length
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvWorkRequest:
     """A work request for the receive queue.
 

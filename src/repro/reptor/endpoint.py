@@ -43,7 +43,6 @@ from repro.rubin import (
     SupervisorPolicy,
 )
 from repro.sim import Store
-from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -78,6 +77,10 @@ class _StagingRing:
             while capacity < size:
                 capacity *= 2
             buffer = ByteBuffer.allocate(capacity)
+            # The slot-reuse guarantee above is exactly the stability
+            # contract zero-copy sends need: the RNIC may gather views
+            # of this buffer instead of snapshotting it.
+            buffer.stable_until_completion = True
             self._buffers[index] = buffer
         buffer.clear()
         return buffer
@@ -106,13 +109,25 @@ class ReptorConnection:
         self.framer = Framer(auth, max_message=config.max_message)
         self.inbox: Store = Store(self.env)
         #: Framed messages with their (optional) trace contexts, as
-        #: (framed bytes, trace_ctx) pairs.
-        self._outbox: Deque[tuple[bytes, Optional[object]]] = deque()
+        #: (frame segments, total bytes, trace_ctx) triples.  Segments
+        #: are immutable parts (header, payload, mac) held unjoined so
+        #: the write path can gather them without a concatenation.
+        self._outbox: Deque[tuple[tuple[bytes, ...], int, Optional[object]]] = deque()
         self._partial: Optional[ByteBuffer] = None  # mid-write batch (nio)
         #: Batches written to the channel but not yet send-completed, as
-        #: (wr_id, batch bytes, trace_ctx); requeued to the outbox front
-        #: if the channel dies before the RNIC acknowledged them.
-        self._inflight: Deque[tuple[int, bytes, Optional[object]]] = deque()
+        #: (wr_id, batch segments, batch bytes, trace_ctx); requeued to
+        #: the outbox front if the channel dies before the RNIC
+        #: acknowledged them.
+        self._inflight: Deque[
+            tuple[int, tuple[bytes, ...], int, Optional[object]]
+        ] = deque()
+        #: Reusable read buffer (host-side optimization: one allocation
+        #: per connection rather than per read; reads fully drain it
+        #: before the next read starts, so reuse is safe).
+        self._read_buffer = ByteBuffer.allocate(config.read_buffer)
+        #: Cached selection key (set on adopt/dial; avoids a key scan on
+        #: every send).
+        self._key = None
         #: Dialed RUBIN connections watched by the endpoint's supervisor.
         self._supervised = False
         self._credit_waiters: List["Event"] = []
@@ -136,9 +151,13 @@ class ReptorConnection:
     def _send_proc(self, payload: bytes, trace_ctx=None):
         if self.closed:
             raise BftError(f"{self}: connection is closed")
-        tracer = get_tracer(self.env)
+        if not isinstance(payload, bytes):
+            # The frame segments outlive this call (outbox, in-flight
+            # requeue), so a mutable payload must be snapshotted here.
+            payload = bytes(payload)
+        tracer = self.env.tracer
         span = None
-        if tracer.enabled and trace_ctx is not None:
+        if tracer is not None and tracer.enabled and trace_ctx is not None:
             span = tracer.start_span(
                 "reptor.send",
                 layer="reptor",
@@ -160,7 +179,10 @@ class ReptorConnection:
                     self.framer.mac_bytes_for(len(payload))
                 )
                 yield self.endpoint.host.cpu.execute(cost)
-            self._outbox.append((self.framer.encode(payload), trace_ctx))
+            parts = self.framer.encode_parts(payload)
+            self._outbox.append(
+                (parts, sum(map(len, parts)), trace_ctx)
+            )
             self.messages_sent += 1
             self.endpoint._output_pending(self)
             return len(payload)
@@ -331,6 +353,16 @@ class ReptorEndpoint:
         self.selector.wakeup()
 
     def _key_of(self, connection: ReptorConnection):
+        key = connection._key
+        if key is not None:
+            attachment = key.attachment
+            if (
+                key.valid
+                and isinstance(attachment, tuple)
+                and attachment[0] == "conn"
+                and attachment[1] is connection
+            ):
+                return key
         for key in self.selector.keys():
             attachment = key.attachment
             if (
@@ -338,6 +370,7 @@ class ReptorEndpoint:
                 and attachment[0] == "conn"
                 and attachment[1] is connection
             ):
+                connection._key = key
                 return key
         return None
 
@@ -376,6 +409,7 @@ class ReptorEndpoint:
         connection = ReptorConnection(self, channel, peer_name, self.config)
         key = self.selector.register(channel, read_op)
         key.attach(("conn", connection))
+        connection._key = key
         self.connections.append(connection)
         for callback in self._on_connection:
             callback(connection)
@@ -395,6 +429,7 @@ class ReptorEndpoint:
                 return
             connection = ReptorConnection(self, channel, peer_name, self.config)
             key.attach(("conn", connection))
+            connection._key = key
             key.interest_ops = NIO_OP_READ
         else:
             try:
@@ -408,6 +443,7 @@ class ReptorEndpoint:
                 return
             connection = ReptorConnection(self, channel, peer_name, self.config)
             key.attach(("conn", connection))
+            connection._key = key
             key.interest_ops = RUBIN_OP_RECEIVE
             if self.supervisor is not None:
                 self._supervise(connection)
@@ -460,8 +496,8 @@ class ReptorEndpoint:
         # a duplicate (it got the frame but the CQE was lost with the
         # QP), never a gap; deduplication is the protocol layer's job.
         while connection._inflight:
-            _wr_id, batch, trace_ctx = connection._inflight.pop()
-            connection._outbox.appendleft((batch, trace_ctx))
+            _wr_id, batch, size, trace_ctx = connection._inflight.pop()
+            connection._outbox.appendleft((batch, size, trace_ctx))
         key.interest_ops = RUBIN_OP_RECEIVE | (
             RUBIN_OP_SEND if connection.has_output else 0
         )
@@ -491,17 +527,22 @@ class ReptorEndpoint:
                     key.interest_ops & RUBIN_OP_ACCEPT
                 ) | RUBIN_OP_RECEIVE
 
-    def _deliver(self, connection: ReptorConnection, data: bytes, trace_ctx=None):
-        """Feed stream bytes; verify and deliver complete messages."""
+    def _deliver(self, connection: ReptorConnection, data, trace_ctx=None):
+        """Feed stream bytes (or a view of them); verify and deliver.
+
+        ``data`` may alias the connection's read buffer: the framer
+        consumes it synchronously (delivered payloads are owned bytes),
+        so the buffer is free for reuse as soon as ``feed`` returns.
+        """
         try:
             payloads = connection.framer.feed(data)
         except BftError as error:
             connection._fail(error)
             self._drop(connection)
             return
-        tracer = get_tracer(self.env)
+        tracer = self.env.tracer
         span = None
-        if tracer.enabled and trace_ctx is not None and payloads:
+        if tracer is not None and tracer.enabled and trace_ctx is not None and payloads:
             span = tracer.start_span(
                 "reptor.deliver",
                 layer="reptor",
@@ -525,7 +566,7 @@ class ReptorEndpoint:
             span.end()
 
     def _read_nio(self, connection: ReptorConnection):
-        buffer = ByteBuffer.allocate(self.config.read_buffer)
+        buffer = connection._read_buffer.clear()
         try:
             n = yield connection.channel.read(buffer)
         except Exception as exc:  # reset / hard close
@@ -538,19 +579,30 @@ class ReptorEndpoint:
             return
         if n > 0:
             buffer.flip()
-            yield from self._deliver(connection, buffer.get())
+            view = buffer.peek_view()
+            try:
+                yield from self._deliver(connection, view)
+            finally:
+                view.release()
 
     def _read_rubin(self, connection: ReptorConnection):
-        buffer = ByteBuffer.allocate(self.config.read_buffer)
+        # Zero-copy receive: the channel hands back a view of its pool
+        # buffer instead of copying into the connection's read buffer;
+        # the framer's payload materialization (inside _deliver) is then
+        # the only receive-side host copy.  The view is consumed before
+        # this process yields past _deliver's synchronous feed, as
+        # read_view's contract requires.
         try:
-            n = yield connection.channel.read(buffer)
+            result = yield connection.channel.read_view(
+                connection._read_buffer.capacity
+            )
         except Exception as exc:
             if connection._supervised and not connection.closed:
                 return  # transient: the supervisor re-establishes it
             connection._fail(BftError(f"read failed: {exc}"))
             self._drop(connection)
             return
-        if n is None:
+        if result is None:
             if connection._supervised and not connection.closed:
                 # The channel died mid-stream; keep the connection (and
                 # its key) alive — the supervisor re-dials and the loop
@@ -559,13 +611,15 @@ class ReptorEndpoint:
             connection.close()
             self._drop(connection)
             return
-        if n and n > 0:
-            buffer.flip()
-            yield from self._deliver(
-                connection,
-                buffer.get(),
-                trace_ctx=connection.channel.last_read_trace_ctx,
-            )
+        if isinstance(result, memoryview):
+            try:
+                yield from self._deliver(
+                    connection,
+                    result,
+                    trace_ctx=connection.channel.last_read_trace_ctx,
+                )
+            finally:
+                result.release()
 
     def _drop(self, connection: ReptorConnection) -> None:
         """Deregister a dead connection so the loop stops polling it."""
@@ -575,14 +629,17 @@ class ReptorEndpoint:
 
     def _next_batch(
         self, connection: ReptorConnection
-    ) -> tuple[bytes, Optional[object]]:
+    ) -> tuple[List[bytes], int, Optional[object]]:
         """Coalesce up to batch_size framed messages into one write.
 
-        Returns the batch bytes and the trace context of the first traced
-        message in it (the one whose latency the write gates).
+        Returns the batch's frame segments (unjoined — the writer stages
+        them with a gather, never a concatenation), their total size, and
+        the trace context of the first traced message in it (the one
+        whose latency the write gates).
         """
-        parts: List[bytes] = []
+        segments: List[bytes] = []
         trace_ctx: Optional[object] = None
+        messages = 0
         limit = self.config.batch_size
         if self.transport == "rubin":
             # One RDMA message per write: respect the channel buffer size.
@@ -590,16 +647,17 @@ class ReptorEndpoint:
         else:
             budget = 1 << 30
         size = 0
-        while connection._outbox and len(parts) < limit:
-            head, head_ctx = connection._outbox[0]
-            if parts and size + len(head) > budget:
+        while connection._outbox and messages < limit:
+            head, head_size, head_ctx = connection._outbox[0]
+            if segments and size + head_size > budget:
                 break
             connection._outbox.popleft()
-            parts.append(head)
+            segments.extend(head)
+            messages += 1
             if trace_ctx is None:
                 trace_ctx = head_ctx
-            size += len(head)
-        return b"".join(parts), trace_ctx
+            size += head_size
+        return segments, size, trace_ctx
 
     #: Write batches flushed per select round before returning to the
     #: selector, so a large outbox cannot starve reads on the same loop.
@@ -610,10 +668,13 @@ class ReptorEndpoint:
             if not connection.has_output:
                 break
             if connection._partial is None:
-                batch, _trace_ctx = self._next_batch(connection)
-                if not batch:
+                segments, size, _trace_ctx = self._next_batch(connection)
+                if not size:
                     break
-                connection._partial = ByteBuffer.wrap(batch)
+                staging = ByteBuffer.allocate(size)
+                for segment in segments:
+                    staging.put(segment)
+                connection._partial = staging.flip()
             try:
                 n = yield connection.channel.write(connection._partial)
             except Exception as exc:
@@ -641,30 +702,34 @@ class ReptorEndpoint:
         for _round in range(self._WRITE_ROUNDS):
             if not connection._outbox:
                 break
-            batch, trace_ctx = self._next_batch(connection)
-            if not batch:
+            segments, size, trace_ctx = self._next_batch(connection)
+            if not size:
                 break
-            staging = ring.take(len(batch))
-            staging.put(batch)
+            # The one send-side copy: frame segments gather into the
+            # stable staging slot; the RNIC reads it zero-copy from there.
+            staging = ring.take(size)
+            for segment in segments:
+                staging.put(segment)
             staging.flip()
+            batch = tuple(segments)
             try:
                 n = yield connection.channel.write(staging, trace_ctx=trace_ctx)
             except Exception as exc:
                 if connection._supervised and not connection.closed:
                     # Channel died between readiness and write: hold the
                     # batch; it is resent after the supervisor reconnects.
-                    connection._outbox.appendleft((batch, trace_ctx))
+                    connection._outbox.appendleft((batch, size, trace_ctx))
                     return
                 connection._fail(BftError(f"write failed: {exc}"))
                 self._drop(connection)
                 return
             if n == 0:
                 # Send queue full: put the batch back (messages intact).
-                connection._outbox.appendleft((batch, trace_ctx))
+                connection._outbox.appendleft((batch, size, trace_ctx))
                 break
             if connection._supervised:
                 connection._inflight.append(
-                    (connection.channel.last_write_wr_id, batch, trace_ctx)
+                    (connection.channel.last_write_wr_id, batch, size, trace_ctx)
                 )
             connection._grant_credits()
 

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.crypto import MAC_BYTES, HmacAuthenticator
 from repro.errors import BftError
+from repro.sim.copystats import COPYSTATS
 
 __all__ = ["Framer", "HEADER_BYTES", "frame_overhead"]
 
@@ -47,19 +48,31 @@ class Framer:
 
     # -- encoding ----------------------------------------------------------
 
-    def encode(self, payload: bytes) -> bytes:
-        """Frame one message (MAC appended when authentication is on)."""
+    def encode_parts(self, payload: bytes) -> Tuple[bytes, ...]:
+        """Frame one message as ``(header, payload, [mac])`` without joining.
+
+        The payload rides through by reference: writers that can gather
+        multiple segments (staging rings, vectored sends) never pay for
+        a concatenation.  The MAC is computed incrementally over the
+        parts, so authentication adds no copy either.
+        """
         if len(payload) > self.max_message:
             raise BftError(
                 f"message of {len(payload)}B exceeds max_message "
                 f"{self.max_message}B"
             )
-        flags = FLAG_MAC if self.auth is not None else 0
-        header = _HEADER.pack(len(payload), flags)
         if self.auth is not None:
-            mac = self.auth.sign(header + payload)
-            return header + payload + mac
-        return header + payload
+            header = _HEADER.pack(len(payload), FLAG_MAC)
+            mac = self.auth.sign_parts((header, payload))
+            return (header, payload, mac)
+        return (_HEADER.pack(len(payload), 0), payload)
+
+    def encode(self, payload: bytes) -> bytes:
+        """Frame one message as a single owned byte string."""
+        parts = self.encode_parts(payload)
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(sum(len(p) for p in parts))
+        return b"".join(parts)
 
     def encoded_size(self, payload_len: int) -> int:
         """Wire size of a framed message with ``payload_len`` payload."""
@@ -67,14 +80,41 @@ class Framer:
 
     # -- decoding -----------------------------------------------------------
 
-    def feed(self, data: bytes) -> List[bytes]:
-        """Append stream bytes; return the complete, *verified* payloads.
+    def feed(self, data: "bytes | memoryview") -> List[bytes]:
+        """Consume stream bytes; return the complete, *verified* payloads.
+
+        Complete frames are parsed straight out of ``data`` — the only
+        owned materialization is the payload itself.  Bytes of a trailing
+        partial frame (and anything arriving while one is pending) are
+        staged in the parse buffer until completed by a later chunk.
 
         A frame with a bad MAC raises :class:`BftError` — the caller
         (replica) treats the connection as compromised.
         """
-        self._parse_buffer.extend(data)
         out: List[bytes] = []
+        buf = self._parse_buffer
+        if not buf:
+            view = data if isinstance(data, memoryview) else memoryview(data)
+            pos, end = 0, len(view)
+            try:
+                while True:
+                    extracted = self._extract_at(view, pos, end)
+                    if extracted is None:
+                        break
+                    payload, consumed = extracted
+                    out.append(payload)
+                    pos += consumed
+                if pos < end:
+                    if COPYSTATS.enabled:
+                        COPYSTATS.copy(end - pos)
+                    buf.extend(view[pos:end])
+            finally:
+                if view is not data:
+                    view.release()
+            return out
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(len(data))
+        buf.extend(data)
         while True:
             frame = self._try_extract()
             if frame is None:
@@ -84,9 +124,29 @@ class Framer:
 
     def _try_extract(self) -> Optional[bytes]:
         buf = self._parse_buffer
-        if len(buf) < HEADER_BYTES:
+        view = memoryview(buf)
+        try:
+            extracted = self._extract_at(view, 0, len(buf))
+        finally:
+            # Released before the resize below, or bytearray raises.
+            view.release()
+        if extracted is None:
             return None
-        length, flags = _HEADER.unpack_from(buf, 0)
+        payload, consumed = extracted
+        del buf[:consumed]
+        return payload
+
+    def _extract_at(
+        self, view: "memoryview | bytearray", pos: int, end: int
+    ) -> Optional[Tuple[bytes, int]]:
+        """Parse one frame at ``pos``; return ``(payload, consumed)``.
+
+        Verification runs over sub-views, so the payload copy is the only
+        allocation a well-formed frame costs.
+        """
+        if end - pos < HEADER_BYTES:
+            return None
+        length, flags = _HEADER.unpack_from(view, pos)
         if length > self.max_message:
             raise BftError(
                 f"framed length {length} exceeds max_message "
@@ -94,21 +154,25 @@ class Framer:
             )
         has_mac = bool(flags & FLAG_MAC)
         total = HEADER_BYTES + length + (MAC_BYTES if has_mac else 0)
-        if len(buf) < total:
+        if end - pos < total:
             return None
-        payload = bytes(buf[HEADER_BYTES : HEADER_BYTES + length])
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(length)
+        body = pos + HEADER_BYTES
+        payload = bytes(view[body : body + length])
         if has_mac:
             if self.auth is None:
                 raise BftError("authenticated frame on an unauthenticated link")
-            mac = bytes(buf[HEADER_BYTES + length : total])
-            if not self.auth.verify(bytes(buf[:HEADER_BYTES]) + payload, mac):
+            if COPYSTATS.enabled:
+                COPYSTATS.copy(MAC_BYTES)
+            mac = bytes(view[body + length : pos + total])
+            if not self.auth.verify_parts((view[pos:body], payload), mac):
                 self.rejected_count += 1
                 raise BftError("HMAC verification failed: message tampered")
         elif self.auth is not None:
             raise BftError("unauthenticated frame on an authenticated link")
-        del buf[:total]
         self.decoded_count += 1
-        return payload
+        return payload, total
 
     @property
     def buffered_bytes(self) -> int:

@@ -64,45 +64,62 @@ class BufferPool:
         self.device = device
         self.name = name
         self.buffer_size = buffer_size
+        self._pd = pd
+        self._count = count
+        # Backing memory is allocated (and the MR registered) lazily on
+        # first acquire.  The *model* pays the full pre-registration cost
+        # upfront either way — registration_pages() reports the configured
+        # count and reg_mr() charges no simulated time — so laziness is
+        # invisible to the schedule; it only spares the host the memset of
+        # buffers that are never taken (e.g. the send pool when zero-copy
+        # sends are on).
         self._buffers: List[PooledBuffer] = []
         self._free: List[PooledBuffer] = []
-        for index in range(count):
-            mr = device.reg_mr(pd, bytearray(buffer_size), Access.LOCAL_WRITE)
-            pooled = PooledBuffer(self, mr, index)
-            self._buffers.append(pooled)
-            self._free.append(pooled)
+
+    def _allocate_one(self) -> None:
+        mr = self.device.reg_mr(
+            self._pd, bytearray(self.buffer_size), Access.LOCAL_WRITE
+        )
+        # Pool buffers are recycled only on completion, so the send
+        # path may gather zero-copy views of them.
+        mr.stable = True
+        pooled = PooledBuffer(self, mr, len(self._buffers))
+        self._buffers.append(pooled)
+        self._free.append(pooled)
 
     @property
     def capacity(self) -> int:
         """Total buffers in the pool."""
-        return len(self._buffers)
+        return self._count
 
     @property
     def available(self) -> int:
-        """Buffers currently free."""
-        return len(self._free)
+        """Buffers currently free (counting ones not yet materialized)."""
+        return len(self._free) + (self._count - len(self._buffers))
 
     def registration_pages(self) -> int:
         """Pages pinned by the whole pool (for setup-cost accounting)."""
         per_buffer = max(1, -(-self.buffer_size // self.device.attrs.page_size))
-        return per_buffer * len(self._buffers)
+        return per_buffer * self._count
 
     def acquire(self) -> PooledBuffer:
         """Take a free buffer; raises :class:`RubinError` when exhausted."""
         audit = get_audit(self.device.env)
         if not self._free:
-            if audit.enabled:
-                audit.on_pool_exhausted(self.name)
-            raise RubinError(f"{self.name}: buffer pool exhausted")
+            if len(self._buffers) >= self._count:
+                if audit.enabled:
+                    audit.on_pool_exhausted(self.name)
+                raise RubinError(f"{self.name}: buffer pool exhausted")
+            self._allocate_one()
         pooled = self._free.pop()
         pooled.in_use = True
         if audit.enabled:
-            audit.on_buffer_acquire(self.name, len(self._free), self.capacity)
+            audit.on_buffer_acquire(self.name, self.available, self.capacity)
         return pooled
 
     def try_acquire(self) -> PooledBuffer | None:
         """Take a free buffer or return None."""
-        if not self._free:
+        if not self._free and len(self._buffers) >= self._count:
             return None
         return self.acquire()
 

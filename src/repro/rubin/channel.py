@@ -32,6 +32,7 @@ from repro.rdma.verbs import Opcode, QpState, WcStatus
 from repro.rdma.wr import RecvWorkRequest, SendWorkRequest, Sge
 from repro.rubin.buffer_pool import BufferPool, PooledBuffer
 from repro.rubin.config import RubinConfig
+from repro.sim.copystats import COPYSTATS
 from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -446,20 +447,49 @@ class RubinChannel:
         self.progress_marker += 1
         return self.env.process(self._read_proc(buffer), name="rubin.read")
 
+    def read_view(self, max_bytes: int) -> "Event":
+        """Zero-copy read: event value is a memoryview over the pool buffer.
+
+        Non-blocking like :meth:`read` (``0`` when nothing is ready,
+        ``None`` once closed), with identical modeled charges — only the
+        host-side copy into an application buffer is skipped.  The caller
+        must fully consume (or copy out of) the view before yielding back
+        to the kernel: once the event fires, the underlying pool buffer
+        may already be reposted to the RNIC, and a later arrival's DMA —
+        always strictly later in simulated time — will overwrite it.
+        """
+        self.progress_marker += 1
+        return self.env.process(self._read_view_proc(max_bytes), name="rubin.read")
+
+    def _read_view_proc(self, max_bytes: int):
+        return (yield from self._read_message(None, max_bytes))
+
     def _read_proc(self, buffer: ByteBuffer):
+        return (yield from self._read_message(buffer, 0))
+
+    def _read_message(self, buffer: Optional[ByteBuffer], max_bytes: int):
+        """Shared body of :meth:`read` and :meth:`read_view`.
+
+        With ``buffer`` the message bytes are copied into it and the byte
+        count returned; without, a view of the pool buffer is returned.
+        Both paths create exactly the same events (CQE drain, modeled
+        receive copy, buffer recycling), so schedules are bit-identical
+        whichever the application picks.
+        """
         if self.closed and not self._ready_messages and len(self.recv_cq) == 0:
             return None
         yield from self._drain_cq_direct(self.recv_cq)
         if not self._ready_messages:
             return None if self.closed else 0
         message = self._ready_messages[0]
-        take = min(message.remaining, buffer.remaining())
+        limit = buffer.remaining() if buffer is not None else max_bytes
+        take = min(message.remaining, limit)
         if take == 0:
             return 0
         self.last_read_trace_ctx = message.trace_ctx
-        tracer = get_tracer(self.env)
+        tracer = self.env.tracer
         span = None
-        if tracer.enabled and message.trace_ctx is not None:
+        if tracer is not None and tracer.enabled and message.trace_ctx is not None:
             span = tracer.start_span(
                 "channel.read",
                 layer="rubin",
@@ -469,7 +499,19 @@ class RubinChannel:
             )
         if not self.config.zero_copy_recv:
             yield self.host.cpu.copy(take)
-        buffer.put(bytes(message.pooled.data[message.offset : message.offset + take]))
+        view = memoryview(message.pooled.data)[message.offset : message.offset + take]
+        if buffer is not None:
+            # Exactly one host copy on receive: pool buffer -> application
+            # buffer (counted inside put()).  The paper's receive-side copy.
+            buffer.put(view)
+            view.release()
+            result: "int | memoryview" = take
+        else:
+            # Zero-copy hand-off: the recycle below may repost the buffer,
+            # but inbound DMA into it starts strictly later in simulated
+            # time, so a caller that consumes the view before its next
+            # yield can never observe overwritten data.
+            result = view
         message.offset += take
         message.remaining -= take
         if message.remaining == 0:
@@ -477,7 +519,7 @@ class RubinChannel:
             yield from self._recycle_recv_buffer(message.pooled)
         if span is not None:
             span.end()
-        return take
+        return result
 
     def _recycle_recv_buffer(self, pooled: PooledBuffer):
         """Queue a consumed buffer for batched re-posting."""
@@ -581,9 +623,14 @@ class RubinChannel:
                 pooled = self.send_pool.try_acquire()
                 if pooled is None:
                     return 0
-                data = buffer.get(length)
+                # Single host copy app buffer -> registered pool buffer.
+                view = buffer.peek_view(length)
+                if COPYSTATS.enabled:
+                    COPYSTATS.copy(length)
+                pooled.data[:length] = view
+                view.release()
+                buffer.position = buffer.position + length
                 yield cpu.copy(length)
-                pooled.data[:length] = data
                 yield cpu.execute(cpu.costs.post_wr + cpu.costs.doorbell)
                 wr = SendWorkRequest(
                     wr_id=wr_id,
@@ -601,15 +648,18 @@ class RubinChannel:
                 span.end()
 
     def _app_buffer_mr(self, buffer: ByteBuffer):
-        """Register (once) and return the MR for an application buffer."""
-        backing = buffer.array()
-        key = id(backing)
-        mr = self._app_mr_cache.get(key)
-        if mr is not None and mr.buffer is not backing:
-            # id() was recycled for a different bytearray: never serve a
-            # stale registration for foreign memory.
-            mr = None
+        """Register (once) and return the MR for an application buffer.
+
+        The cache is keyed on the :attr:`MemoryRegion.token` of the
+        registration, stamped onto the ByteBuffer itself — tokens are
+        monotonic and never recycled, so a new buffer can never alias a
+        stale registration (``id()``-keyed caches could, because CPython
+        recycles object ids).
+        """
+        token = getattr(buffer, "_mr_token", None)
+        mr = self._app_mr_cache.get(token) if token is not None else None
         if mr is None:
+            backing = buffer.array()
             attrs = self.device.attrs
             pages = max(1, -(-len(backing) // attrs.page_size))
             yield self.host.cpu.execute(
@@ -618,7 +668,12 @@ class RubinChannel:
                 + pages * attrs.mr_register_per_page
             )
             mr = self.device.reg_mr(self.pd, backing)
-            self._app_mr_cache[key] = mr
+            buffer._mr_token = mr.token
+            self._app_mr_cache[mr.token] = mr
+        # Stability is a property of the buffer's ownership discipline
+        # (staging rings recycle slots only on completion), so refresh it
+        # on every use.
+        mr.stable = buffer.stable_until_completion
         return mr
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ Quick tour::
     print(env.run(until=proc))   # -> "done at 1.5"
 """
 
+from repro.sim.copystats import COPYSTATS, CopyStats
 from repro.sim.core import Environment, Infinity
 from repro.sim.events import (
     AllOf,
@@ -39,6 +40,8 @@ from repro.sim.process import Process, ProcessGenerator
 from repro.sim.resources import Resource, ResourceRequest, Store, StoreGet, StorePut
 
 __all__ = [
+    "COPYSTATS",
+    "CopyStats",
     "Environment",
     "Infinity",
     "Event",

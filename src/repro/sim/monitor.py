@@ -184,7 +184,10 @@ class UtilizationTracker:
     def begin(self) -> None:
         """Mark the resource busy (nestable)."""
         if self._depth == 0:
-            self._busy_since = self.env.now
+            # env._now instead of the .now property: begin/end run once per
+            # charged CPU slot / transmitted frame, and the descriptor call
+            # shows up at sweep scale.
+            self._busy_since = self.env._now
         self._depth += 1
 
     def end(self) -> None:
@@ -193,7 +196,7 @@ class UtilizationTracker:
             raise ValueError(f"{self.name}: end() without begin()")
         self._depth -= 1
         if self._depth == 0 and self._busy_since is not None:
-            self._busy_total += self.env.now - self._busy_since
+            self._busy_total += self.env._now - self._busy_since
             self._busy_since = None
 
     def busy_time(self) -> float:

@@ -10,15 +10,17 @@ be interrupted.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
+from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, Interrupt
+from repro.sim.events import PENDING, Event, Interrupt
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.core import Environment
 
-__all__ = ["Process", "ProcessGenerator"]
+__all__ = ["Process", "Drive", "ProcessGenerator"]
 
 #: Type alias for the generators that implement process bodies.
 ProcessGenerator = Generator[Event, Any, Any]
@@ -35,7 +37,9 @@ class Process(Event):
         generator: ProcessGenerator,
         name: Optional[str] = None,
     ):
-        if not hasattr(generator, "throw") or not hasattr(generator, "send"):
+        if type(generator) is not GeneratorType and (
+            not hasattr(generator, "throw") or not hasattr(generator, "send")
+        ):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
@@ -53,7 +57,10 @@ class Process(Event):
         bootstrap.callbacks.append(self._resume)
         bootstrap._ok = True
         bootstrap._value = None
-        env.schedule(bootstrap, priority=env.URGENT)
+        # Inlined env.schedule(bootstrap, priority=URGENT): process creation
+        # is on the hot path (every cpu.execute spawns one).
+        env._eid += 1
+        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -82,28 +89,32 @@ class Process(Event):
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         interrupt_event.callbacks.append(self._resume)
-        self.env.schedule(interrupt_event, priority=self.env.URGENT)
+        env = self.env
+        env._eid += 1
+        _heappush(env._queue, (env._now, 0, env._eid, interrupt_event))
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        if self.triggered:
+        if self._value is not PENDING:
             # The process already finished (e.g. an interrupt raced with the
             # target event).  Nothing to deliver.
             return
-        if isinstance(event._value, Interrupt):
-            # Detach from the current target so its later processing does
-            # not resume us a second time.
-            if self._target is not None and self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:  # pragma: no cover - defensive
-                    pass
-        elif event is not self._target and self._target is not None:
-            # Stale callback from an event we stopped waiting on.
-            return
+        if event is not self._target:
+            if isinstance(event._value, Interrupt):
+                # Detach from the current target so its later processing
+                # does not resume us a second time.
+                if self._target is not None and self._target.callbacks is not None:
+                    try:
+                        self._target.callbacks.remove(self._resume)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+            elif self._target is not None:
+                # Stale callback from an event we stopped waiting on.
+                return
 
         self._target = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
                 next_target = self._generator.send(event._value)
@@ -111,14 +122,26 @@ class Process(Event):
                 event._defused = True
                 next_target = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
+
+        if isinstance(next_target, Event) and next_target.env is env:
+            self._target = next_target
+            callbacks = next_target.callbacks
+            if callbacks is not None:
+                # Inlined Event.subscribe fast path: pending or
+                # triggered-but-unprocessed target.
+                callbacks.append(self._resume)
+            else:
+                # Already processed: subscribe() schedules a proxy event.
+                next_target.subscribe(self._resume)
+            return
 
         if not isinstance(next_target, Event):
             error = SimulationError(
@@ -133,18 +156,63 @@ class Process(Event):
                 self.fail(exc)
             return
 
-        if next_target.env is not self.env:
-            self.fail(
-                SimulationError(
-                    f"process {self.name!r} yielded an event from a "
-                    "different environment"
-                )
+        self.fail(
+            SimulationError(
+                f"process {self.name!r} yielded an event from a "
+                "different environment"
             )
-            return
-
-        self._target = next_target
-        next_target.subscribe(self._resume)
+        )
 
     def __repr__(self) -> str:
         state = "finished" if self.triggered else "alive"
         return f"<Process {self.name!r} {state} at {id(self):#x}>"
+
+
+class Drive(Event):
+    """A stripped-down generator driver for hot internal loops.
+
+    Pushes exactly the agenda entries a :class:`Process` would — one
+    URGENT bootstrap at creation, one NORMAL completion when the
+    generator returns — so swapping a Process for a Drive never changes a
+    schedule.  What it drops is everything those loops never use:
+    interrupt delivery, target tracking, ``active_process`` bookkeeping
+    and the yielded-value type checks.  Use it only for generators that
+
+    * are never interrupted,
+    * only yield fresh (pending, same-environment) events, and
+    * let exceptions propagate (a raising generator surfaces through the
+      kernel immediately instead of failing the process event).
+    """
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator):
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._generator = generator
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._advance)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._eid += 1
+        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
+
+    def _advance(self, event: Event) -> None:
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            # Inlined Event.succeed — the completion event a finished
+            # Process pushes.
+            self._value = stop.value
+            env = self.env
+            env._eid += 1
+            _heappush(env._queue, (env._now, 1, env._eid, self))
+            return
+        target.callbacks.append(self._advance)

@@ -16,15 +16,23 @@ Two primitives cover everything the network and protocol layers need:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Deque, Generator, Optional
+from heapq import heappush as _heappush
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import PENDING, Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.core import Environment
 
-__all__ = ["Store", "Resource", "StorePut", "StoreGet", "ResourceRequest"]
+__all__ = [
+    "Store",
+    "Resource",
+    "StorePut",
+    "StoreGet",
+    "ResourceRequest",
+    "TimedHold",
+]
 
 
 class StorePut(Event):
@@ -33,7 +41,14 @@ class StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, env: "Environment", item: Any):
-        super().__init__(env)
+        # Open-coded Event.__init__: Store puts/gets are allocated once per
+        # queue hop, and the extra super() frame is measurable at sweep
+        # scale.
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.item = item
 
 
@@ -45,7 +60,11 @@ class StoreGet(Event):
     def __init__(
         self, env: "Environment", filter: Optional[Callable[[Any], bool]] = None
     ):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.filter = filter
 
 
@@ -84,6 +103,18 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Queue ``item``; the returned event triggers once it is stored."""
         event = StorePut(self.env, item)
+        # Fast path: nobody waiting to get and room available — identical
+        # succeed order to _dispatch (waiting putters imply no room, so the
+        # condition also guarantees FIFO fairness among puts).  succeed()
+        # is inlined: the event is fresh, so the already-triggered guard
+        # cannot fire.
+        if not self._getters and len(self.items) < self.capacity:
+            self.items.append(item)
+            event._value = None
+            env = self.env
+            env._eid += 1
+            _heappush(env._queue, (env._now, 1, env._eid, event))
+            return event
         self._putters.append(event)
         self._dispatch()
         return event
@@ -91,6 +122,18 @@ class Store:
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         """Take the first (matching) item; event value is the item."""
         event = StoreGet(self.env, filter)
+        # Fast path: unfiltered get with items on hand and no getter queued
+        # ahead of us.  Succeed order matches _dispatch: the getter fires
+        # first, then any putter admitted into the freed slot.  succeed()
+        # is inlined (fresh event, guard cannot fire).
+        if filter is None and not self._getters and self.items:
+            event._value = self.items.popleft()
+            env = self.env
+            env._eid += 1
+            _heappush(env._queue, (env._now, 1, env._eid, event))
+            if self._putters:
+                self._dispatch()
+            return event
         self._getters.append(event)
         self._dispatch()
         return event
@@ -100,7 +143,8 @@ class Store:
         if not self.items:
             return None
         item = self.items.popleft()
-        self._dispatch()
+        if self._putters or self._getters:
+            self._dispatch()
         return item
 
     def _dispatch(self) -> None:
@@ -141,7 +185,11 @@ class ResourceRequest(Event):
     __slots__ = ("resource", "released")
 
     def __init__(self, env: "Environment", resource: "Resource"):
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         self.released = False
 
@@ -192,7 +240,11 @@ class Resource:
         event = ResourceRequest(self.env, self)
         if len(self._users) < self.capacity:
             self._users.append(event)
-            event.succeed()
+            # Inlined succeed() (fresh event, guard cannot fire).
+            event._value = None
+            env = self.env
+            env._eid += 1
+            _heappush(env._queue, (env._now, 1, env._eid, event))
         else:
             self._waiters.append(event)
         return event
@@ -219,18 +271,107 @@ class Resource:
             waiter.succeed()
 
     def run_task(self, duration: float) -> "Event":
-        """Convenience process: hold one slot for ``duration`` and finish.
+        """Convenience: hold one slot for ``duration`` and finish.
 
-        Returns the :class:`~repro.sim.process.Process` so callers can yield
-        it.  This is the standard way the network stacks charge CPU time.
+        Returns an event that fires once the slot has been held for the
+        duration.  This is the standard way the network stacks charge CPU
+        time.
         """
+        return TimedHold(self, duration)
 
-        def task() -> Generator[Event, Any, None]:
-            req = self.request()
-            yield req
-            try:
-                yield self.env.timeout(duration)
-            finally:
-                req.release()
 
-        return self.env.process(task(), name=f"run_task({duration:.3g})")
+class TimedHold(Event):
+    """Request a slot, hold it for a duration, release it — as one event.
+
+    A hand-rolled replacement for the ubiquitous request/timeout/release
+    generator process.  It pushes exactly the same agenda entries in the
+    same order the process version did (URGENT bootstrap, grant, timeout,
+    completion), so schedules are bit-identical, but drives them with
+    bound-method callbacks instead of a generator — no process object, no
+    generator frame, no ``send`` dispatch on the hottest path in the
+    simulator (every charged CPU slot and DMA transfer is one of these).
+
+    ``tracker`` (optional) has ``begin()``/``end()`` called around the
+    hold; ``span`` (optional) has ``end()`` called after release.
+    """
+
+    __slots__ = ("_resource", "_duration", "_request", "_tracker", "_span")
+
+    def __init__(
+        self,
+        resource: Resource,
+        duration: float,
+        tracker: Any = None,
+        span: Any = None,
+    ):
+        env = resource.env
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._resource = resource
+        self._duration = duration
+        self._request: Optional[ResourceRequest] = None
+        self._tracker = tracker
+        self._span = span
+        # Start on the next kernel step at URGENT priority — exactly the
+        # Process bootstrap this replaces.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._acquire)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._eid += 1
+        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
+
+    def _acquire(self, _event: Event) -> None:
+        # Inlined Resource.request() (same grant push, same FIFO order).
+        resource = self._resource
+        request = ResourceRequest(resource.env, resource)
+        self._request = request
+        users = resource._users
+        if len(users) < resource.capacity:
+            users.append(request)
+            request._value = None
+            env = self.env
+            env._eid += 1
+            _heappush(env._queue, (env._now, 1, env._eid, request))
+        else:
+            resource._waiters.append(request)
+        request.callbacks.append(self._hold)
+
+    def _hold(self, _event: Event) -> None:
+        tracker = self._tracker
+        if tracker is not None:
+            tracker.begin()
+        timeout = Timeout(self.env, self._duration)
+        timeout.callbacks.append(self._finish)
+
+    def _finish(self, _event: Event) -> None:
+        tracker = self._tracker
+        if tracker is not None:
+            tracker.end()
+        # Inlined request.release() fast path: the grant fired (we held the
+        # slot), so the request is in _users and cannot be double-released.
+        request = self._request
+        request.released = True
+        resource = request.resource
+        users = resource._users
+        users.remove(request)
+        waiters = resource._waiters
+        if waiters:
+            capacity = resource.capacity
+            while waiters and len(users) < capacity:
+                waiter = waiters.popleft()
+                users.append(waiter)
+                waiter.succeed()
+        span = self._span
+        if span is not None:
+            span.end()
+        # Inlined Event.succeed (the completion was already validated
+        # pending by construction).
+        self._ok = True
+        self._value = None
+        env = self.env
+        env._eid += 1
+        _heappush(env._queue, (env._now, 1, env._eid, self))

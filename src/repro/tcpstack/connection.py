@@ -23,16 +23,19 @@ core, keeping the simulation deterministic.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.errors import TcpError
 from repro.net.frame import Frame
-from repro.sim import Store
+from repro.sim import Event, Store
+from repro.sim.copystats import COPYSTATS
+from repro.sim.resources import TimedHold
 from repro.tcpstack.config import TcpConfig
 from repro.tcpstack.segment import ACK, FIN, RST, SYN, Segment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim import Environment, Event
+    from repro.sim import Environment
     from repro.tcpstack.stack import TcpStack
 
 __all__ = ["TcpConnection"]
@@ -47,6 +50,10 @@ ESTABLISHED = "ESTABLISHED"
 FIN_WAIT = "FIN_WAIT"
 CLOSE_WAIT = "CLOSE_WAIT"
 LAST_ACK = "LAST_ACK"
+
+#: States in which the transmit loop may emit data segments (prebuilt:
+#: ``in (A, B, C)`` rebuilds the tuple from globals on every call).
+_DATA_STATES = (ESTABLISHED, CLOSE_WAIT, FIN_WAIT)
 
 
 class _InFlight:
@@ -142,6 +149,24 @@ class TcpConnection:
         self._passive = passive
         self._processes_started = False
 
+        # --- loop state -----------------------------------------------------
+        # The rx/tx loops are callback state machines (see _rx_step /
+        # _tx_step); these fields carry per-iteration state between the
+        # callbacks, and the cached cost values avoid re-walking
+        # host.cpu.costs on every segment.
+        self._rx_blocked = False
+        self._rx_segment: Optional[Segment] = None
+        self._tx_entry: Optional[_InFlight] = None
+        cpu = self.host.cpu
+        self._cpu_execute = cpu.execute
+        self._cpu_resource = cpu._resource
+        self._cpu_tracker = cpu.tracker
+        self._cost_per_segment = cpu.costs.per_segment
+        self._cost_rx_burst = cpu.costs.per_segment + cpu.costs.interrupt
+        self._tx_mss = config.mss
+        self._tx_max_inflight = config.max_in_flight_segments
+        self._recv_buffer_cap = config.recv_buffer
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -152,9 +177,35 @@ class TcpConnection:
             return
         self._processes_started = True
         name = f"tcp[{self.host.name}:{self.local_port}]"
-        self.env.process(self._rx_loop(), name=f"{name}.rx")
-        self.env.process(self._tx_loop(), name=f"{name}.tx")
+        # rx and tx are callback state machines; each gets the same URGENT
+        # bootstrap event its generator-process predecessor got, so agenda
+        # order (and every modeled timestamp) is unchanged.
+        self._bootstrap(self._rx_step)
+        self._bootstrap(self._tx_step)
         self.env.process(self._retransmit_loop(), name=f"{name}.rto")
+
+    def _bootstrap(self, callback: Callable[[Optional[Event]], None]) -> None:
+        """Schedule ``callback`` on the next kernel step at URGENT priority."""
+        env = self.env
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(callback)
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._eid += 1
+        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
+
+    def _loop_done(self) -> None:
+        """Mimic the completion event a finished generator process pushed.
+
+        Keeping the push preserves event-id parity with the process-based
+        loops, so schedules stay bit-identical across the refactor.
+        """
+        env = self.env
+        done = Event(env)
+        done._ok = True
+        done._value = None
+        env._eid += 1
+        _heappush(env._queue, (env._now, 1, env._eid, done))
 
     def open_active(self) -> None:
         """Client side: send SYN and start the machinery."""
@@ -193,7 +244,15 @@ class TcpConnection:
             pass
 
     def _notify(self) -> None:
-        for watcher in list(self._watchers):
+        watchers = self._watchers
+        if not watchers:
+            return
+        if len(watchers) == 1:
+            # Common case (one selector key per connection): skip the
+            # defensive copy taken for mutation-during-iteration safety.
+            watchers[0]()
+            return
+        for watcher in list(watchers):
             watcher()
 
     @property
@@ -241,6 +300,8 @@ class TcpConnection:
         Charges one syscall plus the user-to-kernel copy.  Blocks (in
         simulated time) while the send buffer is full.
         """
+        if COPYSTATS.enabled and not isinstance(data, bytes):
+            COPYSTATS.copy(len(data))
         return self.env.process(self._send_proc(bytes(data)), name="tcp.send")
 
     def _send_proc(self, data: bytes):
@@ -258,22 +319,33 @@ class TcpConnection:
                 continue
             chunk = remaining[: min(space, remaining.nbytes)]
             yield self.host.cpu.copy(chunk.nbytes)
+            if COPYSTATS.enabled:
+                COPYSTATS.copy(chunk.nbytes)
             self._send_queue.extend(chunk)
             self._kick_tx()
             remaining = remaining[chunk.nbytes :]
         return len(data)
 
-    def write_some(self, data: bytes) -> "Event":
-        """Non-blocking write; event value is the byte count admitted."""
-        return self.env.process(self._write_some_proc(bytes(data)), name="tcp.write")
+    def write_some(self, data: "bytes | memoryview") -> "Event":
+        """Non-blocking write; event value is the byte count admitted.
 
-    def _write_some_proc(self, data: bytes):
+        ``data`` may be a view over the caller's buffer: only the
+        admitted prefix is copied (into the kernel send queue), and the
+        caller must keep the buffer unchanged until the event fires.
+        """
+        return self.env.process(self._write_some_proc(data), name="tcp.write")
+
+    def _write_some_proc(self, data):
         self._check_sendable()
         yield self.host.cpu.execute(self.host.cpu.costs.syscall)
         admitted = min(self.send_space, len(data))
         if admitted:
             yield self.host.cpu.copy(admitted)
-            self._send_queue.extend(data[:admitted])
+            if COPYSTATS.enabled:
+                COPYSTATS.copy(admitted)
+            # The one user-to-kernel copy: straight from the caller's
+            # memory into the send queue, no intermediate snapshot.
+            self._send_queue.extend(memoryview(data)[:admitted])
             self._kick_tx()
         return admitted
 
@@ -341,7 +413,11 @@ class TcpConnection:
         if take == 0:
             return b""
         yield self.host.cpu.copy(take)
-        out = bytes(self._recv_buffer[:take])
+        if COPYSTATS.enabled:
+            COPYSTATS.copy(take)
+        view = memoryview(self._recv_buffer)
+        out = bytes(view[:take])
+        view.release()  # before the resize below, or bytearray raises
         del self._recv_buffer[:take]
         if self._was_zero_window and self._recv_free_space() > 0:
             # Window reopened: tell the (possibly stalled) sender.
@@ -350,12 +426,8 @@ class TcpConnection:
         return out
 
     def _recv_free_space(self) -> int:
-        return max(
-            0,
-            self.config.recv_buffer
-            - len(self._recv_buffer)
-            - self._rx_queued_bytes,
-        )
+        free = self._recv_buffer_cap - len(self._recv_buffer) - self._rx_queued_bytes
+        return free if free > 0 else 0
 
     # ------------------------------------------------------------------
     # application API — close
@@ -389,26 +461,28 @@ class TcpConnection:
     # ------------------------------------------------------------------
 
     def _segment(self, flags: int, seq: int, data: bytes = b"") -> Segment:
+        # Positional construction: dataclass kwargs cost a measurable
+        # amount per segment at sweep scale.
         return Segment(
-            src_host=self.host.name,
-            src_port=self.local_port,
-            dst_host=self.remote_host,
-            dst_port=self.remote_port,
-            flags=flags,
-            seq=seq,
-            ack=self._rcv_nxt,
-            window=self._recv_free_space(),
-            data=data,
+            self.host.name,
+            self.local_port,
+            self.remote_host,
+            self.remote_port,
+            flags,
+            seq,
+            self._rcv_nxt,
+            self._recv_free_space(),
+            data,
         )
 
     def _transmit_segment(self, segment: Segment) -> None:
         self.host.nic.transmit(
             Frame(
-                src=self.host.name,
-                dst=self.remote_host,
-                protocol=self.stack.PROTOCOL,
-                wire_bytes=segment.wire_bytes,
-                payload=segment,
+                self.host.name,
+                self.remote_host,
+                self.stack.PROTOCOL,
+                segment.wire_bytes,
+                segment,
             )
         )
 
@@ -428,14 +502,6 @@ class TcpConnection:
     # transmit loop
     # ------------------------------------------------------------------
 
-    def _can_send_data(self) -> bool:
-        if not self._send_queue:
-            return False
-        if len(self._inflight) >= self.config.max_in_flight_segments:
-            return False
-        unacked = self._snd_nxt - self._snd_una
-        return unacked < self._peer_window
-
     def _should_send_fin(self) -> bool:
         return (
             self._close_requested
@@ -444,38 +510,75 @@ class TcpConnection:
             and self.state in (ESTABLISHED, CLOSE_WAIT, SYN_RCVD, SYN_SENT)
         )
 
-    def _tx_loop(self):
-        cpu = self.host.cpu
-        while self.state != CLOSED:
-            if self._can_send_data() and self.is_established:
-                window_left = self._peer_window - (self._snd_nxt - self._snd_una)
-                size = min(len(self._send_queue), self.config.mss, window_left)
-                data = bytes(self._send_queue[:size])
-                del self._send_queue[:size]
-                entry = _InFlight(self._snd_nxt, data, 0, self.env.now)
-                self._snd_nxt += size
-                self._inflight.append(entry)
-                # Protocol processing for this segment (header build,
-                # checksum handoff); the NIC DMA overlaps with the next
-                # segment's CPU work.
-                yield cpu.execute(cpu.costs.per_segment)
-                entry.sent_at = self.env.now
-                self._transmit_entry(entry)
-                self._wake_send_waiters()
-                continue
-            if self._should_send_fin():
-                self._fin_sent = True
-                if self.state == ESTABLISHED:
-                    self.state = FIN_WAIT
-                elif self.state == CLOSE_WAIT:
-                    self.state = LAST_ACK
-                yield cpu.execute(cpu.costs.per_segment)
-                self._queue_control(FIN)
-                continue
-            self._tx_kick = self.env.event()
-            yield self._tx_kick
-        # Drain: wake anyone still blocked on a closed connection.
+    # The transmit loop is a callback state machine: every branch of the
+    # old generator ended in a yield, so each branch becomes "schedule the
+    # next event, append the continuation".  Events are created in exactly
+    # the order the generator created them (segment mutations before the
+    # CPU charge, TimedHold before the callback append, kick event only
+    # when idle), keeping schedules bit-identical while removing the
+    # generator ``send`` dispatch per segment.
+
+    def _tx_step(self, _event: Optional[Event]) -> None:
+        if self.state == CLOSED:
+            # Drain: wake anyone still blocked on a closed connection.
+            self._wake_send_waiters()
+            self._loop_done()
+            return
+        send_queue = self._send_queue
+        if (
+            send_queue
+            and len(self._inflight) < self._tx_max_inflight
+            and self._snd_nxt - self._snd_una < self._peer_window
+            and self.state in _DATA_STATES
+        ):
+            window_left = self._peer_window - (self._snd_nxt - self._snd_una)
+            size = min(len(send_queue), self._tx_mss, window_left)
+            if COPYSTATS.enabled:
+                COPYSTATS.copy(size)
+            view = memoryview(send_queue)
+            data = bytes(view[:size])
+            view.release()  # before the resize below, or bytearray raises
+            del send_queue[:size]
+            entry = _InFlight(self._snd_nxt, data, 0, self.env._now)
+            self._snd_nxt += size
+            self._inflight.append(entry)
+            self._tx_entry = entry
+            # Protocol processing for this segment (header build,
+            # checksum handoff); the NIC DMA overlaps with the next
+            # segment's CPU work.  TimedHold directly when the cost is
+            # non-zero; cpu.execute keeps its distinct zero-cost schedule.
+            cost = self._cost_per_segment
+            if cost > 0.0:
+                charged = TimedHold(self._cpu_resource, cost, self._cpu_tracker)
+            else:
+                charged = self._cpu_execute(cost)
+            charged.callbacks.append(self._tx_segment_charged)
+            return
+        if self._should_send_fin():
+            self._fin_sent = True
+            if self.state == ESTABLISHED:
+                self.state = FIN_WAIT
+            elif self.state == CLOSE_WAIT:
+                self.state = LAST_ACK
+            self._cpu_execute(self._cost_per_segment).callbacks.append(
+                self._tx_fin_charged
+            )
+            return
+        kick = Event(self.env)
+        self._tx_kick = kick
+        kick.callbacks.append(self._tx_step)
+
+    def _tx_segment_charged(self, _event: Event) -> None:
+        entry = self._tx_entry
+        self._tx_entry = None
+        entry.sent_at = self.env._now
+        self._transmit_entry(entry)
         self._wake_send_waiters()
+        self._tx_step(None)
+
+    def _tx_fin_charged(self, _event: Event) -> None:
+        self._queue_control(FIN)
+        self._tx_step(None)
 
     def _wake_send_waiters(self) -> None:
         while self._send_waiters and (self.send_space > 0 or self.state == CLOSED):
@@ -493,32 +596,51 @@ class TcpConnection:
         self._rx_queued_bytes += len(segment.data)
         self._rx_queue.put(segment)
 
-    def _rx_loop(self):
-        cpu = self.host.cpu
-        while True:
-            # NAPI-style interrupt coalescing: the first segment of a burst
-            # raises a hardware interrupt; segments already queued when we
-            # come back around are polled and pay only protocol processing.
-            blocked = len(self._rx_queue) == 0
-            segment = yield self._rx_queue.get()
-            if self.state == CLOSED:
-                return
-            cost = cpu.costs.per_segment + (cpu.costs.interrupt if blocked else 0.0)
-            yield cpu.execute(cost)
-            self._rx_queued_bytes -= len(segment.data)
-            self._handle_segment(segment)
-            if self.state == CLOSED:
-                return
+    # The receive loop mirrors _tx_step: wait-for-segment -> charge CPU ->
+    # handle, as callbacks with the same event order the generator had.
+
+    def _rx_step(self, _event: Optional[Event]) -> None:
+        """Wait for the next inbound segment."""
+        rx_queue = self._rx_queue
+        # NAPI-style interrupt coalescing: the first segment of a burst
+        # raises a hardware interrupt; segments already queued when we
+        # come back around are polled and pay only protocol processing.
+        # (Computed before get(): an uncontended get pops the item.)
+        self._rx_blocked = not rx_queue.items
+        rx_queue.get().callbacks.append(self._rx_dequeued)
+
+    def _rx_dequeued(self, event: Event) -> None:
+        if self.state == CLOSED:
+            self._loop_done()
+            return
+        self._rx_segment = event._value
+        cost = self._cost_rx_burst if self._rx_blocked else self._cost_per_segment
+        if cost > 0.0:
+            charged = TimedHold(self._cpu_resource, cost, self._cpu_tracker)
+        else:
+            charged = self._cpu_execute(cost)
+        charged.callbacks.append(self._rx_charged)
+
+    def _rx_charged(self, _event: Event) -> None:
+        segment = self._rx_segment
+        self._rx_segment = None
+        self._rx_queued_bytes -= len(segment.data)
+        self._handle_segment(segment)
+        if self.state == CLOSED:
+            self._loop_done()
+            return
+        self._rx_step(None)
 
     def _handle_segment(self, segment: Segment) -> None:
-        if segment.has(RST):
+        flags = segment.flags
+        if flags & RST:
             self._enter_closed(TcpError(f"{self}: connection reset by peer"))
             return
 
-        if segment.has(ACK):
+        if flags & ACK:
             self._process_ack(segment)
 
-        if self.state == SYN_SENT and segment.has(SYN) and segment.has(ACK):
+        if self.state == SYN_SENT and flags & SYN and flags & ACK:
             self._rcv_nxt = segment.seq + 1
             self.state = ESTABLISHED
             self._send_ack()
@@ -528,13 +650,13 @@ class TcpConnection:
             self._kick_tx()
             return
 
-        if segment.has(SYN) and self.state not in (SYN_SENT, SYN_RCVD):
+        if flags & SYN and self.state not in (SYN_SENT, SYN_RCVD):
             # Duplicate SYN / SYN-ACK: our handshake ACK was lost.  Re-ACK
             # so the peer can leave SYN_RCVD.
             self._send_ack()
             return
 
-        if self.state == SYN_RCVD and segment.has(ACK) and self._snd_una >= 1:
+        if self.state == SYN_RCVD and flags & ACK and self._snd_una >= 1:
             self.state = ESTABLISHED
             if not self.established.triggered:
                 self.established.succeed(self)
@@ -543,18 +665,21 @@ class TcpConnection:
             self._kick_tx()
             # fall through: the establishing ACK may carry data.
 
-        if segment.data or segment.has(FIN):
+        if segment.data or flags & FIN:
             self._process_data(segment)
 
     def _process_ack(self, segment: Segment) -> None:
         window_reopened = self._peer_window == 0 and segment.window > 0
         self._peer_window = segment.window
         advanced = False
-        while self._inflight:
-            head = self._inflight[0]
-            if head.seq + head.seq_length() <= segment.ack:
-                self._inflight.pop(0)
-                self._snd_una = head.seq + head.seq_length()
+        inflight = self._inflight
+        ack = segment.ack
+        while inflight:
+            head = inflight[0]
+            head_end = head.seq + head.seq_length()
+            if head_end <= ack:
+                inflight.pop(0)
+                self._snd_una = head_end
                 if head.flags & FIN:
                     self._fin_acked = True
                 advanced = True
@@ -579,15 +704,19 @@ class TcpConnection:
             # Out-of-order (go-back-N): drop, re-ACK what we have.
             self._send_ack()
             return
-        if segment.data:
-            if len(segment.data) > self._recv_free_space():
+        data = segment.data
+        if data:
+            size = len(data)
+            if size > self._recv_free_space():
                 # No buffer space: drop; sender's RTO/probe will retry.
                 self._was_zero_window = True
                 self._send_ack()
                 return
-            self._recv_buffer.extend(segment.data)
-            self._rcv_nxt += len(segment.data)
-        if segment.has(FIN):
+            if COPYSTATS.enabled:
+                COPYSTATS.copy(size)
+            self._recv_buffer.extend(data)
+            self._rcv_nxt += size
+        if segment.flags & FIN:
             self._rcv_nxt += 1
             self._fin_received = True
             if self.state == ESTABLISHED:
@@ -603,7 +732,7 @@ class TcpConnection:
         if (
             self._segs_since_ack >= 2
             or len(self._rx_queue) == 0
-            or segment.has(FIN)
+            or segment.flags & FIN
         ):
             self._segs_since_ack = 0
             self._send_ack()

@@ -17,7 +17,7 @@ RST = 0x8
 _FLAG_NAMES = [(SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"), (RST, "RST")]
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
     """One TCP segment.
 

@@ -46,7 +46,7 @@ class TraceError(ReproError):
     """Misuse of the tracing subsystem (bad parents, unknown traces...)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanContext:
     """The propagatable identity of a span: ``(trace_id, span_id)``.
 

@@ -147,3 +147,29 @@ def test_compact_then_continue(data, cut):
     buf.compact()
     buf.flip()
     assert consumed + buf.get() == data
+
+
+def test_get_returns_owned_bytes_immune_to_backing_mutation():
+    """Single-copy get(): mutating array() must never leak into past reads."""
+    buf = ByteBuffer.allocate(16)
+    buf.put(b"payload!")
+    buf.flip()
+    out = buf.get()
+    buf.array()[:8] = b"XXXXXXXX"
+    assert out == b"payload!"
+
+
+def test_peek_returns_owned_bytes_immune_to_backing_mutation():
+    buf = ByteBuffer.wrap(b"sensitive")
+    out = buf.peek()
+    buf.array()[:4] = b"dead"
+    assert out == b"sensitive"
+
+
+def test_peek_view_aliases_backing_until_released():
+    """peek_view is the documented zero-copy escape hatch: it DOES alias."""
+    buf = ByteBuffer.wrap(b"aliased")
+    view = buf.peek_view()
+    buf.array()[:1] = b"Z"
+    assert bytes(view) == b"Zliased"
+    view.release()

@@ -249,3 +249,52 @@ def test_two_processes_interleave_deterministically():
         ("ping", 4.0),
         ("pong", 5.0),
     ]
+
+
+class TestDrive:
+    """Drive: the stripped generator driver used by hot internal loops."""
+
+    def test_same_schedule_as_process(self):
+        """A Drive-driven generator interleaves exactly like a Process."""
+        from repro.sim.process import Drive
+
+        def body(env, trace, tag):
+            for _ in range(3):
+                trace.append((tag, env.now))
+                yield env.timeout(2.0)
+            return "done"
+
+        def run(factory):
+            env = Environment()
+            trace = []
+            factory(env, body(env, trace, "a"))
+            factory(env, body(env, trace, "b"))
+            env.run()
+            return trace
+
+        as_process = run(lambda env, gen: env.process(gen))
+        as_drive = run(Drive)
+        assert as_drive == as_process
+
+    def test_completion_event_carries_return_value(self):
+        from repro.sim.process import Drive
+
+        def body(env):
+            yield env.timeout(1.0)
+            return 42
+
+        env = Environment()
+        drive = Drive(env, body(env))
+        assert env.run(until=drive) == 42
+
+    def test_generator_exception_propagates(self):
+        from repro.sim.process import Drive
+
+        def body(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("boom")
+
+        env = Environment()
+        Drive(env, body(env))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
