@@ -269,6 +269,35 @@ class AuditManager:
     def on_cq_push(self, cq_name: str, depth: int, capacity: int) -> None:
         self.resources.on_cq_push(cq_name, depth, capacity)
 
+    def on_rnr_nak(self, host: str, qp_num: int, psn: int) -> None:
+        self.record("rdma", "rnr-nak", host, qp_num=qp_num, psn=psn)
+
+    def on_rnr_retry(
+        self, host: str, qp_num: int, used: int, budget: int
+    ) -> None:
+        self.record(
+            "rdma", "rnr-retry", host, qp_num=qp_num, used=used, budget=budget
+        )
+        self.resources.on_rnr_retry(host, qp_num, used, budget)
+
+    def on_rnr_exhausted(self, host: str, qp_num: int) -> None:
+        self.record("rdma", "rnr-exhausted", host, qp_num=qp_num)
+
+    def on_send_credit(
+        self, host: str, qp_num: int, sent_total: int, credit_limit: int
+    ) -> None:
+        # Not flight-recorded (per-message volume); the invariant check
+        # is what matters.
+        self.resources.on_send_credit(host, qp_num, sent_total, credit_limit)
+
+    def on_credit_advertised(self, qp_num: int, credit: int) -> None:
+        self.resources.on_credit_advertised(qp_num, credit)
+
+    def on_credit_update(
+        self, qp_num: int, credit: int, previous: int
+    ) -> None:
+        self.resources.on_credit_update(qp_num, credit, previous)
+
     # -- RUBIN hooks -----------------------------------------------------
 
     def on_buffer_acquire(
@@ -298,6 +327,26 @@ class AuditManager:
 
     def on_reconnect(self, supervisor: str, event: str, **fields: Any) -> None:
         self.record("rubin", f"reconnect-{event}", supervisor, **fields)
+
+    # -- BFT hooks -------------------------------------------------------
+
+    def on_request_shed(
+        self,
+        replica: str,
+        client_id: str,
+        timestamp: int,
+        outstanding: int,
+        budget: int,
+    ) -> None:
+        self.record(
+            "bft",
+            "request-shed",
+            replica,
+            client_id=client_id,
+            timestamp=timestamp,
+            outstanding=outstanding,
+            budget=budget,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -36,6 +36,14 @@ RDMA / RUBIN resources (:class:`ResourceAuditor`):
 * ``rdma.recv-not-posted`` — a receive completion surfaced for a WR
   the auditor never saw posted;
 * ``rdma.cq-overrun`` — a completion push would exceed CQ capacity;
+* ``rdma.rnr-budget-exceeded`` — a requester performed more RNR retry
+  rounds than its configured ``rnr_retry`` budget allows;
+* ``rdma.send-without-credit`` — a two-sided SEND was posted past the
+  peer's advertised receive window (flow control must gate the post);
+* ``rdma.credit-overadvertised`` — a responder advertised more credits
+  than receives it ever posted (credits must be conserved);
+* ``rdma.credit-regression`` — a responder's advertised cumulative
+  credit moved backwards (advertisements are monotonic);
 * ``rubin.pool-double-return`` — a pooled buffer was returned while
   already free (checkout/return must balance);
 * ``rubin.pool-overflow`` — a pool's free list exceeded its capacity;
@@ -192,6 +200,10 @@ class ResourceAuditor:
         self.manager = manager
         #: qp_num -> wr_ids posted but not yet completed
         self._posted_recvs: Dict[int, Set[int]] = {}
+        #: qp_num -> cumulative receives ever posted (credit conservation)
+        self._posted_total: Dict[int, int] = {}
+        #: qp_num -> highest credit a requester has seen advertised
+        self._seen_credit: Dict[int, int] = {}
         #: (host, channel_id) -> (consecutive no-progress ready passes,
         #: last observed progress marker)
         self._ready_streaks: Dict[Tuple[str, int], Tuple[int, int]] = {}
@@ -213,6 +225,7 @@ class ResourceAuditor:
 
     def on_post_recv(self, qp_num: int, wr_id: int) -> None:
         self._posted_recvs.setdefault(qp_num, set()).add(wr_id)
+        self._posted_total[qp_num] = self._posted_total.get(qp_num, 0) + 1
 
     def on_recv_complete(self, qp_num: int, wr_id: int) -> None:
         outstanding = self._posted_recvs.get(qp_num)
@@ -229,6 +242,8 @@ class ResourceAuditor:
             del self._posted_recvs[qp_num]
 
     def on_qp_destroy(self, host: str, qp_num: int) -> None:
+        self._posted_total.pop(qp_num, None)
+        self._seen_credit.pop(qp_num, None)
         dropped = self._posted_recvs.pop(qp_num, None)
         if dropped:
             self.manager.violation(
@@ -252,6 +267,64 @@ class ResourceAuditor:
                 depth=depth,
                 capacity=capacity,
             )
+
+    # -- flow control -----------------------------------------------------
+
+    def on_rnr_retry(
+        self, host: str, qp_num: int, used: int, budget: int
+    ) -> None:
+        if used > budget:
+            self.manager.violation(
+                "rdma.rnr-budget-exceeded",
+                layer="rdma",
+                subject=host,
+                qp_num=qp_num,
+                used=used,
+                budget=budget,
+            )
+
+    def on_send_credit(
+        self, host: str, qp_num: int, sent_total: int, credit_limit: int
+    ) -> None:
+        if sent_total > credit_limit:
+            self.manager.violation(
+                "rdma.send-without-credit",
+                layer="rdma",
+                subject=host,
+                qp_num=qp_num,
+                sent_total=sent_total,
+                credit_limit=credit_limit,
+            )
+
+    def on_credit_advertised(self, qp_num: int, credit: int) -> None:
+        posted = self._posted_total.get(qp_num, 0)
+        if credit > posted:
+            self.manager.violation(
+                "rdma.credit-overadvertised",
+                layer="rdma",
+                subject=f"qp{qp_num}",
+                credit=credit,
+                posted=posted,
+            )
+
+    def on_credit_update(
+        self, qp_num: int, credit: int, previous: int
+    ) -> None:
+        # Tracked against the auditor's own high-water mark, not the
+        # requester's local limit, so an asymmetric initial_credit does
+        # not read as a regression.
+        seen = self._seen_credit.get(qp_num)
+        if seen is not None and credit < seen:
+            self.manager.violation(
+                "rdma.credit-regression",
+                layer="rdma",
+                subject=f"qp{qp_num}",
+                credit=credit,
+                previous=seen,
+            )
+            return
+        if seen is None or credit > seen:
+            self._seen_credit[qp_num] = credit
 
     # -- buffer pools ----------------------------------------------------
 

@@ -39,7 +39,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
     )
-    parser.add_argument("--fig", choices=("3", "4", "all"), default="all")
+    parser.add_argument(
+        "--fig", choices=("3", "4", "overload", "all"), default="all"
+    )
     parser.add_argument(
         "--messages",
         type=int,
@@ -156,6 +158,39 @@ def main(argv=None) -> int:
         except ReproError as error:
             failures += 1
             print(f"  Figure 4 shape checks: FAIL — {error}")
+        print()
+
+    if args.fig in ("overload", "all"):
+        from repro.bench.overload import run_overload
+
+        print("== Overload (open-loop burst at ~2x admission budget) ==")
+        record = run_overload()
+        print(
+            f"  goodput:     {record['goodput_rps']:>10.0f} req/s\n"
+            f"  shed_rate:   {record['shed_rate']:>10.2f} sheds/request\n"
+            f"  backoffs:    {record['busy_backoffs']:>10d}\n"
+            f"  p50 latency: {record['latency_us']['p50']:>10.0f} us\n"
+            f"  p99 latency: {record['latency_us']['p99']:>10.0f} us"
+        )
+        if args.json_dir is not None:
+            path = os.path.join(args.json_dir, "BENCH_overload.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"figure": "overload", "points": [record]},
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+            print(f"  wrote {path}")
+        if record["audit_violations"]:
+            failures += 1
+            print(
+                "  Overload graceful-degradation check: FAIL — "
+                f"{record['audit_violations']} audit violations"
+            )
+        else:
+            print("  Overload graceful-degradation check: PASS")
 
     return 1 if failures else 0
 
@@ -222,7 +257,12 @@ def run_gate(args) -> int:
     """Run the performance-regression gate and report per metric."""
     from repro.bench.regression import run_check
 
-    figures = {"3": ("fig3",), "4": ("fig4",), "all": ("fig3", "fig4")}
+    figures = {
+        "3": ("fig3",),
+        "4": ("fig4",),
+        "overload": ("overload",),
+        "all": ("fig3", "fig4", "overload"),
+    }
     history = args.history or os.path.join(
         args.baseline_dir, "BENCH_history.jsonl"
     )

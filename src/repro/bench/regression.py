@@ -23,12 +23,14 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.bench.baseline import echo_record
 from repro.bench.echo import run_echo
+from repro.bench.overload import run_overload
 from repro.bench.results import EchoResult
 from repro.bench.selector_echo import reptor_echo
 from repro.errors import ReproError
 
 __all__ = [
     "DEFAULT_TOLERANCES",
+    "OVERLOAD_TOLERANCES",
     "MetricCheck",
     "PointReport",
     "CheckReport",
@@ -48,6 +50,16 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[float, int]] = {
     "latency_us.p95": (0.30, +1),
     "latency_us.p99": (0.40, +1),
     "throughput_rps": (0.25, -1),
+}
+
+#: The overload figure gates different metrics: goodput must not drop,
+#: the shed rate and completed-request tail must not blow up.  Shedding
+#: is intentionally generous — its absolute value is a scenario property,
+#: not a performance target; the band only catches it *doubling*.
+OVERLOAD_TOLERANCES: Dict[str, Tuple[float, int]] = {
+    "latency_us.p99": (0.40, +1),
+    "goodput_rps": (0.25, -1),
+    "shed_rate": (0.50, +1),
 }
 
 #: ``reptor_echo`` takes the protocol name; baselines store the label
@@ -134,8 +146,12 @@ def load_baseline(path: str) -> Dict[str, Any]:
     return document
 
 
-def rerun_point(figure: str, point: Mapping[str, Any]) -> EchoResult:
-    """Repeat one baseline point with its recorded parameters."""
+def rerun_point(figure: str, point: Mapping[str, Any]):
+    """Repeat one baseline point with its recorded parameters.
+
+    Returns an :class:`EchoResult` for the echo figures, or the
+    JSON-ready record dict for the overload figure.
+    """
     transport = point["transport"]
     payload = int(point["payload_bytes"])
     messages = int(point["messages"])
@@ -149,7 +165,18 @@ def rerun_point(figure: str, point: Mapping[str, Any]) -> EchoResult:
                 f"(have {sorted(_FIG4_TRANSPORTS)})"
             )
         return reptor_echo(protocol, payload, messages)
-    raise ReproError(f"unknown figure {figure!r} (have fig3, fig4)")
+    if figure == "overload":
+        return run_overload(
+            transport=transport,
+            payload_bytes=payload,
+            messages=messages,
+            num_clients=int(point["num_clients"]),
+            admission_budget=int(point["admission_budget"]),
+            view_change_timeout=float(point["view_change_timeout"]),
+        )
+    raise ReproError(
+        f"unknown figure {figure!r} (have fig3, fig4, overload)"
+    )
 
 
 def _metric(record: Mapping[str, Any], path: str) -> float:
@@ -167,11 +194,15 @@ def check_figure(
     """Re-run every point of ``document`` and band-check each metric."""
     if tolerance_scale <= 0:
         raise ReproError("tolerance scale must be positive")
-    tolerances = tolerances if tolerances is not None else DEFAULT_TOLERANCES
     figure = document["figure"]
+    if tolerances is None:
+        tolerances = (
+            OVERLOAD_TOLERANCES if figure == "overload" else DEFAULT_TOLERANCES
+        )
     report = CheckReport(figure=figure)
     for point in document["points"]:
-        fresh = echo_record(rerun_point(figure, point))
+        rerun = rerun_point(figure, point)
+        fresh = rerun if isinstance(rerun, Mapping) else echo_record(rerun)
         point_report = PointReport(
             transport=point["transport"],
             payload_bytes=int(point["payload_bytes"]),
@@ -224,7 +255,7 @@ def append_history(
 
 def run_check(
     baseline_dir: str,
-    figures: Tuple[str, ...] = ("fig3", "fig4"),
+    figures: Tuple[str, ...] = ("fig3", "fig4", "overload"),
     history_path: Optional[str] = None,
     tolerance_scale: float = 1.0,
 ) -> Tuple[bool, List[CheckReport]]:

@@ -9,11 +9,13 @@ leader is faulty — eventually trigger a view change.
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.bft.messages import Reply, Request, decode, encode
+from repro.bft.messages import Busy, Reply, Request, decode, encode
 from repro.errors import BftError
 from repro.reptor import ReptorConnection, ReptorEndpoint
+from repro.rubin import SupervisorPolicy
 from repro.trace import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -32,6 +34,7 @@ class BftClient:
         replica_ids: List[str],
         f: int,
         retry_timeout: float = 20e-3,
+        backoff_policy: Optional[SupervisorPolicy] = None,
     ):
         if f < 0:
             raise BftError("f must be >= 0")
@@ -46,11 +49,27 @@ class BftClient:
         self._reply_votes: Dict[int, Dict[bytes, set]] = {}
         self._accepted: Dict[int, "Event"] = {}
         self._view_hint = 0
+        # Overload handling: the supervisor's backoff policy doubles as
+        # the client retry policy (same jittered exponential shape, same
+        # seeded determinism).  The per-client seed string desynchronises
+        # clients that were all shed by the same overloaded replica.
+        self._backoff = (
+            backoff_policy if backoff_policy is not None else SupervisorPolicy()
+        )
+        self._backoff_rng = random.Random(f"{self._backoff.seed}:{client_id}")
+        #: Sticky: set the first time f+1 replicas shed one of our
+        #: requests.  Until then the invoke loop waits on exactly the
+        #: same event set as a build without admission control, so
+        #: default (never-overloaded) schedules are bit-identical.
+        self._saw_busy = False
+        self._busy_votes: Dict[int, set] = {}
+        self._busy_signal: Dict[int, "Event"] = {}
         self.running = True
 
         # Metrics.
         self.invocations = 0
         self.retransmissions = 0
+        self.busy_backoffs = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -84,6 +103,8 @@ class BftClient:
                 return
             if isinstance(message, Reply):
                 self._on_reply(message)
+            elif isinstance(message, Busy):
+                self._on_busy(message)
 
     # -- invocation ---------------------------------------------------------
 
@@ -128,11 +149,41 @@ class BftClient:
         if connection is not None and not connection.closed:
             yield connection.send(raw, trace_ctx=ctx)
 
+        backoff_attempt = 0
         while not accepted.triggered:
             timer = self.env.timeout(self.retry_timeout)
-            yield self.env.any_of([accepted, timer])
+            waiters = [accepted, timer]
+            if self._saw_busy:
+                # Only once overload has ever been observed does the
+                # busy waiter join the event set (see _saw_busy above).
+                busy_signal = self._busy_signal.get(timestamp)
+                if busy_signal is None or busy_signal.triggered:
+                    busy_signal = self.env.event()
+                    self._busy_signal[timestamp] = busy_signal
+                waiters.append(busy_signal)
+            yield self.env.any_of(waiters)
             if accepted.triggered:
                 break
+            busy_signal = self._busy_signal.get(timestamp)
+            if busy_signal is not None and busy_signal.triggered:
+                # f+1 replicas shed this request: the group really is
+                # overloaded.  Back off (jittered exponential) and retry
+                # to the leader only — broadcasting would add load.
+                self.busy_backoffs += 1
+                self._busy_votes.pop(timestamp, None)
+                yield self.env.timeout(
+                    self._backoff.delay(backoff_attempt, self._backoff_rng)
+                )
+                backoff_attempt += 1
+                if accepted.triggered:
+                    break
+                leader = self.replica_ids[
+                    self._view_hint % len(self.replica_ids)
+                ]
+                connection = self._connections.get(leader)
+                if connection is not None and not connection.closed:
+                    yield connection.send(raw, trace_ctx=ctx)
+                continue
             # Timeout: broadcast to all replicas (PBFT client fallback).
             self.retransmissions += 1
             for connection in self._connections.values():
@@ -141,6 +192,8 @@ class BftClient:
         result = accepted.value
         del self._accepted[timestamp]
         del self._reply_votes[timestamp]
+        self._busy_votes.pop(timestamp, None)
+        self._busy_signal.pop(timestamp, None)
         if root is not None:
             root.end(result_bytes=len(result) if result is not None else 0)
             tracer.unbind(("bft.request", self.client_id, timestamp))
@@ -158,6 +211,23 @@ class BftClient:
         self._view_hint = max(self._view_hint, reply.view)
         if len(voters) >= self.f + 1:
             accepted.succeed(reply.result)
+
+    def _on_busy(self, busy: Busy) -> None:
+        if busy.client_id != self.client_id:
+            return
+        accepted = self._accepted.get(busy.timestamp)
+        if accepted is None or accepted.triggered:
+            return
+        voters = self._busy_votes.setdefault(busy.timestamp, set())
+        voters.add(busy.replica_id)
+        self._view_hint = max(self._view_hint, busy.view)
+        if len(voters) >= self.f + 1:
+            # At least one honest replica shed the request: genuine
+            # overload, not a Byzantine replica crying wolf.
+            self._saw_busy = True
+            signal = self._busy_signal.get(busy.timestamp)
+            if signal is not None and not signal.triggered:
+                signal.succeed()
 
     def close(self) -> None:
         """Close all replica connections."""

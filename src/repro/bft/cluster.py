@@ -350,8 +350,32 @@ class BftCluster:
                     ),
                     "st_served": replica.state_transfers_served,
                     "st_bytes": replica.state_transfer_bytes,
+                    "shed_requests": replica.shed_requests,
                     "rejoin_latency": replica.rejoin_latency,
                 },
+            )
+            endpoint_metrics = {
+                "watermark_crossings": replica.endpoint.watermark_crossings,
+                "backpressure_time": replica.endpoint.backpressure_time,
+            }
+            if self.transport == "rubin":
+                # Aggregate transport-level stall counters across the
+                # endpoint's channels (per-channel values stay available
+                # on the channel objects for debugging).
+                endpoint_metrics["credit_stalls"] = (
+                    lambda r=replica: sum(
+                        conn.channel.credit_stalls.value
+                        for conn in r.endpoint.connections
+                    )
+                )
+                endpoint_metrics["pool_stalls"] = (
+                    lambda r=replica: sum(
+                        conn.channel.pool_stalls.value
+                        for conn in r.endpoint.connections
+                    )
+                )
+            registry.register_many(
+                f"endpoint.{replica_id}", endpoint_metrics
             )
             supervisor = replica.endpoint.supervisor
             if supervisor is not None:
@@ -370,10 +394,19 @@ class BftCluster:
                 {
                     "invocations": lambda c=client: c.invocations,
                     "retransmissions": lambda c=client: c.retransmissions,
+                    "busy_backoffs": lambda c=client: c.busy_backoffs,
                 },
             )
         for host in self.fabric.hosts():
             registry.register(f"host.{host.name}.cpu", host.cpu.tracker)
+            registry.register_many(
+                f"host.{host.name}.nic",
+                {
+                    "rnr_naks": host.nic.rnr_naks,
+                    "rnr_retries": host.nic.rnr_retries,
+                    "rnr_exhausted": host.nic.rnr_exhausted,
+                },
+            )
         for pair in sorted(self.fabric._cables):
             cable = self.fabric._cables[pair]
             for link in (cable.forward, cable.backward):

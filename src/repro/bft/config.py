@@ -41,6 +41,13 @@ class BftConfig:
         How often a recovering replica re-broadcasts its
         STATE-TRANSFER-REQUEST while waiting for f+1 matching replies
         (covers requests lost to crashed peers or mid-reconnect links).
+    admission_budget:
+        Admission control: maximum client requests a replica accepts
+        in flight (deadline armed, not yet executed).  New requests
+        beyond the budget are shed with a ``Busy`` reply — the client
+        backs off and retries — instead of piling onto the ordering
+        pipeline and view-change timers.  0 disables shedding
+        (historical accept-everything behaviour).
     """
 
     n: int = 4
@@ -57,6 +64,7 @@ class BftConfig:
     #: exactly the regime where COP's parallel pipelines pay off.
     handler_cost: float = 0.3e-6
     state_transfer_timeout: float = 5e-3
+    admission_budget: int = 0
 
     def __post_init__(self) -> None:
         if self.n < 1 or (self.n - 1) % 3 != 0:
@@ -84,6 +92,8 @@ class BftConfig:
             raise ConfigurationError("handler_cost must be >= 0")
         if self.state_transfer_timeout <= 0:
             raise ConfigurationError("state_transfer_timeout must be > 0")
+        if self.admission_budget < 0:
+            raise ConfigurationError("admission_budget must be >= 0")
 
     @property
     def f(self) -> int:

@@ -26,6 +26,7 @@ __all__ = [
     "NewView",
     "StateTransferRequest",
     "StateTransferReply",
+    "Busy",
     "encode",
     "decode",
 ]
@@ -206,6 +207,24 @@ class StateTransferReply:
     replica_id: str
 
 
+@dataclass(frozen=True)
+class Busy:
+    """Admission-control rejection: the replica shed this request.
+
+    Sent instead of processing when a replica's outstanding-request
+    budget (``BftConfig.admission_budget``) is exhausted.  Carries the
+    request's deduplication key back so the client can match it to the
+    pending invocation; clients retry with exponential backoff once
+    ``f + 1`` replicas report busy for the same timestamp (at least one
+    of them is honest, so the overload signal is genuine).
+    """
+
+    replica_id: str
+    client_id: str
+    timestamp: int
+    view: int
+
+
 _TYPE_IDS = {
     Request: 1,
     Reply: 2,
@@ -217,6 +236,7 @@ _TYPE_IDS = {
     NewView: 8,
     StateTransferRequest: 9,
     StateTransferReply: 10,
+    Busy: 11,
 }
 _TYPES = {v: k for k, v in _TYPE_IDS.items()}
 
@@ -292,6 +312,11 @@ def encode(message) -> bytes:
     elif isinstance(message, StateTransferRequest):
         out.extend(_U64.pack(message.low_seq))
         _pack_str(out, message.replica_id)
+    elif isinstance(message, Busy):
+        _pack_str(out, message.replica_id)
+        _pack_str(out, message.client_id)
+        out.extend(_U64.pack(message.timestamp))
+        out.extend(_U64.pack(message.view))
     elif isinstance(message, StateTransferReply):
         out.extend(_U64.pack(message.checkpoint_seq))
         _pack_bytes(out, message.state_digest)
@@ -359,6 +384,8 @@ def decode(data: bytes):
         message = ViewChange(new_view, stable_seq, tuple(prepared), reader.str_())
     elif cls is StateTransferRequest:
         message = StateTransferRequest(reader.u64(), reader.str_())
+    elif cls is Busy:
+        message = Busy(reader.str_(), reader.str_(), reader.u64(), reader.u64())
     elif cls is StateTransferReply:
         checkpoint_seq = reader.u64()
         state_digest = reader.bytes_()

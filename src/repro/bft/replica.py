@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
 from repro.bft.config import BftConfig
 from repro.bft.log import MessageLog
 from repro.bft.messages import (
+    Busy,
     Checkpoint,
     Commit,
     NewView,
@@ -166,6 +167,7 @@ class Replica:
         self.state_transfers_completed = 0
         self.state_transfers_served = Counter(f"{replica_id}.st_served")
         self.state_transfer_bytes = Counter(f"{replica_id}.st_bytes")
+        self.shed_requests = Counter(f"{replica_id}.shed_requests")
         self.rejoin_latency = TimeSeries(self.env, f"{replica_id}.rejoin")
 
         if recover:
@@ -437,6 +439,18 @@ class Replica:
             # Duplicate of an executed request: re-send the cached reply.
             self._reply_to_client(cached)
             return
+        budget = self.config.admission_budget
+        if (
+            budget
+            and key not in self._seen_requests
+            and len(self._request_deadlines) >= budget
+        ):
+            # Admission control: the outstanding-request budget is spent,
+            # so shed this *new* request instead of queuing unboundedly.
+            # Retransmissions of admitted requests always pass — shedding
+            # them would stall work the group already owes an answer for.
+            self._shed_request(request)
+            return
         if key in self._seen_requests:
             # Retransmission.  If we are the leader and the request is not
             # assigned to any live slot (it was orphaned by a view change),
@@ -471,6 +485,30 @@ class Replica:
             # Backups forward to the current leader (client may have sent
             # only to us, or to a stale leader).
             self._send_to(self.leader_of(self.view), request, trace_ctx=ctx)
+
+    def _shed_request(self, request: Request) -> None:
+        """Reject an over-budget request with a ``Busy`` reply.
+
+        The client backs off and retries once f+1 replicas report busy;
+        nothing is recorded locally (no deadline, no dedup entry), so a
+        later retry is indistinguishable from a fresh request.
+        """
+        self.shed_requests.increment()
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_request_shed(
+                self.replica_id,
+                request.client_id,
+                request.timestamp,
+                outstanding=len(self._request_deadlines),
+                budget=self.config.admission_budget,
+            )
+        connection = self._client_conns.get(request.client_id)
+        if connection is not None and not connection.closed:
+            busy = Busy(
+                self.replica_id, request.client_id, request.timestamp, self.view
+            )
+            connection.send(encode(busy))
 
     def _kick_batcher(self) -> None:
         if self._batch_kick is not None and not self._batch_kick.triggered:

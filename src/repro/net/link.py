@@ -76,6 +76,9 @@ class Link:
         self.frames_sent = Counter(f"{name}.frames_sent")
         self.frames_dropped = Counter(f"{name}.frames_dropped")
         self.bytes_sent = Counter(f"{name}.bytes_sent")
+        #: Deepest the transmit queue has ever been (bounded-memory
+        #: evidence for overload runs; pure observability).
+        self.queue_highwater = 0
         self._seconds_per_byte = 8 / self.bandwidth_bps
         # In-flight transmit state for the callback-driven transmit loop.
         self._tx_frame: Optional[Frame] = None
@@ -103,6 +106,9 @@ class Link:
         if self._receiver is None:
             raise NetworkError(f"{self.name}: no receiver attached")
         self._outbox.put(frame)
+        depth = len(self._outbox)
+        if depth > self.queue_highwater:
+            self.queue_highwater = depth
 
     def transmission_time(self, wire_bytes: int) -> float:
         """Seconds needed to clock ``wire_bytes`` onto the wire."""

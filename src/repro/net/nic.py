@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Callable, Dict
 from repro.errors import ConfigurationError, NetworkError
 from repro.net.frame import Frame
 from repro.net.link import Link
-from repro.sim import Resource
+from repro.sim import Counter, Resource
 from repro.sim.copystats import COPYSTATS
 from repro.sim.resources import TimedHold
 
@@ -57,6 +57,12 @@ class Nic:
         self.powered = True
         #: Frames dropped while powered off (rx + tx).
         self.power_dropped = 0
+        #: RNR accounting across this NIC's queue pairs: NAKs sent as
+        #: responder, retry rounds survived and budgets exhausted as
+        #: requester.
+        self.rnr_naks = Counter(f"{self.name}.rnr_naks")
+        self.rnr_retries = Counter(f"{self.name}.rnr_retries")
+        self.rnr_exhausted = Counter(f"{self.name}.rnr_exhausted")
 
     # -- power ------------------------------------------------------------
 

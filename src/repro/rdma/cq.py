@@ -97,6 +97,9 @@ class CompletionQueue:
         self._wait_spans: Deque[Optional[object]] = deque()
         self._armed = False
         self.overrun = False
+        #: Deepest the queue has ever been (bounded-memory evidence for
+        #: overload runs; pure observability).
+        self.high_watermark = 0
 
     def push(self, wc: WorkCompletion) -> None:
         """RNIC-side: append a completion (overrun is a hard error)."""
@@ -131,6 +134,8 @@ class CompletionQueue:
                 )
         self._entries.append(wc)
         self._wait_spans.append(span)
+        if len(self._entries) > self.high_watermark:
+            self.high_watermark = len(self._entries)
         if self._armed and self.channel is not None:
             self._armed = False
             self.channel._notify(self)

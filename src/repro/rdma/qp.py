@@ -62,6 +62,15 @@ class QpCapabilities:
     retry_count: int = 7
     rnr_retry: int = 7
     rnr_timer: float = 100e-6
+    #: End-to-end credit flow control: the responder advertises its
+    #: cumulative posted-receive count on ACKs/NAKs and the requester
+    #: refuses to post two-sided SENDs past that window.  Off by default:
+    #: raw-verbs users manage their own receive provisioning and the RNR
+    #: machinery is the only safety net (as on a real NIC).
+    flow_control: bool = False
+    #: Credits the requester may assume before the first advertisement
+    #: arrives (the peer's initially posted receive count).
+    initial_credit: int = 0
 
     def __post_init__(self) -> None:
         if self.max_send_wr < 1 or self.max_recv_wr < 1:
@@ -70,6 +79,10 @@ class QpCapabilities:
             raise RdmaError("max_inline must be >= 0")
         if self.retry_timeout <= 0 or self.rnr_timer <= 0:
             raise RdmaError("timers must be positive")
+        if self.rnr_retry < 0:
+            raise RdmaError("rnr_retry must be >= 0")
+        if self.flow_control and self.initial_credit < 1:
+            raise RdmaError("flow_control requires initial_credit >= 1")
 
 
 class _PendingSend:
@@ -134,6 +147,12 @@ class QueuePair:
         self._rnr_budget = self.caps.rnr_retry
         self._rnr_blocked_until = 0.0
         self._reads: Dict[int, _ReadContext] = {}
+        # Requester-side credit state (meaningful when caps.flow_control):
+        # cumulative SENDs posted vs. the peer's advertised cumulative
+        # posted-receive count.
+        self._sent_total = 0
+        self._credit_limit = self.caps.initial_credit
+        self._credit_watchers: List = []
 
         # --- receive side -----------------------------------------------------
         self._recv_queue: Deque[RecvWorkRequest] = deque()
@@ -141,8 +160,16 @@ class QueuePair:
         self._cur_recv: Optional[dict] = None
         self._cur_write: Optional[dict] = None
         self._last_nak_sent = -1
+        # Responder-side credit state: cumulative receives posted /
+        # messages consumed / last advertisement sent.
+        self._posted_recv_total = 0
+        self._messages_received = 0
+        self._last_advertised = self.caps.initial_credit
 
         self._error_watchers: List = []
+        #: WcStatus value of the failure that errored this QP (None while
+        #: healthy, or when the error came from the responder side).
+        self.error_cause: Optional[str] = None
         device._register_qp(self)
 
     # ------------------------------------------------------------------
@@ -180,6 +207,11 @@ class QueuePair:
     def add_error_watcher(self, watcher) -> None:
         """Invoke ``watcher(qp)`` when the QP transitions to ERROR."""
         self._error_watchers.append(watcher)
+
+    def add_credit_watcher(self, watcher) -> None:
+        """Invoke ``watcher(qp)`` when a credit update unblocks the send
+        path (a sender that was out of credits may post again)."""
+        self._credit_watchers.append(watcher)
 
     def destroy(self) -> None:
         """Tear the QP down: flush outstanding work, unregister from the
@@ -278,6 +310,17 @@ class QueuePair:
         """Receive WRs currently posted."""
         return len(self._recv_queue)
 
+    @property
+    def send_credits_remaining(self) -> int:
+        """Two-sided SENDs the peer's advertised window still allows.
+
+        Without flow control the window is effectively unbounded (the RNR
+        machinery is the only brake).
+        """
+        if not self.caps.flow_control:
+            return 1 << 30
+        return self._credit_limit - self._sent_total
+
     def post_send(self, wr: SendWorkRequest) -> None:
         """Post one WR to the send queue (non-blocking)."""
         self.post_send_batch([wr])
@@ -319,6 +362,18 @@ class QueuePair:
                     # are left alone so they still surface as a
                     # LOC_PROT_ERR completion at WQE fetch, not here.
                     wr.snapshot = mr.read_bytes(sge.offset, sge.length)
+            if self.caps.flow_control and wr.opcode is Opcode.SEND:
+                # Credit consumed at post time: every two-sided SEND will
+                # occupy exactly one peer receive WR.
+                self._sent_total += 1
+                audit = get_audit(self.env)
+                if audit.enabled:
+                    audit.on_send_credit(
+                        self.device.host.name,
+                        self.qp_num,
+                        self._sent_total,
+                        self._credit_limit,
+                    )
             entry = _PendingSend(wr)
             self._pending.append(entry)
             self._sq_store.put(entry)
@@ -342,8 +397,20 @@ class QueuePair:
                 raise RdmaError(f"{self}: recv SGE memory region is in a foreign PD")
             wr.sge.mr.check_local_write(wr.sge.offset, wr.sge.length)
             self._recv_queue.append(wr)
+            self._posted_recv_total += 1
             if audit.enabled:
                 audit.on_post_recv(self.qp_num, wr.wr_id)
+        if (
+            self.caps.flow_control
+            and self.state is QpState.RTS
+            and self._messages_received >= self._last_advertised
+        ):
+            # The peer has (nearly) consumed the advertised window and no
+            # data-path ACK is due to carry the refresh — send an
+            # unsolicited credit update (a duplicate cumulative ACK) so a
+            # credit-stalled sender cannot deadlock.  The guard keeps this
+            # off any schedule where the window is never approached.
+            self._send_control(PacketType.ACK, self._expected_psn - 1)
 
     # ------------------------------------------------------------------
     # send-queue pipeline
@@ -621,6 +688,7 @@ class QueuePair:
 
     def _fail_head(self, status: WcStatus) -> None:
         """The head-of-line WR failed fatally: error the QP."""
+        self.error_cause = status.value
         if self._unacked:
             head_psn = self._unacked[0][0].psn
             for entry in self._pending:
@@ -637,12 +705,18 @@ class QueuePair:
         """Process one arriving packet; generator (device yields from it)."""
         kind = packet.kind
         if kind == PacketType.ACK:
+            if packet.credit >= 0 and self.caps.flow_control:
+                self._update_credit(packet.credit)
             self._process_ack(packet.psn)
             return
         if kind == PacketType.NAK_SEQUENCE:
+            if packet.credit >= 0 and self.caps.flow_control:
+                self._update_credit(packet.credit)
             self._retransmit_from(packet.psn)
             return
         if kind == PacketType.NAK_RNR:
+            if packet.credit >= 0 and self.caps.flow_control:
+                self._update_credit(packet.credit)
             yield from self._handle_rnr(packet)
             return
         if kind == PacketType.NAK_ACCESS:
@@ -689,6 +763,12 @@ class QueuePair:
         if packet.kind in PacketType.STARTS_MESSAGE:
             if not self._recv_queue:
                 # Receiver not ready: NAK without advancing the PSN.
+                nic.rnr_naks.increment()
+                audit = get_audit(self.env)
+                if audit.enabled:
+                    audit.on_rnr_nak(
+                        self.device.host.name, self.qp_num, packet.psn
+                    )
                 self._send_control(
                     PacketType.NAK_RNR,
                     packet.psn,
@@ -740,6 +820,7 @@ class QueuePair:
             ctx["received"] += len(packet.payload)
         self._expected_psn = packet.psn + 1
         if packet.kind in PacketType.ENDS_MESSAGE:
+            self._messages_received += 1
             wr = ctx["wr"]
             span = ctx.pop("span", None)
             if span is not None:
@@ -888,10 +969,23 @@ class QueuePair:
     # -- RNR handling ------------------------------------------------------
 
     def _handle_rnr(self, packet: RocePacket):
+        nic = self.device.host.nic
+        audit = get_audit(self.env)
         self._rnr_budget -= 1
         if self._rnr_budget < 0:
+            nic.rnr_exhausted.increment()
+            if audit.enabled:
+                audit.on_rnr_exhausted(self.device.host.name, self.qp_num)
             self._fail_head(WcStatus.RNR_RETRY_EXC_ERR)
             return
+        nic.rnr_retries.increment()
+        if audit.enabled:
+            audit.on_rnr_retry(
+                self.device.host.name,
+                self.qp_num,
+                self.caps.rnr_retry - self._rnr_budget,
+                self.caps.rnr_retry,
+            )
         self._rnr_blocked_until = self.env.now + packet.rnr_timer
 
         def wait_and_retry():
@@ -904,6 +998,25 @@ class QueuePair:
         self.env.process(wait_and_retry(), name=f"qp{self.qp_num}.rnr_wait")
         yield from ()
 
+    # -- credit flow control ------------------------------------------------
+
+    def _update_credit(self, limit: int) -> None:
+        """Requester-side: absorb an advertised cumulative receive count."""
+        audit = get_audit(self.env)
+        if audit.enabled:
+            # Audited before the monotonic clamp so a regressing peer
+            # advertisement is caught, not silently ignored.
+            audit.on_credit_update(self.qp_num, limit, self._credit_limit)
+        if limit <= self._credit_limit:
+            # Cumulative counts only grow; stale/duplicate ACKs carry
+            # older values.
+            return
+        was_blocked = self._sent_total >= self._credit_limit
+        self._credit_limit = limit
+        if was_blocked and self._sent_total < limit:
+            for watcher in list(self._credit_watchers):
+                watcher(self)
+
     # -- control packets ----------------------------------------------------
 
     def _send_control(
@@ -913,6 +1026,17 @@ class QueuePair:
         rnr_timer: float = 0.0,
         trace_ctx=None,
     ) -> None:
+        credit = -1
+        if self.caps.flow_control and kind in (
+            PacketType.ACK,
+            PacketType.NAK_RNR,
+            PacketType.NAK_SEQUENCE,
+        ):
+            credit = self._posted_recv_total
+            self._last_advertised = credit
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.on_credit_advertised(self.qp_num, credit)
         self._transmit(
             RocePacket(
                 kind=kind,
@@ -922,6 +1046,7 @@ class QueuePair:
                 dst_qp=self.remote_qp,  # type: ignore[arg-type]
                 psn=psn,
                 rnr_timer=rnr_timer,
+                credit=credit,
                 trace_ctx=trace_ctx,
             )
         )

@@ -93,6 +93,10 @@ class RocePacket:
     chunk_index: int = 0
     chunk_count: int = 0
     rnr_timer: float = 0.0
+    #: Cumulative posted-receive count advertised by the responder on
+    #: ACK/NAK packets (the IB AETH credit field; -1 = not carried).
+    #: Rides in header bits already accounted for in ACK_WIRE_BYTES.
+    credit: int = -1
     #: Out-of-band trace context (never serialized, no wire bytes).
     trace_ctx: Optional[object] = field(default=None, repr=False)
     packet_id: int = field(default_factory=lambda: next(_packet_ids))

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -38,6 +39,13 @@ class ReptorConfig:
         with backoff by a :class:`repro.rubin.ChannelSupervisor`, and
         frames that were in flight when the channel died are requeued.
         Disable to get the historical fail-stop behaviour.
+    outbox_high_watermark / outbox_low_watermark:
+        Backpressure instrumentation thresholds on a connection's
+        outbound stage.  Crossing the high watermark counts a
+        ``watermark_crossings`` event on the endpoint; falling back to
+        the low watermark records the backpressure interval.  ``window``
+        already bounds the stage, so these are pure observability —
+        defaults (None) resolve to ``window`` and ``max(1, high // 2)``.
     """
 
     window: int = 30
@@ -46,6 +54,8 @@ class ReptorConfig:
     max_message: int = 128 * 1024
     read_buffer: int = 128 * 1024
     supervise: bool = True
+    outbox_high_watermark: Optional[int] = None
+    outbox_low_watermark: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -56,3 +66,27 @@ class ReptorConfig:
             raise ConfigurationError("max_message must be >= 1")
         if self.read_buffer < 1024:
             raise ConfigurationError("read_buffer must be >= 1 KiB")
+        high = self.outbox_high_watermark
+        low = self.outbox_low_watermark
+        if high is not None and high < 1:
+            raise ConfigurationError("outbox_high_watermark must be >= 1")
+        if low is not None and low < 1:
+            raise ConfigurationError("outbox_low_watermark must be >= 1")
+        if high is not None and low is not None and low > high:
+            raise ConfigurationError(
+                "outbox_low_watermark must not exceed outbox_high_watermark"
+            )
+
+    @property
+    def effective_high_watermark(self) -> int:
+        """Resolved high watermark (defaults to ``window``)."""
+        high = self.outbox_high_watermark
+        return self.window if high is None else high
+
+    @property
+    def effective_low_watermark(self) -> int:
+        """Resolved low watermark (defaults to half the high mark)."""
+        low = self.outbox_low_watermark
+        if low is not None:
+            return low
+        return max(1, self.effective_high_watermark // 2)

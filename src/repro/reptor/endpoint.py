@@ -42,7 +42,7 @@ from repro.rubin import (
     RubinServerChannel,
     SupervisorPolicy,
 )
-from repro.sim import Store
+from repro.sim import Counter, Store, TimeSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.host import Host
@@ -131,6 +131,12 @@ class ReptorConnection:
         #: Dialed RUBIN connections watched by the endpoint's supervisor.
         self._supervised = False
         self._credit_waiters: List["Event"] = []
+        #: Outbound-stage watermark state: whether the connection is
+        #: currently above the high watermark, and since when (feeds the
+        #: endpoint's backpressure_time series when it falls back below
+        #: the low watermark).
+        self._above_high = False
+        self._backpressure_since: Optional[float] = None
         self.closed = False
         self.error: Optional[BftError] = None
         self.messages_sent = 0
@@ -184,6 +190,7 @@ class ReptorConnection:
                 (parts, sum(map(len, parts)), trace_ctx)
             )
             self.messages_sent += 1
+            self._check_watermarks()
             self.endpoint._output_pending(self)
             return len(payload)
         finally:
@@ -224,6 +231,30 @@ class ReptorConnection:
             waiter = self._credit_waiters.pop(0)
             if not waiter.triggered:
                 waiter.succeed()
+        self._check_watermarks()
+
+    def _check_watermarks(self) -> None:
+        """Track outbound-stage occupancy against the config watermarks.
+
+        Pure observability: the window already bounds the stage, so a
+        crossing never blocks anything — it records that the stage ran
+        hot (the endpoint's ``watermark_crossings`` counter) and for how
+        long (``backpressure_time``, recorded when occupancy falls back
+        below the low watermark).
+        """
+        occupancy = self.outstanding
+        if not self._above_high:
+            if occupancy >= self.config.effective_high_watermark:
+                self._above_high = True
+                self._backpressure_since = self.env.now
+                self.endpoint.watermark_crossings.increment()
+        elif occupancy <= self.config.effective_low_watermark:
+            self._above_high = False
+            if self._backpressure_since is not None:
+                self.endpoint.backpressure_time.record(
+                    self.env.now - self._backpressure_since
+                )
+                self._backpressure_since = None
 
     def _fail(self, error: BftError) -> None:
         self.error = error
@@ -262,6 +293,13 @@ class ReptorEndpoint:
         self.rubin_config = rubin_config if rubin_config is not None else RubinConfig()
 
         self.connections: List[ReptorConnection] = []
+        #: Aggregate outbound-stage overload telemetry across all of
+        #: this endpoint's connections (fed by the per-connection
+        #: watermark tracking; see ReptorConnection._check_watermarks).
+        self.watermark_crossings = Counter(f"{self.name}.watermark_crossings")
+        self.backpressure_time = TimeSeries(
+            self.env, f"{self.name}.backpressure_time"
+        )
         self._on_connection: List[Callable[[ReptorConnection], None]] = []
         self._pending_dials: Dict[int, tuple] = {}
         self._running = False

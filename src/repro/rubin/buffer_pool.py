@@ -104,24 +104,31 @@ class BufferPool:
 
     def acquire(self) -> PooledBuffer:
         """Take a free buffer; raises :class:`RubinError` when exhausted."""
-        audit = get_audit(self.device.env)
-        if not self._free:
-            if len(self._buffers) >= self._count:
-                if audit.enabled:
-                    audit.on_pool_exhausted(self.name)
-                raise RubinError(f"{self.name}: buffer pool exhausted")
-            self._allocate_one()
-        pooled = self._free.pop()
-        pooled.in_use = True
-        if audit.enabled:
-            audit.on_buffer_acquire(self.name, self.available, self.capacity)
+        pooled = self.try_acquire()
+        if pooled is None:
+            audit = get_audit(self.device.env)
+            if audit.enabled:
+                audit.on_pool_exhausted(self.name)
+            raise RubinError(f"{self.name}: buffer pool exhausted")
         return pooled
 
     def try_acquire(self) -> PooledBuffer | None:
-        """Take a free buffer or return None."""
-        if not self._free and len(self._buffers) >= self._count:
-            return None
-        return self.acquire()
+        """Take a free buffer or return None (never raises, never alarms).
+
+        An exhausted probe here is an *expected* outcome the caller
+        handles by stalling — only :meth:`acquire`, whose caller has no
+        fallback, fires the ``on_pool_exhausted`` audit alarm.
+        """
+        if not self._free:
+            if len(self._buffers) >= self._count:
+                return None
+            self._allocate_one()
+        pooled = self._free.pop()
+        pooled.in_use = True
+        audit = get_audit(self.device.env)
+        if audit.enabled:
+            audit.on_buffer_acquire(self.name, self.available, self.capacity)
+        return pooled
 
     def release(self, pooled: PooledBuffer) -> None:
         """Return a buffer to the pool."""

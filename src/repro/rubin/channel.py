@@ -32,6 +32,7 @@ from repro.rdma.verbs import Opcode, QpState, WcStatus
 from repro.rdma.wr import RecvWorkRequest, SendWorkRequest, Sge
 from repro.rubin.buffer_pool import BufferPool, PooledBuffer
 from repro.rubin.config import RubinConfig
+from repro.sim import Counter, TimeSeries
 from repro.sim.copystats import COPYSTATS
 from repro.trace import get_tracer
 
@@ -124,6 +125,22 @@ class RubinChannel:
         self.progress_marker = 0
         self._send_watchers: List[Callable[[int], None]] = []
 
+        # Flow-control observability: writes refused for lack of credit
+        # or pool buffers, and how long each credit stall lasted.
+        self.credit_stalls = Counter(f"ch{self.channel_id}.credit_stalls")
+        self.pool_stalls = Counter(f"ch{self.channel_id}.pool_stalls")
+        self.credit_stall_time = TimeSeries(
+            self.env, f"ch{self.channel_id}.credit_stall_time"
+        )
+        self._stall_since: Optional[float] = None
+        self._stall_span = None
+        self._unblock_watchers: List[Callable[[], None]] = []
+        #: Credits claimed by in-flight _write_proc instances that passed
+        #: the gate but have not reached post_send yet (the QP only
+        #: debits at post time, and the posting path yields in between —
+        #: without the reservation, concurrent writers would overcommit).
+        self._credit_reserved = 0
+
         # Connection state.
         self.established = False
         self._establish_pending = False
@@ -135,6 +152,9 @@ class RubinChannel:
         self._pending_conn_id: Optional[int] = None
         #: Successful re-establishments of this channel.
         self.reconnects = 0
+        #: Cause of the most recent transport error (WcStatus value or
+        #: "rejected"); surfaces in the supervisor's reconnect records.
+        self.last_error: Optional[str] = None
         self._watchers: List[Callable[[], None]] = []
         cm.add_event_watcher(self._on_cm_event)
 
@@ -158,9 +178,20 @@ class RubinChannel:
                 max_inline=caps_inline,
                 retry_timeout=self.config.retry_timeout,
                 retry_count=self.config.retry_count,
+                rnr_retry=self.config.rnr_retry,
+                rnr_timer=self.config.min_rnr_timer,
+                flow_control=self.config.flow_control,
+                # Both ends of a RUBIN connection run the same channel
+                # config (the framework provisions them symmetrically),
+                # so the peer preposts this many receives.  An asymmetric
+                # peer is still safe: credits only ever move up on
+                # advertisements, and the RNR machinery backstops an
+                # optimistic initial window.
+                initial_credit=self.config.num_recv_buffers,
             ),
         )
-        qp.add_error_watcher(lambda _qp: self._enter_error())
+        qp.add_error_watcher(lambda qp: self._enter_error(qp.error_cause))
+        qp.add_credit_watcher(lambda _qp: self._on_credit_granted())
         return qp
 
     # ------------------------------------------------------------------
@@ -260,7 +291,7 @@ class RubinChannel:
             # Matched by connection id so a rejection of some *other*
             # channel's handshake on the shared CM cannot error this one.
             if not self.established:
-                self._enter_error()
+                self._enter_error("rejected")
 
     def finish_connect(self) -> bool:
         """Consume the OP_ACCEPT readiness; True once established."""
@@ -277,7 +308,9 @@ class RubinChannel:
         """Established but not yet acknowledged via finish_connect()."""
         return self.established and self._establish_pending
 
-    def _enter_error(self) -> None:
+    def _enter_error(self, cause: Optional[str] = None) -> None:
+        if cause is not None:
+            self.last_error = cause
         self.errored = True
         self.closed = True
         self._notify()
@@ -359,6 +392,27 @@ class RubinChannel:
         """
         self._send_watchers.append(watcher)
 
+    def add_unblock_watcher(self, watcher: Callable[[], None]) -> None:
+        """Invoke ``watcher()`` when fresh credit unblocks the send path.
+
+        Fires only on a blocked-to-unblocked transition, so subscribers
+        (the selector's wakeup) see no traffic on schedules that never
+        exhaust the credit window.
+        """
+        self._unblock_watchers.append(watcher)
+
+    def _on_credit_granted(self) -> None:
+        """The peer's advertisement reopened the send window."""
+        if self._stall_since is not None:
+            self.credit_stall_time.record(self.env.now - self._stall_since)
+            self._stall_since = None
+        if self._stall_span is not None:
+            self._stall_span.end()
+            self._stall_span = None
+        for watcher in list(self._unblock_watchers):
+            watcher()
+        self._notify()
+
     def _notify(self) -> None:
         for watcher in list(self._watchers):
             watcher()
@@ -378,6 +432,10 @@ class RubinChannel:
         if not self.established or self.closed:
             return False
         if self.qp.send_queue_free < 1:
+            return False
+        if self.config.flow_control and (
+            self.qp.send_credits_remaining - self._credit_reserved < 1
+        ):
             return False
         if not self.config.zero_copy_send and self.send_pool.available == 0:
             return False
@@ -410,7 +468,7 @@ class RubinChannel:
     def _handle_completion(self, wc) -> None:
         if not wc.ok:
             if wc.status is not WcStatus.WR_FLUSH_ERR:
-                self._enter_error()
+                self._enter_error(wc.status.value)
             return
         if wc.opcode is Opcode.RECV:
             pooled = self._recv_wr_map.pop(wc.wr_id, None)
@@ -577,11 +635,33 @@ class RubinChannel:
                 track=self.host.name,
                 nbytes=length,
             )
+        reserved = False
         try:
             # Reap finished sends first so slots/pool buffers recycle.
             yield from self._drain_cq_direct(self.send_cq)
             if self.qp.send_queue_free < 1:
                 return 0
+            if self.config.flow_control:
+                if self.qp.send_credits_remaining - self._credit_reserved < 1:
+                    # Out of credits: refuse the write (0 bytes) and let
+                    # the credit watcher re-arm readiness — never post
+                    # into a window the peer has not provisioned.
+                    self.credit_stalls.increment()
+                    if self._stall_since is None:
+                        self._stall_since = self.env.now
+                        if tracer.enabled and trace_ctx is not None:
+                            self._stall_span = tracer.start_span(
+                                "channel.credit_stall",
+                                layer="rubin",
+                                parent=trace_ctx,
+                                track=self.host.name,
+                            )
+                    return 0
+                # Claim the credit across the yields below: the QP only
+                # debits at post time, so without the reservation every
+                # concurrently blocked writer would pass the gate.
+                self._credit_reserved += 1
+                reserved = True
 
             cpu = self.host.cpu
             self._sends_since_signal += 1
@@ -622,6 +702,9 @@ class RubinChannel:
             else:
                 pooled = self.send_pool.try_acquire()
                 if pooled is None:
+                    # Expected under load: stall (0 bytes) until a send
+                    # completion recycles a buffer; no alarm, no raise.
+                    self.pool_stalls.increment()
                     return 0
                 # Single host copy app buffer -> registered pool buffer.
                 view = buffer.peek_view(length)
@@ -644,6 +727,10 @@ class RubinChannel:
             self.qp.post_send(wr)
             return length
         finally:
+            if reserved:
+                # post_send (if reached) has debited the QP by now; a
+                # stalled pool path releases the claim unposted.
+                self._credit_reserved -= 1
             if span is not None:
                 span.end()
 

@@ -61,6 +61,20 @@ class RubinConfig:
         after ``retry_count`` exhausted, exponentially backed-off
         timeouts).  Recovery tests shrink these so a crashed host is
         noticed — and the channel supervisor engaged — quickly.
+    flow_control:
+        Credit-based end-to-end flow control: the receiver advertises its
+        cumulative posted-receive count piggybacked on ACKs (zero wire
+        cost, like the IB AETH credit field) and the sender stops posting
+        SENDs once the advertised window is consumed — ``write`` returns
+        0 and the channel deasserts ``OP_SEND`` readiness until credit
+        arrives.  With it off, an overdriven receiver answers with RNR
+        NAKs and the sender can exhaust its ``rnr_retry`` budget into a
+        hard channel error.
+    rnr_retry / min_rnr_timer:
+        Receiver-not-ready handling of the underlying queue pair: how
+        many RNR NAKs the sender tolerates before failing the WR with
+        ``RNR_RETRY_EXC_ERR`` (and erroring the QP), and the delay the
+        receiver asks the sender to wait before retrying.
     """
 
     buffer_size: int = 128 * 1024
@@ -74,6 +88,9 @@ class RubinConfig:
     select_overhead: float = 1.0e-6
     retry_timeout: float = 4e-3
     retry_count: int = 7
+    flow_control: bool = True
+    rnr_retry: int = 7
+    min_rnr_timer: float = 100e-6
 
     def __post_init__(self) -> None:
         if self.buffer_size < 1:
@@ -98,3 +115,7 @@ class RubinConfig:
             raise ConfigurationError("retry_timeout must be > 0")
         if self.retry_count < 0:
             raise ConfigurationError("retry_count must be >= 0")
+        if self.rnr_retry < 0:
+            raise ConfigurationError("rnr_retry must be >= 0")
+        if self.min_rnr_timer <= 0:
+            raise ConfigurationError("min_rnr_timer must be > 0")

@@ -90,6 +90,10 @@ class RubinSelector:
         if isinstance(channel, RubinChannel):
             self.manager.watch_cq(channel.recv_cq, channel.channel_id)
             self.manager.watch_cq(channel.send_cq, channel.channel_id)
+            # A credit grant re-opens OP_SEND readiness without any CQ or
+            # CM traffic of its own, so it must wake a blocked select()
+            # directly.  Fires only on blocked->unblocked transitions.
+            channel.add_unblock_watcher(self.wakeup)
         return key
 
     def _watch_cm_once(self, cm: ConnectionManager) -> None:

@@ -153,7 +153,11 @@ class ChannelSupervisor:
                 audit = get_audit(self.env)
                 if audit.enabled:
                     audit.on_reconnect(
-                        self.name, "attempt", channel_id=cid, attempt=attempt
+                        self.name,
+                        "attempt",
+                        channel_id=cid,
+                        attempt=attempt,
+                        cause=channel.last_error,
                     )
                 conn_id = channel.reconnect()
                 deadline = self.env.now + self.policy.connect_timeout

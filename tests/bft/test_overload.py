@@ -1,0 +1,202 @@
+"""Overload and graceful degradation at the BFT layer.
+
+The ISSUE-5 end-to-end story: replicas shed requests beyond their
+admission budget with ``Busy``, clients converge via seeded exponential
+backoff, and the flow-controlled transport keeps the whole stack inside
+the receiver's provisioning.  The contrast test shows what the same load
+does when flow control is switched off — RNR retry exhaustion and
+hard-failed channels, the legacy failure mode this PR exists to remove.
+"""
+
+import pytest
+
+from repro.bench.overload import run_overload
+from repro.bft import BftCluster, BftConfig, CounterMachine
+from repro.reptor import ReptorConfig
+from repro.rubin import RubinConfig
+
+
+def overload_cluster(**kwargs):
+    defaults = dict(
+        transport="rubin",
+        config=BftConfig(admission_budget=4, view_change_timeout=200e-3),
+        num_clients=4,
+    )
+    defaults.update(kwargs)
+    cluster = BftCluster(**defaults)
+    cluster.start()
+    return cluster
+
+
+def submit_burst(cluster, per_client, payload=b"\x5a" * 64):
+    """Open-loop: every client submits ``per_client`` requests at once."""
+    env = cluster.env
+    pending, results = [], []
+
+    def submit(client, index):
+        result = yield client.invoke(b"PUT k%d=" % index + payload)
+        results.append(result)
+
+    index = 0
+    for c in range(len(cluster.client_ids)):
+        client = cluster.client(c)
+        for _ in range(per_client):
+            pending.append(
+                env.process(submit(client, index), name=f"burst.{index}")
+            )
+            index += 1
+    return pending, results
+
+
+def total_sheds(cluster):
+    return sum(r.shed_requests.value for r in cluster.replicas.values())
+
+
+def total_backoffs(cluster):
+    return sum(c.busy_backoffs for c in cluster.clients.values())
+
+
+def nic_totals(cluster, counter):
+    return sum(
+        getattr(host.nic, counter).value for host in cluster.fabric.hosts()
+    )
+
+
+class TestAdmissionControl:
+    def test_shed_and_backoff_converge(self):
+        # 24 concurrent requests against a per-replica budget of 4: the
+        # excess is shed with Busy, clients back off, and every request
+        # still completes exactly once.
+        cluster = overload_cluster()
+        pending, results = submit_burst(cluster, per_client=6)
+        cluster.env.run(until=cluster.env.all_of(pending))
+        assert results == [b"OK"] * 24
+        assert total_sheds(cluster) > 0
+        assert total_backoffs(cluster) > 0
+        cluster.run_for(10e-3)
+        assert len(set(cluster.state_digests().values())) == 1
+
+    def test_disabled_budget_never_sheds(self):
+        # admission_budget=0 (the default) disables shedding entirely:
+        # the legacy behaviour is bit-identical.
+        cluster = overload_cluster(
+            config=BftConfig(view_change_timeout=200e-3)
+        )
+        pending, results = submit_burst(cluster, per_client=3)
+        cluster.env.run(until=cluster.env.all_of(pending))
+        assert results == [b"OK"] * 12
+        assert total_sheds(cluster) == 0
+        assert total_backoffs(cluster) == 0
+
+    def test_shed_requests_not_double_executed(self):
+        # A request that was shed and retried must be applied once: the
+        # counter ends at the exact running sum.
+        cluster = overload_cluster(
+            config=BftConfig(admission_budget=2, view_change_timeout=200e-3),
+            app_factory=CounterMachine,
+            num_clients=3,
+        )
+        env = cluster.env
+        pending = []
+
+        def submit(client):
+            yield client.invoke(CounterMachine.add(1))
+
+        for c in range(3):
+            client = cluster.client(c)
+            for _ in range(4):
+                pending.append(env.process(submit(client)))
+        env.run(until=env.all_of(pending))
+        assert total_sheds(cluster) > 0
+        cluster.run_for(20e-3)
+        values = {rid: app.value for rid, app in cluster.apps.items()}
+        assert values == {rid: 12 for rid in cluster.replica_ids}, values
+
+
+class TestGracefulDegradation:
+    def test_two_x_saturation_stays_graceful(self):
+        # The committed benchmark scenario: ~2x the admission budget,
+        # open loop.  Everything completes, sheds and backoffs are
+        # nonzero, and no audit invariant fires.
+        record = run_overload()
+        assert record["shed_total"] > 0
+        assert record["busy_backoffs"] > 0
+        assert record["goodput_rps"] > 0
+        assert record["audit_violations"] == 0
+        assert record["latency_us"]["p99"] >= record["latency_us"]["p50"]
+
+    def test_constrained_transport_backpressure_stays_graceful(self):
+        # Starve the transport too: a Reptor window larger than the
+        # receiver's posted buffers would over-subscribe the QP, but
+        # credit flow control stalls the sender instead — zero RNR NAKs,
+        # nonzero credit stalls, and the burst still completes.
+        rubin = RubinConfig(
+            buffer_size=8192, num_recv_buffers=4, num_send_buffers=8,
+            post_batch=2,
+        )
+        cluster = overload_cluster(
+            rubin_config=rubin, reptor_config=ReptorConfig(window=8)
+        )
+        pending, results = submit_burst(cluster, per_client=6)
+        cluster.env.run(until=cluster.env.all_of(pending))
+        assert results == [b"OK"] * 24
+        assert nic_totals(cluster, "rnr_naks") == 0
+        stalls = sum(
+            conn.channel.credit_stalls.value
+            for r in cluster.replicas.values()
+            for conn in r.endpoint.connections
+        )
+        assert stalls > 0
+
+    def test_contrast_without_flow_control_hard_fails(self):
+        # The same constrained scenario with flow control off: the QP
+        # over-subscribes the receiver, burns its RNR retry budget and
+        # hard-fails — the failure mode the tentpole removes.
+        rubin = RubinConfig(
+            buffer_size=8192, num_recv_buffers=2, num_send_buffers=16,
+            post_batch=2, flow_control=False, rnr_retry=2,
+            min_rnr_timer=200e-6,
+        )
+        cluster = overload_cluster(
+            rubin_config=rubin, reptor_config=ReptorConfig(window=16)
+        )
+        pending, results = submit_burst(cluster, per_client=6)
+        cluster.run_for(300e-3)
+        assert nic_totals(cluster, "rnr_naks") > 0
+        assert nic_totals(cluster, "rnr_exhausted") >= 1
+
+
+class TestOverloadChaos:
+    def test_overload_with_crash_recovery_converges(self):
+        # Seeded chaos under admission pressure: a backup crashes and
+        # restarts mid-burst while clients are being shed and backing
+        # off.  Every request commits exactly once and all replicas
+        # (including the restarted one) converge.
+        cluster = overload_cluster(
+            config=BftConfig(admission_budget=4, view_change_timeout=300e-3),
+            app_factory=CounterMachine,
+        )
+        env = cluster.env
+        pending = []
+
+        def submit(client):
+            yield client.invoke(CounterMachine.add(1))
+
+        for c in range(4):
+            client = cluster.client(c)
+            for _ in range(5):
+                pending.append(env.process(submit(client)))
+
+        def chaos(env):
+            yield env.timeout(5e-3)
+            cluster.crash_replica("r2")
+            yield env.timeout(40e-3)
+            cluster.restart_replica("r2")
+
+        env.process(chaos(env))
+        env.run(until=env.all_of(pending))
+        assert total_sheds(cluster) > 0
+        cluster.run_for(500e-3)
+        values = {rid: app.value for rid, app in cluster.apps.items()}
+        assert values == {rid: 20 for rid in cluster.replica_ids}, values
+        assert len(set(cluster.state_digests().values())) == 1

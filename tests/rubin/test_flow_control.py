@@ -1,0 +1,221 @@
+"""End-to-end flow control: credit stalls, RNR handling, pool exhaustion.
+
+The ISSUE-5 overload model at the transport layer: a receiver that stops
+reading must *stall* a flow-controlled sender (write() returns 0, no
+error), while the same scenario without flow control exhausts the RNR
+retry budget and hard-fails the channel — the contrast the graceful
+degradation work exists to fix.
+"""
+
+import pytest
+
+from repro.errors import RubinError
+from repro.rubin import ChannelSupervisor, RubinConfig, SupervisorPolicy
+from repro.rubin.buffer_pool import BufferPool
+
+from repro.nio import ByteBuffer
+
+from tests.rubin.conftest import RubinRig
+from tests.rubin.test_channel import read_message, write_all
+from tests.rubin.test_supervisor import auto_accept
+
+
+def tolerant_writer(rig, channel, payload):
+    """Like ``write_all`` but survives the channel hard-failing mid-way."""
+
+    def writer(env):
+        buf = ByteBuffer.wrap(payload)
+        while buf.has_remaining():
+            if channel.errored or channel.closed:
+                return "error"
+            try:
+                n = yield channel.write(buf)
+            except RubinError:
+                return "error"
+            if n == 0:
+                yield env.timeout(20e-6)
+        return "done"
+
+    return rig.env.process(writer(rig.env))
+
+
+def sequential_drain(rig, channel, count, size, results):
+    """Read ``count`` messages one after the other (reads must not be
+    issued concurrently: like the Reptor endpoint, one loop owns the
+    receive side of a channel)."""
+
+    def drain(env):
+        for _ in range(count):
+            data = yield read_message(rig, channel, size)
+            results.append(data)
+
+    return rig.env.process(drain(rig.env))
+
+
+def flow_rig(**overrides):
+    """A rig with few receive buffers so credit exhausts quickly."""
+    defaults = dict(
+        buffer_size=4096,
+        num_recv_buffers=4,
+        num_send_buffers=8,
+        post_batch=2,
+    )
+    defaults.update(overrides)
+    return RubinRig(config=RubinConfig(**defaults))
+
+
+class TestCreditStall:
+    def test_slow_consumer_stalls_sender_without_error(self):
+        rig = flow_rig()
+        client, server = rig.establish()
+        payload = b"\xbe" * 1024
+        writers = [write_all(rig, client, payload) for _ in range(8)]
+
+        # Nobody reads: the sender burns its advertised credit (one per
+        # posted receive buffer) and then stalls gracefully.
+        rig.run_for(20e-3)
+        assert not client.errored
+        assert not server.errored
+        assert client.credit_stalls.value > 0
+        # Flow control kept the sender inside the receiver's provisioning:
+        # the RNR machinery never fired.
+        assert rig.fabric.host("server").nic.rnr_naks.value == 0
+        assert any(not w.triggered for w in writers)
+
+        # Draining the receiver reposts buffers, re-advertises credit and
+        # unblocks the writers.
+        received = []
+        drained = sequential_drain(rig, server, 8, len(payload), received)
+        rig.run_for(50e-3)
+        assert all(w.triggered for w in writers)
+        assert drained.triggered
+        assert received == [payload] * 8
+        assert len(client.credit_stall_time) >= 1
+
+    def test_unblock_watcher_fires_on_credit_grant(self):
+        rig = flow_rig()
+        client, server = rig.establish()
+        fired = []
+        client.add_unblock_watcher(lambda: fired.append(rig.env.now))
+        payload = b"\x11" * 512
+        writers = [write_all(rig, client, payload) for _ in range(6)]
+        rig.run_for(10e-3)
+        assert client.credit_stalls.value > 0
+        assert not fired
+        received = []
+        drained = sequential_drain(rig, server, 6, len(payload), received)
+        rig.run_for(50e-3)
+        assert fired, "credit grant must wake registered watchers"
+        assert all(w.triggered for w in writers)
+        assert drained.triggered
+
+    def test_default_window_never_stalls(self):
+        # The default provisioning (Figure-4 regime: window smaller than
+        # the buffer count) never exhausts credit — the fast path is
+        # untouched by flow control.
+        rig = RubinRig()
+        client, server = rig.establish()
+        payload = b"\x77" * 2048
+        writer = write_all(rig, client, payload)
+        reader = read_message(rig, server, len(payload))
+        rig.run_for(10e-3)
+        assert writer.triggered and reader.triggered
+        assert client.credit_stalls.value == 0
+        assert client.pool_stalls.value == 0
+
+
+class TestRnr:
+    def test_rnr_retry_then_recover(self):
+        # Without flow control a temporarily slow reader triggers RNR
+        # NAKs; the retry budget absorbs them and the transfer completes.
+        # Every NAKed packet in the backlog burns one budget unit per
+        # retransmit round, so over-subscribe the 4 receive buffers by
+        # just one message to stay comfortably inside rnr_retry=7.
+        rig = flow_rig(
+            flow_control=False, rnr_retry=7, min_rnr_timer=500e-6
+        )
+        client, server = rig.establish()
+        payload = b"\xab" * 1024
+        writers = [write_all(rig, client, payload) for _ in range(5)]
+        received = []
+
+        def late_reader(env):
+            yield env.timeout(1e-3)
+            for _ in range(5):
+                data = yield read_message(rig, server, len(payload))
+                received.append(data)
+
+        rig.env.process(late_reader(rig.env))
+        rig.run_for(100e-3)
+        assert all(w.triggered for w in writers)
+        assert received == [payload] * 5
+        assert rig.fabric.host("server").nic.rnr_naks.value > 0
+        assert rig.fabric.host("client").nic.rnr_retries.value > 0
+        assert rig.fabric.host("client").nic.rnr_exhausted.value == 0
+        assert not client.errored
+
+    def test_rnr_exhaustion_hard_fails_channel(self):
+        # The contrast scenario: no flow control, no reader, a small RNR
+        # budget — the legacy failure mode the tentpole guards against.
+        rig = flow_rig(
+            flow_control=False, rnr_retry=2, min_rnr_timer=200e-6
+        )
+        client, server = rig.establish()
+        payload = b"\xcd" * 1024
+        for _ in range(8):
+            tolerant_writer(rig, client, payload)
+        rig.run_for(50e-3)
+        assert client.errored
+        assert client.last_error == "RNR_RETRY_EXC_ERR"
+        assert rig.fabric.host("client").nic.rnr_exhausted.value >= 1
+        assert rig.fabric.host("server").nic.rnr_naks.value >= 3
+
+    def test_rnr_exhaustion_triggers_supervisor_redial(self):
+        rig = flow_rig(
+            flow_control=False, rnr_retry=2, min_rnr_timer=200e-6
+        )
+        server = rig.serve()
+        accepted = []
+        auto_accept(rig, server, accepted)
+        client = rig.dial()
+        rig.run_for(5e-3)
+        assert client.established
+        supervisor = ChannelSupervisor(
+            rig.env,
+            policy=SupervisorPolicy(
+                base_delay=100e-6, max_delay=1e-3, connect_timeout=2e-3, seed=1
+            ),
+        )
+        supervisor.supervise(client)
+        payload = b"\xef" * 1024
+        for _ in range(8):
+            tolerant_writer(rig, client, payload)
+        rig.run_for(100e-3)
+        # The channel died of RNR exhaustion and was re-dialed.
+        assert supervisor.reconnects.value >= 1
+        assert client.established
+        assert client.reconnects >= 1
+        assert len(accepted) >= 2
+
+
+class TestBufferPoolTryAcquire:
+    def test_try_acquire_returns_none_without_raising(self):
+        rig = flow_rig()
+        device = rig.client_dev
+        pool = BufferPool(device, device.alloc_pd(), 2, 1024, name="t")
+        first = pool.try_acquire()
+        second = pool.try_acquire()
+        assert first is not None and second is not None
+        # Exhausted: the non-raising probe reports None — it must never
+        # surface the RubinError the raising acquire() throws.
+        assert pool.try_acquire() is None
+        first.release()
+        assert pool.try_acquire() is first
+
+    def test_acquire_still_raises_when_exhausted(self):
+        rig = flow_rig()
+        device = rig.client_dev
+        pool = BufferPool(device, device.alloc_pd(), 1, 1024, name="t")
+        pool.acquire()
+        with pytest.raises(RubinError, match="exhausted"):
+            pool.acquire()

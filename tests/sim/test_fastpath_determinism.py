@@ -11,6 +11,7 @@ mismatch means an optimization changed the schedule, not just host time.
 import hashlib
 
 from repro.bench.echo import run_echo
+from repro.bench.overload import run_overload
 from repro.bench.selector_echo import reptor_echo
 from repro.bft import BftCluster, BftConfig
 from repro.rubin import RubinConfig
@@ -20,6 +21,9 @@ from repro.rubin import RubinConfig
 FIG3_POINT_DIGEST = "10d0fae433e4d40e98aafcd836ec0fbbaaba21233e07ee5fda898f90fb8aa038"
 FIG4_POINT_DIGEST = "fed6c3aa4d7af9de00ddb168bcf776f37c07d5497ef71abf665e79d79e02f3fd"
 CHAOS_DIGEST = "c3c9596c5b5055e29269af1ffc897babdb9897fc5a9ebd589968f51cce5aceda"
+# Recorded when the flow-control/overload model landed: pins the seeded
+# Busy-backoff schedule, admission shedding and credit machinery.
+OVERLOAD_DIGEST = "2f70af7d9b7d314dae9f3b4d548e492f9efd662d88f5c3e81db27fd6b6c9e061"
 
 
 def _digest(obj) -> str:
@@ -89,3 +93,27 @@ def test_chaos_crash_recovery_schedule_unchanged():
         )
     )
     assert fingerprint == CHAOS_DIGEST
+
+
+def test_overload_schedule_unchanged():
+    """The overload scenario replays bit-identically.
+
+    This pins the whole graceful-degradation machinery: admission
+    shedding, Busy vote collection, the seeded per-client backoff RNG
+    and the transport credit scheme all feed the same agenda — any
+    nondeterminism in the overload path moves a latency sample or a
+    shed count and changes the digest.
+    """
+    record = run_overload()
+    fingerprint = _digest(
+        (
+            sorted(
+                (k, round(v, 6)) for k, v in record["latency_us"].items()
+            ),
+            round(record["duration_s"], 12),
+            record["shed_total"],
+            record["busy_backoffs"],
+            record["retransmissions"],
+        )
+    )
+    assert fingerprint == OVERLOAD_DIGEST
