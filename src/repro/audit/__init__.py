@@ -39,6 +39,7 @@ from repro.audit.core import (
     drain_active_audits,
     get_audit,
     install_audit,
+    release_audit,
     unexpected_violations,
 )
 from repro.audit.invariants import BftSafetyAuditor, ResourceAuditor
@@ -62,6 +63,7 @@ __all__ = [
     "install_audit",
     "active_audits",
     "drain_active_audits",
+    "release_audit",
     "unexpected_violations",
     "BftSafetyAuditor",
     "ResourceAuditor",

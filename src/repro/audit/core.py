@@ -41,6 +41,7 @@ __all__ = [
     "install_audit",
     "active_audits",
     "drain_active_audits",
+    "release_audit",
     "unexpected_violations",
 ]
 
@@ -64,6 +65,14 @@ class AuditConfig:
     #: Directory post-mortems are written to (None keeps them in memory
     #: only, on ``AuditManager.postmortems``).
     dump_dir: Optional[str] = None
+    #: In-memory violation list cap; older entries are dropped (and
+    #: counted) once exceeded, so a pathological sweep cannot grow a
+    #: manager without bound.
+    max_violations: int = 4096
+    #: In-memory post-mortem document cap (same drop-oldest scheme).
+    #: Documents embed a full ring snapshot, so this cap dominates the
+    #: manager's worst-case footprint during long exploration sweeps.
+    max_postmortems: int = 64
 
     def __post_init__(self) -> None:
         if self.ring_size < 1:
@@ -74,6 +83,10 @@ class AuditConfig:
             raise AuditError("watchdog timings must be positive")
         if self.max_tracked_seqs < 1:
             raise AuditError("max_tracked_seqs must be >= 1")
+        if self.max_violations < 1:
+            raise AuditError("max_violations must be >= 1")
+        if self.max_postmortems < 1:
+            raise AuditError("max_postmortems must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -129,10 +142,31 @@ class AuditManager:
         self.violations: List[Violation] = []
         self.postmortems: List[Dict[str, Any]] = []
         self.postmortem_paths: List[str] = []
+        #: Entries evicted from the capped lists above (never reset).
+        self.violations_dropped = 0
+        self.postmortems_dropped = 0
+        self._postmortem_total = 0
+        #: Passive observers notified after each BFT hook with the same
+        #: arguments the hook received.  An observer implements any
+        #: subset of the hook names (``on_execute``, ``on_commit_quorum``,
+        #: ...); missing methods are skipped.  Observation only — an
+        #: observer must never schedule events or mutate protocol state.
+        self.observers: List[Any] = []
         self.bft = BftSafetyAuditor(self)
         self.resources = ResourceAuditor(self)
         #: Simulated time of the last execution progress (watchdog input).
         self.last_progress = 0.0
+
+    def add_observer(self, observer: Any) -> Any:
+        """Register a passive observer for BFT hook fan-out."""
+        self.observers.append(observer)
+        return observer
+
+    def _notify(self, hook: str, *args: Any) -> None:
+        for observer in self.observers:
+            method = getattr(observer, hook, None)
+            if method is not None:
+                method(*args)
 
     # -- clock -----------------------------------------------------------
 
@@ -163,8 +197,13 @@ class AuditManager:
             detail=tuple(sorted(detail.items())),
         )
         self.violations.append(entry)
+        if len(self.violations) > self.config.max_violations:
+            overflow = len(self.violations) - self.config.max_violations
+            del self.violations[:overflow]
+            self.violations_dropped += overflow
         self.record(layer, "violation", entry.subject, rule=rule, **detail)
         self.dump_postmortem(f"violation:{rule}", violation=entry)
+        self._notify("violation", entry)
         return entry
 
     def dump_postmortem(
@@ -180,10 +219,15 @@ class AuditManager:
             violations=[v.to_dict() for v in self.violations],
         )
         self.postmortems.append(document)
+        self._postmortem_total += 1
+        if len(self.postmortems) > self.config.max_postmortems:
+            overflow = len(self.postmortems) - self.config.max_postmortems
+            del self.postmortems[:overflow]
+            self.postmortems_dropped += overflow
         if self.config.dump_dir is not None:
             path = (
                 f"{self.config.dump_dir}/{self.name}-postmortem-"
-                f"{len(self.postmortems):03d}.json"
+                f"{self._postmortem_total:03d}.json"
             )
             self.postmortem_paths.append(write_postmortem(document, path))
         return document
@@ -198,6 +242,7 @@ class AuditManager:
             digest=digest, leader=leader,
         )
         self.bft.on_pre_prepare(replica, view, seq, digest)
+        self._notify("on_pre_prepare", replica, view, seq, digest, leader)
 
     def on_commit_quorum(
         self,
@@ -213,18 +258,35 @@ class AuditManager:
             digest=digest, signers=signers,
         )
         self.bft.on_commit_quorum(replica, view, seq, signers)
+        self._notify("on_commit_quorum", replica, view, seq, digest, signers)
 
     def on_execute(self, replica: str, seq: int, digest: bytes) -> None:
         self.last_progress = self.now()
         self.record("bft", "execute", replica, seq=seq, digest=digest)
         self.bft.on_execute(replica, seq, digest)
+        self._notify("on_execute", replica, seq, digest)
 
     def on_view_adopted(self, replica: str, view: int) -> None:
         self.record("bft", "view-adopted", replica, view=view)
         self.bft.on_view_adopted(replica, view)
+        self._notify("on_view_adopted", replica, view)
 
     def on_view_change_started(self, replica: str, new_view: int) -> None:
         self.record("bft", "view-change-started", replica, new_view=new_view)
+        self._notify("on_view_change_started", replica, new_view)
+
+    def on_view_change_vote(
+        self, replica: str, voter: str, new_view: int, digest: bytes
+    ) -> None:
+        """``replica`` observed ``voter``'s ViewChange vote for
+        ``new_view`` with the given encoding digest.  Conflicting digests
+        for one ``(voter, new_view)`` across observers is equivocation."""
+        self.record(
+            "bft", "view-change-vote", replica,
+            voter=voter, new_view=new_view, digest=digest,
+        )
+        self.bft.on_view_change_vote(replica, voter, new_view, digest)
+        self._notify("on_view_change_vote", replica, voter, new_view, digest)
 
     def on_stable_checkpoint(
         self, replica: str, seq: int, digest: bytes
@@ -232,6 +294,7 @@ class AuditManager:
         self.last_progress = self.now()
         self.record("bft", "stable-checkpoint", replica, seq=seq, digest=digest)
         self.bft.on_stable_checkpoint(replica, seq, digest)
+        self._notify("on_stable_checkpoint", replica, seq, digest)
 
     def on_state_transfer(
         self, replica: str, event: str, **fields: Any
@@ -240,10 +303,12 @@ class AuditManager:
 
     def on_replica_crash(self, replica: str) -> None:
         self.record("bft", "replica-crash", replica)
+        self._notify("on_replica_crash", replica)
 
     def on_replica_restart(self, replica: str) -> None:
         self.record("bft", "replica-restart", replica)
         self.bft.on_replica_restart(replica)
+        self._notify("on_replica_restart", replica)
 
     # -- RDMA hooks ------------------------------------------------------
 
@@ -366,6 +431,9 @@ class NullAudit:
     expect_violations = False
     violations: Tuple[()] = ()
     postmortems: Tuple[()] = ()
+    observers: Tuple[()] = ()
+    violations_dropped = 0
+    postmortems_dropped = 0
     last_progress = 0.0
 
     def __getattr__(self, name: str):
@@ -373,6 +441,7 @@ class NullAudit:
             "record",
             "violation",
             "dump_postmortem",
+            "add_observer",
         ):
             return self._noop
         raise AttributeError(name)
@@ -421,6 +490,20 @@ def drain_active_audits() -> List[AuditManager]:
     """Return and forget the managers installed since the last drain."""
     drained, _ACTIVE[:] = list(_ACTIVE), []
     return drained
+
+
+def release_audit(manager: AuditManager) -> None:
+    """Forget one manager without draining the rest.
+
+    Long exploration sweeps install thousands of short-lived managers;
+    releasing each one when its run is scored keeps the active list (and
+    the rings it pins) from growing with the sweep, without disturbing
+    managers other code installed.
+    """
+    try:
+        _ACTIVE.remove(manager)
+    except ValueError:
+        pass
 
 
 def unexpected_violations(manager: AuditManager) -> List[Violation]:

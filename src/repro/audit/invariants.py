@@ -18,6 +18,9 @@ PBFT safety (:class:`BftSafetyAuditor`):
   ``2f + 1`` distinct signers;
 * ``bft.view-regression`` — a replica's view number moved backwards
   within one incarnation;
+* ``bft.view-change-equivocation`` — two replicas observed different
+  encodings of the same voter's ViewChange vote for one new view (a
+  Byzantine voter told different peers different stories);
 * ``bft.checkpoint-divergence`` — two replicas stabilised the same
   checkpoint sequence with different state digests (stability must
   imply log-prefix agreement);
@@ -76,6 +79,8 @@ class BftSafetyAuditor:
         self._checkpoints: Dict[int, Tuple[bytes, str]] = {}
         #: replica -> highest view adopted this incarnation
         self._views: Dict[str, int] = {}
+        #: (voter, new_view) -> (vote encoding digest, first observer)
+        self._vc_votes: Dict[Tuple[str, int], Tuple[bytes, str]] = {}
 
     def configure(self, f: int) -> None:
         """Learn the fault threshold (enables the quorum-size check)."""
@@ -149,6 +154,27 @@ class BftSafetyAuditor:
             return
         self._views[replica] = view
 
+    def on_view_change_vote(
+        self, replica: str, voter: str, new_view: int, digest: bytes
+    ) -> None:
+        key = (voter, new_view)
+        known = self._vc_votes.get(key)
+        if known is None:
+            self._vc_votes[key] = (digest, replica)
+            self._prune(self._vc_votes, by_seq=lambda k: k[1])
+            return
+        if known[0] != digest and replica != known[1]:
+            self.manager.violation(
+                "bft.view-change-equivocation",
+                layer="bft",
+                subject=voter,
+                new_view=new_view,
+                observer=replica,
+                digest=digest.hex()[:16],
+                conflicting_digest=known[0].hex()[:16],
+                first_observer=known[1],
+            )
+
     def on_stable_checkpoint(
         self, replica: str, seq: int, digest: bytes
     ) -> None:
@@ -172,6 +198,10 @@ class BftSafetyAuditor:
         # A fresh incarnation legitimately restarts at view 0 and works
         # its way back up; monotonicity holds per incarnation only.
         self._views.pop(replica, None)
+        # Likewise it may re-vote for a view its previous incarnation
+        # already voted for, with a different (post-recovery) log.
+        for key in [k for k in self._vc_votes if k[0] == replica]:
+            del self._vc_votes[key]
 
     # -- bookkeeping ----------------------------------------------------
 

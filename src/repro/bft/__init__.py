@@ -7,7 +7,14 @@ a one-call cluster builder.  Runs over either the NIO/TCP or the
 RUBIN/RDMA transport — the comparison at the heart of the paper.
 """
 
-from repro.bft.byzantine import CorruptingReplica, EquivocatingLeader, SilentReplica
+from repro.bft.byzantine import (
+    CorruptingReplica,
+    EquivocatingLeader,
+    EquivocatingNewViewLeader,
+    EquivocatingViewChangeReplica,
+    SilentReplica,
+    StallingViewChangeLeader,
+)
 from repro.bft.client import BftClient
 from repro.bft.cluster import REPLICA_PORT, BftCluster
 from repro.bft.config import BftConfig
@@ -43,6 +50,9 @@ __all__ = [
     "SilentReplica",
     "EquivocatingLeader",
     "CorruptingReplica",
+    "StallingViewChangeLeader",
+    "EquivocatingViewChangeReplica",
+    "EquivocatingNewViewLeader",
     "Request",
     "Reply",
     "PrePrepare",

@@ -9,15 +9,18 @@ the rest of the group.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
-from repro.bft.messages import PrePrepare, encode
+from repro.bft.messages import NewView, PrePrepare, ViewChange, encode
 from repro.bft.replica import Replica, batch_digest
 
 __all__ = [
     "SilentReplica",
     "EquivocatingLeader",
     "CorruptingReplica",
+    "StallingViewChangeLeader",
+    "EquivocatingViewChangeReplica",
+    "EquivocatingNewViewLeader",
 ]
 
 
@@ -116,4 +119,148 @@ class CorruptingReplica(Replica):
                 }
             )
             return encode(corrupted)
+        return super()._outbound_filter(message, raw, peer_id)
+
+
+class StallingViewChangeLeader(Replica):
+    """Faulty next-leader that collects a ViewChange quorum and then goes
+    quiet instead of broadcasting NewView — the mid-view-change omission
+    that forces honest replicas to escalate to the view after it.
+
+    With ``crash_on_new_view`` the replica additionally kills itself at
+    that exact point, modeling a leader that crashes between gathering
+    the quorum and announcing the new view.
+    """
+
+    BYZANTINE = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.stall_view_change = False
+        self.crash_on_new_view = False
+        #: Views whose NewView this replica swallowed.
+        self.stalled_views: list[int] = []
+
+    def arm_stall(self, crash_on_new_view: bool = False) -> None:
+        """Swallow every NewView this replica would install from now on."""
+        self.stall_view_change = True
+        self.crash_on_new_view = crash_on_new_view
+
+    def _install_new_view(self, new_view: int, votes: Dict[str, ViewChange]) -> None:
+        if self.stall_view_change:
+            self.stalled_views.append(new_view)
+            if self.crash_on_new_view:
+                self.stop()
+            return
+        super()._install_new_view(new_view, votes)
+
+
+def _padded_view_change(message: ViewChange) -> ViewChange:
+    """A semantically inert but byte-different copy of a ViewChange vote.
+
+    The extra prepared entry sits at ``seq == stable_seq``, which every
+    honest new leader discards (re-proposals only cover sequences above
+    the highest stable checkpoint in the quorum), so the forgery can
+    never change what gets re-proposed — it only makes the vote's
+    encoding digest differ between recipients.
+    """
+    filler = (message.stable_seq, 0, batch_digest(()), ())
+    return ViewChange(
+        new_view=message.new_view,
+        stable_seq=message.stable_seq,
+        prepared=message.prepared + (filler,),
+        replica_id=message.replica_id,
+    )
+
+
+class EquivocatingViewChangeReplica(Replica):
+    """Byzantine replica whose ViewChange votes tell different peers
+    different stories: victims receive a vote with tampered prepared
+    evidence while everyone else gets the honest one.  The cross-replica
+    vote-digest check (``bft.view-change-equivocation``) must flag it."""
+
+    BYZANTINE = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.equivocate_votes = False
+        self._vote_victims: set[str] = set()
+
+    def arm_vote_equivocation(self, victims: Optional[set[str]] = None) -> None:
+        """Send forged ViewChange votes to ``victims`` (default: half the
+        other replicas) from now on."""
+        self.equivocate_votes = True
+        if victims is None:
+            others = [p for p in self.all_ids if p != self.replica_id]
+            victims = set(others[: len(others) // 2])
+        self._vote_victims = victims
+
+    def _outbound_filter(self, message, raw: bytes, peer_id: str):
+        if (
+            self.equivocate_votes
+            and isinstance(message, ViewChange)
+            and peer_id in self._vote_victims
+        ):
+            return encode(_padded_view_change(message))
+        return super()._outbound_filter(message, raw, peer_id)
+
+
+class EquivocatingNewViewLeader(Replica):
+    """Byzantine new leader that announces *different* NewView messages
+    to different replicas: victims get re-proposals with forged batches.
+    Honest replicas adopting conflicting assignments for the same
+    ``(view, seq)`` trips ``bft.pre-prepare-equivocation``."""
+
+    BYZANTINE = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.equivocate_new_view = False
+        self._nv_victims: set[str] = set()
+
+    def arm_new_view_equivocation(
+        self, victims: Optional[set[str]] = None
+    ) -> None:
+        """Forge NewView re-proposals to ``victims`` (default: half the
+        other replicas) from now on."""
+        self.equivocate_new_view = True
+        if victims is None:
+            others = [p for p in self.all_ids if p != self.replica_id]
+            victims = set(others[: len(others) // 2])
+        self._nv_victims = victims
+
+    def _forged_pre_prepare(self, pre_prepare: PrePrepare) -> PrePrepare:
+        forged_batch = tuple(
+            type(request)(
+                client_id=request.client_id,
+                timestamp=request.timestamp,
+                operation=b"FORGED:" + request.operation,
+            )
+            for request in pre_prepare.batch
+        )
+        return PrePrepare(
+            view=pre_prepare.view,
+            seq=pre_prepare.seq,
+            digest=batch_digest(forged_batch),
+            batch=forged_batch,
+            replica_id=pre_prepare.replica_id,
+        )
+
+    def _outbound_filter(self, message, raw: bytes, peer_id: str):
+        if (
+            self.equivocate_new_view
+            and isinstance(message, NewView)
+            and peer_id in self._nv_victims
+            and any(pp.batch for pp in message.pre_prepares)
+        ):
+            forged = NewView(
+                new_view=message.new_view,
+                view_change_senders=message.view_change_senders,
+                pre_prepares=tuple(
+                    self._forged_pre_prepare(pp) if pp.batch else pp
+                    for pp in message.pre_prepares
+                ),
+                replica_id=message.replica_id,
+            )
+            return encode(forged)
         return super()._outbound_filter(message, raw, peer_id)

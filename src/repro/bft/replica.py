@@ -1102,6 +1102,17 @@ class Replica:
         self._record_view_change_vote(message)
 
     def _record_view_change_vote(self, message: ViewChange) -> None:
+        audit = get_audit(self.env)
+        if audit.enabled:
+            # Digest over the wire encoding: any semantic difference in
+            # the vote (stable_seq, prepared evidence) changes it, which
+            # is what the cross-replica equivocation check compares.
+            audit.on_view_change_vote(
+                self.replica_id,
+                message.replica_id,
+                message.new_view,
+                sha256(encode(message)),
+            )
         votes = self._view_change_votes.setdefault(message.new_view, {})
         votes[message.replica_id] = message
         # Join the view change once f+1 replicas vote (we cannot all be
@@ -1206,6 +1217,17 @@ class Replica:
             slot.prepared = False
             slot.committed = slot.committed  # committed slots stay committed
             self._request_batches[pre_prepare.seq] = pre_prepare.batch
+            if audit.enabled:
+                # Report the adopted assignment like a direct pre-prepare
+                # so a new leader sending conflicting NewView batches to
+                # different replicas shows up as equivocation.
+                audit.on_pre_prepare(
+                    self.replica_id,
+                    pre_prepare.view,
+                    pre_prepare.seq,
+                    pre_prepare.digest,
+                    message.replica_id,
+                )
             if self.replica_id != message.replica_id:
                 prepare = Prepare(
                     view=message.new_view,

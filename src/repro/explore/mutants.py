@@ -1,0 +1,46 @@
+"""Seeded protocol mutants: known-broken builds the explorer must catch.
+
+Each mutant is a :class:`~repro.bft.replica.Replica` subclass with one
+deliberate protocol bug.  The self-test deploys a mutant on every
+correct replica (a buggy build shipped fleet-wide), explores, and must
+find + shrink a violating schedule — the end-to-end check that the
+exploration-oracle-shrinker pipeline actually detects protocol bugs
+rather than vacuously passing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.bft.replica import Replica
+
+__all__ = ["CommitQuorumOffByOneReplica", "MUTANTS"]
+
+
+class CommitQuorumOffByOneReplica(Replica):
+    """Commits one vote early: quorum ``2f`` instead of ``2f + 1``.
+
+    The classic off-by-one a refactor of the quorum arithmetic could
+    introduce.  With only ``2f`` signers the commit certificate no
+    longer intersects every other quorum in an honest replica, so the
+    auditors' ``bft.commit-quorum`` check (and, under the right
+    schedule, divergence) must fire on every commit.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        log = self.log
+        honest_quorum = log.committed_quorum
+
+        def buggy_quorum() -> int:
+            return max(1, honest_quorum() - 1)
+
+        # Patch the instance, not the class: the shared MessageLog type
+        # keeps its honest arithmetic for every non-mutant replica.
+        log.committed_quorum = buggy_quorum  # type: ignore[method-assign]
+
+
+#: Mutants addressable from the CLI / self-test.
+MUTANTS: Dict[str, Type[Replica]] = {
+    "commit-quorum-off-by-one": CommitQuorumOffByOneReplica,
+}

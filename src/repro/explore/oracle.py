@@ -1,0 +1,148 @@
+"""Execution-history safety oracle.
+
+An audit observer (:meth:`repro.audit.AuditManager.add_observer`) that
+rebuilds the agreed history from the hook stream and checks it against
+the two properties every explored schedule must preserve on *correct*
+(non-Byzantine) replicas:
+
+* **prefix consistency** — the executed order is one shared sequence:
+  per-replica executed sequence numbers are strictly increasing, and any
+  two correct replicas that executed the same sequence number executed
+  the same batch digest;
+* **committed ⇒ durable** — a batch committed at a sequence number stays
+  the batch at that sequence number across view changes: correct
+  replicas never commit conflicting digests for one sequence number, and
+  an execution never contradicts a commit certificate.
+
+It deliberately overlaps the cross-replica tables in
+:mod:`repro.audit.invariants`: the auditors fire *online* at hook time,
+while the oracle keeps its own end-of-run verdict with per-failure
+context, independent of ``expect_violations`` masking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+__all__ = ["HistoryOracle"]
+
+
+class HistoryOracle:
+    """Passive audit observer accumulating an end-of-run safety verdict."""
+
+    def __init__(self, correct: Iterable[str], max_failures: int = 64):
+        #: Replicas whose history must agree (deliberately faulty ones
+        #: are excluded — their lies are the auditors' business).
+        self.correct: Set[str] = set(correct)
+        self.max_failures = max_failures
+        #: seq -> (digest, first correct executor)
+        self._canonical: Dict[int, Tuple[bytes, str]] = {}
+        #: replica -> last executed seq
+        self._last_seq: Dict[str, int] = {}
+        #: seq -> digest -> correct replicas holding that commit cert
+        self._committed: Dict[int, Dict[bytes, Set[str]]] = {}
+        self.failures: List[Dict[str, object]] = []
+        self.failures_dropped = 0
+        self.executions = 0
+
+    # -- verdict ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.failures_dropped
+
+    def rules(self) -> Tuple[str, ...]:
+        return tuple(sorted({str(f["rule"]) for f in self.failures}))
+
+    def _fail(self, rule: str, **detail: object) -> None:
+        if len(self.failures) >= self.max_failures:
+            self.failures_dropped += 1
+            return
+        entry: Dict[str, object] = {"rule": rule}
+        entry.update(detail)
+        self.failures.append(entry)
+
+    # -- audit observer hooks -------------------------------------------
+
+    def on_replica_restart(self, replica: str) -> None:
+        # A fresh incarnation re-executes nothing, but its executed_seq
+        # restarts from whatever state transfer gives it; only forward
+        # progress from there is monotonic.
+        self._last_seq.pop(replica, None)
+
+    def on_execute(self, replica: str, seq: int, digest: bytes) -> None:
+        if replica not in self.correct:
+            return
+        self.executions += 1
+        last = self._last_seq.get(replica)
+        if last is not None and seq <= last:
+            self._fail(
+                "oracle.execution-order",
+                replica=replica,
+                seq=seq,
+                last_seq=last,
+            )
+        self._last_seq[replica] = max(seq, last if last is not None else seq)
+        known = self._canonical.get(seq)
+        if known is None:
+            self._canonical[seq] = (digest, replica)
+        elif known[0] != digest:
+            self._fail(
+                "oracle.execution-divergence",
+                replica=replica,
+                seq=seq,
+                digest=digest.hex()[:16],
+                conflicting_digest=known[0].hex()[:16],
+                first_executor=known[1],
+            )
+        committed = self._committed.get(seq)
+        if committed and digest not in committed:
+            self._fail(
+                "oracle.committed-not-durable",
+                replica=replica,
+                seq=seq,
+                executed_digest=digest.hex()[:16],
+                committed_digests=sorted(d.hex()[:16] for d in committed),
+            )
+
+    def on_commit_quorum(
+        self,
+        replica: str,
+        view: int,
+        seq: int,
+        digest: bytes,
+        signers: Iterable[str],
+    ) -> None:
+        if replica not in self.correct:
+            return
+        by_digest = self._committed.setdefault(seq, {})
+        by_digest.setdefault(digest, set()).add(replica)
+        if len(by_digest) > 1:
+            self._fail(
+                "oracle.conflicting-commit",
+                replica=replica,
+                view=view,
+                seq=seq,
+                digests=sorted(d.hex()[:16] for d in by_digest),
+            )
+        executed = self._canonical.get(seq)
+        if executed is not None and executed[0] != digest:
+            self._fail(
+                "oracle.committed-not-durable",
+                replica=replica,
+                seq=seq,
+                committed_digest=digest.hex()[:16],
+                executed_digest=executed[0].hex()[:16],
+            )
+
+    # -- summary ---------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "rules": list(self.rules()),
+            "failures": list(self.failures),
+            "failures_dropped": self.failures_dropped,
+            "executions": self.executions,
+            "max_executed_seq": max(self._last_seq.values(), default=0),
+        }

@@ -1,0 +1,461 @@
+"""Declarative fault scenarios and the single-run harness.
+
+A :class:`ScenarioSpec` composes everything a run throws at the
+protocol — Byzantine replica classes from :mod:`repro.bft.byzantine`,
+crash/restart via the fabric's :class:`HostFaultController`, partitions
+and seeded loss from :mod:`repro.net.faults`, and admission-budget
+overload — as data: a workload plus a list of timed
+:class:`FaultAction`\\ s drawn from :data:`FAULT_CATALOG`.  The explorer
+replays one spec under many tie-break schedules; the spec itself never
+changes between runs, so the decision trace alone identifies a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.audit import AuditConfig, AuditManager, release_audit
+from repro.bft import BftCluster, BftConfig
+from repro.bft.byzantine import (
+    CorruptingReplica,
+    EquivocatingLeader,
+    EquivocatingNewViewLeader,
+    EquivocatingViewChangeReplica,
+    SilentReplica,
+    StallingViewChangeLeader,
+)
+from repro.bft.replica import Replica
+from repro.errors import ReproError
+from repro.explore.oracle import HistoryOracle
+from repro.rubin import RubinConfig
+
+__all__ = [
+    "ScenarioError",
+    "FaultAction",
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "FAULT_CATALOG",
+    "BYZANTINE_CATALOG",
+    "SCENARIOS",
+    "run_scenario",
+]
+
+
+class ScenarioError(ReproError):
+    """A scenario spec references unknown faults or is inconsistent."""
+
+
+#: Byzantine replica classes addressable from scenario specs.
+BYZANTINE_CATALOG: Dict[str, Type[Replica]] = {
+    "silent": SilentReplica,
+    "equivocating-leader": EquivocatingLeader,
+    "corrupting": CorruptingReplica,
+    "vc-stalling-leader": StallingViewChangeLeader,
+    "vc-equivocator": EquivocatingViewChangeReplica,
+    "nv-equivocator": EquivocatingNewViewLeader,
+}
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timed fault: ``kind`` from :data:`FAULT_CATALOG` applied at
+    simulated time ``at`` (seconds from scenario start) to ``target``."""
+
+    at: float
+    kind: str
+    target: str = ""
+    args: Tuple[Any, ...] = ()
+
+
+# -- fault appliers ---------------------------------------------------------
+#
+# Each applier runs inside a simulation process at its action's time.
+# They only flip switches (controllers, byzantine arms); everything the
+# switch causes stays inside the simulated protocol.
+
+def _apply_crash(cluster: BftCluster, action: FaultAction) -> None:
+    cluster.crash_replica(action.target)
+
+
+def _apply_restart(cluster: BftCluster, action: FaultAction) -> None:
+    cluster.restart_replica(action.target)
+
+
+def _apply_partition(cluster: BftCluster, action: FaultAction) -> None:
+    group_a, group_b = action.args
+    cluster.fabric.partition(set(group_a), set(group_b))
+
+
+def _apply_isolate(cluster: BftCluster, action: FaultAction) -> None:
+    cluster.fabric.isolate(action.target)
+
+
+def _apply_heal(cluster: BftCluster, action: FaultAction) -> None:
+    cluster.fabric.heal_all()
+
+
+def _apply_loss(cluster: BftCluster, action: FaultAction) -> None:
+    a, _, b = action.target.partition(":")
+    (rate,) = action.args
+    cluster.fabric.controller(a, b).set_loss(rate)
+
+
+def _apply_go_silent(cluster: BftCluster, action: FaultAction) -> None:
+    cluster.replica(action.target).go_silent()
+
+
+def _apply_equivocate(cluster: BftCluster, action: FaultAction) -> None:
+    victims = set(action.args[0]) if action.args else None
+    cluster.replica(action.target).start_equivocating(victims)
+
+
+def _apply_corrupt(cluster: BftCluster, action: FaultAction) -> None:
+    cluster.replica(action.target).start_corrupting()
+
+
+def _apply_vc_stall(cluster: BftCluster, action: FaultAction) -> None:
+    crash = bool(action.args[0]) if action.args else False
+    cluster.replica(action.target).arm_stall(crash_on_new_view=crash)
+
+
+def _apply_vc_equivocate(cluster: BftCluster, action: FaultAction) -> None:
+    victims = set(action.args[0]) if action.args else None
+    cluster.replica(action.target).arm_vote_equivocation(victims)
+
+
+def _apply_nv_equivocate(cluster: BftCluster, action: FaultAction) -> None:
+    victims = set(action.args[0]) if action.args else None
+    cluster.replica(action.target).arm_new_view_equivocation(victims)
+
+
+#: The explorable fault catalog: every composable fault kind.
+FAULT_CATALOG: Dict[str, Callable[[BftCluster, FaultAction], None]] = {
+    "crash": _apply_crash,
+    "restart": _apply_restart,
+    "partition": _apply_partition,
+    "isolate": _apply_isolate,
+    "heal": _apply_heal,
+    "loss": _apply_loss,
+    "go-silent": _apply_go_silent,
+    "equivocate": _apply_equivocate,
+    "corrupt": _apply_corrupt,
+    "vc-stall": _apply_vc_stall,
+    "vc-equivocate": _apply_vc_equivocate,
+    "nv-equivocate": _apply_nv_equivocate,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One composed fault scenario, fully declarative."""
+
+    name: str
+    description: str = ""
+    transport: str = "rubin"
+    requests: int = 4
+    request_gap: float = 4e-3
+    #: Simulated seconds the run advances after the last request is
+    #: submitted (faults later than this never fire).
+    run_time: float = 120e-3
+    #: Replica id -> BYZANTINE_CATALOG key.
+    byzantine: Tuple[Tuple[str, str], ...] = ()
+    faults: Tuple[FaultAction, ...] = ()
+    num_clients: int = 1
+    view_change_timeout: float = 30e-3
+    checkpoint_interval: int = 4
+    admission_budget: int = 0
+    #: Audit rules this scenario is *supposed* to trip (its Byzantine
+    #: members' fingerprints); anything else fails the run.
+    expected_rules: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for action in self.faults:
+            if action.kind not in FAULT_CATALOG:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: unknown fault kind {action.kind!r}"
+                )
+        for _, kind in self.byzantine:
+            if kind not in BYZANTINE_CATALOG:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: unknown byzantine class {kind!r}"
+                )
+
+    def bft_config(self) -> BftConfig:
+        return BftConfig(
+            view_change_timeout=self.view_change_timeout,
+            batch_delay=50e-6,
+            batch_size=1,
+            checkpoint_interval=self.checkpoint_interval,
+            log_window=4 * self.checkpoint_interval,
+            admission_budget=self.admission_budget,
+        )
+
+    def rubin_config(self) -> RubinConfig:
+        # Small pools: the default config spends ~98% of a short run's
+        # host time allocating 128 KiB buffers the workload never fills.
+        return RubinConfig(
+            retry_timeout=1e-3,
+            retry_count=3,
+            buffer_size=8192,
+            num_recv_buffers=8,
+            num_send_buffers=8,
+            post_batch=4,
+        )
+
+    def correct_replicas(self) -> Tuple[str, ...]:
+        byzantine = {rid for rid, _ in self.byzantine}
+        n = self.bft_config().n
+        return tuple(f"r{i}" for i in range(n) if f"r{i}" not in byzantine)
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything the explorer needs to score one run."""
+
+    spec: ScenarioSpec
+    ok: bool
+    #: Unexpected audit rules + oracle failure rules (empty when ok).
+    rules: Tuple[str, ...]
+    oracle: Dict[str, Any]
+    completed: int
+    events: int
+    #: Digest of the modeled end state — two runs with the same
+    #: fingerprint made identical scheduling decisions.
+    fingerprint: str
+    #: repr of a simulation-level exception, if the run itself blew up.
+    crashed: Optional[str] = None
+    #: Post-mortem documents for failed runs (None while ok).
+    postmortems: Optional[list] = None
+    #: Every audit rule that fired, expected ones included (vacuity
+    #: checks: a Byzantine scenario whose expected rule never fires is
+    #: not exercising its fault).
+    fired_rules: Tuple[str, ...] = ()
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.spec.name,
+            "ok": self.ok,
+            "rules": list(self.rules),
+            "fired_rules": list(self.fired_rules),
+            "completed": self.completed,
+            "events": self.events,
+            "fingerprint": self.fingerprint,
+            "crashed": self.crashed,
+            "oracle": self.oracle,
+        }
+
+
+def _workload(env, cluster: BftCluster, spec: ScenarioSpec, submitted: list):
+    for i in range(spec.requests):
+        client = cluster.client(i % spec.num_clients)
+        submitted.append(client.invoke(b"PUT k%d=v%d" % (i, i)))
+        yield env.timeout(spec.request_gap)
+
+
+def _fault_proc(env, cluster: BftCluster, action: FaultAction, applied: list):
+    yield env.timeout(action.at)
+    FAULT_CATALOG[action.kind](cluster, action)
+    applied.append(action)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    policy=None,
+    mutant: Optional[Type[Replica]] = None,
+    dump_dir: Optional[str] = None,
+) -> ScenarioOutcome:
+    """Run ``spec`` once under ``policy`` and score it.
+
+    ``mutant`` replaces the *correct* replicas' class (a buggy build
+    deployed fleet-wide); deliberately Byzantine members keep their
+    scenario-assigned classes.  The audit manager is created expecting
+    violations — the explorer, not the test-suite conformance fixture,
+    is the judge here — and released from the active-audit list before
+    returning so long sweeps stay bounded.
+    """
+    replica_classes: Dict[str, Type[Replica]] = {
+        rid: BYZANTINE_CATALOG[kind] for rid, kind in spec.byzantine
+    }
+    if mutant is not None:
+        for rid in spec.correct_replicas():
+            replica_classes[rid] = mutant
+    manager = AuditManager(
+        config=AuditConfig(ring_size=2048, max_postmortems=8),
+        name=f"explore:{spec.name}",
+        expect_violations=True,
+    )
+    cluster = BftCluster(
+        transport=spec.transport,
+        config=spec.bft_config(),
+        rubin_config=spec.rubin_config(),
+        replica_classes=replica_classes,
+        num_clients=spec.num_clients,
+        faulty_fabric=True,
+        audit=manager,
+    )
+    env = cluster.env
+    if policy is not None:
+        env.set_tiebreak(policy)
+    oracle = HistoryOracle(correct=spec.correct_replicas())
+    manager.add_observer(oracle)
+
+    submitted: list = []
+    applied: list = []
+    crashed: Optional[str] = None
+    try:
+        cluster.start()
+        for action in spec.faults:
+            env.process(
+                _fault_proc(env, cluster, action, applied),
+                name=f"scenario.fault.{action.kind}",
+            )
+        env.process(
+            _workload(env, cluster, spec, submitted), name="scenario.load"
+        )
+        horizon = spec.requests * spec.request_gap + spec.run_time
+        env.run(until=env.now + horizon)
+    except Exception as exc:  # noqa: BLE001 - a crashing schedule is a finding
+        crashed = f"{type(exc).__name__}: {exc}"
+    finally:
+        env.set_tiebreak(None)
+        release_audit(manager)
+
+    completed = sum(1 for event in submitted if event.triggered and event.ok)
+    expected = set(spec.expected_rules)
+    fired = sorted({v.rule for v in manager.violations})
+    unexpected = sorted(rule for rule in fired if rule not in expected)
+    rules = tuple(unexpected) + oracle.rules()
+    ok = not rules and not crashed and not oracle.failures_dropped
+    fingerprint = hashlib.sha256(
+        repr(
+            (
+                sorted(cluster.executed_sequences().items()),
+                sorted((k, v.hex()) for k, v in cluster.state_digests().items()),
+                completed,
+                round(env.now, 12),
+            )
+        ).encode()
+    ).hexdigest()
+    postmortems = None
+    if not ok:
+        manager.dump_postmortem("explore:failing-schedule")
+        postmortems = list(manager.postmortems)
+    return ScenarioOutcome(
+        spec=spec,
+        ok=ok,
+        rules=rules,
+        oracle=oracle.summary(),
+        completed=completed,
+        events=env._eid,
+        fingerprint=fingerprint,
+        crashed=crashed,
+        postmortems=postmortems,
+        fired_rules=tuple(fired),
+    )
+
+
+def _spec(*args, **kwargs) -> ScenarioSpec:
+    return ScenarioSpec(*args, **kwargs)
+
+
+#: The built-in composed scenarios the smoke sweep explores.
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            name="equivocate-partition",
+            description=(
+                "Equivocating leader forging batches to one victim while a "
+                "backup is partitioned away and rejoins mid-run."
+            ),
+            byzantine=(("r0", "equivocating-leader"),),
+            faults=(
+                FaultAction(at=4e-3, kind="equivocate", target="r0", args=(("r1",),)),
+                FaultAction(at=10e-3, kind="partition", args=(("r3",), ("r0", "r1", "r2", "c0"))),
+                FaultAction(at=40e-3, kind="heal"),
+            ),
+            requests=5,
+            expected_rules=("bft.pre-prepare-equivocation",),
+        ),
+        _spec(
+            name="crash-overload",
+            description=(
+                "Admission-budget overload with a backup crash and recovery "
+                "in the middle of the burst."
+            ),
+            requests=8,
+            request_gap=1.5e-3,
+            num_clients=2,
+            admission_budget=2,
+            faults=(
+                FaultAction(at=8e-3, kind="crash", target="r2"),
+                FaultAction(at=45e-3, kind="restart", target="r2"),
+            ),
+            run_time=160e-3,
+        ),
+        _spec(
+            name="vc-stall-partition",
+            description=(
+                "Old leader partitioned away; the next leader stalls its "
+                "NewView, forcing escalation past it; partition heals."
+            ),
+            byzantine=(("r1", "vc-stalling-leader"),),
+            faults=(
+                FaultAction(at=2e-3, kind="vc-stall", target="r1"),
+                FaultAction(at=8e-3, kind="partition", args=(("r0",), ("r1", "r2", "r3", "c0"))),
+                FaultAction(at=60e-3, kind="heal"),
+            ),
+            requests=4,
+            view_change_timeout=15e-3,
+            run_time=200e-3,
+        ),
+        _spec(
+            name="silent-loss",
+            description=(
+                "Leader goes fail-silent under seeded random loss on the "
+                "surviving replicas' links: view change under a lossy mesh."
+            ),
+            byzantine=(("r0", "silent"),),
+            faults=(
+                FaultAction(at=3e-3, kind="loss", target="r1:r2", args=(0.05,)),
+                FaultAction(at=3e-3, kind="loss", target="r2:r3", args=(0.05,)),
+                FaultAction(at=6e-3, kind="go-silent", target="r0"),
+            ),
+            requests=4,
+            view_change_timeout=15e-3,
+            run_time=200e-3,
+        ),
+        _spec(
+            name="vc-equivocate",
+            description=(
+                "Fail-silent leader triggers a view change during which a "
+                "backup equivocates its ViewChange votes."
+            ),
+            byzantine=(("r0", "silent"), ("r2", "vc-equivocator")),
+            faults=(
+                FaultAction(at=2e-3, kind="vc-equivocate", target="r2", args=(("r3",),)),
+                FaultAction(at=6e-3, kind="go-silent", target="r0"),
+            ),
+            requests=4,
+            view_change_timeout=15e-3,
+            run_time=200e-3,
+            expected_rules=("bft.view-change-equivocation",),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def with_overrides(spec: ScenarioSpec, **overrides: Any) -> ScenarioSpec:
+    """A copy of ``spec`` with fields replaced (used by the CLI)."""
+    return replace(spec, **overrides)

@@ -1,0 +1,141 @@
+"""Delta-debugging minimization of failing decision traces.
+
+A failing schedule found by fuzzing typically carries many deviations
+from the default order, most of them irrelevant to the failure.  The
+shrinker runs classic ddmin over the *deviation set* (the positions
+where the trace leaves index 0): it keeps removing complements/chunks of
+deviations while the reduced trace still fails, converging on a
+1-minimal set — removing any single remaining deviation makes the
+failure disappear.
+
+The predicate is "the replayed trace still violates" (any unexpected
+rule), checked by really re-running the scenario, so every intermediate
+result is itself a true replayable failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+__all__ = ["ShrinkResult", "shrink_choices", "ddmin"]
+
+
+class ShrinkResult:
+    """Outcome of one shrink: the minimized trace and its statistics."""
+
+    def __init__(
+        self,
+        original: Tuple[int, ...],
+        shrunk: Tuple[int, ...],
+        runs_used: int,
+    ):
+        self.original = original
+        self.shrunk = shrunk
+        self.runs_used = runs_used
+        self.original_deviations = sum(1 for c in original if c)
+        self.shrunk_deviations = sum(1 for c in shrunk if c)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of deviations removed (1.0 = all of them)."""
+        if self.original_deviations == 0:
+            return 0.0
+        return 1.0 - self.shrunk_deviations / self.original_deviations
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "original_length": len(self.original),
+            "shrunk_length": len(self.shrunk),
+            "original_deviations": self.original_deviations,
+            "shrunk_deviations": self.shrunk_deviations,
+            "reduction": round(self.reduction, 4),
+            "runs_used": self.runs_used,
+        }
+
+
+def _trim(choices: List[int]) -> Tuple[int, ...]:
+    last = len(choices)
+    while last and choices[last - 1] == 0:
+        last -= 1
+    return tuple(choices[:last])
+
+
+def _with_deviations(
+    original: Tuple[int, ...], keep: List[int]
+) -> Tuple[int, ...]:
+    """The trace with only the deviations at positions in ``keep``."""
+    choices = [0] * len(original)
+    for position in keep:
+        choices[position] = original[position]
+    return _trim(choices)
+
+
+def ddmin(
+    items: List[int],
+    still_fails: Callable[[List[int]], bool],
+) -> Tuple[List[int], int]:
+    """Classic ddmin over ``items``: a 1-minimal failing subset.
+
+    ``still_fails(subset)`` must be True for the full set.  Returns the
+    minimized subset and the number of predicate evaluations spent.
+    """
+    assert still_fails(items), "ddmin requires a failing starting point"
+    tests = 1
+    granularity = 2
+    current = list(items)
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            complement = current[:start] + current[start + chunk:]
+            if not complement:
+                continue
+            tests += 1
+            if still_fails(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(granularity * 2, len(current))
+    # Final singleton pass: an empty deviation set may also fail (the
+    # bug is schedule-independent); prefer that ultimate reduction.
+    tests += 1
+    if still_fails([]):
+        current = []
+    return current, tests
+
+
+def shrink_choices(
+    choices: Tuple[int, ...],
+    run_trace: Callable[[Tuple[int, ...]], bool],
+    max_runs: int = 64,
+) -> ShrinkResult:
+    """Minimize a failing trace's deviations.
+
+    ``run_trace(choices)`` re-executes the scenario under the given
+    trace and returns True when it still fails.  The search is capped at
+    ``max_runs`` re-executions; whatever the cap interrupts is still a
+    valid (if non-minimal) failing trace.
+    """
+    runs = 0
+
+    def still_fails(keep: List[int]) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        return run_trace(_with_deviations(choices, keep))
+
+    deviations = [i for i, choice in enumerate(choices) if choice]
+    if not deviations:
+        if not run_trace(choices):
+            raise ValueError("shrink_choices needs a failing trace")
+        return ShrinkResult(choices, choices, runs_used=1)
+    kept, _tests = ddmin(deviations, still_fails)
+    shrunk = _with_deviations(choices, kept)
+    # ddmin's bookkeeping counted predicate calls; `runs` counted real
+    # re-executions (they differ once the cap bites).
+    return ShrinkResult(choices, shrunk, runs_used=runs)

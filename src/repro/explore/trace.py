@@ -1,0 +1,95 @@
+"""Replayable decision traces.
+
+A decision trace is the complete identity of one explored schedule: the
+scenario it ran, the optional protocol mutant, and the choice index taken
+at each of the kernel's tie-break points (trailing default choices are
+trimmed).  Together with the deterministic kernel that is enough to
+replay the run bit-identically — no RNG state, no wall-clock, no
+environment snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["TRACE_SCHEMA", "DecisionTrace", "TraceError"]
+
+#: Format identifier embedded in every trace document.
+TRACE_SCHEMA = "repro.explore/trace/v1"
+
+
+class TraceError(ReproError):
+    """A trace document is malformed or from an unknown schema."""
+
+
+@dataclass(frozen=True)
+class DecisionTrace:
+    """One replayable schedule: scenario + mutant + tie-break choices."""
+
+    scenario: str
+    choices: Tuple[int, ...] = ()
+    mutant: Optional[str] = None
+    #: Free-form context (verdict rules, deviation counts, ...).  Not
+    #: consulted on replay.
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def deviations(self) -> int:
+        """Choice points where the trace leaves the default order."""
+        return sum(1 for choice in self.choices if choice != 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "scenario": self.scenario,
+            "mutant": self.mutant,
+            "choices": list(self.choices),
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "DecisionTrace":
+        if not isinstance(document, dict):
+            raise TraceError(f"trace document must be an object, got {type(document).__name__}")
+        schema = document.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise TraceError(f"unknown trace schema {schema!r} (expected {TRACE_SCHEMA!r})")
+        scenario = document.get("scenario")
+        if not isinstance(scenario, str) or not scenario:
+            raise TraceError("trace is missing its scenario name")
+        choices = document.get("choices", [])
+        if not isinstance(choices, list) or not all(
+            isinstance(c, int) and c >= 0 for c in choices
+        ):
+            raise TraceError("trace choices must be a list of non-negative ints")
+        mutant = document.get("mutant")
+        if mutant is not None and not isinstance(mutant, str):
+            raise TraceError("trace mutant must be a string or null")
+        meta = document.get("meta", {})
+        if not isinstance(meta, dict):
+            raise TraceError("trace meta must be an object")
+        return cls(
+            scenario=scenario,
+            choices=tuple(choices),
+            mutant=mutant,
+            meta=dict(meta),
+        )
+
+    def save(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "DecisionTrace":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                document = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"unparseable trace {path!r}: {exc}") from exc
+        return cls.from_dict(document)

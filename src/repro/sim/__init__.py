@@ -19,7 +19,7 @@ Quick tour::
 """
 
 from repro.sim.copystats import COPYSTATS, CopyStats
-from repro.sim.core import Environment, Infinity
+from repro.sim.core import Environment, Infinity, TieBreakPolicy
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -44,6 +44,7 @@ __all__ = [
     "CopyStats",
     "Environment",
     "Infinity",
+    "TieBreakPolicy",
     "Event",
     "Timeout",
     "Condition",

@@ -23,10 +23,36 @@ from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
-__all__ = ["Environment", "Infinity"]
+__all__ = ["Environment", "Infinity", "TieBreakPolicy"]
 
 #: Convenience alias used for "run forever" bounds.
 Infinity = float("inf")
+
+
+class TieBreakPolicy:
+    """Chooses which of several same-instant agenda entries runs next.
+
+    The kernel orders its agenda by ``(time, priority, sequence)``; the
+    sequence number is a pure tie-break and any permutation of entries
+    that share ``(time, priority)`` is a legal schedule.  Installing a
+    policy via :meth:`Environment.set_tiebreak` exposes exactly those
+    choice points: whenever two or more entries are tied on
+    ``(time, priority)``, the kernel collects them in sequence order and
+    asks the policy which one to dispatch.
+
+    ``choose`` receives the current time and the tied entries (each a
+    ``(time, priority, sequence, event)`` tuple, sequence-ordered) and
+    returns the index of the entry to dispatch; the rest are pushed back
+    with their original sequence numbers, so index ``0`` everywhere
+    reproduces the kernel's native order bit-for-bit.  Out-of-range
+    indices fall back to ``0``.
+
+    With no policy installed the kernel never materializes ready sets
+    and runs the original fast loop untouched.
+    """
+
+    def choose(self, now: float, entries: list) -> int:
+        return 0
 
 
 class Environment:
@@ -51,6 +77,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        # Optional TieBreakPolicy consulted on equal-(time, priority)
+        # ready sets; None selects the untouched fast run loop.
+        self._tiebreak: Optional[TieBreakPolicy] = None
         # Observational tracing hook: ``repro.trace.install_tracer`` sets
         # this; ``repro.trace.get_tracer`` falls back to a no-op tracer
         # while it is None.  The kernel itself never reads it.
@@ -81,8 +110,49 @@ class Environment:
         """Time of the next scheduled event, or ``Infinity`` if none."""
         return self._queue[0][0] if self._queue else Infinity
 
+    def set_tiebreak(self, policy: Optional[TieBreakPolicy]) -> None:
+        """Install (or clear) the equal-timestamp tie-break policy."""
+        self._tiebreak = policy
+
+    def _pop_choice(self) -> tuple[float, int, int, Event]:
+        """Pop the next agenda entry, letting the policy break ties.
+
+        Entries tied on ``(time, priority)`` are collected in sequence
+        order and the installed policy picks one; the others go back on
+        the heap with their original sequence numbers so a policy that
+        always answers 0 is indistinguishable from no policy at all.
+        """
+        queue = self._queue
+        entry = heapq.heappop(queue)
+        if queue and queue[0][0] == entry[0] and queue[0][1] == entry[1]:
+            when, prio = entry[0], entry[1]
+            tied = [entry]
+            while queue and queue[0][0] == when and queue[0][1] == prio:
+                tied.append(heapq.heappop(queue))
+            index = self._tiebreak.choose(when, tied)
+            if not 0 <= index < len(tied):
+                index = 0
+            entry = tied.pop(index)
+            for other in tied:
+                heapq.heappush(queue, other)
+        return entry
+
     def step(self) -> None:
         """Process the single next event on the agenda."""
+        if self._tiebreak is not None:
+            if not self._queue:
+                raise SimulationError("agenda is empty")
+            when, _prio, _eid, event = self._pop_choice()
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                raise exc if isinstance(exc, BaseException) else SimulationError(
+                    repr(exc)
+                )
+            return
         try:
             when, _prio, _eid, event = heapq.heappop(self._queue)
         except IndexError:
@@ -149,6 +219,8 @@ class Environment:
         if gc_was_enabled:
             _gc.disable()
         try:
+            if self._tiebreak is not None:
+                return self._run_loop_policy(stop_event, stop_at)
             return self._run_loop(queue, heappop, stop_event, stop_at)
         finally:
             if gc_was_enabled:
@@ -207,6 +279,47 @@ class Environment:
                     raise exc if isinstance(
                         exc, BaseException
                     ) else SimulationError(repr(exc))
+
+        if stop_event is not None:
+            raise SimulationError(
+                "simulation ran out of events before the awaited event "
+                f"{stop_event!r} triggered"
+            )
+        if stop_at is not Infinity:
+            self._now = stop_at
+        return None
+
+    def _run_loop_policy(
+        self, stop_event: Optional[Event], stop_at: float
+    ) -> Any:
+        """Run loop variant used when a tie-break policy is installed.
+
+        Mirrors :meth:`_run_loop` exactly, except every pop goes through
+        :meth:`_pop_choice`.  Kept separate so the no-policy fast path
+        stays byte-identical to the pinned fingerprints.
+        """
+        queue = self._queue
+        while queue:
+            if stop_event is None and queue[0][0] > stop_at:
+                self._now = stop_at
+                return None
+            entry = self._pop_choice()
+            self._now = entry[0]
+            event = entry[3]
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                exc = event._value
+                raise exc if isinstance(exc, BaseException) else SimulationError(
+                    repr(exc)
+                )
+            if stop_event is not None and stop_event.callbacks is None:
+                if stop_event._ok:
+                    return stop_event._value
+                stop_event._defused = True
+                raise stop_event._value
 
         if stop_event is not None:
             raise SimulationError(

@@ -1,0 +1,104 @@
+"""Audit memory bounds: long campaigns must not grow without limit.
+
+The explorer replays thousands of schedules against auditing managers;
+violation lists and post-mortem buffers are therefore capped
+(drop-oldest) with explicit drop counters, and managers can be released
+from the global active list once their run is scored.
+"""
+
+import glob
+
+import pytest
+
+from repro.audit import (
+    AuditConfig,
+    AuditError,
+    AuditManager,
+    get_audit,
+    install_audit,
+    release_audit,
+)
+from repro.sim import Environment
+
+
+def _trip(manager, count, rule="bft.test-rule"):
+    for index in range(count):
+        manager.violation(rule, layer="bft", subject=f"r{index}", index=index)
+
+
+class TestViolationCap:
+    def test_oldest_violations_dropped_past_the_cap(self):
+        manager = AuditManager(
+            config=AuditConfig(max_violations=4, max_postmortems=64),
+            expect_violations=True,
+        )
+        _trip(manager, 10)
+        assert len(manager.violations) == 4
+        assert manager.violations_dropped == 6
+        # Drop-oldest: the newest violations survive.
+        kept = [dict(v.detail)["index"] for v in manager.violations]
+        assert kept == [6, 7, 8, 9]
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(AuditError):
+            AuditConfig(max_violations=0)
+        with pytest.raises(AuditError):
+            AuditConfig(max_postmortems=0)
+
+
+class TestPostmortemCap:
+    def test_oldest_postmortems_dropped_past_the_cap(self):
+        manager = AuditManager(
+            config=AuditConfig(max_violations=64, max_postmortems=2),
+            expect_violations=True,
+        )
+        for reason in ("first", "second", "third"):
+            manager.dump_postmortem(reason)
+        assert len(manager.postmortems) == 2
+        assert manager.postmortems_dropped == 1
+        assert [d["reason"] for d in manager.postmortems] == [
+            "second",
+            "third",
+        ]
+
+    def test_dump_file_numbering_survives_dropped_buffers(self, tmp_path):
+        """On-disk post-mortems are numbered by the running total, so
+        dropping in-memory buffers never overwrites earlier files."""
+        manager = AuditManager(
+            config=AuditConfig(
+                max_violations=64,
+                max_postmortems=2,
+                dump_dir=str(tmp_path),
+            ),
+            name="bounds",
+            expect_violations=True,
+        )
+        for reason in ("a", "b", "c", "d"):
+            manager.dump_postmortem(reason)
+        paths = sorted(glob.glob(f"{tmp_path}/*.json"))
+        assert len(paths) == 4
+        assert len(manager.postmortems) == 2
+
+    def test_violations_past_the_cap_still_dump_postmortems(self):
+        manager = AuditManager(
+            config=AuditConfig(max_violations=2, max_postmortems=3),
+            expect_violations=True,
+        )
+        _trip(manager, 5)
+        assert len(manager.violations) == 2
+        assert len(manager.postmortems) == 3
+        assert manager.postmortems_dropped == 2
+
+
+class TestRelease:
+    def test_release_removes_the_manager_from_the_active_list(self):
+        env = Environment()
+        manager = AuditManager(expect_violations=True)
+        install_audit(env, manager)
+        assert get_audit(env) is manager
+        release_audit(manager)
+        from repro.audit.core import _ACTIVE
+
+        assert manager not in _ACTIVE
+        # Releasing twice is harmless.
+        release_audit(manager)

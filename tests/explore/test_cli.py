@@ -1,0 +1,53 @@
+"""The ``python -m repro.explore`` entry point, driven in-process."""
+
+import json
+
+from repro.explore.__main__ import main
+from repro.explore.engine import ExploreBudget, Explorer
+from repro.explore.mutants import MUTANTS
+from repro.explore.selftest import selftest_spec
+
+
+class TestCli:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-overload" in out
+        assert "commit-quorum-off-by-one" in out
+
+    def test_scenario_sweep_writes_a_report(self, tmp_path):
+        code = main(
+            [
+                "--scenario", "crash-overload",
+                "--runs", "4",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["ok"] is True
+        assert report["distinct_schedules_total"] >= 1
+        assert report["scenarios"][0]["scenario"] == "crash-overload"
+
+    def test_replay_reproduces_a_recorded_failure(self, tmp_path):
+        # Record a failing trace by running the seeded mutant directly.
+        mutant_name = "commit-quorum-off-by-one"
+        explorer = Explorer(
+            selftest_spec(),
+            mutant=MUTANTS[mutant_name],
+            mutant_name=mutant_name,
+            budget=ExploreBudget(max_runs=4),
+        )
+        record, _ = explorer.run_prescribed((), origin="base")
+        assert not record.ok
+        trace_path = str(tmp_path / "failure.trace.json")
+        record.trace.save(trace_path)
+
+        code = main(["--replay", trace_path, "--out", str(tmp_path / "out")])
+        assert code == 0
+        report = json.loads(
+            (tmp_path / "out" / "report.json").read_text()
+        )
+        assert report["reproduced"] is True
+        assert "bft.commit-quorum" in report["rules"]
+        assert report["fingerprint_matches_recording"] is True

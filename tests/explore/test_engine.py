@@ -1,0 +1,142 @@
+"""The explorer: real scenario runs, dedup, replay, pruning, budgets."""
+
+import pytest
+
+from repro.explore.engine import ExploreBudget, Explorer
+from repro.explore.mutants import MUTANTS
+from repro.explore.scenario import get_scenario, with_overrides
+from repro.explore.selftest import selftest_spec
+
+
+def _tiny_spec():
+    """A fast clean scenario: no faults, three requests."""
+    return with_overrides(
+        get_scenario("crash-overload"),
+        name="test:tiny",
+        faults=(),
+        requests=3,
+        num_clients=1,
+        admission_budget=0,
+        run_time=60e-3,
+    )
+
+
+@pytest.fixture(scope="module")
+def explored():
+    explorer = Explorer(
+        _tiny_spec(), budget=ExploreBudget(max_events=400_000, max_runs=12)
+    )
+    report = explorer.explore()
+    return explorer, report
+
+
+class TestExploration:
+    def test_clean_scenario_stays_clean_across_schedules(self, explored):
+        _, report = explored
+        assert report.ok
+        assert report.failures == []
+
+    def test_schedules_are_distinct_and_deduplicated(self, explored):
+        _, report = explored
+        assert report.distinct_schedules > 1
+        assert report.distinct_schedules <= report.runs
+        assert report.runs == 12
+        assert report.exhausted == "runs"
+
+    def test_choice_points_and_branching_observed(self, explored):
+        _, report = explored
+        assert report.choice_points > 0
+        assert report.branch_points > 0
+
+    def test_independence_pruning_drops_alternatives(self, explored):
+        _, report = explored
+        # Ready sets mixing several hosts exist in any BFT run; the
+        # owner-independence rule must collapse some of them.
+        assert report.pruned_alternatives > 0
+
+    def test_summary_is_json_shaped(self, explored):
+        _, report = explored
+        summary = report.summary()
+        assert summary["scenario"] == "test:tiny"
+        assert summary["ok"] is True
+        assert summary["distinct_schedules"] == report.distinct_schedules
+
+
+class TestReplayDeterminism:
+    def test_same_prescription_same_fingerprint(self):
+        explorer = Explorer(_tiny_spec())
+        first, _ = explorer.run_prescribed((0, 1), origin="branch")
+        second, _ = explorer.run_prescribed((0, 1), origin="replay")
+        assert first.outcome.fingerprint == second.outcome.fingerprint
+
+    def test_deviation_changes_the_schedule_identity(self):
+        explorer = Explorer(_tiny_spec())
+        base, base_policy = explorer.run_prescribed((), origin="base")
+        point = next(
+            i for i, size in enumerate(base_policy.sizes) if size > 1
+        )
+        branch, branch_policy = explorer.run_prescribed(
+            (0,) * point + (1,), origin="branch"
+        )
+        assert branch_policy.clamped == 0
+        assert branch.trace.choices != base.trace.choices
+
+    def test_failing_trace_replays_to_the_same_violation(self):
+        mutant_name = "commit-quorum-off-by-one"
+        explorer = Explorer(
+            selftest_spec(), mutant=MUTANTS[mutant_name],
+            mutant_name=mutant_name,
+        )
+        record, _ = explorer.run_prescribed((), origin="base")
+        assert not record.ok
+        assert "bft.commit-quorum" in record.outcome.rules
+        replayed = explorer.replay(record.trace)
+        assert replayed.outcome.rules == record.outcome.rules
+        assert replayed.outcome.fingerprint == record.outcome.fingerprint
+
+
+class TestBudgets:
+    def test_run_budget_is_a_hard_stop(self):
+        explorer = Explorer(
+            _tiny_spec(), budget=ExploreBudget(max_events=10**9, max_runs=2)
+        )
+        report = explorer.explore()
+        assert report.runs == 2
+        assert report.exhausted == "runs"
+
+    def test_event_budget_is_a_hard_stop(self):
+        explorer = Explorer(
+            _tiny_spec(), budget=ExploreBudget(max_events=1, max_runs=100)
+        )
+        report = explorer.explore()
+        # The base run always executes; the budget check stops the rest.
+        assert report.runs == 1
+        assert report.exhausted == "events"
+
+
+class TestPruning:
+    def test_distinct_owners_collapse_to_one_representative(self):
+        explorer = Explorer(_tiny_spec(), max_alternatives=8)
+        kept, pruned = explorer._alternatives(
+            4, ("h0", "h1", "h1", "h2")
+        )
+        # Index 1 represents h1 (and is kept); index 2 is a second h1
+        # entry independent of the h0 default, so it is pruned; index 3
+        # represents h2.
+        assert kept == [1, 3]
+        assert pruned == 1
+
+    def test_same_owner_entries_are_all_dependent(self):
+        explorer = Explorer(_tiny_spec(), max_alternatives=8)
+        kept, pruned = explorer._alternatives(4, ("h0", "h0", "h0", "h0"))
+        assert kept == [1, 2, 3]
+        assert pruned == 0
+
+    def test_missing_owner_data_keeps_everything(self):
+        explorer = Explorer(_tiny_spec(), max_alternatives=8)
+        kept, _ = explorer._alternatives(3, ())
+        assert kept == [1, 2]
+
+    def test_singleton_ready_set_has_no_alternatives(self):
+        explorer = Explorer(_tiny_spec())
+        assert explorer._alternatives(1, ("h0",)) == ([], 0)

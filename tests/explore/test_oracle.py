@@ -1,0 +1,74 @@
+"""History oracle: synthetic hook streams must yield the right verdicts."""
+
+from repro.explore.oracle import HistoryOracle
+
+D1 = b"\x11" * 32
+D2 = b"\x22" * 32
+
+
+def _oracle():
+    return HistoryOracle(correct=("r0", "r1", "r2"))
+
+
+class TestCleanHistories:
+    def test_agreeing_executions_pass(self):
+        oracle = _oracle()
+        for seq in (1, 2, 3):
+            for replica in ("r0", "r1", "r2"):
+                oracle.on_execute(replica, seq, D1)
+        assert oracle.ok
+        assert oracle.rules() == ()
+        assert oracle.summary()["max_executed_seq"] == 3
+
+    def test_byzantine_replicas_are_ignored(self):
+        oracle = _oracle()
+        oracle.on_execute("r0", 1, D1)
+        oracle.on_execute("r9", 1, D2)  # not in the correct set
+        oracle.on_commit_quorum("r9", 0, 1, D2, ("r9",))
+        assert oracle.ok
+
+    def test_restart_resets_the_order_watermark(self):
+        oracle = _oracle()
+        oracle.on_execute("r0", 1, D1)
+        oracle.on_execute("r0", 2, D2)
+        oracle.on_replica_restart("r0")
+        # The fresh incarnation replays from state transfer; re-executing
+        # an old sequence number is not an order violation.
+        oracle.on_execute("r0", 2, D2)
+        assert oracle.ok
+
+
+class TestViolations:
+    def test_execution_divergence_flagged(self):
+        oracle = _oracle()
+        oracle.on_execute("r0", 1, D1)
+        oracle.on_execute("r1", 1, D2)
+        assert not oracle.ok
+        assert oracle.rules() == ("oracle.execution-divergence",)
+
+    def test_non_monotonic_execution_flagged(self):
+        oracle = _oracle()
+        oracle.on_execute("r0", 2, D1)
+        oracle.on_execute("r0", 1, D1)
+        assert "oracle.execution-order" in oracle.rules()
+
+    def test_conflicting_commit_certificates_flagged(self):
+        oracle = _oracle()
+        oracle.on_commit_quorum("r0", 0, 1, D1, ("r0", "r1", "r2"))
+        oracle.on_commit_quorum("r1", 0, 1, D2, ("r1", "r2", "r3"))
+        assert "oracle.conflicting-commit" in oracle.rules()
+
+    def test_execution_contradicting_commit_flagged(self):
+        oracle = _oracle()
+        oracle.on_commit_quorum("r0", 0, 1, D1, ("r0", "r1", "r2"))
+        oracle.on_execute("r1", 1, D2)
+        assert "oracle.committed-not-durable" in oracle.rules()
+
+    def test_failures_are_bounded(self):
+        oracle = HistoryOracle(correct=("r0", "r1"), max_failures=3)
+        for seq in range(10):
+            oracle.on_execute("r0", seq + 1, D1)
+            oracle.on_execute("r1", seq + 1, D2)
+        assert len(oracle.failures) == 3
+        assert oracle.failures_dropped == 7
+        assert not oracle.ok

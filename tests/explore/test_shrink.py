@@ -1,0 +1,71 @@
+"""ddmin and trace shrinking: minimal failing subsets, capped runs."""
+
+import pytest
+
+from repro.explore.shrink import ShrinkResult, ddmin, shrink_choices
+
+
+class TestDdmin:
+    def test_finds_the_minimal_pair(self):
+        items = list(range(20))
+
+        def still_fails(subset):
+            return 3 in subset and 7 in subset
+
+        kept, _tests = ddmin(items, still_fails)
+        assert sorted(kept) == [3, 7]
+
+    def test_single_culprit(self):
+        kept, _ = ddmin(list(range(16)), lambda s: 11 in s)
+        assert kept == [11]
+
+    def test_schedule_independent_failure_shrinks_to_nothing(self):
+        kept, _ = ddmin(list(range(8)), lambda s: True)
+        assert kept == []
+
+    def test_requires_a_failing_starting_point(self):
+        with pytest.raises(AssertionError):
+            ddmin([1, 2, 3], lambda s: False)
+
+
+class TestShrinkChoices:
+    def test_reduction_keeps_only_needed_deviations(self):
+        # Deviations at positions 1, 3, 5; only position 3 matters.
+        choices = (0, 2, 0, 1, 0, 3)
+
+        def run_trace(candidate):
+            return len(candidate) > 3 and candidate[3] == 1
+
+        result = shrink_choices(choices, run_trace)
+        assert result.shrunk == (0, 0, 0, 1)
+        assert result.original_deviations == 3
+        assert result.shrunk_deviations == 1
+        assert result.reduction == pytest.approx(2 / 3)
+
+    def test_schedule_independent_bug_reaches_full_reduction(self):
+        result = shrink_choices((0, 1, 2, 0, 1), lambda c: True)
+        assert result.shrunk == ()
+        assert result.reduction == 1.0
+
+    def test_run_cap_still_returns_a_failing_trace(self):
+        choices = tuple([1] * 12)
+        calls = []
+
+        def run_trace(candidate):
+            calls.append(candidate)
+            return sum(candidate) >= 6
+
+        result = shrink_choices(choices, run_trace, max_runs=3)
+        assert result.runs_used <= 3
+        # Whatever it settled on still fails.
+        assert run_trace(result.shrunk)
+
+    def test_deviation_free_trace_must_fail(self):
+        with pytest.raises(ValueError):
+            shrink_choices((0, 0), lambda c: False)
+
+    def test_result_summary_shape(self):
+        result = ShrinkResult((0, 1), (0, 1), runs_used=1)
+        summary = result.summary()
+        assert summary["reduction"] == 0.0
+        assert summary["original_deviations"] == 1

@@ -1,0 +1,141 @@
+"""Kernel tie-break hook: pluggable, default-invisible, clamping.
+
+The exploration machinery rests on one kernel property: installing a
+policy that always answers 0 is indistinguishable from running with no
+policy at all.  These tests pin that, plus the reorder and clamping
+semantics the explorer relies on.
+"""
+
+from repro.explore.policy import RecordingPolicy, SeededFuzz
+from repro.sim import Environment, TieBreakPolicy
+
+
+def _tied_run(policy=None, names=("a", "b", "c", "d")):
+    """Four processes all waking at the same instant; returns wake order."""
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1e-3)
+        order.append(name)
+
+    for name in names:
+        env.process(proc(env, name), name=name)
+    if policy is not None:
+        env.set_tiebreak(policy)
+    env.run()
+    return order
+
+
+class _PickLast(TieBreakPolicy):
+    def choose(self, now, entries):
+        return len(entries) - 1
+
+
+class _PickSecond(TieBreakPolicy):
+    """Rotates every tied ready set: not an involution, so applying it
+    to both the process-init ties and the wake ties cannot cancel out
+    (picking *last* twice restores the original order)."""
+
+    def choose(self, now, entries):
+        return 1 if len(entries) > 1 else 0
+
+
+class _OutOfRange(TieBreakPolicy):
+    def choose(self, now, entries):
+        return 99
+
+
+class TestDefaultInvisibility:
+    def test_no_policy_order_is_insertion_order(self):
+        assert _tied_run() == ["a", "b", "c", "d"]
+
+    def test_base_policy_matches_no_policy(self):
+        assert _tied_run(TieBreakPolicy()) == _tied_run()
+
+    def test_recording_policy_without_prescription_matches_default(self):
+        policy = RecordingPolicy()
+        assert _tied_run(policy) == _tied_run()
+        # It saw real ties and recorded only default choices.
+        assert any(size > 1 for size in policy.sizes)
+        assert all(choice == 0 for choice in policy.choices)
+        assert policy.trimmed_choices() == ()
+
+    def test_clearing_the_policy_restores_the_fast_path(self):
+        env = Environment()
+        env.set_tiebreak(TieBreakPolicy())
+        env.set_tiebreak(None)
+        assert env._tiebreak is None
+
+
+class TestReordering:
+    def test_pick_second_permutes_ties(self):
+        order = _tied_run(_PickSecond())
+        assert order != ["a", "b", "c", "d"]
+        assert sorted(order) == ["a", "b", "c", "d"]
+
+    def test_reordered_run_is_deterministic(self):
+        assert _tied_run(_PickSecond()) == _tied_run(_PickSecond())
+
+    def test_out_of_range_choice_clamps_to_default(self):
+        assert _tied_run(_OutOfRange()) == _tied_run()
+
+    def test_prescribed_deviation_replays_identically(self):
+        first = _tied_run(RecordingPolicy(prescribed=(1,)))
+        second = _tied_run(RecordingPolicy(prescribed=(1,)))
+        assert first == second
+        assert first != _tied_run()
+
+    def test_step_consults_the_policy(self):
+        env = Environment()
+        hits = []
+
+        def make(tag):
+            def cb(event):
+                hits.append(tag)
+            return cb
+
+        for tag in ("x", "y"):
+            event = env.timeout(1e-3)
+            event.callbacks.append(make(tag))
+        env.set_tiebreak(_PickLast())
+        env.step()
+        assert hits == ["y"]
+
+
+class TestRecordingPolicy:
+    def test_out_of_range_prescription_is_counted_as_clamped(self):
+        policy = RecordingPolicy(prescribed=(99,))
+        _tied_run(policy)
+        assert policy.clamped == 1
+        assert policy.choices[0] == 0
+
+    def test_owner_keys_recorded_on_request(self):
+        policy = RecordingPolicy(record_owners=True)
+        _tied_run(policy)
+        assert len(policy.owners) == len(policy.sizes)
+        flattened = {owner for owners in policy.owners for owner in owners}
+        assert {"a", "b", "c", "d"} <= flattened
+
+    def test_trimmed_choices_drop_only_trailing_defaults(self):
+        policy = RecordingPolicy()
+        policy.choices = [0, 2, 0, 1, 0, 0]
+        assert policy.trimmed_choices() == (0, 2, 0, 1)
+
+
+class TestSeededFuzz:
+    def test_same_seed_same_decisions(self):
+        entries = [None] * 6
+
+        def decisions(seed):
+            fuzz = SeededFuzz(seed, deviation_rate=0.5, max_deviations=8)
+            return [fuzz(0.0, entries, i) for i in range(64)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_deviation_budget_is_respected(self):
+        fuzz = SeededFuzz(3, deviation_rate=1.0, max_deviations=2)
+        picks = [fuzz(0.0, [None] * 4, i) for i in range(32)]
+        assert fuzz.deviations == 2
+        assert sum(1 for p in picks if p != 0) <= 2

@@ -1,0 +1,61 @@
+"""Decision traces: round-trips and schema validation."""
+
+import json
+
+import pytest
+
+from repro.explore.trace import TRACE_SCHEMA, DecisionTrace, TraceError
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        trace = DecisionTrace(
+            scenario="crash-overload",
+            choices=(0, 2, 0, 1),
+            mutant="commit-quorum-off-by-one",
+            meta={"origin": "fuzz"},
+        )
+        assert DecisionTrace.from_dict(trace.to_dict()) == trace
+
+    def test_file_round_trip(self, tmp_path):
+        trace = DecisionTrace(scenario="silent-loss", choices=(1,))
+        path = str(tmp_path / "t.trace.json")
+        trace.save(path)
+        assert DecisionTrace.load(path) == trace
+        # The on-disk document is plain JSON carrying the schema tag.
+        document = json.loads((tmp_path / "t.trace.json").read_text())
+        assert document["schema"] == TRACE_SCHEMA
+
+    def test_deviation_count(self):
+        assert DecisionTrace(scenario="s", choices=(0, 3, 0, 1)).deviations == 2
+        assert DecisionTrace(scenario="s").deviations == 0
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self):
+        document = DecisionTrace(scenario="s").to_dict()
+        document["schema"] = "repro.explore/trace/v999"
+        with pytest.raises(TraceError):
+            DecisionTrace.from_dict(document)
+
+    def test_missing_scenario_rejected(self):
+        document = DecisionTrace(scenario="s").to_dict()
+        document["scenario"] = ""
+        with pytest.raises(TraceError):
+            DecisionTrace.from_dict(document)
+
+    def test_negative_choice_rejected(self):
+        document = DecisionTrace(scenario="s").to_dict()
+        document["choices"] = [0, -1]
+        with pytest.raises(TraceError):
+            DecisionTrace.from_dict(document)
+
+    def test_non_dict_document_rejected(self):
+        with pytest.raises(TraceError):
+            DecisionTrace.from_dict(["not", "a", "trace"])
+
+    def test_unparseable_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError):
+            DecisionTrace.load(str(path))
