@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""COP walkthrough: consensus-oriented parallelization.
+
+Three acts:
+
+1. **One sequence space, four pipelines** — a ``group_count=4`` cluster
+   orders requests through four independent PBFT instances (per-group
+   leaders, views, checkpoints) and deterministically merges the group
+   commits — round-robin by global slot — into one total execution
+   order.  Every replica ends at the same merged position with the same
+   state digest, and the online auditor's merge invariants stay quiet.
+2. **Deterministic routing** — clients and replicas evaluate the same
+   pure partitioner locally, with no routing metadata on the wire.  The
+   hash partitioner spreads one client's requests over all groups; the
+   client-affinity partitioner pins each client to a home group.
+3. **The payoff** — in a signature-cost regime where protocol-message
+   processing is the bottleneck, one pipeline serializes every handler;
+   four pipelines spread the load over four cores.  Same batch ceiling,
+   same adaptive batcher, ~4x the committed-request rate.
+
+Run:  python examples/cop_walkthrough.py
+"""
+
+from repro.bft import BftCluster, BftConfig
+from repro.bft.cop import ClientAffinityPartitioner, HashPartitioner
+
+
+def act1_merged_order():
+    print("== 1. four ordering pipelines, one execution order ==")
+    cluster = BftCluster(
+        config=BftConfig(
+            group_count=4,
+            batch_delay=0.0,
+            batch_size=1,
+            checkpoint_interval=4,
+            log_window=16,
+        )
+    )
+    cluster.start()
+    for i in range(16):
+        assert cluster.invoke_and_wait(b"PUT k%d=v%d" % (i, i)) == b"OK"
+    cluster.run_for(50e-3)
+
+    r0 = cluster.replica("r0")
+    per_group = {p.group: p.executed_seq for p in r0.group_pipelines()}
+    print(f"  per-group sequences ordered on r0:   {per_group}")
+    merged = cluster.merged_positions()
+    print(f"  merged global position per replica:  {merged}")
+    assert len(set(merged.values())) == 1
+    digests = set(cluster.state_digests().values())
+    print(f"  replica states converged:            {len(digests) == 1}")
+    violations = len(cluster.audit.violations)
+    print(f"  audit violations (incl. merge rules): {violations}\n")
+    assert violations == 0
+
+
+def act2_deterministic_routing():
+    print("== 2. deterministic request routing, nothing on the wire ==")
+    spread = HashPartitioner(4)
+    groups = [spread.group_of("c0", ts) for ts in range(12)]
+    print(f"  hash partitioner, client c0, 12 requests: groups {groups}")
+    pinned = ClientAffinityPartitioner(4)
+    homes = {f"c{i}": pinned.group_of(f"c{i}", 0) for i in range(4)}
+    print(f"  client-affinity partitioner home groups:  {homes}")
+
+    cluster = BftCluster(
+        config=BftConfig(
+            group_count=4,
+            partitioner="client",
+            batch_delay=0.0,
+            batch_size=1,
+            checkpoint_interval=4,
+            log_window=16,
+        )
+    )
+    cluster.start()
+    for i in range(8):
+        cluster.invoke_and_wait(b"PUT k%d=v%d" % (i, i))
+    cluster.run_for(50e-3)
+    snap = cluster.metrics_registry().snapshot()
+    committed = {g: snap[f"bft.group.{g}.committed"] for g in range(4)}
+    # Committed counts include the empty merge-filler batches idle
+    # groups order to keep the global sequence contiguous — the reply
+    # cache is what shows where the client's requests actually went.
+    print(f"  bft.group.<g>.committed (incl. merge fillers): {committed}")
+    served = [
+        p.group
+        for p in cluster.replica("r0").group_pipelines()
+        if p._reply_cache
+    ]
+    print(f"  groups that served client replies:        {served}\n")
+    assert len(served) == 1
+
+
+def act3_throughput_payoff():
+    print("== 3. the payoff: G=4 vs G=1 at signature handler costs ==")
+    from repro.bench.cop import run_cop_point
+
+    points = {g: run_cop_point(g) for g in (1, 4)}
+    for g, point in points.items():
+        print(
+            f"  G={g}: {point['committed_rps']:>8.0f} req/s  "
+            f"p50 {point['latency_us']['p50']:>7.0f} us  "
+            f"per_group {point['per_group_committed']}"
+        )
+    speedup = points[4]["committed_rps"] / points[1]["committed_rps"]
+    print(f"  speedup at equal batch ceiling: {speedup:.2f}x")
+    assert speedup >= 2.0
+    assert all(p["audit_violations"] == 0 for p in points.values())
+
+
+def main():
+    act1_merged_order()
+    act2_deterministic_routing()
+    act3_throughput_payoff()
+    print("\ndone.")
+
+
+if __name__ == "__main__":
+    main()

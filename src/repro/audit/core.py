@@ -235,14 +235,25 @@ class AuditManager:
     # -- BFT hooks -------------------------------------------------------
 
     def on_pre_prepare(
-        self, replica: str, view: int, seq: int, digest: bytes, leader: str
+        self,
+        replica: str,
+        view: int,
+        seq: int,
+        digest: bytes,
+        leader: str,
+        group: int = 0,
     ) -> None:
+        fields: Dict[str, Any] = {}
+        if group:
+            fields["group"] = group
         self.record(
             "bft", "pre-prepare", replica, view=view, seq=seq,
-            digest=digest, leader=leader,
+            digest=digest, leader=leader, **fields,
         )
-        self.bft.on_pre_prepare(replica, view, seq, digest)
-        self._notify("on_pre_prepare", replica, view, seq, digest, leader)
+        self.bft.on_pre_prepare(replica, view, seq, digest, group)
+        self._notify(
+            "on_pre_prepare", replica, view, seq, digest, leader, group
+        )
 
     def on_commit_quorum(
         self,
@@ -251,54 +262,108 @@ class AuditManager:
         seq: int,
         digest: bytes,
         signers: Iterable[str],
+        group: int = 0,
     ) -> None:
         signers = sorted(signers)
+        fields: Dict[str, Any] = {}
+        if group:
+            fields["group"] = group
         self.record(
             "bft", "commit-quorum", replica, view=view, seq=seq,
-            digest=digest, signers=signers,
+            digest=digest, signers=signers, **fields,
         )
-        self.bft.on_commit_quorum(replica, view, seq, signers)
-        self._notify("on_commit_quorum", replica, view, seq, digest, signers)
+        self.bft.on_commit_quorum(replica, view, seq, signers, group)
+        self._notify(
+            "on_commit_quorum", replica, view, seq, digest, signers, group
+        )
 
-    def on_execute(self, replica: str, seq: int, digest: bytes) -> None:
+    def on_execute(
+        self,
+        replica: str,
+        seq: int,
+        digest: bytes,
+        group: int = 0,
+        global_seq: Optional[int] = None,
+    ) -> None:
+        """``replica`` executed per-group sequence ``seq`` of ``group``.
+
+        ``global_seq`` is the slot in the merged total execution order;
+        COP replicas report it explicitly, the sequential pipeline (and
+        single-group runs) leave it to be derived from ``(group, seq)``.
+        """
         self.last_progress = self.now()
-        self.record("bft", "execute", replica, seq=seq, digest=digest)
-        self.bft.on_execute(replica, seq, digest)
-        self._notify("on_execute", replica, seq, digest)
+        fields: Dict[str, Any] = {}
+        if group:
+            fields["group"] = group
+        if global_seq is not None and global_seq != seq:
+            fields["global_seq"] = global_seq
+        self.record("bft", "execute", replica, seq=seq, digest=digest, **fields)
+        self.bft.on_execute(replica, seq, digest, group, global_seq)
+        self._notify("on_execute", replica, seq, digest, group, global_seq)
 
-    def on_view_adopted(self, replica: str, view: int) -> None:
-        self.record("bft", "view-adopted", replica, view=view)
-        self.bft.on_view_adopted(replica, view)
-        self._notify("on_view_adopted", replica, view)
+    def on_view_adopted(
+        self, replica: str, view: int, group: int = 0
+    ) -> None:
+        fields: Dict[str, Any] = {}
+        if group:
+            fields["group"] = group
+        self.record("bft", "view-adopted", replica, view=view, **fields)
+        self.bft.on_view_adopted(replica, view, group)
+        self._notify("on_view_adopted", replica, view, group)
 
-    def on_view_change_started(self, replica: str, new_view: int) -> None:
-        self.record("bft", "view-change-started", replica, new_view=new_view)
-        self._notify("on_view_change_started", replica, new_view)
+    def on_view_change_started(
+        self, replica: str, new_view: int, group: int = 0
+    ) -> None:
+        fields: Dict[str, Any] = {}
+        if group:
+            fields["group"] = group
+        self.record(
+            "bft", "view-change-started", replica, new_view=new_view, **fields
+        )
+        self._notify("on_view_change_started", replica, new_view, group)
 
     def on_view_change_vote(
-        self, replica: str, voter: str, new_view: int, digest: bytes
+        self,
+        replica: str,
+        voter: str,
+        new_view: int,
+        digest: bytes,
+        group: int = 0,
     ) -> None:
         """``replica`` observed ``voter``'s ViewChange vote for
         ``new_view`` with the given encoding digest.  Conflicting digests
         for one ``(voter, new_view)`` across observers is equivocation."""
+        fields: Dict[str, Any] = {}
+        if group:
+            fields["group"] = group
         self.record(
             "bft", "view-change-vote", replica,
-            voter=voter, new_view=new_view, digest=digest,
+            voter=voter, new_view=new_view, digest=digest, **fields,
         )
-        self.bft.on_view_change_vote(replica, voter, new_view, digest)
-        self._notify("on_view_change_vote", replica, voter, new_view, digest)
+        self.bft.on_view_change_vote(replica, voter, new_view, digest, group)
+        self._notify(
+            "on_view_change_vote", replica, voter, new_view, digest, group
+        )
 
     def on_stable_checkpoint(
-        self, replica: str, seq: int, digest: bytes
+        self, replica: str, seq: int, digest: bytes, group: int = 0
     ) -> None:
         self.last_progress = self.now()
-        self.record("bft", "stable-checkpoint", replica, seq=seq, digest=digest)
-        self.bft.on_stable_checkpoint(replica, seq, digest)
-        self._notify("on_stable_checkpoint", replica, seq, digest)
+        fields: Dict[str, Any] = {}
+        if group:
+            fields["group"] = group
+        self.record(
+            "bft", "stable-checkpoint", replica, seq=seq, digest=digest,
+            **fields,
+        )
+        self.bft.on_stable_checkpoint(replica, seq, digest, group)
+        self._notify("on_stable_checkpoint", replica, seq, digest, group)
 
     def on_state_transfer(
-        self, replica: str, event: str, **fields: Any
+        self, replica: str, event: str, group: int = 0, **fields: Any
     ) -> None:
+        if group:
+            fields["group"] = group
         self.record("bft", f"state-transfer-{event}", replica, **fields)
 
     def on_replica_crash(self, replica: str) -> None:

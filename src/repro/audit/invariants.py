@@ -28,6 +28,18 @@ PBFT safety (:class:`BftSafetyAuditor`):
   outstanding but no execution progress for longer than the configured
   stall timeout.
 
+COP (multi-group) safety, degenerate at ``group_count=1``:
+
+* ``bft.merge-slot-conflict`` — per-group sequence disjointness: two
+  different ``(group, seq)`` identities claimed the same global merge
+  slot, or a replica reported a merged position that contradicts the
+  round-robin slot arithmetic;
+* ``bft.merge-premature-execution`` — a replica executed a global merge
+  slot before every lower slot was executed (or installed via a stable
+  checkpoint): merged execution must advance one slot at a time, which
+  together with ``bft.execution-divergence`` keyed by the *global* slot
+  is merge-order determinism.
+
 RDMA / RUBIN resources (:class:`ResourceAuditor`):
 
 * ``rdma.qp-state`` — a queue pair left the verbs state machine
@@ -71,137 +83,271 @@ class BftSafetyAuditor:
     def __init__(self, manager: "AuditManager"):
         self.manager = manager
         self.f: Optional[int] = None
-        #: (view, seq) -> (digest, first reporter)
-        self._proposals: Dict[Tuple[int, int], Tuple[bytes, str]] = {}
-        #: seq -> (digest, first executor)
+        #: Consensus groups (COP); 1 keeps the historical single-group
+        #: keying where the global merge slot equals the sequence number.
+        self.group_count = 1
+        #: (group, view, seq) -> (digest, first reporter)
+        self._proposals: Dict[Tuple[int, int, int], Tuple[bytes, str]] = {}
+        #: global merge slot -> (digest, first executor)
         self._executions: Dict[int, Tuple[bytes, str]] = {}
-        #: seq -> (state digest, first stabiliser)
-        self._checkpoints: Dict[int, Tuple[bytes, str]] = {}
-        #: replica -> highest view adopted this incarnation
-        self._views: Dict[str, int] = {}
-        #: (voter, new_view) -> (vote encoding digest, first observer)
-        self._vc_votes: Dict[Tuple[str, int], Tuple[bytes, str]] = {}
+        #: global merge slot -> ((group, seq), first reporter) —
+        #: per-group sequence disjointness over the merged order.
+        self._slot_claims: Dict[int, Tuple[Tuple[int, int], str]] = {}
+        #: replica -> last executed global merge slot this incarnation.
+        self._exec_frontier: Dict[str, int] = {}
+        #: replica -> highest stable-checkpoint slot this incarnation.
+        #: A checkpoint can stabilise *ahead* of a lagging replica's own
+        #: execution (2f+1 faster peers voted), so it is tracked apart
+        #: from the execution frontier: it only legitimises resuming at
+        #: ``checkpoint + 1`` after a state-transfer install, it does
+        #: not mean the replica executed the covered prefix itself.
+        self._ckpt_frontier: Dict[str, int] = {}
+        #: (group, seq) -> (state digest, first stabiliser)
+        self._checkpoints: Dict[Tuple[int, int], Tuple[bytes, str]] = {}
+        #: (replica, group) -> highest view adopted this incarnation
+        self._views: Dict[Tuple[str, int], int] = {}
+        #: (group, voter, new_view) -> (vote encoding digest, first
+        #: observer)
+        self._vc_votes: Dict[Tuple[int, str, int], Tuple[bytes, str]] = {}
 
-    def configure(self, f: int) -> None:
-        """Learn the fault threshold (enables the quorum-size check)."""
+    def configure(self, f: int, group_count: int = 1) -> None:
+        """Learn the fault threshold (enables the quorum-size check) and
+        the consensus-group count (enables merge-slot arithmetic)."""
         self.f = f
+        self.group_count = max(1, group_count)
+
+    def _global_slot(self, group: int, seq: int) -> Optional[int]:
+        """Merged global slot of ``(group, seq)``, or None if the group
+        is outside the configured shard space (nothing to derive)."""
+        if not 0 <= group < self.group_count or seq < 1:
+            return None
+        return (seq - 1) * self.group_count + group + 1
 
     # -- hooks ----------------------------------------------------------
 
     def on_pre_prepare(
-        self, replica: str, view: int, seq: int, digest: bytes
+        self, replica: str, view: int, seq: int, digest: bytes,
+        group: int = 0,
     ) -> None:
-        key = (view, seq)
+        key = (group, view, seq)
         known = self._proposals.get(key)
         if known is None:
             self._proposals[key] = (digest, replica)
-            self._prune(self._proposals, by_seq=lambda k: k[1])
+            self._prune(self._proposals, by_seq=lambda k: k[2])
             return
         if known[0] != digest:
-            self.manager.violation(
-                "bft.pre-prepare-equivocation",
-                layer="bft",
-                subject=replica,
+            detail = dict(
                 view=view,
                 seq=seq,
                 digest=digest.hex()[:16],
                 conflicting_digest=known[0].hex()[:16],
                 first_reporter=known[1],
             )
+            if group:
+                detail["group"] = group
+            self.manager.violation(
+                "bft.pre-prepare-equivocation",
+                layer="bft",
+                subject=replica,
+                **detail,
+            )
 
     def on_commit_quorum(
-        self, replica: str, view: int, seq: int, signers: Iterable[str]
+        self, replica: str, view: int, seq: int, signers: Iterable[str],
+        group: int = 0,
     ) -> None:
         distinct = set(signers)
         if self.f is not None and len(distinct) < 2 * self.f + 1:
-            self.manager.violation(
-                "bft.commit-quorum",
-                layer="bft",
-                subject=replica,
+            detail = dict(
                 view=view,
                 seq=seq,
                 signers=sorted(distinct),
                 required=2 * self.f + 1,
             )
+            if group:
+                detail["group"] = group
+            self.manager.violation(
+                "bft.commit-quorum",
+                layer="bft",
+                subject=replica,
+                **detail,
+            )
 
-    def on_execute(self, replica: str, seq: int, digest: bytes) -> None:
-        known = self._executions.get(seq)
+    def on_execute(
+        self,
+        replica: str,
+        seq: int,
+        digest: bytes,
+        group: int = 0,
+        global_seq: Optional[int] = None,
+    ) -> None:
+        derived = self._global_slot(group, seq)
+        slot = global_seq if global_seq is not None else derived
+        if (
+            derived is not None
+            and global_seq is not None
+            and global_seq != derived
+        ):
+            # The replica's reported merge position contradicts the
+            # round-robin slot arithmetic for (group, seq).
+            self.manager.violation(
+                "bft.merge-slot-conflict",
+                layer="bft",
+                subject=replica,
+                group=group,
+                seq=seq,
+                reported_global_seq=global_seq,
+                derived_global_seq=derived,
+            )
+        if slot is None:
+            return
+        claim = self._slot_claims.get(slot)
+        if claim is None:
+            self._slot_claims[slot] = ((group, seq), replica)
+            self._prune(self._slot_claims, by_seq=lambda k: k)
+        elif claim[0] != (group, seq):
+            self.manager.violation(
+                "bft.merge-slot-conflict",
+                layer="bft",
+                subject=replica,
+                global_seq=slot,
+                group=group,
+                seq=seq,
+                first_claim=f"group={claim[0][0]} seq={claim[0][1]}",
+                first_reporter=claim[1],
+            )
+        frontier = self._exec_frontier.get(replica)
+        if frontier is not None:
+            allowed = {frontier + 1}
+            ckpt = self._ckpt_frontier.get(replica, 0)
+            if ckpt > frontier:
+                # A state-transfer install may legitimately jump the
+                # execution stream to just past the stable checkpoint.
+                allowed.add(ckpt + 1)
+            if slot not in allowed:
+                self.manager.violation(
+                    "bft.merge-premature-execution",
+                    layer="bft",
+                    subject=replica,
+                    global_seq=slot,
+                    frontier=frontier,
+                    group=group,
+                    seq=seq,
+                )
+        if frontier is None or slot > frontier:
+            self._exec_frontier[replica] = slot
+        known = self._executions.get(slot)
         if known is None:
-            self._executions[seq] = (digest, replica)
+            self._executions[slot] = (digest, replica)
             self._prune(self._executions, by_seq=lambda k: k)
             return
         if known[0] != digest:
-            self.manager.violation(
-                "bft.execution-divergence",
-                layer="bft",
-                subject=replica,
+            detail = dict(
                 seq=seq,
                 digest=digest.hex()[:16],
                 conflicting_digest=known[0].hex()[:16],
                 first_executor=known[1],
             )
+            if group or slot != seq:
+                detail["group"] = group
+                detail["global_seq"] = slot
+            self.manager.violation(
+                "bft.execution-divergence",
+                layer="bft",
+                subject=replica,
+                **detail,
+            )
 
-    def on_view_adopted(self, replica: str, view: int) -> None:
-        last = self._views.get(replica)
+    def on_view_adopted(
+        self, replica: str, view: int, group: int = 0
+    ) -> None:
+        key = (replica, group)
+        last = self._views.get(key)
         if last is not None and view < last:
+            detail = dict(view=view, previous_view=last)
+            if group:
+                detail["group"] = group
             self.manager.violation(
                 "bft.view-regression",
                 layer="bft",
                 subject=replica,
-                view=view,
-                previous_view=last,
+                **detail,
             )
             return
-        self._views[replica] = view
+        self._views[key] = view
 
     def on_view_change_vote(
-        self, replica: str, voter: str, new_view: int, digest: bytes
+        self, replica: str, voter: str, new_view: int, digest: bytes,
+        group: int = 0,
     ) -> None:
-        key = (voter, new_view)
+        key = (group, voter, new_view)
         known = self._vc_votes.get(key)
         if known is None:
             self._vc_votes[key] = (digest, replica)
-            self._prune(self._vc_votes, by_seq=lambda k: k[1])
+            self._prune(self._vc_votes, by_seq=lambda k: k[2])
             return
         if known[0] != digest and replica != known[1]:
-            self.manager.violation(
-                "bft.view-change-equivocation",
-                layer="bft",
-                subject=voter,
+            detail = dict(
                 new_view=new_view,
                 observer=replica,
                 digest=digest.hex()[:16],
                 conflicting_digest=known[0].hex()[:16],
                 first_observer=known[1],
             )
+            if group:
+                detail["group"] = group
+            self.manager.violation(
+                "bft.view-change-equivocation",
+                layer="bft",
+                subject=voter,
+                **detail,
+            )
 
     def on_stable_checkpoint(
-        self, replica: str, seq: int, digest: bytes
+        self, replica: str, seq: int, digest: bytes, group: int = 0
     ) -> None:
-        known = self._checkpoints.get(seq)
+        key = (group, seq)
+        known = self._checkpoints.get(key)
         if known is None:
-            self._checkpoints[seq] = (digest, replica)
-            self._prune(self._checkpoints, by_seq=lambda k: k)
-            return
-        if known[0] != digest:
-            self.manager.violation(
-                "bft.checkpoint-divergence",
-                layer="bft",
-                subject=replica,
+            self._checkpoints[key] = (digest, replica)
+            self._prune(self._checkpoints, by_seq=lambda k: k[1])
+        elif known[0] != digest:
+            detail = dict(
                 seq=seq,
                 digest=digest.hex()[:16],
                 conflicting_digest=known[0].hex()[:16],
                 first_stabiliser=known[1],
             )
+            if group:
+                detail["group"] = group
+            self.manager.violation(
+                "bft.checkpoint-divergence",
+                layer="bft",
+                subject=replica,
+                **detail,
+            )
+        # A stable checkpoint vouches for the merged prefix up to its
+        # slot: remember it so a state-transfer install resuming at
+        # ``slot + 1`` is not read as a merge-order jump.
+        slot = self._global_slot(group, seq)
+        if slot is not None:
+            frontier = self._ckpt_frontier.get(replica)
+            if frontier is None or slot > frontier:
+                self._ckpt_frontier[replica] = slot
 
     def on_replica_restart(self, replica: str) -> None:
         # A fresh incarnation legitimately restarts at view 0 and works
         # its way back up; monotonicity holds per incarnation only.
-        self._views.pop(replica, None)
+        for key in [k for k in self._views if k[0] == replica]:
+            del self._views[key]
         # Likewise it may re-vote for a view its previous incarnation
         # already voted for, with a different (post-recovery) log.
-        for key in [k for k in self._vc_votes if k[0] == replica]:
+        for key in [k for k in self._vc_votes if k[1] == replica]:
             del self._vc_votes[key]
+        # And its merged execution restarts from whatever checkpoint it
+        # recovers to; the frontiers re-baseline on the next execution.
+        self._exec_frontier.pop(replica, None)
+        self._ckpt_frontier.pop(replica, None)
 
     # -- bookkeeping ----------------------------------------------------
 

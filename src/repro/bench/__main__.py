@@ -40,13 +40,14 @@ def main(argv=None) -> int:
         prog="python -m repro.bench", description=__doc__
     )
     parser.add_argument(
-        "--fig", choices=("3", "4", "overload", "all"), default="all"
+        "--fig", choices=("3", "4", "overload", "cop", "all"), default="all"
     )
     parser.add_argument(
         "--messages",
         type=int,
         default=None,
-        help="messages per point (defaults: 200 for fig3, 150 for fig4)",
+        help="messages per point (defaults: 200 for fig3, 150 for fig4; "
+        "the cop sweep is fixed at 256)",
     )
     parser.add_argument(
         "--chart", action="store_true", help="render ASCII charts too"
@@ -191,6 +192,44 @@ def main(argv=None) -> int:
             )
         else:
             print("  Overload graceful-degradation check: PASS")
+        print()
+
+    if args.fig in ("cop", "all"):
+        from repro.bench.cop import check_cop_shape, run_cop
+
+        # The COP sweep ignores --messages: its headline claim (G=4
+        # commits 2x the G=1 rate) only holds once the pipelines are
+        # saturated, so the request count is part of the benchmark
+        # definition, not a knob.
+        print("== COP (multi-group ordering pipelines, 256 requests/point) ==")
+        points = run_cop()
+        for point in points:
+            print(
+                f"  G={point['group_count']}: "
+                f"{point['committed_rps']:>8.0f} req/s  "
+                f"p50 {point['latency_us']['p50']:>7.0f} us  "
+                f"p99 {point['latency_us']['p99']:>7.0f} us  "
+                f"max_batch {point['max_batch_limit']}  "
+                f"per_group {point['per_group_committed']}"
+            )
+        if args.json_dir is not None:
+            path = os.path.join(args.json_dir, "BENCH_cop.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"figure": "cop", "points": points},
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+            print(f"  wrote {path}")
+        try:
+            for fact in check_cop_shape(points):
+                print("  ", fact)
+            print("  COP shape checks: PASS")
+        except ReproError as error:
+            failures += 1
+            print(f"  COP shape checks: FAIL — {error}")
 
     return 1 if failures else 0
 
@@ -261,7 +300,8 @@ def run_gate(args) -> int:
         "3": ("fig3",),
         "4": ("fig4",),
         "overload": ("overload",),
-        "all": ("fig3", "fig4", "overload"),
+        "cop": ("cop",),
+        "all": ("fig3", "fig4", "overload", "cop"),
     }
     history = args.history or os.path.join(
         args.baseline_dir, "BENCH_history.jsonl"
@@ -279,11 +319,13 @@ def run_gate(args) -> int:
     for report in reports:
         print(f"== {report.figure} regression check ==")
         for point in report.points:
+            label = f"{point.transport} {point.payload_bytes}B"
+            if point.group_count is not None:
+                label += f" G={point.group_count}"
             for check in point.checks:
                 marker = "FAIL" if check.regressed else "ok"
                 print(
-                    f"  [{marker:>4}] {point.transport} "
-                    f"{point.payload_bytes}B {check.metric}: "
+                    f"  [{marker:>4}] {label} {check.metric}: "
                     f"baseline={check.baseline:.3f} "
                     f"fresh={check.fresh:.3f} "
                     f"(±{check.tolerance * 100:.0f}%)"

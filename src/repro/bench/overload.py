@@ -45,6 +45,8 @@ def run_overload(
     admission_budget: int = 8,
     view_change_timeout: float = 200e-3,
     rubin_config: Optional[RubinConfig] = None,
+    default_replica_class: Optional[type] = None,
+    client_class: Optional[type] = None,
 ) -> Dict[str, Any]:
     """One overload run; returns a JSON-ready baseline point.
 
@@ -65,6 +67,8 @@ def run_overload(
         config=config,
         num_clients=num_clients,
         rubin_config=rubin_config,
+        default_replica_class=default_replica_class,
+        client_class=client_class,
     )
     cluster.start()
     env = cluster.env

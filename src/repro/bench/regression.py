@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.bench.baseline import echo_record
+from repro.bench.cop import run_cop_point
 from repro.bench.echo import run_echo
 from repro.bench.overload import run_overload
 from repro.bench.results import EchoResult
@@ -31,6 +32,7 @@ from repro.errors import ReproError
 __all__ = [
     "DEFAULT_TOLERANCES",
     "OVERLOAD_TOLERANCES",
+    "COP_TOLERANCES",
     "MetricCheck",
     "PointReport",
     "CheckReport",
@@ -60,6 +62,16 @@ OVERLOAD_TOLERANCES: Dict[str, Tuple[float, int]] = {
     "latency_us.p99": (0.40, +1),
     "goodput_rps": (0.25, -1),
     "shed_rate": (0.50, +1),
+}
+
+#: The COP sweep gates committed-request throughput per group count plus
+#: client-observed latency.  The G=4/G=1 speedup itself is asserted by
+#: the shape check when the baseline is (re)generated; the bands here
+#: keep every individual point from drifting.
+COP_TOLERANCES: Dict[str, Tuple[float, int]] = {
+    "latency_us.p50": (0.25, +1),
+    "latency_us.p99": (0.40, +1),
+    "committed_rps": (0.25, -1),
 }
 
 #: ``reptor_echo`` takes the protocol name; baselines store the label
@@ -94,6 +106,7 @@ class PointReport:
 
     transport: str
     payload_bytes: int
+    group_count: Optional[int] = None
     checks: List[MetricCheck] = field(default_factory=list)
 
     @property
@@ -101,11 +114,14 @@ class PointReport:
         return [c for c in self.checks if c.regressed]
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        record: Dict[str, Any] = {
             "transport": self.transport,
             "payload_bytes": self.payload_bytes,
             "checks": [c.to_dict() for c in self.checks],
         }
+        if self.group_count is not None:
+            record["group_count"] = self.group_count
+        return record
 
 
 @dataclass
@@ -174,8 +190,18 @@ def rerun_point(figure: str, point: Mapping[str, Any]):
             admission_budget=int(point["admission_budget"]),
             view_change_timeout=float(point["view_change_timeout"]),
         )
+    if figure == "cop":
+        return run_cop_point(
+            int(point["group_count"]),
+            transport=transport,
+            payload_bytes=payload,
+            messages=messages,
+            num_clients=int(point["num_clients"]),
+            batch_size=int(point["batch_size"]),
+            handler_cost=float(point["handler_cost"]),
+        )
     raise ReproError(
-        f"unknown figure {figure!r} (have fig3, fig4, overload)"
+        f"unknown figure {figure!r} (have fig3, fig4, overload, cop)"
     )
 
 
@@ -196,9 +222,12 @@ def check_figure(
         raise ReproError("tolerance scale must be positive")
     figure = document["figure"]
     if tolerances is None:
-        tolerances = (
-            OVERLOAD_TOLERANCES if figure == "overload" else DEFAULT_TOLERANCES
-        )
+        if figure == "overload":
+            tolerances = OVERLOAD_TOLERANCES
+        elif figure == "cop":
+            tolerances = COP_TOLERANCES
+        else:
+            tolerances = DEFAULT_TOLERANCES
     report = CheckReport(figure=figure)
     for point in document["points"]:
         rerun = rerun_point(figure, point)
@@ -206,6 +235,9 @@ def check_figure(
         point_report = PointReport(
             transport=point["transport"],
             payload_bytes=int(point["payload_bytes"]),
+            group_count=(
+                int(point["group_count"]) if "group_count" in point else None
+            ),
         )
         for metric, (tolerance, direction) in sorted(tolerances.items()):
             baseline_value = _metric(point, metric)

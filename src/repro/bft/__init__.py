@@ -18,6 +18,15 @@ from repro.bft.byzantine import (
 from repro.bft.client import BftClient
 from repro.bft.cluster import REPLICA_PORT, BftCluster
 from repro.bft.config import BftConfig
+from repro.bft.cop import (
+    AdaptiveBatcher,
+    CopClient,
+    CopGroupEquivocator,
+    CopReplica,
+    GroupPipeline,
+    MergeStage,
+    make_partitioner,
+)
 from repro.bft.log import MessageLog, Slot
 from repro.bft.messages import (
     Checkpoint,
@@ -37,9 +46,16 @@ from repro.bft.replica import Replica, batch_digest
 from repro.bft.statemachine import CounterMachine, KeyValueStore, StateMachine
 
 __all__ = [
+    "AdaptiveBatcher",
     "BftCluster",
     "BftClient",
     "BftConfig",
+    "CopClient",
+    "CopGroupEquivocator",
+    "CopReplica",
+    "GroupPipeline",
+    "MergeStage",
+    "make_partitioner",
     "Replica",
     "batch_digest",
     "MessageLog",

@@ -108,6 +108,14 @@ class BftClient:
 
     # -- invocation ---------------------------------------------------------
 
+    def _leader_hint(self, timestamp: int) -> str:
+        """Replica addressed first for a request stamped ``timestamp``.
+
+        The suspected leader of the view we last heard about; the COP
+        client overrides this with the partition-aware per-group hint.
+        """
+        return self.replica_ids[self._view_hint % len(self.replica_ids)]
+
     def invoke(self, operation: bytes) -> "Event":
         """Submit ``operation``; event value is the accepted result."""
         return self.env.process(
@@ -144,7 +152,7 @@ class BftClient:
             ctx = root.context
             tracer.bind(("bft.request", self.client_id, timestamp), ctx)
 
-        leader = self.replica_ids[self._view_hint % len(self.replica_ids)]
+        leader = self._leader_hint(timestamp)
         connection = self._connections.get(leader)
         if connection is not None and not connection.closed:
             yield connection.send(raw, trace_ctx=ctx)
@@ -177,9 +185,7 @@ class BftClient:
                 backoff_attempt += 1
                 if accepted.triggered:
                     break
-                leader = self.replica_ids[
-                    self._view_hint % len(self.replica_ids)
-                ]
+                leader = self._leader_hint(timestamp)
                 connection = self._connections.get(leader)
                 if connection is not None and not connection.closed:
                     yield connection.send(raw, trace_ctx=ctx)

@@ -19,6 +19,7 @@ from repro.audit import (
 )
 from repro.bft.client import BftClient
 from repro.bft.config import BftConfig
+from repro.bft.cop import CopClient, CopReplica
 from repro.bft.replica import Replica
 from repro.bft.statemachine import KeyValueStore, StateMachine
 from repro.crypto import KeyStore
@@ -48,6 +49,8 @@ class BftCluster:
         rubin_config: Optional[RubinConfig] = None,
         app_factory: Callable[[], StateMachine] = KeyValueStore,
         replica_classes: Optional[Dict[str, Type[Replica]]] = None,
+        default_replica_class: Optional[Type[Replica]] = None,
+        client_class: Optional[Type[BftClient]] = None,
         num_clients: int = 1,
         bandwidth_bps: float = TEN_GIGABIT,
         propagation_delay: float = 1.5e-6,
@@ -107,9 +110,24 @@ class BftCluster:
             RdmaDevice(host)
 
         replica_classes = replica_classes or {}
+        # COP deployments default to the multi-group replica and the
+        # partition-aware client; at group_count == 1 the plain classes
+        # keep historical schedules bit-identical.
+        if default_replica_class is None:
+            default_replica_class = (
+                Replica if self.config.group_count == 1 else CopReplica
+            )
+        self.default_replica_class = default_replica_class
+        if client_class is None:
+            client_class = (
+                BftClient if self.config.group_count == 1 else CopClient
+            )
+        self.client_class = client_class
         if self.audit.enabled:
-            self.audit.bft.configure(self.config.f)
-            if any(
+            self.audit.bft.configure(
+                self.config.f, group_count=self.config.group_count
+            )
+            if getattr(default_replica_class, "BYZANTINE", False) or any(
                 getattr(cls, "BYZANTINE", False)
                 for cls in replica_classes.values()
             ):
@@ -131,7 +149,7 @@ class BftCluster:
             endpoint.listen(REPLICA_PORT)
             app = app_factory()
             self.apps[replica_id] = app
-            cls = replica_classes.get(replica_id, Replica)
+            cls = replica_classes.get(replica_id, self.default_replica_class)
             self.replicas[replica_id] = cls(
                 replica_id,
                 endpoint,
@@ -150,12 +168,22 @@ class BftCluster:
                 keystore=self.keystore,
                 rubin_config=self.rubin_config,
             )
-            self.clients[client_id] = BftClient(
-                client_id,
-                endpoint,
-                list(self.replica_ids),
-                f=self.config.f,
-            )
+            if issubclass(self.client_class, CopClient):
+                self.clients[client_id] = self.client_class(
+                    client_id,
+                    endpoint,
+                    list(self.replica_ids),
+                    f=self.config.f,
+                    group_count=self.config.group_count,
+                    partitioner=self.config.partitioner,
+                )
+            else:
+                self.clients[client_id] = self.client_class(
+                    client_id,
+                    endpoint,
+                    list(self.replica_ids),
+                    f=self.config.f,
+                )
         self._started = False
 
     # -- startup ---------------------------------------------------------
@@ -195,7 +223,8 @@ class BftCluster:
         for replica_id, replica in self.replicas.items():
             if replica_id in self._crashed or not replica.running:
                 continue
-            total += len(replica._request_deadlines)
+            for pipeline in replica.group_pipelines():
+                total += len(pipeline._request_deadlines)
         return total
 
     # -- crash / restart -------------------------------------------------------
@@ -253,7 +282,7 @@ class BftCluster:
         endpoint.listen(REPLICA_PORT)
         app = self.app_factory()
         self.apps[replica_id] = app
-        replica = Replica(
+        replica = self.default_replica_class(
             replica_id,
             endpoint,
             list(self.replica_ids),
@@ -388,6 +417,36 @@ class BftCluster:
                         "recovery_latency": supervisor.recovery_latency,
                     },
                 )
+        # Per-consensus-group aggregates (COP): committed batches, view
+        # changes and the per-group ordering frontier, summed/maxed over
+        # the replicas currently hosting that group's pipeline.
+        for group in range(self.config.group_count):
+            registry.register_many(
+                f"bft.group.{group}",
+                {
+                    "committed": lambda g=group: sum(
+                        p.committed_count
+                        for r in self.replicas.values()
+                        for p in r.group_pipelines()
+                        if p.group == g
+                    ),
+                    "view_changes": lambda g=group: sum(
+                        p.view_changes_completed
+                        for r in self.replicas.values()
+                        for p in r.group_pipelines()
+                        if p.group == g
+                    ),
+                    "executed_seq": lambda g=group: max(
+                        (
+                            p.executed_seq
+                            for r in self.replicas.values()
+                            for p in r.group_pipelines()
+                            if p.group == g
+                        ),
+                        default=0,
+                    ),
+                },
+            )
         for client_id, client in sorted(self.clients.items()):
             registry.register_many(
                 f"client.{client_id}",
@@ -425,6 +484,15 @@ class BftCluster:
     def executed_sequences(self) -> Dict[str, int]:
         """Executed sequence number per replica (for convergence checks)."""
         return {rid: r.executed_seq for rid, r in self.replicas.items()}
+
+    def merged_positions(self) -> Dict[str, int]:
+        """Merged total-order execution position per replica (COP).
+
+        Equals :meth:`executed_sequences` at ``group_count == 1``.
+        """
+        return {
+            rid: r.global_executed_seq for rid, r in self.replicas.items()
+        }
 
     def state_digests(self) -> Dict[str, bytes]:
         """Application state digest per replica."""

@@ -48,6 +48,37 @@ class BftConfig:
         backs off and retries — instead of piling onto the ordering
         pipeline and view-change timers.  0 disables shedding
         (historical accept-everything behaviour).
+    group_count:
+        Consensus-Oriented Parallelization: number of independent
+        consensus groups, each ordering its own shard of the sequence
+        space with its own PBFT pipeline; committed entries merge into
+        one deterministic total execution order (PAPER.md §1.5).  1 is
+        the exact degenerate case — bit-identical to the sequential
+        pipeline.
+    partitioner:
+        Name of the client-request partitioner (``repro.bft.cop
+        .PARTITIONERS``): "hash" spreads requests by the full request
+        id, "client" pins each client to one group.
+    adaptive_batching:
+        Size batches with the :class:`~repro.bft.cop.AdaptiveBatcher`
+        (grow under load, shrink when idle) instead of the fixed
+        ``batch_size`` ceiling.  Off by default so historical schedules
+        stay bit-identical.
+    batch_size_min:
+        Adaptive-batcher floor (lowest limit the controller shrinks to).
+        ``batch_size`` stays the ceiling.
+    batch_shrink_patience:
+        Consecutive idle observations before the adaptive batcher
+        halves its limit (shrink hysteresis).
+    merge_fill_interval:
+        How often a COP replica checks for merge stalls — an idle group
+        gating committed work in other groups — and, when leading the
+        stalled group, proposes an empty filler batch to close the gap.
+    merge_stall_timeout:
+        How long a merge gap may persist before replicas arm a
+        synthetic deadline in the stalled group, forcing a view change
+        there (covers a crashed group leader with no pending client
+        requests of its own).  0 means use ``view_change_timeout``.
     """
 
     n: int = 4
@@ -65,6 +96,13 @@ class BftConfig:
     handler_cost: float = 0.3e-6
     state_transfer_timeout: float = 5e-3
     admission_budget: int = 0
+    group_count: int = 1
+    partitioner: str = "hash"
+    adaptive_batching: bool = False
+    batch_size_min: int = 1
+    batch_shrink_patience: int = 4
+    merge_fill_interval: float = 2e-3
+    merge_stall_timeout: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n < 1 or (self.n - 1) % 3 != 0:
@@ -94,6 +132,24 @@ class BftConfig:
             raise ConfigurationError("state_transfer_timeout must be > 0")
         if self.admission_budget < 0:
             raise ConfigurationError("admission_budget must be >= 0")
+        if self.group_count < 1:
+            raise ConfigurationError("group_count must be >= 1")
+        if self.group_count > 128:
+            # The group-mux frame tag carries the group id in 7 bits.
+            raise ConfigurationError("group_count must be <= 128")
+        if not self.partitioner:
+            raise ConfigurationError("partitioner name must be non-empty")
+        if not 1 <= self.batch_size_min <= self.batch_size:
+            raise ConfigurationError(
+                "batch_size_min must satisfy 1 <= batch_size_min <= "
+                f"batch_size, got {self.batch_size_min}"
+            )
+        if self.batch_shrink_patience < 1:
+            raise ConfigurationError("batch_shrink_patience must be >= 1")
+        if self.merge_fill_interval <= 0:
+            raise ConfigurationError("merge_fill_interval must be > 0")
+        if self.merge_stall_timeout < 0:
+            raise ConfigurationError("merge_stall_timeout must be >= 0")
 
     @property
     def f(self) -> int:

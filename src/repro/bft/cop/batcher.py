@@ -1,0 +1,89 @@
+"""Adaptive per-group request batching.
+
+PR 5 exposed the backpressure signals this controller feeds on: the
+replica's admission queue depth (``_pending_requests`` /
+``_request_deadlines``) and the Reptor outbox watermark state on its
+replica connections.  The controller is multiplicative-increase /
+multiplicative-decrease with shrink hysteresis:
+
+- **grow** (double, up to the configured ceiling) the moment demand
+  exceeds the current limit or the outbox crosses its high watermark —
+  larger batches amortize per-consensus-instance cost exactly when the
+  system is loaded;
+- **shrink** (halve, down to the floor) only after ``shrink_patience``
+  consecutive idle observations — small batches keep latency low when
+  idle, and the hysteresis stops the limit from thrashing on bursty
+  arrivals.
+
+The controller is a pure function of its observation sequence — no
+clocks, no randomness — so identical runs produce identical batch
+limits and the deterministic-schedule promise holds.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdaptiveBatcher"]
+
+
+class AdaptiveBatcher:
+    """Deterministic grow-under-load / shrink-when-idle batch sizing."""
+
+    __slots__ = (
+        "floor",
+        "ceiling",
+        "shrink_patience",
+        "limit",
+        "grow_count",
+        "shrink_count",
+        "_idle_observations",
+    )
+
+    def __init__(
+        self, floor: int, ceiling: int, shrink_patience: int = 4
+    ) -> None:
+        if floor < 1:
+            raise ValueError(f"floor must be >= 1, got {floor}")
+        if ceiling < floor:
+            raise ValueError(
+                f"ceiling must be >= floor, got {ceiling} < {floor}"
+            )
+        if shrink_patience < 1:
+            raise ValueError(
+                f"shrink_patience must be >= 1, got {shrink_patience}"
+            )
+        self.floor = floor
+        self.ceiling = ceiling
+        self.shrink_patience = shrink_patience
+        self.limit = floor
+        self.grow_count = 0
+        self.shrink_count = 0
+        self._idle_observations = 0
+
+    def observe(self, queue_depth: int, backpressure: bool = False) -> int:
+        """Feed one load observation; returns the new batch limit."""
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if backpressure or queue_depth > self.limit:
+            if self.limit < self.ceiling:
+                self.limit = min(self.ceiling, self.limit * 2)
+                self.grow_count += 1
+            self._idle_observations = 0
+        elif queue_depth < max(self.floor, self.limit // 2):
+            self._idle_observations += 1
+            if (
+                self._idle_observations >= self.shrink_patience
+                and self.limit > self.floor
+            ):
+                self.limit = max(self.floor, self.limit // 2)
+                self.shrink_count += 1
+                self._idle_observations = 0
+        else:
+            self._idle_observations = 0
+        return self.limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdaptiveBatcher(limit={self.limit},"
+            f" bounds=[{self.floor}, {self.ceiling}],"
+            f" grown={self.grow_count}, shrunk={self.shrink_count})"
+        )

@@ -1,0 +1,122 @@
+"""Deterministic merge of per-group committed entries.
+
+COP shards the sequence space: group ``g`` (0-based) owning per-group
+sequence ``k`` (1-based) occupies **global slot**
+
+    ``s = (k - 1) * G + g + 1``
+
+so the merged total order round-robins over groups: slot 1 is
+``(g=0, k=1)``, slot 2 is ``(g=1, k=1)``, …, slot ``G+1`` is
+``(g=0, k=2)``.  Execution is *gap-aware*: global slot ``s`` may only
+execute once every lower slot has been merged, so a group that commits
+ahead of its siblings buffers here until the stragglers catch up.
+
+The stage is pure bookkeeping — no simulation events — which keeps the
+``group_count=1`` degenerate case bit-identical to the sequential
+pipeline and makes the merge decision a deterministic function of the
+committed entries alone (the ``bft.merge-*`` audit invariants check
+exactly this property across replicas).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["MergeStage"]
+
+
+class MergeStage:
+    """Interleaves committed per-group entries into one total order.
+
+    ``position`` is the last merged global slot (0 before anything
+    merged).  ``offer`` buffers a committed per-group entry; stale or
+    duplicate offers are rejected.  ``pop_ready`` hands back the next
+    contiguous global slot, advancing ``position``, or ``None`` while
+    the head-of-line entry is still missing.
+    """
+
+    __slots__ = ("group_count", "position", "_buffer")
+
+    def __init__(self, group_count: int) -> None:
+        if group_count < 1:
+            raise ValueError(f"group_count must be >= 1, got {group_count}")
+        self.group_count = group_count
+        self.position = 0
+        self._buffer: Dict[int, Any] = {}
+
+    # -- slot arithmetic ------------------------------------------------
+
+    def global_slot(self, group: int, seq: int) -> int:
+        """Global slot owned by per-group sequence ``seq`` of ``group``."""
+        if not 0 <= group < self.group_count:
+            raise ValueError(f"group {group} out of range")
+        if seq < 1:
+            raise ValueError(f"per-group seq must be >= 1, got {seq}")
+        return (seq - 1) * self.group_count + group + 1
+
+    def group_of(self, global_slot: int) -> int:
+        """The group that owns ``global_slot``."""
+        return (global_slot - 1) % self.group_count
+
+    def group_seq(self, global_slot: int) -> int:
+        """The per-group sequence number behind ``global_slot``."""
+        return (global_slot - 1) // self.group_count + 1
+
+    # -- merge bookkeeping ----------------------------------------------
+
+    @property
+    def next_slot(self) -> int:
+        """The global slot the merged order is waiting on."""
+        return self.position + 1
+
+    def stalled_group(self) -> int:
+        """The group whose entry gates the merged order right now."""
+        return self.group_of(self.next_slot)
+
+    def offer(self, group: int, seq: int, entry: Any) -> bool:
+        """Buffer the committed ``entry`` for ``(group, seq)``.
+
+        Returns ``False`` for stale (already merged) or duplicate
+        offers, which keeps re-deliveries after view changes or state
+        transfer idempotent.
+        """
+        slot = self.global_slot(group, seq)
+        if slot <= self.position or slot in self._buffer:
+            return False
+        self._buffer[slot] = entry
+        return True
+
+    def pop_ready(self) -> Optional[Tuple[int, Any]]:
+        """Pop ``(global_slot, entry)`` if the head of line is buffered."""
+        slot = self.position + 1
+        if slot not in self._buffer:
+            return None
+        entry = self._buffer.pop(slot)
+        self.position = slot
+        return slot, entry
+
+    def has_gap(self) -> bool:
+        """True when later entries wait behind a missing head-of-line slot."""
+        return bool(self._buffer) and self.next_slot not in self._buffer
+
+    def pending(self) -> int:
+        """Number of committed entries buffered behind the merge point."""
+        return len(self._buffer)
+
+    def reset(self, position: int) -> None:
+        """Jump the merge point to ``position`` (state transfer install).
+
+        Entries at or below the new position are dropped; entries above
+        it stay buffered and merge normally once the gap closes.
+        """
+        if position < 0:
+            raise ValueError(f"position must be >= 0, got {position}")
+        self.position = position
+        for slot in [s for s in self._buffer if s <= position]:
+            del self._buffer[slot]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MergeStage(groups={self.group_count}, position={self.position},"
+            f" buffered={sorted(self._buffer)})"
+        )

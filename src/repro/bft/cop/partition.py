@@ -1,0 +1,88 @@
+"""Client-request partitioning across consensus groups.
+
+Every request carries a stable identity ``(client_id, timestamp)`` —
+the same key the replicas use for dedup and reply caching — so a
+partitioner that is a pure function of that key can be evaluated
+independently by clients (to pick the right group leader) and by
+replicas (to route inbound requests), with no extra wire metadata.
+
+Partitioners are pluggable by name via ``BftConfig.partitioner``; the
+default is a deterministic SHA-256 hash of the request id, which is
+hash-seed independent (``PYTHONHASHSEED`` never leaks into schedules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict
+
+__all__ = [
+    "HashPartitioner",
+    "ClientAffinityPartitioner",
+    "PARTITIONERS",
+    "make_partitioner",
+]
+
+
+class HashPartitioner:
+    """Deterministic hash of the full request id ``(client_id, timestamp)``.
+
+    Spreads even a single client's stream across all groups, which is
+    what maximizes ordering parallelism for few-client workloads.
+    """
+
+    name = "hash"
+
+    def __init__(self, group_count: int) -> None:
+        if group_count < 1:
+            raise ValueError(f"group_count must be >= 1, got {group_count}")
+        self.group_count = group_count
+
+    def group_of(self, client_id: str, timestamp: int) -> int:
+        if self.group_count == 1:
+            return 0
+        digest = hashlib.sha256(
+            f"{client_id}:{timestamp}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % self.group_count
+
+
+class ClientAffinityPartitioner:
+    """All requests of one client land in the same group.
+
+    Preserves per-client FIFO execution order across the merge (a
+    client's requests stay in one group's sequence), trading ordering
+    parallelism for session affinity — useful when the application
+    relies on per-client operation order.
+    """
+
+    name = "client"
+
+    def __init__(self, group_count: int) -> None:
+        if group_count < 1:
+            raise ValueError(f"group_count must be >= 1, got {group_count}")
+        self.group_count = group_count
+
+    def group_of(self, client_id: str, timestamp: int) -> int:
+        if self.group_count == 1:
+            return 0
+        digest = hashlib.sha256(client_id.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.group_count
+
+
+PARTITIONERS: Dict[str, Callable[[int], object]] = {
+    HashPartitioner.name: HashPartitioner,
+    ClientAffinityPartitioner.name: ClientAffinityPartitioner,
+}
+
+
+def make_partitioner(name: str, group_count: int):
+    """Instantiate the partitioner registered under ``name``."""
+    try:
+        factory = PARTITIONERS[name]
+    except KeyError:
+        known = ", ".join(sorted(PARTITIONERS))
+        raise ValueError(
+            f"unknown partitioner {name!r} (known: {known})"
+        ) from None
+    return factory(group_count)

@@ -71,6 +71,11 @@ class Replica:
     #: member replica is Byzantine.
     BYZANTINE = False
 
+    #: Consensus group this pipeline orders for (COP).  The sequential
+    #: replica is its own (only) group 0; ``repro.bft.cop`` overrides
+    #: this on per-group pipelines.
+    group = 0
+
     def __init__(
         self,
         replica_id: str,
@@ -147,13 +152,26 @@ class Replica:
         self._slot_spans: Dict[int, Dict[str, object]] = {}
         self._batch_spans: Dict[Tuple[str, int], object] = {}
 
+        # Adaptive batching (COP): when enabled the proposer sizes each
+        # batch from queue depth and outbox watermark pressure instead
+        # of always filling to the fixed ceiling.
+        self._batcher = None
+        if self.config.adaptive_batching:
+            from repro.bft.cop.batcher import AdaptiveBatcher
+
+            self._batcher = AdaptiveBatcher(
+                floor=self.config.batch_size_min,
+                ceiling=self.config.batch_size,
+                shrink_patience=self.config.batch_shrink_patience,
+            )
+
         # COP pipelines: per-pipeline inbound queues and handler processes.
         self._pipelines: List[Store] = [
             Store(self.env) for _ in range(self.config.pipelines)
         ]
         self.running = True
 
-        endpoint.on_connection(self._on_inbound_connection)
+        self._wire_endpoint()
         for index, queue in enumerate(self._pipelines):
             self.env.process(
                 self._pipeline_loop(queue), name=f"{replica_id}.pipe{index}"
@@ -203,9 +221,40 @@ class Replica:
         """View-change timeout with exponential backoff under churn."""
         return self.config.view_change_timeout * (2 ** self._vc_backoff)
 
+    def group_children(self) -> Tuple["Replica", ...]:
+        """Extra per-group pipelines owned by this replica (COP)."""
+        return ()
+
+    def group_pipelines(self) -> Tuple["Replica", ...]:
+        """All ordering pipelines of this replica, indexed by group."""
+        return (self,) + self.group_children()
+
+    @property
+    def global_executed_seq(self) -> int:
+        """Position in the merged total execution order.
+
+        For the sequential pipeline the merged order *is* the sequence
+        order; COP replicas override this with the merge-stage position.
+        """
+        return self.executed_seq
+
+    def _span_tags(self) -> Dict[str, int]:
+        """Extra trace-span attributes (the group tag under COP)."""
+        if self.config.group_count > 1:
+            return {"group": self.group}
+        return {}
+
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
+
+    def _wire_endpoint(self) -> None:
+        """Subscribe to inbound connections on the shared endpoint.
+
+        COP group pipelines skip this: their owning replica demultiplexes
+        group-tagged traffic to them instead.
+        """
+        self.endpoint.on_connection(self._on_inbound_connection)
 
     def attach_peer(self, peer_id: str, connection: ReptorConnection) -> None:
         """Bind an outbound connection to a peer replica."""
@@ -287,6 +336,7 @@ class Replica:
                         parent=ctx,
                         track=self.replica_id,
                         message=type(message).__name__,
+                        **self._span_tags(),
                     )
             # Handler CPU cost (configurable: MAC-based deployments are
             # cheap, signature-based ones are where COP's parallel
@@ -386,6 +436,7 @@ class Replica:
             parent=ctx,
             track=self.replica_id,
             seq=seq,
+            **self._span_tags(),
         )
 
     def _end_phase(self, seq: int, phase: str, **attrs) -> None:
@@ -520,8 +571,9 @@ class Replica:
                 self._batch_kick = self.env.event()
                 yield self._batch_kick
                 continue
+            limit = self._batch_limit()
             if (
-                len(self._pending_requests) < self.config.batch_size
+                len(self._pending_requests) < limit
                 and self.config.batch_delay > 0
             ):
                 # Adaptive batching: wait briefly for more requests.
@@ -529,7 +581,7 @@ class Replica:
             if not self.is_leader or self.in_view_change:
                 continue
             batch: List[Request] = []
-            while self._pending_requests and len(batch) < self.config.batch_size:
+            while self._pending_requests and len(batch) < limit:
                 batch.append(self._pending_requests.popleft())
             if not batch:
                 continue
@@ -549,6 +601,28 @@ class Replica:
                     self._queued_keys.add(request.key())
                     self._proposed_keys.discard(request.key())
                 yield self.env.timeout(self.config.batch_delay or 100e-6)
+
+    def _batch_limit(self) -> int:
+        """Requests allowed in the next proposed batch.
+
+        The fixed ``batch_size`` ceiling unless adaptive batching is on,
+        in which case the controller grows the limit under queue-depth /
+        outbox-watermark pressure and shrinks it when idle.
+        """
+        if self._batcher is None:
+            return self.config.batch_size
+        return self._batcher.observe(
+            len(self._pending_requests), self._outbox_backpressure()
+        )
+
+    def _outbox_backpressure(self) -> bool:
+        """Whether any replica connection sits above its high watermark."""
+        for connection in self._replica_conns.values():
+            if not connection.closed and getattr(
+                connection, "_above_high", False
+            ):
+                return True
+        return False
 
     def _propose(self, batch: Tuple[Request, ...]) -> None:
         # Skip sequence numbers already owned by this view or committed
@@ -584,7 +658,7 @@ class Replica:
         if audit.enabled:
             audit.on_pre_prepare(
                 self.replica_id, self.view, seq, pre_prepare.digest,
-                self.replica_id,
+                self.replica_id, group=self.group,
             )
         self._request_batches[seq] = batch
         ctx = self._batch_trace_ctx(batch)
@@ -622,7 +696,7 @@ class Replica:
             # digests for the same (view, seq) assignment.
             audit.on_pre_prepare(
                 self.replica_id, message.view, message.seq, message.digest,
-                sender,
+                sender, group=self.group,
             )
         self._request_batches[message.seq] = message.batch
         for request in message.batch:
@@ -708,6 +782,7 @@ class Replica:
                         for c in slot.commits.values()
                         if c.view == self.view and c.digest == digest
                     ],
+                    group=self.group,
                 )
             self.committed_count += 1
             self._end_phase(seq, "commit")
@@ -726,7 +801,8 @@ class Replica:
             audit = get_audit(self.env)
             if audit.enabled:
                 audit.on_execute(
-                    self.replica_id, next_seq, batch_digest(batch)
+                    self.replica_id, next_seq, batch_digest(batch),
+                    group=self.group,
                 )
             self.env.process(
                 self._execute_batch(slot, batch),
@@ -749,6 +825,7 @@ class Replica:
                 track=self.replica_id,
                 seq=slot.seq,
                 batch_size=len(batch),
+                **self._span_tags(),
             )
         try:
             for request in batch:
@@ -798,7 +875,9 @@ class Replica:
         if stable:
             audit = get_audit(self.env)
             if audit.enabled:
-                audit.on_stable_checkpoint(self.replica_id, seq, state_digest)
+                audit.on_stable_checkpoint(
+                    self.replica_id, seq, state_digest, group=self.group
+                )
         self._broadcast(checkpoint)
 
     def _reply_to_client(self, reply: Reply, trace_ctx=None) -> None:
@@ -816,7 +895,8 @@ class Replica:
             audit = get_audit(self.env)
             if audit.enabled:
                 audit.on_stable_checkpoint(
-                    self.replica_id, message.seq, message.state_digest
+                    self.replica_id, message.seq, message.state_digest,
+                    group=self.group,
                 )
         # A checkpoint that became stable past our execution point means
         # the group truncated slots we never executed — they are gone
@@ -842,7 +922,8 @@ class Replica:
         audit = get_audit(self.env)
         if audit.enabled:
             audit.on_state_transfer(
-                self.replica_id, "started", low_seq=self.executed_seq
+                self.replica_id, "started", low_seq=self.executed_seq,
+                group=self.group,
             )
         self._st_replies = {}
         self.env.process(
@@ -903,8 +984,14 @@ class Replica:
         self._st_replies[sender] = message
         self._try_install_state()
 
-    def _try_install_state(self) -> None:
-        """Install a checkpoint once f+1 replies agree on its digest."""
+    def _st_candidate(
+        self,
+    ) -> Optional[Tuple[int, bytes, List[StateTransferReply]]]:
+        """Highest f+1-agreed ``(checkpoint_seq, digest, replies)``.
+
+        None until f+1 replies agree on a checkpoint at or past our own
+        stable sequence number.
+        """
         groups: Dict[
             Tuple[int, bytes], List[StateTransferReply]
         ] = {}
@@ -918,8 +1005,15 @@ class Replica:
             if len(replies) >= self.f + 1 and seq >= self.log.stable_seq
         ]
         if not candidates:
+            return None
+        return max(candidates, key=lambda c: c[0])
+
+    def _try_install_state(self) -> None:
+        """Install a checkpoint once f+1 replies agree on its digest."""
+        candidate = self._st_candidate()
+        if candidate is None:
             return
-        seq, state_digest, replies = max(candidates, key=lambda c: c[0])
+        seq, state_digest, replies = candidate
         if seq > self.executed_seq:
             if not self._install_checkpoint(seq, state_digest, replies):
                 return
@@ -942,6 +1036,7 @@ class Replica:
                 self.replica_id, "completed",
                 checkpoint_seq=seq,
                 executed_seq=self.executed_seq,
+                group=self.group,
             )
         self._execute_ready()
         if self.is_leader:
@@ -974,7 +1069,9 @@ class Replica:
         if audit.enabled:
             # An installed checkpoint joins the stability table too: it
             # must agree with what the voting replicas stabilised.
-            audit.on_stable_checkpoint(self.replica_id, seq, state_digest)
+            audit.on_stable_checkpoint(
+                self.replica_id, seq, state_digest, group=self.group
+            )
         self.executed_seq = seq
         self.next_seq = max(self.next_seq, seq + 1)
         # The verified snapshot becomes servable: this replica can now
@@ -994,29 +1091,45 @@ class Replica:
         """
         while True:
             seq = self.executed_seq + 1
-            counts: Dict[bytes, int] = {}
-            batches: Dict[bytes, Tuple[Request, ...]] = {}
-            for reply in replies:
-                for entry_seq, batch in reply.suffix:
-                    if entry_seq == seq:
-                        d = batch_digest(batch)
-                        counts[d] = counts.get(d, 0) + 1
-                        batches[d] = batch
-            chosen = None
-            for d, count in counts.items():
-                if count >= self.f + 1:
-                    chosen = batches[d]
-                    break
+            chosen = self._st_suffix_batch(seq, replies)
             if chosen is None:
                 return
             self._apply_transferred_batch(seq, chosen)
+
+    def _st_suffix_batch(
+        self,
+        seq: int,
+        replies: Optional[List[StateTransferReply]] = None,
+    ) -> Optional[Tuple[Request, ...]]:
+        """The f+1-agreed suffix batch for ``seq``, or None.
+
+        Defaults to counting over every reply received so far (any f+1
+        matching digests include one honest replica, independent of
+        which checkpoint quorum they joined).
+        """
+        if replies is None:
+            replies = list(self._st_replies.values())
+        counts: Dict[bytes, int] = {}
+        batches: Dict[bytes, Tuple[Request, ...]] = {}
+        for reply in replies:
+            for entry_seq, batch in reply.suffix:
+                if entry_seq == seq:
+                    d = batch_digest(batch)
+                    counts[d] = counts.get(d, 0) + 1
+                    batches[d] = batch
+        for d, count in counts.items():
+            if count >= self.f + 1:
+                return batches[d]
+        return None
 
     def _apply_transferred_batch(
         self, seq: int, batch: Tuple[Request, ...]
     ) -> None:
         audit = get_audit(self.env)
         if audit.enabled:
-            audit.on_execute(self.replica_id, seq, batch_digest(batch))
+            audit.on_execute(
+                self.replica_id, seq, batch_digest(batch), group=self.group
+            )
         for request in batch:
             result = self.app.apply(request.operation)
             key = request.key()
@@ -1058,7 +1171,9 @@ class Replica:
             self.in_view_change = False
             audit = get_audit(self.env)
             if audit.enabled:
-                audit.on_view_adopted(self.replica_id, candidate)
+                audit.on_view_adopted(
+                    self.replica_id, candidate, group=self.group
+                )
 
     # -- view changes ----------------------------------------------------------
 
@@ -1081,7 +1196,9 @@ class Replica:
         self.in_view_change = True
         audit = get_audit(self.env)
         if audit.enabled:
-            audit.on_view_change_started(self.replica_id, new_view)
+            audit.on_view_change_started(
+                self.replica_id, new_view, group=self.group
+            )
         vote = ViewChange(
             new_view=new_view,
             stable_seq=self.log.stable_seq,
@@ -1112,6 +1229,7 @@ class Replica:
                 message.replica_id,
                 message.new_view,
                 sha256(encode(message)),
+                group=self.group,
             )
         votes = self._view_change_votes.setdefault(message.new_view, {})
         votes[message.replica_id] = message
@@ -1189,7 +1307,9 @@ class Replica:
         self.view_changes_completed += 1
         audit = get_audit(self.env)
         if audit.enabled:
-            audit.on_view_adopted(self.replica_id, message.new_view)
+            audit.on_view_adopted(
+                self.replica_id, message.new_view, group=self.group
+            )
         self._view_change_votes = {
             v: votes
             for v, votes in self._view_change_votes.items()
@@ -1227,6 +1347,7 @@ class Replica:
                     pre_prepare.seq,
                     pre_prepare.digest,
                     message.replica_id,
+                    group=self.group,
                 )
             if self.replica_id != message.replica_id:
                 prepare = Prepare(

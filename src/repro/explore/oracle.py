@@ -6,13 +6,20 @@ the two properties every explored schedule must preserve on *correct*
 (non-Byzantine) replicas:
 
 * **prefix consistency** — the executed order is one shared sequence:
-  per-replica executed sequence numbers are strictly increasing, and any
-  two correct replicas that executed the same sequence number executed
-  the same batch digest;
-* **committed ⇒ durable** — a batch committed at a sequence number stays
-  the batch at that sequence number across view changes: correct
-  replicas never commit conflicting digests for one sequence number, and
-  an execution never contradicts a commit certificate.
+  per-replica executed positions in the *merged* total order are
+  strictly increasing, and any two correct replicas that executed the
+  same merged slot executed the same batch digest;
+* **committed ⇒ durable** — a batch committed at a per-group sequence
+  number stays the batch at that sequence number across view changes:
+  correct replicas never commit conflicting digests for one
+  ``(group, seq)``, and an execution never contradicts a commit
+  certificate.
+
+Under COP (``group_count > 1``) executions are group-tagged: each
+``(group, seq)`` maps to one global slot of the round-robin merged
+order, so prefix consistency is checked over merged slots while commit
+durability stays per group — exactly the sharded-sequence-space
+contract.
 
 It deliberately overlaps the cross-replica tables in
 :mod:`repro.audit.invariants`: the auditors fire *online* at hook time,
@@ -22,7 +29,7 @@ context, independent of ``expect_violations`` masking.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 __all__ = ["HistoryOracle"]
 
@@ -30,17 +37,25 @@ __all__ = ["HistoryOracle"]
 class HistoryOracle:
     """Passive audit observer accumulating an end-of-run safety verdict."""
 
-    def __init__(self, correct: Iterable[str], max_failures: int = 64):
+    def __init__(
+        self,
+        correct: Iterable[str],
+        max_failures: int = 64,
+        group_count: int = 1,
+    ):
         #: Replicas whose history must agree (deliberately faulty ones
         #: are excluded — their lies are the auditors' business).
         self.correct: Set[str] = set(correct)
         self.max_failures = max_failures
-        #: seq -> (digest, first correct executor)
+        #: COP consensus groups; 1 keeps merged slot == sequence number.
+        self.group_count = max(1, group_count)
+        #: merged global slot -> (digest, first correct executor)
         self._canonical: Dict[int, Tuple[bytes, str]] = {}
-        #: replica -> last executed seq
+        #: replica -> last executed merged slot
         self._last_seq: Dict[str, int] = {}
-        #: seq -> digest -> correct replicas holding that commit cert
-        self._committed: Dict[int, Dict[bytes, Set[str]]] = {}
+        #: (group, seq) -> digest -> correct replicas holding that
+        #: commit certificate
+        self._committed: Dict[Tuple[int, int], Dict[bytes, Set[str]]] = {}
         self.failures: List[Dict[str, object]] = []
         self.failures_dropped = 0
         self.executions = 0
@@ -62,6 +77,21 @@ class HistoryOracle:
         entry.update(detail)
         self.failures.append(entry)
 
+    def _slot(
+        self, group: int, seq: int, global_seq: Optional[int]
+    ) -> Optional[int]:
+        """Merged global slot of ``(group, seq)``.
+
+        Trusts the reporter's explicit ``global_seq`` when given (the
+        auditor's ``bft.merge-slot-conflict`` rule cross-checks it);
+        otherwise derives it from the round-robin arithmetic.
+        """
+        if global_seq is not None:
+            return global_seq
+        if not 0 <= group < self.group_count or seq < 1:
+            return None
+        return (seq - 1) * self.group_count + group + 1
+
     # -- audit observer hooks -------------------------------------------
 
     def on_replica_restart(self, replica: str) -> None:
@@ -70,37 +100,59 @@ class HistoryOracle:
         # progress from there is monotonic.
         self._last_seq.pop(replica, None)
 
-    def on_execute(self, replica: str, seq: int, digest: bytes) -> None:
+    def on_execute(
+        self,
+        replica: str,
+        seq: int,
+        digest: bytes,
+        group: int = 0,
+        global_seq: Optional[int] = None,
+    ) -> None:
         if replica not in self.correct:
             return
         self.executions += 1
+        slot = self._slot(group, seq, global_seq)
+        if slot is None:
+            self._fail(
+                "oracle.unknown-group",
+                replica=replica,
+                group=group,
+                seq=seq,
+                group_count=self.group_count,
+            )
+            return
         last = self._last_seq.get(replica)
-        if last is not None and seq <= last:
+        if last is not None and slot <= last:
             self._fail(
                 "oracle.execution-order",
                 replica=replica,
                 seq=seq,
+                group=group,
+                global_seq=slot,
                 last_seq=last,
             )
-        self._last_seq[replica] = max(seq, last if last is not None else seq)
-        known = self._canonical.get(seq)
+        self._last_seq[replica] = max(slot, last if last is not None else slot)
+        known = self._canonical.get(slot)
         if known is None:
-            self._canonical[seq] = (digest, replica)
+            self._canonical[slot] = (digest, replica)
         elif known[0] != digest:
             self._fail(
                 "oracle.execution-divergence",
                 replica=replica,
                 seq=seq,
+                group=group,
+                global_seq=slot,
                 digest=digest.hex()[:16],
                 conflicting_digest=known[0].hex()[:16],
                 first_executor=known[1],
             )
-        committed = self._committed.get(seq)
+        committed = self._committed.get((group, seq))
         if committed and digest not in committed:
             self._fail(
                 "oracle.committed-not-durable",
                 replica=replica,
                 seq=seq,
+                group=group,
                 executed_digest=digest.hex()[:16],
                 committed_digests=sorted(d.hex()[:16] for d in committed),
             )
@@ -112,10 +164,11 @@ class HistoryOracle:
         seq: int,
         digest: bytes,
         signers: Iterable[str],
+        group: int = 0,
     ) -> None:
         if replica not in self.correct:
             return
-        by_digest = self._committed.setdefault(seq, {})
+        by_digest = self._committed.setdefault((group, seq), {})
         by_digest.setdefault(digest, set()).add(replica)
         if len(by_digest) > 1:
             self._fail(
@@ -123,14 +176,17 @@ class HistoryOracle:
                 replica=replica,
                 view=view,
                 seq=seq,
+                group=group,
                 digests=sorted(d.hex()[:16] for d in by_digest),
             )
-        executed = self._canonical.get(seq)
+        slot = self._slot(group, seq, None)
+        executed = self._canonical.get(slot) if slot is not None else None
         if executed is not None and executed[0] != digest:
             self._fail(
                 "oracle.committed-not-durable",
                 replica=replica,
                 seq=seq,
+                group=group,
                 committed_digest=digest.hex()[:16],
                 executed_digest=executed[0].hex()[:16],
             )

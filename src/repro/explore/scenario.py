@@ -26,6 +26,7 @@ from repro.bft.byzantine import (
     SilentReplica,
     StallingViewChangeLeader,
 )
+from repro.bft.cop import CopGroupEquivocator
 from repro.bft.replica import Replica
 from repro.errors import ReproError
 from repro.explore.oracle import HistoryOracle
@@ -55,6 +56,7 @@ BYZANTINE_CATALOG: Dict[str, Type[Replica]] = {
     "vc-stalling-leader": StallingViewChangeLeader,
     "vc-equivocator": EquivocatingViewChangeReplica,
     "nv-equivocator": EquivocatingNewViewLeader,
+    "cop-equivocator": CopGroupEquivocator,
 }
 
 
@@ -130,6 +132,16 @@ def _apply_nv_equivocate(cluster: BftCluster, action: FaultAction) -> None:
     cluster.replica(action.target).arm_new_view_equivocation(victims)
 
 
+def _apply_cop_equivocate(cluster: BftCluster, action: FaultAction) -> None:
+    victims = (
+        set(action.args[0]) if action.args and action.args[0] else None
+    )
+    group = action.args[1] if len(action.args) > 1 else None
+    cluster.replica(action.target).arm_group_equivocation(
+        victims, group=group
+    )
+
+
 #: The explorable fault catalog: every composable fault kind.
 FAULT_CATALOG: Dict[str, Callable[[BftCluster, FaultAction], None]] = {
     "crash": _apply_crash,
@@ -144,6 +156,7 @@ FAULT_CATALOG: Dict[str, Callable[[BftCluster, FaultAction], None]] = {
     "vc-stall": _apply_vc_stall,
     "vc-equivocate": _apply_vc_equivocate,
     "nv-equivocate": _apply_nv_equivocate,
+    "cop-equivocate": _apply_cop_equivocate,
 }
 
 
@@ -166,6 +179,9 @@ class ScenarioSpec:
     view_change_timeout: float = 30e-3
     checkpoint_interval: int = 4
     admission_budget: int = 0
+    #: Consensus groups (COP): >1 shards the sequence space across
+    #: parallel ordering pipelines with a deterministic merge.
+    group_count: int = 1
     #: Audit rules this scenario is *supposed* to trip (its Byzantine
     #: members' fingerprints); anything else fails the run.
     expected_rules: Tuple[str, ...] = ()
@@ -190,6 +206,7 @@ class ScenarioSpec:
             checkpoint_interval=self.checkpoint_interval,
             log_window=4 * self.checkpoint_interval,
             admission_budget=self.admission_budget,
+            group_count=self.group_count,
         )
 
     def rubin_config(self) -> RubinConfig:
@@ -298,7 +315,9 @@ def run_scenario(
     env = cluster.env
     if policy is not None:
         env.set_tiebreak(policy)
-    oracle = HistoryOracle(correct=spec.correct_replicas())
+    oracle = HistoryOracle(
+        correct=spec.correct_replicas(), group_count=spec.group_count
+    )
     manager.add_observer(oracle)
 
     submitted: list = []
@@ -442,6 +461,29 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             view_change_timeout=15e-3,
             run_time=200e-3,
             expected_rules=("bft.view-change-equivocation",),
+        ),
+        _spec(
+            name="cop-mixed-faults",
+            description=(
+                "Four consensus groups with composed faults: group 0's "
+                "leader crashes and rejoins while a Byzantine member "
+                "equivocates inside group 1 — the merged order must "
+                "survive both."
+            ),
+            group_count=4,
+            byzantine=(("r1", "cop-equivocator"),),
+            faults=(
+                FaultAction(
+                    at=2e-3, kind="cop-equivocate", target="r1",
+                    args=(("r2",), 1),
+                ),
+                FaultAction(at=6e-3, kind="crash", target="r0"),
+                FaultAction(at=60e-3, kind="restart", target="r0"),
+            ),
+            requests=8,
+            view_change_timeout=40e-3,
+            run_time=400e-3,
+            expected_rules=("bft.pre-prepare-equivocation",),
         ),
     )
 }

@@ -1,0 +1,142 @@
+"""Direct-drive tests for the COP multi-group audit invariants.
+
+Feeds the :class:`~repro.audit.invariants.BftSafetyAuditor` hook calls
+the way a COP cluster would — group-tagged executions, per-group
+checkpoints and restarts — and checks the merge-order rules fire on
+exactly the histories that violate them.
+"""
+
+from repro.audit import AuditConfig, AuditManager
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def make_manager(group_count=4, f=1, **config):
+    manager = AuditManager(
+        env=FakeClock(),
+        config=AuditConfig(**config) if config else None,
+        expect_violations=True,  # tests trip auditors on purpose
+    )
+    manager.bft.configure(f=f, group_count=group_count)
+    return manager
+
+
+def rules(manager):
+    return [v.rule for v in manager.violations]
+
+
+class TestMergeSlotArithmetic:
+    def test_round_robin_interleave_is_clean(self):
+        # G=4: slot(group, seq) = (seq-1)*4 + group + 1; executing the
+        # merged order 1..8 touches every group twice, in order.
+        m = make_manager(group_count=4)
+        for slot in range(1, 9):
+            group = (slot - 1) % 4
+            seq = (slot - 1) // 4 + 1
+            m.on_execute("r0", seq, b"d%d" % slot, group=group,
+                         global_seq=slot)
+        assert m.violations == []
+
+    def test_reported_position_contradicting_arithmetic(self):
+        # (group=1, seq=1) merges at slot 2 under G=4; reporting slot 3
+        # is a lie about the round-robin order.
+        m = make_manager(group_count=4)
+        m.on_execute("r0", 1, b"d", group=1, global_seq=3)
+        assert "bft.merge-slot-conflict" in rules(m)
+
+    def test_two_identities_claiming_one_slot(self):
+        # A replica reporting an out-of-shard group can still name a
+        # global slot; if that slot is already owned by a different
+        # (group, seq) identity, disjointness is broken.
+        m = make_manager(group_count=2)
+        m.on_execute("r0", 1, b"d", group=0, global_seq=1)
+        m.on_execute("r1", 1, b"d", group=5, global_seq=1)
+        assert rules(m) == ["bft.merge-slot-conflict"]
+
+    def test_degenerate_single_group_keys_by_seq(self):
+        # G=1 keeps the historical keying: global slot == seq, and the
+        # untagged hook form stays clean.
+        m = make_manager(group_count=1)
+        m.on_execute("r0", 1, b"a")
+        m.on_execute("r0", 2, b"b")
+        m.on_execute("r1", 1, b"a")
+        m.on_execute("r1", 2, b"b")
+        assert m.violations == []
+
+
+class TestMergeOrderExecution:
+    def test_skipping_a_merge_slot_is_premature(self):
+        # Group 0's seqs 1 and 2 merge at slots 1 and 3 under G=2;
+        # executing both back-to-back skips slot 2 (group 1, seq 1).
+        m = make_manager(group_count=2)
+        m.on_execute("r0", 1, b"a", group=0, global_seq=1)
+        m.on_execute("r0", 2, b"c", group=0, global_seq=3)
+        assert rules(m) == ["bft.merge-premature-execution"]
+
+    def test_full_merge_order_is_clean(self):
+        m = make_manager(group_count=2)
+        m.on_execute("r0", 1, b"a", group=0, global_seq=1)
+        m.on_execute("r0", 1, b"b", group=1, global_seq=2)
+        m.on_execute("r0", 2, b"c", group=0, global_seq=3)
+        assert m.violations == []
+
+    def test_divergence_keyed_by_global_slot(self):
+        # Two replicas executing the same merged slot with different
+        # batches is the core safety break, group tags and all.
+        m = make_manager(group_count=2)
+        m.on_execute("r0", 1, b"a", group=1, global_seq=2)
+        m.on_execute("r1", 1, b"b", group=1, global_seq=2)
+        assert rules(m) == ["bft.execution-divergence"]
+
+    def test_checkpoint_advances_frontier_after_restart(self):
+        # A recovering replica installs a stable checkpoint covering the
+        # merged prefix, then resumes at the next slot: no premature-
+        # execution report.
+        m = make_manager(group_count=2)
+        m.on_execute("r2", 1, b"a", group=0, global_seq=1)
+        m.on_replica_restart("r2")
+        # Checkpoint at (group=1, seq=2) vouches for merged slot 4.
+        m.on_stable_checkpoint("r2", 2, b"state", group=1)
+        m.on_execute("r2", 3, b"e", group=0, global_seq=5)
+        assert m.violations == []
+
+    def test_restart_rebaselines_frontier(self):
+        # Without a checkpoint the first post-restart execution sets a
+        # fresh baseline rather than reporting a jump.
+        m = make_manager(group_count=2)
+        m.on_execute("r2", 1, b"a", group=0, global_seq=1)
+        m.on_replica_restart("r2")
+        m.on_execute("r2", 3, b"e", group=0, global_seq=5)
+        assert m.violations == []
+
+
+class TestGroupTaggedProtocolRules:
+    def test_equivocation_scoped_per_group(self):
+        # The same (view, seq) in different groups is two different
+        # consensus instances — different digests are legitimate.
+        m = make_manager(group_count=4)
+        m.on_pre_prepare("r1", 0, 1, b"d1", "r0", group=0)
+        m.on_pre_prepare("r2", 0, 1, b"d2", "r1", group=1)
+        assert m.violations == []
+        # Within one group it is the classic attack.
+        m.on_pre_prepare("r3", 0, 1, b"d3", "r1", group=1)
+        assert rules(m) == ["bft.pre-prepare-equivocation"]
+
+    def test_view_monotonicity_scoped_per_group(self):
+        m = make_manager(group_count=4)
+        m.on_view_adopted("r0", 3, group=0)
+        m.on_view_adopted("r0", 1, group=1)  # independent group: fine
+        assert m.violations == []
+        m.on_view_adopted("r0", 2, group=0)  # regression within group 0
+        assert rules(m) == ["bft.view-regression"]
+
+    def test_checkpoint_divergence_scoped_per_group(self):
+        m = make_manager(group_count=4)
+        m.on_stable_checkpoint("r0", 4, b"s1", group=0)
+        m.on_stable_checkpoint("r1", 4, b"s2", group=1)  # other group
+        assert m.violations == []
+        m.on_stable_checkpoint("r2", 4, b"s3", group=0)
+        assert rules(m) == ["bft.checkpoint-divergence"]

@@ -1,0 +1,81 @@
+"""AdaptiveBatcher: deterministic grow/shrink control law."""
+
+import pytest
+
+from repro.bft.cop import AdaptiveBatcher
+
+
+class TestControlLaw:
+    def test_starts_at_floor(self):
+        b = AdaptiveBatcher(floor=2, ceiling=16)
+        assert b.limit == 2
+
+    def test_grows_when_demand_exceeds_limit(self):
+        b = AdaptiveBatcher(floor=1, ceiling=16)
+        assert b.observe(5) == 2  # 5 > 1: double
+        assert b.observe(5) == 4
+        assert b.observe(5) == 8
+        assert b.observe(5) == 8  # 5 <= 8: steady
+        assert b.grow_count == 3
+
+    def test_growth_capped_at_ceiling(self):
+        b = AdaptiveBatcher(floor=1, ceiling=6)
+        for _ in range(5):
+            b.observe(100)
+        assert b.limit == 6
+
+    def test_backpressure_forces_growth_regardless_of_depth(self):
+        # Outbox high-watermark means the network is the bottleneck:
+        # batch harder even though the local queue looks shallow.
+        b = AdaptiveBatcher(floor=1, ceiling=8)
+        assert b.observe(0, backpressure=True) == 2
+        assert b.observe(0, backpressure=True) == 4
+
+    def test_shrinks_only_after_patience(self):
+        b = AdaptiveBatcher(floor=1, ceiling=16, shrink_patience=3)
+        for _ in range(4):
+            b.observe(100)
+        assert b.limit == 16
+        assert b.observe(0) == 16
+        assert b.observe(0) == 16
+        assert b.observe(0) == 8  # third idle observation: halve
+        assert b.shrink_count == 1
+
+    def test_moderate_load_resets_idle_streak(self):
+        b = AdaptiveBatcher(floor=1, ceiling=8, shrink_patience=2)
+        for _ in range(3):
+            b.observe(100)
+        assert b.limit == 8
+        b.observe(0)
+        b.observe(7)  # >= limit//2: busy enough, streak resets
+        b.observe(0)
+        assert b.limit == 8  # never hit two consecutive idles
+
+    def test_shrink_floored(self):
+        b = AdaptiveBatcher(floor=3, ceiling=12, shrink_patience=1)
+        b.observe(100)
+        b.observe(100)
+        assert b.limit == 12
+        for _ in range(10):
+            b.observe(0)
+        assert b.limit == 3
+
+    def test_deterministic_replay(self):
+        # Pure function of the observation sequence: two controllers
+        # fed the same trace agree at every step.
+        trace = [0, 5, 9, 2, 0, 0, 0, 12, 1, 0, 0, 3, 8, 0]
+        a = AdaptiveBatcher(floor=1, ceiling=16, shrink_patience=2)
+        b = AdaptiveBatcher(floor=1, ceiling=16, shrink_patience=2)
+        assert [a.observe(d) for d in trace] == [
+            b.observe(d) for d in trace
+        ]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(floor=0, ceiling=4)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(floor=4, ceiling=2)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(floor=1, ceiling=4, shrink_patience=0)
+        with pytest.raises(ValueError):
+            AdaptiveBatcher(floor=1, ceiling=4).observe(-1)

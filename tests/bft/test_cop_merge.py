@@ -1,0 +1,118 @@
+"""MergeStage: deterministic round-robin merge under out-of-order commits."""
+
+import pytest
+
+from repro.bft.cop import MergeStage
+
+
+class TestSlotArithmetic:
+    def test_round_robin_layout(self):
+        m = MergeStage(4)
+        # slot = (seq-1)*G + group + 1
+        assert m.global_slot(0, 1) == 1
+        assert m.global_slot(3, 1) == 4
+        assert m.global_slot(0, 2) == 5
+        assert m.global_slot(2, 3) == 11
+
+    def test_inverse_mapping(self):
+        m = MergeStage(4)
+        for slot in range(1, 50):
+            group, seq = m.group_of(slot), m.group_seq(slot)
+            assert m.global_slot(group, seq) == slot
+
+    def test_degenerate_single_group_is_identity(self):
+        m = MergeStage(1)
+        for seq in range(1, 10):
+            assert m.global_slot(0, seq) == seq
+            assert m.group_of(seq) == 0
+            assert m.group_seq(seq) == seq
+
+    def test_bounds_checked(self):
+        m = MergeStage(2)
+        with pytest.raises(ValueError):
+            m.global_slot(2, 1)
+        with pytest.raises(ValueError):
+            m.global_slot(0, 0)
+        with pytest.raises(ValueError):
+            MergeStage(0)
+
+
+class TestOutOfOrderMerge:
+    def test_in_order_commits_stream_through(self):
+        m = MergeStage(2)
+        assert m.offer(0, 1, "a")
+        assert m.pop_ready() == (1, "a")
+        assert m.offer(1, 1, "b")
+        assert m.pop_ready() == (2, "b")
+        assert m.position == 2
+
+    def test_head_of_line_gap_blocks_later_slots(self):
+        m = MergeStage(3)
+        # Groups 1 and 2 commit seq 1 before group 0 does.
+        assert m.offer(1, 1, "b")
+        assert m.offer(2, 1, "c")
+        assert m.pop_ready() is None
+        assert m.has_gap()
+        assert m.stalled_group() == 0
+        # The straggler lands: the whole prefix drains in merge order.
+        assert m.offer(0, 1, "a")
+        drained = []
+        while True:
+            item = m.pop_ready()
+            if item is None:
+                break
+            drained.append(item)
+        assert drained == [(1, "a"), (2, "b"), (3, "c")]
+        assert not m.has_gap()
+
+    def test_merge_order_is_permutation_invariant(self):
+        # Whatever order commits arrive in, the merged order is the
+        # same pure function of the committed (group, seq) entries.
+        import itertools
+
+        offers = [(g, k) for k in (1, 2) for g in range(3)]
+        expected = None
+        for perm in itertools.permutations(offers):
+            m = MergeStage(3)
+            drained = []
+            for group, seq in perm:
+                m.offer(group, seq, (group, seq))
+                while True:
+                    item = m.pop_ready()
+                    if item is None:
+                        break
+                    drained.append(item)
+            if expected is None:
+                expected = drained
+            assert drained == expected
+        assert [slot for slot, _ in expected] == list(range(1, 7))
+
+    def test_stale_and_duplicate_offers_rejected(self):
+        m = MergeStage(2)
+        assert m.offer(0, 1, "a")
+        assert not m.offer(0, 1, "dup")  # still buffered
+        m.pop_ready()
+        assert not m.offer(0, 1, "stale")  # already merged
+        assert m.pending() == 0
+
+    def test_pending_counts_buffered_entries(self):
+        m = MergeStage(4)
+        m.offer(1, 1, "b")
+        m.offer(3, 2, "h")
+        assert m.pending() == 2
+
+    def test_reset_drops_covered_entries_keeps_future(self):
+        # State-transfer install: jump past the checkpoint, keep
+        # commits beyond it buffered.
+        m = MergeStage(2)
+        m.offer(0, 1, "a")
+        m.offer(1, 2, "d")  # slot 4
+        m.reset(3)
+        assert m.position == 3
+        assert m.pending() == 1
+        assert m.pop_ready() == (4, "d")
+
+    def test_reset_backwards_rejected(self):
+        m = MergeStage(2)
+        with pytest.raises(ValueError):
+            m.reset(-1)

@@ -72,3 +72,72 @@ class TestViolations:
         assert len(oracle.failures) == 3
         assert oracle.failures_dropped == 7
         assert not oracle.ok
+
+
+class TestGroupHistories:
+    def _oracle(self, group_count=2):
+        return HistoryOracle(
+            correct=("r0", "r1", "r2"), group_count=group_count
+        )
+
+    def test_merged_round_robin_passes(self):
+        # G=2: group g's seq k merges at slot (k-1)*2 + g + 1; replaying
+        # the merged order per replica is a clean history.
+        oracle = self._oracle()
+        for replica in ("r0", "r1", "r2"):
+            oracle.on_execute(replica, 1, D1, group=0)
+            oracle.on_execute(replica, 1, D2, group=1)
+            oracle.on_execute(replica, 2, D1, group=0)
+        assert oracle.ok
+        assert oracle.summary()["max_executed_seq"] == 3
+
+    def test_same_seq_different_groups_may_differ(self):
+        # Seq 1 of group 0 and seq 1 of group 1 are different merged
+        # slots — different digests are not divergence.
+        oracle = self._oracle()
+        oracle.on_execute("r0", 1, D1, group=0)
+        oracle.on_execute("r1", 1, D2, group=1)
+        assert oracle.ok
+
+    def test_divergence_within_a_group_flagged(self):
+        oracle = self._oracle()
+        oracle.on_execute("r0", 1, D1, group=1)
+        oracle.on_execute("r1", 1, D2, group=1)
+        assert oracle.rules() == ("oracle.execution-divergence",)
+
+    def test_merge_order_violation_flagged(self):
+        # Executing group 0's seq 2 (slot 3) then group 1's seq 1
+        # (slot 2) runs the merged order backwards.
+        oracle = self._oracle()
+        oracle.on_execute("r0", 1, D1, group=0)
+        oracle.on_execute("r0", 2, D1, group=0)
+        oracle.on_execute("r0", 1, D2, group=1)
+        assert "oracle.execution-order" in oracle.rules()
+
+    def test_explicit_global_seq_is_trusted(self):
+        oracle = self._oracle()
+        oracle.on_execute("r0", 1, D1, group=0, global_seq=1)
+        oracle.on_execute("r0", 1, D2, group=1, global_seq=2)
+        assert oracle.ok
+
+    def test_out_of_range_group_flagged(self):
+        oracle = self._oracle(group_count=2)
+        oracle.on_execute("r0", 1, D1, group=7)
+        assert "oracle.unknown-group" in oracle.rules()
+
+    def test_commit_certificates_scoped_per_group(self):
+        # The same (view, seq) pair in two groups carries two different
+        # batches legitimately.
+        oracle = self._oracle()
+        oracle.on_commit_quorum("r0", 0, 1, D1, ("r0", "r1", "r2"), group=0)
+        oracle.on_commit_quorum("r1", 0, 1, D2, ("r0", "r1", "r2"), group=1)
+        assert oracle.ok
+        # Conflicting certificates within one group are the attack.
+        oracle.on_commit_quorum("r2", 0, 1, D2, ("r0", "r1", "r2"), group=0)
+        assert "oracle.conflicting-commit" in oracle.rules()
+
+    def test_committed_batch_must_execute_durably(self):
+        oracle = self._oracle()
+        oracle.on_commit_quorum("r0", 0, 1, D1, ("r0", "r1", "r2"), group=1)
+        oracle.on_execute("r1", 1, D2, group=1)
+        assert "oracle.committed-not-durable" in oracle.rules()
