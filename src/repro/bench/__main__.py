@@ -7,8 +7,16 @@ Usage::
     python -m repro.bench --messages 500  # heavier run
     python -m repro.bench --chart         # add ASCII charts
     python -m repro.bench --check         # regression gate vs baselines
+    python -m repro.bench --check --obs-dir artifacts/obs  # + obs artifacts
+    python -m repro.bench --update-baseline   # refresh BENCH_* + PROFILE_*
     python -m repro.bench --wallclock     # simulator throughput report
     python -m repro.bench --wallclock --check   # wall-clock gate
+
+When ``--check`` fails a figure's tolerance band, the gate re-runs that
+figure's profile scenario and prints the ranked suspect layers against
+the committed ``PROFILE_<figure>.json`` (also appended to the GitHub job
+summary when ``$GITHUB_STEP_SUMMARY`` is set), so a red gate names the
+layer that moved, not just the metric.
 """
 
 from __future__ import annotations
@@ -94,13 +102,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update-baseline",
         action="store_true",
-        help="with --wallclock: write the run as the new committed "
-        "BENCH_wallclock.json baseline",
+        help="refresh the committed baselines for --fig: BENCH_*.json and "
+        "the matching PROFILE_*.json critical-path profiles, written "
+        "atomically together (with --wallclock: BENCH_wallclock.json)",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="with --check: also write fresh observability artifacts "
+        "(PROFILE_*.json critical-path profiles and TIMESERIES_*.json "
+        "metric dumps) for every checked figure into DIR",
     )
     args = parser.parse_args(argv)
 
     if args.wallclock:
         return run_wallclock_cli(args)
+
+    if args.update_baseline:
+        return run_update_baseline(args)
 
     if args.check:
         return run_gate(args)
@@ -292,30 +312,74 @@ def run_wallclock_cli(args) -> int:
     return 0 if ok else 1
 
 
-def run_gate(args) -> int:
-    """Run the performance-regression gate and report per metric."""
-    from repro.bench.regression import run_check
+#: Which baseline figures each ``--fig`` choice gates.
+GATE_FIGURES = {
+    "3": ("fig3",),
+    "4": ("fig4",),
+    "overload": ("overload",),
+    "cop": ("cop",),
+    "all": ("fig3", "fig4", "overload", "cop"),
+}
 
-    figures = {
-        "3": ("fig3",),
-        "4": ("fig4",),
-        "overload": ("overload",),
-        "cop": ("cop",),
-        "all": ("fig3", "fig4", "overload", "cop"),
-    }
+
+def _append_step_summary(lines) -> None:
+    """Append markdown to the GitHub Actions job summary, when in CI."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+    except OSError:
+        pass  # a broken summary file must not mask the gate verdict
+
+
+def run_gate(args) -> int:
+    """Run the performance-regression gate and report per metric.
+
+    Failing figures additionally get a critical-path attribution pass:
+    the figure's profile scenario is re-captured and diffed against the
+    committed ``PROFILE_<figure>.json`` to rank the suspect layers.
+    """
+    from repro.bench.profiles import attribute_figure, capture_observability
+    from repro.bench.regression import run_check
+    from repro.obs.sampler import write_json_atomic
+
+    figures = GATE_FIGURES[args.fig]
     history = args.history or os.path.join(
         args.baseline_dir, "BENCH_history.jsonl"
     )
     try:
         ok, reports = run_check(
             args.baseline_dir,
-            figures=figures[args.fig],
+            figures=figures,
             history_path=history,
             tolerance_scale=args.tolerance,
         )
     except ReproError as error:
         print(f"regression gate error: {error}")
         return 2
+
+    # Fresh observability artifacts (profiles + time series) per checked
+    # figure.  Captured once and reused by the attribution pass below.
+    fresh_profiles = {}
+    if args.obs_dir is not None:
+        from repro.bench.profiles import profile_path, timeseries_path
+
+        os.makedirs(args.obs_dir, exist_ok=True)
+        for figure in figures:
+            try:
+                profile, timeseries = capture_observability(
+                    figure, with_timeseries=True
+                )
+            except ReproError as error:
+                print(f"  note: {figure} observability capture failed: {error}")
+                continue
+            fresh_profiles[figure] = profile
+            write_json_atomic(profile, profile_path(args.obs_dir, figure))
+            write_json_atomic(timeseries, timeseries_path(args.obs_dir, figure))
+        print(f"observability artifacts written to {args.obs_dir}")
+
     for report in reports:
         print(f"== {report.figure} regression check ==")
         for point in report.points:
@@ -334,8 +398,71 @@ def run_gate(args) -> int:
             f"  {report.figure}: "
             + ("PASS" if report.ok else f"FAIL ({len(report.regressions)} regressions)")
         )
+        if not report.ok:
+            try:
+                suspect_lines = attribute_figure(
+                    report.figure,
+                    args.baseline_dir,
+                    fresh=fresh_profiles.get(report.figure),
+                )
+            except ReproError as error:
+                suspect_lines = [f"attribution unavailable: {error}"]
+            print(f"  -- {report.figure} critical-path suspects --")
+            for line in suspect_lines:
+                print(f"  {line}")
+            _append_step_summary(
+                [f"### {report.figure} regression suspects", "```"]
+                + suspect_lines
+                + ["```"]
+            )
     print(f"history appended to {history}")
     return 0 if ok else 1
+
+
+def run_update_baseline(args) -> int:
+    """Refresh committed BENCH_* baselines and their PROFILE_* profiles.
+
+    Every point of each selected figure's committed baseline is re-run
+    with its recorded parameters and the document rewritten atomically;
+    the figure's critical-path profile is re-captured in the same pass so
+    the two can never drift apart.  ``--fig all`` also refreshes the
+    chaos profile (which has no bench baseline of its own).
+    """
+    from repro.bench.baseline import echo_record
+    from repro.bench.profiles import capture_profile, profile_path
+    from repro.bench.regression import load_baseline, rerun_point
+    from repro.obs.sampler import write_json_atomic
+
+    figures = GATE_FIGURES[args.fig]
+    failures = 0
+    for figure in figures:
+        bench_path = os.path.join(args.baseline_dir, f"BENCH_{figure}.json")
+        try:
+            document = load_baseline(bench_path)
+            points = []
+            for point in document["points"]:
+                rerun = rerun_point(figure, point)
+                fresh = rerun if isinstance(rerun, dict) else echo_record(rerun)
+                points.append(fresh)
+            write_json_atomic(
+                {"figure": figure, "points": points}, bench_path
+            )
+            print(f"  wrote {bench_path}")
+            target = profile_path(args.baseline_dir, figure)
+            write_json_atomic(capture_profile(figure), target)
+            print(f"  wrote {target}")
+        except (OSError, ReproError) as error:
+            failures += 1
+            print(f"  {figure} baseline update FAILED: {error}")
+    if args.fig == "all":
+        try:
+            target = profile_path(args.baseline_dir, "chaos")
+            write_json_atomic(capture_profile("chaos"), target)
+            print(f"  wrote {target}")
+        except ReproError as error:
+            failures += 1
+            print(f"  chaos profile update FAILED: {error}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

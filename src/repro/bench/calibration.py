@@ -131,3 +131,42 @@ def build_testbed(cores: int = 4) -> Testbed:
         TcpStack(host, config=TESTBED_TCP_CONFIG)
         RdmaDevice(host, attrs=TESTBED_DEVICE_ATTRS)
     return Testbed(env=env, fabric=fabric)
+
+
+def testbed_registry(bed: Testbed):
+    """A :class:`~repro.trace.MetricsRegistry` over the testbed's probes.
+
+    Mirrors the host/link sections of ``BftCluster.metrics_registry()``
+    so the echo figures can feed the same ``repro.obs`` sampler: CPU
+    utilisation and NIC RNR counters per machine, utilisation and frame
+    counters per link direction.
+    """
+    from repro.trace import MetricsRegistry
+
+    registry = MetricsRegistry(name="testbed")
+    for host in bed.fabric.hosts():
+        registry.register(f"host.{host.name}.cpu", host.cpu.tracker)
+        nic = getattr(host, "nic", None)
+        if nic is not None:
+            registry.register_many(
+                f"host.{host.name}.nic",
+                {
+                    "rnr_naks": nic.rnr_naks,
+                    "rnr_retries": nic.rnr_retries,
+                    "rnr_exhausted": nic.rnr_exhausted,
+                },
+            )
+    for pair in sorted(bed.fabric._cables):
+        cable = bed.fabric._cables[pair]
+        for link in (cable.forward, cable.backward):
+            registry.register_many(
+                f"link.{link.name}",
+                {
+                    "utilization": link.tracker,
+                    "frames_sent": link.frames_sent,
+                    "frames_dropped": link.frames_dropped,
+                    "bytes_sent": link.bytes_sent,
+                },
+                if_exists="suffix",
+            )
+    return registry

@@ -53,8 +53,15 @@ def run_cop_point(
     batch_size: int = 8,
     handler_cost: float = SIGNATURE_HANDLER_COST,
     rubin_config: Optional[RubinConfig] = None,
+    tracer=None,
+    sampler=None,
 ) -> Dict[str, Any]:
-    """One COP sweep point; returns a JSON-ready baseline record."""
+    """One COP sweep point; returns a JSON-ready baseline record.
+
+    ``tracer``/``sampler`` hook the run up to ``repro.obs`` (per-request
+    span trees with group-tagged phases, metrics time series); both
+    default off.
+    """
     if messages % num_clients:
         raise ReproError("messages must divide evenly across clients")
     config = BftConfig(
@@ -73,9 +80,13 @@ def run_cop_point(
         config=config,
         num_clients=num_clients,
         rubin_config=rubin_config,
+        tracer=tracer,
     )
     cluster.start()
     env = cluster.env
+    if sampler is not None:
+        sampler.bind(env, cluster.metrics_registry())
+        sampler.start()
 
     per_client = messages // num_clients
     payload = b"\x5a" * payload_bytes
@@ -101,6 +112,9 @@ def run_cop_point(
             )
     env.run(until=env.all_of(pending))
     duration = env.now - start
+    if sampler is not None:
+        sampler.sample_now()
+        sampler.stop()
 
     snapshot = cluster.metrics_registry().snapshot()
     per_group_committed = {

@@ -27,7 +27,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.bench.calibration import TESTBED_DEVICE_ATTRS, Testbed, build_testbed
+from repro.bench.calibration import (
+    TESTBED_DEVICE_ATTRS,
+    Testbed,
+    build_testbed,
+    testbed_registry,
+)
 from repro.bench.results import EchoResult
 from repro.errors import ReproError
 from repro.nio import ByteBuffer
@@ -54,8 +59,19 @@ __all__ = [
 ECHO_PORT = 7777
 
 
-def run_echo(transport: str, payload_bytes: int, messages: int) -> EchoResult:
-    """Dispatch one echo run by transport name."""
+def run_echo(
+    transport: str,
+    payload_bytes: int,
+    messages: int,
+    tracer=None,
+    sampler=None,
+) -> EchoResult:
+    """Dispatch one echo run by transport name.
+
+    ``tracer``/``sampler`` (observability hooks, see :mod:`repro.obs`)
+    are only wired through the RUBIN channel workload — the raw-verbs
+    and TCP baselines are comparison points, not the profiled system.
+    """
     workloads = {
         "tcp": tcp_echo,
         "rdma_send_recv": rdma_send_recv_echo,
@@ -66,6 +82,15 @@ def run_echo(transport: str, payload_bytes: int, messages: int) -> EchoResult:
     if workload is None:
         raise ReproError(
             f"unknown transport {transport!r} (have {sorted(workloads)})"
+        )
+    if transport == "rdma_channel":
+        return workload(
+            payload_bytes, messages, tracer=tracer, sampler=sampler
+        )
+    if tracer is not None or sampler is not None:
+        raise ReproError(
+            f"tracer/sampler hooks are only supported on rdma_channel, "
+            f"not {transport!r}"
         )
     return workload(payload_bytes, messages)
 
@@ -320,13 +345,29 @@ def rubin_channel_echo(
     payload_bytes: int,
     messages: int,
     config: Optional[RubinConfig] = None,
+    tracer=None,
+    sampler=None,
 ) -> EchoResult:
-    """Echo over the RUBIN channel with the Section-IV optimizations."""
+    """Echo over the RUBIN channel with the Section-IV optimizations.
+
+    With ``tracer`` each message becomes one causal trace (root span
+    ``echo.request``) whose context rides the channel writes in both
+    directions; with ``sampler`` (a bound-free
+    :class:`~repro.obs.MetricsSampler`) the testbed's CPU/NIC/link
+    probes are sampled on the sim clock for the duration of the run.
+    Both default off and leave the schedule untouched.
+    """
     bed = build_testbed()
     env = bed.env
     result = EchoResult("rdma_channel", payload_bytes, messages)
     if config is None:
         config = RubinConfig()
+    if tracer is not None:
+        from repro.trace import install_tracer
+
+        install_tracer(env, tracer)
+    if sampler is not None:
+        sampler.bind(env, testbed_registry(bed))
 
     client_cm = ConnectionManager(bed.client.stack("rdma"))
     server_cm = ConnectionManager(bed.server.stack("rdma"))
@@ -363,7 +404,7 @@ def rubin_channel_echo(
                 got += n
         return got
 
-    def write_all(channel, host, buffer):
+    def write_all(channel, host, buffer, trace_ctx=None):
         """Write one message from a *reused* application buffer.
 
         Reuse is the point of the zero-copy send path: the buffer is
@@ -371,7 +412,7 @@ def rubin_channel_echo(
         directly (paper, Section IV).
         """
         while buffer.has_remaining():
-            n = yield channel.write(buffer)
+            n = yield channel.write(buffer, trace_ctx=trace_ctx)
             if n == 0:
                 yield env.timeout(0.2e-6)
 
@@ -389,24 +430,42 @@ def rubin_channel_echo(
             # Echo straight from the same application buffer: it was
             # registered on the first write and reused ever since.
             inbuf.flip()
-            yield from write_all(accepted, host, inbuf)
+            yield from write_all(
+                accepted, host, inbuf,
+                trace_ctx=accepted.last_read_trace_ctx,
+            )
 
     def client(env):
         host = bed.client
         while not client_chan.established:
             yield env.timeout(1e-6)
+        if sampler is not None:
+            sampler.start()
         outbuf = ByteBuffer.allocate(max(payload_bytes, 1))
         outbuf.put(b"\xa5" * payload_bytes)
         scratch = ByteBuffer.allocate(max(payload_bytes, 1))
         start = env.now
-        for _ in range(messages):
+        for i in range(messages):
             t0 = env.now
+            root = None
+            if tracer is not None and tracer.enabled:
+                root = tracer.start_trace(
+                    "echo.request", layer="client", track="client", msg=i
+                )
             outbuf.rewind()
-            yield from write_all(client_chan, host, outbuf)
+            yield from write_all(
+                client_chan, host, outbuf,
+                trace_ctx=root.context if root is not None else None,
+            )
             scratch.clear()
             yield from read_exactly(client_chan, host, scratch, payload_bytes)
             result.latencies_us.append((env.now - t0) * 1e6)
+            if root is not None:
+                root.end()
         result.duration_s = env.now - start
+        if sampler is not None:
+            sampler.sample_now()
+            sampler.stop()
 
     env.process(server(env), name="rubin.server")
     done = env.process(client(env), name="rubin.client")

@@ -47,6 +47,8 @@ def run_overload(
     rubin_config: Optional[RubinConfig] = None,
     default_replica_class: Optional[type] = None,
     client_class: Optional[type] = None,
+    tracer=None,
+    sampler=None,
 ) -> Dict[str, Any]:
     """One overload run; returns a JSON-ready baseline point.
 
@@ -55,6 +57,10 @@ def run_overload(
     than ``admission_budget`` admits per replica — replicas shed the
     excess with ``Busy`` and clients converge via seeded exponential
     backoff.  The run completes when every request has been executed.
+
+    ``tracer`` is handed to the cluster (every invocation roots a
+    ``bft.request`` trace); ``sampler`` runs over the cluster's metrics
+    registry for the duration of the burst.  Both default off.
     """
     if messages % num_clients:
         raise ReproError("messages must divide evenly across clients")
@@ -69,9 +75,13 @@ def run_overload(
         rubin_config=rubin_config,
         default_replica_class=default_replica_class,
         client_class=client_class,
+        tracer=tracer,
     )
     cluster.start()
     env = cluster.env
+    if sampler is not None:
+        sampler.bind(env, cluster.metrics_registry())
+        sampler.start()
 
     per_client = messages // num_clients
     payload = b"\x5a" * payload_bytes
@@ -98,6 +108,9 @@ def run_overload(
     done = env.all_of(pending)
     env.run(until=done)
     duration = env.now - start
+    if sampler is not None:
+        sampler.sample_now()
+        sampler.stop()
 
     shed_total = sum(
         replica.shed_requests.value for replica in cluster.replicas.values()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.bench.calibration import Testbed, build_testbed
+from repro.bench.calibration import Testbed, build_testbed, testbed_registry
 from repro.bench.results import EchoResult
 from repro.crypto import KeyStore
 from repro.errors import ReproError
@@ -40,12 +40,19 @@ def reptor_echo(
     batch: int = FIG4_BATCH,
     authenticate: bool = True,
     rubin_config: Optional[RubinConfig] = None,
+    tracer=None,
+    sampler=None,
 ) -> EchoResult:
     """One Figure-4 run: pipelined echo over the Reptor stack.
 
     ``transport`` is ``"nio"`` (the Java NIO selector baseline) or
     ``"rubin"``.  Latency is measured per message from submission to the
     matching reply; throughput is completed echoes per second.
+
+    ``tracer`` roots one ``echo.request`` trace per message (the context
+    rides ``connection.send`` through framing, signing, the channel and
+    the selector); ``sampler`` records the testbed's probe time series
+    for the run.  Both default off with zero schedule impact.
     """
     if transport not in ("nio", "rubin"):
         raise ReproError(f"transport must be 'nio' or 'rubin', not {transport!r}")
@@ -53,6 +60,12 @@ def reptor_echo(
     env = bed.env
     label = "rubin" if transport == "rubin" else "nio_tcp"
     result = EchoResult(label, payload_bytes, messages)
+    if tracer is not None:
+        from repro.trace import install_tracer
+
+        install_tracer(env, tracer)
+    if sampler is not None:
+        sampler.bind(env, testbed_registry(bed))
 
     config = ReptorConfig(
         window=window,
@@ -80,7 +93,12 @@ def reptor_echo(
         def loop(env):
             for _ in range(messages):
                 message = yield connection.receive()
-                yield connection.send(message)
+                # Attribute the reply path to the most recently read
+                # frame's trace (exact under rubin; nio has no ctx).
+                reply_ctx = getattr(
+                    connection.channel, "last_read_trace_ctx", None
+                )
+                yield connection.send(message, trace_ctx=reply_ctx)
 
         env.process(loop(env), name="fig4.server")
 
@@ -88,14 +106,22 @@ def reptor_echo(
 
     payload = b"\xa5" * payload_bytes
     submit_times: dict[int, float] = {}
+    roots: dict[int, object] = {}
 
     def client_proc(env):
         connection = yield client.connect("server", ECHO_PORT)
+        if sampler is not None:
+            sampler.start()
         start = env.now
 
         def pump(env):
             for i in range(messages):
-                yield connection.send(payload)
+                if tracer is not None and tracer.enabled:
+                    roots[i] = tracer.start_trace(
+                        "echo.request", layer="client", track="client", msg=i
+                    )
+                ctx = roots[i].context if i in roots else None
+                yield connection.send(payload, trace_ctx=ctx)
                 # Latency is measured from *window admission* (Reptor's
                 # send() returning) to the reply, so the figure reflects
                 # the stack's service time rather than the unbounded
@@ -106,7 +132,12 @@ def reptor_echo(
         for i in range(messages):
             yield connection.receive()
             result.latencies_us.append((env.now - submit_times[i]) * 1e6)
+            if i in roots:
+                roots[i].end()
         result.duration_s = env.now - start
+        if sampler is not None:
+            sampler.sample_now()
+            sampler.stop()
 
     done = env.process(client_proc(env), name="fig4.client")
     env.run(until=done)

@@ -530,6 +530,7 @@ class Replica:
                     layer="bft",
                     parent=ctx,
                     track=self.replica_id,
+                    **self._span_tags(),
                 )
             self._kick_batcher()
         else:
@@ -670,6 +671,7 @@ class Replica:
                 parent=ctx,
                 track=self.replica_id,
                 seq=seq,
+                **self._span_tags(),
             )
             self._begin_phase(seq, "prepare", ctx)
         self._broadcast(pre_prepare, trace_ctx=ctx)

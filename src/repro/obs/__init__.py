@@ -1,0 +1,67 @@
+"""repro.obs — continuous observability for the simulation.
+
+Three pillars on top of :mod:`repro.trace`:
+
+* :mod:`repro.obs.sampler` — :class:`MetricsSampler`, a sim-clock
+  process snapshotting every :class:`~repro.trace.MetricsRegistry`
+  probe into a bounded ring of timestamped samples, with derived
+  per-counter rates, a ``repro.obs/timeseries/v1`` JSON dump and a
+  Perfetto counter-track exporter;
+* :mod:`repro.obs.critical_path` — per-request *blocking chain*
+  extraction over recorded span trees, aggregated into a per-node
+  critical-path profile (p50/p99 contribution, self vs. wait time)
+  and a flamegraph-style collapsed-stack report
+  (``repro.obs/critical_path/v1``);
+* :mod:`repro.obs.attribution` — ranked "suspect layers" diff between
+  two profiles, wired into the perf gate so a tolerance failure names
+  the layer that moved.
+
+CLI: ``python -m repro.obs report <artifact.json>`` renders any of the
+three artifact kinds (time-series dump, profile, exported Chrome trace);
+``python -m repro.obs diff <baseline> <fresh>`` ranks suspects.
+
+Everything here is default-off and observational: no sampler, no extra
+events; with a sampler, only its own wake-up timers enter the agenda and
+the protocol schedule is bit-identical (pinned by test).
+"""
+
+from repro.obs.attribution import rank_suspects, render_suspects
+from repro.obs.critical_path import (
+    PROFILE_SCHEMA,
+    CriticalPathReport,
+    SpanRecord,
+    critical_path,
+    load_profile_document,
+    node_label,
+    render_flame,
+    render_profile,
+    spans_from_chrome_trace,
+)
+from repro.obs.sampler import (
+    TIMESERIES_SCHEMA,
+    MetricsSampler,
+    counter_track_events,
+    load_timeseries,
+    render_timeseries,
+    write_json_atomic,
+)
+
+__all__ = [
+    "MetricsSampler",
+    "TIMESERIES_SCHEMA",
+    "counter_track_events",
+    "load_timeseries",
+    "render_timeseries",
+    "write_json_atomic",
+    "PROFILE_SCHEMA",
+    "CriticalPathReport",
+    "SpanRecord",
+    "critical_path",
+    "node_label",
+    "render_profile",
+    "render_flame",
+    "spans_from_chrome_trace",
+    "load_profile_document",
+    "rank_suspects",
+    "render_suspects",
+]

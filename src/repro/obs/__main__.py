@@ -1,0 +1,118 @@
+"""Render observability artifacts from the command line.
+
+Usage::
+
+    python -m repro.obs report ARTIFACT [ARTIFACT...]   # auto-detects kind
+    python -m repro.obs report TRACE.json --flame       # flame view too
+    python -m repro.obs diff PROFILE_base.json PROFILE_fresh.json
+
+``report`` accepts any artifact a figure run produces:
+
+* a ``repro.obs/timeseries/v1`` dump — per-series summary table;
+* a ``repro.obs/critical_path/v1`` profile — critical-path table
+  (+ collapsed-stack flame view with ``--flame``);
+* an exported Chrome trace (``{"traceEvents": [...]}``) — the spans are
+  rebuilt and profiled on the fly.
+
+``diff`` ranks the suspect layers between two committed profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.obs.attribution import rank_suspects, render_suspects
+from repro.obs.critical_path import (
+    PROFILE_SCHEMA,
+    critical_path,
+    load_profile_document,
+    render_flame,
+    render_profile,
+    spans_from_chrome_trace,
+)
+from repro.obs.sampler import (
+    TIMESERIES_SCHEMA,
+    load_timeseries,
+    render_timeseries,
+)
+
+
+def _report_one(path: str, top, flame: bool) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    schema = document.get("schema")
+    print(f"== {path} ==")
+    if schema == TIMESERIES_SCHEMA:
+        print(render_timeseries(load_timeseries(path), top=top))
+    elif schema == PROFILE_SCHEMA:
+        profile = load_profile_document(path)
+        print(render_profile(profile, top=top))
+        if flame:
+            print()
+            print(render_flame(profile))
+    elif "traceEvents" in document:
+        spans = spans_from_chrome_trace(document["traceEvents"])
+        report = critical_path(spans)
+        print(render_profile(report.to_dict(), top=top))
+        if flame:
+            print()
+            print(report.render_flame())
+    else:
+        raise ReproError(
+            f"{path}: unrecognised artifact (expected {TIMESERIES_SCHEMA}, "
+            f"{PROFILE_SCHEMA}, or a Chrome traceEvents document)"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render a time-series dump, profile, or trace"
+    )
+    report.add_argument("artifacts", nargs="+", metavar="ARTIFACT")
+    report.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="limit tables to the top N rows",
+    )
+    report.add_argument(
+        "--flame", action="store_true",
+        help="also print the collapsed-stack flame view",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="rank suspect layers between two profiles"
+    )
+    diff.add_argument("baseline", metavar="PROFILE_BASELINE")
+    diff.add_argument("fresh", metavar="PROFILE_FRESH")
+    diff.add_argument("--top", type=int, default=8, metavar="N")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "report":
+            for index, path in enumerate(args.artifacts):
+                if index:
+                    print()
+                _report_one(path, args.top, args.flame)
+        else:
+            baseline = load_profile_document(args.baseline)
+            fresh = load_profile_document(args.fresh)
+            suspects = rank_suspects(baseline, fresh)
+            for line in render_suspects(
+                suspects, top=args.top, baseline=baseline, fresh=fresh
+            ):
+                print(line)
+    except (OSError, json.JSONDecodeError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

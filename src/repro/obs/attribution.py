@@ -1,0 +1,100 @@
+"""Regression attribution: which layer moved when a benchmark regressed.
+
+Compares a fresh critical-path profile against a committed baseline
+profile (both ``repro.obs/critical_path/v1`` documents) node by node and
+ranks the *suspect layers* — the nodes whose mean self-time contribution
+to the blocking chain moved the most.  This is what turns the perf
+gate's "latency_us.p50 FAIL (+28%)" into "``bft.execute`` self-time
++38%": the gate knows a figure regressed, the profile diff says where
+the extra time went.
+
+Ranking is by absolute mean-contribution delta (microseconds), so a
+layer that *shrank* while another grew still shows up — a shifted
+bottleneck is exactly what a reviewer needs to see.  Nodes absent from
+one side are treated as zero (new instrumentation or a vanished phase
+both read as a full-size delta).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["rank_suspects", "render_suspects"]
+
+
+def rank_suspects(
+    baseline: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    min_delta_us: float = 0.01,
+) -> List[Dict[str, Any]]:
+    """Ranked per-node self-time deltas between two profile documents.
+
+    Returns one record per node whose mean critical-path contribution
+    moved by at least ``min_delta_us`` microseconds, sorted by absolute
+    delta descending (the #1 suspect first).
+    """
+    baseline_nodes = baseline.get("nodes", {})
+    fresh_nodes = fresh.get("nodes", {})
+    suspects: List[Dict[str, Any]] = []
+    for label in sorted(set(baseline_nodes) | set(fresh_nodes)):
+        b_mean = float(baseline_nodes.get(label, {}).get("mean_us", 0.0))
+        f_mean = float(fresh_nodes.get(label, {}).get("mean_us", 0.0))
+        delta = f_mean - b_mean
+        if abs(delta) < min_delta_us:
+            continue
+        suspects.append(
+            {
+                "node": label,
+                "baseline_us": b_mean,
+                "fresh_us": f_mean,
+                "delta_us": delta,
+                "delta_pct": (
+                    delta / b_mean * 100.0 if b_mean > 0 else None
+                ),
+            }
+        )
+    suspects.sort(key=lambda s: (-abs(s["delta_us"]), s["node"]))
+    return suspects
+
+
+def _e2e_line(
+    baseline: Mapping[str, Any], fresh: Mapping[str, Any]
+) -> Optional[str]:
+    b = baseline.get("end_to_end_us", {}).get("mean")
+    f = fresh.get("end_to_end_us", {}).get("mean")
+    if b is None or f is None:
+        return None
+    delta = f - b
+    pct = f", {delta / b * 100.0:+.1f}%" if b > 0 else ""
+    return f"end-to-end mean {b:.2f}us -> {f:.2f}us ({delta:+.2f}us{pct})"
+
+
+def render_suspects(
+    suspects: List[Mapping[str, Any]],
+    top: int = 8,
+    baseline: Optional[Mapping[str, Any]] = None,
+    fresh: Optional[Mapping[str, Any]] = None,
+) -> List[str]:
+    """Human-readable ranked suspect lines (gate output / CI summary)."""
+    lines: List[str] = []
+    if baseline is not None and fresh is not None:
+        e2e = _e2e_line(baseline, fresh)
+        if e2e:
+            lines.append(e2e)
+    if not suspects:
+        lines.append(
+            "no critical-path node moved — the regression is outside "
+            "the traced path (or below the noise floor)"
+        )
+        return lines
+    for rank, suspect in enumerate(suspects[:top], start=1):
+        pct = suspect.get("delta_pct")
+        pct_text = f"{pct:+.1f}%" if pct is not None else "new"
+        lines.append(
+            f"#{rank} {suspect['node']}  self-time {pct_text} "
+            f"({suspect['delta_us']:+.2f}us mean, "
+            f"{suspect['baseline_us']:.2f} -> {suspect['fresh_us']:.2f}us)"
+        )
+    if len(suspects) > top:
+        lines.append(f"... {len(suspects) - top} more nodes moved")
+    return lines

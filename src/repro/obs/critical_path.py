@@ -1,0 +1,443 @@
+"""Per-request critical-path profiling over recorded span trees.
+
+``latency_breakdown`` answers "how much time did each layer spend inside
+a request's window" by interval union — overlap-tolerant, but blind to
+*causality*: a layer can rack up big unions while never gating the
+request.  This module extracts, per trace, the **blocking chain**: the
+sequence of spans that actually gated completion.
+
+The walk is backwards from the root span's end.  At every point we ask
+"which child span was still running when the remaining window closed?"
+and descend into it; windows not covered by any (closed, non-superseded)
+child are attributed to the parent as *self-time*.  The resulting
+segments are contiguous and partition the root window exactly, so per
+node::
+
+    self-time  = chain segments where the node itself was the deepest
+                 cover (nothing below it explains that slice)
+    wait-time  = time the node sat on the chain while a descendant was
+                 the actual cover (its on-chain window minus self-time)
+
+Superseded spans (``attrs["superseded"]`` — phase spans restarted by a
+view change) and spans still open at capture are never descended into:
+their time falls to the parent, exactly like any other unexplained wait.
+COP group muxing is handled by group-qualifying node labels
+(``bft.group.2.prepare``) via :func:`repro.trace.breakdown.span_row`.
+
+Aggregation across traces yields, per node label, nearest-rank p50/p99
+of per-trace chain contribution plus self/wait totals, and a
+flamegraph-style collapsed-stack view (``root;reptor.send;qp.send 12.4``)
+of where end-to-end time concentrates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.sim.monitor import SummaryStats
+from repro.trace.breakdown import span_row
+from repro.trace.core import NullTracer, SpanContext, Tracer
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "SpanRecord",
+    "node_label",
+    "critical_path",
+    "CriticalPathReport",
+    "spans_from_chrome_trace",
+    "render_profile",
+    "render_flame",
+    "load_profile_document",
+]
+
+#: Schema tag of the JSON profile documents this module reads/writes.
+PROFILE_SCHEMA = "repro.obs/critical_path/v1"
+
+_US = 1e6
+
+
+class SpanRecord:
+    """A minimal span look-alike rebuilt from exported trace events.
+
+    Duck-types the :class:`~repro.trace.Span` surface the profiler and
+    the breakdown need (context/parent/start/end/attrs), so a critical
+    path can be computed from a ``TRACE_*.json`` artifact long after the
+    run's tracer is gone.
+    """
+
+    __slots__ = (
+        "name", "layer", "track", "context", "parent_id",
+        "start", "end_time", "attrs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        layer: str,
+        track: str,
+        context: SpanContext,
+        parent_id: Optional[int],
+        start: float,
+        end_time: Optional[float],
+        attrs: Dict[str, Any],
+    ):
+        self.name = name
+        self.layer = layer
+        self.track = track
+        self.context = context
+        self.parent_id = parent_id
+        self.start = start
+        self.end_time = end_time
+        self.attrs = attrs
+
+    @property
+    def is_open(self) -> bool:
+        return self.end_time is None
+
+    @property
+    def duration(self) -> float:
+        if self.end_time is None:
+            return 0.0
+        return self.end_time - self.start
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpanRecord {self.name!r} trace={self.context.trace_id} "
+            f"id={self.context.span_id}>"
+        )
+
+
+def node_label(span: Any) -> str:
+    """Profile node a span aggregates under: its name, group-qualified.
+
+    Under COP the same phase runs in every group; folding them together
+    would hide a single slow group, so group-tagged spans keep their
+    group in the label (``bft.group.2.prepare``), exactly like the
+    breakdown rows.
+    """
+    attrs = span.attrs
+    if attrs and attrs.get("group") is not None:
+        return span_row(span)
+    return span.name
+
+
+def _blocking(span: Any) -> bool:
+    """Whether the walk may descend into ``span``."""
+    if span.is_open:
+        return False
+    attrs = span.attrs
+    if attrs and attrs.get("superseded"):
+        return False
+    return True
+
+
+def _walk_trace(
+    root: Any,
+    children_of: Mapping[int, List[Any]],
+) -> Tuple[
+    List[Tuple[Tuple[str, ...], Any, float, float]],
+    List[Tuple[Any, float, float]],
+]:
+    """Blocking-chain segments of one trace.
+
+    Returns ``(stack, span, lo, hi)`` tuples whose windows are disjoint
+    and sum exactly to the root's duration.  ``on_path`` windows (for
+    wait-time accounting) are derived by the caller from the recursion:
+    every ``_walk`` invocation covers one on-chain window of its span.
+    """
+    segments: List[Tuple[Tuple[str, ...], Any, float, float]] = []
+    on_path: List[Tuple[Any, float, float]] = []
+
+    def walk(span: Any, lo: float, hi: float, stack: Tuple[str, ...]) -> None:
+        label = node_label(span)
+        stack = stack + (label,)
+        on_path.append((span, lo, hi))
+        kids = [
+            child
+            for child in children_of.get(span.context.span_id, ())
+            if _blocking(child)
+        ]
+        # Latest-ending child first: the one still running when the
+        # remaining window closes is the one that gated it.
+        kids.sort(
+            key=lambda c: (c.end_time, c.start, c.context.span_id),
+            reverse=True,
+        )
+        ptr = hi
+        for child in kids:
+            if ptr <= lo:
+                break
+            child_end = min(child.end_time, ptr)
+            child_start = max(child.start, lo)
+            if child_end <= child_start:
+                continue
+            if child_end < ptr:
+                # The window (child_end, ptr] was covered by no child:
+                # the span itself was the deepest cover there.
+                segments.append((stack, span, child_end, ptr))
+            walk(child, child_start, child_end, stack)
+            ptr = child_start
+        if ptr > lo:
+            segments.append((stack, span, lo, ptr))
+
+    walk(root, root.start, root.end_time, ())
+    return segments, on_path
+
+
+class CriticalPathReport:
+    """Aggregated critical-path profile over one or more traces."""
+
+    def __init__(self, chains: List[Dict[str, Any]]):
+        #: One entry per completed trace: {"trace_id", "end_to_end",
+        #: "segments", "on_path"}.
+        self.chains = chains
+
+    # -- per-node aggregation -------------------------------------------
+
+    @property
+    def traces(self) -> int:
+        return len(self.chains)
+
+    def end_to_end_stats(self) -> SummaryStats:
+        return SummaryStats([c["end_to_end"] for c in self.chains])
+
+    def labels(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for chain in self.chains:
+            for _stack, span, _lo, _hi in chain["segments"]:
+                seen.setdefault(node_label(span), None)
+        return sorted(seen)
+
+    def node_contributions(self, label: str) -> List[float]:
+        """Per-trace self-time of ``label`` (0.0 where it never gated)."""
+        contributions = []
+        for chain in self.chains:
+            total = sum(
+                hi - lo
+                for _stack, span, lo, hi in chain["segments"]
+                if node_label(span) == label
+            )
+            contributions.append(total)
+        return contributions
+
+    def node_stats(self, label: str) -> SummaryStats:
+        return SummaryStats(self.node_contributions(label))
+
+    def _node_totals(self, label: str) -> Tuple[float, float, int]:
+        """(self_s, wait_s, hits) summed across all traces."""
+        self_s = 0.0
+        path_s = 0.0
+        hits = 0
+        for chain in self.chains:
+            for _stack, span, lo, hi in chain["segments"]:
+                if node_label(span) == label:
+                    self_s += hi - lo
+            for span, lo, hi in chain["on_path"]:
+                if node_label(span) == label:
+                    path_s += hi - lo
+                    hits += 1
+        return self_s, max(0.0, path_s - self_s), hits
+
+    def flame(self) -> List[Tuple[str, float]]:
+        """Collapsed stacks (``a;b;c``, total seconds), largest first."""
+        totals: Dict[str, float] = {}
+        for chain in self.chains:
+            for stack, _span, lo, hi in chain["segments"]:
+                key = ";".join(stack)
+                totals[key] = totals.get(key, 0.0) + (hi - lo)
+        return sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        e2e = self.end_to_end_stats()
+        total_e2e = sum(c["end_to_end"] for c in self.chains)
+        nodes: Dict[str, Any] = {}
+        for label in self.labels():
+            stats = self.node_stats(label)
+            self_s, wait_s, hits = self._node_totals(label)
+            nodes[label] = {
+                "p50_us": stats.p50 * _US,
+                "p99_us": stats.p99 * _US,
+                "mean_us": stats.mean * _US,
+                "share": (self_s / total_e2e) if total_e2e > 0 else 0.0,
+                "self_us_total": self_s * _US,
+                "wait_us_total": wait_s * _US,
+                "hits": hits,
+            }
+        return {
+            "schema": PROFILE_SCHEMA,
+            "traces": self.traces,
+            "end_to_end_us": {
+                "p50": e2e.p50 * _US,
+                "p99": e2e.p99 * _US,
+                "mean": e2e.mean * _US,
+            },
+            "nodes": nodes,
+            "flame": [
+                {"stack": stack, "us": seconds * _US}
+                for stack, seconds in self.flame()
+            ],
+        }
+
+    def render(self, top: Optional[int] = None) -> str:
+        return render_profile(self.to_dict(), top=top)
+
+    def render_flame(self, top: int = 30) -> str:
+        return render_flame(self.to_dict(), top=top)
+
+
+def critical_path(
+    source: Union[Tracer, NullTracer, Iterable[Any]],
+    trace_id: Optional[int] = None,
+) -> CriticalPathReport:
+    """Critical-path profile of every completed trace in ``source``.
+
+    ``source`` is a tracer or any iterable of span-like objects
+    (:class:`SpanRecord` works).  Traces whose root never closed are
+    skipped — an in-flight request has no completion to attribute.
+    """
+    spans = source.spans if hasattr(source, "spans") else list(source)
+    by_trace: Dict[int, List[Any]] = {}
+    for span in spans:
+        if trace_id is not None and span.context.trace_id != trace_id:
+            continue
+        by_trace.setdefault(span.context.trace_id, []).append(span)
+
+    chains: List[Dict[str, Any]] = []
+    for tid, trace_spans in sorted(by_trace.items()):
+        roots = [s for s in trace_spans if s.parent_id is None]
+        if not roots:
+            continue
+        root = min(roots, key=lambda s: (s.start, s.context.span_id))
+        if root.is_open or root.duration <= 0:
+            continue
+        children_of: Dict[int, List[Any]] = {}
+        for span in trace_spans:
+            if span.parent_id is not None:
+                children_of.setdefault(span.parent_id, []).append(span)
+        segments, on_path = _walk_trace(root, children_of)
+        chains.append(
+            {
+                "trace_id": tid,
+                "end_to_end": root.duration,
+                "segments": segments,
+                "on_path": on_path,
+            }
+        )
+    return CriticalPathReport(chains)
+
+
+# ---------------------------------------------------------------------------
+# rebuilding spans from exported Chrome traces
+# ---------------------------------------------------------------------------
+
+
+def spans_from_chrome_trace(
+    events: Iterable[Mapping[str, Any]],
+) -> List[SpanRecord]:
+    """Rebuild :class:`SpanRecord` objects from exported trace events.
+
+    Only events our exporter produced with span identity
+    (``args.trace_id``/``args.span_id``) are considered; metadata and
+    counter events are skipped.  Events marked ``args.open`` come back
+    as open spans (and are therefore never on a blocking chain).
+    """
+    records: List[SpanRecord] = []
+    for event in events:
+        if event.get("ph") not in ("X", "i"):
+            continue
+        args = event.get("args") or {}
+        if "trace_id" not in args or "span_id" not in args:
+            continue
+        attrs = {
+            key: value
+            for key, value in args.items()
+            if key not in ("trace_id", "span_id", "parent_id", "layer", "open")
+        }
+        start = float(event["ts"]) / _US
+        if args.get("open"):
+            end_time: Optional[float] = None
+        else:
+            end_time = start + float(event.get("dur", 0.0)) / _US
+        records.append(
+            SpanRecord(
+                name=event.get("name", "?"),
+                layer=args.get("layer", event.get("cat", "?")),
+                track=str(event.get("tid", "?")),
+                context=SpanContext(
+                    trace_id=int(args["trace_id"]),
+                    span_id=int(args["span_id"]),
+                ),
+                parent_id=(
+                    int(args["parent_id"]) if "parent_id" in args else None
+                ),
+                start=start,
+                end_time=end_time,
+                attrs=attrs,
+            )
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# rendering and document I/O
+# ---------------------------------------------------------------------------
+
+
+def render_profile(document: Mapping[str, Any], top: Optional[int] = None) -> str:
+    """Human-readable critical-path table from a profile document."""
+    nodes = document.get("nodes", {})
+    if not nodes:
+        return "no completed traces profiled"
+    e2e = document["end_to_end_us"]
+    width = max(10, max(len(label) for label in nodes))
+    lines = [
+        f"critical path over {document['traces']} traces   "
+        f"end-to-end p50 {e2e['p50']:.2f}us  p99 {e2e['p99']:.2f}us",
+        f"{'node':<{width}} {'p50 us':>10} {'p99 us':>10} "
+        f"{'share':>7} {'self us':>11} {'wait us':>11}",
+        "-" * (width + 54),
+    ]
+    ranked = sorted(
+        nodes.items(), key=lambda kv: (-kv[1]["self_us_total"], kv[0])
+    )
+    if top is not None:
+        ranked = ranked[:top]
+    for label, node in ranked:
+        lines.append(
+            f"{label:<{width}} {node['p50_us']:>10.2f} {node['p99_us']:>10.2f} "
+            f"{node['share'] * 100:>6.1f}% {node['self_us_total']:>11.1f} "
+            f"{node['wait_us_total']:>11.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_flame(document: Mapping[str, Any], top: int = 30) -> str:
+    """Collapsed-stack flame view (one ``stack us`` line per stack)."""
+    flame = document.get("flame", [])
+    if not flame:
+        return "no completed traces profiled"
+    lines = [
+        f"{entry['stack']} {entry['us']:.2f}"
+        for entry in flame[:top]
+    ]
+    if len(flame) > top:
+        lines.append(f"... {len(flame) - top} more stacks")
+    return "\n".join(lines)
+
+
+def load_profile_document(path: str) -> Dict[str, Any]:
+    """Read one critical-path profile JSON, validating its schema tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != PROFILE_SCHEMA:
+        raise ReproError(
+            f"{path}: not a {PROFILE_SCHEMA} document "
+            f"(schema={document.get('schema')!r})"
+        )
+    if not isinstance(document.get("nodes"), dict):
+        raise ReproError(f"{path}: profile document has no nodes mapping")
+    return document

@@ -1,0 +1,302 @@
+"""Sim-clock time-series sampling of :class:`MetricsRegistry` probes.
+
+A :class:`MetricsSampler` is a tiny simulation process that wakes every
+``period`` seconds of simulated time, snapshots every registered probe,
+flattens the snapshot to scalar series (``endpoint.r0.credit_stalls``,
+``host.r0.cpu.utilization``, ``bft.group.1.committed`` ...) and appends
+one timestamped sample to a bounded ring.  Derived ``<name>.rate``
+series are computed for every integer-valued scalar (counters and
+counter-like callables) as the per-second delta between consecutive
+ticks.
+
+Interference contract: the sampler is *observational* with one caveat.
+Reading probes never mutates simulation state, but the sampler's wake-up
+timers are real agenda entries — they consume event ids.  Because the
+kernel orders equal-time events by (time, priority, seq) and the sampler
+never schedules anything except its own next wake-up, the relative order
+of all protocol events is unchanged: a sampled run produces bit-identical
+modeled outputs (latencies, durations, digests) to an unsampled one.
+The pinned-fingerprint tests assert exactly that.  The sampler is
+default-off everywhere — constructing one is always an explicit opt-in —
+so default runs have literally zero extra events.
+
+The ring is bounded by ``max_samples``: the oldest sample is dropped
+(and counted in ``dropped``) when a new one would overflow, so a
+long-running simulation cannot grow sampler memory without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "TIMESERIES_SCHEMA",
+    "MetricsSampler",
+    "load_timeseries",
+    "render_timeseries",
+    "counter_track_events",
+    "write_json_atomic",
+]
+
+#: Schema tag of the JSON time-series dumps.
+TIMESERIES_SCHEMA = "repro.obs/timeseries/v1"
+
+_US = 1e6
+
+
+def _flatten_into(
+    flat: Dict[str, float],
+    ints: set,
+    name: str,
+    value: Any,
+) -> None:
+    """Flatten one snapshot value into scalar series (depth-first)."""
+    if isinstance(value, bool):
+        return
+    if isinstance(value, int):
+        flat[name] = float(value)
+        ints.add(name)
+    elif isinstance(value, float):
+        flat[name] = value
+    elif isinstance(value, Mapping):
+        for key in sorted(value):
+            _flatten_into(flat, ints, f"{name}.{key}", value[key])
+    # Strings, lists, None: not scalar series — skipped.
+
+
+class MetricsSampler:
+    """Bounded ring of periodic, timestamped metric samples."""
+
+    def __init__(
+        self,
+        period: float = 1e-3,
+        max_samples: int = 4096,
+        name: str = "obs.sampler",
+    ):
+        if period <= 0:
+            raise ReproError(f"{name}: period must be positive")
+        if max_samples < 1:
+            raise ReproError(f"{name}: max_samples must be >= 1")
+        self.period = period
+        self.max_samples = max_samples
+        self.name = name
+        self.env: Any = None
+        self.registry: Any = None
+        #: Ring of ``{"t": seconds, "values": {series: float}}`` samples.
+        self.samples: deque = deque()
+        #: Samples evicted by the ring bound.
+        self.dropped = 0
+        #: Total samples ever taken (``len(samples) + dropped``).
+        self.ticks = 0
+        self._running = False
+        self._prev: Optional[Tuple[float, Dict[str, float], set]] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def bind(self, env: Any, registry: Any) -> "MetricsSampler":
+        """Attach to a clock source and a registry; returns self."""
+        self.env = env
+        self.registry = registry
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self) -> None:
+        """Begin periodic sampling (one sample immediately, then every
+        ``period``); idempotent while running."""
+        if self.env is None or self.registry is None:
+            raise ReproError(f"{self.name}: bind(env, registry) first")
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._loop(self.env), name=self.name)
+
+    def stop(self) -> None:
+        """Stop after the current tick; the pending timer just expires."""
+        self._running = False
+
+    def _loop(self, env):
+        while self._running:
+            self.sample_now()
+            yield env.timeout(self.period)
+
+    # -- sampling --------------------------------------------------------
+
+    def sample_now(self) -> Dict[str, float]:
+        """Take one sample immediately; returns its values mapping."""
+        if self.env is None or self.registry is None:
+            raise ReproError(f"{self.name}: bind(env, registry) first")
+        now = self.env.now
+        flat: Dict[str, float] = {}
+        ints: set = set()
+        for metric_name, value in self.registry.snapshot().items():
+            _flatten_into(flat, ints, metric_name, value)
+        values = dict(flat)
+        if self._prev is not None:
+            prev_t, prev_flat, prev_ints = self._prev
+            dt = now - prev_t
+            if dt > 0:
+                for key in ints & prev_ints:
+                    delta = flat[key] - prev_flat[key]
+                    if delta >= 0:
+                        values[f"{key}.rate"] = delta / dt
+        self._prev = (now, flat, ints)
+        if len(self.samples) >= self.max_samples:
+            self.samples.popleft()
+            self.dropped += 1
+        self.samples.append({"t": now, "values": values})
+        self.ticks += 1
+        return values
+
+    # -- access ----------------------------------------------------------
+
+    def metric_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for sample in self.samples:
+            for key in sample["values"]:
+                seen.setdefault(key, None)
+        return sorted(seen)
+
+    def series(self, metric: str) -> List[Tuple[float, float]]:
+        """``(t, value)`` pairs of one series (missing ticks skipped)."""
+        return [
+            (sample["t"], sample["values"][metric])
+            for sample in self.samples
+            if metric in sample["values"]
+        ]
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "name": self.name,
+            "period_s": self.period,
+            "max_samples": self.max_samples,
+            "ticks": self.ticks,
+            "dropped": self.dropped,
+            "metrics": self.metric_names(),
+            "samples": [
+                {"t": sample["t"], "values": dict(sample["values"])}
+                for sample in self.samples
+            ],
+        }
+
+    def write(self, path: str) -> Dict[str, Any]:
+        """Atomically write the time-series dump to ``path``."""
+        document = self.to_dict()
+        write_json_atomic(document, path)
+        return document
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsSampler {self.name!r} period={self.period} "
+            f"samples={len(self.samples)} dropped={self.dropped}>"
+        )
+
+
+def write_json_atomic(document: Mapping[str, Any], path: str) -> None:
+    """Write JSON via a temp file + rename so readers never see a torn
+    document (the perf gate reads these while CI may be rewriting)."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def load_timeseries(path: str) -> Dict[str, Any]:
+    """Read one time-series dump, validating its schema tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("schema") != TIMESERIES_SCHEMA:
+        raise ReproError(
+            f"{path}: not a {TIMESERIES_SCHEMA} document "
+            f"(schema={document.get('schema')!r})"
+        )
+    if not isinstance(document.get("samples"), list):
+        raise ReproError(f"{path}: time-series document has no samples")
+    return document
+
+
+def render_timeseries(
+    document: Mapping[str, Any], top: Optional[int] = None
+) -> str:
+    """Per-series summary table of a time-series dump."""
+    samples = document.get("samples", [])
+    if not samples:
+        return "no samples recorded"
+    t0, t1 = samples[0]["t"], samples[-1]["t"]
+    header = (
+        f"{document.get('name', 'timeseries')}: {len(samples)} samples "
+        f"over {(t1 - t0) * 1e3:.3f}ms sim-time "
+        f"(period {document.get('period_s', 0) * 1e3:.3f}ms, "
+        f"dropped {document.get('dropped', 0)})"
+    )
+    metrics = document.get("metrics") or sorted(
+        {key for sample in samples for key in sample["values"]}
+    )
+    width = max(10, max((len(m) for m in metrics), default=0))
+    lines = [
+        header,
+        f"{'metric':<{width}} {'n':>5} {'first':>12} {'last':>12} "
+        f"{'min':>12} {'max':>12}",
+        "-" * (width + 58),
+    ]
+    shown = metrics if top is None else metrics[:top]
+    for metric in shown:
+        points = [
+            sample["values"][metric]
+            for sample in samples
+            if metric in sample["values"]
+        ]
+        if not points:
+            continue
+        lines.append(
+            f"{metric:<{width}} {len(points):>5} {points[0]:>12.4g} "
+            f"{points[-1]:>12.4g} {min(points):>12.4g} {max(points):>12.4g}"
+        )
+    if top is not None and len(metrics) > top:
+        lines.append(f"... {len(metrics) - top} more series")
+    return "\n".join(lines)
+
+
+def counter_track_events(
+    document: Mapping[str, Any],
+    metrics: Optional[List[str]] = None,
+    pid: int = 1,
+) -> List[Dict[str, Any]]:
+    """Perfetto counter-track events (``"C"`` phase) from a dump.
+
+    One event per (sample, series); Perfetto renders each distinct name
+    as a counter track, so the series plot alongside span tracks when
+    merged into a Chrome trace (sorted by ``ts`` — the caller merges).
+    """
+    wanted = set(metrics) if metrics is not None else None
+    events: List[Dict[str, Any]] = []
+    for sample in document.get("samples", []):
+        ts = sample["t"] * _US
+        for key in sorted(sample["values"]):
+            if wanted is not None and key not in wanted:
+                continue
+            events.append(
+                {
+                    "name": key,
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": ts,
+                    "args": {"value": sample["values"][key]},
+                }
+            )
+    return events

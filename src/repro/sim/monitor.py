@@ -13,8 +13,9 @@ simulation behaviour.
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.core import Environment
@@ -39,16 +40,20 @@ class SummaryStats:
         "p95",
         "p99",
         "p999",
+        "samples_sorted",
     )
 
     def __init__(self, samples: list[float]):
-        self.count = len(samples)
-        if not samples:
+        self._init_sorted(sorted(samples))
+
+    def _init_sorted(self, ordered: list[float]) -> None:
+        """Compute every statistic from an already sorted sample list."""
+        self.samples_sorted = ordered
+        self.count = len(ordered)
+        if not ordered:
             self.mean = self.minimum = self.maximum = self.stdev = 0.0
             self.p50 = self.p95 = self.p99 = self.p999 = 0.0
             return
-        ordered = sorted(samples)
-        self.count = len(ordered)
         self.mean = sum(ordered) / self.count
         self.minimum = ordered[0]
         self.maximum = ordered[-1]
@@ -63,6 +68,21 @@ class SummaryStats:
     def from_samples(cls, samples: list[float]) -> "SummaryStats":
         """Explicit constructor alias (reads better at call sites)."""
         return cls(samples)
+
+    @classmethod
+    def merge(cls, parts: Iterable["SummaryStats"]) -> "SummaryStats":
+        """Combine per-shard statistics without re-sorting full lists.
+
+        Each part retains its samples in sorted order, so the union is a
+        k-way merge (``heapq.merge``) — O(total log k) — and the result
+        has exactly the nearest-rank percentiles of the concatenated
+        sample set.
+        """
+        stats = cls.__new__(cls)
+        stats._init_sorted(
+            list(heapq.merge(*(part.samples_sorted for part in parts)))
+        )
+        return stats
 
     def to_dict(self) -> dict[str, float]:
         """JSON-ready mapping of every statistic."""

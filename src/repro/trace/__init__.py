@@ -24,6 +24,7 @@ from repro.trace.breakdown import (
     BreakdownReport,
     TraceBreakdown,
     latency_breakdown,
+    span_row,
 )
 from repro.trace.core import (
     NULL_TRACER,
@@ -59,5 +60,6 @@ __all__ = [
     "TraceBreakdown",
     "BreakdownReport",
     "latency_breakdown",
+    "span_row",
     "MetricsRegistry",
 ]

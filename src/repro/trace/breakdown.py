@@ -23,7 +23,29 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.sim.monitor import SummaryStats
 from repro.trace.core import NullTracer, Span, TraceError, Tracer
 
-__all__ = ["TraceBreakdown", "BreakdownReport", "latency_breakdown"]
+__all__ = [
+    "TraceBreakdown",
+    "BreakdownReport",
+    "latency_breakdown",
+    "span_row",
+]
+
+
+def span_row(span: Span) -> str:
+    """The breakdown row a span is attributed to.
+
+    Plain spans fold into their layer; spans carrying a COP ``group``
+    attribute get a per-group, per-phase row (``bft.group.2.prepare``)
+    so multi-group runs are not collapsed into a single ``bft`` line.
+    """
+    attrs = span.attrs
+    group = attrs.get("group") if attrs else None
+    if group is None:
+        return span.layer
+    name = span.name
+    prefix = span.layer + "."
+    phase = name[len(prefix):] if name.startswith(prefix) else name
+    return f"{span.layer}.group.{group}.{phase}"
 
 
 def _merged_length(intervals: List[Tuple[float, float]]) -> float:
@@ -87,7 +109,7 @@ class TraceBreakdown:
             clipped = _clip(span, lo, hi)
             if clipped is None:
                 continue
-            per_layer.setdefault(span.layer, []).append(clipped)
+            per_layer.setdefault(span_row(span), []).append(clipped)
             covered.append(clipped)
         self.layer_seconds: Dict[str, float] = {
             layer: _merged_length(intervals)
@@ -179,12 +201,15 @@ class BreakdownReport:
         if not self.traces:
             return "no completed traces recorded"
         e2e = self.end_to_end_stats()
+        # Group-qualified rows ("bft.group.2.pre_prepare") need a wider
+        # label column than plain layers do.
+        width = max(10, max((len(layer) for layer in self.layers), default=0))
         lines = [
             f"traces: {len(self.traces)}   "
             f"end-to-end p50 {e2e.p50 * 1e6:.2f}us  "
             f"p99 {e2e.p99 * 1e6:.2f}us",
-            f"{'layer':<10} {'p50 us':>10} {'p50 share':>10} {'p99 share':>10}",
-            "-" * 44,
+            f"{'layer':<{width}} {'p50 us':>10} {'p50 share':>10} {'p99 share':>10}",
+            "-" * (width + 34),
         ]
         for layer in self.layers:
             shares = self.layer_stats(layer)
@@ -192,14 +217,16 @@ class BreakdownReport:
                 [t.layer_seconds.get(layer, 0.0) for t in self.traces]
             )
             lines.append(
-                f"{layer:<10} {seconds.p50 * 1e6:>10.2f} "
+                f"{layer:<{width}} {seconds.p50 * 1e6:>10.2f} "
                 f"{shares.p50 * 100:>9.1f}% {shares.p99 * 100:>9.1f}%"
             )
         coverage = SummaryStats.from_samples(
             [t.coverage for t in self.traces]
         )
-        lines.append("-" * 44)
-        lines.append(f"{'coverage':<10} {'':>10} {coverage.p50 * 100:>9.1f}%")
+        lines.append("-" * (width + 34))
+        lines.append(
+            f"{'coverage':<{width}} {'':>10} {coverage.p50 * 100:>9.1f}%"
+        )
         return "\n".join(lines)
 
 

@@ -8,21 +8,28 @@ Mapping:
 
 * each distinct span ``track`` (usually a host or link name) becomes a
   thread, announced with a ``thread_name`` metadata event;
+* with ``hosts=...``, tracks are grouped into one synthetic *process*
+  per simulated host (announced with ``process_name`` metadata), so the
+  Perfetto UI nests a replica's QP/CQ/selector threads under that
+  machine instead of showing a flat thread soup; link tracks
+  (``a->b``) group under their sending host, NIC tracks (``a.nic``)
+  under theirs, and anything unmatched stays in the default
+  "repro simulation" process;
 * closed spans with a duration become ``"X"`` (complete) events with
   ``ts``/``dur`` in microseconds of simulated time;
 * zero-duration marker spans become ``"i"`` (instant) events;
 * the trace id rides in ``args`` so a single causal trace can be
   filtered out of a multi-request capture.
 
-:func:`validate_chrome_trace` re-checks the invariants the format
-requires (and that our tests pin): known phases, non-negative
-timestamps/durations, and monotonically sorted event timestamps.
+Counter tracks (``"C"`` phase events, as produced by the
+``repro.obs`` sampler) are part of the accepted schema too:
+:func:`validate_chrome_trace` checks them alongside span events.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.trace.core import NullTracer, TraceError, Tracer
 
@@ -32,24 +39,48 @@ __all__ = [
     "validate_chrome_trace",
 ]
 
-#: Synthetic process id — the whole simulation is one "process".
+#: Synthetic process id for tracks not attributed to any host.
 _PID = 1
 
 #: Seconds of simulated time per Chrome-trace microsecond tick.
 _US = 1e6
 
 
+def _track_pid(track: str, pid_of_host: Dict[str, int]) -> int:
+    """Process id for a span track: its host's pid, or the default."""
+    if track in pid_of_host:
+        return pid_of_host[track]
+    # Link tracks are "sender->receiver"; NIC/queue tracks "host.suffix".
+    head = track.split("->", 1)[0]
+    if head in pid_of_host:
+        return pid_of_host[head]
+    head = track.split(".", 1)[0]
+    return pid_of_host.get(head, _PID)
+
+
 def chrome_trace_events(
     tracer: Union[Tracer, NullTracer],
     include_open: bool = False,
+    hosts: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, Any]]:
     """Render ``tracer``'s spans as a list of Chrome trace events.
 
     Open spans are skipped unless ``include_open`` is set, in which case
     they are emitted as instant events marked ``"open": True``.
+
+    ``hosts`` optionally names the simulated machines; when given, every
+    track is assigned to its host's process (see module docstring) and a
+    ``process_name`` metadata event announces each host.
     """
     tracks = sorted({span.track for span in tracer.spans})
     tid_of = {track: tid for tid, track in enumerate(tracks, start=1)}
+    pid_of_host: Dict[str, int] = {}
+    if hosts:
+        for pid, host in enumerate(sorted(set(hosts)), start=_PID + 1):
+            pid_of_host[host] = pid
+    pid_of_track = {
+        track: _track_pid(track, pid_of_host) for track in tracks
+    }
 
     events: List[Dict[str, Any]] = [
         {
@@ -60,12 +91,22 @@ def chrome_trace_events(
             "args": {"name": "repro simulation"},
         }
     ]
+    for host, pid in sorted(pid_of_host.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": host},
+            }
+        )
     for track in tracks:
         events.append(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": _PID,
+                "pid": pid_of_track[track],
                 "tid": tid_of[track],
                 "args": {"name": track},
             }
@@ -84,7 +125,7 @@ def chrome_trace_events(
         event: Dict[str, Any] = {
             "name": span.name,
             "cat": span.layer,
-            "pid": _PID,
+            "pid": pid_of_track[span.track],
             "tid": tid_of[span.track],
             "ts": span.start * _US,
             "args": args,
@@ -109,9 +150,12 @@ def write_chrome_trace(
     tracer: Union[Tracer, NullTracer],
     path: str,
     include_open: bool = False,
+    hosts: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, Any]]:
     """Write ``{"traceEvents": [...]}`` JSON to ``path``; returns events."""
-    events = chrome_trace_events(tracer, include_open=include_open)
+    events = chrome_trace_events(
+        tracer, include_open=include_open, hosts=hosts
+    )
     document = {"traceEvents": events, "displayTimeUnit": "ns"}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1)
@@ -122,9 +166,11 @@ def validate_chrome_trace(events: Sequence[Dict[str, Any]]) -> None:
     """Raise :class:`TraceError` unless ``events`` is schema-valid.
 
     Checks: required keys per phase, phases limited to the ones we emit
-    (``M``/``X``/``i`` — complete events, so no unmatched ``B``/``E``
-    pairs can exist), non-negative ``ts``/``dur``, and non-metadata
-    events sorted by ``ts``.
+    (``M``/``X``/``i``/``C`` — complete events, so no unmatched
+    ``B``/``E`` pairs can exist), metadata naming (``process_name`` /
+    ``thread_name`` must carry ``args.name``), numeric values on counter
+    events, non-negative ``ts``/``dur``, and non-metadata events sorted
+    by ``ts``.
     """
     last_ts = None
     for index, event in enumerate(events):
@@ -138,8 +184,15 @@ def validate_chrome_trace(events: Sequence[Dict[str, Any]]) -> None:
                 "exporter only emits complete ('X') events"
             )
         if phase == "M":
+            if event["name"] in ("process_name", "thread_name"):
+                name = event.get("args", {}).get("name")
+                if not isinstance(name, str) or not name:
+                    raise TraceError(
+                        f"event {index}: {event['name']} metadata "
+                        f"without args.name: {event!r}"
+                    )
             continue
-        if phase not in ("X", "i"):
+        if phase not in ("X", "i", "C"):
             raise TraceError(f"event {index}: unknown phase {phase!r}")
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
@@ -148,6 +201,12 @@ def validate_chrome_trace(events: Sequence[Dict[str, Any]]) -> None:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise TraceError(f"event {index}: bad dur {dur!r}")
+        if phase == "C":
+            value = event.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise TraceError(
+                    f"event {index}: counter without numeric args.value"
+                )
         if last_ts is not None and ts < last_ts:
             raise TraceError(
                 f"event {index}: timestamps not sorted ({ts} < {last_ts})"

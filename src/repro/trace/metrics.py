@@ -96,6 +96,14 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(self._probes)
 
+    def items(self) -> list[tuple[str, Probe]]:
+        """Sorted ``(name, probe)`` pairs — the live probe objects.
+
+        Consumers (e.g. the ``repro.obs`` sampler, which needs probe
+        *types* to derive rates) must treat the probes as read-only.
+        """
+        return sorted(self._probes.items())
+
     # -- snapshot --------------------------------------------------------
 
     @staticmethod

@@ -1,0 +1,106 @@
+"""Suspect ranking: unit math plus an injected-regression end-to-end."""
+
+import pytest
+
+from repro.bft import BftCluster, BftConfig
+from repro.obs import critical_path, rank_suspects, render_suspects
+from repro.trace import Tracer
+
+
+def node(mean):
+    return {
+        "mean_us": mean, "p50_us": mean, "p99_us": mean,
+        "share": 0.0, "self_us_total": mean, "wait_us_total": 0.0,
+        "hits": 1,
+    }
+
+
+def doc(**means):
+    return {
+        "schema": "repro.obs/critical_path/v1",
+        "traces": 1,
+        "end_to_end_us": {
+            "p50": sum(means.values()),
+            "p99": sum(means.values()),
+            "mean": sum(means.values()),
+        },
+        "nodes": {label: node(mean) for label, mean in means.items()},
+        "flame": [],
+    }
+
+
+class TestRankSuspects:
+    def test_largest_absolute_delta_first(self):
+        baseline = doc(a=10.0, b=5.0, c=1.0)
+        fresh = doc(a=12.0, b=11.0, c=1.0)
+        suspects = rank_suspects(baseline, fresh)
+        assert [s["node"] for s in suspects] == ["b", "a"]
+        assert suspects[0]["delta_us"] == pytest.approx(6.0)
+        assert suspects[0]["delta_pct"] == pytest.approx(120.0)
+
+    def test_shrunk_node_still_ranks(self):
+        suspects = rank_suspects(doc(a=10.0), doc(a=2.0))
+        assert suspects[0]["delta_us"] == pytest.approx(-8.0)
+
+    def test_new_node_has_no_pct(self):
+        suspects = rank_suspects(doc(a=1.0), doc(a=1.0, fresh_only=4.0))
+        assert suspects[0]["node"] == "fresh_only"
+        assert suspects[0]["delta_pct"] is None
+
+    def test_noise_floor_filters(self):
+        assert rank_suspects(doc(a=1.0), doc(a=1.000001)) == []
+
+
+class TestRenderSuspects:
+    def test_ranked_lines(self):
+        baseline, fresh = doc(a=10.0), doc(a=15.0)
+        lines = render_suspects(
+            rank_suspects(baseline, fresh), baseline=baseline, fresh=fresh
+        )
+        assert lines[0].startswith("end-to-end mean 10.00us -> 15.00us")
+        assert lines[1] == "#1 a  self-time +50.0% (+5.00us mean, 10.00 -> 15.00us)"
+
+    def test_no_movement_message(self):
+        lines = render_suspects([])
+        assert "no critical-path node moved" in lines[0]
+
+    def test_top_truncation(self):
+        suspects = rank_suspects(
+            doc(**{f"n{i}": 1.0 for i in range(5)}),
+            doc(**{f"n{i}": 2.0 + i * 0.1 for i in range(5)}),
+        )
+        lines = render_suspects(suspects, top=2)
+        assert lines[-1] == "... 3 more nodes moved"
+
+
+def _profiled_run(execution_cost):
+    """A small traced BFT run; only the execution cost varies."""
+    tracer = Tracer()
+    cluster = BftCluster(
+        transport="rubin",
+        config=BftConfig(
+            execution_cost=execution_cost, batch_size=1, batch_delay=0.0
+        ),
+        tracer=tracer,
+    )
+    cluster.start()
+    for i in range(8):
+        assert cluster.invoke_and_wait(f"PUT k{i}=v{i}".encode()) == b"OK"
+    return critical_path(tracer).to_dict()
+
+
+def test_injected_execution_slowdown_is_top_suspect():
+    """+30% execution cost must rank ``bft.execute`` as the #1 suspect.
+
+    This is the attribution pipeline's acceptance test: two identical
+    runs except for one layer's cost, and the profile diff names exactly
+    that layer first.
+    """
+    baseline = _profiled_run(20e-6)
+    fresh = _profiled_run(26e-6)
+    suspects = rank_suspects(baseline, fresh)
+    assert suspects, "injected slowdown produced no suspects"
+    assert suspects[0]["node"] == "bft.execute"
+    assert suspects[0]["delta_pct"] > 15.0
+    line = render_suspects(suspects, top=1, baseline=baseline, fresh=fresh)[1]
+    assert line.startswith("#1 bft.execute")

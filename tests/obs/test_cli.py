@@ -1,0 +1,120 @@
+"""``python -m repro.obs``: artifact auto-detection and rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsSampler, critical_path
+from repro.obs.__main__ import main
+from repro.obs.sampler import write_json_atomic
+from repro.sim import Counter, Environment
+from repro.trace import MetricsRegistry, Tracer, write_chrome_trace
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    """One of each artifact kind, written to disk."""
+    env = FakeEnv()
+    tracer = Tracer(env)
+    root = tracer.start_trace("req", layer="client", track="client")
+    env.now = 1e-6
+    child = tracer.start_span("qp.send", layer="qp", parent=root, track="qp")
+    env.now = 4e-6
+    child.end()
+    env.now = 5e-6
+    root.end()
+
+    profile = tmp_path / "PROFILE_x.json"
+    write_json_atomic(critical_path(tracer).to_dict(), str(profile))
+
+    trace = tmp_path / "TRACE_x.json"
+    write_chrome_trace(tracer, str(trace))
+
+    sim = Environment()
+    registry = MetricsRegistry(name="t")
+    counter = Counter("ops")
+    registry.register("ops", counter)
+    sampler = MetricsSampler().bind(sim, registry)
+    counter.increment(3)
+    sampler.sample_now()
+    timeseries = tmp_path / "TIMESERIES_x.json"
+    sampler.write(str(timeseries))
+
+    return {"profile": profile, "trace": trace, "timeseries": timeseries}
+
+
+class TestReport:
+    def test_renders_profile(self, artifacts, capsys):
+        assert main(["report", str(artifacts["profile"])]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over 1 traces" in out
+        assert "qp.send" in out
+
+    def test_renders_timeseries(self, artifacts, capsys):
+        assert main(["report", str(artifacts["timeseries"])]) == 0
+        out = capsys.readouterr().out
+        assert "1 samples" in out
+        assert "ops" in out
+
+    def test_profiles_chrome_trace_on_the_fly(self, artifacts, capsys):
+        assert main(["report", str(artifacts["trace"]), "--flame"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path over 1 traces" in out
+        assert "req;qp.send" in out  # flame view
+
+    def test_multiple_artifacts_one_invocation(self, artifacts, capsys):
+        assert (
+            main(
+                [
+                    "report",
+                    str(artifacts["timeseries"]),
+                    str(artifacts["profile"]),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.count("==") >= 2
+
+    def test_unrecognised_artifact_fails(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        assert main(["report", str(bogus)]) == 2
+        assert "unrecognised artifact" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_ranks_suspects(self, artifacts, tmp_path, capsys):
+        baseline = json.loads(artifacts["profile"].read_text())
+        fresh = json.loads(artifacts["profile"].read_text())
+        fresh["nodes"]["qp.send"]["mean_us"] *= 1.4
+        fresh_path = tmp_path / "PROFILE_fresh.json"
+        write_json_atomic(fresh, str(fresh_path))
+        assert main(
+            ["diff", str(artifacts["profile"]), str(fresh_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#1 qp.send" in out
+        assert "+40.0%" in out
+
+    def test_rejects_non_profile(self, artifacts, capsys):
+        assert (
+            main(
+                [
+                    "diff",
+                    str(artifacts["timeseries"]),
+                    str(artifacts["profile"]),
+                ]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,309 @@
+"""Critical-path extraction: blocking chains, clipping, aggregation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    CriticalPathReport,
+    critical_path,
+    load_profile_document,
+    node_label,
+    render_flame,
+    render_profile,
+    spans_from_chrome_trace,
+)
+from repro.obs.sampler import write_json_atomic
+from repro.trace import Tracer, chrome_trace_events
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+def span_at(tracer, env, name, layer, start, end, parent=None, **attrs):
+    env.now = start
+    span = tracer.start_span(name, layer=layer, parent=parent, **attrs)
+    env.now = end
+    span.end()
+    return span
+
+
+def one_chain(report):
+    assert report.traces == 1
+    return report.chains[0]
+
+
+def segment_seconds(chain, label):
+    return sum(
+        hi - lo
+        for _stack, span, lo, hi in chain["segments"]
+        if node_label(span) == label
+    )
+
+
+class TestWalk:
+    def test_gaps_attributed_to_parent_self_time(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        span_at(tracer, env, "a", "qp", 1e-6, 4e-6, parent=root)
+        span_at(tracer, env, "b", "link", 6e-6, 9e-6, parent=root)
+        env.now = 10e-6
+        root.end()
+
+        chain = one_chain(critical_path(tracer))
+        assert chain["end_to_end"] == pytest.approx(10e-6)
+        # Gaps [0,1], [4,6], [9,10] fall to the root itself.
+        assert segment_seconds(chain, "req") == pytest.approx(4e-6)
+        assert segment_seconds(chain, "a") == pytest.approx(3e-6)
+        assert segment_seconds(chain, "b") == pytest.approx(3e-6)
+
+    def test_segments_partition_root_window(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        span_at(tracer, env, "a", "qp", 1e-6, 5e-6, parent=root)
+        span_at(tracer, env, "b", "link", 4e-6, 9e-6, parent=root)
+        env.now = 10e-6
+        root.end()
+
+        chain = one_chain(critical_path(tracer))
+        total = sum(hi - lo for _s, _sp, lo, hi in chain["segments"])
+        assert total == pytest.approx(chain["end_to_end"])
+        # Windows are disjoint.
+        windows = sorted((lo, hi) for _s, _sp, lo, hi in chain["segments"])
+        for (_, hi_prev), (lo_next, _) in zip(windows, windows[1:]):
+            assert hi_prev <= lo_next + 1e-15
+
+    def test_latest_ending_child_wins_overlap(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        span_at(tracer, env, "a", "qp", 1e-6, 5e-6, parent=root)
+        span_at(tracer, env, "b", "link", 4e-6, 9e-6, parent=root)
+        env.now = 10e-6
+        root.end()
+
+        chain = one_chain(critical_path(tracer))
+        # b gated [4,9]; a only the uncovered prefix [1,4].
+        assert segment_seconds(chain, "b") == pytest.approx(5e-6)
+        assert segment_seconds(chain, "a") == pytest.approx(3e-6)
+        assert segment_seconds(chain, "req") == pytest.approx(2e-6)
+
+    def test_nested_chain_descends(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        env.now = 2e-6
+        mid = tracer.start_span("mid", layer="reptor", parent=root)
+        span_at(tracer, env, "leaf", "qp", 3e-6, 7e-6, parent=mid)
+        env.now = 8e-6
+        mid.end()
+        env.now = 10e-6
+        root.end()
+
+        chain = one_chain(critical_path(tracer))
+        assert segment_seconds(chain, "leaf") == pytest.approx(4e-6)
+        # mid keeps [2,3] and [7,8]; root keeps [0,2] and [8,10].
+        assert segment_seconds(chain, "mid") == pytest.approx(2e-6)
+        assert segment_seconds(chain, "req") == pytest.approx(4e-6)
+
+    def test_child_clipped_to_parent_window(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        env.now = 2e-6
+        root = tracer.start_trace("req", layer="client")
+        # Starts before the root and ends after it: only [2,6] counts.
+        span_at(tracer, env, "early", "qp", 0.0, 8e-6, parent=root)
+        env.now = 6e-6
+        root.end()
+
+        chain = one_chain(critical_path(tracer))
+        assert segment_seconds(chain, "early") == pytest.approx(4e-6)
+        assert segment_seconds(chain, "req") == pytest.approx(0.0)
+
+    def test_superseded_spans_never_descended(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        span_at(
+            tracer, env, "bft.prepare", "bft", 1e-6, 9e-6,
+            parent=root, superseded=True,
+        )
+        env.now = 10e-6
+        root.end()
+
+        chain = one_chain(critical_path(tracer))
+        # The superseded phase's window falls to the root.
+        assert segment_seconds(chain, "req") == pytest.approx(10e-6)
+
+    def test_open_children_never_descended(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        env.now = 1e-6
+        tracer.start_span("dangling", layer="qp", parent=root)
+        env.now = 4e-6
+        root.end()
+
+        chain = one_chain(critical_path(tracer))
+        assert segment_seconds(chain, "req") == pytest.approx(4e-6)
+
+    def test_group_attr_qualifies_node_label(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        span_at(
+            tracer, env, "bft.prepare", "bft", 1e-6, 5e-6,
+            parent=root, group=2,
+        )
+        env.now = 6e-6
+        root.end()
+
+        report = critical_path(tracer)
+        assert "bft.group.2.prepare" in report.labels()
+
+
+class TestReport:
+    def build(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        # Trace 1: qp gates 4 of 10us.  Trace 2: no qp at all.
+        root = tracer.start_trace("req", layer="client")
+        span_at(tracer, env, "qp.send", "qp", 1e-6, 5e-6, parent=root)
+        env.now = 10e-6
+        root.end()
+        env.now = 20e-6
+        root2 = tracer.start_trace("req", layer="client")
+        env.now = 26e-6
+        root2.end()
+        return critical_path(tracer)
+
+    def test_open_and_empty_roots_skipped(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        tracer.start_trace("in-flight", layer="client")  # never ends
+        root = tracer.start_trace("zero", layer="client")
+        root.end()  # zero duration
+        assert critical_path(tracer).traces == 0
+
+    def test_trace_id_filter(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        for _ in range(2):
+            start = env.now
+            root = tracer.start_trace("req", layer="client")
+            env.now = start + 5e-6
+            root.end()
+        tid = tracer.spans[0].context.trace_id
+        report = critical_path(tracer, trace_id=tid)
+        assert report.traces == 1
+        assert report.chains[0]["trace_id"] == tid
+
+    def test_contributions_zero_where_node_absent(self):
+        report = self.build()
+        contributions = report.node_contributions("qp.send")
+        assert contributions == [pytest.approx(4e-6), 0.0]
+
+    def test_node_shares_sum_to_one(self):
+        doc = self.build().to_dict()
+        assert sum(n["share"] for n in doc["nodes"].values()) == pytest.approx(1.0)
+
+    def test_self_plus_wait_equals_on_path_time(self):
+        report = self.build()
+        doc = report.to_dict()
+        req = doc["nodes"]["req"]
+        # req was on-path 10us + 6us; self 6us + 6us; wait the 4us covered
+        # by qp.send.
+        assert req["self_us_total"] == pytest.approx(12.0)
+        assert req["wait_us_total"] == pytest.approx(4.0)
+
+    def test_flame_stacks_collapse(self):
+        flame = self.build().flame()
+        stacks = dict(flame)
+        assert stacks["req;qp.send"] == pytest.approx(4e-6)
+        assert stacks["req"] == pytest.approx(12e-6)
+        # Sorted by descending time.
+        assert [s for s, _ in flame] == ["req", "req;qp.send"]
+
+    def test_render_profile_and_flame(self):
+        doc = self.build().to_dict()
+        text = render_profile(doc)
+        assert "qp.send" in text
+        assert "end-to-end" in text
+        assert "qp.send" in render_flame(doc)
+
+    def test_render_top_limits_rows(self):
+        doc = self.build().to_dict()
+        assert "qp.send" not in render_profile(doc, top=1)
+
+    def test_empty_report_renders(self):
+        assert "no completed traces" in render_profile(
+            CriticalPathReport([]).to_dict()
+        )
+
+
+class TestChromeRoundTrip:
+    def test_profile_from_exported_trace_matches_direct(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client", track="client")
+        span_at(tracer, env, "qp.send", "qp", 1e-6, 5e-6, parent=root)
+        span_at(
+            tracer, env, "bft.prepare", "bft", 5e-6, 8e-6,
+            parent=root, group=1,
+        )
+        env.now = 10e-6
+        root.end()
+
+        direct = critical_path(tracer).to_dict()
+        rebuilt = critical_path(
+            spans_from_chrome_trace(chrome_trace_events(tracer))
+        ).to_dict()
+        assert json.dumps(rebuilt, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+
+    def test_open_spans_rebuilt_as_open(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        env.now = 1e-6
+        tracer.start_span("dangling", layer="qp", parent=root)
+        env.now = 4e-6
+        root.end()
+        records = spans_from_chrome_trace(
+            chrome_trace_events(tracer, include_open=True)
+        )
+        dangling = next(r for r in records if r.name == "dangling")
+        assert dangling.is_open
+
+
+class TestDocumentIO:
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        write_json_atomic({"schema": "nope", "nodes": {}}, str(path))
+        with pytest.raises(ReproError, match="not a repro.obs/critical_path"):
+            load_profile_document(str(path))
+
+    def test_load_rejects_missing_nodes(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        write_json_atomic(
+            {"schema": "repro.obs/critical_path/v1"}, str(path)
+        )
+        with pytest.raises(ReproError, match="no nodes"):
+            load_profile_document(str(path))
+
+    def test_round_trip(self, tmp_path):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client")
+        env.now = 5e-6
+        root.end()
+        doc = critical_path(tracer).to_dict()
+        path = tmp_path / "PROFILE_x.json"
+        write_json_atomic(doc, str(path))
+        assert load_profile_document(str(path)) == doc

@@ -1,0 +1,154 @@
+"""MetricsSampler: flattening, rates, the ring bound, serialisation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (
+    MetricsSampler,
+    counter_track_events,
+    load_timeseries,
+    render_timeseries,
+)
+from repro.sim import Counter, Environment
+from repro.trace import MetricsRegistry, validate_chrome_trace
+
+
+def build(period=1e-3, max_samples=4096):
+    env = Environment()
+    registry = MetricsRegistry(name="t")
+    counter = Counter("ops")
+    registry.register("ops", counter)
+    registry.register("depth", lambda: 7)
+    registry.register("load", lambda: 0.25)
+    sampler = MetricsSampler(period=period, max_samples=max_samples)
+    sampler.bind(env, registry)
+    return env, counter, sampler
+
+
+class TestLifecycle:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ReproError, match="period"):
+            MetricsSampler(period=0.0)
+        with pytest.raises(ReproError, match="max_samples"):
+            MetricsSampler(max_samples=0)
+
+    def test_requires_bind(self):
+        sampler = MetricsSampler()
+        with pytest.raises(ReproError, match="bind"):
+            sampler.sample_now()
+        with pytest.raises(ReproError, match="bind"):
+            sampler.start()
+
+    def test_periodic_loop_samples_on_sim_clock(self):
+        env, counter, sampler = build(period=1e-3)
+
+        def work(env):
+            sampler.start()
+            for _ in range(4):
+                counter.increment(10)
+                yield env.timeout(1e-3)
+            sampler.stop()
+
+        env.run(until=env.process(work(env)))
+        assert sampler.ticks >= 4
+        times = [t for t, _ in sampler.series("ops")]
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == pytest.approx(1e-3) for d in deltas)
+
+    def test_start_idempotent_while_running(self):
+        env, _, sampler = build()
+
+        def work(env):
+            sampler.start()
+            sampler.start()  # second start must not spawn a second loop
+            yield env.timeout(2.5e-3)
+            sampler.stop()
+
+        env.run(until=env.process(work(env)))
+        assert sampler.ticks == 3  # t=0, 1ms, 2ms
+
+
+class TestSampling:
+    def test_flattens_scalars_and_mappings(self):
+        env, counter, sampler = build()
+        counter.increment(3)
+        values = sampler.sample_now()
+        assert values["ops"] == 3.0
+        assert values["depth"] == 7.0
+        assert values["load"] == 0.25
+
+    def test_rates_for_integer_series(self):
+        env, counter, sampler = build()
+        sampler.sample_now()
+        counter.increment(50)
+        env.timeout(1e-3)
+        env.run()
+        values = sampler.sample_now()
+        assert values["ops.rate"] == pytest.approx(50 / 1e-3)
+        # Callable int probes get rates too; floats never do.
+        assert values["depth.rate"] == 0.0
+        assert "load.rate" not in values
+
+    def test_no_rate_on_counter_reset(self):
+        env = Environment()
+        registry = MetricsRegistry(name="t")
+        box = {"v": 10}
+        registry.register("v", lambda: box["v"])
+        sampler = MetricsSampler().bind(env, registry)
+        sampler.sample_now()
+        box["v"] = 3  # restart: value went backwards
+        env.timeout(1e-3)
+        env.run()
+        assert "v.rate" not in sampler.sample_now()
+
+    def test_ring_bounds_memory(self):
+        env, _, sampler = build(max_samples=3)
+        for _ in range(5):
+            sampler.sample_now()
+        assert len(sampler.samples) == 3
+        assert sampler.dropped == 2
+        assert sampler.ticks == 5
+
+
+class TestSerialisation:
+    def test_write_and_load_round_trip(self, tmp_path):
+        env, counter, sampler = build()
+        counter.increment(2)
+        sampler.sample_now()
+        path = tmp_path / "TIMESERIES_x.json"
+        document = sampler.write(str(path))
+        assert load_timeseries(str(path)) == document
+        assert document["schema"] == "repro.obs/timeseries/v1"
+        assert "ops" in document["metrics"]
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"schema": "nope", "samples": []}')
+        with pytest.raises(ReproError, match="not a repro.obs/timeseries"):
+            load_timeseries(str(path))
+
+    def test_render_summary_table(self):
+        env, counter, sampler = build()
+        counter.increment(1)
+        sampler.sample_now()
+        counter.increment(4)
+        env.timeout(1e-3)
+        env.run()
+        sampler.sample_now()
+        text = render_timeseries(sampler.to_dict())
+        assert "ops" in text
+        assert "2 samples" in text
+        assert "more series" in render_timeseries(sampler.to_dict(), top=1)
+
+    def test_counter_track_events_validate(self):
+        env, counter, sampler = build()
+        counter.increment(1)
+        sampler.sample_now()
+        env.timeout(1e-3)
+        env.run()
+        sampler.sample_now()
+        events = counter_track_events(sampler.to_dict())
+        assert events and all(e["ph"] == "C" for e in events)
+        validate_chrome_trace(events)
+        only = counter_track_events(sampler.to_dict(), metrics=["ops"])
+        assert {e["name"] for e in only} == {"ops"}

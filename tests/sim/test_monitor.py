@@ -85,6 +85,39 @@ class TestSummaryStats:
         assert s.count == 3
         assert s.minimum == 1.0
 
+    def test_merge_equals_concatenation(self):
+        """Merging partitions is exactly SummaryStats over the union.
+
+        The merge interleaves the retained sorted sample lists instead of
+        re-sorting, so every statistic — including the nearest-rank
+        percentiles — must match a from-scratch construction bit for bit.
+        """
+        import random
+
+        rng = random.Random(42)
+        parts = [
+            [rng.uniform(0.0, 100.0) for _ in range(n)]
+            for n in (1, 7, 50, 113)
+        ]
+        merged = SummaryStats.merge(SummaryStats(p) for p in parts)
+        combined = SummaryStats([x for p in parts for x in p])
+        for attr in (
+            "count", "mean", "minimum", "maximum", "stdev",
+            "p50", "p95", "p99", "p999",
+        ):
+            assert getattr(merged, attr) == getattr(combined, attr), attr
+        assert merged.samples_sorted == combined.samples_sorted
+
+    def test_merge_with_empty_parts(self):
+        merged = SummaryStats.merge(
+            [SummaryStats([]), SummaryStats([2.0, 1.0])]
+        )
+        assert merged.count == 2
+        assert merged.minimum == 1.0
+
+    def test_merge_nothing(self):
+        assert SummaryStats.merge([]).count == 0
+
     def test_to_dict(self):
         s = SummaryStats([float(i) for i in range(1, 101)])
         d = s.to_dict()

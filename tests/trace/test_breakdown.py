@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.trace import TraceError, Tracer, latency_breakdown
+from repro.trace import TraceError, Tracer, latency_breakdown, span_row
 from repro.trace.breakdown import TraceBreakdown, _merged_length
 
 
@@ -144,3 +144,72 @@ class TestLatencyBreakdown:
         report = latency_breakdown(Tracer(FakeEnv()))
         assert report.traces == []
         assert "no completed traces" in report.render()
+
+
+class TestSpanRow:
+    def test_ungrouped_span_keeps_layer_row(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        span = span_at(tracer, env, "bft.prepare", "bft", 0.0, 1e-6)
+        assert span_row(span) == "bft"
+
+    def test_group_attr_qualifies_row(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        env.now = 0.0
+        span = tracer.start_span("bft.prepare", layer="bft", group=2)
+        env.now = 1e-6
+        span.end()
+        assert span_row(span) == "bft.group.2.prepare"
+
+    def test_name_without_layer_prefix_kept_whole(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        span = tracer.start_span("oddball", layer="bft", group=0)
+        span.end()
+        assert span_row(span) == "bft.group.0.oddball"
+
+
+class TestCopGroupBreakdown:
+    def test_g4_run_reports_per_group_phase_rows(self):
+        """A real COP G=4 run: every group's phases get their own rows.
+
+        Folding all four ordering pipelines into one ``bft`` row would
+        hide a single slow group; the breakdown must keep them apart.
+        """
+        from repro.bench.cop import run_cop_point
+
+        tracer = Tracer()
+        run_cop_point(4, messages=32, num_clients=4, tracer=tracer)
+        report = latency_breakdown(tracer)
+        rows = set()
+        for breakdown in report.traces:
+            rows.update(breakdown.layer_seconds)
+        for group in range(4):
+            assert f"bft.group.{group}.prepare" in rows
+            assert f"bft.group.{group}.commit" in rows
+        # No un-grouped bft rows leak through under COP...
+        assert "bft" not in rows
+        rendered = report.render()
+        assert "bft.group.3.prepare" in rendered
+
+    def test_g1_rows_unchanged(self):
+        """Without COP the breakdown keeps the plain per-layer rows."""
+        from repro.bft import BftCluster, BftConfig
+
+        tracer = Tracer()
+        cluster = BftCluster(
+            transport="rubin",
+            config=BftConfig(batch_size=1, batch_delay=0.0),
+            tracer=tracer,
+        )
+        cluster.start()
+        assert cluster.invoke_and_wait(b"PUT k=v") == b"OK"
+        report = latency_breakdown(tracer)
+        rows = {
+            row
+            for breakdown in report.traces
+            for row in breakdown.layer_seconds
+        }
+        assert "bft" in rows
+        assert not any(".group." in row for row in rows)

@@ -109,6 +109,72 @@ class TestExport:
         validate_chrome_trace(document["traceEvents"])
 
 
+class TestHostGrouping:
+    def hosted_tracer(self):
+        env = FakeEnv()
+        tracer = Tracer(env)
+        root = tracer.start_trace("req", layer="client", track="client")
+        env.now = 1e-6
+        link = tracer.start_span(
+            "frame", layer="link", parent=root, track="client->server"
+        )
+        env.now = 2e-6
+        link.end()
+        nic = tracer.start_span(
+            "rnr", layer="nic", parent=root, track="server.nic"
+        )
+        env.now = 3e-6
+        nic.end()
+        other = tracer.start_span(
+            "misc", layer="misc", parent=root, track="supervisor"
+        )
+        env.now = 4e-6
+        other.end()
+        env.now = 5e-6
+        root.end()
+        return tracer
+
+    def events(self):
+        return chrome_trace_events(
+            self.hosted_tracer(), hosts=("client", "server")
+        )
+
+    def test_one_process_per_host(self):
+        events = self.events()
+        processes = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert processes["repro simulation"] == 1
+        assert processes["client"] == 2
+        assert processes["server"] == 3
+
+    def test_tracks_grouped_under_their_hosts(self):
+        events = self.events()
+        pid_of_track = {
+            e["args"]["name"]: e["pid"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert pid_of_track["client"] == 2  # exact host match
+        assert pid_of_track["client->server"] == 2  # link -> sender
+        assert pid_of_track["server.nic"] == 3  # host.suffix
+        assert pid_of_track["supervisor"] == 1  # unmatched -> default
+
+    def test_span_events_carry_host_pid(self):
+        events = self.events()
+        frame = next(e for e in events if e["name"] == "frame")
+        assert frame["pid"] == 2
+
+    def test_hosted_export_validates(self):
+        validate_chrome_trace(self.events())
+
+    def test_without_hosts_everything_is_default_process(self):
+        events = chrome_trace_events(self.hosted_tracer())
+        assert {e["pid"] for e in events} == {1}
+
+
 class TestValidator:
     def test_rejects_missing_keys(self):
         with pytest.raises(TraceError, match="missing"):
@@ -141,3 +207,30 @@ class TestValidator:
         ]
         with pytest.raises(TraceError, match="not sorted"):
             validate_chrome_trace(events)
+
+    def test_accepts_counter_events(self):
+        validate_chrome_trace(
+            [
+                {
+                    "name": "cpu", "ph": "C", "pid": 1, "tid": 0,
+                    "ts": 0.0, "args": {"value": 0.5},
+                }
+            ]
+        )
+
+    def test_rejects_counter_without_numeric_value(self):
+        for args in ({}, {"value": "high"}, {"value": True}):
+            event = {
+                "name": "cpu", "ph": "C", "pid": 1, "tid": 0,
+                "ts": 0.0, "args": args,
+            }
+            with pytest.raises(TraceError, match="counter"):
+                validate_chrome_trace([event])
+
+    def test_rejects_metadata_without_name(self):
+        event = {
+            "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+            "args": {},
+        }
+        with pytest.raises(TraceError, match="args.name"):
+            validate_chrome_trace([event])
