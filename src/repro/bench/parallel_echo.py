@@ -1,0 +1,288 @@
+"""Sharded echo workloads for :mod:`repro.sim.parallel`.
+
+Two builders, both module-level (the spawn start method pickles them by
+reference):
+
+* :func:`fig4_shard` — the paper's Figure-4 echo split across two
+  shards, client machine on shard 0, server machine on the last shard.
+  With one shard this constructs *exactly* what
+  :func:`repro.bench.selector_echo.reptor_echo` constructs, in the same
+  order, so the degenerate case is bit-identical to the sequential
+  figure; with two shards the modeled request history (the per-message
+  latencies) must still match the sequential run, which
+  ``tests/sim/test_parallel_determinism.py`` pins.
+
+* :func:`echo_mesh_shard` — the scaled topology for the wall-clock
+  matrix: ``pairs`` independent client/server machine pairs, every
+  cable crossing the shard boundary (client of pair *i* on shard
+  ``i % nshards``, its server on the next shard), so the partition has
+  real cross-shard traffic on every link and the conservative window is
+  the cable propagation delay.  ``2 * pairs`` hosts: four pairs give
+  the n >= 8 topology the wall-clock matrix runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.calibration import (
+    LINK_BANDWIDTH_BPS,
+    LINK_PROPAGATION,
+    TESTBED_CPU_COSTS,
+    TESTBED_DEVICE_ATTRS,
+    TESTBED_TCP_CONFIG,
+)
+from repro.bench.results import EchoResult
+from repro.bench.selector_echo import ECHO_PORT, FIG4_BATCH, FIG4_WINDOW
+from repro.crypto import KeyStore
+from repro.rdma import RdmaDevice
+from repro.reptor import ReptorConfig, ReptorEndpoint
+from repro.rubin import RubinConfig
+from repro.sim.core import Environment
+from repro.sim.parallel import Shard, ShardFabric
+from repro.tcpstack import TcpStack
+
+__all__ = ["fig4_shard", "echo_mesh_shard", "MESH_PROPAGATION"]
+
+#: Cable propagation for the echo-mesh workload.  Deliberately larger
+#: than the testbed's 1.5 us: it is also the conservative lookahead, and
+#: a wider window amortizes the per-barrier process round trip over more
+#: events per round.  (A real deployment spanning racks would sit in
+#: this range; the Fig-4 testbed point stays at the calibrated 1.5 us.)
+MESH_PROPAGATION = 10e-6
+
+
+def _reptor_config(payload_bytes: int) -> ReptorConfig:
+    return ReptorConfig(
+        window=FIG4_WINDOW,
+        batch_size=FIG4_BATCH,
+        authenticate=True,
+        max_message=max(payload_bytes, 1024),
+        read_buffer=max(128 * 1024, payload_bytes + 64),
+    )
+
+
+def _install_stacks(fabric: ShardFabric, names) -> None:
+    for name in names:
+        if fabric.is_local(name):
+            host = fabric.host(name)
+            TcpStack(host, config=TESTBED_TCP_CONFIG)
+            RdmaDevice(host, attrs=TESTBED_DEVICE_ATTRS)
+
+
+def _serve_echo(endpoint: ReptorEndpoint, env, messages: int):
+    endpoint.listen(ECHO_PORT)
+
+    def echo_server(connection):
+        def loop(env):
+            for _ in range(messages):
+                message = yield connection.receive()
+                reply_ctx = getattr(
+                    connection.channel, "last_read_trace_ctx", None
+                )
+                yield connection.send(message, trace_ctx=reply_ctx)
+
+        env.process(loop(env), name="echo.server")
+
+    endpoint.on_connection(echo_server)
+
+
+def _run_client(
+    endpoint: ReptorEndpoint,
+    env,
+    server_name: str,
+    payload_bytes: int,
+    messages: int,
+    result: EchoResult,
+    name: str = "echo.client",
+):
+    payload = b"\xa5" * payload_bytes
+    submit_times: dict[int, float] = {}
+
+    def client_proc(env):
+        connection = yield endpoint.connect(server_name, ECHO_PORT)
+        start = env.now
+
+        def pump(env):
+            for i in range(messages):
+                yield connection.send(payload)
+                submit_times[i] = env.now
+
+        env.process(pump(env), name=f"{name}.pump")
+        for i in range(messages):
+            yield connection.receive()
+            result.latencies_us.append((env.now - submit_times[i]) * 1e6)
+        result.duration_s = env.now - start
+
+    return env.process(client_proc(env), name=name)
+
+
+def fig4_shard(
+    shard_id: int,
+    nshards: int,
+    transport: str = "nio",
+    payload_bytes: int = 64,
+    messages: int = 30,
+) -> Shard:
+    """One shard of the Figure-4 echo: client on 0, server on the last.
+
+    Mirrors :func:`repro.bench.selector_echo.reptor_echo` construction
+    order exactly (hosts, cable, stacks, server endpoint, client
+    endpoint) so the single-shard case is the sequential run.
+    """
+    server_shard = nshards - 1
+    placement = {"client": 0, "server": server_shard}
+    env = Environment()
+    fabric = ShardFabric(env, shard_id, nshards, placement.__getitem__)
+    for name in ("client", "server"):
+        fabric.add_host(name, cores=4, cpu_costs=TESTBED_CPU_COSTS)
+    fabric.connect(
+        "client",
+        "server",
+        bandwidth_bps=LINK_BANDWIDTH_BPS,
+        propagation_delay=LINK_PROPAGATION,
+    )
+    _install_stacks(fabric, ("client", "server"))
+
+    config = _reptor_config(payload_bytes)
+    rubin_config = RubinConfig(
+        buffer_size=max(128 * 1024, payload_bytes + 1024)
+    )
+    # Per-shard KeyStore instances derive identical pairwise keys from
+    # the group secret, so authentication works across the partition.
+    keystore = KeyStore()
+    done = None
+    finish = None
+    if fabric.is_local("server"):
+        server = ReptorEndpoint(
+            fabric.host("server"),
+            transport,
+            config=config,
+            keystore=keystore,
+            rubin_config=rubin_config,
+        )
+        _serve_echo(server, env, messages)
+        if finish is None:
+            finish = lambda: None  # noqa: E731 - trivial shard result
+    if fabric.is_local("client"):
+        client = ReptorEndpoint(
+            fabric.host("client"),
+            transport,
+            config=config,
+            keystore=keystore,
+            rubin_config=rubin_config,
+        )
+        label = "rubin" if transport == "rubin" else "nio_tcp"
+        result = EchoResult(label, payload_bytes, messages)
+        done = _run_client(
+            client, env, "server", payload_bytes, messages, result,
+            name="fig4.client",
+        )
+
+        def finish_client(result=result, env=env):
+            result.messages = len(result.latencies_us)
+            result.sim_events = env._eid
+            return result
+
+        finish = finish_client
+    return Shard(env=env, fabric=fabric, done=done, finish=finish)
+
+
+def echo_mesh_shard(
+    shard_id: int,
+    nshards: int,
+    transport: str = "nio",
+    payload_bytes: int = 1024,
+    messages: int = 30,
+    pairs: int = 4,
+) -> Shard:
+    """One shard of the scaled echo mesh (``2 * pairs`` hosts).
+
+    Pair ``i`` runs client ``c{i}`` on shard ``i % nshards`` against
+    server ``s{i}`` on shard ``(i + 1) % nshards``; with more than one
+    shard every cable crosses the partition.
+    """
+
+    def placement(name: str) -> int:
+        index = int(name[1:])
+        if name[0] == "c":
+            return index % nshards
+        return (index + 1) % nshards
+
+    env = Environment()
+    fabric = ShardFabric(env, shard_id, nshards, placement)
+    names = []
+    for i in range(pairs):
+        for name in (f"c{i}", f"s{i}"):
+            fabric.add_host(name, cores=4, cpu_costs=TESTBED_CPU_COSTS)
+            names.append(name)
+    for i in range(pairs):
+        fabric.connect(
+            f"c{i}",
+            f"s{i}",
+            bandwidth_bps=LINK_BANDWIDTH_BPS,
+            propagation_delay=MESH_PROPAGATION,
+        )
+    _install_stacks(fabric, names)
+
+    config = _reptor_config(payload_bytes)
+    rubin_config = RubinConfig(
+        buffer_size=max(128 * 1024, payload_bytes + 1024)
+    )
+    keystore = KeyStore()
+    dones = []
+    results: dict[int, EchoResult] = {}
+    for i in range(pairs):
+        if fabric.is_local(f"s{i}"):
+            server = ReptorEndpoint(
+                fabric.host(f"s{i}"),
+                transport,
+                config=config,
+                keystore=keystore,
+                rubin_config=rubin_config,
+            )
+            _serve_echo(server, env, messages)
+        if fabric.is_local(f"c{i}"):
+            label = "rubin" if transport == "rubin" else "nio_tcp"
+            result = EchoResult(label, payload_bytes, messages)
+            results[i] = result
+            dones.append(
+                _run_client(
+                    ReptorEndpoint(
+                        fabric.host(f"c{i}"),
+                        transport,
+                        config=config,
+                        keystore=keystore,
+                        rubin_config=rubin_config,
+                    ),
+                    env,
+                    f"s{i}",
+                    payload_bytes,
+                    messages,
+                    result,
+                    name=f"mesh.client.{i}",
+                )
+            )
+
+    done: Optional[object] = None
+    if dones:
+        from repro.sim.events import Event
+
+        done = Event(env)
+
+        def waiter(env, pending=list(dones), done=done):
+            for d in pending:
+                yield d
+            done.succeed()
+
+        env.process(waiter(env), name="mesh.waiter")
+
+    def finish(results=results, env=env):
+        out = {}
+        for i, result in sorted(results.items()):
+            result.messages = len(result.latencies_us)
+            result.sim_events = env._eid
+            out[i] = result
+        return out
+
+    return Shard(env=env, fabric=fabric, done=done, finish=finish)

@@ -7,26 +7,59 @@ and events scheduled on one environment.
 Determinism
 -----------
 
-The agenda is a binary heap ordered by ``(time, priority, sequence)``.  The
+The agenda orders events by ``(time, priority, sequence)``.  The
 monotonically increasing sequence number makes event processing order fully
 deterministic for identical inputs, which the benchmark harness relies on:
 every figure in EXPERIMENTS.md reproduces bit-for-bit.
+
+Agenda structure
+----------------
+
+Physically the agenda is split into two lanes that are merged by tuple
+comparison at dispatch:
+
+* a **zero-delay lane** (a deque) receiving every ``(now, NORMAL)`` push —
+  event triggers, store grants, process completions.  The clock never moves
+  backwards and sequence numbers only grow, so entries are appended in
+  exactly the order they would leave a heap: FIFO *is* sorted order.
+* a **far lane** for everything else (timeouts, urgent bootstraps),
+  implemented either as a binary heap or as a
+  :class:`~repro.sim.calqueue.CalendarQueue`, selected by
+  ``Environment(scheduler=...)``.
+
+Because the merge compares full ``(time, priority, sequence)`` keys, the
+dispatch order is identical no matter which lane an entry landed in — the
+split is purely a performance device, and both schedulers reproduce the
+pinned schedule fingerprints bit-for-bit.
 """
 
 from __future__ import annotations
 
 import gc as _gc
 import heapq
+import os as _os
+from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.sim.calqueue import CalendarQueue
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process, ProcessGenerator
 
-__all__ = ["Environment", "Infinity", "TieBreakPolicy"]
+__all__ = ["Environment", "Infinity", "TieBreakPolicy", "DEFAULT_SCHEDULER", "SCHEDULERS"]
 
 #: Convenience alias used for "run forever" bounds.
 Infinity = float("inf")
+
+#: Recognized values for ``Environment(scheduler=...)``.
+SCHEDULERS = ("heap", "calendar")
+
+#: Scheduler used when neither the constructor argument nor the
+#: ``REPRO_SCHEDULER`` environment variable says otherwise.  ``calendar``
+#: is the default: it reproduces every pinned schedule fingerprint
+#: bit-for-bit and wins the wallclock matrix (BENCH_wallclock.json).
+DEFAULT_SCHEDULER = "calendar"
 
 
 class TieBreakPolicy:
@@ -55,6 +88,36 @@ class TieBreakPolicy:
         return 0
 
 
+class _HeapLanes:
+    """Lane stand-in that routes every push into one binary heap.
+
+    Used in two situations: as both lane slots of a
+    ``scheduler="heap"`` environment (the legacy single-heap agenda the
+    calendar scheduler replaces), and while a :class:`TieBreakPolicy` is
+    installed — the policy slow path needs every pending entry in one
+    structure so it can materialize equal-``(time, priority)`` ready
+    sets.  Either way, the inlined push sites (which call ``_dq.append``
+    / ``_far.push``) land straight in the heap that the legacy run loop
+    and :meth:`Environment._pop_choice` consume.
+    """
+
+    __slots__ = ("_queue",)
+
+    #: CalendarQueue interface stub: ``Timeout.__init__`` inlines the
+    #: calendar's current-run fast path behind a ``when < _bucket_top``
+    #: test; -inf makes that test always false here, so every timeout
+    #: falls through to the generic :meth:`push` (the heap).
+    _bucket_top = float("-inf")
+
+    def __init__(self, queue: list):
+        self._queue = queue
+
+    def append(self, entry) -> None:
+        _heappush(self._queue, entry)
+
+    push = append
+
+
 class Environment:
     """A simulation environment: clock, agenda, and factory methods.
 
@@ -64,6 +127,11 @@ class Environment:
         Starting value of the simulation clock.  The library uses seconds
         as the unit convention throughout (latencies are reported in
         microseconds by dividing at the edges).
+    scheduler:
+        ``"heap"`` or ``"calendar"`` — the far-lane structure.  ``None``
+        (the default) resolves the ``REPRO_SCHEDULER`` environment
+        variable, then :data:`DEFAULT_SCHEDULER`.  Both schedulers
+        dispatch the exact same ``(time, priority, sequence)`` order.
     """
 
     #: Priority for ordinary events.
@@ -72,9 +140,45 @@ class Environment:
     #: events scheduled for the same time.
     URGENT = 0
 
-    def __init__(self, initial_time: float = 0.0):
+    # Slots: the inlined push sites read _now/_eid/_dq/_far on every
+    # event, and slot descriptors beat instance-dict lookups at sweep
+    # scale.  ``tracer`` and ``audit`` are the two attributes external
+    # modules attach (install_tracer / install_audit).
+    __slots__ = (
+        "_scheduler",
+        "_lanes",
+        "_now",
+        "_dq",
+        "_far",
+        "_queue",
+        "_eid",
+        "_active_process",
+        "_tiebreak",
+        "tracer",
+        "audit",
+    )
+
+    def __init__(self, initial_time: float = 0.0, scheduler: Optional[str] = None):
+        if scheduler is None:
+            scheduler = _os.environ.get("REPRO_SCHEDULER") or DEFAULT_SCHEDULER
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r} (choose from {SCHEDULERS})"
+            )
+        self._scheduler = scheduler
         self._now = float(initial_time)
+        # Single-heap agenda: the whole agenda under ``scheduler="heap"``
+        # and whenever a TieBreakPolicy is installed; empty otherwise.
         self._queue: list[tuple[float, int, int, Event]] = []
+        # The two lanes.  Under "calendar" they are a real deque plus a
+        # CalendarQueue; under "heap" both slots are one _HeapLanes shim
+        # so every push lands in the legacy heap.
+        self._lanes = scheduler == "calendar"
+        if self._lanes:
+            self._dq: Any = deque()
+            self._far: Any = CalendarQueue(self._now)
+        else:
+            self._dq = self._far = _HeapLanes(self._queue)
         self._eid = 0
         self._active_process: Optional[Process] = None
         # Optional TieBreakPolicy consulted on equal-(time, priority)
@@ -84,6 +188,8 @@ class Environment:
         # this; ``repro.trace.get_tracer`` falls back to a no-op tracer
         # while it is None.  The kernel itself never reads it.
         self.tracer = None
+        # Audit hook (``repro.audit.install_audit``), declared for slots.
+        self.audit = None
 
     # -- clock & agenda -----------------------------------------------------
 
@@ -91,6 +197,11 @@ class Environment:
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def scheduler(self) -> str:
+        """Which far-lane structure this environment runs on."""
+        return self._scheduler
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -104,14 +215,56 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if delay == 0.0 and priority == 1:
+            self._dq.append((self._now, 1, self._eid, event))
+        else:
+            self._far.push((self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``Infinity`` if none."""
-        return self._queue[0][0] if self._queue else Infinity
+        if self._tiebreak is not None or not self._lanes:
+            return self._queue[0][0] if self._queue else Infinity
+        head = self._far.head
+        dq = self._dq
+        if dq:
+            when = dq[0][0]
+            return when if head is None or when < head[0] else head[0]
+        return head[0] if head is not None else Infinity
+
+    def _pending(self) -> int:
+        """Number of agenda entries across all lanes."""
+        if self._tiebreak is not None or not self._lanes:
+            return len(self._queue)
+        return len(self._dq) + len(self._far)
 
     def set_tiebreak(self, policy: Optional[TieBreakPolicy]) -> None:
-        """Install (or clear) the equal-timestamp tie-break policy."""
+        """Install (or clear) the equal-timestamp tie-break policy.
+
+        Installing a policy migrates both lanes into the legacy single
+        heap the policy loop consumes (entries keep their original
+        ``(time, priority, sequence)`` keys, so a policy that always
+        answers 0 reproduces the native order bit-for-bit); clearing it
+        migrates the pending entries back into the lanes.
+
+        Under ``scheduler="heap"`` there is nothing to migrate: the
+        agenda already is the single heap the policy loop consumes.
+        """
+        if self._lanes:
+            if policy is not None:
+                if self._tiebreak is None:
+                    entries = list(self._dq)
+                    entries.extend(self._far._entries())
+                    heapq.heapify(entries)
+                    self._queue = entries
+                    self._dq = self._far = _HeapLanes(entries)
+            elif self._tiebreak is not None:
+                entries = sorted(self._queue)
+                self._queue = []
+                self._dq = deque()
+                far = CalendarQueue(self._now)
+                for entry in entries:
+                    far.push(entry)
+                self._far = far
         self._tiebreak = policy
 
     def _pop_choice(self) -> tuple[float, int, int, Event]:
@@ -153,12 +306,27 @@ class Environment:
                     repr(exc)
                 )
             return
-        try:
-            when, _prio, _eid, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise SimulationError("agenda is empty") from None
+        if not self._lanes:
+            if not self._queue:
+                raise SimulationError("agenda is empty")
+            entry = _heappop(self._queue)
+        else:
+            dq = self._dq
+            far = self._far
+            if dq:
+                entry = dq[0]
+                head = far.head
+                if head is not None and head < entry:
+                    entry = far.pop()
+                else:
+                    dq.popleft()
+            elif far.head is not None:
+                entry = far.pop()
+            else:
+                raise SimulationError("agenda is empty")
 
-        self._now = when
+        self._now = entry[0]
+        event = entry[3]
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -196,15 +364,14 @@ class Environment:
                 )
             stop_event = None
 
-        # Merged run loop: the step() body is inlined with the queue and
-        # heappop held in locals.  The loop retires hundreds of thousands
-        # of events per sweep, so attribute lookups and the extra frame per
-        # step dominate host time; semantics are identical to
-        # ``while self._queue: ... self.step() ...`` above.  Two copies of
-        # the loop so the common cases pay neither the stop_event nor the
-        # stop_at comparison per event.
-        queue = self._queue
-        heappop = heapq.heappop
+        # Merged run loop: the step() body is inlined with the lanes held
+        # in locals.  The loop retires hundreds of thousands of events per
+        # sweep, so attribute lookups and the extra frame per step dominate
+        # host time; semantics are identical to
+        # ``while pending: ... self.step() ...``.  Two copies of the loop
+        # so the common cases pay neither the stop_event nor the stop_at
+        # comparison per event.
+        #
         # The loop allocates a handful of small objects per event and
         # frees nearly all of them by reference counting — the event
         # graph is deliberately acyclic (holds point at requests and
@@ -221,21 +388,116 @@ class Environment:
         try:
             if self._tiebreak is not None:
                 return self._run_loop_policy(stop_event, stop_at)
-            return self._run_loop(queue, heappop, stop_event, stop_at)
+            if not self._lanes:
+                return self._run_loop_heap(stop_event, stop_at)
+            return self._run_loop(stop_event, stop_at)
         finally:
             if gc_was_enabled:
                 _gc.enable()
 
-    def _run_loop(
+    def _run_loop_heap(
         self,
-        queue: list,
-        heappop: Any,
         stop_event: Optional[Event],
         stop_at: float,
     ) -> Any:
+        """Run loop for the legacy single-heap scheduler."""
+        queue = self._queue
+        pop = _heappop
         if stop_event is not None:
             while queue:
-                entry = heappop(queue)
+                entry = pop(queue)
+                self._now = entry[0]
+                event = entry[3]
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    # A failed event nobody waited on: surface it loudly.
+                    exc = event._value
+                    raise exc if isinstance(
+                        exc, BaseException
+                    ) else SimulationError(repr(exc))
+                if stop_event.callbacks is None:
+                    if stop_event._ok:
+                        return stop_event._value
+                    stop_event._defused = True
+                    raise stop_event._value
+        else:
+            while queue:
+                if queue[0][0] > stop_at:
+                    self._now = stop_at
+                    return None
+                entry = pop(queue)
+                self._now = entry[0]
+                event = entry[3]
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    # A failed event nobody waited on: surface it loudly.
+                    exc = event._value
+                    raise exc if isinstance(
+                        exc, BaseException
+                    ) else SimulationError(repr(exc))
+
+        if stop_event is not None:
+            raise SimulationError(
+                "simulation ran out of events before the awaited event "
+                f"{stop_event!r} triggered"
+            )
+        if stop_at is not Infinity:
+            self._now = stop_at
+        return None
+
+    def _run_loop(
+        self,
+        stop_event: Optional[Event],
+        stop_at: float,
+    ) -> Any:
+        dq = self._dq
+        dq_popleft = dq.popleft
+        far = self._far
+        far_advance = far._advance
+        if stop_event is not None:
+            while True:
+                # Merge the lanes: full-key tuple comparison, so dispatch
+                # order is independent of which lane an entry landed in.
+                # Far pops are inlined (``head`` *is* ``_cur[_idx]``, so
+                # advancing the serve index and rebinding head replaces a
+                # method call on the per-timeout hot path).
+                if dq:
+                    entry = dq[0]
+                    head = far.head
+                    if head is not None and head < entry:
+                        entry = head
+                        cur = far._cur
+                        idx = far._idx + 1
+                        far._idx = idx
+                        try:
+                            far.head = cur[idx]
+                        except IndexError:
+                            far_advance()
+                    else:
+                        dq_popleft()
+                else:
+                    entry = far.head
+                    if entry is None:
+                        break
+                    cur = far._cur
+                    idx = far._idx + 1
+                    far._idx = idx
+                    try:
+                        far.head = cur[idx]
+                    except IndexError:
+                        far_advance()
                 self._now = entry[0]
                 event = entry[3]
                 callbacks = event.callbacks
@@ -259,11 +521,38 @@ class Environment:
                     stop_event._defused = True
                     raise stop_event._value
         else:
-            while queue:
-                if queue[0][0] > stop_at:
-                    self._now = stop_at
-                    return None
-                entry = heappop(queue)
+            while True:
+                if dq:
+                    # Zero-delay entries never outrun the clock, so only a
+                    # far head can cross stop_at; the dq branch needs no
+                    # bounds check.
+                    entry = dq[0]
+                    head = far.head
+                    if head is not None and head < entry:
+                        entry = head
+                        cur = far._cur
+                        idx = far._idx + 1
+                        far._idx = idx
+                        try:
+                            far.head = cur[idx]
+                        except IndexError:
+                            far_advance()
+                    else:
+                        dq_popleft()
+                else:
+                    entry = far.head
+                    if entry is None:
+                        break
+                    if entry[0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    cur = far._cur
+                    idx = far._idx + 1
+                    far._idx = idx
+                    try:
+                        far.head = cur[idx]
+                    except IndexError:
+                        far_advance()
                 self._now = entry[0]
                 event = entry[3]
                 callbacks = event.callbacks
@@ -295,8 +584,9 @@ class Environment:
         """Run loop variant used when a tie-break policy is installed.
 
         Mirrors :meth:`_run_loop` exactly, except every pop goes through
-        :meth:`_pop_choice`.  Kept separate so the no-policy fast path
-        stays byte-identical to the pinned fingerprints.
+        :meth:`_pop_choice` on the migrated legacy heap.  Kept separate
+        so the no-policy fast path stays byte-identical to the pinned
+        fingerprints.
         """
         queue = self._queue
         while queue:
@@ -356,6 +646,6 @@ class Environment:
 
     def __repr__(self) -> str:
         return (
-            f"<Environment now={self._now!r} pending={len(self._queue)} "
+            f"<Environment now={self._now!r} pending={self._pending()} "
             f"at {id(self):#x}>"
         )

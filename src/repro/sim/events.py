@@ -23,7 +23,7 @@ ok
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
+from bisect import insort as _insort
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -129,10 +129,11 @@ class Event:
         self._value = value
         # Inlined Environment.schedule (delay 0, NORMAL priority): this is
         # the kernel's hottest call site and the indirection costs real
-        # wall-clock at sweep scale.  Identical agenda entry either way.
+        # wall-clock at sweep scale.  Identical agenda entry either way;
+        # zero-delay NORMAL pushes go to the kernel's FIFO lane.
         env = self.env
         env._eid += 1
-        _heappush(env._queue, (env._now, 1, env._eid, self))
+        env._dq.append((env._now, 1, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -154,7 +155,7 @@ class Event:
         self._value = exception
         env = self.env
         env._eid += 1
-        _heappush(env._queue, (env._now, 1, env._eid, self))
+        env._dq.append((env._now, 1, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -165,7 +166,7 @@ class Event:
         self._value = event._value
         env = self.env
         env._eid += 1
-        _heappush(env._queue, (env._now, 1, env._eid, self))
+        env._dq.append((env._now, 1, env._eid, self))
 
     def defused(self) -> "Event":
         """Mark a failed event as handled out-of-band.
@@ -226,7 +227,21 @@ class Timeout(Event):
         self._defused = False
         self.delay = delay
         env._eid += 1
-        _heappush(env._queue, (env._now + delay, 1, env._eid, self))
+        far = env._far
+        when = env._now + delay
+        # Inlined CalendarQueue.push fast path: ~93% of timeouts on the
+        # calibrated testbed land inside the bucket being served (widths
+        # are sized to the NIC/CPU-cost scale), where the insert is one C
+        # bisect into the current run.  The heap scheduler's lane shim
+        # advertises ``_bucket_top = -inf`` so it always takes the
+        # generic ``push`` branch.
+        if when < far._bucket_top:
+            entry = (when, 1, env._eid, self)
+            cur = far._cur
+            _insort(cur, entry, far._idx)
+            far.head = cur[far._idx]
+        else:
+            far.push((when, 1, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"

@@ -1,0 +1,553 @@
+"""Host-sharded conservative parallel simulation.
+
+Partitions the simulated hosts of a topology across *shards*, each
+advanced by its own worker process, synchronized conservatively in the
+Chandy–Misra–Bryant tradition: every worker advances its local event
+kernel in lockstep *windows* of width ``L``, the **lookahead**, defined
+as the minimum propagation delay over all cross-shard link directions
+(:meth:`repro.net.fabric.Fabric.min_propagation_delay` is the sequential
+analogue).  A frame that finishes serialization at local time ``t``
+cannot arrive on any other shard before ``t + L``, so events generated
+during window ``k`` — covering ``((k-1)·L, k·L]`` — can only affect
+other shards in window ``k+1`` or later.  Exchanging *frame descriptors*
+at the barrier between windows therefore never delivers an event into a
+shard's past: the classic conservative-synchronization argument, with
+the link propagation delay playing the role of the CMB channel
+lookahead and the window barrier replacing per-channel null messages.
+
+Cross-shard traffic travels as :class:`FrameDescriptor` records: the
+sending shard simulates its transmit queue, serialization, and the drop
+hook locally (an :class:`~repro.net.link.EgressLink`), computes the
+arrival timestamp with exactly the float expression the sequential
+kernel would have used (``serialize_end + propagation_delay``), and the
+receiving shard re-materializes the frame and schedules delivery at
+exactly that timestamp.  Descriptors are injected in ``(arrival_time,
+source_shard, sequence)`` order — the *shard-merge ordering rule* — so
+a run is a pure function of the builder and the partition.
+
+Determinism contract
+--------------------
+
+* ``shards=1`` is the degenerate case: the builder constructs the full
+  topology on ordinary local links and the run is the sequential kernel,
+  bit-identical to an unsharded run by construction (same code path).
+* At ``shards>=2``, modeled timestamps are bit-identical to sequential
+  (identical float arithmetic on identical causal chains), but kernel
+  event ids diverge (each shard numbers its own agenda), so *schedule
+  fingerprints* are per-shard quantities.  What is pinned instead is the
+  modeled history — e.g. the Fig-4 request latencies
+  (``tests/sim/test_parallel_determinism.py``).
+* Workers are started with the ``spawn`` method only: no state leaks
+  from the parent beyond the picklable builder and its arguments, which
+  is also what the determinism lint enforces for this module.
+
+The builder contract: a module-level callable (picklable by reference)
+``builder(shard_id, nshards, **kwargs) -> Shard`` that constructs the
+shard-local part of the topology through a :class:`ShardFabric` and
+returns a :class:`Shard`.  ``Shard.finish`` must derive its result only
+from state written causally before ``Shard.done`` triggers: windows do
+not stop mid-flight when the done event fires, so events *concurrent*
+with it may or may not have run (exactly the latitude a sequential
+``run(until=done)`` leaves for ties at the final timestamp).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as _mp
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, NetworkError, SimulationError
+from repro.net.cpu import CpuCosts
+from repro.net.fabric import Fabric
+from repro.net.host import Host
+from repro.net.link import TEN_GIGABIT, DropFn, EgressLink
+from repro.net.frame import Frame
+from repro.sim.copystats import COPYSTATS
+from repro.sim.core import Environment
+from repro.sim.events import Event
+
+__all__ = [
+    "FrameDescriptor",
+    "IngressLink",
+    "ShardFabric",
+    "Shard",
+    "run_sharded",
+]
+
+#: Hard ceiling on barrier rounds: a conservative-sync run that has not
+#: terminated after this many windows is almost certainly missing its
+#: done condition.
+MAX_ROUNDS = 5_000_000
+
+
+@dataclass(slots=True)
+class FrameDescriptor:
+    """One cross-shard frame in flight, in picklable form.
+
+    ``arrival`` is the exact modeled delivery timestamp computed on the
+    sending shard; ``seq`` is the per-source-shard departure sequence
+    number that, together with ``src_shard``, makes the injection order
+    total (the shard-merge ordering rule).
+    """
+
+    arrival: float
+    src_shard: int
+    seq: int
+    target_shard: int
+    link: str
+    src: str
+    dst: str
+    protocol: str
+    wire_bytes: int
+    frame_id: int
+    payload: Any
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.arrival, self.src_shard, self.seq)
+
+
+def _portable_payload(payload: Any) -> Any:
+    """Normalize a frame payload for pickling across the shard boundary.
+
+    Materializes memoryviews (rubin buffers lend views into pools that
+    must not travel) and strips trace contexts (spans do not cross
+    shards); everything else is shipped as-is and must be picklable.
+    """
+    if isinstance(payload, memoryview):
+        return payload.tobytes()
+    if isinstance(payload, bytearray):
+        return bytes(payload)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        names = {f.name for f in dataclasses.fields(payload)}
+        changes: Dict[str, Any] = {}
+        if "trace_ctx" in names and getattr(payload, "trace_ctx") is not None:
+            changes["trace_ctx"] = None
+        for attr in ("payload", "data"):
+            if attr in names:
+                value = getattr(payload, attr)
+                if isinstance(value, (memoryview, bytearray)):
+                    changes[attr] = bytes(value)
+        if changes:
+            payload = dataclasses.replace(payload, **changes)
+    return payload
+
+
+class IngressLink:
+    """The shard-local receiving half of a cross-shard link direction.
+
+    Quacks enough like :class:`~repro.net.link.Link` for
+    ``Nic.attach_rx``; delivery replicates ``Link._deliver`` exactly
+    (copystats probe, then the receiver callback), so a delivered frame
+    is indistinguishable from one that crossed a local link.
+    """
+
+    __slots__ = ("name", "_receiver")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._receiver: Optional[Callable[[Frame], None]] = None
+
+    def attach_receiver(self, deliver: Callable[[Frame], None]) -> None:
+        if self._receiver is not None:
+            raise NetworkError(f"{self.name}: receiver already attached")
+        self._receiver = deliver
+
+    def deliver(self, event: Event) -> None:
+        frame = event._value
+        if COPYSTATS.enabled:
+            COPYSTATS.frame(frame.wire_bytes)
+        self._receiver(frame)
+
+
+class ShardFabric:
+    """Builds the shard-local slice of a full topology.
+
+    A builder declares the *whole* topology through this wrapper —
+    every host and every cable, on every shard — and the wrapper
+    materializes only what is local: hosts mapped to this shard, cables
+    between two local hosts, and the egress/ingress halves of cables
+    that cross the partition.  Because every shard sees every
+    ``connect`` call, all workers derive the same (global) lookahead.
+
+    With ``nshards == 1`` everything is local and the underlying
+    :class:`~repro.net.fabric.Fabric` is exactly what a sequential
+    builder would have produced — the degenerate case rides the
+    ordinary kernel untouched.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        shard_id: int,
+        nshards: int,
+        shard_of: Callable[[str], int],
+    ):
+        if not 0 <= shard_id < nshards:
+            raise ConfigurationError(
+                f"shard_id {shard_id} out of range for {nshards} shards"
+            )
+        self.env = env
+        self.shard_id = shard_id
+        self.nshards = nshards
+        self._shard_of = shard_of
+        self.fabric = Fabric(env)
+        #: link key -> IngressLink for directions terminating here.
+        self.ingress: Dict[str, IngressLink] = {}
+        #: EgressLink list for directions originating here.
+        self.egress: List[EgressLink] = []
+        self._shard_by_host: Dict[str, int] = {}
+        self._cross_delays: List[float] = []
+
+    def shard_of(self, name: str) -> int:
+        shard = self._shard_of(name)
+        if not isinstance(shard, int) or not 0 <= shard < self.nshards:
+            raise ConfigurationError(
+                f"partition maps host {name!r} to invalid shard {shard!r}"
+            )
+        return shard
+
+    def add_host(
+        self,
+        name: str,
+        cores: int = 4,
+        cpu_costs: Optional[CpuCosts] = None,
+    ) -> Optional[Host]:
+        """Declare a host; returns it if local to this shard, else None."""
+        if name in self._shard_by_host:
+            raise NetworkError(f"host {name!r} already declared")
+        shard = self.shard_of(name)
+        self._shard_by_host[name] = shard
+        if shard != self.shard_id:
+            return None
+        host = self.fabric.add_host(name, cores=cores, cpu_costs=cpu_costs)
+        host.shard = shard
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.fabric.host(name)
+
+    def is_local(self, name: str) -> bool:
+        try:
+            return self._shard_by_host[name] == self.shard_id
+        except KeyError:
+            raise NetworkError(f"host {name!r} was never declared") from None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float = TEN_GIGABIT,
+        propagation_delay: float = 1.5e-6,
+        drop_fn: Optional[DropFn] = None,
+    ) -> None:
+        """Declare the cable ``a <-> b``; materialize the local halves."""
+        shard_a = self._shard_by_host.get(a)
+        shard_b = self._shard_by_host.get(b)
+        if shard_a is None or shard_b is None:
+            missing = a if shard_a is None else b
+            raise NetworkError(f"connect before add_host: {missing!r}")
+        local = self.shard_id
+        if shard_a == shard_b:
+            if shard_a == local:
+                self.fabric.connect(
+                    a,
+                    b,
+                    bandwidth_bps=bandwidth_bps,
+                    propagation_delay=propagation_delay,
+                    drop_fn=drop_fn,
+                )
+            return
+        # Cross-shard cable: every shard accounts it in the lookahead;
+        # the two endpoint shards materialize their halves.
+        self._cross_delays.append(propagation_delay)
+        for src, dst, src_shard, dst_shard in (
+            (a, b, shard_a, shard_b),
+            (b, a, shard_b, shard_a),
+        ):
+            key = f"{src}->{dst}"
+            if src_shard == local:
+                link = EgressLink(
+                    self.env,
+                    bandwidth_bps=bandwidth_bps,
+                    propagation_delay=propagation_delay,
+                    drop_fn=drop_fn,
+                    name=key,
+                )
+                link.link_key = key
+                link.target_shard = dst_shard
+                self.fabric.host(src).nic.attach_tx(dst, link)
+                self.egress.append(link)
+            elif dst_shard == local:
+                ingress = IngressLink(key)
+                self.fabric.host(dst).nic.attach_rx(ingress)
+                self.ingress[key] = ingress
+
+    def lookahead(self) -> float:
+        """The conservative window width: min cross-shard propagation."""
+        if self.nshards == 1:
+            raise ConfigurationError("single shard runs need no lookahead")
+        if not self._cross_delays:
+            raise ConfigurationError(
+                "no cross-shard cables: the partition leaves shards "
+                "disconnected, so there is no lookahead to derive"
+            )
+        return min(self._cross_delays)
+
+
+@dataclass
+class Shard:
+    """What a builder hands back to the runner for one shard."""
+
+    env: Environment
+    fabric: ShardFabric
+    #: Completion condition (``run(until=done)`` in the sequential
+    #: degenerate case).  At least one shard in a run must have one.
+    done: Optional[Event] = None
+    #: Zero-argument callable returning this shard's picklable result.
+    finish: Optional[Callable[[], Any]] = None
+
+
+def _drain_departures(
+    shard: Shard, shard_id: int, seq_start: int
+) -> Tuple[List[FrameDescriptor], int]:
+    """Collect this window's cross-shard departures, in egress order."""
+    out: List[FrameDescriptor] = []
+    seq = seq_start
+    for link in shard.fabric.egress:
+        departures = link.departures
+        if not departures:
+            continue
+        link.departures = []
+        for arrival, frame in departures:
+            out.append(
+                FrameDescriptor(
+                    arrival=arrival,
+                    src_shard=shard_id,
+                    seq=seq,
+                    target_shard=link.target_shard,
+                    link=link.link_key,
+                    src=frame.src,
+                    dst=frame.dst,
+                    protocol=frame.protocol,
+                    wire_bytes=frame.wire_bytes,
+                    frame_id=frame.frame_id,
+                    payload=_portable_payload(frame.payload),
+                )
+            )
+            seq += 1
+    return out, seq
+
+
+def _inject(shard: Shard, due: List[FrameDescriptor]) -> None:
+    """Schedule delivery for descriptors whose arrival is in this window.
+
+    Pushes the delivery event at *exactly* the sender-computed arrival
+    timestamp (no ``now + delay`` round trip, which could perturb the
+    float), at NORMAL priority with a fresh local event id.
+    """
+    env = shard.env
+    ingress = shard.fabric.ingress
+    for desc in due:
+        try:
+            port = ingress[desc.link]
+        except KeyError:
+            raise SimulationError(
+                f"descriptor for unknown ingress {desc.link!r}"
+            ) from None
+        frame = Frame(
+            src=desc.src,
+            dst=desc.dst,
+            protocol=desc.protocol,
+            wire_bytes=desc.wire_bytes,
+            payload=desc.payload,
+            frame_id=desc.frame_id,
+        )
+        event = Event(env)
+        event._ok = True
+        event._value = frame
+        event.callbacks.append(port.deliver)
+        env._eid += 1
+        env._far.push((desc.arrival, 1, env._eid, event))
+
+
+def _run_windows(conn, shard: Shard, shard_id: int, lookahead: float) -> None:
+    """The per-worker barrier loop (also used inline in tests)."""
+    env = shard.env
+    pending: List[FrameDescriptor] = []
+    seq = 0
+    round_no = 0
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "finish":
+            result = shard.finish() if shard.finish is not None else None
+            conn.send(("result", shard_id, result))
+            return
+        if kind != "advance":
+            raise SimulationError(f"unexpected coordinator message {kind!r}")
+        pending.extend(message[1])
+        round_no += 1
+        horizon = round_no * lookahead
+        if pending:
+            due = [d for d in pending if d.arrival <= horizon]
+            if due:
+                pending = [d for d in pending if d.arrival > horizon]
+                due.sort(key=FrameDescriptor.sort_key)
+                _inject(shard, due)
+        done = shard.done
+        finished = done is not None and done.callbacks is None
+        if not finished and env._now < horizon:
+            env.run(until=horizon)
+            finished = done is not None and done.callbacks is None
+        outgoing, seq = _drain_departures(shard, shard_id, seq)
+        done_flag = None if done is None else finished
+        conn.send(("round", round_no, outgoing, done_flag))
+
+
+def _shard_worker(
+    conn,
+    builder: Callable[..., Shard],
+    builder_kwargs: Dict[str, Any],
+    shard_id: int,
+    nshards: int,
+) -> None:
+    """Worker entry point (spawn target; must stay module-level)."""
+    try:
+        shard = builder(shard_id, nshards, **builder_kwargs)
+        lookahead = shard.fabric.lookahead()
+        conn.send(
+            ("ready", shard_id, shard.done is not None, lookahead)
+        )
+        _run_windows(conn, shard, shard_id, lookahead)
+    except BaseException as exc:  # pragma: no cover - forwarded to parent
+        try:
+            conn.send(("error", shard_id, repr(exc), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_sharded(
+    builder: Callable[..., Shard],
+    nshards: int,
+    builder_kwargs: Optional[Dict[str, Any]] = None,
+    max_rounds: int = MAX_ROUNDS,
+) -> List[Any]:
+    """Run ``builder``'s topology across ``nshards`` worker processes.
+
+    Returns the list of per-shard ``finish()`` results, indexed by
+    shard id.  ``nshards == 1`` runs sequentially in-process (the
+    bit-identical degenerate case); otherwise workers are spawned (the
+    only fork-safety-proof start method) and advanced in conservative
+    windows until every shard that declared a ``done`` event reports it
+    processed.
+    """
+    if nshards < 1:
+        raise ConfigurationError(f"need at least one shard ({nshards})")
+    kwargs = builder_kwargs or {}
+
+    if nshards == 1:
+        shard = builder(0, 1, **kwargs)
+        if shard.done is not None:
+            shard.env.run(until=shard.done)
+        else:
+            shard.env.run()
+        return [shard.finish() if shard.finish is not None else None]
+
+    context = _mp.get_context("spawn")
+    parents = []
+    workers = []
+
+    def recv(conn, shard_id: int):
+        """One protocol message, with worker death made diagnosable.
+
+        A worker that dies before sending (interpreter startup failure,
+        OOM kill, a builder that cannot be re-imported under spawn —
+        e.g. defined in a ``<stdin>`` script) surfaces as a bare
+        ``EOFError`` on the pipe; translate it.
+        """
+        try:
+            message = conn.recv()
+        except EOFError:
+            raise SimulationError(
+                f"shard {shard_id} worker died without reporting an error "
+                "(is the builder importable in a fresh interpreter? spawn "
+                "re-imports the builder's module, so builders defined in "
+                "__main__ need a real script file)"
+            ) from None
+        if message[0] == "error":
+            raise SimulationError(
+                f"shard {message[1]} failed: {message[2]}\n{message[3]}"
+            )
+        return message
+
+    try:
+        for shard_id in range(nshards):
+            parent_conn, child_conn = context.Pipe()
+            worker = context.Process(
+                target=_shard_worker,
+                args=(child_conn, builder, kwargs, shard_id, nshards),
+                name=f"repro-shard-{shard_id}",
+            )
+            worker.start()
+            child_conn.close()
+            parents.append(parent_conn)
+            workers.append(worker)
+
+        lookaheads = []
+        any_done = False
+        for shard_id, conn in enumerate(parents):
+            _, _shard_id, has_done, lookahead = recv(conn, shard_id)
+            any_done = any_done or has_done
+            lookaheads.append(lookahead)
+        if not any_done:
+            raise ConfigurationError(
+                "no shard declared a done condition; the run would never "
+                "terminate"
+            )
+        if len(set(lookaheads)) != 1:
+            raise ConfigurationError(
+                f"shards disagree on the lookahead: {lookaheads} "
+                "(the builder must declare the same topology everywhere)"
+            )
+
+        inboxes: List[List[FrameDescriptor]] = [[] for _ in range(nshards)]
+        for _round in range(max_rounds):
+            for shard_id, conn in enumerate(parents):
+                conn.send(("advance", inboxes[shard_id]))
+                inboxes[shard_id] = []
+            all_done = True
+            for shard_id, conn in enumerate(parents):
+                _, _round_no, outgoing, done_flag = recv(conn, shard_id)
+                for desc in outgoing:
+                    inboxes[desc.target_shard].append(desc)
+                if done_flag is False:
+                    all_done = False
+            if all_done:
+                break
+        else:
+            raise SimulationError(
+                f"sharded run did not terminate within {max_rounds} windows"
+            )
+
+        results: List[Any] = [None] * nshards
+        for shard_id, conn in enumerate(parents):
+            conn.send(("finish",))
+            message = recv(conn, shard_id)
+            results[message[1]] = message[2]
+        return results
+    finally:
+        for conn in parents:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for worker in workers:
+            worker.join(timeout=30)
+            if worker.is_alive():  # pragma: no cover - hung worker
+                worker.terminate()
+                worker.join(timeout=5)

@@ -10,7 +10,6 @@ be interrupted.
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
 from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
@@ -58,9 +57,10 @@ class Process(Event):
         bootstrap._ok = True
         bootstrap._value = None
         # Inlined env.schedule(bootstrap, priority=URGENT): process creation
-        # is on the hot path (every cpu.execute spawns one).
+        # is on the hot path (every cpu.execute spawns one).  Urgent
+        # entries go to the kernel's far lane.
         env._eid += 1
-        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
+        env._far.push((env._now, 0, env._eid, bootstrap))
 
     @property
     def is_alive(self) -> bool:
@@ -91,7 +91,7 @@ class Process(Event):
         interrupt_event.callbacks.append(self._resume)
         env = self.env
         env._eid += 1
-        _heappush(env._queue, (env._now, 0, env._eid, interrupt_event))
+        env._far.push((env._now, 0, env._eid, interrupt_event))
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
@@ -198,7 +198,7 @@ class Drive(Event):
         bootstrap._ok = True
         bootstrap._value = None
         env._eid += 1
-        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
+        env._far.push((env._now, 0, env._eid, bootstrap))
 
     def _advance(self, event: Event) -> None:
         try:
@@ -213,6 +213,6 @@ class Drive(Event):
             self._value = stop.value
             env = self.env
             env._eid += 1
-            _heappush(env._queue, (env._now, 1, env._eid, self))
+            env._dq.append((env._now, 1, env._eid, self))
             return
         target.callbacks.append(self._advance)

@@ -16,7 +16,6 @@ Two primitives cover everything the network and protocol layers need:
 from __future__ import annotations
 
 from collections import deque
-from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
 
 from repro.errors import SimulationError
@@ -113,7 +112,7 @@ class Store:
             event._value = None
             env = self.env
             env._eid += 1
-            _heappush(env._queue, (env._now, 1, env._eid, event))
+            env._dq.append((env._now, 1, env._eid, event))
             return event
         self._putters.append(event)
         self._dispatch()
@@ -130,7 +129,7 @@ class Store:
             event._value = self.items.popleft()
             env = self.env
             env._eid += 1
-            _heappush(env._queue, (env._now, 1, env._eid, event))
+            env._dq.append((env._now, 1, env._eid, event))
             if self._putters:
                 self._dispatch()
             return event
@@ -244,7 +243,7 @@ class Resource:
             event._value = None
             env = self.env
             env._eid += 1
-            _heappush(env._queue, (env._now, 1, env._eid, event))
+            env._dq.append((env._now, 1, env._eid, event))
         else:
             self._waiters.append(event)
         return event
@@ -322,7 +321,7 @@ class TimedHold(Event):
         bootstrap._ok = True
         bootstrap._value = None
         env._eid += 1
-        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
+        env._far.push((env._now, 0, env._eid, bootstrap))
 
     def _acquire(self, _event: Event) -> None:
         # Inlined Resource.request() (same grant push, same FIFO order).
@@ -335,7 +334,7 @@ class TimedHold(Event):
             request._value = None
             env = self.env
             env._eid += 1
-            _heappush(env._queue, (env._now, 1, env._eid, request))
+            env._dq.append((env._now, 1, env._eid, request))
         else:
             resource._waiters.append(request)
         request.callbacks.append(self._hold)
@@ -374,4 +373,4 @@ class TimedHold(Event):
         self._value = None
         env = self.env
         env._eid += 1
-        _heappush(env._queue, (env._now, 1, env._eid, self))
+        env._dq.append((env._now, 1, env._eid, self))

@@ -23,7 +23,6 @@ core, keeping the simulation deterministic.
 
 from __future__ import annotations
 
-from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.errors import TcpError
@@ -192,7 +191,7 @@ class TcpConnection:
         bootstrap._ok = True
         bootstrap._value = None
         env._eid += 1
-        _heappush(env._queue, (env._now, 0, env._eid, bootstrap))
+        env._far.push((env._now, 0, env._eid, bootstrap))
 
     def _loop_done(self) -> None:
         """Mimic the completion event a finished generator process pushed.
@@ -205,7 +204,7 @@ class TcpConnection:
         done._ok = True
         done._value = None
         env._eid += 1
-        _heappush(env._queue, (env._now, 1, env._eid, done))
+        env._dq.append((env._now, 1, env._eid, done))
 
     def open_active(self) -> None:
         """Client side: send SYN and start the machinery."""

@@ -123,6 +123,39 @@ class TestRecordingPolicy:
         assert policy.trimmed_choices() == (0, 2, 0, 1)
 
 
+class TestOwnerKey:
+    def test_ingress_delivery_owner_is_destination_host(self):
+        """Cross-shard deliveries (ingress ports named "src->dst") are
+        owned by the destination host — they mutate the receiver."""
+        from repro.explore.policy import owner_key
+        from repro.sim.events import Event
+        from repro.sim.parallel import IngressLink
+
+        env = Environment()
+        port = IngressLink("client->server")
+        port.attach_receiver(lambda frame: None)
+        event = Event(env)
+        event.callbacks.append(port.deliver)
+        assert owner_key(event) == "server"
+
+    def test_duplex_cable_halves_keep_their_whole_name_owner(self):
+        """"a<->b.fwd" link names keep the historical whole-cable owner
+        (the arrow rule must not fire on the "<->" of a duplex name)."""
+        from repro.explore.policy import owner_key
+        from repro.sim.events import Event
+
+        class _NamedPort:
+            name = "client<->server.fwd"
+
+            def deliver(self, event):
+                pass
+
+        env = Environment()
+        event = Event(env)
+        event.callbacks.append(_NamedPort().deliver)
+        assert owner_key(event) == "client<->server"
+
+
 class TestSeededFuzz:
     def test_same_seed_same_decisions(self):
         entries = [None] * 6

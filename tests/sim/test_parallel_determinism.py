@@ -1,0 +1,85 @@
+"""Determinism of the host-sharded parallel kernel.
+
+Two pinned properties (DESIGN.md section 16):
+
+* ``shards=1`` is the sequential kernel — the degenerate builder path
+  constructs the exact testbed :func:`reptor_echo` constructs, so the
+  result must be bit-identical including the kernel event count.
+* ``shards=2`` partitions the Figure-4 testbed one machine per shard.
+  Kernel event ids are then per-shard quantities, but the modeled
+  request history — every per-message latency and the run duration —
+  must equal the sequential run exactly: cross-shard arrival timestamps
+  are computed on the sender with the same float expression the
+  sequential kernel uses, and hosts interact only through frames.
+
+The spawn-based paths mark themselves slow-ish: each worker is a fresh
+interpreter importing the full package.
+"""
+
+import pytest
+
+from repro.bench.parallel_echo import echo_mesh_shard, fig4_shard
+from repro.bench.selector_echo import reptor_echo
+from repro.errors import ConfigurationError
+from repro.sim.parallel import run_sharded
+
+FIG4_POINT = {"transport": "nio", "payload_bytes": 1024, "messages": 30}
+
+
+@pytest.fixture(scope="module")
+def sequential_fig4():
+    return reptor_echo("nio", 1024, 30)
+
+
+class TestSingleShardIsSequential:
+    def test_bit_identical_to_reptor_echo(self, sequential_fig4):
+        result = run_sharded(fig4_shard, 1, dict(FIG4_POINT))[0]
+        assert result.latencies_us == sequential_fig4.latencies_us
+        assert result.duration_s == sequential_fig4.duration_s
+        # Same construction order, same kernel: the event *count* must
+        # match too, not just the modeled history.
+        assert result.sim_events == sequential_fig4.sim_events
+
+    def test_repeatable(self):
+        first = run_sharded(fig4_shard, 1, dict(FIG4_POINT))[0]
+        second = run_sharded(fig4_shard, 1, dict(FIG4_POINT))[0]
+        assert first.latencies_us == second.latencies_us
+        assert first.sim_events == second.sim_events
+
+
+class TestTwoShardFig4:
+    def test_request_history_matches_sequential(self, sequential_fig4):
+        results = run_sharded(fig4_shard, 2, dict(FIG4_POINT))
+        client = results[0]
+        assert client.latencies_us == sequential_fig4.latencies_us
+        assert client.duration_s == sequential_fig4.duration_s
+        assert client.messages == sequential_fig4.messages
+
+    def test_mesh_history_matches_single_shard(self):
+        point = {
+            "transport": "nio",
+            "payload_bytes": 512,
+            "messages": 10,
+            "pairs": 2,
+        }
+        one = run_sharded(echo_mesh_shard, 1, dict(point))[0]
+        merged = {}
+        for per_shard in run_sharded(echo_mesh_shard, 2, dict(point)):
+            merged.update(per_shard)
+        assert sorted(merged) == sorted(one)
+        for pair in one:
+            assert merged[pair].latencies_us == one[pair].latencies_us
+            assert merged[pair].duration_s == one[pair].duration_s
+
+
+class TestRunnerValidation:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(fig4_shard, 0, dict(FIG4_POINT))
+
+    def test_lookahead_requires_cross_shard_cable(self):
+        # Both machines on shard 0 of a 2-shard run: shard 1 is empty
+        # and no cable crosses the partition — no lookahead exists.
+        shard = fig4_shard(0, 1, **FIG4_POINT)
+        with pytest.raises(ConfigurationError):
+            shard.fabric.lookahead()
