@@ -413,6 +413,94 @@ class AuditManager:
     def on_rnr_exhausted(self, host: str, qp_num: int) -> None:
         self.record("rdma", "rnr-exhausted", host, qp_num=qp_num)
 
+    def on_perm_change(
+        self, kind: str, host: str, rkey: int, peer: str, epoch: int
+    ) -> None:
+        """A memory region's grant table changed (``grant`` or ``revoke``)."""
+        self.record(
+            "rdma", f"perm-{kind}", host, rkey=rkey, peer=peer, epoch=epoch
+        )
+
+    def on_remote_access_denied(
+        self,
+        host: str,
+        qp_num: int,
+        src_host: Optional[str],
+        rkey: Optional[int],
+        write: bool,
+        reason: str,
+    ) -> None:
+        """The RNIC refused a one-sided access; ``reason`` classifies it.
+
+        ``stale-epoch`` / ``stale-rkey`` denials are the dynamic-permission
+        fence doing its job and fire ``rdma.stale-permission-access``;
+        ``unauthorized`` means a peer outside the grant table presented a
+        (necessarily leaked) rkey and fires ``rdma.unauthorized-write``.
+        Plain protection faults are recorded but are not violations — the
+        legacy NAK_ACCESS behaviour tests depend on.
+        """
+        self.record(
+            "rdma", "remote-access-denied", host,
+            qp_num=qp_num, src_host=src_host, rkey=rkey,
+            write=write, reason=reason,
+        )
+        self.resources.on_remote_access_denied(
+            host, qp_num, src_host, rkey, write, reason
+        )
+        self._notify(
+            "on_remote_access_denied", host, qp_num, src_host, rkey,
+            write, reason,
+        )
+
+    def on_remote_write_applied(
+        self,
+        host: str,
+        src_host: Optional[str],
+        rkey: Optional[int],
+        offset: int,
+        length: int,
+    ) -> None:
+        """A one-sided WRITE landed on ``host`` (no CQE, no recv WR).
+
+        The resource auditor checks it against the declared-writer table:
+        regions registered via :meth:`declare_region_writer` must only be
+        written by their declared owner — the memory-level detector for
+        forged one-sided writes when permission guarding is off.
+        """
+        # Not flight-recorded per write (hot path); the auditor keeps the
+        # authorization table and reports violations.
+        self.resources.on_remote_write_applied(
+            host, src_host, rkey, offset, length
+        )
+
+    def declare_region_writer(
+        self, host: str, rkey: int, writer: str
+    ) -> None:
+        """Declare that only ``writer`` may one-sided-write ``rkey`` on
+        ``host`` (protocol intent, independent of NIC-level guarding)."""
+        self.record(
+            "rdma", "declare-writer", host, rkey=rkey, writer=writer
+        )
+        self.resources.declare_region_writer(host, rkey, writer)
+
+    def on_onesided_corruption(
+        self, replica: str, region: str, slot: int, kind: str, writer: str
+    ) -> None:
+        """A one-sided consensus slot was overwritten illegitimately."""
+        self.record(
+            "bft", "onesided-corruption", replica,
+            region=region, slot=slot, kind=kind, writer=writer,
+        )
+        self.violation(
+            "bft.onesided-slot-overwrite",
+            layer="bft",
+            subject=replica,
+            region=region,
+            slot=slot,
+            kind=kind,
+            writer=writer,
+        )
+
     def on_send_credit(
         self, host: str, qp_num: int, sent_total: int, credit_limit: int
     ) -> None:

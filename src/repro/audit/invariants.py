@@ -65,6 +65,23 @@ RDMA / RUBIN resources (:class:`ResourceAuditor`):
 * ``rubin.selector-starvation`` — a selection key stayed ready for
   more consecutive select passes than the configured tick budget
   without ever going unready (its events are never being consumed).
+
+One-sided agreement (dynamic permissions + slot arrays):
+
+* ``rdma.stale-permission-access`` — a one-sided access was denied
+  because its permission epoch was revoked under the in-flight WR or
+  its rkey belongs to a deregistered region: the deterministic
+  permission fence observed working (fires on the *offending* peer);
+* ``rdma.unauthorized-write`` — a one-sided write from a peer outside
+  the region's grant table was denied, or (guarding off) a write from
+  someone other than the region's declared writer *landed* — the forged
+  write the compromised-rkey fault family injects;
+* ``rdma.unauthorized-read`` — the read-side counterpart of the above
+  denial;
+* ``bft.onesided-slot-overwrite`` — reported by the one-sided protocol
+  poller: a proposal/ack slot's bytes were overwritten with something
+  that is not a legitimate successor record (corrupted seal/CRC, wrong
+  lane identity, or a non-record scribble over a consumed slot).
 """
 
 from __future__ import annotations
@@ -383,6 +400,9 @@ class ResourceAuditor:
         #: (host, channel_id) -> (consecutive no-progress ready passes,
         #: last observed progress marker)
         self._ready_streaks: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        #: (host, rkey) -> the only peer allowed to one-sided-write it
+        #: (declared protocol intent; see :meth:`declare_region_writer`).
+        self._declared_writers: Dict[Tuple[str, int], str] = {}
         self.max_cq_depth = 0
 
     # -- queue pairs ----------------------------------------------------
@@ -428,6 +448,70 @@ class ResourceAuditor:
                 subject=host,
                 qp_num=qp_num,
                 dropped_wr_ids=sorted(dropped),
+            )
+
+    # -- dynamic permissions / one-sided writes --------------------------
+
+    def declare_region_writer(self, host: str, rkey: int, writer: str) -> None:
+        """Record that only ``writer`` may one-sided-write ``rkey`` on
+        ``host``.  Declared by the protocol layer regardless of whether
+        NIC-level guarding is on — the auditor then detects forged writes
+        even when the NIC would have let them land."""
+        self._declared_writers[(host, rkey)] = writer
+
+    def on_remote_access_denied(
+        self,
+        host: str,
+        qp_num: int,
+        src_host: "Optional[str]",
+        rkey: "Optional[int]",
+        write: bool,
+        reason: str,
+    ) -> None:
+        if reason in ("stale-epoch", "stale-rkey"):
+            self.manager.violation(
+                "rdma.stale-permission-access",
+                layer="rdma",
+                subject=src_host or "?",
+                host=host,
+                qp_num=qp_num,
+                rkey=rkey,
+                write=write,
+                reason=reason,
+            )
+        elif reason == "unauthorized":
+            self.manager.violation(
+                "rdma.unauthorized-write" if write
+                else "rdma.unauthorized-read",
+                layer="rdma",
+                subject=src_host or "?",
+                host=host,
+                qp_num=qp_num,
+                rkey=rkey,
+                reason=reason,
+            )
+        # Plain protection faults (bounds, access bits, foreign PD) stay
+        # record-only: they are application errors, not attacks.
+
+    def on_remote_write_applied(
+        self,
+        host: str,
+        src_host: "Optional[str]",
+        rkey: "Optional[int]",
+        offset: int,
+        length: int,
+    ) -> None:
+        declared = self._declared_writers.get((host, rkey))
+        if declared is not None and src_host != declared:
+            self.manager.violation(
+                "rdma.unauthorized-write",
+                layer="rdma",
+                subject=src_host or "?",
+                host=host,
+                rkey=rkey,
+                offset=offset,
+                length=length,
+                declared_writer=declared,
             )
 
     # -- completion queues ----------------------------------------------

@@ -48,7 +48,9 @@ def main(argv=None) -> int:
         prog="python -m repro.bench", description=__doc__
     )
     parser.add_argument(
-        "--fig", choices=("3", "4", "overload", "cop", "all"), default="all"
+        "--fig",
+        choices=("3", "4", "overload", "onesided", "cop", "all"),
+        default="all",
     )
     parser.add_argument(
         "--messages",
@@ -215,6 +217,41 @@ def main(argv=None) -> int:
             print("  Overload graceful-degradation check: PASS")
         print()
 
+    if args.fig in ("onesided", "all"):
+        from repro.bench.onesided import check_onesided_shape, run_onesided
+
+        print(
+            "== One-sided agreement (latency win + attack blast radius) =="
+        )
+        points = run_onesided()
+        for point in points:
+            print(
+                f"  {point['mode']:>16}: "
+                f"p50 {point['latency_us']['p50']:>7.1f} us  "
+                f"committed {point['completed']:>3d}/{point['messages']}  "
+                f"blast {point['blast_radius']}  "
+                f"detections {point['detections']}"
+            )
+        if args.json_dir is not None:
+            path = os.path.join(args.json_dir, "BENCH_onesided.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"figure": "onesided", "points": points},
+                    fh,
+                    indent=2,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+            print(f"  wrote {path}")
+        try:
+            for fact in check_onesided_shape(points):
+                print("  ", fact)
+            print("  One-sided shape checks: PASS")
+        except ReproError as error:
+            failures += 1
+            print(f"  One-sided shape checks: FAIL — {error}")
+        print()
+
     if args.fig in ("cop", "all"):
         from repro.bench.cop import check_cop_shape, run_cop
 
@@ -332,8 +369,9 @@ GATE_FIGURES = {
     "3": ("fig3",),
     "4": ("fig4",),
     "overload": ("overload",),
+    "onesided": ("onesided",),
     "cop": ("cop",),
-    "all": ("fig3", "fig4", "overload", "cop"),
+    "all": ("fig3", "fig4", "overload", "onesided", "cop"),
 }
 
 

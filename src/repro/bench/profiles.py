@@ -37,7 +37,9 @@ __all__ = [
 ]
 
 #: Figures with a committed profile scenario (gate figure names).
-PROFILE_SCENARIOS = ("fig3", "fig4", "overload", "cop", "chaos")
+PROFILE_SCENARIOS = (
+    "fig3", "fig4", "overload", "onesided", "cop", "chaos"
+)
 
 #: Sim-clock sampling period used when a scenario also records a time
 #: series (1 ms covers every scenario with a handful of samples).
@@ -64,6 +66,14 @@ def _scenario_overload(tracer, sampler) -> Dict[str, Any]:
 
     run_overload(tracer=tracer, sampler=sampler)
     return dict(OVERLOAD_DEFAULTS)
+
+
+def _scenario_onesided(tracer, sampler) -> Dict[str, Any]:
+    """The guarded attack point: fast path + denial path both traced."""
+    from repro.bench.onesided import ONESIDED_DEFAULTS, run_onesided_point
+
+    run_onesided_point("attack-guarded", tracer=tracer, sampler=sampler)
+    return {"mode": "attack-guarded", **ONESIDED_DEFAULTS}
 
 
 def _scenario_cop(tracer, sampler) -> Dict[str, Any]:
@@ -128,6 +138,7 @@ _SCENARIOS = {
     "fig3": _scenario_fig3,
     "fig4": _scenario_fig4,
     "overload": _scenario_overload,
+    "onesided": _scenario_onesided,
     "cop": _scenario_cop,
     "chaos": _scenario_chaos,
 }

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 from repro.bench.baseline import echo_record
 from repro.bench.cop import run_cop_point
 from repro.bench.echo import run_echo
+from repro.bench.onesided import run_onesided_point
 from repro.bench.overload import run_overload
 from repro.bench.results import EchoResult
 from repro.bench.selector_echo import reptor_echo
@@ -33,6 +34,7 @@ __all__ = [
     "DEFAULT_TOLERANCES",
     "OVERLOAD_TOLERANCES",
     "COP_TOLERANCES",
+    "ONESIDED_TOLERANCES",
     "MetricCheck",
     "PointReport",
     "CheckReport",
@@ -72,6 +74,19 @@ COP_TOLERANCES: Dict[str, Tuple[float, int]] = {
     "latency_us.p50": (0.25, +1),
     "latency_us.p99": (0.40, +1),
     "committed_rps": (0.25, -1),
+}
+
+#: The one-sided figure bands latency like the echo figures but gates
+#: the security metrics *exactly* (tolerance 0, deterministic run): the
+#: blast radius may never grow past its baseline — in particular the
+#: guarded points' committed 0 — and detections and completed requests
+#: may never drop.
+ONESIDED_TOLERANCES: Dict[str, Tuple[float, int]] = {
+    "latency_us.p50": (0.25, +1),
+    "latency_us.p99": (0.40, +1),
+    "blast_radius": (0.0, +1),
+    "detections": (0.0, -1),
+    "completed": (0.0, -1),
 }
 
 #: ``reptor_echo`` takes the protocol name; baselines store the label
@@ -190,6 +205,14 @@ def rerun_point(figure: str, point: Mapping[str, Any]):
             admission_budget=int(point["admission_budget"]),
             view_change_timeout=float(point["view_change_timeout"]),
         )
+    if figure == "onesided":
+        return run_onesided_point(
+            point["mode"],
+            payload_bytes=payload,
+            messages=messages,
+            request_gap=float(point["request_gap"]),
+            attack_at=float(point["attack_at"]),
+        )
     if figure == "cop":
         return run_cop_point(
             int(point["group_count"]),
@@ -201,7 +224,8 @@ def rerun_point(figure: str, point: Mapping[str, Any]):
             handler_cost=float(point["handler_cost"]),
         )
     raise ReproError(
-        f"unknown figure {figure!r} (have fig3, fig4, overload, cop)"
+        f"unknown figure {figure!r} "
+        "(have fig3, fig4, overload, onesided, cop)"
     )
 
 
@@ -226,6 +250,8 @@ def check_figure(
             tolerances = OVERLOAD_TOLERANCES
         elif figure == "cop":
             tolerances = COP_TOLERANCES
+        elif figure == "onesided":
+            tolerances = ONESIDED_TOLERANCES
         else:
             tolerances = DEFAULT_TOLERANCES
     report = CheckReport(figure=figure)

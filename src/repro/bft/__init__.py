@@ -8,10 +8,13 @@ RUBIN/RDMA transport — the comparison at the heart of the paper.
 """
 
 from repro.bft.byzantine import (
+    CompromisedRkeyReplica,
     CorruptingReplica,
     EquivocatingLeader,
     EquivocatingNewViewLeader,
     EquivocatingViewChangeReplica,
+    PermissionRaceReplica,
+    RogueOverwriteReplica,
     SilentReplica,
     StallingViewChangeLeader,
 )
@@ -28,6 +31,7 @@ from repro.bft.cop import (
     make_partitioner,
 )
 from repro.bft.log import MessageLog, Slot
+from repro.bft.onesided import OneSidedLink, OneSidedReplica, wire_onesided
 from repro.bft.messages import (
     Checkpoint,
     Commit,
@@ -57,6 +61,9 @@ __all__ = [
     "MergeStage",
     "make_partitioner",
     "Replica",
+    "OneSidedReplica",
+    "OneSidedLink",
+    "wire_onesided",
     "batch_digest",
     "MessageLog",
     "Slot",
@@ -69,6 +76,9 @@ __all__ = [
     "StallingViewChangeLeader",
     "EquivocatingViewChangeReplica",
     "EquivocatingNewViewLeader",
+    "CompromisedRkeyReplica",
+    "RogueOverwriteReplica",
+    "PermissionRaceReplica",
     "Request",
     "Reply",
     "PrePrepare",

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.bft.messages import NewView, PrePrepare, ViewChange, encode
+from repro.bft.messages import NewView, PrePrepare, Request, ViewChange, encode
+from repro.bft.onesided import OneSidedReplica, pack_record
 from repro.bft.replica import Replica, batch_digest
 
 __all__ = [
@@ -21,6 +22,9 @@ __all__ = [
     "StallingViewChangeLeader",
     "EquivocatingViewChangeReplica",
     "EquivocatingNewViewLeader",
+    "CompromisedRkeyReplica",
+    "RogueOverwriteReplica",
+    "PermissionRaceReplica",
 ]
 
 
@@ -264,3 +268,196 @@ class EquivocatingNewViewLeader(Replica):
             )
             return encode(forged)
         return super()._outbound_filter(message, raw, peer_id)
+
+
+# ----------------------------------------------------------------------
+# memory-corruption faults against the one-sided fast path
+# ----------------------------------------------------------------------
+#
+# The paper's Section III-C observes that an rkey is a bearer capability:
+# "anyone who learns it can reach the buffer".  In a one-sided agreement
+# deployment every replica learns every region's rkey during setup, so a
+# *Byzantine replica* is exactly the adversary that concern describes.
+# These subclasses attack consensus state through memory, not messages:
+# with dynamic permission guarding on, the NIC denies them (QP errors,
+# ``rdma.unauthorized-write`` / ``rdma.stale-permission-access``); with
+# it off, their writes land and only the audit layer's declared-writer
+# table and the pollers' overwrite detection call them out.
+
+
+class CompromisedRkeyReplica(OneSidedReplica):
+    """Byzantine replica that forges proposal records with stolen rkeys.
+
+    While *not* the leader it writes well-formed, sealed pre-prepare
+    records — claiming the current leader's identity — into its victims'
+    proposal rings, targeting uncommitted future slots.  Guarded regions
+    deny the write (the attacker holds only its own lane grant, so the
+    blast radius is zero and its own links die); unguarded regions accept
+    it, and the forged proposal is consumed as if the leader sent it —
+    the quantified corruption of ``python -m repro.bench --fig
+    onesided``.
+    """
+
+    BYZANTINE = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: Forged records this replica attempted to place.
+        self.forged_attempts = 0
+
+    def arm_compromise(
+        self,
+        delay: float,
+        victims: Optional[Tuple[str, ...]] = None,
+        forgeries: int = 3,
+        seq_offset: int = 16,
+        spacing: float = 20e-6,
+    ) -> None:
+        """Start forging ``forgeries`` proposals after ``delay`` seconds.
+
+        Targets sequence numbers ``seq_offset`` past the attacker's own
+        executed position: far enough ahead that the real leader will not
+        propose them during a short run (keeping the corruption in
+        *uncommitted* slots), close enough to stay inside the ring.
+        """
+        if victims is None:
+            victims = tuple(
+                p for p in self.all_ids if p != self.replica_id
+            )
+        self.env.process(
+            self._compromise_loop(delay, victims, forgeries, seq_offset, spacing),
+            name=f"{self.replica_id}.compromise",
+        )
+
+    def _compromise_loop(self, delay, victims, forgeries, seq_offset, spacing):
+        yield self.env.timeout(delay)
+        for k in range(forgeries):
+            seq = self.executed_seq + seq_offset + k
+            batch = (
+                Request(
+                    client_id="attacker",
+                    timestamp=k,
+                    operation=b"PUT stolen=rkey",
+                ),
+            )
+            forged = PrePrepare(
+                view=self.view,
+                seq=seq,
+                digest=batch_digest(batch),
+                batch=batch,
+                replica_id=self.leader_of(self.view),
+            )
+            record = pack_record(seq, encode(forged))
+            for victim in victims:
+                link = self._os_links.get(victim)
+                if link is not None and not link.dead:
+                    link.write_proposal(seq, record)
+                    self.forged_attempts += 1
+            yield self.env.timeout(spacing)
+
+
+class RogueOverwriteReplica(OneSidedReplica):
+    """Byzantine replica that scribbles garbage over consumed slots.
+
+    Where :class:`CompromisedRkeyReplica` forges protocol-shaped records,
+    this one simply destroys committed consensus state: raw bytes with an
+    invalid record magic over the victims' low proposal-ring slots (the
+    ones a running workload has already consumed).  The poller's shadow
+    copies make the detection unambiguous —
+    ``bft.onesided-slot-overwrite`` — because a legitimate writer always
+    lands a parsable header first.
+    """
+
+    BYZANTINE = True
+
+    def arm_rogue_overwrite(
+        self,
+        delay: float,
+        victims: Optional[Tuple[str, ...]] = None,
+        slots: Tuple[int, ...] = (0, 1),
+        scribble: bytes = b"\xde\xad\xbe\xef" * 16,
+    ) -> None:
+        """Overwrite ``slots`` of every victim's ring after ``delay``."""
+        if victims is None:
+            victims = tuple(
+                p for p in self.all_ids if p != self.replica_id
+            )
+        self.env.process(
+            self._overwrite_loop(delay, victims, slots, scribble),
+            name=f"{self.replica_id}.rogue",
+        )
+
+    def _overwrite_loop(self, delay, victims, slots, scribble):
+        yield self.env.timeout(delay)
+        slot_bytes = self.config.onesided_slot_bytes
+        for slot in slots:
+            for victim in victims:
+                link = self._os_links.get(victim)
+                if link is not None and not link.dead:
+                    link.write_raw(
+                        link.proposal_rkey, slot * slot_bytes, scribble
+                    )
+            yield self.env.timeout(10e-6)
+
+
+class PermissionRaceReplica(OneSidedReplica):
+    """Deposed leader that keeps writing through the revocation window.
+
+    On arming it goes silent on the message path (provoking a view
+    change) while a background process keeps streaming multi-chunk
+    proposal writes at its peers' rings.  Until the backups vote, the
+    writes are authorized (it *is* still the granted leader) — but they
+    carry no seal, so pollers treat them as in-progress and ignore them.
+    The moment a backup starts the view change it revokes the grant, and
+    the epoch bump fences the stream: writes in flight die with
+    ``rdma.stale-permission-access``, later ones with
+    ``rdma.unauthorized-write`` — the permission race the guard exists
+    to win.
+    """
+
+    BYZANTINE = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._race_mute = False
+
+    def arm_permission_race(
+        self,
+        delay: float,
+        interval: float = 50e-6,
+        duration: float = 0.2,
+        payload_bytes: int = 1800,
+    ) -> None:
+        """Go silent after ``delay`` and race the revocation for
+        ``duration`` seconds with ``payload_bytes``-sized writes."""
+        self.env.process(
+            self._race_loop(delay, interval, duration, payload_bytes),
+            name=f"{self.replica_id}.race",
+        )
+
+    def _outbound_filter(self, message, raw: bytes, peer_id: str):
+        if self._race_mute:
+            return None
+        return super()._outbound_filter(message, raw, peer_id)
+
+    def _reply_to_client(self, reply, trace_ctx=None) -> None:
+        if not self._race_mute:
+            super()._reply_to_client(reply, trace_ctx=trace_ctx)
+
+    def _race_loop(self, delay, interval, duration, payload_bytes):
+        yield self.env.timeout(delay)
+        self._race_mute = True
+        deadline = self.env.now + duration
+        seq = self.next_seq + 8
+        while self.env.now < deadline:
+            # A sealed-off (never-completing) record: header is valid so
+            # honest pollers wait forever; only the *denial* is visible.
+            record = pack_record(seq, bytes(payload_bytes))[:-4] + bytes(4)
+            for peer_id in self.all_ids:
+                if peer_id == self.replica_id:
+                    continue
+                link = self._os_links.get(peer_id)
+                if link is not None and not link.dead:
+                    link.write_proposal(seq, record)
+            seq += 1
+            yield self.env.timeout(interval)

@@ -114,9 +114,14 @@ class BftCluster:
         # partition-aware client; at group_count == 1 the plain classes
         # keep historical schedules bit-identical.
         if default_replica_class is None:
-            default_replica_class = (
-                Replica if self.config.group_count == 1 else CopReplica
-            )
+            if self.config.onesided:
+                from repro.bft.onesided import OneSidedReplica
+
+                default_replica_class = OneSidedReplica
+            else:
+                default_replica_class = (
+                    Replica if self.config.group_count == 1 else CopReplica
+                )
         self.default_replica_class = default_replica_class
         if client_class is None:
             client_class = (
@@ -214,6 +219,10 @@ class BftCluster:
             if self.env.peek() > limit:
                 raise BftError("cluster wiring did not finish in time")
             self.env.step()
+        if self.config.onesided:
+            from repro.bft.onesided import wire_onesided
+
+            wire_onesided(self)
         if self.watchdog is not None:
             self.watchdog.start()
 
@@ -383,6 +392,16 @@ class BftCluster:
                     "rejoin_latency": replica.rejoin_latency,
                 },
             )
+            if hasattr(replica, "onesided_writes"):
+                registry.register_many(
+                    f"replica.{replica_id}.onesided",
+                    {
+                        "writes": replica.onesided_writes,
+                        "records": replica.onesided_records,
+                        "corrupted_slots": replica.onesided_corrupted_slots,
+                        "fallbacks": replica.onesided_fallbacks,
+                    },
+                )
             endpoint_metrics = {
                 "watermark_crossings": replica.endpoint.watermark_crossings,
                 "backpressure_time": replica.endpoint.backpressure_time,
@@ -447,6 +466,34 @@ class BftCluster:
                     ),
                 },
             )
+        if self.config.onesided:
+            # Cluster-wide fast-path aggregates (per-replica values stay
+            # available under replica.<id>.onesided.*).
+            registry.register_many(
+                "bft.onesided",
+                {
+                    "writes": lambda: sum(
+                        r.onesided_writes.value
+                        for r in self.replicas.values()
+                        if hasattr(r, "onesided_writes")
+                    ),
+                    "records": lambda: sum(
+                        r.onesided_records.value
+                        for r in self.replicas.values()
+                        if hasattr(r, "onesided_records")
+                    ),
+                    "corrupted_slots": lambda: sum(
+                        r.onesided_corrupted_slots.value
+                        for r in self.replicas.values()
+                        if hasattr(r, "onesided_corrupted_slots")
+                    ),
+                    "fallbacks": lambda: sum(
+                        r.onesided_fallbacks.value
+                        for r in self.replicas.values()
+                        if hasattr(r, "onesided_fallbacks")
+                    ),
+                },
+            )
         for client_id, client in sorted(self.clients.items()):
             registry.register_many(
                 f"client.{client_id}",
@@ -464,6 +511,9 @@ class BftCluster:
                     "rnr_naks": host.nic.rnr_naks,
                     "rnr_retries": host.nic.rnr_retries,
                     "rnr_exhausted": host.nic.rnr_exhausted,
+                    "perm_grants": host.nic.perm_grants,
+                    "perm_revokes": host.nic.perm_revokes,
+                    "stale_access_denied": host.nic.stale_access_denied,
                 },
             )
         for pair in sorted(self.fabric._cables):

@@ -103,6 +103,29 @@ class BftConfig:
     batch_shrink_patience: int = 4
     merge_fill_interval: float = 2e-3
     merge_stall_timeout: float = 0.0
+    #: One-sided fast path (Aguilera et al., "The Impact of RDMA on
+    #: Agreement"): the leader writes proposals straight into per-replica
+    #: slot arrays and replicas write their Prepare/Commit acks into
+    #: per-writer lanes, all via RDMA WRITE — no receiver CPU on the
+    #: critical path.  Strictly opt-in: the default False keeps every
+    #: historical schedule bit-identical.
+    onesided: bool = False
+    #: NIC-level dynamic permission guarding for the one-sided regions:
+    #: only the current leader holds a REMOTE_WRITE grant on proposal
+    #: rings (switched on every view change, fencing in-flight writes
+    #: via permission epochs) and each ack lane admits only its owner.
+    #: Turning this off reproduces the paper's §IV security concern —
+    #: any replica that knows an rkey can corrupt consensus state.
+    onesided_guard: bool = True
+    #: Slots per one-sided proposal ring / ack lane.  0 = auto-size from
+    #: the log window (proposals can never overrun a ring that holds the
+    #: whole watermark window).
+    onesided_slots: int = 0
+    #: Bytes per slot; a record that cannot fit falls back to the
+    #: message-passing path for that message only.
+    onesided_slot_bytes: int = 2048
+    #: Poll period of each replica's inbound-region scanner.
+    onesided_poll_interval: float = 5e-6
 
     def __post_init__(self) -> None:
         if self.n < 1 or (self.n - 1) % 3 != 0:
@@ -150,6 +173,19 @@ class BftConfig:
             raise ConfigurationError("merge_fill_interval must be > 0")
         if self.merge_stall_timeout < 0:
             raise ConfigurationError("merge_stall_timeout must be >= 0")
+        if self.onesided_slots < 0:
+            raise ConfigurationError("onesided_slots must be >= 0")
+        if self.onesided_slot_bytes < 64:
+            raise ConfigurationError(
+                "onesided_slot_bytes must be >= 64 (record framing alone "
+                "needs 24 bytes)"
+            )
+        if self.onesided_poll_interval <= 0:
+            raise ConfigurationError("onesided_poll_interval must be > 0")
+        if self.onesided and self.group_count != 1:
+            raise ConfigurationError(
+                "the one-sided fast path only supports group_count == 1"
+            )
 
     @property
     def f(self) -> int:

@@ -91,8 +91,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _resolve_spec(name: str) -> ScenarioSpec:
+def _resolve_spec(
+    name: str, mutant_name: Optional[str] = None
+) -> ScenarioSpec:
     if name.startswith("selftest:"):
+        # The stripped spec depends on which mutant the trace was
+        # recorded against (guard-off runs use the one-sided scenario).
+        if mutant_name:
+            return selftest_spec(mutant_name)
         return selftest_spec()
     return get_scenario(name)
 
@@ -147,7 +153,7 @@ def _explore(
 def _replay(path: str, out_dir: Path) -> Dict[str, Any]:
     trace = DecisionTrace.load(path)
     mutant = MUTANTS[trace.mutant] if trace.mutant else None
-    spec = _resolve_spec(trace.scenario)
+    spec = _resolve_spec(trace.scenario, trace.mutant)
     explorer = Explorer(spec, mutant=mutant, mutant_name=trace.mutant)
     record = explorer.replay(trace)
     outcome = record.outcome
@@ -209,23 +215,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         report["reproduced"] = reproduced
         exit_code = 0 if reproduced else 1
     elif args.selftest:
-        report = {"selftest": run_selftest(seed=args.seed)}
-        ok = report["selftest"]["ok"]
-        print(f"[selftest] {'ok' if ok else 'FAILED'}")
+        report = {
+            "selftests": {
+                name: run_selftest(name, seed=args.seed) for name in MUTANTS
+            }
+        }
+        ok = all(r["ok"] for r in report["selftests"].values())
+        for name, result in report["selftests"].items():
+            print(f"[selftest:{name}] {'ok' if result['ok'] else 'FAILED'}")
         exit_code = 0 if ok else 1
     elif args.scenario:
         report = _explore(args.scenario, args, out_dir)
         exit_code = 0 if report["ok"] else 1
     else:
-        # --smoke (also the default mode): full catalog + self-test.
+        # --smoke (also the default mode): full catalog + one
+        # find/shrink/replay self-test per registered mutant.
         report = _explore(list(SCENARIOS), args, out_dir)
-        report["selftest"] = run_selftest(seed=args.seed)
-        selftest_ok = report["selftest"]["ok"]
-        print(
-            f"[selftest] {'ok' if selftest_ok else 'FAILED'}: "
-            f"mutant found={report['selftest']['found']} "
-            f"shrink={report['selftest'].get('shrink')}"
-        )
+        report["selftests"] = {}
+        selftest_ok = True
+        for mutant_name in MUTANTS:
+            result = run_selftest(mutant_name, seed=args.seed)
+            report["selftests"][mutant_name] = result
+            selftest_ok = selftest_ok and result["ok"]
+            print(
+                f"[selftest:{mutant_name}] "
+                f"{'ok' if result['ok'] else 'FAILED'}: "
+                f"mutant found={result['found']} "
+                f"shrink={result.get('shrink')}"
+            )
         print(
             f"[smoke] scenarios={len(report['scenarios'])} "
             f"distinct_schedules={report['distinct_schedules_total']} "

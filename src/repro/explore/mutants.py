@@ -10,11 +10,17 @@ rather than vacuously passing.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Type
 
+from repro.bft.onesided import OneSidedReplica
 from repro.bft.replica import Replica
 
-__all__ = ["CommitQuorumOffByOneReplica", "MUTANTS"]
+__all__ = [
+    "CommitQuorumOffByOneReplica",
+    "OneSidedGuardOffReplica",
+    "MUTANTS",
+]
 
 
 class CommitQuorumOffByOneReplica(Replica):
@@ -40,7 +46,28 @@ class CommitQuorumOffByOneReplica(Replica):
         log.committed_quorum = buggy_quorum  # type: ignore[method-assign]
 
 
+class OneSidedGuardOffReplica(OneSidedReplica):
+    """Ships the one-sided fast path with its permission guard disabled.
+
+    The bug a refactor of the region-setup path could introduce: the
+    rings are registered with plain ``REMOTE_WRITE`` access bits and the
+    per-peer grant table is never armed, so any replica holding the
+    rkeys can write anywhere.  Against a scenario with a
+    :class:`~repro.bft.byzantine.CompromisedRkeyReplica` member the
+    forged leader proposals now *land* instead of being denied, and the
+    declared-writer audit (``rdma.unauthorized-write`` with a
+    ``declared_writer`` detail) must call out every landed byte.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Per-instance config copy: the scenario's shared BftConfig (and
+        # every non-mutant replica) keeps the guard armed.
+        self.config = replace(self.config, onesided_guard=False)
+
+
 #: Mutants addressable from the CLI / self-test.
 MUTANTS: Dict[str, Type[Replica]] = {
     "commit-quorum-off-by-one": CommitQuorumOffByOneReplica,
+    "onesided-guard-off": OneSidedGuardOffReplica,
 }

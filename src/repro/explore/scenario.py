@@ -19,10 +19,13 @@ from typing import Any, Callable, Dict, Optional, Tuple, Type
 from repro.audit import AuditConfig, AuditManager, release_audit
 from repro.bft import BftCluster, BftConfig
 from repro.bft.byzantine import (
+    CompromisedRkeyReplica,
     CorruptingReplica,
     EquivocatingLeader,
     EquivocatingNewViewLeader,
     EquivocatingViewChangeReplica,
+    PermissionRaceReplica,
+    RogueOverwriteReplica,
     SilentReplica,
     StallingViewChangeLeader,
 )
@@ -57,6 +60,9 @@ BYZANTINE_CATALOG: Dict[str, Type[Replica]] = {
     "vc-equivocator": EquivocatingViewChangeReplica,
     "nv-equivocator": EquivocatingNewViewLeader,
     "cop-equivocator": CopGroupEquivocator,
+    "compromised-rkey": CompromisedRkeyReplica,
+    "rogue-overwrite": RogueOverwriteReplica,
+    "perm-race": PermissionRaceReplica,
 }
 
 
@@ -142,6 +148,20 @@ def _apply_cop_equivocate(cluster: BftCluster, action: FaultAction) -> None:
     )
 
 
+def _apply_compromise_rkey(cluster: BftCluster, action: FaultAction) -> None:
+    victims = tuple(action.args[0]) if action.args else None
+    cluster.replica(action.target).arm_compromise(0.0, victims=victims)
+
+
+def _apply_rogue_overwrite(cluster: BftCluster, action: FaultAction) -> None:
+    victims = tuple(action.args[0]) if action.args else None
+    cluster.replica(action.target).arm_rogue_overwrite(0.0, victims=victims)
+
+
+def _apply_perm_race(cluster: BftCluster, action: FaultAction) -> None:
+    cluster.replica(action.target).arm_permission_race(0.0)
+
+
 #: The explorable fault catalog: every composable fault kind.
 FAULT_CATALOG: Dict[str, Callable[[BftCluster, FaultAction], None]] = {
     "crash": _apply_crash,
@@ -157,6 +177,9 @@ FAULT_CATALOG: Dict[str, Callable[[BftCluster, FaultAction], None]] = {
     "vc-equivocate": _apply_vc_equivocate,
     "nv-equivocate": _apply_nv_equivocate,
     "cop-equivocate": _apply_cop_equivocate,
+    "compromise-rkey": _apply_compromise_rkey,
+    "rogue-overwrite": _apply_rogue_overwrite,
+    "perm-race": _apply_perm_race,
 }
 
 
@@ -182,6 +205,10 @@ class ScenarioSpec:
     #: Consensus groups (COP): >1 shards the sequence space across
     #: parallel ordering pipelines with a deterministic merge.
     group_count: int = 1
+    #: One-sided RDMA fast path (Write-based agreement) on/off, and
+    #: whether its dynamic per-peer permission guard is armed.
+    onesided: bool = False
+    onesided_guard: bool = True
     #: Audit rules this scenario is *supposed* to trip (its Byzantine
     #: members' fingerprints); anything else fails the run.
     expected_rules: Tuple[str, ...] = ()
@@ -207,6 +234,8 @@ class ScenarioSpec:
             log_window=4 * self.checkpoint_interval,
             admission_budget=self.admission_budget,
             group_count=self.group_count,
+            onesided=self.onesided,
+            onesided_guard=self.onesided_guard,
         )
 
     def rubin_config(self) -> RubinConfig:
@@ -461,6 +490,26 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             view_change_timeout=15e-3,
             run_time=200e-3,
             expected_rules=("bft.view-change-equivocation",),
+        ),
+        _spec(
+            name="onesided-compromised-rkey",
+            description=(
+                "One-sided fast path with the permission guard armed: a "
+                "replica with stolen rkeys forges leader proposals into "
+                "its peers' rings while the real leader crashes mid-run "
+                "— every forged write must be denied (blast radius zero) "
+                "and the cluster must still change views and commit."
+            ),
+            onesided=True,
+            byzantine=(("r3", "compromised-rkey"),),
+            faults=(
+                FaultAction(at=4e-3, kind="compromise-rkey", target="r3"),
+                FaultAction(at=8e-3, kind="crash", target="r0"),
+            ),
+            requests=5,
+            view_change_timeout=15e-3,
+            run_time=200e-3,
+            expected_rules=("rdma.unauthorized-write",),
         ),
         _spec(
             name="cop-mixed-faults",

@@ -32,17 +32,35 @@ __all__ = ["run_selftest", "selftest_spec"]
 #: workload — every violation found is the mutant's doing.
 SELFTEST_SCENARIO = "crash-overload"
 
+#: Mutants whose bug only shows against a specific scenario: the
+#: one-sided guard-off build needs the compromised-rkey attacker in the
+#: cluster, or there is nobody to exploit the missing grant table.
+MUTANT_SCENARIOS: Dict[str, str] = {
+    "onesided-guard-off": "onesided-compromised-rkey",
+}
 
-def selftest_spec():
-    """The stripped-down spec self-test (and trace replay) runs against."""
+
+def selftest_spec(mutant_name: str = "commit-quorum-off-by-one"):
+    """The stripped-down spec self-test (and trace replay) runs against.
+
+    Faults that merely arm the scenario's own Byzantine members are
+    kept (they are part of the bug's trigger); environmental noise
+    (crashes, partitions) is stripped, and ``expected_rules`` is
+    cleared so every violation — including rules the full scenario
+    whitelists for its *guarded* runs — counts as a finding.
+    """
+    base_name = MUTANT_SCENARIOS.get(mutant_name, SELFTEST_SCENARIO)
+    base = get_scenario(base_name)
+    byzantine = {rid for rid, _ in base.byzantine}
     return with_overrides(
-        get_scenario(SELFTEST_SCENARIO),
-        name=f"selftest:{SELFTEST_SCENARIO}",
-        faults=(),
+        base,
+        name=f"selftest:{base_name}",
+        faults=tuple(a for a in base.faults if a.target in byzantine),
         requests=3,
         num_clients=1,
         admission_budget=0,
         run_time=60e-3,
+        expected_rules=(),
     )
 
 
@@ -58,7 +76,7 @@ def run_selftest(
     Returns a JSON-ready report; ``report["ok"]`` is the verdict.
     """
     mutant = MUTANTS[mutant_name]
-    spec = selftest_spec()
+    spec = selftest_spec(mutant_name)
     explorer = Explorer(
         spec,
         mutant=mutant,

@@ -63,6 +63,12 @@ class Nic:
         self.rnr_naks = Counter(f"{self.name}.rnr_naks")
         self.rnr_retries = Counter(f"{self.name}.rnr_retries")
         self.rnr_exhausted = Counter(f"{self.name}.rnr_exhausted")
+        #: Dynamic-permission accounting across this NIC's memory regions:
+        #: grant-table changes, and one-sided accesses denied because the
+        #: rkey or permission epoch went stale under the in-flight WR.
+        self.perm_grants = Counter(f"{self.name}.perm_grants")
+        self.perm_revokes = Counter(f"{self.name}.perm_revokes")
+        self.stale_access_denied = Counter(f"{self.name}.stale_access_denied")
 
     # -- power ------------------------------------------------------------
 

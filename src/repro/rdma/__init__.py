@@ -16,7 +16,13 @@ from repro.rdma.cm import CmEvent, CmListener, ConnectionManager, ConnectRequest
 from repro.rdma.endpoints import ActiveEndpoint, EndpointGroup, PassiveEndpoint
 from repro.rdma.cq import CompletionChannel, CompletionQueue, WorkCompletion
 from repro.rdma.device import DeviceAttributes, RdmaDevice
-from repro.rdma.mr import MemoryRegion, ProtectionDomain, RemoteAddress
+from repro.rdma.mr import (
+    MemoryRegion,
+    ProtectionDomain,
+    RemoteAddress,
+    StalePermissionError,
+    UnauthorizedAccessError,
+)
 from repro.rdma.qp import QpCapabilities, QueuePair
 from repro.rdma.transport import PacketType, RocePacket
 from repro.rdma.verbs import (
@@ -36,6 +42,8 @@ __all__ = [
     "ProtectionDomain",
     "MemoryRegion",
     "RemoteAddress",
+    "StalePermissionError",
+    "UnauthorizedAccessError",
     "QueuePair",
     "QpCapabilities",
     "CompletionQueue",

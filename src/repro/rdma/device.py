@@ -74,6 +74,12 @@ class RdmaDevice:
         self.name = f"{host.name}.rnic"
         self._qps: Dict[int, QueuePair] = {}
         self._mrs: Dict[int, MemoryRegion] = {}
+        #: Tombstones for every rkey this device ever deregistered.  Keys
+        #: are allocated from a process-wide monotonic counter and never
+        #: recycled, so a late one-sided WR that quotes a retired rkey is
+        #: classified as *stale* (REM_ACCESS_ERR) rather than aliasing a
+        #: recycled region — the STag-reuse hazard of the paper's §III-C.
+        self._retired_rkeys: set = set()
         self._rx_queue: Store = Store(self.env)
         host.install("rdma", self)
         host.nic.register_protocol(self.PROTOCOL, self._on_frame)
@@ -98,6 +104,11 @@ class RdmaDevice:
         if pd.device is not self:
             raise RdmaError(f"{self.name}: PD belongs to another device")
         mr = MemoryRegion(pd, buffer, access)
+        if mr.rkey in self._mrs or mr.rkey in self._retired_rkeys:
+            raise RdmaError(
+                f"{self.name}: rkey {mr.rkey:#x} reused — key allocation "
+                "must be monotonic"
+            )
         self._mrs[mr.rkey] = mr
         return mr
 
@@ -127,8 +138,14 @@ class RdmaDevice:
         return self.env.process(register(), name=f"{self.name}.reg_mr")
 
     def dereg_mr(self, mr: MemoryRegion) -> None:
-        """Deregister (invalidate) a memory region."""
+        """Deregister (invalidate) a memory region.
+
+        The rkey is retired permanently: it can never name another region
+        on this device, and :meth:`is_retired_rkey` lets the QP layer
+        classify late one-sided WRs against it as stale accesses.
+        """
         self._mrs.pop(mr.rkey, None)
+        self._retired_rkeys.add(mr.rkey)
         mr.invalidate()
 
     def find_mr(self, rkey: Optional[int]) -> Optional[MemoryRegion]:
@@ -136,6 +153,10 @@ class RdmaDevice:
         if rkey is None:
             return None
         return self._mrs.get(rkey)
+
+    def is_retired_rkey(self, rkey: Optional[int]) -> bool:
+        """True when ``rkey`` once named a region that was deregistered."""
+        return rkey is not None and rkey in self._retired_rkeys
 
     def create_cq(
         self,

@@ -28,7 +28,11 @@ from repro.audit import get_audit
 from repro.errors import RdmaError
 from repro.net.frame import Frame
 from repro.rdma.cq import CompletionQueue, WorkCompletion
-from repro.rdma.mr import MemoryRegion
+from repro.rdma.mr import (
+    MemoryRegion,
+    StalePermissionError,
+    UnauthorizedAccessError,
+)
 from repro.rdma.transport import PacketType, RocePacket
 from repro.rdma.verbs import Access, Opcode, QpState, WcStatus
 from repro.rdma.wr import RecvWorkRequest, SendWorkRequest
@@ -697,6 +701,41 @@ class QueuePair:
                     break
         self._enter_error()
 
+    def _deny_remote_access(
+        self, packet: RocePacket, error: RdmaError, write: bool
+    ) -> None:
+        """Refuse a one-sided access: classify, count, audit, NAK, error.
+
+        Classification drives the counters and audit rules: a revoked
+        grant epoch or a retired (deregistered) rkey is a *stale* access
+        — the deterministic permission fence working as designed — while
+        an access from a peer outside the grant table is *unauthorized*
+        (a forged one-sided write).  Plain protection faults (bounds,
+        access bits, foreign PD) keep their legacy record-only handling.
+        """
+        if isinstance(error, UnauthorizedAccessError):
+            reason = "unauthorized"
+        elif isinstance(error, StalePermissionError):
+            reason = "stale-epoch"
+        elif self.device.is_retired_rkey(packet.rkey):
+            reason = "stale-rkey"
+        else:
+            reason = "protection-fault"
+        if reason in ("stale-epoch", "stale-rkey"):
+            self.device.host.nic.stale_access_denied.increment()
+        audit = get_audit(self.env)
+        if audit.enabled:
+            audit.on_remote_access_denied(
+                host=self.device.host.name,
+                qp_num=self.qp_num,
+                src_host=packet.src_host,
+                rkey=packet.rkey,
+                write=write,
+                reason=reason,
+            )
+        self._send_control(PacketType.NAK_ACCESS, packet.psn)
+        self._enter_error()
+
     # ------------------------------------------------------------------
     # inbound packet processing (called from the device's rx loop)
     # ------------------------------------------------------------------
@@ -729,6 +768,15 @@ class QueuePair:
             return
         # Sequenced request packets.
         if packet.psn < self._expected_psn:
+            if kind == PacketType.READ_REQUEST:
+                # A retransmitted READ (lost or fenced response train):
+                # re-validate and replay the stream.  Blind-ACKing the
+                # duplicate would clear the requester's unacked queue and
+                # orphan its READ WR forever — and a revocation between
+                # the original and the retry must get the chance to deny
+                # the re-presented rkey outright.
+                yield from self._handle_read_request(packet)
+                return
             self._send_control(PacketType.ACK, self._expected_psn - 1)
             return
         if packet.psn > self._expected_psn:
@@ -856,17 +904,32 @@ class QueuePair:
                     packet.remote_offset,
                     packet.total_length,
                     write=True,
+                    peer=packet.src_host,
                 )
-            except RdmaError:
-                self._send_control(PacketType.NAK_ACCESS, packet.psn)
-                self._enter_error()
+            except RdmaError as error:
+                self._deny_remote_access(packet, error, write=True)
                 return
-            self._cur_write = {"mr": mr, "cursor": packet.remote_offset}
+            self._cur_write = {
+                "mr": mr,
+                "cursor": packet.remote_offset,
+                "start": packet.remote_offset,
+                # Captured permission epoch: every later chunk of this
+                # message re-verifies it, so a revocation between chunks
+                # fences the in-flight WR mid-message.
+                "epoch": mr.perm_epoch,
+            }
         ctx = self._cur_write
         if ctx is None:
             self._send_control(PacketType.NAK_ACCESS, packet.psn)
             self._enter_error()
             return
+        if packet.kind not in PacketType.STARTS_MESSAGE:
+            try:
+                ctx["mr"].check_epoch(ctx["epoch"])
+            except RdmaError as error:
+                self._cur_write = None
+                self._deny_remote_access(packet, error, write=True)
+                return
         if packet.payload:
             yield nic.dma_transfer(
                 len(packet.payload), trace_ctx=packet.trace_ctx
@@ -876,6 +939,15 @@ class QueuePair:
         self._expected_psn = packet.psn + 1
         if packet.kind in PacketType.ENDS_MESSAGE:
             self._cur_write = None
+            audit = get_audit(self.env)
+            if audit.enabled:
+                audit.on_remote_write_applied(
+                    host=self.device.host.name,
+                    src_host=packet.src_host,
+                    rkey=packet.rkey if packet.rkey is not None else ctx["mr"].rkey,
+                    offset=ctx["start"],
+                    length=ctx["cursor"] - ctx["start"],
+                )
             self._send_control(PacketType.ACK, packet.psn)
             # No CQE, no recv WR: the remote CPU stays unaware (paper
             # Section II-A) — that is both the perf win and the security
@@ -891,13 +963,18 @@ class QueuePair:
             if mr.pd is not self.pd:
                 raise RdmaError("rkey from a foreign protection domain")
             mr.check_remote(
-                packet.rkey, packet.remote_offset, packet.total_length, write=False
+                packet.rkey,
+                packet.remote_offset,
+                packet.total_length,
+                write=False,
+                peer=packet.src_host,
             )
-        except RdmaError:
-            self._send_control(PacketType.NAK_ACCESS, packet.psn)
-            self._enter_error()
+        except RdmaError as error:
+            self._deny_remote_access(packet, error, write=False)
             return
-        self._expected_psn = packet.psn + 1
+        # max(): a replayed (duplicate) request must not regress the
+        # expected sequence past packets already accepted after it.
+        self._expected_psn = max(self._expected_psn, packet.psn + 1)
         # Stream the response chunks from a dedicated process so a large
         # read does not stall the device's receive pipeline.
         self.env.process(
@@ -912,10 +989,29 @@ class QueuePair:
         mtu = attrs.mtu
         length = request.total_length
         chunk_count = max(1, -(-length // mtu))
+        epoch = mr.perm_epoch
         for index in range(chunk_count):
             offset = index * mtu
             size = min(mtu, length - offset)
             yield Timeout(self.env, attrs.packet_process)
+            try:
+                # A revocation (or deregistration) mid-read fences the
+                # remaining chunks: the requester's retry re-presents the
+                # rkey and is then denied outright.
+                mr.check_epoch(epoch)
+            except RdmaError:
+                nic.stale_access_denied.increment()
+                audit = get_audit(self.env)
+                if audit.enabled:
+                    audit.on_remote_access_denied(
+                        host=self.device.host.name,
+                        qp_num=self.qp_num,
+                        src_host=request.src_host,
+                        rkey=request.rkey,
+                        write=False,
+                        reason="stale-epoch",
+                    )
+                return
             yield nic.dma_transfer(size)
             # Snapshot at DMA time: a concurrent writer produces torn data,
             # the read/write race of the paper's Section III-A.

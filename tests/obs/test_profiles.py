@@ -25,7 +25,9 @@ BASELINE_DIR = os.path.join(REPO_ROOT, "benchmarks", "baselines")
 
 
 def test_every_gate_figure_has_a_scenario():
-    assert PROFILE_SCENARIOS == ("fig3", "fig4", "overload", "cop", "chaos")
+    assert PROFILE_SCENARIOS == (
+        "fig3", "fig4", "overload", "onesided", "cop", "chaos"
+    )
 
 
 def test_unknown_figure_rejected():
@@ -42,7 +44,7 @@ def test_paths():
 
 @pytest.mark.parametrize("figure", PROFILE_SCENARIOS)
 def test_committed_profile_baselines_exist(figure):
-    """All five scenarios have a committed, schema-valid profile."""
+    """Every scenario has a committed, schema-valid profile."""
     document = load_profile_document(profile_path(BASELINE_DIR, figure))
     assert document["figure"] == figure
     assert document["traces"] > 0

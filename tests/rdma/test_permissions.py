@@ -1,0 +1,273 @@
+"""Dynamic per-peer permissions: grant/revoke epochs, the in-flight
+fence, stale-rkey classification, and one-sided transfers surviving
+seeded loss without tearing (the RDMA substrate of the one-sided
+agreement fast path)."""
+
+import random
+
+import pytest
+
+from repro.errors import RdmaError
+from repro.rdma import (
+    Access,
+    Opcode,
+    QpCapabilities,
+    SendWorkRequest,
+    Sge,
+    WcStatus,
+)
+from repro.rdma.mr import StalePermissionError, UnauthorizedAccessError
+
+from tests.rdma.conftest import RdmaPair
+
+
+def write_wr(wr_id, mr, remote, length=None, offset=0, signaled=True):
+    return SendWorkRequest(
+        wr_id=wr_id,
+        opcode=Opcode.RDMA_WRITE,
+        sge=Sge(mr, offset, length),
+        remote=remote,
+        signaled=signaled,
+    )
+
+
+def read_wr(wr_id, mr, remote, length=None, offset=0, signaled=True):
+    return SendWorkRequest(
+        wr_id=wr_id,
+        opcode=Opcode.RDMA_READ,
+        sge=Sge(mr, offset, length),
+        remote=remote,
+        signaled=signaled,
+    )
+
+
+class TestGrantTable:
+    def test_first_grant_flips_region_into_guarded_mode(self, rig):
+        mr = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        assert not mr.guarded
+        epoch = mr.grant("left", Access.REMOTE_WRITE)
+        assert mr.guarded
+        assert epoch == 1
+        assert mr.grants() == {"left": Access.REMOTE_WRITE}
+
+    def test_every_table_change_bumps_the_epoch(self, rig):
+        mr = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        first = mr.grant("left", Access.REMOTE_WRITE)
+        second = mr.grant("other", Access.REMOTE_WRITE)
+        third = mr.revoke("other")
+        # Revoking an absent peer is an explicit fence, not a no-op.
+        fourth = mr.revoke("stranger")
+        assert [first, second, third, fourth] == [1, 2, 3, 4]
+        with pytest.raises(StalePermissionError):
+            mr.check_epoch(first)
+        mr.check_epoch(fourth)
+
+    def test_grant_and_revoke_counters_on_owning_nic(self, rig):
+        nic = rig.right.host.nic
+        mr = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        mr.grant("left", Access.REMOTE_WRITE)
+        mr.revoke("left")
+        assert nic.perm_grants.value == 1
+        assert nic.perm_revokes.value == 1
+
+    def test_ungranted_peer_rejected_by_check(self, rig):
+        mr = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        mr.grant("other", Access.REMOTE_WRITE)
+        with pytest.raises(UnauthorizedAccessError):
+            mr.check_remote(mr.rkey, 0, 8, write=True, peer="left")
+
+    def test_grant_on_invalidated_region_rejected(self, rig):
+        mr = rig.register("right", 64)
+        mr.invalidate()
+        with pytest.raises(RdmaError):
+            mr.grant("left", Access.REMOTE_WRITE)
+
+
+class TestGuardedWire:
+    def test_granted_peer_writes_through_the_guard(self, rig):
+        src = rig.register("left", 64, fill=b"authorized")
+        dst = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        dst.grant("left", Access.REMOTE_WRITE)
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address(), length=10))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].ok
+        assert bytes(dst.buffer[:10]) == b"authorized"
+
+    def test_unauthorized_peer_denied_and_nothing_lands(self, rig):
+        src = rig.register("left", 64, fill=b"forged")
+        dst = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        dst.grant("someone-else", Access.REMOTE_WRITE)
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address(), length=6))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+        assert bytes(dst.buffer) == b"\x00" * 64
+        # A forged access is not a *stale* one: the staleness counter
+        # only tracks the epoch fence working as designed.
+        assert rig.right.host.nic.stale_access_denied.value == 0
+
+    def test_revoke_mid_write_fences_inflight_chunks(self, rig):
+        size = 20_000
+        payload = bytes((3 * i) % 256 for i in range(size))
+        src = rig.register("left", size, fill=payload)
+        dst = rig.register(
+            "right", size, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        dst.grant("left", Access.REMOTE_WRITE)
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address()))
+        # Step until the first chunk has landed, then yank the grant:
+        # the epoch captured at message start no longer matches.
+        while not any(dst.buffer):
+            rig.env.step()
+        dst.revoke("left")
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+        assert rig.right.host.nic.stale_access_denied.value >= 1
+        # The fence is mid-message: some bytes landed, but not all.
+        assert any(dst.buffer)
+        assert bytes(dst.buffer) != payload
+
+    def test_revoke_mid_read_fences_remaining_chunks(self):
+        # Short retry timeout: after the fence silences the responder,
+        # the requester's retransmitted READ re-presents the rkey and is
+        # denied outright.
+        rig = RdmaPair(caps=QpCapabilities(retry_timeout=200e-6))
+        # Large enough that the responder is still streaming chunks when
+        # the first response lands at the requester — the revoke must
+        # catch the stream mid-flight.
+        size = 400_000
+        payload = bytes((5 * i) % 256 for i in range(size))
+        src = rig.register(
+            "right",
+            size,
+            access=Access.LOCAL_WRITE | Access.REMOTE_READ,
+            fill=payload,
+        )
+        src.grant("left", Access.REMOTE_READ)
+        dst = rig.register("left", size)
+        rig.left_qp.post_send(read_wr(1, dst, src.remote_address()))
+        while not any(dst.buffer):
+            rig.env.step()
+        src.revoke("left")
+        wcs = rig.poll_until(rig.left_send_cq, deadline=2.0)
+        assert wcs and wcs[0].status is WcStatus.REM_ACCESS_ERR
+        assert rig.right.host.nic.stale_access_denied.value >= 1
+
+
+class TestKeyLifecycle:
+    def test_deregistered_rkey_classified_stale_not_protection_fault(
+        self, rig
+    ):
+        src = rig.register("left", 64, fill=b"late")
+        dst = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        retired = dst.remote_address()
+        rig.right.dereg_mr(dst)
+        rig.left_qp.post_send(write_wr(1, src, retired, length=4))
+        wcs = rig.poll_until(rig.left_send_cq)
+        assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+        assert rig.right.host.nic.stale_access_denied.value == 1
+        assert bytes(dst.buffer) == b"\x00" * 64
+
+    def test_retired_rkeys_are_never_reissued(self, rig):
+        dead = rig.register(
+            "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        retired_rkey = dead.rkey
+        rig.right.dereg_mr(dead)
+        fresh_keys = set()
+        for _ in range(64):
+            mr = rig.register(
+                "right", 64, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+            )
+            fresh_keys.add(mr.rkey)
+            fresh_keys.add(mr.lkey)
+        assert retired_rkey not in fresh_keys
+        assert len(fresh_keys) == 128
+        assert rig.right.is_retired_rkey(retired_rkey)
+
+
+class TestLossyOneSided:
+    """Seeded loss + retransmission must never double-apply or tear a
+    one-sided transfer — the property the agreement fast path's record
+    seals assume."""
+
+    @pytest.mark.parametrize("seed", [7, 23, 91])
+    def test_write_lands_exactly_once_under_loss(self, seed):
+        rng = random.Random(seed)
+        rig = RdmaPair(
+            caps=QpCapabilities(retry_timeout=150e-6),
+            drop_fn=lambda frame: rng.random() < 0.08,
+        )
+        size = 24_000
+        payload = bytes((11 * i) % 256 for i in range(size))
+        src = rig.register("left", size, fill=payload)
+        dst = rig.register(
+            "right", size, access=Access.LOCAL_WRITE | Access.REMOTE_WRITE
+        )
+        dst.track_writes()
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address()))
+        wcs = rig.poll_until(rig.left_send_cq, deadline=3.0)
+        assert wcs and wcs[0].ok
+        assert bytes(dst.buffer) == payload
+        # Retransmitted chunks re-land on the same offsets (idempotent),
+        # never past the registered window.
+        for offset, length in dst.drain_writes():
+            assert 0 <= offset and offset + length <= size
+
+    @pytest.mark.parametrize("seed", [3, 41])
+    def test_read_returns_untorn_data_under_loss(self, seed):
+        rng = random.Random(seed)
+        rig = RdmaPair(
+            caps=QpCapabilities(retry_timeout=150e-6),
+            drop_fn=lambda frame: rng.random() < 0.08,
+        )
+        size = 16_000
+        payload = bytes((13 * i) % 256 for i in range(size))
+        src = rig.register(
+            "right",
+            size,
+            access=Access.LOCAL_WRITE | Access.REMOTE_READ,
+            fill=payload,
+        )
+        dst = rig.register("left", size)
+        rig.left_qp.post_send(read_wr(1, dst, src.remote_address()))
+        wcs = rig.poll_until(rig.left_send_cq, deadline=3.0)
+        assert wcs and wcs[0].ok
+        assert bytes(dst.buffer) == payload
+
+    def test_sealed_record_survives_lossy_write_intact(self):
+        """End-to-end with the agreement framing: a sealed record pushed
+        through a lossy link still unpacks (seal + CRC prove no tear)."""
+        from repro.bft.onesided import pack_record, unpack_record
+
+        rng = random.Random(17)
+        rig = RdmaPair(
+            caps=QpCapabilities(retry_timeout=150e-6),
+            drop_fn=lambda frame: rng.random() < 0.08,
+        )
+        record = pack_record(42, bytes(range(256)) * 30)
+        src = rig.register("left", len(record), fill=record)
+        dst = rig.register(
+            "right",
+            len(record),
+            access=Access.LOCAL_WRITE | Access.REMOTE_WRITE,
+        )
+        rig.left_qp.post_send(write_wr(1, src, dst.remote_address()))
+        wcs = rig.poll_until(rig.left_send_cq, deadline=3.0)
+        assert wcs and wcs[0].ok
+        unpacked = unpack_record(bytes(dst.buffer))
+        assert unpacked is not None
+        assert unpacked == (42, bytes(range(256)) * 30)
